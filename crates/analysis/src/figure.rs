@@ -1,0 +1,189 @@
+//! Line-series figures with an ASCII renderer and CSV export.
+//!
+//! The paper's Figures 3 and 4 are ratio-vs-X line charts with one series
+//! per zero-copy configuration; this renderer reproduces them in the
+//! terminal so `repro --fig3` output is directly comparable.
+
+use std::fmt;
+
+/// One line series.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// (x, y) points in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// A figure: several series over a shared x axis.
+#[derive(Debug, Clone)]
+pub struct Figure {
+    /// Caption.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// The series.
+    pub series: Vec<Series>,
+}
+
+const PLOT_W: usize = 64;
+const PLOT_H: usize = 20;
+const MARKS: [char; 6] = ['*', 'o', '+', 'x', '#', '@'];
+
+impl Figure {
+    /// An empty figure.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        Figure {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Add a series.
+    pub fn push_series(&mut self, label: impl Into<String>, points: Vec<(f64, f64)>) {
+        self.series.push(Series {
+            label: label.into(),
+            points,
+        });
+    }
+
+    /// CSV rendering: `x,<series1>,<series2>,...` per shared x value.
+    pub fn to_csv(&self) -> String {
+        let mut xs: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|p| p.0))
+            .collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite x"));
+        xs.dedup();
+        let mut out = String::from(&self.x_label);
+        for s in &self.series {
+            out.push(',');
+            out.push_str(&s.label);
+        }
+        out.push('\n');
+        for x in xs {
+            out.push_str(&format!("{x}"));
+            for s in &self.series {
+                out.push(',');
+                if let Some(p) = s.points.iter().find(|p| p.0 == x) {
+                    out.push_str(&format!("{:.4}", p.1));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    fn bounds(&self) -> Option<(f64, f64, f64, f64)> {
+        let pts: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().copied())
+            .collect();
+        if pts.is_empty() {
+            return None;
+        }
+        let (mut x0, mut x1, mut y0, mut y1) = (f64::MAX, f64::MIN, f64::MAX, f64::MIN);
+        for (x, y) in pts {
+            x0 = x0.min(x);
+            x1 = x1.max(x);
+            y0 = y0.min(y);
+            y1 = y1.max(y);
+        }
+        // Pad degenerate axes.
+        if x0 == x1 {
+            x1 += 1.0;
+        }
+        let ypad = ((y1 - y0) * 0.08).max(0.05);
+        Some((x0, x1, y0 - ypad, y1 + ypad))
+    }
+}
+
+impl fmt::Display for Figure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.title)?;
+        let Some((x0, x1, y0, y1)) = self.bounds() else {
+            return writeln!(f, "(no data)");
+        };
+        let mut grid = vec![vec![' '; PLOT_W]; PLOT_H];
+        for (si, s) in self.series.iter().enumerate() {
+            let mark = MARKS[si % MARKS.len()];
+            for &(x, y) in &s.points {
+                let cx = ((x - x0) / (x1 - x0) * (PLOT_W - 1) as f64).round() as usize;
+                let cy = ((y - y0) / (y1 - y0) * (PLOT_H - 1) as f64).round() as usize;
+                let row = PLOT_H - 1 - cy.min(PLOT_H - 1);
+                grid[row][cx.min(PLOT_W - 1)] = mark;
+            }
+        }
+        writeln!(f, "  {} (top={y1:.2}, bottom={y0:.2})", self.y_label)?;
+        for row in &grid {
+            writeln!(f, "  |{}", row.iter().collect::<String>())?;
+        }
+        writeln!(f, "  +{}", "-".repeat(PLOT_W))?;
+        writeln!(f, "   {} (left={x0:.0}, right={x1:.0})", self.x_label)?;
+        for (si, s) in self.series.iter().enumerate() {
+            writeln!(f, "   {} {}", MARKS[si % MARKS.len()], s.label)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Figure {
+        let mut fig = Figure::new("Fig 3 (S2)", "threads", "ratio");
+        fig.push_series(
+            "Implicit Z-C",
+            vec![(1.0, 1.8), (2.0, 1.9), (4.0, 2.1), (8.0, 2.3)],
+        );
+        fig.push_series(
+            "Eager Maps",
+            vec![(1.0, 1.3), (2.0, 1.4), (4.0, 1.5), (8.0, 1.6)],
+        );
+        fig
+    }
+
+    #[test]
+    fn ascii_render_contains_marks_and_legend() {
+        let text = sample().to_string();
+        assert!(text.contains('*'));
+        assert!(text.contains('o'));
+        assert!(text.contains("Implicit Z-C"));
+        assert!(text.contains("threads"));
+    }
+
+    #[test]
+    fn csv_merges_x_values() {
+        let csv = sample().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "threads,Implicit Z-C,Eager Maps");
+        assert_eq!(lines.len(), 5);
+        assert!(lines[1].starts_with("1,1.8000,1.3000"));
+    }
+
+    #[test]
+    fn empty_figure_renders_gracefully() {
+        let fig = Figure::new("empty", "x", "y");
+        assert!(fig.to_string().contains("(no data)"));
+        assert_eq!(fig.to_csv().lines().count(), 1);
+    }
+
+    #[test]
+    fn degenerate_single_point_is_handled() {
+        let mut fig = Figure::new("one", "x", "y");
+        fig.push_series("s", vec![(5.0, 1.0)]);
+        let text = fig.to_string();
+        assert!(text.contains('*'));
+    }
+}

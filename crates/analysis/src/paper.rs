@@ -1,0 +1,513 @@
+//! Builders for every table and figure in the paper's evaluation (§V).
+//!
+//! Each function regenerates one artifact:
+//!
+//! * [`fig3`] — QMCPack Copy/zero-copy ratios vs OpenMP threads, one figure
+//!   per NiO problem size.
+//! * [`fig4`] — the same data sliced at 8 threads, ratio vs problem size.
+//! * [`table1`] — HSA API call statistics for QMCPack S2, Copy vs Implicit
+//!   Zero-Copy, at 1 and 8 threads.
+//! * [`table2`] — SPECaccel Copy/zero-copy ratios for the five benchmarks.
+//! * [`table3`] — MM/MI overhead orders for 403.stencil and 452.ep.
+
+use crate::experiment::{measure, measure_all_configs, ratio, ExperimentConfig, Measurement};
+use crate::figure::Figure;
+use crate::stats::order_of_magnitude_us;
+use crate::table::Table;
+use hsa_rocr::HsaApiKind;
+use omp_offload::{OmpError, RuntimeConfig};
+use workloads::{spec, NioSize, QmcPack, Workload};
+
+/// Scope of a reproduction pass.
+#[derive(Debug, Clone)]
+pub struct PaperConfig {
+    /// Shared run settings (cost model, topology, repeats, noise).
+    pub exp: ExperimentConfig,
+    /// QMCPack MC steps per thread for the figures.
+    pub qmc_steps: usize,
+    /// Repeats for QMCPack (the paper uses 4; SPECaccel 8).
+    pub qmc_repeats: usize,
+    /// NiO sizes to sweep.
+    pub sizes: Vec<NioSize>,
+    /// Host-thread counts to sweep.
+    pub threads: Vec<usize>,
+    /// SPECaccel benchmark scale (1.0 = ref-like).
+    pub spec_scale: f64,
+    /// QMCPack steps for the Table I call-count run.
+    pub table1_steps: usize,
+}
+
+impl PaperConfig {
+    /// Full reproduction: every size, 1–8 threads, ref-scale SPECaccel.
+    pub fn full() -> Self {
+        PaperConfig {
+            exp: ExperimentConfig::default(),
+            qmc_steps: 400,
+            qmc_repeats: 4,
+            sizes: NioSize::ALL.to_vec(),
+            threads: vec![1, 2, 4, 8],
+            spec_scale: 1.0,
+            table1_steps: 4000,
+        }
+    }
+
+    /// Fast pass for tests and smoke runs (minutes → seconds).
+    pub fn quick() -> Self {
+        PaperConfig {
+            exp: ExperimentConfig {
+                repeats: 2,
+                ..ExperimentConfig::default()
+            },
+            qmc_steps: 60,
+            qmc_repeats: 2,
+            sizes: vec![
+                NioSize { factor: 2 },
+                NioSize { factor: 8 },
+                NioSize { factor: 32 },
+            ],
+            threads: vec![1, 4],
+            spec_scale: 0.04,
+            table1_steps: 150,
+        }
+    }
+
+    fn qmc_exp(&self) -> ExperimentConfig {
+        ExperimentConfig {
+            repeats: self.qmc_repeats,
+            ..self.exp.clone()
+        }
+    }
+
+    fn max_threads(&self) -> usize {
+        self.threads.iter().copied().max().unwrap_or(1)
+    }
+}
+
+/// One QMCPack measurement cell.
+pub struct QmcCell {
+    /// NiO size.
+    pub size: NioSize,
+    /// Host threads.
+    pub threads: usize,
+    /// Measurements in `RuntimeConfig::ALL` order.
+    pub measurements: Vec<Measurement>,
+}
+
+impl QmcCell {
+    /// Copy-to-`config` median ratio.
+    pub fn ratio_of(&self, config: RuntimeConfig) -> f64 {
+        let copy = &self.measurements[0];
+        let other = self
+            .measurements
+            .iter()
+            .find(|m| m.config == config)
+            .expect("all configs measured");
+        ratio(copy, other)
+    }
+}
+
+/// The full QMCPack sweep behind Figures 3 and 4.
+///
+/// Cells are measured on scoped worker threads — each cell owns its entire
+/// simulated machine, so the sweep is embarrassingly parallel and results
+/// stay bit-identical to a sequential pass.
+pub fn qmc_sweep(cfg: &PaperConfig) -> Result<Vec<QmcCell>, OmpError> {
+    let exp = cfg.qmc_exp();
+    let mut grid: Vec<(NioSize, usize)> = Vec::new();
+    for &size in &cfg.sizes {
+        for &threads in &cfg.threads {
+            grid.push((size, threads));
+        }
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(grid.len().max(1));
+    type CellSlot = Option<Result<QmcCell, OmpError>>;
+    let mut results: Vec<CellSlot> = (0..grid.len()).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        // Static round-robin partition: worker w takes cells w, w+W, ...
+        // Cell count dominates worker count, so load stays balanced, and
+        // results land at fixed indices (bit-identical to sequential).
+        let chunks: Vec<&mut [CellSlot]> = {
+            // Interleaved assignment via index math over a split borrow.
+            results.chunks_mut(1).collect()
+        };
+        let mut per_worker: Vec<Vec<(usize, &mut CellSlot)>> =
+            (0..workers).map(|_| Vec::new()).collect();
+        for (i, slot) in chunks.into_iter().enumerate() {
+            per_worker[i % workers].push((i, &mut slot[0]));
+        }
+        for work in per_worker {
+            let grid = &grid;
+            let exp = &exp;
+            let steps = cfg.qmc_steps;
+            scope.spawn(move || {
+                for (i, slot) in work {
+                    let (size, threads) = grid[i];
+                    let w = QmcPack::nio(size).with_steps(steps);
+                    *slot =
+                        Some(
+                            measure_all_configs(&w, threads, exp).map(|measurements| QmcCell {
+                                size,
+                                threads,
+                                measurements,
+                            }),
+                        );
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every cell measured"))
+        .collect()
+}
+
+/// Figure 3: one ratio-vs-threads figure per problem size.
+pub fn fig3_from_cells(cells: &[QmcCell], cfg: &PaperConfig) -> Vec<Figure> {
+    cfg.sizes
+        .iter()
+        .map(|&size| {
+            let mut fig = Figure::new(
+                format!(
+                    "Fig. 3 ({}): Copy / zero-copy execution-time ratio vs OpenMP threads",
+                    size.label()
+                ),
+                "OpenMP host threads",
+                "ratio (higher = zero-copy wins)",
+            );
+            for config in RuntimeConfig::ZERO_COPY {
+                let pts: Vec<(f64, f64)> = cells
+                    .iter()
+                    .filter(|c| c.size == size)
+                    .map(|c| (c.threads as f64, c.ratio_of(config)))
+                    .collect();
+                fig.push_series(config.label(), pts);
+            }
+            fig
+        })
+        .collect()
+}
+
+/// Figure 3, computed from scratch.
+pub fn fig3(cfg: &PaperConfig) -> Result<Vec<Figure>, OmpError> {
+    let cells = qmc_sweep(cfg)?;
+    Ok(fig3_from_cells(&cells, cfg))
+}
+
+/// Figure 4: ratio vs problem size at the highest thread count.
+pub fn fig4_from_cells(cells: &[QmcCell], cfg: &PaperConfig) -> Figure {
+    let threads = cfg.max_threads();
+    let mut fig = Figure::new(
+        format!("Fig. 4: Copy / zero-copy ratio vs problem size ({threads} OpenMP threads)"),
+        "NiO problem size (S-factor)",
+        "ratio (higher = zero-copy wins)",
+    );
+    for config in RuntimeConfig::ZERO_COPY {
+        let pts: Vec<(f64, f64)> = cells
+            .iter()
+            .filter(|c| c.threads == threads)
+            .map(|c| (c.size.factor as f64, c.ratio_of(config)))
+            .collect();
+        fig.push_series(config.label(), pts);
+    }
+    fig
+}
+
+/// Figure 4, computed from scratch.
+pub fn fig4(cfg: &PaperConfig) -> Result<Figure, OmpError> {
+    let cells = qmc_sweep(cfg)?;
+    Ok(fig4_from_cells(&cells, cfg))
+}
+
+/// The HSA calls Table I reports.
+const TABLE1_CALLS: [(HsaApiKind, &str); 4] = [
+    (HsaApiKind::SignalWaitScacquire, "Kernel Completion"),
+    (HsaApiKind::MemoryPoolAllocate, "Allocate device memory"),
+    (HsaApiKind::MemoryAsyncCopy, "Memory copy"),
+    (HsaApiKind::SignalAsyncHandler, "Memory copy"),
+];
+
+/// Table I: HSA API call statistics for QMCPack S2, Copy vs Implicit
+/// Zero-Copy, at 1 and `max_threads` OpenMP threads.
+pub fn table1(cfg: &PaperConfig) -> Result<Table, OmpError> {
+    let exp = ExperimentConfig {
+        repeats: 1,
+        ..cfg.exp.clone()
+    };
+    let w = QmcPack::nio(NioSize { factor: 2 }).with_steps(cfg.table1_steps);
+    let tmax = cfg.max_threads();
+    let copy_1 = measure(&w, RuntimeConfig::LegacyCopy, 1, &exp)?;
+    let izc_1 = measure(&w, RuntimeConfig::ImplicitZeroCopy, 1, &exp)?;
+    let copy_n = measure(&w, RuntimeConfig::LegacyCopy, tmax, &exp)?;
+    let izc_n = measure(&w, RuntimeConfig::ImplicitZeroCopy, tmax, &exp)?;
+
+    let mut t = Table::new(
+        format!(
+            "Table I: HSA API call statistics, QMCPack S2, Copy vs Implicit Z-C (1 and {tmax} threads)"
+        ),
+        &[
+            "ROCr/HSA Call",
+            "Used for",
+            "#Calls Copy(1T)",
+            "#Calls IZC(1T)",
+            "Lat ratio(1T)",
+            &format!("#Calls Copy({tmax}T)"),
+            &format!("#Calls IZC({tmax}T)"),
+            &format!("Lat ratio({tmax}T)"),
+        ],
+    );
+    let fmt_ratio = |r: Option<f64>| match r {
+        Some(v) if v >= 1000.0 => format!("{:.2e}", v),
+        Some(v) => format!("{v:.2}"),
+        None => "N/A".to_string(),
+    };
+    for (kind, used_for) in TABLE1_CALLS {
+        t.push_row(vec![
+            kind.symbol().to_string(),
+            used_for.to_string(),
+            copy_1.report.api_stats.get(kind).calls.to_string(),
+            izc_1.report.api_stats.get(kind).calls.to_string(),
+            fmt_ratio(
+                copy_1
+                    .report
+                    .api_stats
+                    .latency_ratio(&izc_1.report.api_stats, kind),
+            ),
+            copy_n.report.api_stats.get(kind).calls.to_string(),
+            izc_n.report.api_stats.get(kind).calls.to_string(),
+            fmt_ratio(
+                copy_n
+                    .report
+                    .api_stats
+                    .latency_ratio(&izc_n.report.api_stats, kind),
+            ),
+        ]);
+    }
+    Ok(t)
+}
+
+/// The SPECaccel suite at `scale`.
+pub fn spec_suite(scale: f64) -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(spec::Stencil::scaled(scale)),
+        Box::new(spec::Lbm::scaled(scale)),
+        Box::new(spec::Ep::scaled(scale)),
+        Box::new(spec::SpC::scaled(scale)),
+        Box::new(spec::Bt::scaled(scale)),
+    ]
+}
+
+/// Table II: Copy / zero-copy ratios for the five SPECaccel benchmarks.
+/// Also returns the highest CoV observed (the paper reports ≤ 0.03).
+pub fn table2(cfg: &PaperConfig) -> Result<(Table, f64), OmpError> {
+    let suite = spec_suite(cfg.spec_scale);
+    // One scoped worker per benchmark; each owns its simulated machines.
+    let measured: Vec<Result<(String, Vec<Measurement>), OmpError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = suite
+            .iter()
+            .map(|w| {
+                let exp = &cfg.exp;
+                scope.spawn(move || Ok((w.name(), measure_all_configs(w.as_ref(), 1, exp)?)))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("table2 worker panicked"))
+            .collect()
+    });
+    let mut per_bench: Vec<(String, Vec<Measurement>)> = Vec::new();
+    let mut max_cov: f64 = 0.0;
+    for r in measured {
+        let (name, ms) = r?;
+        for m in &ms {
+            max_cov = max_cov.max(m.cov());
+        }
+        per_bench.push((name, ms));
+    }
+    let mut headers: Vec<&str> = vec!["Benchmark"];
+    let names: Vec<String> = per_bench
+        .iter()
+        .map(|(n, _)| n.split('.').nth(1).unwrap_or(n).to_string())
+        .collect();
+    let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+    headers.extend(name_refs);
+    let mut t = Table::new(
+        "Table II: Copy / zero-copy ratios, SPECaccel 2023 C/C++ (ratio > 1: zero-copy wins)",
+        &headers,
+    );
+    for config in RuntimeConfig::ZERO_COPY {
+        let mut row = vec![config.label().to_string()];
+        for (_, ms) in &per_bench {
+            let copy = &ms[0];
+            let other = ms.iter().find(|m| m.config == config).expect("measured");
+            row.push(format!("{:.2}", ratio(copy, other)));
+        }
+        t.push_row(row);
+    }
+    Ok((t, max_cov))
+}
+
+/// Table III: MM and MI overhead orders for 403.stencil and 452.ep.
+pub fn table3(cfg: &PaperConfig) -> Result<Table, OmpError> {
+    let exp = ExperimentConfig {
+        repeats: 1,
+        ..cfg.exp.clone()
+    };
+    let stencil = spec::Stencil::scaled(cfg.spec_scale);
+    let ep = spec::Ep::scaled(cfg.spec_scale);
+    let mut t = Table::new(
+        "Table III: overhead orders (microseconds) for 403.stencil and 452.ep",
+        &[
+            "Configuration",
+            "stencil MM",
+            "stencil MI",
+            "ep MM",
+            "ep MI",
+        ],
+    );
+    // The paper groups Implicit Z-C with USM (identical behaviour here).
+    let rows: [(&str, RuntimeConfig); 3] = [
+        ("Copy", RuntimeConfig::LegacyCopy),
+        ("Implicit Z-C or USM", RuntimeConfig::ImplicitZeroCopy),
+        ("Eager Maps", RuntimeConfig::EagerMaps),
+    ];
+    for (label, config) in rows {
+        let s = measure(&stencil, config, 1, &exp)?;
+        let e = measure(&ep, config, 1, &exp)?;
+        t.push_row(vec![
+            label.to_string(),
+            order_of_magnitude_us(s.report.ledger.mm_total()),
+            order_of_magnitude_us(s.report.ledger.mi_total()),
+            order_of_magnitude_us(e.report.ledger.mm_total()),
+            order_of_magnitude_us(e.report.ledger.mi_total()),
+        ]);
+    }
+    Ok(t)
+}
+
+/// Render a complete markdown reproduction report: every table and figure
+/// with the measured values, ready to diff against EXPERIMENTS.md.
+pub fn markdown_report(cfg: &PaperConfig) -> Result<String, OmpError> {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "# Reproduction report\n");
+    let _ = writeln!(
+        out,
+        "Generated by `analysis::paper::markdown_report` ({} sizes, threads {:?}, SPECaccel scale {}, {} repeats).\n",
+        cfg.sizes.len(),
+        cfg.threads,
+        cfg.spec_scale,
+        cfg.exp.repeats
+    );
+
+    let cells = qmc_sweep(cfg)?;
+    let _ = writeln!(out, "## QMCPack ratios (Figures 3 and 4)\n");
+    let mut header = String::from("| Size |");
+    for &t in &cfg.threads {
+        header.push_str(&format!(" IZC {t}T | EM {t}T |"));
+    }
+    let _ = writeln!(out, "{header}");
+    let _ = writeln!(out, "|{}", "---|".repeat(1 + 2 * cfg.threads.len()));
+    for &size in &cfg.sizes {
+        let mut row = format!("| {} |", size.label());
+        for &t in &cfg.threads {
+            let cell = cells
+                .iter()
+                .find(|c| c.size == size && c.threads == t)
+                .expect("cell measured");
+            row.push_str(&format!(
+                " {:.2} | {:.2} |",
+                cell.ratio_of(RuntimeConfig::ImplicitZeroCopy),
+                cell.ratio_of(RuntimeConfig::EagerMaps)
+            ));
+        }
+        let _ = writeln!(out, "{row}");
+    }
+
+    let _ = writeln!(out, "\n## Table I (HSA call statistics)\n");
+    let t1 = table1(cfg)?;
+    let _ = writeln!(out, "```\n{t1}```");
+
+    let _ = writeln!(out, "\n## Table II (SPECaccel ratios)\n");
+    let (t2, max_cov) = table2(cfg)?;
+    let _ = writeln!(out, "```\n{t2}```");
+    let _ = writeln!(
+        out,
+        "\nHighest observed CoV: {max_cov:.3} (paper: <= 0.03)."
+    );
+
+    let _ = writeln!(out, "\n## Table III (MM/MI overhead orders)\n");
+    let t3 = table3(cfg)?;
+    let _ = writeln!(out, "```\n{t3}```");
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_fig3_has_expected_shape() {
+        let cfg = PaperConfig::quick();
+        let cells = qmc_sweep(&cfg).unwrap();
+        assert_eq!(cells.len(), cfg.sizes.len() * cfg.threads.len());
+        let figs = fig3_from_cells(&cells, &cfg);
+        assert_eq!(figs.len(), cfg.sizes.len());
+        assert_eq!(figs[0].series.len(), 3);
+        // Zero-copy wins at S2 in every cell.
+        for c in cells.iter().filter(|c| c.size.factor == 2) {
+            assert!(c.ratio_of(RuntimeConfig::ImplicitZeroCopy) > 1.0);
+        }
+    }
+
+    #[test]
+    fn quick_table2_has_five_benchmarks() {
+        let mut cfg = PaperConfig::quick();
+        cfg.exp.repeats = 2;
+        let (t, max_cov) = table2(&cfg).unwrap();
+        assert_eq!(t.headers.len(), 6);
+        assert_eq!(t.rows.len(), 3);
+        assert!(max_cov < 0.2, "cov {max_cov}");
+    }
+
+    #[test]
+    fn quick_table3_has_three_config_rows() {
+        let cfg = PaperConfig::quick();
+        let t = table3(&cfg).unwrap();
+        assert_eq!(t.rows.len(), 3);
+        // Copy never pays MI.
+        assert_eq!(t.rows[0][2], "O(0)");
+        assert_eq!(t.rows[0][4], "O(0)");
+        // Eager Maps never pays MI either.
+        assert_eq!(t.rows[2][2], "O(0)");
+        assert_eq!(t.rows[2][4], "O(0)");
+    }
+
+    #[test]
+    fn markdown_report_contains_all_artifacts() {
+        let mut cfg = PaperConfig::quick();
+        cfg.exp.repeats = 1;
+        cfg.qmc_repeats = 1;
+        let report = markdown_report(&cfg).unwrap();
+        assert!(report.contains("## QMCPack ratios"));
+        assert!(report.contains("## Table I"));
+        assert!(report.contains("## Table II"));
+        assert!(report.contains("## Table III"));
+        assert!(report.contains("hsa_amd_memory_async_copy"));
+        assert!(report.contains("| S2 |"));
+    }
+
+    #[test]
+    fn quick_table1_shows_copy_dominating_call_counts() {
+        let cfg = PaperConfig::quick();
+        let t = table1(&cfg).unwrap();
+        assert_eq!(t.rows.len(), 4);
+        // memory_async_copy: Copy calls >> IZC calls (3 from device init).
+        let copy_calls: u64 = t.rows[2][2].parse().unwrap();
+        let izc_calls: u64 = t.rows[2][3].parse().unwrap();
+        assert!(copy_calls > 100 * izc_calls.max(1));
+        assert_eq!(izc_calls, 3);
+    }
+}

@@ -1,0 +1,119 @@
+//! Summary statistics used by the paper's methodology: medians for ratios,
+//! Coefficient of Variation for robustness claims.
+
+use sim_des::VirtDuration;
+
+/// Median of a sample (averages the middle pair for even sizes).
+pub fn median(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "median of empty sample");
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in samples"));
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) / 2.0
+    }
+}
+
+/// Arithmetic mean.
+pub fn mean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "mean of empty sample");
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Sample standard deviation (n-1 denominator; 0 for a single value).
+pub fn stddev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    let var = values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (values.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// Coefficient of Variation: stddev / mean (0 when the mean is 0).
+pub fn cov(values: &[f64]) -> f64 {
+    let m = mean(values);
+    if m == 0.0 {
+        0.0
+    } else {
+        stddev(values) / m
+    }
+}
+
+/// Median of a set of virtual durations, in nanoseconds.
+pub fn median_duration(values: &[VirtDuration]) -> VirtDuration {
+    let ns: Vec<f64> = values.iter().map(|d| d.as_nanos() as f64).collect();
+    VirtDuration::from_nanos(median(&ns) as u64)
+}
+
+/// CoV of a set of virtual durations.
+pub fn cov_duration(values: &[VirtDuration]) -> f64 {
+    let ns: Vec<f64> = values.iter().map(|d| d.as_nanos() as f64).collect();
+    cov(&ns)
+}
+
+/// Order of magnitude as the paper's Table III reports it: `O(10^k)` such
+/// that `10^k <= value_us < 10^(k+1)`; `O(0)` for zero.
+pub fn order_of_magnitude_us(d: VirtDuration) -> String {
+    let us = d.as_micros_f64();
+    if us < 1.0 {
+        return "O(0)".to_string();
+    }
+    let k = us.log10().floor() as i32;
+    format!("O(10^{k})")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_odd_and_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&[7.0]), 7.0);
+    }
+
+    #[test]
+    fn stddev_and_cov() {
+        let v = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&v) - 5.0).abs() < 1e-12);
+        assert!((stddev(&v) - 2.138089935).abs() < 1e-6);
+        assert!((cov(&v) - 0.4276179871).abs() < 1e-6);
+        assert_eq!(stddev(&[5.0]), 0.0);
+        assert_eq!(cov(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn duration_helpers() {
+        let ds = [
+            VirtDuration::from_micros(10),
+            VirtDuration::from_micros(30),
+            VirtDuration::from_micros(20),
+        ];
+        assert_eq!(median_duration(&ds), VirtDuration::from_micros(20));
+        assert!(cov_duration(&ds) > 0.0);
+        assert_eq!(cov_duration(&[VirtDuration::from_micros(5); 4]), 0.0);
+    }
+
+    #[test]
+    fn magnitude_orders_match_table3_style() {
+        assert_eq!(order_of_magnitude_us(VirtDuration::ZERO), "O(0)");
+        assert_eq!(order_of_magnitude_us(VirtDuration::from_nanos(500)), "O(0)");
+        assert_eq!(
+            order_of_magnitude_us(VirtDuration::from_micros(5)),
+            "O(10^0)"
+        );
+        assert_eq!(
+            order_of_magnitude_us(VirtDuration::from_micros(50)),
+            "O(10^1)"
+        );
+        assert_eq!(
+            order_of_magnitude_us(VirtDuration::from_millis(500)),
+            "O(10^5)"
+        );
+        assert_eq!(order_of_magnitude_us(VirtDuration::from_secs(2)), "O(10^6)");
+    }
+}

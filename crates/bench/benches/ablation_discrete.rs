@@ -1,0 +1,82 @@
+//! Ablation (beyond the paper's tables): APU vs discrete GPU.
+//!
+//! Quantifies the two discrete-GPU penalties the MI300A removes — link-speed
+//! map transfers and unified-memory page migration with VRAM
+//! oversubscription thrashing (the paper's related-work [18]/[19] findings).
+
+use analysis::{measure, ExperimentConfig};
+use apu_mem::{DiscreteSpec, SystemKind};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hsa_rocr::Topology;
+use omp_offload::{OmpRuntime, RuntimeConfig};
+use workloads::spec::Ep;
+use workloads::{NioSize, QmcPack, Workload, GIB};
+
+fn run_on(w: &dyn Workload, kind: SystemKind, config: RuntimeConfig) -> sim_des::VirtDuration {
+    let mut rt = OmpRuntime::new_system(
+        apu_mem::CostModel::mi300a(),
+        Topology::default(),
+        kind,
+        config,
+        1,
+    )
+    .unwrap();
+    w.run(&mut rt).unwrap();
+    rt.finish().makespan
+}
+
+fn print_artifact() {
+    println!("Ablation: unified-memory working set vs VRAM capacity (64 GiB)");
+    println!(
+        "{:>14} | {:>14} | {:>14} | {:>10}",
+        "working set", "APU IZC", "discrete IZC", "slowdown"
+    );
+    for gib in [16u64, 48, 80] {
+        let mut ep = Ep::scaled(1.0);
+        ep.array_bytes = gib * GIB;
+        ep.batches = 8;
+        let apu = run_on(&ep, SystemKind::Apu, RuntimeConfig::ImplicitZeroCopy);
+        let disc = run_on(
+            &ep,
+            SystemKind::Discrete(DiscreteSpec::mi200_class()),
+            RuntimeConfig::ImplicitZeroCopy,
+        );
+        println!(
+            "{:>10} GiB | {:>14} | {:>14} | {:>9.2}x",
+            gib,
+            apu.to_string(),
+            disc.to_string(),
+            disc.as_nanos() as f64 / apu.as_nanos() as f64
+        );
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_artifact();
+    let exp = ExperimentConfig::noiseless();
+    let mut g = c.benchmark_group("apu_vs_discrete");
+    g.sample_size(10);
+    g.bench_function("qmcpack_apu_copy", |b| {
+        let w = QmcPack::nio(NioSize { factor: 2 }).with_steps(40);
+        b.iter(|| {
+            measure(&w, RuntimeConfig::LegacyCopy, 1, &exp)
+                .unwrap()
+                .median()
+        })
+    });
+    g.bench_with_input(BenchmarkId::new("qmcpack_discrete_copy", 1), &1, |b, _| {
+        let w = QmcPack::nio(NioSize { factor: 2 }).with_steps(40);
+        b.iter(|| {
+            run_on(
+                &w,
+                SystemKind::Discrete(DiscreteSpec::mi200_class()),
+                RuntimeConfig::LegacyCopy,
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Ablation (paper §V, THP note): 4 KiB vs 2 MiB pages. The paper enables
+//! Transparent Huge Pages so Copy and zero-copy both work on 2 MiB pages;
+//! this ablation shows how 4 KiB pages inflate first-touch fault counts
+//! and prefault costs for the zero-copy configurations.
+
+use analysis::{measure, ExperimentConfig};
+use apu_mem::CostModel;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use omp_offload::RuntimeConfig;
+use workloads::spec::Ep;
+
+fn print_artifact() {
+    println!("Ablation: 452.ep first-touch under THP (2MiB) vs 4KiB pages");
+    println!(
+        "{:>8} | {:>14} | {:>18} | {:>14}",
+        "pages", "config", "zero-fill pages", "makespan"
+    );
+    for (label, cost) in [
+        ("2MiB", CostModel::mi300a()),
+        ("4KiB", CostModel::mi300a_no_thp()),
+    ] {
+        for config in [RuntimeConfig::ImplicitZeroCopy, RuntimeConfig::EagerMaps] {
+            let mut exp = ExperimentConfig::noiseless();
+            exp.cost = cost.clone();
+            let w = Ep::scaled(0.01);
+            let m = measure(&w, config, 1, &exp).unwrap();
+            println!(
+                "{:>8} | {:>14} | {:>18} | {:>14}",
+                label,
+                config.label(),
+                m.report.ledger.zero_filled_pages + m.report.mem_stats.prefault_zero_fill_pages,
+                m.median().to_string()
+            );
+        }
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_artifact();
+    let mut g = c.benchmark_group("ablation_page_size");
+    g.sample_size(10);
+    for (label, cost) in [
+        ("thp", CostModel::mi300a()),
+        ("4k", CostModel::mi300a_no_thp()),
+    ] {
+        g.bench_with_input(BenchmarkId::new("ep_izc", label), &cost, |b, cost| {
+            let mut exp = ExperimentConfig::noiseless();
+            exp.cost = cost.clone();
+            let w = Ep::scaled(0.005);
+            b.iter(|| {
+                measure(&w, RuntimeConfig::ImplicitZeroCopy, 1, &exp)
+                    .unwrap()
+                    .median()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

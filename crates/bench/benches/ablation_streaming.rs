@@ -1,0 +1,60 @@
+//! Ablation (paper §V-A.3): data-transfer latency hiding. Vary the DMA
+//! engine count to show how much of Copy's transfer cost multi-threaded
+//! streaming hides behind kernels.
+
+use analysis::{measure, ExperimentConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hsa_rocr::Topology;
+use omp_offload::RuntimeConfig;
+use workloads::{NioSize, QmcPack};
+
+fn print_artifact() {
+    println!("Ablation: Copy-mode QMCPack S8 makespan vs DMA engines and threads");
+    println!(
+        "{:>12} | {:>10} | {:>14}",
+        "dma engines", "threads", "makespan"
+    );
+    for dma in [1usize, 2, 4] {
+        for threads in [1usize, 8] {
+            let mut exp = ExperimentConfig::noiseless();
+            exp.topo = Topology {
+                dma_engines: dma,
+                ..Topology::default()
+            };
+            let w = QmcPack::nio(NioSize { factor: 8 }).with_steps(60);
+            let m = measure(&w, RuntimeConfig::LegacyCopy, threads, &exp).unwrap();
+            println!(
+                "{:>12} | {:>10} | {:>14}",
+                dma,
+                threads,
+                m.median().to_string()
+            );
+        }
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_artifact();
+    let mut g = c.benchmark_group("ablation_streaming");
+    g.sample_size(10);
+    for dma in [1usize, 4] {
+        g.bench_with_input(BenchmarkId::new("copy_8t", dma), &dma, |b, &dma| {
+            let mut exp = ExperimentConfig::noiseless();
+            exp.topo = Topology {
+                dma_engines: dma,
+                ..Topology::default()
+            };
+            let w = QmcPack::nio(NioSize { factor: 8 }).with_steps(30);
+            b.iter(|| {
+                measure(&w, RuntimeConfig::LegacyCopy, 8, &exp)
+                    .unwrap()
+                    .median()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

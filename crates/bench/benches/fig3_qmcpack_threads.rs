@@ -1,0 +1,41 @@
+//! Fig. 3: QMCPack Copy/zero-copy ratios vs OpenMP thread count, per size.
+//!
+//! Prints the regenerated figures, then benchmarks the per-cell simulation
+//! (record + schedule) that produces each data point.
+
+use analysis::paper::{fig3_from_cells, qmc_sweep, PaperConfig};
+use analysis::{measure, ExperimentConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use omp_offload::RuntimeConfig;
+use workloads::{NioSize, QmcPack};
+
+fn print_artifact() {
+    let cfg = PaperConfig::quick();
+    let cells = qmc_sweep(&cfg).expect("sweep");
+    for fig in fig3_from_cells(&cells, &cfg) {
+        println!("{fig}");
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_artifact();
+    let exp = ExperimentConfig::noiseless();
+    let mut g = c.benchmark_group("fig3_cell");
+    g.sample_size(10);
+    for threads in [1usize, 4] {
+        for config in [RuntimeConfig::LegacyCopy, RuntimeConfig::ImplicitZeroCopy] {
+            g.bench_with_input(
+                BenchmarkId::new(config.label().replace(' ', "_"), threads),
+                &threads,
+                |b, &threads| {
+                    let w = QmcPack::nio(NioSize { factor: 2 }).with_steps(40);
+                    b.iter(|| measure(&w, config, threads, &exp).unwrap().median())
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

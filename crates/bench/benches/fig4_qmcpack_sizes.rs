@@ -1,0 +1,34 @@
+//! Fig. 4: QMCPack Copy/zero-copy ratios vs problem size at max threads.
+
+use analysis::paper::{fig4_from_cells, qmc_sweep, PaperConfig};
+use analysis::{measure, ExperimentConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use omp_offload::RuntimeConfig;
+use workloads::{NioSize, QmcPack};
+
+fn print_artifact() {
+    let cfg = PaperConfig::quick();
+    let cells = qmc_sweep(&cfg).expect("sweep");
+    println!("{}", fig4_from_cells(&cells, &cfg));
+}
+
+fn bench(c: &mut Criterion) {
+    print_artifact();
+    let exp = ExperimentConfig::noiseless();
+    let mut g = c.benchmark_group("fig4_cell");
+    g.sample_size(10);
+    for factor in [2u32, 32] {
+        g.bench_with_input(BenchmarkId::new("izc_4t", factor), &factor, |b, &f| {
+            let w = QmcPack::nio(NioSize { factor: f }).with_steps(40);
+            b.iter(|| {
+                measure(&w, RuntimeConfig::ImplicitZeroCopy, 4, &exp)
+                    .unwrap()
+                    .median()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Table I: HSA API call statistics for QMCPack S2, Copy vs Implicit Z-C.
+
+use analysis::paper::{table1, PaperConfig};
+use analysis::{measure, ExperimentConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use omp_offload::RuntimeConfig;
+use workloads::{NioSize, QmcPack};
+
+fn bench(c: &mut Criterion) {
+    let cfg = PaperConfig::quick();
+    println!("{}", table1(&cfg).expect("table1"));
+
+    let exp = ExperimentConfig::noiseless();
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+    g.bench_function("qmcpack_s2_copy_trace", |b| {
+        let w = QmcPack::nio(NioSize { factor: 2 }).with_steps(60);
+        b.iter(|| {
+            let m = measure(&w, RuntimeConfig::LegacyCopy, 1, &exp).unwrap();
+            m.report.api_stats.total_calls()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Table II: SPECaccel 2023 Copy/zero-copy ratios for all five benchmarks.
+
+use analysis::paper::{spec_suite, table2, PaperConfig};
+use analysis::{measure, ExperimentConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use omp_offload::RuntimeConfig;
+
+fn bench(c: &mut Criterion) {
+    let mut cfg = PaperConfig::quick();
+    cfg.exp.repeats = 2;
+    let (t, max_cov) = table2(&cfg).expect("table2");
+    println!("{t}");
+    println!("highest observed CoV: {max_cov:.3}\n");
+
+    let exp = ExperimentConfig::noiseless();
+    let mut g = c.benchmark_group("table2_benchmark");
+    g.sample_size(10);
+    for w in spec_suite(0.02) {
+        g.bench_with_input(BenchmarkId::new("copy_vs_izc", w.name()), &w, |b, w| {
+            b.iter(|| {
+                let copy = measure(w.as_ref(), RuntimeConfig::LegacyCopy, 1, &exp).unwrap();
+                let izc = measure(w.as_ref(), RuntimeConfig::ImplicitZeroCopy, 1, &exp).unwrap();
+                analysis::ratio(&copy, &izc)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Table III: MM/MI overhead decomposition for 403.stencil and 452.ep.
+
+use analysis::paper::{table3, PaperConfig};
+use analysis::{measure, ExperimentConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use omp_offload::RuntimeConfig;
+use workloads::spec::{Ep, Stencil};
+use workloads::Workload;
+
+fn bench(c: &mut Criterion) {
+    let cfg = PaperConfig::quick();
+    println!("{}", table3(&cfg).expect("table3"));
+
+    let exp = ExperimentConfig::noiseless();
+    let mut g = c.benchmark_group("table3_ledger");
+    g.sample_size(10);
+    let workloads: Vec<Box<dyn Workload>> =
+        vec![Box::new(Stencil::scaled(0.02)), Box::new(Ep::scaled(0.02))];
+    for w in &workloads {
+        g.bench_with_input(BenchmarkId::new("mm_mi", w.name()), w, |b, w| {
+            b.iter(|| {
+                let m = measure(w.as_ref(), RuntimeConfig::ImplicitZeroCopy, 1, &exp).unwrap();
+                (m.report.ledger.mm_total(), m.report.ledger.mi_total())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

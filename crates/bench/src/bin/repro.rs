@@ -1,0 +1,158 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro [--quick|--full] [--fig3] [--fig4] [--table1] [--table2] [--table3] [--csv DIR]
+//! ```
+//!
+//! With no artifact flags, everything is produced. `--quick` (default) runs
+//! a reduced sweep in tens of seconds; `--full` runs the complete
+//! configuration (all sizes, 1–8 threads, ref-scale SPECaccel — several
+//! minutes of virtual-machine simulation).
+
+use analysis::paper::{
+    fig3_from_cells, fig4_from_cells, markdown_report, qmc_sweep, table1, table2, table3,
+    PaperConfig,
+};
+use std::io::Write as _;
+use std::path::PathBuf;
+
+struct Args {
+    cfg: PaperConfig,
+    fig3: bool,
+    fig4: bool,
+    table1: bool,
+    table2: bool,
+    table3: bool,
+    csv_dir: Option<PathBuf>,
+    report: Option<PathBuf>,
+}
+
+fn parse_args() -> Args {
+    let mut full = false;
+    let mut selected: Vec<String> = Vec::new();
+    let mut csv_dir = None;
+    let mut report = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => full = false,
+            "--full" => full = true,
+            "--fig3" | "--fig4" | "--table1" | "--table2" | "--table3" => {
+                selected.push(a.trim_start_matches("--").to_string());
+            }
+            "--csv" => {
+                csv_dir = Some(PathBuf::from(
+                    args.next().expect("--csv requires a directory"),
+                ));
+            }
+            "--report" => {
+                report = Some(PathBuf::from(
+                    args.next().expect("--report requires a file path"),
+                ));
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: repro [--quick|--full] [--fig3] [--fig4] [--table1] [--table2] [--table3] [--csv DIR] [--report FILE.md]"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let all = selected.is_empty();
+    let has = |n: &str| all || selected.iter().any(|s| s == n);
+    Args {
+        cfg: if full {
+            PaperConfig::full()
+        } else {
+            PaperConfig::quick()
+        },
+        fig3: has("fig3"),
+        fig4: has("fig4"),
+        table1: has("table1"),
+        table2: has("table2"),
+        table3: has("table3"),
+        csv_dir,
+        report,
+    }
+}
+
+fn write_csv(dir: &Option<PathBuf>, name: &str, content: &str) {
+    if let Some(dir) = dir {
+        std::fs::create_dir_all(dir).expect("create csv dir");
+        let path = dir.join(name);
+        let mut f = std::fs::File::create(&path).expect("create csv file");
+        f.write_all(content.as_bytes()).expect("write csv");
+        eprintln!("wrote {}", path.display());
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let started = std::time::Instant::now();
+
+    if args.fig3 || args.fig4 {
+        eprintln!(
+            "running QMCPack sweep ({} sizes x {} thread counts x 4 configs)...",
+            args.cfg.sizes.len(),
+            args.cfg.threads.len()
+        );
+        let cells = qmc_sweep(&args.cfg).expect("QMCPack sweep");
+        if args.fig3 {
+            for fig in fig3_from_cells(&cells, &args.cfg) {
+                println!("{fig}");
+                write_csv(
+                    &args.csv_dir,
+                    &format!(
+                        "fig3_{}.csv",
+                        fig.title
+                            .split(['(', ')'])
+                            .nth(1)
+                            .unwrap_or("size")
+                            .to_lowercase()
+                    ),
+                    &fig.to_csv(),
+                );
+            }
+        }
+        if args.fig4 {
+            let fig = fig4_from_cells(&cells, &args.cfg);
+            println!("{fig}");
+            write_csv(&args.csv_dir, "fig4.csv", &fig.to_csv());
+        }
+    }
+
+    if args.table1 {
+        eprintln!("running Table I (HSA call statistics)...");
+        let t = table1(&args.cfg).expect("table1");
+        println!("{t}");
+        write_csv(&args.csv_dir, "table1.csv", &t.to_csv());
+    }
+
+    if args.table2 {
+        eprintln!("running Table II (SPECaccel ratios)...");
+        let (t, max_cov) = table2(&args.cfg).expect("table2");
+        println!("{t}");
+        println!("highest observed CoV: {max_cov:.3} (paper: <= 0.03)\n");
+        write_csv(&args.csv_dir, "table2.csv", &t.to_csv());
+    }
+
+    if args.table3 {
+        eprintln!("running Table III (MM/MI overhead orders)...");
+        let t = table3(&args.cfg).expect("table3");
+        println!("{t}");
+        write_csv(&args.csv_dir, "table3.csv", &t.to_csv());
+    }
+
+    if let Some(path) = &args.report {
+        eprintln!("generating markdown report...");
+        let report = markdown_report(&args.cfg).expect("report");
+        std::fs::write(path, report).expect("write report");
+        eprintln!("wrote {}", path.display());
+    }
+
+    eprintln!("done in {:.1}s", started.elapsed().as_secs_f64());
+}

@@ -1,0 +1,7 @@
+//! # bench-harness — benches and the `repro` binary
+//!
+//! One Criterion bench per paper table/figure plus ablation benches, and
+//! the `repro` binary that prints every artifact (`cargo run -p
+//! bench-harness --bin repro --release -- --full`).
+
+#![forbid(unsafe_code)]

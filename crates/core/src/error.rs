@@ -1,0 +1,101 @@
+//! OpenMP runtime error type.
+
+use apu_mem::{AddrRange, MemError};
+use std::fmt;
+
+/// Errors raised by the OpenMP offloading runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OmpError {
+    /// Underlying memory-subsystem failure.
+    Mem(MemError),
+    /// A map/update/exit referenced data that is not present in the device
+    /// data environment.
+    NotMapped {
+        /// The range that was expected to be present.
+        range: AddrRange,
+    },
+    /// A map partially overlaps an existing entry — unspecified behaviour
+    /// in OpenMP, reported instead of silently corrupting the table.
+    PartialOverlap {
+        /// The requested map range.
+        range: AddrRange,
+    },
+    /// A kernel accessed a range with no device translation in Copy mode
+    /// (the data was never mapped).
+    KernelDataNotPresent {
+        /// The unmapped range the kernel references.
+        range: AddrRange,
+    },
+    /// Unknown declare-target global handle.
+    UnknownGlobal {
+        /// The invalid handle index.
+        index: usize,
+    },
+    /// The requested configuration cannot run in this environment (e.g. a
+    /// `unified_shared_memory` binary without XNACK support).
+    UnsupportedDeployment {
+        /// Why the deployment is impossible.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for OmpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OmpError::Mem(e) => write!(f, "memory subsystem: {e}"),
+            OmpError::NotMapped { range } => {
+                write!(
+                    f,
+                    "data {range} is not present in the device data environment"
+                )
+            }
+            OmpError::PartialOverlap { range } => {
+                write!(f, "map of {range} partially overlaps an existing mapping")
+            }
+            OmpError::KernelDataNotPresent { range } => {
+                write!(
+                    f,
+                    "kernel accesses unmapped data {range} in Copy configuration"
+                )
+            }
+            OmpError::UnknownGlobal { index } => write!(f, "unknown global #{index}"),
+            OmpError::UnsupportedDeployment { reason } => {
+                write!(f, "unsupported deployment: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OmpError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OmpError::Mem(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MemError> for OmpError {
+    fn from(e: MemError) -> Self {
+        OmpError::Mem(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apu_mem::VirtAddr;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = OmpError::from(MemError::ZeroSizedAllocation);
+        assert!(e.to_string().contains("memory subsystem"));
+        assert!(e.source().is_some());
+        let n = OmpError::NotMapped {
+            range: AddrRange::new(VirtAddr(0x10), 8),
+        };
+        assert!(n.to_string().contains("not present"));
+        assert!(n.source().is_none());
+    }
+}

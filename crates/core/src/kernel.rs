@@ -1,0 +1,202 @@
+//! Target regions and kernel execution context.
+//!
+//! A [`TargetRegion`] is the runtime's view of one `#pragma omp target ...`
+//! construct: its map clauses, the declare-target globals it references, a
+//! modeled GPU execution time, and optionally a *real body* — a closure that
+//! reads and writes the simulated memory through the same translated
+//! addresses a real kernel would use. Bodies let tests and examples verify
+//! that all four runtime configurations compute identical results.
+
+use crate::globals::GlobalId;
+use crate::mapping::MapEntry;
+use apu_mem::{ApuMemory, MemError, VirtAddr};
+use sim_des::VirtDuration;
+
+/// Modeled GPU throughput used to convert a kernel's work into time.
+#[derive(Debug, Clone, Copy)]
+pub struct GpuPerf {
+    /// Effective streaming bandwidth (bytes/s) for memory-bound kernels.
+    pub stream_bandwidth: u64,
+    /// Effective FLOP rate (FLOP/s) for compute-bound kernels.
+    pub flop_rate: f64,
+    /// Floor: even an empty kernel occupies the device this long.
+    pub min_kernel: VirtDuration,
+}
+
+impl GpuPerf {
+    /// MI300A-class throughput (effective, not peak).
+    pub fn mi300a() -> Self {
+        GpuPerf {
+            stream_bandwidth: 3_500_000_000_000, // ~3.5 TB/s effective HBM3
+            flop_rate: 40e12,                    // ~40 TFLOP/s fp64 effective
+            min_kernel: VirtDuration::from_micros(3),
+        }
+    }
+
+    /// Execution time of a kernel moving `bytes` and computing `flops`,
+    /// modeled as max(memory time, compute time) — the roofline.
+    pub fn kernel_time(&self, bytes: u64, flops: u64) -> VirtDuration {
+        let mem = sim_des::transfer_time(bytes, self.stream_bandwidth);
+        let comp = VirtDuration::from_nanos((flops as f64 / self.flop_rate * 1e9) as u64);
+        mem.max(comp).max(self.min_kernel)
+    }
+}
+
+impl Default for GpuPerf {
+    fn default() -> Self {
+        Self::mi300a()
+    }
+}
+
+/// Execution context handed to a kernel body: the translated base address
+/// of every map entry (in declaration order) and of every referenced global,
+/// plus GPU-side access to the simulated memory.
+pub struct KernelCtx<'m> {
+    mem: &'m mut ApuMemory,
+    args: Vec<VirtAddr>,
+    globals: Vec<VirtAddr>,
+}
+
+impl<'m> KernelCtx<'m> {
+    pub(crate) fn new(mem: &'m mut ApuMemory, args: Vec<VirtAddr>, globals: Vec<VirtAddr>) -> Self {
+        KernelCtx { mem, args, globals }
+    }
+
+    /// Device address of the `i`-th map entry's range start.
+    pub fn arg(&self, i: usize) -> VirtAddr {
+        self.args[i]
+    }
+
+    /// Device address of the `i`-th referenced global.
+    pub fn global(&self, i: usize) -> VirtAddr {
+        self.globals[i]
+    }
+
+    /// GPU load.
+    pub fn read(&self, addr: VirtAddr, buf: &mut [u8]) -> Result<(), MemError> {
+        self.mem.gpu_read(addr, buf)
+    }
+
+    /// GPU store.
+    pub fn write(&mut self, addr: VirtAddr, data: &[u8]) -> Result<(), MemError> {
+        self.mem.gpu_write(addr, data)
+    }
+
+    /// GPU load of `count` f64 values starting at `addr`.
+    pub fn read_f64s(&self, addr: VirtAddr, count: usize) -> Result<Vec<f64>, MemError> {
+        let mut raw = vec![0u8; count * 8];
+        self.mem.gpu_read(addr, &mut raw)?;
+        Ok(raw
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().expect("chunk of 8")))
+            .collect())
+    }
+
+    /// GPU store of f64 values starting at `addr`.
+    pub fn write_f64s(&mut self, addr: VirtAddr, values: &[f64]) -> Result<(), MemError> {
+        let mut raw = Vec::with_capacity(values.len() * 8);
+        for v in values {
+            raw.extend_from_slice(&v.to_le_bytes());
+        }
+        self.mem.gpu_write(addr, &raw)
+    }
+}
+
+/// A kernel body: real work executed against the simulated memory.
+pub type KernelBody<'a> = Box<dyn FnOnce(&mut KernelCtx<'_>) -> Result<(), MemError> + 'a>;
+
+/// One `target teams ...` construct instance.
+pub struct TargetRegion<'a> {
+    /// Kernel name (for traces).
+    pub name: &'a str,
+    /// Map clauses of the construct (the implicit data environment).
+    pub maps: Vec<MapEntry>,
+    /// Host ranges the kernel dereferences *directly*, without any map —
+    /// the `unified_shared_memory` programming style ("host pointers may be
+    /// passed as device pointer arguments"). Such accesses rely on the GPU
+    /// being able to translate host addresses: they work under the
+    /// XNACK-based configurations and fault fatally under Legacy Copy or
+    /// Eager Maps, which is exactly the paper's portability caveat.
+    pub raw_accesses: Vec<apu_mem::AddrRange>,
+    /// Declare-target globals the kernel references.
+    pub globals: Vec<GlobalId>,
+    /// Modeled GPU execution time (excluding fault stalls, which the
+    /// runtime adds according to the configuration).
+    pub compute: VirtDuration,
+    /// Optional real body.
+    pub body: Option<KernelBody<'a>>,
+}
+
+impl<'a> TargetRegion<'a> {
+    /// A region with no maps, globals, or body.
+    pub fn new(name: &'a str, compute: VirtDuration) -> Self {
+        TargetRegion {
+            name,
+            maps: Vec::new(),
+            raw_accesses: Vec::new(),
+            globals: Vec::new(),
+            compute,
+            body: None,
+        }
+    }
+
+    /// Add a map clause.
+    pub fn map(mut self, entry: MapEntry) -> Self {
+        self.maps.push(entry);
+        self
+    }
+
+    /// Add several map clauses.
+    pub fn maps(mut self, entries: impl IntoIterator<Item = MapEntry>) -> Self {
+        self.maps.extend(entries);
+        self
+    }
+
+    /// Dereference a host range directly, without mapping it (the
+    /// `unified_shared_memory` style).
+    pub fn access(mut self, range: apu_mem::AddrRange) -> Self {
+        self.raw_accesses.push(range);
+        self
+    }
+
+    /// Reference a declare-target global.
+    pub fn global(mut self, id: GlobalId) -> Self {
+        self.globals.push(id);
+        self
+    }
+
+    /// Attach a real body.
+    pub fn body(mut self, f: impl FnOnce(&mut KernelCtx<'_>) -> Result<(), MemError> + 'a) -> Self {
+        self.body = Some(Box::new(f));
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roofline_picks_the_binding_side() {
+        let p = GpuPerf::mi300a();
+        // Memory-bound: lots of bytes, no flops.
+        let mem_bound = p.kernel_time(1 << 30, 0);
+        assert!(mem_bound > p.min_kernel);
+        // Compute-bound: no bytes, lots of flops.
+        let comp_bound = p.kernel_time(0, 10u64.pow(12));
+        assert!(comp_bound > mem_bound / 100);
+        // Tiny kernel hits the floor.
+        assert_eq!(p.kernel_time(8, 1), p.min_kernel);
+    }
+
+    #[test]
+    fn region_builder_accumulates() {
+        use apu_mem::AddrRange;
+        let r = TargetRegion::new("k", VirtDuration::from_micros(5))
+            .map(MapEntry::to(AddrRange::new(VirtAddr(0x1000), 64)))
+            .map(MapEntry::from(AddrRange::new(VirtAddr(0x2000), 64)));
+        assert_eq!(r.maps.len(), 2);
+        assert_eq!(r.name, "k");
+        assert!(r.body.is_none());
+    }
+}

@@ -1,0 +1,345 @@
+//! The host-to-target mapping table (`HostDataToTargetMap` analog).
+//!
+//! OpenMP data-environment presence is reference counted: an enclosing
+//! `target enter data` keeps an entry alive across inner `target` constructs,
+//! which then find the data *present* and perform no storage operations
+//! (unless the `always` modifier forces a transfer). In zero-copy
+//! configurations the table still tracks presence and reference counts —
+//! the runtime needs them for Eager Maps prefault policy and for OpenMP
+//! semantics — but the "device" address equals the host address.
+
+use crate::error::OmpError;
+use apu_mem::{AddrRange, VirtAddr};
+use std::collections::BTreeMap;
+
+/// Direction of a `map` clause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MapDir {
+    /// `map(to: ...)` — host-to-device on entry.
+    To,
+    /// `map(from: ...)` — device-to-host on exit.
+    From,
+    /// `map(tofrom: ...)` — both.
+    ToFrom,
+    /// `map(alloc: ...)` — presence only, no transfers.
+    Alloc,
+}
+
+impl MapDir {
+    /// Does entry to the data environment transfer host-to-device?
+    pub fn copies_to(self) -> bool {
+        matches!(self, MapDir::To | MapDir::ToFrom)
+    }
+
+    /// Does exit from the data environment transfer device-to-host?
+    pub fn copies_from(self) -> bool {
+        matches!(self, MapDir::From | MapDir::ToFrom)
+    }
+}
+
+/// One `map` clause item.
+#[derive(Debug, Clone, Copy)]
+pub struct MapEntry {
+    /// Host range being mapped.
+    pub range: AddrRange,
+    /// Transfer direction.
+    pub dir: MapDir,
+    /// `always` modifier: transfer even when the data is already present.
+    pub always: bool,
+}
+
+impl MapEntry {
+    /// `map(to: ...)`.
+    pub fn to(range: AddrRange) -> Self {
+        MapEntry {
+            range,
+            dir: MapDir::To,
+            always: false,
+        }
+    }
+
+    /// `map(from: ...)`.
+    pub fn from(range: AddrRange) -> Self {
+        MapEntry {
+            range,
+            dir: MapDir::From,
+            always: false,
+        }
+    }
+
+    /// `map(tofrom: ...)`.
+    pub fn tofrom(range: AddrRange) -> Self {
+        MapEntry {
+            range,
+            dir: MapDir::ToFrom,
+            always: false,
+        }
+    }
+
+    /// `map(alloc: ...)`.
+    pub fn alloc(range: AddrRange) -> Self {
+        MapEntry {
+            range,
+            dir: MapDir::Alloc,
+            always: false,
+        }
+    }
+
+    /// Add the `always` modifier.
+    pub fn always(mut self) -> Self {
+        self.always = true;
+        self
+    }
+}
+
+/// A live mapping-table record.
+#[derive(Debug, Clone)]
+pub struct Mapping {
+    /// Host range the entry covers (the first map's full range).
+    pub host: AddrRange,
+    /// Base device address corresponding to `host.start`. Equals the host
+    /// address in zero-copy configurations.
+    pub device_base: VirtAddr,
+    /// Dynamic reference count.
+    pub refcount: u32,
+}
+
+impl Mapping {
+    /// Translate a host address inside this entry to its device address.
+    pub fn translate(&self, addr: VirtAddr) -> VirtAddr {
+        debug_assert!(self.host.contains(addr));
+        self.device_base
+            .offset(addr.as_u64() - self.host.start.as_u64())
+    }
+}
+
+/// Presence lookup outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Presence {
+    /// No live entry overlaps the range.
+    Absent,
+    /// A live entry fully contains the range.
+    Present,
+    /// A live entry overlaps but does not contain the range — unspecified
+    /// behaviour in OpenMP; the runtime reports it as an error.
+    Partial,
+}
+
+/// The mapping table: live entries keyed by host start address.
+#[derive(Debug, Default)]
+pub struct MappingTable {
+    entries: BTreeMap<u64, Mapping>,
+    /// Lifetime number of map operations processed (statistics).
+    total_maps: u64,
+}
+
+impl MappingTable {
+    /// Create a new instance.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lifetime number of map operations processed.
+    pub fn total_maps(&self) -> u64 {
+        self.total_maps
+    }
+
+    /// Classify `range` against the live entries.
+    pub fn presence(&self, range: &AddrRange) -> Presence {
+        if let Some(m) = self.find(range.start) {
+            return if m.host.contains_range(range) {
+                Presence::Present
+            } else {
+                Presence::Partial
+            };
+        }
+        // An entry starting inside the range would be a partial overlap.
+        if self
+            .entries
+            .range(range.start.as_u64()..range.end())
+            .next()
+            .is_some()
+        {
+            Presence::Partial
+        } else {
+            Presence::Absent
+        }
+    }
+
+    /// The live entry containing `addr`, if any.
+    pub fn find(&self, addr: VirtAddr) -> Option<&Mapping> {
+        self.entries
+            .range(..=addr.as_u64())
+            .next_back()
+            .map(|(_, m)| m)
+            .filter(|m| m.host.contains(addr))
+    }
+
+    /// Translate a host address through the table.
+    pub fn translate(&self, addr: VirtAddr) -> Option<VirtAddr> {
+        self.find(addr).map(|m| m.translate(addr))
+    }
+
+    /// Record a new entry with refcount 1. The caller must have verified
+    /// the range is `Absent`.
+    pub fn insert(&mut self, host: AddrRange, device_base: VirtAddr) {
+        debug_assert_eq!(self.presence(&host), Presence::Absent);
+        self.total_maps += 1;
+        self.entries.insert(
+            host.start.as_u64(),
+            Mapping {
+                host,
+                device_base,
+                refcount: 1,
+            },
+        );
+    }
+
+    /// Increment the refcount of the entry containing `range`.
+    /// Returns the new count.
+    pub fn retain(&mut self, range: &AddrRange) -> Result<u32, OmpError> {
+        self.total_maps += 1;
+        let m = self
+            .find_mut(range.start)
+            .ok_or(OmpError::NotMapped { range: *range })?;
+        m.refcount += 1;
+        Ok(m.refcount)
+    }
+
+    /// Decrement the refcount of the entry containing `range`. When it
+    /// reaches zero (or `force_delete`), the entry is removed and returned
+    /// so the runtime can release device storage and issue final transfers.
+    pub fn release(
+        &mut self,
+        range: &AddrRange,
+        force_delete: bool,
+    ) -> Result<Option<Mapping>, OmpError> {
+        let key = {
+            let m = self
+                .find(range.start)
+                .ok_or(OmpError::NotMapped { range: *range })?;
+            m.host.start.as_u64()
+        };
+        let m = self.entries.get_mut(&key).expect("entry just found");
+        m.refcount = if force_delete {
+            0
+        } else {
+            m.refcount.saturating_sub(1)
+        };
+        if m.refcount == 0 {
+            Ok(self.entries.remove(&key))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn find_mut(&mut self, addr: VirtAddr) -> Option<&mut Mapping> {
+        self.entries
+            .range_mut(..=addr.as_u64())
+            .next_back()
+            .map(|(_, m)| m)
+            .filter(|m| m.host.contains(addr))
+    }
+
+    /// Iterate live entries.
+    pub fn iter(&self) -> impl Iterator<Item = &Mapping> {
+        self.entries.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(start: u64, len: u64) -> AddrRange {
+        AddrRange::new(VirtAddr(start), len)
+    }
+
+    #[test]
+    fn presence_classification() {
+        let mut t = MappingTable::new();
+        t.insert(r(1000, 100), VirtAddr(9000));
+        assert_eq!(t.presence(&r(1000, 100)), Presence::Present);
+        assert_eq!(t.presence(&r(1010, 50)), Presence::Present);
+        assert_eq!(t.presence(&r(1050, 100)), Presence::Partial);
+        assert_eq!(t.presence(&r(900, 150)), Presence::Partial);
+        assert_eq!(t.presence(&r(5000, 10)), Presence::Absent);
+    }
+
+    #[test]
+    fn translation_offsets() {
+        let mut t = MappingTable::new();
+        t.insert(r(1000, 100), VirtAddr(9000));
+        assert_eq!(t.translate(VirtAddr(1042)).unwrap().as_u64(), 9042);
+        assert!(t.translate(VirtAddr(2000)).is_none());
+    }
+
+    #[test]
+    fn refcount_lifecycle() {
+        let mut t = MappingTable::new();
+        t.insert(r(1000, 100), VirtAddr(1000));
+        assert_eq!(t.retain(&r(1000, 100)).unwrap(), 2);
+        assert!(t.release(&r(1000, 100), false).unwrap().is_none());
+        let removed = t.release(&r(1010, 10), false).unwrap().unwrap();
+        assert_eq!(removed.host, r(1000, 100));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn force_delete_ignores_refcount() {
+        let mut t = MappingTable::new();
+        t.insert(r(1000, 100), VirtAddr(1000));
+        t.retain(&r(1000, 100)).unwrap();
+        t.retain(&r(1000, 100)).unwrap();
+        let removed = t.release(&r(1000, 100), true).unwrap();
+        assert!(removed.is_some());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn release_of_unmapped_errors() {
+        let mut t = MappingTable::new();
+        assert!(matches!(
+            t.release(&r(5, 5), false),
+            Err(OmpError::NotMapped { .. })
+        ));
+        assert!(matches!(
+            t.retain(&r(5, 5)),
+            Err(OmpError::NotMapped { .. })
+        ));
+    }
+
+    #[test]
+    fn map_dir_transfer_rules() {
+        assert!(MapDir::To.copies_to() && !MapDir::To.copies_from());
+        assert!(!MapDir::From.copies_to() && MapDir::From.copies_from());
+        assert!(MapDir::ToFrom.copies_to() && MapDir::ToFrom.copies_from());
+        assert!(!MapDir::Alloc.copies_to() && !MapDir::Alloc.copies_from());
+    }
+
+    #[test]
+    fn entry_builders() {
+        let e = MapEntry::tofrom(r(0, 8)).always();
+        assert!(e.always);
+        assert_eq!(e.dir, MapDir::ToFrom);
+        assert!(!MapEntry::alloc(r(0, 8)).always);
+    }
+
+    #[test]
+    fn total_maps_counts_inserts_and_retains() {
+        let mut t = MappingTable::new();
+        t.insert(r(0, 10), VirtAddr(0));
+        t.retain(&r(0, 10)).unwrap();
+        assert_eq!(t.total_maps(), 2);
+    }
+}

@@ -1,0 +1,1054 @@
+//! The OpenMP offloading runtime (libomptarget analog).
+//!
+//! One [`OmpRuntime`] instance drives one application run in one of the four
+//! configurations. Host threads (identified by index, mirroring OpenMP host
+//! threads offloading to the same device) issue data-environment operations
+//! and target regions; the runtime translates them into HSA calls according
+//! to the active configuration and attributes overheads to the MM/MI ledger.
+
+use crate::config::{RunEnv, RuntimeConfig};
+use crate::error::OmpError;
+use crate::globals::{GlobalId, GlobalRegistry};
+use crate::kernel::{KernelCtx, TargetRegion};
+use crate::mapping::{MapEntry, MappingTable, Presence};
+use crate::trace::{KernelTraceEntry, OverheadLedger};
+use apu_mem::{AddrRange, ApuMemory, CostModel, MemStats, VirtAddr, XnackMode};
+use hsa_rocr::{ApiStats, HsaRuntime, Topology};
+use sim_des::{AsyncToken, RunOptions, Schedule, VirtDuration};
+use std::sync::Arc;
+
+/// Everything measured in one completed run.
+#[derive(Debug)]
+pub struct RunReport {
+    /// The configuration that ran.
+    pub config: RuntimeConfig,
+    /// Host threads used.
+    pub threads: usize,
+    /// Total virtual execution time.
+    pub makespan: VirtDuration,
+    /// rocprof-style per-API statistics (Table I).
+    pub api_stats: ApiStats,
+    /// MM/MI overhead decomposition (Table III).
+    pub ledger: OverheadLedger,
+    /// Memory-subsystem counters.
+    pub mem_stats: MemStats,
+    /// The full schedule (per-op latencies, resource utilization).
+    pub schedule: Schedule,
+    /// Kernel trace, when enabled.
+    pub kernel_trace: Vec<KernelTraceEntry>,
+}
+
+/// The OpenMP offloading runtime for one run.
+pub struct OmpRuntime {
+    hsa: HsaRuntime,
+    config: RuntimeConfig,
+    xnack: XnackMode,
+    mapping: MappingTable,
+    globals: GlobalRegistry,
+    ledger: OverheadLedger,
+    threads: usize,
+    trace_kernels: bool,
+    kernel_trace: Vec<KernelTraceEntry>,
+    /// Outstanding `target nowait` regions per thread: (token, deferred
+    /// exit maps).
+    pending_nowait: Vec<Vec<(AsyncToken, Vec<MapEntry>)>>,
+}
+
+impl OmpRuntime {
+    /// A runtime in `config` with `threads` OpenMP host threads. Performs
+    /// device initialization (code-object load, queues, runtime-internal
+    /// allocations) on thread 0 and per-thread setup on the rest.
+    pub fn new(
+        cost: CostModel,
+        topo: Topology,
+        config: RuntimeConfig,
+        threads: usize,
+    ) -> Result<Self, OmpError> {
+        assert!(threads >= 1, "at least one host thread");
+        let mut hsa = HsaRuntime::new(cost, topo);
+        hsa.device_init(0)?;
+        for t in 1..threads {
+            hsa.thread_init(t)?;
+        }
+        Ok(OmpRuntime {
+            hsa,
+            config,
+            xnack: config.xnack(),
+            mapping: MappingTable::new(),
+            globals: GlobalRegistry::new(),
+            ledger: OverheadLedger::default(),
+            threads,
+            trace_kernels: false,
+            kernel_trace: Vec::new(),
+            pending_nowait: vec![Vec::new(); threads],
+        })
+    }
+
+    /// A runtime over an explicit system kind (APU or discrete GPU).
+    pub fn new_system(
+        cost: CostModel,
+        topo: Topology,
+        kind: apu_mem::SystemKind,
+        config: RuntimeConfig,
+        threads: usize,
+    ) -> Result<Self, OmpError> {
+        assert!(threads >= 1, "at least one host thread");
+        let mut hsa = HsaRuntime::new_system(cost, topo, kind);
+        hsa.device_init(0)?;
+        for t in 1..threads {
+            hsa.thread_init(t)?;
+        }
+        Ok(OmpRuntime {
+            hsa,
+            config,
+            xnack: config.xnack(),
+            mapping: MappingTable::new(),
+            globals: GlobalRegistry::new(),
+            ledger: OverheadLedger::default(),
+            threads,
+            trace_kernels: false,
+            kernel_trace: Vec::new(),
+            pending_nowait: vec![Vec::new(); threads],
+        })
+    }
+
+    /// Resolve the configuration from a deployment environment, as the real
+    /// stack does at startup. A non-APU environment gets an MI200-class
+    /// discrete device.
+    pub fn from_env(
+        cost: CostModel,
+        topo: Topology,
+        env: RunEnv,
+        threads: usize,
+    ) -> Result<Self, OmpError> {
+        let config = env.resolve().ok_or(OmpError::UnsupportedDeployment {
+            reason: "unified_shared_memory binary requires XNACK support",
+        })?;
+        let kind = if env.is_apu {
+            apu_mem::SystemKind::Apu
+        } else {
+            apu_mem::SystemKind::Discrete(apu_mem::DiscreteSpec::mi200_class())
+        };
+        Self::new_system(cost, topo, kind, config, threads)
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> RuntimeConfig {
+        self.config
+    }
+
+    /// Host-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Live mapping-table entries (diagnostics).
+    pub fn live_mappings(&self) -> usize {
+        self.mapping.len()
+    }
+
+    /// The overhead ledger so far.
+    pub fn ledger(&self) -> &OverheadLedger {
+        &self.ledger
+    }
+
+    /// Direct memory access (test setup: initializing host buffers).
+    pub fn mem_mut(&mut self) -> &mut ApuMemory {
+        self.hsa.mem_mut()
+    }
+
+    /// Read-only memory access.
+    pub fn mem(&self) -> &ApuMemory {
+        self.hsa.mem()
+    }
+
+    /// Enable the kernel trace (`LIBOMPTARGET_KERNEL_TRACE` analog).
+    pub fn set_kernel_trace(&mut self, on: bool) {
+        self.trace_kernels = on;
+    }
+
+    /// Allocate host (OS) memory on behalf of `thread`.
+    pub fn host_alloc(&mut self, thread: usize, len: u64) -> Result<VirtAddr, OmpError> {
+        Ok(self.hsa.host_alloc(thread, len)?)
+    }
+
+    /// Free host memory. GPU translations for the region are torn down, so
+    /// re-allocated regions fault again on first GPU touch.
+    pub fn host_free(&mut self, thread: usize, addr: VirtAddr) -> Result<(), OmpError> {
+        Ok(self.hsa.host_free(thread, addr)?)
+    }
+
+    /// Host-side compute on `thread` (advances its virtual clock).
+    pub fn host_compute(&mut self, thread: usize, duration: VirtDuration) {
+        self.hsa.host_compute(thread, duration);
+    }
+
+    /// `omp_target_alloc`: explicit device allocation. Returns a device
+    /// pointer usable in target regions via
+    /// [`TargetRegion::access`](crate::TargetRegion::access) (it is
+    /// GPU-translated in every configuration — pool memory is bulk-faulted
+    /// at allocation).
+    pub fn omp_target_alloc(&mut self, thread: usize, len: u64) -> Result<VirtAddr, OmpError> {
+        let d = self.hsa.pool_allocate(thread, len)?;
+        let pages = self.mem().page_size().pages_covering(d, len);
+        self.ledger.mm_alloc += self.mem().cost().pool_alloc_cost(pages);
+        Ok(d)
+    }
+
+    /// `omp_target_free`.
+    pub fn omp_target_free(&mut self, thread: usize, addr: VirtAddr) -> Result<(), OmpError> {
+        self.hsa.pool_free(thread, addr)?;
+        Ok(())
+    }
+
+    /// `omp_target_memcpy`: explicit transfer between any two accessible
+    /// buffers (host or device side; under `unified_shared_memory`, "host
+    /// pointers may be passed as device pointer arguments to device memory
+    /// routines" — which works here in any configuration because the APU
+    /// shares storage).
+    pub fn omp_target_memcpy(
+        &mut self,
+        thread: usize,
+        dst: VirtAddr,
+        src: VirtAddr,
+        len: u64,
+    ) -> Result<(), OmpError> {
+        self.issue_copy(thread, src, dst, len, false)
+    }
+
+    /// Register a `declare target` global of `len` bytes. In configurations
+    /// with Copy-style global handling, a device copy is pool-allocated; in
+    /// USM, device code indirects into the host storage.
+    pub fn declare_target_global(&mut self, thread: usize, len: u64) -> Result<GlobalId, OmpError> {
+        let host = self.hsa.host_alloc(thread, len)?;
+        let device = if self.config.globals_as_copy() {
+            let d = self.hsa.pool_allocate(thread, len)?;
+            let pages = self.mem().page_size().pages_covering(d, len);
+            self.ledger.mm_alloc += self.mem().cost().pool_alloc_cost(pages);
+            Some(d)
+        } else {
+            None
+        };
+        Ok(self.globals.register(AddrRange::new(host, len), device))
+    }
+
+    /// Host address of a global (for CPU-side initialization).
+    pub fn global_host(&self, id: GlobalId) -> Result<AddrRange, OmpError> {
+        Ok(self.globals.get(id)?.host)
+    }
+
+    /// `omp_target_is_present`: is `addr` mapped into the device data
+    /// environment? In zero-copy configurations presence still reflects the
+    /// mapping table (the bookkeeping exists even though storage is shared).
+    pub fn is_present(&self, addr: VirtAddr) -> bool {
+        self.mapping.find(addr).is_some()
+    }
+
+    /// `#pragma omp target enter data map(...)`.
+    pub fn target_enter_data(
+        &mut self,
+        thread: usize,
+        entries: &[MapEntry],
+    ) -> Result<(), OmpError> {
+        for e in entries {
+            self.begin_map(thread, e)?;
+        }
+        Ok(())
+    }
+
+    /// `#pragma omp target exit data map(...)`. `delete` forces removal
+    /// regardless of reference count (`map(delete: ...)`).
+    pub fn target_exit_data(
+        &mut self,
+        thread: usize,
+        entries: &[MapEntry],
+        delete: bool,
+    ) -> Result<(), OmpError> {
+        for e in entries {
+            self.end_map(thread, e, delete)?;
+        }
+        Ok(())
+    }
+
+    /// `#pragma omp target data map(...) { ... }` — the structured data
+    /// construct: enters the data environment, runs `body` with the
+    /// runtime, and exits the environment even if nothing inside launched.
+    /// Mirrors the lexical scoping of the pragma.
+    pub fn target_data<R>(
+        &mut self,
+        thread: usize,
+        entries: &[MapEntry],
+        body: impl FnOnce(&mut Self) -> Result<R, OmpError>,
+    ) -> Result<R, OmpError> {
+        self.target_enter_data(thread, entries)?;
+        let result = body(self)?;
+        self.target_exit_data(thread, entries, false)?;
+        Ok(result)
+    }
+
+    /// `#pragma omp target update to(...) from(...)`. A storage operation
+    /// only in the Copy configuration; zero-copy configurations share the
+    /// physical pages, so the update is already visible.
+    pub fn target_update(
+        &mut self,
+        thread: usize,
+        to: &[AddrRange],
+        from: &[AddrRange],
+    ) -> Result<(), OmpError> {
+        if !self.config.is_zero_copy() {
+            for r in to {
+                let dev = self.require_translation(r)?;
+                self.issue_copy(thread, r.start, dev, r.len, false)?;
+            }
+            for r in from {
+                let dev = self.require_translation(r)?;
+                self.issue_copy(thread, dev, r.start, r.len, true)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Execute one `target` construct: enter its implicit data environment,
+    /// transfer referenced globals (per-configuration), launch the kernel
+    /// (resolving its access set against the GPU page table), run the real
+    /// body if present, and exit the data environment.
+    pub fn target(&mut self, thread: usize, region: TargetRegion<'_>) -> Result<(), OmpError> {
+        let TargetRegion {
+            name,
+            maps,
+            raw_accesses,
+            globals,
+            compute,
+            body,
+        } = region;
+
+        for e in &maps {
+            self.begin_map(thread, e)?;
+        }
+
+        // Globals: Copy-style handling issues a system-to-system transfer
+        // per target (map(always, to) semantics); USM indirects.
+        let mut access: Vec<AddrRange> = Vec::with_capacity(maps.len() + globals.len());
+        let mut global_addrs = Vec::with_capacity(globals.len());
+        for gid in &globals {
+            let g = self.globals.get(*gid)?.clone();
+            if let Some(dev) = g.device {
+                self.issue_copy(thread, g.host.start, dev, g.host.len, false)?;
+            }
+            let gr = g.gpu_range();
+            access.push(gr);
+            global_addrs.push(gr.start);
+        }
+
+        // Kernel argument translation: in Copy mode, device buffers; in
+        // zero-copy modes, the host pointers themselves.
+        let mut args = Vec::with_capacity(maps.len());
+        for e in &maps {
+            let dev = self.require_translation(&e.range)?;
+            access.push(AddrRange::new(dev, e.range.len));
+            args.push(dev);
+        }
+
+        // Raw (unmapped) host-pointer dereferences: passed through verbatim.
+        // Under XNACK configurations they demand-fault; under Copy or Eager
+        // Maps the GPU has no translation and the access is fatal — USM-only
+        // programs are not portable to those configurations (paper §IV-B).
+        access.extend(raw_accesses.iter().copied());
+
+        let out = self
+            .hsa
+            .dispatch_kernel(thread, compute, &access, self.xnack)?;
+        let cost = self.mem().cost();
+        let fault_stall = cost.fault_stall(out.replayed_pages, out.zero_filled_pages);
+        let tlb_stall = cost.tlb_miss * out.tlb_misses;
+        self.ledger.mi_fault_stall += fault_stall;
+        self.ledger.tlb_stall += tlb_stall;
+        self.ledger.kernel_compute += compute;
+        self.ledger.kernels += 1;
+        self.ledger.replayed_pages += out.replayed_pages;
+        self.ledger.zero_filled_pages += out.zero_filled_pages;
+
+        if self.trace_kernels {
+            self.kernel_trace.push(KernelTraceEntry {
+                name: Arc::from(name),
+                thread: thread as u32,
+                compute,
+                stall: out.stall,
+                faulted_pages: out.faulted_pages(),
+            });
+        }
+
+        if let Some(body) = body {
+            let mut ctx = KernelCtx::new(self.hsa.mem_mut(), args, global_addrs);
+            body(&mut ctx)?;
+        }
+
+        for e in &maps {
+            self.end_map(thread, e, false)?;
+        }
+        Ok(())
+    }
+
+    /// `#pragma omp target nowait`: like [`target`](Self::target), but the
+    /// host thread continues immediately after dispatch. The region's exit
+    /// maps (`from`-transfers, releases) are deferred until the matching
+    /// [`taskwait`](Self::taskwait), as in real deferred target tasks.
+    ///
+    /// The body (if any) executes immediately against memory — callers must
+    /// not read results on the host before `taskwait` (a data race under
+    /// real OpenMP as well).
+    pub fn target_nowait(
+        &mut self,
+        thread: usize,
+        region: TargetRegion<'_>,
+    ) -> Result<(), OmpError> {
+        let TargetRegion {
+            name,
+            maps,
+            raw_accesses,
+            globals,
+            compute,
+            body,
+        } = region;
+
+        for e in &maps {
+            self.begin_map(thread, e)?;
+        }
+        let mut access: Vec<AddrRange> = Vec::with_capacity(maps.len() + globals.len());
+        let mut global_addrs = Vec::with_capacity(globals.len());
+        for gid in &globals {
+            let g = self.globals.get(*gid)?.clone();
+            if let Some(dev) = g.device {
+                self.issue_copy(thread, g.host.start, dev, g.host.len, false)?;
+            }
+            let gr = g.gpu_range();
+            access.push(gr);
+            global_addrs.push(gr.start);
+        }
+        let mut args = Vec::with_capacity(maps.len());
+        for e in &maps {
+            let dev = self.require_translation(&e.range)?;
+            access.push(AddrRange::new(dev, e.range.len));
+            args.push(dev);
+        }
+        access.extend(raw_accesses.iter().copied());
+
+        let (out, token) = self
+            .hsa
+            .dispatch_kernel_nowait(thread, compute, &access, self.xnack)?;
+        let cost = self.mem().cost();
+        let fault_stall = cost.fault_stall(out.replayed_pages, out.zero_filled_pages);
+        let tlb_stall = cost.tlb_miss * out.tlb_misses;
+        self.ledger.mi_fault_stall += fault_stall;
+        self.ledger.tlb_stall += tlb_stall;
+        self.ledger.kernel_compute += compute;
+        self.ledger.kernels += 1;
+        self.ledger.replayed_pages += out.replayed_pages;
+        self.ledger.zero_filled_pages += out.zero_filled_pages;
+        if self.trace_kernels {
+            self.kernel_trace.push(KernelTraceEntry {
+                name: Arc::from(name),
+                thread: thread as u32,
+                compute,
+                stall: out.stall,
+                faulted_pages: out.faulted_pages(),
+            });
+        }
+        if let Some(body) = body {
+            let mut ctx = KernelCtx::new(self.hsa.mem_mut(), args, global_addrs);
+            body(&mut ctx)?;
+        }
+        self.pending_nowait[thread].push((token, maps));
+        Ok(())
+    }
+
+    /// `#pragma omp taskwait`: block `thread` until all of its outstanding
+    /// `target nowait` regions complete, then run their deferred exit maps.
+    pub fn taskwait(&mut self, thread: usize) -> Result<(), OmpError> {
+        let pending = std::mem::take(&mut self.pending_nowait[thread]);
+        let tokens: Vec<AsyncToken> = pending.iter().map(|(t, _)| *t).collect();
+        self.hsa.await_kernels(thread, &tokens);
+        for (_, maps) in pending {
+            for e in &maps {
+                self.end_map(thread, e, false)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Outstanding `target nowait` regions not yet reclaimed by a
+    /// [`taskwait`](Self::taskwait) (diagnostics: should be 0 at finish).
+    pub fn pending_nowaits(&self) -> usize {
+        self.pending_nowait.iter().map(Vec::len).sum()
+    }
+
+    /// Finish the run: resolve the schedule and collect all statistics.
+    pub fn finish(self) -> RunReport {
+        self.finish_with(&RunOptions::noiseless())
+    }
+
+    /// Finish once per seed: the recorded program is scheduled repeatedly
+    /// under different noise seeds (the paper's N-runs methodology).
+    /// Returns the full report for the first seed plus every makespan.
+    pub fn finish_replicated(
+        self,
+        opts: &RunOptions,
+        seeds: &[u64],
+    ) -> (RunReport, Vec<VirtDuration>) {
+        let config = self.config;
+        let threads = self.threads;
+        let ledger = self.ledger;
+        let kernel_trace = self.kernel_trace;
+        let mem_stats = self.hsa.mem().stats();
+        let results = self.hsa.finish_many(opts, seeds);
+        let makespans: Vec<VirtDuration> = results.iter().map(|r| r.makespan()).collect();
+        let first = results.into_iter().next().expect("at least one seed");
+        (
+            RunReport {
+                config,
+                threads,
+                makespan: first.makespan(),
+                api_stats: first.api_stats,
+                ledger,
+                mem_stats,
+                schedule: first.schedule,
+                kernel_trace,
+            },
+            makespans,
+        )
+    }
+
+    /// Finish with explicit scheduling options (noise model, seed).
+    pub fn finish_with(self, opts: &RunOptions) -> RunReport {
+        let config = self.config;
+        let threads = self.threads;
+        let ledger = self.ledger;
+        let kernel_trace = self.kernel_trace;
+        let mem_stats = self.hsa.mem().stats();
+        let result = self.hsa.finish(opts);
+        RunReport {
+            config,
+            threads,
+            makespan: result.makespan(),
+            api_stats: result.api_stats,
+            ledger,
+            mem_stats,
+            schedule: result.schedule,
+            kernel_trace,
+        }
+    }
+
+    // ---- internals ----
+
+    fn require_translation(&self, range: &AddrRange) -> Result<VirtAddr, OmpError> {
+        self.mapping
+            .translate(range.start)
+            .ok_or(OmpError::KernelDataNotPresent { range: *range })
+    }
+
+    fn issue_copy(
+        &mut self,
+        thread: usize,
+        src: VirtAddr,
+        dst: VirtAddr,
+        len: u64,
+        with_handler: bool,
+    ) -> Result<(), OmpError> {
+        self.hsa.async_copy(thread, src, dst, len, with_handler)?;
+        self.ledger.mm_copy += self.mem().transfer_duration(src, dst, len);
+        self.ledger.copies += 1;
+        self.ledger.bytes_copied += len;
+        Ok(())
+    }
+
+    fn begin_map(&mut self, thread: usize, e: &MapEntry) -> Result<(), OmpError> {
+        self.ledger.maps += 1;
+        match self.mapping.presence(&e.range) {
+            Presence::Partial => return Err(OmpError::PartialOverlap { range: e.range }),
+            Presence::Present => {
+                self.mapping.retain(&e.range)?;
+                if !self.config.is_zero_copy() && e.always && e.dir.copies_to() {
+                    let dev = self.require_translation(&e.range)?;
+                    self.issue_copy(thread, e.range.start, dev, e.range.len, false)?;
+                }
+            }
+            Presence::Absent => {
+                if self.config.is_zero_copy() {
+                    // Zero-copy: presence bookkeeping only; device == host.
+                    self.mapping.insert(e.range, e.range.start);
+                } else {
+                    let dev = self.hsa.pool_allocate(thread, e.range.len)?;
+                    let pages = self.mem().page_size().pages_covering(dev, e.range.len);
+                    self.ledger.mm_alloc += self.mem().cost().pool_alloc_cost(pages);
+                    self.mapping.insert(e.range, dev);
+                    if e.dir.copies_to() {
+                        self.issue_copy(thread, e.range.start, dev, e.range.len, false)?;
+                    }
+                }
+            }
+        }
+        // Eager Maps: every map triggers a host-side prefault of the host
+        // range — new pages are inserted, present pages are re-checked.
+        if self.config.prefaults_on_map() {
+            let out = self.hsa.svm_prefault(thread, e.range)?;
+            self.ledger.mm_prefault += out.cost;
+            self.ledger.prefault_calls += 1;
+        }
+        Ok(())
+    }
+
+    fn end_map(&mut self, thread: usize, e: &MapEntry, delete: bool) -> Result<(), OmpError> {
+        self.ledger.maps += 1;
+        if self.config.is_zero_copy() {
+            self.mapping.release(&e.range, delete)?;
+            return Ok(());
+        }
+        // Copy configuration: from-transfers happen when the entry is about
+        // to disappear, or on every exit with the `always` modifier.
+        let (refcount, dev) = {
+            let m = self
+                .mapping
+                .find(e.range.start)
+                .ok_or(OmpError::NotMapped { range: e.range })?;
+            (m.refcount, m.translate(e.range.start))
+        };
+        let disappearing = refcount == 1 || delete;
+        if e.dir.copies_from() && (disappearing || e.always) {
+            self.issue_copy(thread, dev, e.range.start, e.range.len, true)?;
+        }
+        if let Some(removed) = self.mapping.release(&e.range, delete)? {
+            let pages = self
+                .mem()
+                .page_size()
+                .pages_covering(removed.device_base, removed.host.len);
+            self.ledger.mm_free += self.mem().cost().pool_free_cost(pages);
+            self.hsa.pool_free(thread, removed.device_base)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::MapEntry;
+
+    fn rt(config: RuntimeConfig) -> OmpRuntime {
+        OmpRuntime::new(CostModel::mi300a_no_thp(), Topology::default(), config, 1).unwrap()
+    }
+
+    fn write_f64s(rt: &mut OmpRuntime, addr: VirtAddr, vals: &[f64]) {
+        let mut raw = Vec::new();
+        for v in vals {
+            raw.extend_from_slice(&v.to_le_bytes());
+        }
+        rt.mem_mut().cpu_write(addr, &raw).unwrap();
+    }
+
+    fn read_f64s(rt: &OmpRuntime, addr: VirtAddr, n: usize) -> Vec<f64> {
+        let mut raw = vec![0u8; n * 8];
+        rt.mem().cpu_read(addr, &mut raw).unwrap();
+        raw.chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+            .collect()
+    }
+
+    /// The paper's Fig. 2 program: a[i] += b[i] * alpha, under each config.
+    fn run_axpy(config: RuntimeConfig) -> Vec<f64> {
+        const N: usize = 64;
+        let mut r = rt(config);
+        let a = r.host_alloc(0, (N * 8) as u64).unwrap();
+        let b = r.host_alloc(0, (N * 8) as u64).unwrap();
+        let alpha = r.declare_target_global(0, 8).unwrap();
+        write_f64s(&mut r, a, &vec![1.0; N]);
+        write_f64s(&mut r, b, &(0..N).map(|i| i as f64).collect::<Vec<_>>());
+        let ah = r.global_host(alpha).unwrap();
+        write_f64s(&mut r, ah.start, &[2.0]);
+
+        let region = TargetRegion::new("axpy", VirtDuration::from_micros(10))
+            .map(MapEntry::tofrom(AddrRange::new(a, (N * 8) as u64)))
+            .map(MapEntry::to(AddrRange::new(b, (N * 8) as u64)))
+            .global(alpha)
+            .body(move |ctx| {
+                let av = ctx.read_f64s(ctx.arg(0), N)?;
+                let bv = ctx.read_f64s(ctx.arg(1), N)?;
+                let alpha = ctx.read_f64s(ctx.global(0), 1)?[0];
+                let out: Vec<f64> = av.iter().zip(&bv).map(|(x, y)| x + y * alpha).collect();
+                ctx.write_f64s(ctx.arg(0), &out)
+            });
+        r.target(0, region).unwrap();
+        let result = read_f64s(&r, a, N);
+        let report = r.finish();
+        assert!(report.makespan > VirtDuration::ZERO);
+        result
+    }
+
+    #[test]
+    fn all_configs_compute_identical_results() {
+        let expected: Vec<f64> = (0..64).map(|i| 1.0 + 2.0 * i as f64).collect();
+        for config in RuntimeConfig::ALL {
+            assert_eq!(run_axpy(config), expected, "config {config}");
+        }
+    }
+
+    #[test]
+    fn copy_mode_allocates_and_copies() {
+        let mut r = rt(RuntimeConfig::LegacyCopy);
+        let a = r.host_alloc(0, 4096).unwrap();
+        let e = MapEntry::tofrom(AddrRange::new(a, 4096));
+        let region = TargetRegion::new("k", VirtDuration::from_micros(5)).map(e);
+        r.target(0, region).unwrap();
+        let report = r.finish();
+        // alloc + to-copy + from-copy + free
+        assert!(report.ledger.mm_alloc > VirtDuration::ZERO);
+        assert_eq!(report.ledger.copies, 2);
+        assert!(report.ledger.mm_free > VirtDuration::ZERO);
+        assert_eq!(report.ledger.mi_total(), VirtDuration::ZERO);
+        assert_eq!(report.mem_stats.xnack_pages(), 0);
+    }
+
+    #[test]
+    fn zero_copy_folds_storage_operations() {
+        for config in [
+            RuntimeConfig::ImplicitZeroCopy,
+            RuntimeConfig::UnifiedSharedMemory,
+        ] {
+            let mut r = rt(config);
+            let a = r.host_alloc(0, 4096).unwrap();
+            let e = MapEntry::tofrom(AddrRange::new(a, 4096));
+            let region = TargetRegion::new("k", VirtDuration::from_micros(5)).map(e);
+            r.target(0, region).unwrap();
+            let report = r.finish();
+            assert_eq!(report.ledger.copies, 0, "{config}");
+            assert_eq!(report.ledger.mm_alloc, VirtDuration::ZERO);
+            // ...but pays first-touch MI instead.
+            assert!(report.ledger.mi_total() > VirtDuration::ZERO);
+            assert_eq!(report.mem_stats.xnack_pages(), 1);
+        }
+    }
+
+    #[test]
+    fn eager_maps_prefaults_instead_of_faulting() {
+        let mut r = rt(RuntimeConfig::EagerMaps);
+        let a = r.host_alloc(0, 16 * 4096).unwrap();
+        let e = MapEntry::tofrom(AddrRange::new(a, 16 * 4096));
+        let region = TargetRegion::new("k", VirtDuration::from_micros(5)).map(e);
+        r.target(0, region).unwrap();
+        let report = r.finish();
+        assert_eq!(report.ledger.mi_total(), VirtDuration::ZERO);
+        assert!(report.ledger.mm_prefault > VirtDuration::ZERO);
+        assert_eq!(report.ledger.prefault_calls, 1);
+        assert_eq!(report.mem_stats.prefault_new_pages(), 16);
+        assert_eq!(report.mem_stats.xnack_pages(), 0);
+    }
+
+    #[test]
+    fn eager_maps_represents_remaps_cheaply() {
+        let mut r = rt(RuntimeConfig::EagerMaps);
+        let a = r.host_alloc(0, 16 * 4096).unwrap();
+        let range = AddrRange::new(a, 16 * 4096);
+        r.target_enter_data(0, &[MapEntry::to(range)]).unwrap();
+        for _ in 0..10 {
+            let region =
+                TargetRegion::new("k", VirtDuration::from_micros(5)).map(MapEntry::tofrom(range));
+            r.target(0, region).unwrap();
+        }
+        let report = r.finish();
+        // 11 prefault calls; only the first inserted pages.
+        assert_eq!(report.ledger.prefault_calls, 11);
+        assert_eq!(report.mem_stats.prefault_new_pages(), 16);
+        assert_eq!(report.mem_stats.prefault_present_pages, 160);
+    }
+
+    #[test]
+    fn refcounted_presence_avoids_recopies() {
+        let mut r = rt(RuntimeConfig::LegacyCopy);
+        let a = r.host_alloc(0, 4096).unwrap();
+        let range = AddrRange::new(a, 4096);
+        r.target_enter_data(0, &[MapEntry::to(range)]).unwrap();
+        for _ in 0..5 {
+            let region =
+                TargetRegion::new("k", VirtDuration::from_micros(5)).map(MapEntry::tofrom(range));
+            r.target(0, region).unwrap();
+        }
+        r.target_exit_data(0, &[MapEntry::from(range)], false)
+            .unwrap();
+        let report = r.finish();
+        // One to-copy at enter, one from-copy at final exit; the five inner
+        // targets found the data present.
+        assert_eq!(report.ledger.copies, 2);
+        assert_eq!(report.mem_stats.pool_allocs as usize, 1 + 16); // data + init
+    }
+
+    #[test]
+    fn always_modifier_forces_transfers() {
+        let mut r = rt(RuntimeConfig::LegacyCopy);
+        let a = r.host_alloc(0, 4096).unwrap();
+        let range = AddrRange::new(a, 4096);
+        r.target_enter_data(0, &[MapEntry::to(range)]).unwrap();
+        for _ in 0..3 {
+            let region = TargetRegion::new("k", VirtDuration::from_micros(5))
+                .map(MapEntry::tofrom(range).always());
+            r.target(0, region).unwrap();
+        }
+        r.target_exit_data(0, &[MapEntry::from(range)], false)
+            .unwrap();
+        let report = r.finish();
+        // enter(1 to) + 3 * (always to + always from) + exit(1 from)
+        assert_eq!(report.ledger.copies, 8);
+    }
+
+    #[test]
+    fn copy_mode_stale_until_from_copy() {
+        // In Copy mode a kernel's writes live in the device buffer until a
+        // from-transfer; zero-copy sees them immediately.
+        let mut r = rt(RuntimeConfig::LegacyCopy);
+        let a = r.host_alloc(0, 4096).unwrap();
+        let range = AddrRange::new(a, 8);
+        write_f64s(&mut r, a, &[1.0]);
+        r.target_enter_data(0, &[MapEntry::to(range)]).unwrap();
+        let region = TargetRegion::new("k", VirtDuration::from_micros(5))
+            .map(MapEntry::alloc(range))
+            .body(|ctx| ctx.write_f64s(ctx.arg(0), &[42.0]));
+        r.target(0, region).unwrap();
+        // Host copy still stale.
+        assert_eq!(read_f64s(&r, a, 1), vec![1.0]);
+        r.target_update(0, &[], &[range]).unwrap();
+        assert_eq!(read_f64s(&r, a, 1), vec![42.0]);
+        r.target_exit_data(0, &[MapEntry::from(range)], false)
+            .unwrap();
+    }
+
+    #[test]
+    fn zero_copy_writes_visible_immediately() {
+        let mut r = rt(RuntimeConfig::ImplicitZeroCopy);
+        let a = r.host_alloc(0, 4096).unwrap();
+        let range = AddrRange::new(a, 8);
+        write_f64s(&mut r, a, &[1.0]);
+        let region = TargetRegion::new("k", VirtDuration::from_micros(5))
+            .map(MapEntry::alloc(range))
+            .body(|ctx| ctx.write_f64s(ctx.arg(0), &[42.0]));
+        r.target(0, region).unwrap();
+        assert_eq!(read_f64s(&r, a, 1), vec![42.0]);
+    }
+
+    #[test]
+    fn partial_overlap_rejected() {
+        let mut r = rt(RuntimeConfig::LegacyCopy);
+        let a = r.host_alloc(0, 8192).unwrap();
+        r.target_enter_data(0, &[MapEntry::to(AddrRange::new(a, 4096))])
+            .unwrap();
+        let err = r
+            .target_enter_data(0, &[MapEntry::to(AddrRange::new(a.offset(2048), 4096))])
+            .unwrap_err();
+        assert!(matches!(err, OmpError::PartialOverlap { .. }));
+    }
+
+    #[test]
+    fn kernel_without_mapping_fails_in_copy_mode() {
+        let mut r = rt(RuntimeConfig::LegacyCopy);
+        let a = r.host_alloc(0, 4096).unwrap();
+        let region = TargetRegion::new("k", VirtDuration::from_micros(5));
+        // No maps at all: fine (empty access set).
+        r.target(0, region).unwrap();
+        // Update of never-mapped data: error.
+        let err = r
+            .target_update(0, &[AddrRange::new(a, 4096)], &[])
+            .unwrap_err();
+        assert!(matches!(err, OmpError::KernelDataNotPresent { .. }));
+    }
+
+    #[test]
+    fn usm_globals_have_no_transfers() {
+        let mut r = rt(RuntimeConfig::UnifiedSharedMemory);
+        let g = r.declare_target_global(0, 8).unwrap();
+        let gh = r.global_host(g).unwrap();
+        write_f64s(&mut r, gh.start, &[7.0]);
+        let region = TargetRegion::new("k", VirtDuration::from_micros(5)).global(g);
+        r.target(0, region).unwrap();
+        let report = r.finish();
+        assert_eq!(report.ledger.copies, 0);
+    }
+
+    #[test]
+    fn izc_globals_transfer_like_copy() {
+        let mut r = rt(RuntimeConfig::ImplicitZeroCopy);
+        let g = r.declare_target_global(0, 8).unwrap();
+        let region = TargetRegion::new("k", VirtDuration::from_micros(5)).global(g);
+        r.target(0, region).unwrap();
+        let report = r.finish();
+        // One system-to-system transfer per target referencing the global.
+        assert_eq!(report.ledger.copies, 1);
+    }
+
+    #[test]
+    fn delete_forces_removal() {
+        let mut r = rt(RuntimeConfig::LegacyCopy);
+        let a = r.host_alloc(0, 4096).unwrap();
+        let range = AddrRange::new(a, 4096);
+        r.target_enter_data(0, &[MapEntry::to(range)]).unwrap();
+        r.target_enter_data(0, &[MapEntry::to(range)]).unwrap();
+        assert_eq!(r.live_mappings(), 1);
+        r.target_exit_data(0, &[MapEntry::from(range)], true)
+            .unwrap();
+        assert_eq!(r.live_mappings(), 0);
+    }
+
+    #[test]
+    fn kernel_trace_records_launches() {
+        let mut r = rt(RuntimeConfig::ImplicitZeroCopy);
+        r.set_kernel_trace(true);
+        let a = r.host_alloc(0, 4096).unwrap();
+        let region = TargetRegion::new("traced", VirtDuration::from_micros(5))
+            .map(MapEntry::tofrom(AddrRange::new(a, 4096)));
+        r.target(0, region).unwrap();
+        let report = r.finish();
+        assert_eq!(report.kernel_trace.len(), 1);
+        let e = &report.kernel_trace[0];
+        assert_eq!(&*e.name, "traced");
+        assert_eq!(e.faulted_pages, 1);
+        assert!(e.stall > VirtDuration::ZERO);
+    }
+
+    #[test]
+    fn is_present_tracks_the_data_environment() {
+        let mut r = rt(RuntimeConfig::ImplicitZeroCopy);
+        let a = r.host_alloc(0, 4096).unwrap();
+        let range = AddrRange::new(a, 4096);
+        assert!(!r.is_present(a));
+        r.target_enter_data(0, &[MapEntry::to(range)]).unwrap();
+        assert!(r.is_present(a));
+        assert!(r.is_present(a.offset(100)));
+        r.target_exit_data(0, &[MapEntry::alloc(range)], false)
+            .unwrap();
+        assert!(!r.is_present(a));
+    }
+
+    #[test]
+    fn omp_target_routines_roundtrip() {
+        // The explicit device-memory API: alloc, memcpy in, kernel via raw
+        // device pointer, memcpy out — works in every configuration
+        // because pool memory is always GPU-translated.
+        for config in RuntimeConfig::ALL {
+            let mut r = rt(config);
+            let host = r.host_alloc(0, 4096).unwrap();
+            write_f64s(&mut r, host, &[3.5]);
+            let dev = r.omp_target_alloc(0, 4096).unwrap();
+            r.omp_target_memcpy(0, dev, host, 8).unwrap();
+            let region = TargetRegion::new("dev_ptr_kernel", VirtDuration::from_micros(5))
+                .access(AddrRange::new(dev, 4096))
+                .body(move |ctx| {
+                    let mut raw = [0u8; 8];
+                    ctx.read(dev, &mut raw)?;
+                    let v = f64::from_le_bytes(raw);
+                    ctx.write(dev, &(v * 2.0).to_le_bytes())
+                });
+            r.target(0, region).unwrap();
+            r.omp_target_memcpy(0, host, dev, 8).unwrap();
+            assert_eq!(read_f64s(&r, host, 1), vec![7.0], "{config}");
+            r.omp_target_free(0, dev).unwrap();
+            let report = r.finish();
+            assert_eq!(report.ledger.copies, 2);
+        }
+    }
+
+    #[test]
+    fn usm_host_pointer_to_device_routine() {
+        // The paper's §III-B quote: under unified_shared_memory, host
+        // pointers may be passed to device memory routines.
+        let mut r = rt(RuntimeConfig::UnifiedSharedMemory);
+        let a = r.host_alloc(0, 4096).unwrap();
+        let b = r.host_alloc(0, 4096).unwrap();
+        write_f64s(&mut r, a, &[9.0]);
+        r.omp_target_memcpy(0, b, a, 8).unwrap();
+        assert_eq!(read_f64s(&r, b, 1), vec![9.0]);
+    }
+
+    #[test]
+    fn target_data_scopes_the_environment() {
+        let mut r = rt(RuntimeConfig::LegacyCopy);
+        let a = r.host_alloc(0, 4096).unwrap();
+        let range = AddrRange::new(a, 4096);
+        let out = r
+            .target_data(0, &[MapEntry::tofrom(range)], |rt| {
+                assert_eq!(rt.live_mappings(), 1);
+                for _ in 0..3 {
+                    rt.target(
+                        0,
+                        TargetRegion::new("k", VirtDuration::from_micros(5))
+                            .map(MapEntry::alloc(range)),
+                    )?;
+                }
+                Ok(42)
+            })
+            .unwrap();
+        assert_eq!(out, 42);
+        assert_eq!(r.live_mappings(), 0);
+        let report = r.finish();
+        // One to-copy entering the region, one from-copy leaving it.
+        assert_eq!(report.ledger.copies, 2);
+    }
+
+    #[test]
+    fn usm_style_raw_pointers_work_only_with_xnack() {
+        // A `requires unified_shared_memory` program passes host pointers
+        // straight to kernels, with no maps at all.
+        for config in [
+            RuntimeConfig::UnifiedSharedMemory,
+            RuntimeConfig::ImplicitZeroCopy,
+        ] {
+            let mut r = rt(config);
+            let a = r.host_alloc(0, 4096).unwrap();
+            let region = TargetRegion::new("usm_kernel", VirtDuration::from_micros(5))
+                .access(AddrRange::new(a, 4096));
+            r.target(0, region).unwrap();
+            let report = r.finish();
+            assert_eq!(report.ledger.copies, 0, "{config}");
+            assert_eq!(report.mem_stats.xnack_pages(), 1);
+        }
+        // The same binary is NOT portable to Copy or Eager Maps: the GPU has
+        // no translation for the raw host pointer and faults fatally.
+        for config in [RuntimeConfig::LegacyCopy, RuntimeConfig::EagerMaps] {
+            let mut r = rt(config);
+            let a = r.host_alloc(0, 4096).unwrap();
+            let region = TargetRegion::new("usm_kernel", VirtDuration::from_micros(5))
+                .access(AddrRange::new(a, 4096));
+            let err = r.target(0, region).unwrap_err();
+            assert!(
+                matches!(err, OmpError::Mem(apu_mem::MemError::GpuFatalFault { .. })),
+                "{config}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn raw_access_body_shares_host_storage() {
+        let mut r = rt(RuntimeConfig::UnifiedSharedMemory);
+        let a = r.host_alloc(0, 4096).unwrap();
+        write_f64s(&mut r, a, &[5.0]);
+        let range = AddrRange::new(a, 4096);
+        let region = TargetRegion::new("incr", VirtDuration::from_micros(5))
+            .access(range)
+            .body(move |ctx| {
+                // Host pointer used verbatim in device code.
+                let mut raw = [0u8; 8];
+                ctx.read(range.start, &mut raw)?;
+                let v = f64::from_le_bytes(raw);
+                ctx.write(range.start, &(v + 1.0).to_le_bytes())
+            });
+        r.target(0, region).unwrap();
+        assert_eq!(read_f64s(&r, a, 1), vec![6.0]);
+    }
+
+    #[test]
+    fn unsupported_deployment_is_reported() {
+        let mut env = RunEnv::mi300a();
+        env.requires_usm = true;
+        env.hsa_xnack = false;
+        let result = OmpRuntime::from_env(CostModel::mi300a_no_thp(), Topology::default(), env, 1);
+        assert!(matches!(
+            result.err(),
+            Some(OmpError::UnsupportedDeployment { .. })
+        ));
+    }
+}

@@ -1,0 +1,134 @@
+//! Overhead attribution: the paper's MM / MI decomposition (Table III) and
+//! the `LIBOMPTARGET_KERNEL_TRACE` analog.
+
+use sim_des::VirtDuration;
+use std::fmt;
+use std::sync::Arc;
+
+/// Accumulated overheads for one run, split by cause.
+///
+/// * **MM** (memory management): device-pool allocation/free, map-triggered
+///   copies, and — for Eager Maps — host-side prefault syscalls.
+/// * **MI** (memory initialization): GPU stalls from XNACK replays on first
+///   touch, charged to the kernels that fault.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OverheadLedger {
+    /// Device-pool allocation time.
+    pub mm_alloc: VirtDuration,
+    /// Map-triggered copy time (DMA durations).
+    pub mm_copy: VirtDuration,
+    /// Device-pool free time.
+    pub mm_free: VirtDuration,
+    /// Host-side GPU page-table prefault time (Eager Maps).
+    pub mm_prefault: VirtDuration,
+    /// GPU stall from XNACK first-touch replays.
+    pub mi_fault_stall: VirtDuration,
+    /// GPU stall from TLB misses on present translations.
+    pub tlb_stall: VirtDuration,
+    /// Modeled kernel compute time (excludes stalls).
+    pub kernel_compute: VirtDuration,
+    /// Kernels launched.
+    pub kernels: u64,
+    /// Map-triggered copies issued.
+    pub copies: u64,
+    /// Bytes moved by map-triggered copies.
+    pub bytes_copied: u64,
+    /// Map operations processed (begin + end).
+    pub maps: u64,
+    /// Pages XNACK-replayed (CPU-touched regime, cheap).
+    pub replayed_pages: u64,
+    /// Pages zero-filled inside the GPU fault handler (expensive).
+    pub zero_filled_pages: u64,
+    /// Prefault syscalls issued.
+    pub prefault_calls: u64,
+}
+
+impl OverheadLedger {
+    /// Total memory-management overhead (the paper's MM column; prefault
+    /// cost is MM because it is paid on the map path, not in kernels).
+    pub fn mm_total(&self) -> VirtDuration {
+        self.mm_alloc + self.mm_copy + self.mm_free + self.mm_prefault
+    }
+
+    /// Total memory-initialization overhead (the paper's MI column).
+    pub fn mi_total(&self) -> VirtDuration {
+        self.mi_fault_stall
+    }
+}
+
+impl fmt::Display for OverheadLedger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "MM total: {}", self.mm_total())?;
+        writeln!(f, "  alloc:    {}", self.mm_alloc)?;
+        writeln!(
+            f,
+            "  copy:     {} ({} copies, {} bytes)",
+            self.mm_copy, self.copies, self.bytes_copied
+        )?;
+        writeln!(f, "  free:     {}", self.mm_free)?;
+        writeln!(
+            f,
+            "  prefault: {} ({} calls)",
+            self.mm_prefault, self.prefault_calls
+        )?;
+        writeln!(
+            f,
+            "MI total: {} ({} replayed + {} zero-filled pages)",
+            self.mi_total(),
+            self.replayed_pages,
+            self.zero_filled_pages
+        )?;
+        writeln!(
+            f,
+            "kernels: {} ({} compute)",
+            self.kernels, self.kernel_compute
+        )?;
+        Ok(())
+    }
+}
+
+/// One kernel launch in the trace (`LIBOMPTARGET_KERNEL_TRACE=3` analog).
+#[derive(Debug, Clone)]
+pub struct KernelTraceEntry {
+    /// Region name.
+    pub name: Arc<str>,
+    /// Issuing host thread.
+    pub thread: u32,
+    /// Modeled compute time.
+    pub compute: VirtDuration,
+    /// Stall added by faults and TLB misses.
+    pub stall: VirtDuration,
+    /// Pages XNACK-replayed by this launch.
+    pub faulted_pages: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(v: u64) -> VirtDuration {
+        VirtDuration::from_micros(v)
+    }
+
+    #[test]
+    fn totals_compose() {
+        let ledger = OverheadLedger {
+            mm_alloc: us(10),
+            mm_copy: us(20),
+            mm_free: us(5),
+            mm_prefault: us(7),
+            mi_fault_stall: us(100),
+            ..Default::default()
+        };
+        assert_eq!(ledger.mm_total(), us(42));
+        assert_eq!(ledger.mi_total(), us(100));
+    }
+
+    #[test]
+    fn display_mentions_sections() {
+        let text = OverheadLedger::default().to_string();
+        assert!(text.contains("MM total"));
+        assert!(text.contains("MI total"));
+        assert!(text.contains("kernels"));
+    }
+}

@@ -1,0 +1,133 @@
+//! Model-based property test: the refcounted mapping table against a naive
+//! reference implementation (a plain `Vec` of entries with linear search).
+//! Random sequences of insert / retain / release / translate operations must
+//! behave identically on both.
+
+use apu_mem::{AddrRange, VirtAddr};
+use omp_offload::{MappingTable, Presence};
+use proptest::prelude::*;
+
+/// The trivially-correct reference.
+#[derive(Default)]
+struct NaiveTable {
+    entries: Vec<(AddrRange, VirtAddr, u32)>, // (host, device, refcount)
+}
+
+impl NaiveTable {
+    fn presence(&self, range: &AddrRange) -> Presence {
+        for (host, _, _) in &self.entries {
+            if host.contains_range(range) {
+                return Presence::Present;
+            }
+            if host.overlaps(range) {
+                return Presence::Partial;
+            }
+        }
+        Presence::Absent
+    }
+
+    fn translate(&self, addr: VirtAddr) -> Option<VirtAddr> {
+        self.entries
+            .iter()
+            .find(|(h, _, _)| h.contains(addr))
+            .map(|(h, d, _)| VirtAddr(d.as_u64() + addr.as_u64() - h.start.as_u64()))
+    }
+
+    fn insert(&mut self, host: AddrRange, device: VirtAddr) {
+        self.entries.push((host, device, 1));
+    }
+
+    fn retain(&mut self, range: &AddrRange) -> Option<u32> {
+        for (h, _, rc) in &mut self.entries {
+            if h.contains(range.start) {
+                *rc += 1;
+                return Some(*rc);
+            }
+        }
+        None
+    }
+
+    fn release(&mut self, range: &AddrRange, delete: bool) -> Option<Option<AddrRange>> {
+        for i in 0..self.entries.len() {
+            let (h, _, rc) = &mut self.entries[i];
+            if h.contains(range.start) {
+                *rc = if delete { 0 } else { rc.saturating_sub(1) };
+                if *rc == 0 {
+                    let host = self.entries.remove(i).0;
+                    return Some(Some(host));
+                }
+                return Some(None);
+            }
+        }
+        None
+    }
+}
+
+/// One random operation over a small address universe.
+#[derive(Debug, Clone)]
+enum Oper {
+    Insert { slot: u8 },
+    Retain { addr: u16 },
+    Release { addr: u16, delete: bool },
+    Translate { addr: u16 },
+    Presence { start: u16, len: u8 },
+}
+
+fn arb_op() -> impl Strategy<Value = Oper> {
+    prop_oneof![
+        (0u8..16).prop_map(|slot| Oper::Insert { slot }),
+        (0u16..2048).prop_map(|addr| Oper::Retain { addr }),
+        ((0u16..2048), any::<bool>()).prop_map(|(addr, delete)| Oper::Release { addr, delete }),
+        (0u16..2048).prop_map(|addr| Oper::Translate { addr }),
+        ((0u16..2048), (1u8..255)).prop_map(|(start, len)| Oper::Presence { start, len }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn mapping_table_matches_naive_model(ops in proptest::collection::vec(arb_op(), 0..120)) {
+        let mut real = MappingTable::new();
+        let mut model = NaiveTable::default();
+        for op in ops {
+            match op {
+                Oper::Insert { slot } => {
+                    // 16 disjoint 128-byte slots: inserts never overlap.
+                    let host = AddrRange::new(VirtAddr(slot as u64 * 128), 128);
+                    if real.presence(&host) == Presence::Absent {
+                        let device = VirtAddr(0x9000_0000 + slot as u64 * 128);
+                        real.insert(host, device);
+                        model.insert(host, device);
+                    }
+                }
+                Oper::Retain { addr } => {
+                    let r = AddrRange::new(VirtAddr(addr as u64), 1);
+                    let got = real.retain(&r).ok();
+                    let want = model.retain(&r);
+                    prop_assert_eq!(got, want);
+                }
+                Oper::Release { addr, delete } => {
+                    let r = AddrRange::new(VirtAddr(addr as u64), 1);
+                    let got = real
+                        .release(&r, delete)
+                        .ok()
+                        .map(|removed| removed.map(|m| m.host));
+                    let want = model.release(&r, delete);
+                    prop_assert_eq!(got, want);
+                }
+                Oper::Translate { addr } => {
+                    prop_assert_eq!(
+                        real.translate(VirtAddr(addr as u64)),
+                        model.translate(VirtAddr(addr as u64))
+                    );
+                }
+                Oper::Presence { start, len } => {
+                    let r = AddrRange::new(VirtAddr(start as u64), len as u64);
+                    prop_assert_eq!(real.presence(&r), model.presence(&r));
+                }
+            }
+            prop_assert_eq!(real.len(), model.entries.len());
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! HSA/ROCr API call kinds tracked by the statistics layer.
+//!
+//! These mirror the ROCr entry points the paper's rocprof traces aggregate
+//! (Table I): `signal_wait_scacquire`, `memory_pool_allocate`,
+//! `memory_async_copy`, `signal_async_handler`, plus the prefault entry
+//! point `svm_attributes_set` and initialization-time calls.
+
+use sim_des::Tag;
+
+/// The ROCr/HSA entry points the simulation distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u32)]
+pub enum HsaApiKind {
+    /// Busy-wait on a completion signal (kernels and copies).
+    SignalWaitScacquire = 0,
+    /// Device memory-pool allocation.
+    MemoryPoolAllocate = 1,
+    /// Device memory-pool free.
+    MemoryPoolFree = 2,
+    /// Asynchronous DMA copy submission.
+    MemoryAsyncCopy = 3,
+    /// Async-copy completion callback.
+    SignalAsyncHandler = 4,
+    /// Kernel dispatch (AQL packet + doorbell).
+    KernelDispatch = 5,
+    /// GPU page-table prefault attribute call (Eager Maps path). This is a
+    /// syscall: the noise model may apply OS-interference outliers to it.
+    SvmAttributesSet = 6,
+    /// Queue creation at initialization.
+    QueueCreate = 7,
+    /// Signal creation.
+    SignalCreate = 8,
+    /// Signal destruction.
+    SignalDestroy = 9,
+    /// GPU code-object load at initialization.
+    CodeObjectLoad = 10,
+}
+
+/// Number of distinct API kinds (for dense arrays).
+pub const API_KIND_COUNT: usize = 11;
+
+/// All kinds, in discriminant order.
+pub const ALL_API_KINDS: [HsaApiKind; API_KIND_COUNT] = [
+    HsaApiKind::SignalWaitScacquire,
+    HsaApiKind::MemoryPoolAllocate,
+    HsaApiKind::MemoryPoolFree,
+    HsaApiKind::MemoryAsyncCopy,
+    HsaApiKind::SignalAsyncHandler,
+    HsaApiKind::KernelDispatch,
+    HsaApiKind::SvmAttributesSet,
+    HsaApiKind::QueueCreate,
+    HsaApiKind::SignalCreate,
+    HsaApiKind::SignalDestroy,
+    HsaApiKind::CodeObjectLoad,
+];
+
+impl HsaApiKind {
+    /// The scheduler tag carrying this kind through a schedule.
+    #[inline]
+    pub fn tag(self) -> Tag {
+        Tag(self as u32)
+    }
+
+    /// Recover a kind from a scheduler tag.
+    pub fn from_tag(tag: Tag) -> Option<HsaApiKind> {
+        ALL_API_KINDS.get(tag.0 as usize).copied()
+    }
+
+    /// The ROCr symbol name as it appears in rocprof output.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            HsaApiKind::SignalWaitScacquire => "hsa_signal_wait_scacquire",
+            HsaApiKind::MemoryPoolAllocate => "hsa_amd_memory_pool_allocate",
+            HsaApiKind::MemoryPoolFree => "hsa_amd_memory_pool_free",
+            HsaApiKind::MemoryAsyncCopy => "hsa_amd_memory_async_copy",
+            HsaApiKind::SignalAsyncHandler => "hsa_amd_signal_async_handler",
+            HsaApiKind::KernelDispatch => "hsa_queue_dispatch",
+            HsaApiKind::SvmAttributesSet => "hsa_amd_svm_attributes_set",
+            HsaApiKind::QueueCreate => "hsa_queue_create",
+            HsaApiKind::SignalCreate => "hsa_signal_create",
+            HsaApiKind::SignalDestroy => "hsa_signal_destroy",
+            HsaApiKind::CodeObjectLoad => "hsa_executable_load_agent_code_object",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_roundtrip_all_kinds() {
+        for k in ALL_API_KINDS {
+            assert_eq!(HsaApiKind::from_tag(k.tag()), Some(k));
+        }
+        assert_eq!(HsaApiKind::from_tag(Tag(999)), None);
+        assert_eq!(HsaApiKind::from_tag(Tag::UNTAGGED), None);
+    }
+
+    #[test]
+    fn discriminants_are_dense() {
+        for (i, k) in ALL_API_KINDS.iter().enumerate() {
+            assert_eq!(k.tag().0 as usize, i);
+        }
+    }
+
+    #[test]
+    fn symbols_are_unique() {
+        let mut names: Vec<_> = ALL_API_KINDS.iter().map(|k| k.symbol()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), API_KIND_COUNT);
+    }
+}

@@ -1,0 +1,41 @@
+//! # hsa-rocr — simulated HSA/ROCr runtime layer
+//!
+//! The OpenMP offloading runtime in this reproduction does not talk to a
+//! driver; it talks to this crate, which plays the role ROCr plays in the
+//! paper's software stack (Fig. 1): device memory pools, asynchronous DMA
+//! copies, kernel dispatch with completion signals, and the
+//! `svm_attributes_set` prefault path used by Eager Maps.
+//!
+//! Every call has a *functional* effect (real content moves in the simulated
+//! HBM; page tables are populated) and a *timing* effect (operations are
+//! recorded into per-thread streams, later resolved against the socket's
+//! shared resources: the serialized runtime stack, the SDMA engines and the
+//! GPU kernel slots). `finish()` produces the schedule and per-API
+//! statistics equivalent to the paper's rocprof HSA traces (Table I).
+//!
+//! ```
+//! use hsa_rocr::{HsaRuntime, Topology, HsaApiKind};
+//! use apu_mem::CostModel;
+//! use sim_des::{RunOptions, VirtDuration};
+//!
+//! let mut hsa = HsaRuntime::new(CostModel::mi300a(), Topology::default());
+//! let host = hsa.host_alloc(0, 1 << 20).unwrap();
+//! let dev = hsa.pool_allocate(0, 1 << 20).unwrap();
+//! hsa.async_copy(0, host, dev, 1 << 20, false).unwrap();
+//! let result = hsa.finish(&RunOptions::noiseless());
+//! assert_eq!(result.api_stats.get(HsaApiKind::MemoryAsyncCopy).calls, 1);
+//! assert!(result.makespan() > VirtDuration::ZERO);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod api;
+mod runtime;
+mod stats;
+mod topology;
+
+pub use api::{HsaApiKind, ALL_API_KINDS, API_KIND_COUNT};
+pub use runtime::{HsaRunResult, HsaRuntime};
+pub use stats::{ApiEntry, ApiStats};
+pub use topology::{Resources, Topology};

@@ -1,0 +1,163 @@
+//! Per-API call statistics — the rocprof HSA-trace analog.
+
+use crate::api::{HsaApiKind, ALL_API_KINDS, API_KIND_COUNT};
+use sim_des::{Schedule, VirtDuration};
+use std::fmt;
+
+/// Count and total in-call latency for one API kind.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ApiEntry {
+    /// Number of calls.
+    pub calls: u64,
+    /// Total time spent in the call, including queueing on contended
+    /// resources and time blocked waiting for kernels/copies.
+    pub total_latency: VirtDuration,
+}
+
+impl ApiEntry {
+    /// Mean in-call latency.
+    pub fn mean_latency(&self) -> VirtDuration {
+        if self.calls == 0 {
+            VirtDuration::ZERO
+        } else {
+            self.total_latency / self.calls
+        }
+    }
+}
+
+/// Aggregated HSA call statistics for one run.
+#[derive(Debug, Clone, Default)]
+pub struct ApiStats {
+    entries: [ApiEntry; API_KIND_COUNT],
+}
+
+impl ApiStats {
+    /// Aggregate a completed schedule by API kind.
+    pub fn from_schedule(schedule: &Schedule) -> Self {
+        let mut stats = ApiStats::default();
+        for (tag, agg) in schedule.aggregate_by_tag() {
+            if let Some(kind) = HsaApiKind::from_tag(tag) {
+                let e = &mut stats.entries[kind as usize];
+                e.calls = agg.count;
+                e.total_latency = agg.total_latency;
+            }
+        }
+        stats
+    }
+
+    /// Statistics for one API kind.
+    pub fn get(&self, kind: HsaApiKind) -> ApiEntry {
+        self.entries[kind as usize]
+    }
+
+    /// Total calls across all kinds.
+    pub fn total_calls(&self) -> u64 {
+        self.entries.iter().map(|e| e.calls).sum()
+    }
+
+    /// Ratio of total latency spent in `kind` between `self` (numerator)
+    /// and `other` (denominator). `None` when the denominator is zero
+    /// (reported as "N/A" in the paper's Table I).
+    pub fn latency_ratio(&self, other: &ApiStats, kind: HsaApiKind) -> Option<f64> {
+        let den = other.get(kind).total_latency.as_nanos();
+        if den == 0 {
+            return None;
+        }
+        Some(self.get(kind).total_latency.as_nanos() as f64 / den as f64)
+    }
+
+    /// Iterate non-zero entries in discriminant order.
+    pub fn iter(&self) -> impl Iterator<Item = (HsaApiKind, ApiEntry)> + '_ {
+        ALL_API_KINDS
+            .into_iter()
+            .map(|k| (k, self.get(k)))
+            .filter(|(_, e)| e.calls > 0)
+    }
+}
+
+impl fmt::Display for ApiStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<44} {:>12} {:>14}",
+            "ROCr/HSA call", "#calls", "total latency"
+        )?;
+        for (kind, e) in self.iter() {
+            writeln!(
+                f,
+                "{:<44} {:>12} {:>14}",
+                kind.symbol(),
+                e.calls,
+                e.total_latency.to_string()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_des::{schedule, Machine, Op, OpStreams, RunOptions, Tag};
+
+    fn d(ns: u64) -> VirtDuration {
+        VirtDuration::from_nanos(ns)
+    }
+
+    #[test]
+    fn aggregates_by_kind() {
+        let mut m = Machine::new();
+        let r = m.add_resource("lock", 1);
+        let mut s = OpStreams::new(1);
+        for _ in 0..3 {
+            s.push(0, Op::service(HsaApiKind::MemoryAsyncCopy.tag(), r, d(100)));
+        }
+        s.push(0, Op::service(HsaApiKind::KernelDispatch.tag(), r, d(50)));
+        s.push(0, Op::local(Tag::UNTAGGED, d(1000)));
+        let sched = schedule(m, s, &RunOptions::noiseless());
+        let stats = ApiStats::from_schedule(&sched);
+        assert_eq!(stats.get(HsaApiKind::MemoryAsyncCopy).calls, 3);
+        assert_eq!(stats.get(HsaApiKind::MemoryAsyncCopy).total_latency, d(300));
+        assert_eq!(stats.get(HsaApiKind::KernelDispatch).calls, 1);
+        assert_eq!(stats.get(HsaApiKind::SignalCreate).calls, 0);
+        assert_eq!(stats.total_calls(), 4);
+    }
+
+    #[test]
+    fn latency_ratio_handles_zero_denominator() {
+        let mut m1 = Machine::new();
+        let r1 = m1.add_resource("x", 1);
+        let mut s1 = OpStreams::new(1);
+        s1.push(
+            0,
+            Op::service(HsaApiKind::MemoryAsyncCopy.tag(), r1, d(500)),
+        );
+        let a = ApiStats::from_schedule(&schedule(m1, s1, &RunOptions::noiseless()));
+        let b = ApiStats::default();
+        assert_eq!(a.latency_ratio(&b, HsaApiKind::MemoryAsyncCopy), None);
+        let r = b.latency_ratio(&a, HsaApiKind::MemoryAsyncCopy).unwrap();
+        assert_eq!(r, 0.0);
+    }
+
+    #[test]
+    fn mean_latency() {
+        let e = ApiEntry {
+            calls: 4,
+            total_latency: d(1000),
+        };
+        assert_eq!(e.mean_latency(), d(250));
+        assert_eq!(ApiEntry::default().mean_latency(), VirtDuration::ZERO);
+    }
+
+    #[test]
+    fn display_renders_nonzero_rows() {
+        let mut m = Machine::new();
+        let r = m.add_resource("x", 1);
+        let mut s = OpStreams::new(1);
+        s.push(0, Op::service(HsaApiKind::SvmAttributesSet.tag(), r, d(10)));
+        let stats = ApiStats::from_schedule(&schedule(m, s, &RunOptions::noiseless()));
+        let text = stats.to_string();
+        assert!(text.contains("hsa_amd_svm_attributes_set"));
+        assert!(!text.contains("hsa_signal_create"));
+    }
+}

@@ -1,0 +1,68 @@
+//! Socket topology: the shared resources HSA operations contend for.
+
+use sim_des::{Machine, ResourceId};
+
+/// Hardware/driver parallelism of one APU socket.
+#[derive(Debug, Clone, Copy)]
+pub struct Topology {
+    /// SDMA copy engines available for async copies.
+    pub dma_engines: usize,
+    /// Concurrent kernel slots (XCDs visible as one logical device; kernels
+    /// from different host threads can execute concurrently up to this).
+    pub gpu_slots: usize,
+}
+
+impl Default for Topology {
+    fn default() -> Self {
+        Topology {
+            dma_engines: 2,
+            gpu_slots: 6, // MI300A exposes six XCDs
+        }
+    }
+}
+
+/// Resource handles registered for one run.
+#[derive(Debug, Clone, Copy)]
+pub struct Resources {
+    /// Serialized CPU-side runtime stack: OpenMP offload runtime + ROCr +
+    /// driver critical sections. Every HSA call's CPU portion serves here —
+    /// the contention source that penalizes Copy at 8 OpenMP threads.
+    pub runtime_lock: ResourceId,
+    /// SDMA copy-engine pool.
+    pub dma: ResourceId,
+    /// GPU kernel execution slots.
+    pub gpu: ResourceId,
+}
+
+impl Topology {
+    /// Build the machine and its resource handles.
+    pub fn machine(&self) -> (Machine, Resources) {
+        let mut m = Machine::new();
+        let runtime_lock = m.add_resource("runtime-stack", 1);
+        let dma = m.add_resource("sdma", self.dma_engines);
+        let gpu = m.add_resource("gpu", self.gpu_slots);
+        (
+            m,
+            Resources {
+                runtime_lock,
+                dma,
+                gpu,
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_topology_builds_machine() {
+        let t = Topology::default();
+        let (m, r) = t.machine();
+        assert_eq!(m.resource_count(), 3);
+        assert_eq!(m.resource_name(r.runtime_lock), "runtime-stack");
+        assert_eq!(m.resource_name(r.dma), "sdma");
+        assert_eq!(m.resource_name(r.gpu), "gpu");
+    }
+}

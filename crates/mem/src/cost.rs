@@ -1,0 +1,257 @@
+//! The calibrated cost model.
+//!
+//! Every memory-system operation in the simulation charges virtual time
+//! according to this table. The `mi300a()` preset is calibrated so that the
+//! reproduced experiments land in the bands the paper reports (see
+//! EXPERIMENTS.md); it is *not* a claim about the true microarchitectural
+//! latencies of the hardware. Ablation benches sweep individual fields.
+//!
+//! ## The two first-touch regimes
+//!
+//! The paper's §V-B analysis hinges on a distinction this model makes
+//! explicit:
+//!
+//! * **XNACK replay** of a page the CPU already touched: the translation
+//!   exists in the CPU page table; the fault walks it and inserts a GPU
+//!   entry. Cheap — this is why 404.lbm and 457.spC *win* under zero-copy
+//!   even though they re-touch host data on the GPU.
+//! * **GPU first-touch of never-touched memory** (452.ep initializing its
+//!   arrays inside a target region): the OS must allocate and zero the page
+//!   inside the fault handler, page-by-page, while GPU waves stall. Two
+//!   orders of magnitude dearer — the paper's MI = O(10⁶)µs.
+//!
+//! The Copy configuration avoids both because pool allocation bulk-faults
+//! and zeroes pages up front; Eager Maps avoids the second by doing the
+//! allocate+zero work on the *host* prefault path (bulk, like pool alloc).
+
+use crate::addr::PageSize;
+use sim_des::VirtDuration;
+
+/// Latencies and bandwidths charged by the simulated memory system.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    /// Page granularity for all allocations (THP on => Huge).
+    pub page_size: PageSize,
+
+    /// Effective HBM-to-HBM DMA copy bandwidth, bytes per second.
+    /// On the APU both "host" and "device" buffers live in the same HBM, so
+    /// map-triggered copies are HBM-to-HBM.
+    pub hbm_copy_bandwidth: u64,
+
+    /// CPU-side cost of submitting one async copy (building the SDMA packet,
+    /// signal setup) — charged under the runtime-stack lock.
+    pub copy_submit: VirtDuration,
+
+    /// Cost of the async-copy completion handler (`signal_async_handler`).
+    pub copy_handler: VirtDuration,
+
+    /// CPU-side cost of dispatching a kernel (AQL packet + doorbell).
+    pub kernel_dispatch: VirtDuration,
+
+    /// CPU-side busy-wait service cost of `signal_wait_scacquire`,
+    /// independent of how long the wait actually blocks.
+    pub signal_wait_service: VirtDuration,
+
+    /// Generic CPU-side service time charged under the runtime-stack lock
+    /// for every ROCr/HSA call (contention source at 8 OpenMP threads).
+    pub runtime_call_service: VirtDuration,
+
+    /// Base cost of a host OS allocation (mmap path; pages are reserved,
+    /// not populated — demand paging).
+    pub host_alloc_base: VirtDuration,
+
+    /// Base cost of `memory_pool_allocate` (driver round trip).
+    pub pool_alloc_base: VirtDuration,
+
+    /// Per-page cost charged at pool allocation: with XNACK disabled the
+    /// driver allocates, zeroes, and bulk-prefaults every page eagerly.
+    pub pool_alloc_per_page: VirtDuration,
+
+    /// Cost of freeing a pool allocation.
+    pub pool_free_base: VirtDuration,
+    /// Per-page cost of tearing down GPU page-table entries on pool free.
+    pub pool_free_per_page: VirtDuration,
+
+    /// Fixed overhead per kernel-faulting episode (interrupt + handler).
+    pub xnack_fault_base: VirtDuration,
+
+    /// Per-page cost of an XNACK replay when the CPU page table already has
+    /// the entry: walk + GPU page-table insert, wave restart.
+    pub xnack_replay_per_page: VirtDuration,
+
+    /// Per-page cost of a GPU fault on memory *no agent ever touched*: the
+    /// handler must allocate and zero the page before inserting entries.
+    pub xnack_zero_fill_per_page: VirtDuration,
+
+    /// Base cost of the host-side prefault syscall
+    /// (`svm_attributes_set`): supervisor privilege, page-table lock.
+    pub prefault_syscall: VirtDuration,
+
+    /// Per-page cost of inserting a GPU entry for a CPU-touched page from
+    /// the host prefault path.
+    pub prefault_insert_per_page: VirtDuration,
+
+    /// Per-page cost of prefaulting never-touched memory from the host:
+    /// allocate + zero + insert, done in bulk (comparable to pool alloc).
+    pub prefault_zero_fill_per_page: VirtDuration,
+
+    /// Per-page cost of re-checking an *already present* GPU entry on a
+    /// repeated prefault (batched presence scan under the syscall).
+    pub prefault_check_per_page: VirtDuration,
+
+    /// GPU page-table walk on a TLB miss when the translation *is* present.
+    pub tlb_miss: VirtDuration,
+
+    /// Number of GPU TLB entries (thrashing appears when the working set of
+    /// pages exceeds this; the paper attributes S128 Eager Maps CoV to it).
+    pub gpu_tlb_entries: usize,
+}
+
+impl CostModel {
+    /// Preset calibrated against the paper's MI300A results (THP enabled).
+    pub fn mi300a() -> Self {
+        CostModel {
+            page_size: PageSize::Huge,
+            hbm_copy_bandwidth: 200 * 1024 * 1024 * 1024, // 200 GiB/s effective SDMA
+            copy_submit: VirtDuration::from_micros(2),
+            copy_handler: VirtDuration::from_micros(2),
+            kernel_dispatch: VirtDuration::from_micros(5),
+            signal_wait_service: VirtDuration::from_micros(2),
+            runtime_call_service: VirtDuration::from_nanos(500),
+            host_alloc_base: VirtDuration::from_micros(2),
+            pool_alloc_base: VirtDuration::from_micros(8),
+            pool_alloc_per_page: VirtDuration::from_micros(9),
+            pool_free_base: VirtDuration::from_micros(5),
+            pool_free_per_page: VirtDuration::from_micros(2),
+            xnack_fault_base: VirtDuration::from_micros(10),
+            xnack_replay_per_page: VirtDuration::from_nanos(650),
+            xnack_zero_fill_per_page: VirtDuration::from_micros(130),
+            prefault_syscall: VirtDuration::from_nanos(1500),
+            prefault_insert_per_page: VirtDuration::from_nanos(250),
+            prefault_zero_fill_per_page: VirtDuration::from_micros(10),
+            prefault_check_per_page: VirtDuration::from_nanos(2),
+            tlb_miss: VirtDuration::from_nanos(200),
+            gpu_tlb_entries: 8192,
+        }
+    }
+
+    /// Same machine with THP disabled (4 KiB pages) — page-size ablation.
+    pub fn mi300a_no_thp() -> Self {
+        CostModel {
+            page_size: PageSize::Small,
+            ..Self::mi300a()
+        }
+    }
+
+    /// Duration of an HBM-to-HBM copy of `bytes` on one DMA engine.
+    pub fn copy_duration(&self, bytes: u64) -> VirtDuration {
+        sim_des::transfer_time(bytes, self.hbm_copy_bandwidth)
+    }
+
+    /// Driver-side cost of a pool allocation covering `pages` pages.
+    pub fn pool_alloc_cost(&self, pages: u64) -> VirtDuration {
+        self.pool_alloc_base + self.pool_alloc_per_page * pages
+    }
+
+    /// Driver-side cost of freeing a pool allocation of `pages` pages.
+    pub fn pool_free_cost(&self, pages: u64) -> VirtDuration {
+        self.pool_free_base + self.pool_free_per_page * pages
+    }
+
+    /// GPU stall from one faulting episode replaying `replayed` CPU-touched
+    /// pages and zero-filling `zero_filled` never-touched pages.
+    pub fn fault_stall(&self, replayed: u64, zero_filled: u64) -> VirtDuration {
+        if replayed == 0 && zero_filled == 0 {
+            return VirtDuration::ZERO;
+        }
+        self.xnack_fault_base
+            + self.xnack_replay_per_page * replayed
+            + self.xnack_zero_fill_per_page * zero_filled
+    }
+
+    /// Host-side cost of one prefault call.
+    pub fn prefault_cost(&self, inserted: u64, zero_filled: u64, present: u64) -> VirtDuration {
+        self.prefault_syscall
+            + self.prefault_insert_per_page * inserted
+            + self.prefault_zero_fill_per_page * zero_filled
+            + self.prefault_check_per_page * present
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self::mi300a()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preset_is_thp() {
+        assert_eq!(CostModel::mi300a().page_size, PageSize::Huge);
+        assert_eq!(CostModel::mi300a_no_thp().page_size, PageSize::Small);
+    }
+
+    #[test]
+    fn copy_duration_scales_with_bytes() {
+        let m = CostModel::mi300a();
+        let d1 = m.copy_duration(1 << 20);
+        let d2 = m.copy_duration(1 << 21);
+        assert!(d2 > d1);
+        assert_eq!(m.copy_duration(0), VirtDuration::ZERO);
+    }
+
+    #[test]
+    fn fault_stall_zero_pages_is_free() {
+        let m = CostModel::mi300a();
+        assert_eq!(m.fault_stall(0, 0), VirtDuration::ZERO);
+        assert!(m.fault_stall(1, 0) >= m.xnack_replay_per_page);
+    }
+
+    #[test]
+    fn zero_fill_dwarfs_replay() {
+        // The paper's §V-B regime split: replaying CPU-touched pages must be
+        // far cheaper than zero-filling untouched ones.
+        let m = CostModel::mi300a();
+        assert!(m.xnack_zero_fill_per_page.as_nanos() > 50 * m.xnack_replay_per_page.as_nanos());
+    }
+
+    #[test]
+    fn replay_is_cheaper_than_a_copy_of_the_same_page() {
+        // 404.lbm's zero-copy win requires first-touch replay to beat the
+        // DMA cost of copying the page.
+        let m = CostModel::mi300a();
+        let page_copy = m.copy_duration(m.page_size.bytes());
+        assert!(m.xnack_replay_per_page < page_copy);
+    }
+
+    #[test]
+    fn prefault_insert_is_cheaper_than_replay() {
+        // 457.spC/470.bt's Eager Maps edge over Implicit Zero-Copy.
+        let m = CostModel::mi300a();
+        assert!(m.prefault_insert_per_page < m.xnack_replay_per_page);
+    }
+
+    #[test]
+    fn prefault_cost_shapes() {
+        let m = CostModel::mi300a();
+        let first = m.prefault_cost(100, 0, 0);
+        let again = m.prefault_cost(0, 0, 100);
+        assert!(again < first);
+        assert!(again >= m.prefault_syscall);
+        // Zero-filling from the host is bulk-cheap relative to GPU faults.
+        let host_fill = m.prefault_cost(0, 100, 0);
+        let gpu_fill = m.fault_stall(0, 100);
+        assert!(host_fill < gpu_fill / 5);
+    }
+
+    #[test]
+    fn pool_alloc_cost_is_linear_in_pages() {
+        let m = CostModel::mi300a();
+        let c1 = m.pool_alloc_cost(10);
+        let c2 = m.pool_alloc_cost(20);
+        assert_eq!(c2 - c1, m.pool_alloc_per_page * 10);
+    }
+}

@@ -1,0 +1,95 @@
+//! Memory-subsystem error type.
+
+use crate::addr::VirtAddr;
+use std::fmt;
+
+/// Errors raised by the simulated memory subsystem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemError {
+    /// HBM exhausted.
+    OutOfMemory {
+        /// Bytes requested.
+        requested: u64,
+        /// Bytes still available.
+        available: u64,
+    },
+    /// Access to a virtual address with no VMA / no CPU translation.
+    UnmappedHostAccess {
+        /// Faulting address.
+        addr: VirtAddr,
+    },
+    /// GPU touched a page with no GPU page-table entry while XNACK was
+    /// disabled: on real hardware this aborts the kernel (memory fault).
+    GpuFatalFault {
+        /// Faulting address.
+        addr: VirtAddr,
+    },
+    /// Freeing an address that is not the start of a live allocation.
+    InvalidFree {
+        /// Address passed to the free call.
+        addr: VirtAddr,
+    },
+    /// An allocation request of zero bytes.
+    ZeroSizedAllocation,
+    /// Prefault/copy request outside any live allocation.
+    RangeOutsideAllocation {
+        /// Start of the offending range.
+        addr: VirtAddr,
+        /// Length of the offending range.
+        len: u64,
+    },
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::OutOfMemory {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "out of HBM: requested {requested} bytes, {available} available"
+                )
+            }
+            MemError::UnmappedHostAccess { addr } => {
+                write!(f, "access to unmapped host address {addr}")
+            }
+            MemError::GpuFatalFault { addr } => write!(
+                f,
+                "GPU memory fault at {addr}: no GPU page-table entry and XNACK is disabled"
+            ),
+            MemError::InvalidFree { addr } => write!(f, "invalid free of {addr}"),
+            MemError::ZeroSizedAllocation => write!(f, "zero-sized allocation"),
+            MemError::RangeOutsideAllocation { addr, len } => {
+                write!(
+                    f,
+                    "range [{addr}, +{len}) is not covered by a live allocation"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = MemError::GpuFatalFault {
+            addr: VirtAddr(0x1000),
+        };
+        let s = e.to_string();
+        assert!(s.contains("XNACK"));
+        assert!(s.contains("0x000000001000"));
+        let o = MemError::OutOfMemory {
+            requested: 10,
+            available: 5,
+        }
+        .to_string();
+        assert!(o.contains("10") && o.contains('5'));
+    }
+}

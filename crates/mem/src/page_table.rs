@@ -1,0 +1,170 @@
+//! Page tables for CPU and GPU agents.
+//!
+//! Both agents translate the same virtual addresses against their own table.
+//! On the APU the CPU table is populated by the OS allocator; the GPU table
+//! is populated either in bulk (pool allocations / host-side prefaulting) or
+//! page-by-page by the XNACK replay protocol on first GPU touch.
+
+use crate::addr::{AddrRange, PageSize, PhysAddr, VirtAddr};
+use std::collections::HashMap;
+
+/// One agent's logical-to-physical page mapping.
+#[derive(Debug, Default)]
+pub struct PageTable {
+    /// Virtual page index -> physical base address of that page.
+    entries: HashMap<u64, PhysAddr>,
+    inserts: u64,
+    removes: u64,
+}
+
+impl PageTable {
+    /// Create a new instance.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lifetime count of entry insertions (not net).
+    pub fn inserts(&self) -> u64 {
+        self.inserts
+    }
+
+    /// Lifetime count of entry removals.
+    pub fn removes(&self) -> u64 {
+        self.removes
+    }
+
+    #[inline]
+    /// True when the item lies inside.
+    pub fn contains(&self, vpage: u64) -> bool {
+        self.entries.contains_key(&vpage)
+    }
+
+    #[inline]
+    /// Physical base of `vpage`, if mapped.
+    pub fn translate_page(&self, vpage: u64) -> Option<PhysAddr> {
+        self.entries.get(&vpage).copied()
+    }
+
+    /// Translate a byte address. Returns the physical address or `None` if
+    /// the page has no entry.
+    pub fn translate(&self, addr: VirtAddr, ps: PageSize) -> Option<PhysAddr> {
+        let bytes = ps.bytes();
+        let vpage = addr.as_u64() / bytes;
+        let off = addr.as_u64() % bytes;
+        self.entries.get(&vpage).map(|p| p.offset(off))
+    }
+
+    /// Insert an entry; returns true if the page was newly mapped.
+    pub fn map_page(&mut self, vpage: u64, phys: PhysAddr) -> bool {
+        let new = self.entries.insert(vpage, phys).is_none();
+        if new {
+            self.inserts += 1;
+        }
+        new
+    }
+
+    /// Map a contiguous virtual range to a contiguous physical range.
+    pub fn map_range(&mut self, range: AddrRange, phys_base: PhysAddr, ps: PageSize) -> u64 {
+        let bytes = ps.bytes();
+        debug_assert!(range.start.is_aligned(bytes), "range must be page aligned");
+        let mut newly = 0;
+        for (i, vpage) in range.page_indices(ps).enumerate() {
+            if self.map_page(vpage, phys_base.offset(i as u64 * bytes)) {
+                newly += 1;
+            }
+        }
+        newly
+    }
+
+    /// Remove an entry; returns true if it existed.
+    pub fn unmap_page(&mut self, vpage: u64) -> bool {
+        let existed = self.entries.remove(&vpage).is_some();
+        if existed {
+            self.removes += 1;
+        }
+        existed
+    }
+
+    /// Remove all entries covering `range`; returns how many were present.
+    pub fn unmap_range(&mut self, range: AddrRange, ps: PageSize) -> u64 {
+        let mut removed = 0;
+        for vpage in range.page_indices(ps) {
+            if self.unmap_page(vpage) {
+                removed += 1;
+            }
+        }
+        removed
+    }
+
+    /// Count pages of `range` with and without entries: `(present, missing)`.
+    pub fn presence(&self, range: AddrRange, ps: PageSize) -> (u64, u64) {
+        let mut present = 0;
+        let mut missing = 0;
+        for vpage in range.page_indices(ps) {
+            if self.contains(vpage) {
+                present += 1;
+            } else {
+                missing += 1;
+            }
+        }
+        (present, missing)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PS: PageSize = PageSize::Small;
+
+    #[test]
+    fn map_translate_roundtrip() {
+        let mut pt = PageTable::new();
+        let r = AddrRange::new(VirtAddr(0x10000), 3 * 4096);
+        let newly = pt.map_range(r, PhysAddr(0x100000), PS);
+        assert_eq!(newly, 3);
+        assert_eq!(pt.len(), 3);
+        // Address in the middle of the second page.
+        let p = pt.translate(VirtAddr(0x11010), PS).unwrap();
+        assert_eq!(p.as_u64(), 0x101010);
+        assert!(pt.translate(VirtAddr(0x14000), PS).is_none());
+    }
+
+    #[test]
+    fn remapping_is_not_new() {
+        let mut pt = PageTable::new();
+        assert!(pt.map_page(5, PhysAddr(0)));
+        assert!(!pt.map_page(5, PhysAddr(4096)));
+        assert_eq!(pt.inserts(), 1);
+        assert_eq!(pt.translate_page(5).unwrap().as_u64(), 4096);
+    }
+
+    #[test]
+    fn unmap_range_counts() {
+        let mut pt = PageTable::new();
+        pt.map_range(AddrRange::new(VirtAddr(0), 4 * 4096), PhysAddr(0), PS);
+        let removed = pt.unmap_range(AddrRange::new(VirtAddr(4096), 2 * 4096), PS);
+        assert_eq!(removed, 2);
+        assert_eq!(pt.len(), 2);
+        assert_eq!(pt.removes(), 2);
+        assert!(!pt.unmap_page(999));
+    }
+
+    #[test]
+    fn presence_counts_split() {
+        let mut pt = PageTable::new();
+        pt.map_range(AddrRange::new(VirtAddr(0), 2 * 4096), PhysAddr(0), PS);
+        let (present, missing) = pt.presence(AddrRange::new(VirtAddr(0), 5 * 4096), PS);
+        assert_eq!((present, missing), (2, 3));
+    }
+}

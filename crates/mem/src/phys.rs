@@ -1,0 +1,289 @@
+//! The single physical HBM storage shared by CPU and GPU.
+//!
+//! Frame allocation is a bump allocator with a free list (first-fit reuse).
+//! Content is *sparsely materialized*: a 4 KiB chunk of real bytes is only
+//! allocated when something actually writes it, so multi-GiB simulated
+//! allocations cost host memory only where kernels with real bodies touch
+//! them. Unwritten bytes read as zero, matching fresh OS pages.
+
+use crate::addr::PhysAddr;
+use crate::error::MemError;
+use std::collections::BTreeMap;
+
+const CHUNK: u64 = 4096;
+
+/// The APU's HBM array, seen as one logical memory by CPU and GPU.
+#[derive(Debug)]
+pub struct PhysicalMemory {
+    capacity: u64,
+    next: u64,
+    allocated: u64,
+    /// Freed ranges (start, len), first-fit reused.
+    free_list: Vec<(u64, u64)>,
+    /// Sparse content store: chunk index -> 4 KiB of real bytes.
+    chunks: BTreeMap<u64, Box<[u8]>>,
+}
+
+impl PhysicalMemory {
+    /// A memory of `capacity` bytes (MI300A: 128 GiB HBM3).
+    pub fn new(capacity: u64) -> Self {
+        PhysicalMemory {
+            capacity,
+            next: 0,
+            allocated: 0,
+            free_list: Vec::new(),
+            chunks: BTreeMap::new(),
+        }
+    }
+
+    /// MI300A-sized instance (128 GiB HBM).
+    pub fn mi300a() -> Self {
+        Self::new(128 * 1024 * 1024 * 1024)
+    }
+
+    /// Number of identical servers in the pool.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently allocated.
+    pub fn allocated(&self) -> u64 {
+        self.allocated
+    }
+
+    /// Bytes of real backing store currently materialized.
+    pub fn resident_bytes(&self) -> u64 {
+        self.chunks.len() as u64 * CHUNK
+    }
+
+    /// Allocate `len` bytes aligned to `align` (a power of two).
+    pub fn alloc(&mut self, len: u64, align: u64) -> Result<PhysAddr, MemError> {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        let len = len.max(1);
+        // First-fit over the free list.
+        for i in 0..self.free_list.len() {
+            let (start, flen) = self.free_list[i];
+            let aligned = (start + align - 1) & !(align - 1);
+            let pad = aligned - start;
+            if flen >= pad + len {
+                // Carve [aligned, aligned+len) out of the hole.
+                self.free_list.remove(i);
+                if pad > 0 {
+                    self.free_list.push((start, pad));
+                }
+                let tail = flen - pad - len;
+                if tail > 0 {
+                    self.free_list.push((aligned + len, tail));
+                }
+                self.allocated += len;
+                return Ok(PhysAddr(aligned));
+            }
+        }
+        let aligned = (self.next + align - 1) & !(align - 1);
+        if aligned + len > self.capacity {
+            return Err(MemError::OutOfMemory {
+                requested: len,
+                available: self.capacity.saturating_sub(self.next),
+            });
+        }
+        if aligned > self.next {
+            self.free_list.push((self.next, aligned - self.next));
+        }
+        self.next = aligned + len;
+        self.allocated += len;
+        Ok(PhysAddr(aligned))
+    }
+
+    /// Return `[addr, addr+len)` to the allocator and drop its content.
+    pub fn free(&mut self, addr: PhysAddr, len: u64) {
+        let len = len.max(1);
+        let first_chunk = addr.as_u64() / CHUNK;
+        let last_chunk = (addr.as_u64() + len - 1) / CHUNK;
+        let keys: Vec<u64> = self
+            .chunks
+            .range(first_chunk..=last_chunk)
+            .map(|(k, _)| *k)
+            .collect();
+        for c in keys {
+            self.chunks.remove(&c);
+        }
+        self.free_list.push((addr.as_u64(), len));
+        self.allocated = self.allocated.saturating_sub(len);
+    }
+
+    /// Read `buf.len()` bytes starting at `addr`. Unmaterialized bytes are 0.
+    pub fn read(&self, addr: PhysAddr, buf: &mut [u8]) {
+        let mut pos = addr.as_u64();
+        let mut off = 0usize;
+        while off < buf.len() {
+            let chunk_idx = pos / CHUNK;
+            let in_chunk = (pos % CHUNK) as usize;
+            let take = ((CHUNK as usize) - in_chunk).min(buf.len() - off);
+            match self.chunks.get(&chunk_idx) {
+                Some(c) => buf[off..off + take].copy_from_slice(&c[in_chunk..in_chunk + take]),
+                None => buf[off..off + take].fill(0),
+            }
+            pos += take as u64;
+            off += take;
+        }
+    }
+
+    /// Write `data` starting at `addr`, materializing chunks as needed.
+    pub fn write(&mut self, addr: PhysAddr, data: &[u8]) {
+        let mut pos = addr.as_u64();
+        let mut off = 0usize;
+        while off < data.len() {
+            let chunk_idx = pos / CHUNK;
+            let in_chunk = (pos % CHUNK) as usize;
+            let take = ((CHUNK as usize) - in_chunk).min(data.len() - off);
+            let chunk = self
+                .chunks
+                .entry(chunk_idx)
+                .or_insert_with(|| vec![0u8; CHUNK as usize].into_boxed_slice());
+            chunk[in_chunk..in_chunk + take].copy_from_slice(&data[off..off + take]);
+            pos += take as u64;
+            off += take;
+        }
+    }
+
+    /// Copy `len` bytes from `src` to `dst` (the DMA engine's content move).
+    /// Cost is proportional to the *materialized* chunks in the two ranges,
+    /// so multi-GiB modeled copies of untouched memory are metadata-free.
+    /// Source and destination must not overlap (DMA semantics).
+    pub fn copy(&mut self, src: PhysAddr, dst: PhysAddr, len: u64) {
+        if len == 0 {
+            return;
+        }
+        debug_assert!(
+            src.as_u64() + len <= dst.as_u64() || dst.as_u64() + len <= src.as_u64(),
+            "DMA copy ranges must not overlap"
+        );
+        // 1. Zero the destination spans that are already materialized: where
+        //    the source is sparse it reads as zero, and materialized source
+        //    spans are overwritten below anyway.
+        let d0 = dst.as_u64();
+        let dst_keys: Vec<u64> = self
+            .chunks
+            .range(d0 / CHUNK..=(d0 + len - 1) / CHUNK)
+            .map(|(k, _)| *k)
+            .collect();
+        for k in dst_keys {
+            let chunk_base = k * CHUNK;
+            let lo = chunk_base.max(d0);
+            let hi = (chunk_base + CHUNK).min(d0 + len);
+            let c = self.chunks.get_mut(&k).expect("key just collected");
+            c[(lo - chunk_base) as usize..(hi - chunk_base) as usize].fill(0);
+        }
+        // 2. Move content from each materialized source chunk.
+        let s0 = src.as_u64();
+        let src_keys: Vec<u64> = self
+            .chunks
+            .range(s0 / CHUNK..=(s0 + len - 1) / CHUNK)
+            .map(|(k, _)| *k)
+            .collect();
+        let mut buf = [0u8; CHUNK as usize];
+        for k in src_keys {
+            let chunk_base = k * CHUNK;
+            let lo = chunk_base.max(s0);
+            let hi = (chunk_base + CHUNK).min(s0 + len);
+            let span = (hi - lo) as usize;
+            self.read(PhysAddr(lo), &mut buf[..span]);
+            self.write(PhysAddr(d0 + (lo - s0)), &buf[..span]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_allocation_respects_alignment() {
+        let mut m = PhysicalMemory::new(1 << 20);
+        let a = m.alloc(100, 4096).unwrap();
+        let b = m.alloc(100, 4096).unwrap();
+        assert_eq!(a.as_u64() % 4096, 0);
+        assert_eq!(b.as_u64() % 4096, 0);
+        assert_ne!(a, b);
+        assert_eq!(m.allocated(), 200);
+    }
+
+    #[test]
+    fn out_of_memory_reported() {
+        let mut m = PhysicalMemory::new(8192);
+        m.alloc(8192, 1).unwrap();
+        let err = m.alloc(1, 1).unwrap_err();
+        assert!(matches!(err, MemError::OutOfMemory { .. }));
+    }
+
+    #[test]
+    fn free_enables_reuse() {
+        let mut m = PhysicalMemory::new(8192);
+        let a = m.alloc(4096, 4096).unwrap();
+        m.alloc(4096, 4096).unwrap();
+        assert!(m.alloc(4096, 4096).is_err());
+        m.free(a, 4096);
+        let c = m.alloc(4096, 4096).unwrap();
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn unwritten_memory_reads_zero() {
+        let m = PhysicalMemory::new(1 << 20);
+        let mut buf = [0xAAu8; 64];
+        m.read(PhysAddr(1000), &mut buf);
+        assert!(buf.iter().all(|&b| b == 0));
+        assert_eq!(m.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn write_read_roundtrip_across_chunks() {
+        let mut m = PhysicalMemory::new(1 << 20);
+        let data: Vec<u8> = (0..10_000).map(|i| (i % 251) as u8).collect();
+        m.write(PhysAddr(4090), &data); // straddles chunk boundaries
+        let mut back = vec![0u8; data.len()];
+        m.read(PhysAddr(4090), &mut back);
+        assert_eq!(back, data);
+        assert!(m.resident_bytes() >= data.len() as u64);
+    }
+
+    #[test]
+    fn copy_moves_content() {
+        let mut m = PhysicalMemory::new(1 << 20);
+        let data = vec![7u8; 5000];
+        m.write(PhysAddr(100), &data);
+        m.copy(PhysAddr(100), PhysAddr(100_000), 5000);
+        let mut back = vec![0u8; 5000];
+        m.read(PhysAddr(100_000), &mut back);
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn copy_of_unmaterialized_source_stays_sparse() {
+        let mut m = PhysicalMemory::new(1 << 20);
+        m.copy(PhysAddr(0), PhysAddr(500_000), 100_000);
+        assert_eq!(m.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn copy_zeroes_existing_destination() {
+        let mut m = PhysicalMemory::new(1 << 20);
+        m.write(PhysAddr(200_000), &[9u8; 100]);
+        m.copy(PhysAddr(0), PhysAddr(200_000), 100); // src is zeros
+        let mut back = [1u8; 100];
+        m.read(PhysAddr(200_000), &mut back);
+        assert!(back.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn free_drops_content() {
+        let mut m = PhysicalMemory::new(1 << 20);
+        m.write(PhysAddr(0), &[5u8; 4096]);
+        assert!(m.resident_bytes() > 0);
+        m.free(PhysAddr(0), 4096);
+        assert_eq!(m.resident_bytes(), 0);
+        let mut b = [1u8; 16];
+        m.read(PhysAddr(0), &mut b);
+        assert!(b.iter().all(|&x| x == 0));
+    }
+}

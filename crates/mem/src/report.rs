@@ -1,0 +1,137 @@
+//! Human-readable memory-state snapshot (the CLI's `--mem-report`).
+
+use crate::apu::ApuMemory;
+use crate::system::SystemKind;
+use crate::vma::Backing;
+use std::fmt;
+
+/// A point-in-time snapshot of the memory subsystem's state.
+#[derive(Debug, Clone)]
+pub struct MemoryReport {
+    /// System kind description.
+    pub system: String,
+    /// Live allocations: (base, len, backing).
+    pub vmas: Vec<(u64, u64, Backing)>,
+    /// CPU page-table entries.
+    pub cpu_pt_entries: usize,
+    /// GPU page-table entries.
+    pub gpu_pt_entries: usize,
+    /// Lifetime GPU page-table insertions.
+    pub gpu_pt_inserts: u64,
+    /// TLB hits / misses / evictions.
+    pub tlb: (u64, u64, u64),
+    /// Real backing bytes materialized.
+    pub resident_content_bytes: u64,
+    /// Discrete only: VRAM bytes used by pools.
+    pub vram_used: u64,
+    /// Discrete only: unified-memory pages resident in VRAM.
+    pub um_resident_pages: u64,
+}
+
+impl MemoryReport {
+    /// Snapshot `mem`.
+    pub fn capture(mem: &ApuMemory) -> Self {
+        MemoryReport {
+            system: match mem.kind() {
+                SystemKind::Apu => "APU (single HBM storage)".to_string(),
+                SystemKind::Discrete(d) => format!(
+                    "discrete GPU ({} GiB VRAM, {} GB/s link)",
+                    d.vram_bytes >> 30,
+                    d.link_bandwidth / 1_000_000_000
+                ),
+            },
+            vmas: mem
+                .vmas()
+                .map(|v| (v.range.start.as_u64(), v.range.len, v.backing))
+                .collect(),
+            cpu_pt_entries: mem.cpu_pt().len(),
+            gpu_pt_entries: mem.gpu_pt().len(),
+            gpu_pt_inserts: mem.gpu_pt().inserts(),
+            tlb: (
+                mem.gpu_tlb().hits(),
+                mem.gpu_tlb().misses(),
+                mem.gpu_tlb().evictions(),
+            ),
+            resident_content_bytes: mem.resident_content_bytes(),
+            vram_used: mem.vram_used(),
+            um_resident_pages: mem.um_resident_pages(),
+        }
+    }
+
+    /// Total live bytes by backing: (host, pool).
+    pub fn live_bytes(&self) -> (u64, u64) {
+        let mut host = 0;
+        let mut pool = 0;
+        for &(_, len, backing) in &self.vmas {
+            match backing {
+                Backing::HostOs => host += len,
+                Backing::DevicePool => pool += len,
+            }
+        }
+        (host, pool)
+    }
+}
+
+impl fmt::Display for MemoryReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "memory system: {}", self.system)?;
+        let (host, pool) = self.live_bytes();
+        writeln!(
+            f,
+            "live allocations: {} ({} host bytes, {} pool bytes)",
+            self.vmas.len(),
+            host,
+            pool
+        )?;
+        writeln!(
+            f,
+            "page tables: CPU {} entries, GPU {} entries ({} lifetime inserts)",
+            self.cpu_pt_entries, self.gpu_pt_entries, self.gpu_pt_inserts
+        )?;
+        let (hits, misses, evictions) = self.tlb;
+        writeln!(
+            f,
+            "GPU TLB: {hits} hits, {misses} misses, {evictions} evictions"
+        )?;
+        writeln!(
+            f,
+            "materialized content: {} bytes",
+            self.resident_content_bytes
+        )?;
+        if self.vram_used > 0 || self.um_resident_pages > 0 {
+            writeln!(
+                f,
+                "VRAM: {} bytes pooled, {} unified-memory pages resident",
+                self.vram_used, self.um_resident_pages
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::AddrRange;
+    use crate::apu::XnackMode;
+    use crate::cost::CostModel;
+
+    #[test]
+    fn report_reflects_state() {
+        let mut m = ApuMemory::with_capacity(CostModel::mi300a_no_thp(), 1 << 26);
+        let a = m.host_alloc(8 * 4096).unwrap();
+        m.pool_alloc(4 * 4096).unwrap();
+        m.host_touch(AddrRange::new(a.addr, 8 * 4096)).unwrap();
+        m.gpu_access(&[AddrRange::new(a.addr, 8 * 4096)], XnackMode::Enabled)
+            .unwrap();
+        let r = MemoryReport::capture(&m);
+        assert_eq!(r.vmas.len(), 2);
+        let (host, pool) = r.live_bytes();
+        assert_eq!(host, 8 * 4096);
+        assert_eq!(pool, 4 * 4096);
+        assert_eq!(r.gpu_pt_entries, 12); // 8 faulted + 4 pool
+        let text = r.to_string();
+        assert!(text.contains("APU"));
+        assert!(text.contains("GPU TLB"));
+    }
+}

@@ -1,0 +1,178 @@
+//! A capacity-bounded GPU TLB model with FIFO replacement.
+//!
+//! The TLB caches recently used GPU page-table entries. Accesses to pages
+//! with a translation still pay a small page-table-walk cost on a TLB miss;
+//! when a working set exceeds the TLB capacity the miss rate climbs
+//! (the paper attributes the S128 Eager Maps variance to TLB thrashing).
+
+use std::collections::{HashSet, VecDeque};
+
+/// GPU translation lookaside buffer.
+#[derive(Debug)]
+pub struct Tlb {
+    capacity: usize,
+    present: HashSet<u64>,
+    fifo: VecDeque<u64>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl Tlb {
+    /// Create a new instance.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "TLB must have at least one entry");
+        Tlb {
+            capacity,
+            present: HashSet::with_capacity(capacity),
+            fifo: VecDeque::with_capacity(capacity),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Number of identical servers in the pool.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.present.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.present.is_empty()
+    }
+
+    /// TLB hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// TLB misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Entries evicted at capacity.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Look up `vpage`; on a miss, install it (the walker refills the TLB).
+    /// Returns true on a hit.
+    pub fn access(&mut self, vpage: u64) -> bool {
+        if self.present.contains(&vpage) {
+            self.hits += 1;
+            return true;
+        }
+        self.misses += 1;
+        self.insert(vpage);
+        false
+    }
+
+    fn insert(&mut self, vpage: u64) {
+        if self.present.len() == self.capacity {
+            if let Some(victim) = self.fifo.pop_front() {
+                self.present.remove(&victim);
+                self.evictions += 1;
+            }
+        }
+        if self.present.insert(vpage) {
+            self.fifo.push_back(vpage);
+        }
+    }
+
+    /// Drop an entry (page unmapped from the GPU page table).
+    pub fn invalidate(&mut self, vpage: u64) {
+        if self.present.remove(&vpage) {
+            self.fifo.retain(|&p| p != vpage);
+        }
+    }
+
+    /// Drop everything (full shootdown).
+    pub fn flush(&mut self) {
+        self.present.clear();
+        self.fifo.clear();
+    }
+
+    /// Fraction of accesses that missed.
+    pub fn miss_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_install() {
+        let mut t = Tlb::new(4);
+        assert!(!t.access(1));
+        assert!(t.access(1));
+        assert_eq!((t.hits(), t.misses()), (1, 1));
+    }
+
+    #[test]
+    fn fifo_eviction_at_capacity() {
+        let mut t = Tlb::new(2);
+        t.access(1);
+        t.access(2);
+        t.access(3); // evicts 1
+        assert_eq!(t.evictions(), 1);
+        assert!(!t.access(1)); // miss again
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn thrashing_working_set_never_hits() {
+        let mut t = Tlb::new(8);
+        // Cyclic sweep over a working set larger than capacity: all misses.
+        for _ in 0..3 {
+            for p in 0..16u64 {
+                t.access(p);
+            }
+        }
+        assert_eq!(t.hits(), 0);
+        assert!((t.miss_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fitting_working_set_hits_after_warmup() {
+        let mut t = Tlb::new(16);
+        for _ in 0..3 {
+            for p in 0..8u64 {
+                t.access(p);
+            }
+        }
+        assert_eq!(t.misses(), 8);
+        assert_eq!(t.hits(), 16);
+    }
+
+    #[test]
+    fn invalidate_and_flush() {
+        let mut t = Tlb::new(4);
+        t.access(1);
+        t.access(2);
+        t.invalidate(1);
+        assert_eq!(t.len(), 1);
+        assert!(!t.access(1));
+        t.flush();
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_capacity_rejected() {
+        let _ = Tlb::new(0);
+    }
+}

@@ -1,0 +1,161 @@
+//! Virtual memory areas: live allocations in the unified address space.
+
+use crate::addr::{AddrRange, PhysAddr, VirtAddr};
+use std::collections::BTreeMap;
+
+/// Which allocator produced a VMA. On the APU both back onto the same HBM;
+/// the distinction drives page-table population policy, not placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backing {
+    /// OS allocator (malloc/mmap) — CPU page table only; GPU entries appear
+    /// via XNACK replay or host-side prefaulting.
+    HostOs,
+    /// ROCr memory-pool allocation — GPU page table bulk-populated at
+    /// allocation time (the driver's XNACK-disabled behaviour).
+    DevicePool,
+}
+
+/// One live allocation.
+#[derive(Debug, Clone)]
+pub struct Vma {
+    /// Covered virtual byte range.
+    pub range: AddrRange,
+    /// Which allocator produced this VMA.
+    pub backing: Backing,
+    /// Physical base; pages are physically contiguous within a VMA.
+    pub phys: PhysAddr,
+}
+
+/// Ordered table of live VMAs, keyed by start address.
+#[derive(Debug, Default)]
+pub struct VmaTable {
+    map: BTreeMap<u64, Vma>,
+}
+
+impl VmaTable {
+    /// Create a new instance.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Insert an entry.
+    pub fn insert(&mut self, vma: Vma) {
+        debug_assert!(
+            self.find_overlap(&vma.range).is_none(),
+            "VMA overlap at {}",
+            vma.range
+        );
+        self.map.insert(vma.range.start.as_u64(), vma);
+    }
+
+    /// Remove the VMA starting exactly at `start`.
+    pub fn remove(&mut self, start: VirtAddr) -> Option<Vma> {
+        self.map.remove(&start.as_u64())
+    }
+
+    /// The VMA containing `addr`, if any.
+    pub fn find(&self, addr: VirtAddr) -> Option<&Vma> {
+        self.map
+            .range(..=addr.as_u64())
+            .next_back()
+            .map(|(_, v)| v)
+            .filter(|v| v.range.contains(addr))
+    }
+
+    /// The VMA fully containing `range`, if any.
+    pub fn find_covering(&self, range: &AddrRange) -> Option<&Vma> {
+        self.find(range.start)
+            .filter(|v| v.range.contains_range(range))
+    }
+
+    /// Any VMA overlapping `range`.
+    pub fn find_overlap(&self, range: &AddrRange) -> Option<&Vma> {
+        // A candidate either starts before `range` and extends into it, or
+        // starts inside `range`.
+        if let Some(v) = self.find(range.start) {
+            if v.range.overlaps(range) {
+                return Some(v);
+            }
+        }
+        self.map
+            .range(range.start.as_u64()..range.end())
+            .next()
+            .map(|(_, v)| v)
+            .filter(|v| v.range.overlaps(range))
+    }
+
+    /// Iterate entries.
+    pub fn iter(&self) -> impl Iterator<Item = &Vma> {
+        self.map.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vma(start: u64, len: u64) -> Vma {
+        Vma {
+            range: AddrRange::new(VirtAddr(start), len),
+            backing: Backing::HostOs,
+            phys: PhysAddr(0),
+        }
+    }
+
+    #[test]
+    fn find_by_containment() {
+        let mut t = VmaTable::new();
+        t.insert(vma(1000, 100));
+        t.insert(vma(5000, 100));
+        assert!(t.find(VirtAddr(1050)).is_some());
+        assert!(t.find(VirtAddr(1100)).is_none());
+        assert!(t.find(VirtAddr(999)).is_none());
+        assert!(t.find(VirtAddr(5099)).is_some());
+    }
+
+    #[test]
+    fn find_covering_requires_full_containment() {
+        let mut t = VmaTable::new();
+        t.insert(vma(1000, 100));
+        assert!(t
+            .find_covering(&AddrRange::new(VirtAddr(1010), 50))
+            .is_some());
+        assert!(t
+            .find_covering(&AddrRange::new(VirtAddr(1090), 50))
+            .is_none());
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let mut t = VmaTable::new();
+        t.insert(vma(1000, 100));
+        assert!(t
+            .find_overlap(&AddrRange::new(VirtAddr(950), 100))
+            .is_some());
+        assert!(t
+            .find_overlap(&AddrRange::new(VirtAddr(1050), 10))
+            .is_some());
+        assert!(t
+            .find_overlap(&AddrRange::new(VirtAddr(2000), 10))
+            .is_none());
+    }
+
+    #[test]
+    fn remove_exact_start_only() {
+        let mut t = VmaTable::new();
+        t.insert(vma(1000, 100));
+        assert!(t.remove(VirtAddr(1001)).is_none());
+        assert!(t.remove(VirtAddr(1000)).is_some());
+        assert!(t.is_empty());
+    }
+}

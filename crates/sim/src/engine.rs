@@ -1,0 +1,520 @@
+//! The deterministic list-scheduling engine.
+//!
+//! Threads' recorded operation streams are replayed in virtual-time order:
+//! the engine always advances the thread with the smallest clock (ties broken
+//! by thread id), which guarantees FIFO resource grants ordered by request
+//! time and therefore a deterministic, interleaving-faithful makespan.
+
+use crate::noise::{NoiseModel, SplitMix64};
+use crate::op::{AsyncToken, Op, OpStreams, Segment, Tag};
+use crate::resource::{Pool, ResourceId, ResourceStats};
+use crate::time::{VirtDuration, VirtInstant};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// The fixed set of shared resources a simulation run contends for.
+#[derive(Debug, Clone, Default)]
+pub struct Machine {
+    pools: Vec<Pool>,
+}
+
+impl Machine {
+    /// Create a new instance.
+    pub fn new() -> Self {
+        Machine { pools: Vec::new() }
+    }
+
+    /// Register a pool of `capacity` identical FIFO servers.
+    pub fn add_resource(&mut self, name: impl Into<String>, capacity: usize) -> ResourceId {
+        let id = ResourceId(self.pools.len() as u32);
+        self.pools.push(Pool::new(name, capacity));
+        id
+    }
+
+    /// Number of registered resources.
+    pub fn resource_count(&self) -> usize {
+        self.pools.len()
+    }
+
+    /// Display name of a resource.
+    pub fn resource_name(&self, id: ResourceId) -> &str {
+        self.pools[id.index()].name()
+    }
+}
+
+/// Timing of one completed operation.
+#[derive(Debug, Clone, Copy)]
+pub struct OpRecord {
+    /// Issuing thread index.
+    pub thread: u32,
+    /// Aggregation tag.
+    pub tag: Tag,
+    /// Operation start time (includes queueing).
+    pub start: VirtInstant,
+    /// Operation completion time.
+    pub end: VirtInstant,
+}
+
+impl OpRecord {
+    /// Total in-operation time, `end - start`.
+    pub fn latency(&self) -> VirtDuration {
+        self.end - self.start
+    }
+}
+
+/// Aggregate latency statistics for one tag.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TagStats {
+    /// Number of operations with this tag.
+    pub count: u64,
+    /// Summed latency across all operations with this tag.
+    pub total_latency: VirtDuration,
+}
+
+impl TagStats {
+    /// Average per-operation latency.
+    pub fn mean_latency(&self) -> VirtDuration {
+        if self.count == 0 {
+            VirtDuration::ZERO
+        } else {
+            self.total_latency / self.count
+        }
+    }
+}
+
+/// The result of resolving all operation streams against the machine.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    records: Vec<OpRecord>,
+    thread_finish: Vec<VirtInstant>,
+    makespan: VirtDuration,
+    resources: Vec<ResourceStats>,
+}
+
+impl Schedule {
+    /// Total virtual execution time (all threads start at t=0).
+    pub fn makespan(&self) -> VirtDuration {
+        self.makespan
+    }
+
+    /// Completion time of `thread`'s last operation.
+    pub fn thread_finish(&self, thread: usize) -> VirtInstant {
+        self.thread_finish[thread]
+    }
+
+    /// Number of simulated threads.
+    pub fn threads(&self) -> usize {
+        self.thread_finish.len()
+    }
+
+    /// Per-operation timing records, in completion order.
+    pub fn records(&self) -> &[OpRecord] {
+        &self.records
+    }
+
+    /// Per-resource utilization statistics.
+    pub fn resource_stats(&self) -> &[ResourceStats] {
+        &self.resources
+    }
+
+    /// Per-tag call counts and total in-call latency (rocprof analog).
+    pub fn aggregate_by_tag(&self) -> HashMap<Tag, TagStats> {
+        let mut out: HashMap<Tag, TagStats> = HashMap::new();
+        for r in &self.records {
+            if r.tag == Tag::UNTAGGED {
+                continue;
+            }
+            let s = out.entry(r.tag).or_default();
+            s.count += 1;
+            s.total_latency += r.latency();
+        }
+        out
+    }
+
+    /// Statistics for a single tag (zero if it never occurred).
+    pub fn tag_stats(&self, tag: Tag) -> TagStats {
+        let mut s = TagStats::default();
+        for r in &self.records {
+            if r.tag == tag {
+                s.count += 1;
+                s.total_latency += r.latency();
+            }
+        }
+        s
+    }
+}
+
+/// Options controlling one scheduling pass.
+#[derive(Debug, Clone, Copy)]
+pub struct RunOptions {
+    /// Measurement-noise model applied to segment durations.
+    pub noise: NoiseModel,
+    /// RNG seed for the noise model.
+    pub seed: u64,
+    /// Tags treated as syscall-class for the outlier noise model.
+    pub syscall_tag_min: u32,
+    /// Upper bound (inclusive) of the syscall-class tag range.
+    pub syscall_tag_max: u32,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            noise: NoiseModel::NONE,
+            seed: 0,
+            syscall_tag_min: 1,
+            syscall_tag_max: 0, // empty range: no syscall-class tags
+        }
+    }
+}
+
+impl RunOptions {
+    /// Options with no noise (fully deterministic).
+    pub fn noiseless() -> Self {
+        Self::default()
+    }
+
+    /// Options with the given noise model and seed.
+    pub fn with_noise(noise: NoiseModel, seed: u64) -> Self {
+        RunOptions {
+            noise,
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// Mark the inclusive tag range `[lo, hi]` as syscall-class.
+    pub fn syscall_tags(mut self, lo: u32, hi: u32) -> Self {
+        self.syscall_tag_min = lo;
+        self.syscall_tag_max = hi;
+        self
+    }
+
+    fn is_syscall(&self, tag: Tag) -> bool {
+        tag.0 >= self.syscall_tag_min && tag.0 <= self.syscall_tag_max
+    }
+}
+
+/// Resolve `streams` against `machine`, producing a deterministic schedule.
+///
+/// `machine` is taken by value (cloned cheaply by callers that reuse a
+/// template) so that each run starts from idle resources.
+pub fn schedule(mut machine: Machine, streams: OpStreams, opts: &RunOptions) -> Schedule {
+    let streams = streams.into_inner();
+    let nthreads = streams.len();
+    let mut records = Vec::with_capacity(streams.iter().map(Vec::len).sum());
+    let mut thread_finish = vec![VirtInstant::ZERO; nthreads];
+    let mut rng = SplitMix64::new(opts.seed ^ 0xA0_1B_2C_3D);
+    // Completion times of async services, by token.
+    let mut completions: HashMap<AsyncToken, VirtInstant> = HashMap::new();
+
+    // Heap of (thread clock, thread id); pop smallest. Exactly one *segment*
+    // is processed per pop, so a Service request is issued at the thread's
+    // true virtual clock: every other runnable thread has a clock >= ours at
+    // that moment, which makes FIFO grants ordered by request time exact.
+    let mut heap: BinaryHeap<Reverse<(VirtInstant, usize)>> = BinaryHeap::new();
+    // Per-thread cursor: (op index, segment index, start of current op).
+    let mut cursors = vec![(0usize, 0usize, VirtInstant::ZERO); nthreads];
+    let mut clocks = vec![VirtInstant::ZERO; nthreads];
+    for (t, stream) in streams.iter().enumerate() {
+        if !stream.is_empty() {
+            heap.push(Reverse((VirtInstant::ZERO, t)));
+        }
+    }
+
+    while let Some(Reverse((now, t))) = heap.pop() {
+        debug_assert_eq!(now, clocks[t]);
+        let (op_idx, seg_idx, op_start) = cursors[t];
+        let op: &Op = &streams[t][op_idx];
+        let op_start = if seg_idx == 0 { clocks[t] } else { op_start };
+        let syscall = opts.is_syscall(op.tag);
+        let mut clock = clocks[t];
+
+        if op.segments.is_empty() {
+            records.push(OpRecord {
+                thread: t as u32,
+                tag: op.tag,
+                start: op_start,
+                end: clock,
+            });
+        } else {
+            let seg = &op.segments[seg_idx];
+            let base = seg.duration();
+            let dur = if opts.noise.is_none() {
+                base
+            } else if syscall {
+                base.mul_f64(opts.noise.syscall_factor(&mut rng))
+            } else {
+                base.mul_f64(opts.noise.factor(&mut rng))
+            };
+            match seg {
+                Segment::Local(_) => clock += dur,
+                Segment::Service { resource, .. } => {
+                    let (_, end) = machine.pools[resource.index()].serve(clock, dur);
+                    clock = end;
+                }
+                Segment::AsyncService {
+                    resource, token, ..
+                } => {
+                    // Submit at the thread's clock; do not block.
+                    let (_, end) = machine.pools[resource.index()].serve(clock, dur);
+                    completions.insert(*token, end);
+                }
+                Segment::AwaitToken { token } => {
+                    if let Some(&end) = completions.get(token) {
+                        clock = clock.max(end);
+                    }
+                }
+            }
+            if seg_idx + 1 < op.segments.len() {
+                clocks[t] = clock;
+                thread_finish[t] = clock;
+                cursors[t] = (op_idx, seg_idx + 1, op_start);
+                heap.push(Reverse((clock, t)));
+                continue;
+            }
+            records.push(OpRecord {
+                thread: t as u32,
+                tag: op.tag,
+                start: op_start,
+                end: clock,
+            });
+        }
+
+        clocks[t] = clock;
+        thread_finish[t] = clock;
+        cursors[t] = (op_idx + 1, 0, clock);
+        if op_idx + 1 < streams[t].len() {
+            heap.push(Reverse((clock, t)));
+        }
+    }
+
+    let makespan = thread_finish
+        .iter()
+        .copied()
+        .max()
+        .unwrap_or(VirtInstant::ZERO)
+        .since(VirtInstant::ZERO);
+
+    let resources = machine
+        .pools
+        .iter()
+        .map(|p| ResourceStats {
+            name: p.name().to_string(),
+            capacity: p.capacity(),
+            busy: p.busy_time(),
+            queue_wait: p.queue_wait(),
+            grants: p.grants(),
+        })
+        .collect();
+
+    Schedule {
+        records,
+        thread_finish,
+        makespan,
+        resources,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(ns: u64) -> VirtDuration {
+        VirtDuration::from_nanos(ns)
+    }
+
+    #[test]
+    fn single_thread_sums_segments() {
+        let mut m = Machine::new();
+        let r = m.add_resource("gpu", 1);
+        let mut s = OpStreams::new(1);
+        s.push(0, Op::local(Tag(1), d(10)));
+        s.push(0, Op::service(Tag(2), r, d(20)));
+        let sched = schedule(m, s, &RunOptions::noiseless());
+        assert_eq!(sched.makespan().as_nanos(), 30);
+        assert_eq!(sched.records().len(), 2);
+        assert_eq!(sched.records()[1].start.as_nanos(), 10);
+        assert_eq!(sched.records()[1].end.as_nanos(), 30);
+    }
+
+    #[test]
+    fn contention_serializes_on_lock() {
+        let mut m = Machine::new();
+        let lock = m.add_resource("runtime-lock", 1);
+        let mut s = OpStreams::new(2);
+        for t in 0..2 {
+            for _ in 0..3 {
+                s.push(t, Op::service(Tag(1), lock, d(100)));
+            }
+        }
+        let sched = schedule(m, s, &RunOptions::noiseless());
+        // 6 serialized services of 100ns each.
+        assert_eq!(sched.makespan().as_nanos(), 600);
+        let stats = sched.tag_stats(Tag(1));
+        assert_eq!(stats.count, 6);
+        // Total latency includes queueing: 0+100 + 100+200 + 200+300... wait,
+        // services interleave by request time; total in-call latency is the
+        // sum over ops of (end - start) which includes queue delay.
+        assert!(stats.total_latency.as_nanos() > 600);
+    }
+
+    #[test]
+    fn disjoint_resources_overlap() {
+        let mut m = Machine::new();
+        let gpu = m.add_resource("gpu", 1);
+        let dma = m.add_resource("dma", 1);
+        let mut s = OpStreams::new(2);
+        s.push(0, Op::service(Tag(1), gpu, d(1000)));
+        s.push(1, Op::service(Tag(2), dma, d(1000)));
+        let sched = schedule(m, s, &RunOptions::noiseless());
+        // Copy on thread 1 hides behind kernel on thread 0.
+        assert_eq!(sched.makespan().as_nanos(), 1000);
+    }
+
+    #[test]
+    fn fifo_order_respects_request_time() {
+        let mut m = Machine::new();
+        let r = m.add_resource("r", 1);
+        let mut s = OpStreams::new(2);
+        // Thread 0 requests r at t=50 (after a local delay), thread 1 at t=0.
+        s.push(0, Op::new(Tag(1)).then_local(d(50)).then_service(r, d(100)));
+        s.push(1, Op::service(Tag(2), r, d(100)));
+        let sched = schedule(m, s, &RunOptions::noiseless());
+        let rec1 = sched.records().iter().find(|x| x.tag == Tag(2)).unwrap();
+        let rec0 = sched.records().iter().find(|x| x.tag == Tag(1)).unwrap();
+        // Thread 1 wins the resource (requested at t=0); thread 0 queues.
+        assert_eq!(rec1.end.as_nanos(), 100);
+        assert_eq!(rec0.end.as_nanos(), 200);
+    }
+
+    #[test]
+    fn pool_capacity_allows_parallel_service() {
+        let mut m = Machine::new();
+        let dma = m.add_resource("dma", 2);
+        let mut s = OpStreams::new(4);
+        for t in 0..4 {
+            s.push(t, Op::service(Tag(1), dma, d(100)));
+        }
+        let sched = schedule(m, s, &RunOptions::noiseless());
+        // 4 copies over 2 engines: 2 waves of 100ns.
+        assert_eq!(sched.makespan().as_nanos(), 200);
+    }
+
+    #[test]
+    fn async_service_overlaps_issuing_thread() {
+        use crate::op::AsyncToken;
+        let mut m = Machine::new();
+        let gpu = m.add_resource("gpu", 1);
+        let mut s = OpStreams::new(1);
+        // Submit a 1000ns kernel async, do 600ns of host work, then await:
+        // total = max(1000, 600) = 1000, not 1600.
+        s.push(
+            0,
+            Op::new(Tag(1)).then_async_service(gpu, d(1000), AsyncToken(7)),
+        );
+        s.push(0, Op::local(Tag(2), d(600)));
+        s.push(0, Op::new(Tag(3)).then_await(AsyncToken(7)));
+        let sched = schedule(m, s, &RunOptions::noiseless());
+        assert_eq!(sched.makespan().as_nanos(), 1000);
+        // The await op's latency is the residual wait (400ns).
+        let await_rec = sched.records().iter().find(|r| r.tag == Tag(3)).unwrap();
+        assert_eq!(await_rec.latency().as_nanos(), 400);
+    }
+
+    #[test]
+    fn async_services_queue_fifo_on_the_resource() {
+        use crate::op::AsyncToken;
+        let mut m = Machine::new();
+        let gpu = m.add_resource("gpu", 1);
+        let mut s = OpStreams::new(1);
+        // Two async kernels back to back on one server: they serialize on
+        // the resource, and awaiting both takes 2000ns.
+        s.push(
+            0,
+            Op::new(Tag(1)).then_async_service(gpu, d(1000), AsyncToken(1)),
+        );
+        s.push(
+            0,
+            Op::new(Tag(1)).then_async_service(gpu, d(1000), AsyncToken(2)),
+        );
+        s.push(
+            0,
+            Op::new(Tag(2))
+                .then_await(AsyncToken(1))
+                .then_await(AsyncToken(2)),
+        );
+        let sched = schedule(m, s, &RunOptions::noiseless());
+        assert_eq!(sched.makespan().as_nanos(), 2000);
+    }
+
+    #[test]
+    fn awaiting_unknown_token_is_immediate() {
+        use crate::op::AsyncToken;
+        let m = Machine::new();
+        let mut s = OpStreams::new(1);
+        s.push(0, Op::new(Tag(1)).then_await(AsyncToken(99)));
+        let sched = schedule(m, s, &RunOptions::noiseless());
+        assert_eq!(sched.makespan(), VirtDuration::ZERO);
+    }
+
+    #[test]
+    fn noise_perturbs_but_is_reproducible() {
+        let build = || {
+            let mut m = Machine::new();
+            let r = m.add_resource("r", 1);
+            let mut s = OpStreams::new(1);
+            for _ in 0..100 {
+                s.push(0, Op::service(Tag(1), r, d(1000)));
+            }
+            (m, s)
+        };
+        let opts = RunOptions::with_noise(NoiseModel::quiet_node(), 7);
+        let (m1, s1) = build();
+        let (m2, s2) = build();
+        let a = schedule(m1, s1, &opts);
+        let b = schedule(m2, s2, &opts);
+        assert_eq!(a.makespan(), b.makespan());
+        assert_ne!(a.makespan().as_nanos(), 100_000); // jitter moved it
+
+        let (m3, s3) = build();
+        let c = schedule(m3, s3, &RunOptions::with_noise(NoiseModel::quiet_node(), 8));
+        assert_ne!(a.makespan(), c.makespan()); // different seed, different run
+    }
+
+    #[test]
+    fn empty_streams_finish_at_zero() {
+        let m = Machine::new();
+        let sched = schedule(m, OpStreams::new(3), &RunOptions::noiseless());
+        assert_eq!(sched.makespan(), VirtDuration::ZERO);
+        assert_eq!(sched.records().len(), 0);
+        assert_eq!(sched.threads(), 3);
+    }
+
+    #[test]
+    fn aggregate_skips_untagged() {
+        let mut m = Machine::new();
+        let r = m.add_resource("r", 1);
+        let mut s = OpStreams::new(1);
+        s.push(0, Op::service(Tag::UNTAGGED, r, d(10)));
+        s.push(0, Op::service(Tag(3), r, d(10)));
+        let sched = schedule(m, s, &RunOptions::noiseless());
+        let agg = sched.aggregate_by_tag();
+        assert_eq!(agg.len(), 1);
+        assert_eq!(agg[&Tag(3)].count, 1);
+    }
+
+    #[test]
+    fn resource_stats_reported() {
+        let mut m = Machine::new();
+        let gpu = m.add_resource("gpu", 1);
+        let mut s = OpStreams::new(1);
+        s.push(0, Op::service(Tag(1), gpu, d(500)));
+        let sched = schedule(m, s, &RunOptions::noiseless());
+        let rs = &sched.resource_stats()[0];
+        assert_eq!(rs.name, "gpu");
+        assert_eq!(rs.busy.as_nanos(), 500);
+        assert_eq!(rs.grants, 1);
+        assert!((rs.utilization(sched.makespan()) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,245 @@
+//! Operations recorded by simulated threads.
+//!
+//! Higher layers (the HSA runtime, the OpenMP runtime) *record* operations
+//! while executing a workload's functional effects; the engine later resolves
+//! virtual-time placement of every operation against shared resources.
+
+use crate::resource::ResourceId;
+use crate::time::VirtDuration;
+
+/// Identifies an asynchronous service for a later [`Segment::AwaitToken`].
+/// Tokens are caller-assigned and must be unique within a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AsyncToken(pub u64);
+
+/// An opaque aggregation tag attached to an operation.
+///
+/// Upper layers map their API enums onto tags (e.g. one tag per HSA call
+/// kind) and aggregate a completed schedule by tag to produce call-latency
+/// statistics (paper Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Tag(pub u32);
+
+impl Tag {
+    /// Tag for operations no layer wants to aggregate.
+    pub const UNTAGGED: Tag = Tag(u32::MAX);
+}
+
+/// One timed phase of an operation.
+///
+/// The issuing thread is blocked for `Local`, `Service` and `AwaitToken`
+/// segments (synchronous semantics: kernel launches followed by a signal
+/// wait, copies completing before the mapping call returns).
+/// `AsyncService` submits work without blocking — the `nowait` model — and
+/// a later `AwaitToken` (from any thread) blocks until it completes.
+#[derive(Debug, Clone)]
+pub enum Segment {
+    /// Busy time on the issuing thread, no shared resource involved.
+    Local(VirtDuration),
+    /// FIFO service on one unit of a shared resource pool.
+    Service {
+        /// The resource pool this segment serves on.
+        resource: ResourceId,
+        /// Service duration (excludes queueing).
+        duration: VirtDuration,
+    },
+    /// FIFO service submitted at the thread's current clock *without*
+    /// blocking it; completion is bound to `token`.
+    AsyncService {
+        /// The resource pool this segment serves on.
+        resource: ResourceId,
+        /// Service duration (excludes queueing).
+        duration: VirtDuration,
+        /// Completion handle for a later [`Segment::AwaitToken`].
+        token: AsyncToken,
+    },
+    /// Block until the async service bound to `token` completes.
+    /// Awaiting a token that was never submitted completes immediately.
+    AwaitToken {
+        /// The async service to wait for.
+        token: AsyncToken,
+    },
+}
+
+impl Segment {
+    /// The service/busy duration of this segment (excludes queueing;
+    /// zero for awaits, whose time is pure blocking).
+    pub fn duration(&self) -> VirtDuration {
+        match self {
+            Segment::Local(d) => *d,
+            Segment::Service { duration, .. } | Segment::AsyncService { duration, .. } => *duration,
+            Segment::AwaitToken { .. } => VirtDuration::ZERO,
+        }
+    }
+}
+
+/// A recorded operation: an ordered list of segments plus an aggregation tag.
+#[derive(Debug, Clone)]
+pub struct Op {
+    /// Aggregation tag.
+    pub tag: Tag,
+    /// Ordered timed phases of the operation.
+    pub segments: Vec<Segment>,
+}
+
+impl Op {
+    /// Create a new instance.
+    pub fn new(tag: Tag) -> Self {
+        Op {
+            tag,
+            segments: Vec::new(),
+        }
+    }
+
+    /// A purely thread-local delay.
+    pub fn local(tag: Tag, d: VirtDuration) -> Self {
+        Op {
+            tag,
+            segments: vec![Segment::Local(d)],
+        }
+    }
+
+    /// A single FIFO service on `resource`.
+    pub fn service(tag: Tag, resource: ResourceId, d: VirtDuration) -> Self {
+        Op {
+            tag,
+            segments: vec![Segment::Service {
+                resource,
+                duration: d,
+            }],
+        }
+    }
+
+    /// Append a thread-local delay segment.
+    pub fn then_local(mut self, d: VirtDuration) -> Self {
+        self.segments.push(Segment::Local(d));
+        self
+    }
+
+    /// Append a FIFO service segment.
+    pub fn then_service(mut self, resource: ResourceId, d: VirtDuration) -> Self {
+        self.segments.push(Segment::Service {
+            resource,
+            duration: d,
+        });
+        self
+    }
+
+    /// Append a non-blocking service submission bound to `token`.
+    pub fn then_async_service(
+        mut self,
+        resource: ResourceId,
+        d: VirtDuration,
+        token: AsyncToken,
+    ) -> Self {
+        self.segments.push(Segment::AsyncService {
+            resource,
+            duration: d,
+            token,
+        });
+        self
+    }
+
+    /// Append a blocking wait for `token`.
+    pub fn then_await(mut self, token: AsyncToken) -> Self {
+        self.segments.push(Segment::AwaitToken { token });
+        self
+    }
+
+    /// Sum of segment durations (lower bound on latency; queueing adds more).
+    pub fn min_latency(&self) -> VirtDuration {
+        self.segments.iter().map(Segment::duration).sum()
+    }
+}
+
+/// Per-thread recorded operation streams, ready for scheduling.
+#[derive(Debug, Default, Clone)]
+pub struct OpStreams {
+    streams: Vec<Vec<Op>>,
+}
+
+impl OpStreams {
+    /// Create a new instance.
+    pub fn new(threads: usize) -> Self {
+        OpStreams {
+            streams: vec![Vec::new(); threads],
+        }
+    }
+
+    /// Number of simulated threads.
+    pub fn threads(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Append an operation to `thread`'s stream, growing the thread set if
+    /// needed (threads are created lazily by upper layers).
+    pub fn push(&mut self, thread: usize, op: Op) {
+        if thread >= self.streams.len() {
+            self.streams.resize_with(thread + 1, Vec::new);
+        }
+        self.streams[thread].push(op);
+    }
+
+    /// The recorded operations of `thread`.
+    pub fn stream(&self, thread: usize) -> &[Op] {
+        &self.streams[thread]
+    }
+
+    /// Total operations across all threads.
+    pub fn total_ops(&self) -> usize {
+        self.streams.iter().map(Vec::len).sum()
+    }
+
+    pub(crate) fn into_inner(self) -> Vec<Vec<Op>> {
+        self.streams
+    }
+
+    /// Iterate entries.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &[Op])> {
+        self.streams
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i, s.as_slice()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_builders_compose() {
+        let r = ResourceId(0);
+        let op = Op::new(Tag(1))
+            .then_local(VirtDuration::from_nanos(5))
+            .then_service(r, VirtDuration::from_nanos(10))
+            .then_local(VirtDuration::from_nanos(1));
+        assert_eq!(op.segments.len(), 3);
+        assert_eq!(op.min_latency().as_nanos(), 16);
+    }
+
+    #[test]
+    fn streams_grow_lazily() {
+        let mut s = OpStreams::new(1);
+        s.push(3, Op::local(Tag::UNTAGGED, VirtDuration::ZERO));
+        assert_eq!(s.threads(), 4);
+        assert_eq!(s.total_ops(), 1);
+        assert!(s.stream(0).is_empty());
+        assert_eq!(s.stream(3).len(), 1);
+    }
+
+    #[test]
+    fn segment_duration_matches() {
+        let seg = Segment::Service {
+            resource: ResourceId(2),
+            duration: VirtDuration::from_nanos(7),
+        };
+        assert_eq!(seg.duration().as_nanos(), 7);
+        assert_eq!(
+            Segment::Local(VirtDuration::from_nanos(3))
+                .duration()
+                .as_nanos(),
+            3
+        );
+    }
+}

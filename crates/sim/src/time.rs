@@ -1,0 +1,302 @@
+//! Virtual time primitives.
+//!
+//! All simulation time is expressed in integer nanoseconds of *virtual* time.
+//! Virtual time is fully deterministic: it advances only when the engine
+//! schedules work, never from the wall clock.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A span of virtual time, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VirtDuration(u64);
+
+impl VirtDuration {
+    /// The zero duration.
+    pub const ZERO: VirtDuration = VirtDuration(0);
+
+    #[inline]
+    /// Duration/instant from nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        VirtDuration(ns)
+    }
+
+    #[inline]
+    /// Duration from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        VirtDuration(us * 1_000)
+    }
+
+    #[inline]
+    /// Duration from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        VirtDuration(ms * 1_000_000)
+    }
+
+    #[inline]
+    /// Duration from seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        VirtDuration(s * 1_000_000_000)
+    }
+
+    #[inline]
+    /// Value in nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    /// Value in microseconds.
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    #[inline]
+    /// Value in milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    #[inline]
+    /// Value in seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    #[inline]
+    /// True when zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub fn saturating_sub(self, rhs: Self) -> Self {
+        VirtDuration(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Multiply by a floating-point factor (used by the noise model);
+    /// rounds to the nearest nanosecond and saturates at zero.
+    #[inline]
+    pub fn mul_f64(self, factor: f64) -> Self {
+        let v = (self.0 as f64 * factor).round();
+        VirtDuration(if v <= 0.0 { 0 } else { v as u64 })
+    }
+
+    #[inline]
+    /// The larger of the two.
+    pub fn max(self, other: Self) -> Self {
+        VirtDuration(self.0.max(other.0))
+    }
+
+    #[inline]
+    /// The smaller of the two.
+    pub fn min(self, other: Self) -> Self {
+        VirtDuration(self.0.min(other.0))
+    }
+}
+
+impl Add for VirtDuration {
+    type Output = VirtDuration;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        VirtDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for VirtDuration {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for VirtDuration {
+    type Output = VirtDuration;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        VirtDuration(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for VirtDuration {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Self) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for VirtDuration {
+    type Output = VirtDuration;
+    #[inline]
+    fn mul(self, rhs: u64) -> Self {
+        VirtDuration(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for VirtDuration {
+    type Output = VirtDuration;
+    #[inline]
+    fn div(self, rhs: u64) -> Self {
+        VirtDuration(self.0 / rhs)
+    }
+}
+
+impl Sum for VirtDuration {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(VirtDuration::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for VirtDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0;
+        if ns >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if ns >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else if ns >= 1_000 {
+            write!(f, "{:.3}us", self.as_micros_f64())
+        } else {
+            write!(f, "{ns}ns")
+        }
+    }
+}
+
+/// A point in virtual time, in nanoseconds since simulation start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VirtInstant(u64);
+
+impl VirtInstant {
+    /// Simulation start.
+    pub const ZERO: VirtInstant = VirtInstant(0);
+
+    #[inline]
+    /// Duration/instant from nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        VirtInstant(ns)
+    }
+
+    #[inline]
+    /// Value in nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Duration elapsed since `earlier`. Panics if `earlier` is later.
+    #[inline]
+    pub fn since(self, earlier: VirtInstant) -> VirtDuration {
+        VirtDuration(self.0 - earlier.0)
+    }
+
+    #[inline]
+    /// The larger of the two.
+    pub fn max(self, other: Self) -> Self {
+        VirtInstant(self.0.max(other.0))
+    }
+}
+
+impl Add<VirtDuration> for VirtInstant {
+    type Output = VirtInstant;
+    #[inline]
+    fn add(self, rhs: VirtDuration) -> Self {
+        VirtInstant(self.0 + rhs.as_nanos())
+    }
+}
+
+impl AddAssign<VirtDuration> for VirtInstant {
+    #[inline]
+    fn add_assign(&mut self, rhs: VirtDuration) {
+        self.0 += rhs.as_nanos();
+    }
+}
+
+impl Sub<VirtInstant> for VirtInstant {
+    type Output = VirtDuration;
+    #[inline]
+    fn sub(self, rhs: VirtInstant) -> VirtDuration {
+        VirtDuration(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for VirtInstant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}", VirtDuration(self.0))
+    }
+}
+
+/// Convert a byte count and a bandwidth (bytes per second) into a duration.
+///
+/// Rounds up so that any nonzero transfer takes at least one nanosecond.
+pub fn transfer_time(bytes: u64, bytes_per_sec: u64) -> VirtDuration {
+    if bytes == 0 || bytes_per_sec == 0 {
+        return VirtDuration::ZERO;
+    }
+    // ns = bytes * 1e9 / bps, computed in u128 to avoid overflow.
+    let ns = (bytes as u128 * 1_000_000_000u128).div_ceil(bytes_per_sec as u128);
+    VirtDuration(ns as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_constructors_agree() {
+        assert_eq!(VirtDuration::from_micros(3).as_nanos(), 3_000);
+        assert_eq!(VirtDuration::from_millis(3).as_nanos(), 3_000_000);
+        assert_eq!(VirtDuration::from_secs(3).as_nanos(), 3_000_000_000);
+    }
+
+    #[test]
+    fn duration_arithmetic() {
+        let a = VirtDuration::from_nanos(100);
+        let b = VirtDuration::from_nanos(40);
+        assert_eq!((a + b).as_nanos(), 140);
+        assert_eq!((a - b).as_nanos(), 60);
+        assert_eq!((a * 3).as_nanos(), 300);
+        assert_eq!((a / 4).as_nanos(), 25);
+        assert_eq!(b.saturating_sub(a), VirtDuration::ZERO);
+    }
+
+    #[test]
+    fn instant_arithmetic() {
+        let t0 = VirtInstant::ZERO;
+        let t1 = t0 + VirtDuration::from_nanos(50);
+        assert_eq!(t1.as_nanos(), 50);
+        assert_eq!(t1.since(t0).as_nanos(), 50);
+        assert_eq!((t1 - t0).as_nanos(), 50);
+    }
+
+    #[test]
+    fn mul_f64_rounds_and_saturates() {
+        let d = VirtDuration::from_nanos(100);
+        assert_eq!(d.mul_f64(1.5).as_nanos(), 150);
+        assert_eq!(d.mul_f64(0.0).as_nanos(), 0);
+        assert_eq!(d.mul_f64(-2.0).as_nanos(), 0);
+    }
+
+    #[test]
+    fn transfer_time_rounds_up() {
+        // 1 GiB/s => 1 byte takes 1ns (rounded up from ~0.93ns).
+        assert_eq!(transfer_time(1, 1 << 30).as_nanos(), 1);
+        // 1e9 B/s => 1000 bytes takes exactly 1000ns.
+        assert_eq!(transfer_time(1000, 1_000_000_000).as_nanos(), 1000);
+        assert_eq!(transfer_time(0, 1_000_000_000), VirtDuration::ZERO);
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(format!("{}", VirtDuration::from_nanos(12)), "12ns");
+        assert_eq!(format!("{}", VirtDuration::from_micros(12)), "12.000us");
+        assert_eq!(format!("{}", VirtDuration::from_millis(12)), "12.000ms");
+        assert_eq!(format!("{}", VirtDuration::from_secs(12)), "12.000s");
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: VirtDuration = (1..=4).map(VirtDuration::from_nanos).sum();
+        assert_eq!(total.as_nanos(), 10);
+    }
+}

@@ -1,0 +1,489 @@
+//! Mini-QMCPack: the NiO performance-test offload pattern.
+//!
+//! QMCPack is the paper's production-grade application (§V-A). Its offload
+//! structure — not its physics — is what the zero-copy study exercises, so
+//! this mini-app reproduces that structure faithfully:
+//!
+//! * **Ahead-of-time data transfer**: the B-spline coefficient table (the
+//!   dominant read-only data) is mapped `to` once at setup, before the
+//!   long-running Monte-Carlo phase.
+//! * **Per-step offload cadence**: each MC step launches three kernels
+//!   (distance table, spline evaluation, determinant update), each with
+//!   small `map(always, to:)` parameter updates; the determinant kernel
+//!   also round-trips a reduction buffer and a transient scratch array
+//!   (allocated + freed per step in Copy mode).
+//! * **Data-transfer latency hiding**: N OpenMP host threads each drive
+//!   their own walker crowd against the same device, so one thread's
+//!   map-triggered copies overlap another's kernels.
+//!
+//! Problem sizes S2…S128 scale the spline table, walker arrays and kernel
+//! times the way the NiO supercell sizes do.
+
+use crate::common::{scaled_iters, Workload, MIB};
+use apu_mem::AddrRange;
+use omp_offload::{GpuPerf, MapEntry, OmpError, OmpRuntime, TargetRegion};
+use sim_des::VirtDuration;
+
+/// NiO problem size (the paper uses S2…S128; S1 is excluded there as
+/// unrepresentative).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NioSize {
+    /// The S-number: electrons/supercell scale factor.
+    pub factor: u32,
+}
+
+impl NioSize {
+    /// The sizes the paper's Figures 3 and 4 sweep.
+    pub const ALL: [NioSize; 8] = [
+        NioSize { factor: 2 },
+        NioSize { factor: 4 },
+        NioSize { factor: 8 },
+        NioSize { factor: 16 },
+        NioSize { factor: 24 },
+        NioSize { factor: 32 },
+        NioSize { factor: 64 },
+        NioSize { factor: 128 },
+    ];
+
+    /// "S2", "S128", ...
+    pub fn label(&self) -> String {
+        format!("S{}", self.factor)
+    }
+}
+
+/// The mini-QMCPack workload.
+#[derive(Debug, Clone)]
+pub struct QmcPack {
+    /// NiO problem size.
+    pub size: NioSize,
+    /// Monte-Carlo steps per host thread.
+    pub steps: usize,
+    /// GPU throughput model for kernel durations.
+    pub perf: GpuPerf,
+    /// Attach small real kernel bodies so results can be checked for
+    /// cross-configuration equality (see [`QmcPack::run_with_probe`]).
+    pub validate: bool,
+    /// Launch per-step kernels as deferred target tasks (`target nowait`)
+    /// with a `taskwait` at the end of each step, letting one host thread
+    /// pipeline its three kernels on the GPU.
+    pub nowait: bool,
+}
+
+impl QmcPack {
+    /// Default step count: enough for stable steady-state ratios while
+    /// keeping sweeps fast.
+    pub fn nio(size: NioSize) -> Self {
+        QmcPack {
+            size,
+            steps: 400,
+            perf: GpuPerf::mi300a(),
+            validate: false,
+            nowait: false,
+        }
+    }
+
+    /// Enable real kernel bodies for numerical validation.
+    pub fn with_validation(mut self) -> Self {
+        self.validate = true;
+        self
+    }
+
+    /// Launch per-step kernels with `target nowait` + `taskwait`.
+    pub fn with_nowait(mut self) -> Self {
+        self.nowait = true;
+        self
+    }
+
+    /// Override the step count (Table I uses a long run for call counts).
+    pub fn with_steps(mut self, steps: usize) -> Self {
+        self.steps = steps;
+        self
+    }
+
+    /// Scale the step count.
+    pub fn scaled(mut self, scale: f64) -> Self {
+        self.steps = scaled_iters(self.steps, scale);
+        self
+    }
+
+    fn f(&self) -> u64 {
+        self.size.factor as u64
+    }
+
+    /// Spline coefficient table: the big read-only AoT-transferred data.
+    pub fn spline_bytes(&self) -> u64 {
+        self.f() * 40 * MIB
+    }
+
+    fn positions_bytes(&self) -> u64 {
+        self.f() * 256 * 1024
+    }
+
+    fn results_bytes(&self) -> u64 {
+        self.f() * MIB
+    }
+
+    fn dets_bytes(&self) -> u64 {
+        self.f() * MIB
+    }
+
+    /// Per-step transfer buffers scale at *half the rate* of kernel time
+    /// (paper §V-A.3: "memory copy overheads ... about at half rate than
+    /// kernel execution time"): sqrt(f) instead of f.
+    fn sqrt_f(&self) -> f64 {
+        (self.size.factor as f64).sqrt()
+    }
+
+    fn scratch_bytes(&self) -> u64 {
+        (2.0 * MIB as f64 * self.sqrt_f()) as u64
+    }
+
+    fn param_bytes(&self) -> u64 {
+        (16.0 * 1024.0 * self.sqrt_f()) as u64
+    }
+
+    fn reduction_bytes(&self) -> u64 {
+        (512.0 * 1024.0 * self.sqrt_f()) as u64
+    }
+
+    /// Steps between transient scratch round-trips.
+    const SCRATCH_PERIOD: usize = 4;
+
+    fn dist_kernel(&self) -> VirtDuration {
+        self.perf
+            .kernel_time(2 * self.positions_bytes(), self.f() * 1_000_000)
+    }
+
+    fn spline_kernel(&self) -> VirtDuration {
+        self.perf.kernel_time(
+            self.f() * 16 * MIB + self.results_bytes(),
+            self.f() * 20_000_000,
+        )
+    }
+
+    fn det_kernel(&self) -> VirtDuration {
+        self.perf
+            .kernel_time(2 * self.dets_bytes(), self.f() * 200_000_000)
+    }
+
+    fn host_step(&self) -> VirtDuration {
+        VirtDuration::from_micros(30) + VirtDuration::from_nanos(self.f() * 500)
+    }
+}
+
+impl Workload for QmcPack {
+    fn name(&self) -> String {
+        format!("qmcpack-nio-{}", self.size.label())
+    }
+
+    fn run(&self, rt: &mut OmpRuntime) -> Result<(), OmpError> {
+        self.run_with_probe(rt).map(|_| ())
+    }
+}
+
+impl QmcPack {
+    fn launch(
+        &self,
+        rt: &mut OmpRuntime,
+        thread: usize,
+        region: TargetRegion<'_>,
+    ) -> Result<(), OmpError> {
+        if self.nowait {
+            rt.target_nowait(thread, region)
+        } else {
+            rt.target(thread, region)
+        }
+    }
+
+    /// Run the full program; with [`validate`](Self::validate) enabled,
+    /// returns each crowd's final reduction-buffer prefix (8 values), which
+    /// must be identical across runtime configurations.
+    pub fn run_with_probe(&self, rt: &mut OmpRuntime) -> Result<Vec<f64>, OmpError> {
+        let threads = rt.threads();
+
+        // --- Setup on thread 0: spline table, ahead-of-time transfer. ---
+        let spline = rt.host_alloc(0, self.spline_bytes())?;
+        let spline_range = AddrRange::new(spline, self.spline_bytes());
+        rt.mem_mut().host_touch(spline_range)?; // I/O fills it on the host
+        if self.validate {
+            // Seed a header the spline-eval bodies will read.
+            let hdr: Vec<u8> = (1..=8u64).flat_map(|v| (v as f64).to_le_bytes()).collect();
+            rt.mem_mut()
+                .cpu_write(spline, &hdr)
+                .map_err(OmpError::Mem)?;
+        }
+        rt.host_compute(0, VirtDuration::from_millis(2)); // file input
+        rt.target_enter_data(0, &[MapEntry::to(spline_range)])?;
+
+        // --- Per-thread walker crowds. ---
+        struct Crowd {
+            positions: AddrRange,
+            results: AddrRange,
+            dets: AddrRange,
+            scratch: AddrRange,
+            params: [AddrRange; 2],
+            reduction: AddrRange,
+        }
+        let mut crowds = Vec::with_capacity(threads);
+        for t in 0..threads {
+            let alloc_touched = |rt: &mut OmpRuntime, len: u64| -> Result<AddrRange, OmpError> {
+                let a = rt.host_alloc(t, len)?;
+                let r = AddrRange::new(a, len);
+                rt.mem_mut().host_touch(r)?;
+                Ok(r)
+            };
+            let positions = alloc_touched(rt, self.positions_bytes())?;
+            let results = alloc_touched(rt, self.results_bytes())?;
+            let dets = alloc_touched(rt, self.dets_bytes())?;
+            let scratch = alloc_touched(rt, self.scratch_bytes())?;
+            let params = [
+                alloc_touched(rt, self.param_bytes())?,
+                alloc_touched(rt, self.param_bytes())?,
+            ];
+            let reduction = alloc_touched(rt, self.reduction_bytes())?;
+            // Persistent device residency for the crowd's working set
+            // (QMCPack's ahead-of-time mapping of walker buffers).
+            rt.target_enter_data(
+                t,
+                &[
+                    MapEntry::to(positions),
+                    MapEntry::to(results),
+                    MapEntry::to(dets),
+                    MapEntry::to(params[0]),
+                    MapEntry::to(params[1]),
+                    MapEntry::to(reduction),
+                ],
+            )?;
+            crowds.push(Crowd {
+                positions,
+                results,
+                dets,
+                scratch,
+                params,
+                reduction,
+            });
+        }
+
+        // --- Monte-Carlo steps. ---
+        let dist_t = self.dist_kernel();
+        let spline_t = self.spline_kernel();
+        let det_t = self.det_kernel();
+        let host_t = self.host_step();
+        for step in 0..self.steps {
+            for (t, crowd) in crowds.iter().enumerate() {
+                rt.host_compute(t, host_t);
+
+                // Kernel 1: update distance tables.
+                let mut dist = TargetRegion::new("qmc_dist_table", dist_t)
+                    .map(MapEntry::alloc(crowd.positions))
+                    .map(MapEntry::to(crowd.params[0]).always())
+                    .map(MapEntry::to(crowd.params[1]).always());
+                if self.validate {
+                    let (s, w) = (step as f64, t as f64);
+                    dist = dist.body(move |ctx| {
+                        let vals: Vec<f64> = (0..8).map(|i| s * 0.25 + w + i as f64).collect();
+                        ctx.write_f64s(ctx.arg(0), &vals)
+                    });
+                }
+                self.launch(rt, t, dist)?;
+
+                // Kernel 2: evaluate B-splines against the big table.
+                let mut spline_k = TargetRegion::new("qmc_spline_eval", spline_t)
+                    .map(MapEntry::alloc(spline_range))
+                    .map(MapEntry::alloc(crowd.positions))
+                    .map(MapEntry::alloc(crowd.results))
+                    .map(MapEntry::to(crowd.params[0]).always());
+                if self.validate {
+                    spline_k = spline_k.body(move |ctx| {
+                        let table = ctx.read_f64s(ctx.arg(0), 8)?;
+                        let pos = ctx.read_f64s(ctx.arg(1), 8)?;
+                        let out: Vec<f64> =
+                            pos.iter().zip(&table).map(|(p, c)| p * 2.0 + c).collect();
+                        ctx.write_f64s(ctx.arg(2), &out)
+                    });
+                }
+                self.launch(rt, t, spline_k)?;
+
+                // Kernel 3: determinant update with a host-side cross-team
+                // reduction round trip; a transient scratch buffer rides
+                // along on checkpoint steps (alloc+copy+free under Copy).
+                let mut det = TargetRegion::new("qmc_det_update", det_t)
+                    .map(MapEntry::alloc(crowd.results))
+                    .map(MapEntry::alloc(crowd.dets))
+                    .map(MapEntry::tofrom(crowd.reduction).always());
+                if step % Self::SCRATCH_PERIOD == 0 {
+                    det = det.map(MapEntry::tofrom(crowd.scratch));
+                }
+                if self.validate {
+                    det = det.body(move |ctx| {
+                        let results = ctx.read_f64s(ctx.arg(0), 8)?;
+                        let mut dets = ctx.read_f64s(ctx.arg(1), 8)?;
+                        for (d, r) in dets.iter_mut().zip(&results) {
+                            *d += r * 0.125;
+                        }
+                        ctx.write_f64s(ctx.arg(1), &dets)?;
+                        let sum: f64 = dets.iter().sum();
+                        let red: Vec<f64> = (0..8).map(|i| sum + i as f64).collect();
+                        ctx.write_f64s(ctx.arg(2), &red)
+                    });
+                }
+                self.launch(rt, t, det)?;
+                if self.nowait {
+                    rt.taskwait(t)?;
+                }
+
+                // Host applies the reduction (cross-team reduction on host).
+                rt.target_update(t, &[], &[crowd.reduction])?;
+                rt.host_compute(t, VirtDuration::from_micros(3));
+            }
+        }
+
+        // --- Probe: each crowd's reduction prefix (validation runs). ---
+        let mut probe = Vec::with_capacity(threads * 8);
+        if self.validate {
+            for crowd in &crowds {
+                let mut raw = vec![0u8; 64];
+                rt.mem()
+                    .cpu_read(crowd.reduction.start, &mut raw)
+                    .map_err(OmpError::Mem)?;
+                probe.extend(
+                    raw.chunks_exact(8)
+                        .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes"))),
+                );
+            }
+        }
+
+        // --- Teardown. ---
+        for (t, crowd) in crowds.iter().enumerate() {
+            rt.target_exit_data(
+                t,
+                &[
+                    MapEntry::from(crowd.positions),
+                    MapEntry::from(crowd.results),
+                    MapEntry::from(crowd.dets),
+                    MapEntry::alloc(crowd.params[0]),
+                    MapEntry::alloc(crowd.params[1]),
+                    MapEntry::from(crowd.reduction),
+                ],
+                false,
+            )?;
+        }
+        rt.target_exit_data(0, &[MapEntry::alloc(spline_range)], false)?;
+        Ok(probe)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apu_mem::CostModel;
+    use hsa_rocr::Topology;
+    use omp_offload::RuntimeConfig;
+
+    fn run(config: RuntimeConfig, threads: usize, steps: usize) -> omp_offload::RunReport {
+        let mut rt =
+            OmpRuntime::new(CostModel::mi300a(), Topology::default(), config, threads).unwrap();
+        let w = QmcPack::nio(NioSize { factor: 2 }).with_steps(steps);
+        w.run(&mut rt).unwrap();
+        rt.finish()
+    }
+
+    #[test]
+    fn zero_copy_beats_copy_at_s2() {
+        let copy = run(RuntimeConfig::LegacyCopy, 1, 50);
+        let izc = run(RuntimeConfig::ImplicitZeroCopy, 1, 50);
+        let ratio = copy.makespan.as_nanos() as f64 / izc.makespan.as_nanos() as f64;
+        assert!(
+            ratio > 1.1 && ratio < 4.0,
+            "S2 1-thread ratio {ratio} out of the paper's band"
+        );
+    }
+
+    #[test]
+    fn copy_mode_issues_per_step_copies() {
+        let copy = run(RuntimeConfig::LegacyCopy, 1, 20);
+        // ~6.5 copies per step plus setup.
+        assert!(copy.ledger.copies > 100, "copies = {}", copy.ledger.copies);
+        let izc = run(RuntimeConfig::ImplicitZeroCopy, 1, 20);
+        // Zero-copy: only the 3 device-init copies.
+        assert_eq!(izc.ledger.copies, 0);
+    }
+
+    #[test]
+    fn eager_maps_prefaults_every_step() {
+        let em = run(RuntimeConfig::EagerMaps, 1, 20);
+        // >= maps per step * steps.
+        assert!(em.ledger.prefault_calls > 200);
+        assert_eq!(em.mem_stats.xnack_pages(), 0);
+    }
+
+    #[test]
+    fn work_scales_with_threads() {
+        let one = run(RuntimeConfig::ImplicitZeroCopy, 1, 10);
+        let four = run(RuntimeConfig::ImplicitZeroCopy, 4, 10);
+        assert!(four.ledger.kernels > 3 * one.ledger.kernels);
+    }
+
+    #[test]
+    fn no_mapping_leaks() {
+        let mut rt = OmpRuntime::new(
+            CostModel::mi300a(),
+            Topology::default(),
+            RuntimeConfig::LegacyCopy,
+            2,
+        )
+        .unwrap();
+        QmcPack::nio(NioSize { factor: 2 })
+            .with_steps(5)
+            .run(&mut rt)
+            .unwrap();
+        assert_eq!(rt.live_mappings(), 0);
+    }
+
+    #[test]
+    fn nowait_mode_pipelines_and_preserves_results() {
+        // Deferred target tasks speed up a single-thread run by pipelining
+        // the three per-step kernels on the GPU...
+        let run = |nowait: bool| {
+            let mut rt = OmpRuntime::new(
+                CostModel::mi300a(),
+                Topology::default(),
+                RuntimeConfig::ImplicitZeroCopy,
+                1,
+            )
+            .unwrap();
+            let mut w = QmcPack::nio(NioSize { factor: 16 }).with_steps(40);
+            w.nowait = nowait;
+            w.run(&mut rt).unwrap();
+            assert_eq!(rt.pending_nowaits(), 0);
+            rt.finish().makespan
+        };
+        assert!(run(true) < run(false));
+
+        // ...and compute the same numbers (validation bodies execute
+        // identically; the reduction read-back happens after taskwait).
+        let probe = |nowait: bool| {
+            let mut rt = OmpRuntime::new(
+                CostModel::mi300a(),
+                Topology::default(),
+                RuntimeConfig::LegacyCopy,
+                1,
+            )
+            .unwrap();
+            let mut w = QmcPack::nio(NioSize { factor: 2 })
+                .with_steps(8)
+                .with_validation();
+            w.nowait = nowait;
+            w.run_with_probe(&mut rt).unwrap()
+        };
+        assert_eq!(probe(true), probe(false));
+    }
+
+    #[test]
+    fn sizes_scale_spline_table() {
+        let s2 = QmcPack::nio(NioSize { factor: 2 });
+        let s128 = QmcPack::nio(NioSize { factor: 128 });
+        assert_eq!(s128.spline_bytes(), 64 * s2.spline_bytes());
+        assert!(s128.spline_kernel() > s2.spline_kernel() * 30);
+    }
+}

@@ -1,0 +1,158 @@
+//! 470.bt — block tri-diagonal solver.
+//!
+//! The paper's description: like 457.spC, but the largest allocation is
+//! above 2 GiB, 10 kernels run between the allocation and deletion
+//! sequences, and the most expensive kernel takes ~30% of the largest
+//! allocation's time — so kernels amortize a little more of the Copy
+//! overhead than in spC (4.9–5.1× instead of 7.6–8.1×).
+
+use crate::common::{scaled, scaled_iters, Workload, GIB, MIB};
+use apu_mem::AddrRange;
+use omp_offload::{GpuPerf, MapEntry, OmpError, OmpRuntime, TargetRegion};
+use sim_des::VirtDuration;
+
+/// The 470.bt analog.
+#[derive(Debug, Clone)]
+pub struct Bt {
+    /// Solver invocations (alloc → kernels → delete cycles).
+    pub cycles: usize,
+    /// The big block matrix (> 2 GiB at ref scale).
+    pub big_bytes: u64,
+    /// Auxiliary arrays allocated per cycle.
+    pub aux_arrays: usize,
+    /// Size of each auxiliary array.
+    pub aux_bytes: u64,
+    /// Kernels launched between allocation and deletion.
+    pub kernels_per_cycle: usize,
+    /// GPU throughput model.
+    pub perf: GpuPerf,
+}
+
+impl Bt {
+    /// Ref-like scale.
+    pub fn ref_size() -> Self {
+        Bt {
+            cycles: 40,
+            big_bytes: 2 * GIB + 512 * MIB,
+            aux_arrays: 4,
+            aux_bytes: GIB,
+            kernels_per_cycle: 10,
+            perf: GpuPerf::mi300a(),
+        }
+    }
+
+    /// Shrink sizes and cycle count by `scale` (tests).
+    pub fn scaled(scale: f64) -> Self {
+        let r = Self::ref_size();
+        Bt {
+            cycles: scaled_iters(r.cycles, scale),
+            big_bytes: scaled(r.big_bytes, scale.sqrt()),
+            aux_arrays: r.aux_arrays,
+            aux_bytes: scaled(r.aux_bytes, scale.sqrt()),
+            kernels_per_cycle: r.kernels_per_cycle,
+            perf: r.perf,
+        }
+    }
+
+    /// The dominant kernel: ~30% of the largest allocation's time.
+    fn big_kernel(&self) -> VirtDuration {
+        self.perf
+            .kernel_time(3 * self.big_bytes + self.big_bytes / 2, self.big_bytes * 52)
+    }
+
+    fn small_kernel(&self) -> VirtDuration {
+        self.perf
+            .kernel_time(self.aux_bytes + self.aux_bytes / 2, self.aux_bytes * 37)
+    }
+}
+
+impl Workload for Bt {
+    fn name(&self) -> String {
+        "470.bt".to_string()
+    }
+
+    fn run(&self, rt: &mut OmpRuntime) -> Result<(), OmpError> {
+        let t = 0;
+        for _cycle in 0..self.cycles {
+            let big = rt.host_alloc(t, self.big_bytes)?;
+            let big_r = AddrRange::new(big, self.big_bytes);
+            rt.mem_mut().host_touch(big_r)?;
+            let mut auxes = Vec::with_capacity(self.aux_arrays);
+            for _ in 0..self.aux_arrays {
+                let a = rt.host_alloc(t, self.aux_bytes)?;
+                let r = AddrRange::new(a, self.aux_bytes);
+                rt.mem_mut().host_touch(r)?;
+                auxes.push(r);
+            }
+            rt.host_compute(t, VirtDuration::from_micros(300));
+
+            let mut maps = vec![MapEntry::to(big_r)];
+            maps.extend(auxes.iter().map(|&r| MapEntry::alloc(r)));
+            rt.target_enter_data(t, &maps)?;
+
+            for k in 0..self.kernels_per_cycle {
+                let (name, dur) = if k % self.kernels_per_cycle == 0 {
+                    ("bt_solve_blocks", self.big_kernel())
+                } else {
+                    ("bt_rhs_update", self.small_kernel())
+                };
+                let mut region = TargetRegion::new(name, dur).map(MapEntry::alloc(big_r));
+                for &r in &auxes {
+                    region = region.map(MapEntry::alloc(r));
+                }
+                rt.target(t, region)?;
+            }
+
+            let mut exits = vec![MapEntry::from(big_r)];
+            exits.extend(auxes.iter().map(|&r| MapEntry::alloc(r)));
+            rt.target_exit_data(t, &exits, true)?;
+            rt.host_free(t, big)?;
+            for r in auxes {
+                rt.host_free(t, r.start)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apu_mem::CostModel;
+    use hsa_rocr::Topology;
+    use omp_offload::{RunReport, RuntimeConfig};
+
+    fn run(config: RuntimeConfig, scale: f64) -> RunReport {
+        let mut rt = OmpRuntime::new(CostModel::mi300a(), Topology::default(), config, 1).unwrap();
+        Bt::scaled(scale).run(&mut rt).unwrap();
+        rt.finish()
+    }
+
+    #[test]
+    fn zero_copy_wins_but_less_than_spc() {
+        let copy = run(RuntimeConfig::LegacyCopy, 0.25);
+        let izc = run(RuntimeConfig::ImplicitZeroCopy, 0.25);
+        let ratio = copy.makespan.as_nanos() as f64 / izc.makespan.as_nanos() as f64;
+        assert!(
+            (2.0..8.0).contains(&ratio),
+            "bt ratio {ratio} outside expected band"
+        );
+    }
+
+    #[test]
+    fn eager_maps_is_best() {
+        let izc = run(RuntimeConfig::ImplicitZeroCopy, 0.25);
+        let em = run(RuntimeConfig::EagerMaps, 0.25);
+        assert!(em.makespan < izc.makespan);
+        assert_eq!(em.mem_stats.xnack_pages(), 0);
+    }
+
+    #[test]
+    fn big_transfer_flows_back_each_cycle() {
+        let s = Bt::scaled(0.25);
+        let copy = run(RuntimeConfig::LegacyCopy, 0.25);
+        // Per cycle: big to + big from.
+        assert_eq!(copy.ledger.copies as usize, 2 * s.cycles);
+        assert_eq!(copy.ledger.bytes_copied, 2 * s.big_bytes * s.cycles as u64);
+    }
+}

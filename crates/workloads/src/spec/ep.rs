@@ -1,0 +1,150 @@
+//! 452.ep — embarrassingly parallel random-number kernels.
+//!
+//! The paper's description: allocates GPU memory (via ROCr in Copy mode)
+//! but performs **no memory copies**; the arrays are *initialized inside a
+//! target region*. That makes ep the showcase of the expensive first-touch
+//! regime: with Implicit Zero-Copy / USM the initialization kernel faults
+//! page-by-page on memory no agent ever touched (allocate + zero in the
+//! handler), while Copy's pool allocation bulk-faults up front and Eager
+//! Maps prefaults from the host — hence the paper's 0.89 / 0.89 / 0.99.
+
+use crate::common::{scaled, scaled_iters, Workload, GIB};
+use apu_mem::AddrRange;
+use omp_offload::{GpuPerf, MapEntry, OmpError, OmpRuntime, TargetRegion};
+use sim_des::VirtDuration;
+
+/// The 452.ep analog.
+#[derive(Debug, Clone)]
+pub struct Ep {
+    /// GPU-initialized working arrays (never CPU-touched).
+    pub array_bytes: u64,
+    /// Batches of random-number generation + tallying.
+    pub batches: usize,
+    /// Scalar reduction variable round-tripped per batch.
+    pub scalar_bytes: u64,
+    /// GPU throughput model.
+    pub perf: GpuPerf,
+}
+
+impl Ep {
+    /// Ref-like scale.
+    pub fn ref_size() -> Self {
+        Ep {
+            array_bytes: 22 * GIB,
+            batches: 100,
+            scalar_bytes: 64,
+            perf: GpuPerf::mi300a(),
+        }
+    }
+
+    /// Shrink sizes and batches by `scale` (tests).
+    pub fn scaled(scale: f64) -> Self {
+        let r = Self::ref_size();
+        Ep {
+            array_bytes: scaled(r.array_bytes, scale),
+            batches: scaled_iters(r.batches, scale),
+            scalar_bytes: r.scalar_bytes,
+            perf: r.perf,
+        }
+    }
+
+    fn init_kernel(&self) -> VirtDuration {
+        self.perf.kernel_time(self.array_bytes, 0)
+    }
+
+    fn batch_kernel(&self) -> VirtDuration {
+        // Compute-bound: Gaussian pair generation and tallying.
+        self.perf
+            .kernel_time(self.array_bytes / 16, 4_350_000_000_000)
+    }
+}
+
+impl Workload for Ep {
+    fn name(&self) -> String {
+        "452.ep".to_string()
+    }
+
+    fn run(&self, rt: &mut OmpRuntime) -> Result<(), OmpError> {
+        let t = 0;
+        let arrays = rt.host_alloc(t, self.array_bytes)?;
+        let arrays_r = AddrRange::new(arrays, self.array_bytes);
+        // NOT host-touched: ep initializes on the GPU.
+
+        let scalar = rt.host_alloc(t, self.scalar_bytes)?;
+        let scalar_r = AddrRange::new(scalar, self.scalar_bytes);
+        rt.mem_mut().host_touch(scalar_r)?;
+
+        rt.target_enter_data(t, &[MapEntry::alloc(arrays_r)])?;
+
+        // Initialization inside a target region: the first-touch hotspot.
+        rt.target(
+            t,
+            TargetRegion::new("ep_init", self.init_kernel()).map(MapEntry::alloc(arrays_r)),
+        )?;
+
+        let kernel = self.batch_kernel();
+        for _ in 0..self.batches {
+            rt.target(
+                t,
+                TargetRegion::new("ep_batch", kernel)
+                    .map(MapEntry::alloc(arrays_r))
+                    .map(MapEntry::tofrom(scalar_r).always()),
+            )?;
+            rt.host_compute(t, VirtDuration::from_micros(5));
+        }
+
+        rt.target_exit_data(t, &[MapEntry::alloc(arrays_r)], false)?;
+        rt.host_free(t, arrays)?;
+        rt.host_free(t, scalar)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apu_mem::CostModel;
+    use hsa_rocr::Topology;
+    use omp_offload::{RunReport, RuntimeConfig};
+
+    fn run(config: RuntimeConfig, scale: f64) -> RunReport {
+        let mut rt = OmpRuntime::new(CostModel::mi300a(), Topology::default(), config, 1).unwrap();
+        Ep::scaled(scale).run(&mut rt).unwrap();
+        rt.finish()
+    }
+
+    #[test]
+    fn zero_copy_loses_on_first_touch_initialization() {
+        let copy = run(RuntimeConfig::LegacyCopy, 0.1);
+        let izc = run(RuntimeConfig::ImplicitZeroCopy, 0.1);
+        let ratio = copy.makespan.as_nanos() as f64 / izc.makespan.as_nanos() as f64;
+        assert!(
+            (0.8..0.97).contains(&ratio),
+            "ep zero-copy should lose, ratio {ratio}"
+        );
+        // And the loss is exactly the zero-fill regime.
+        assert!(izc.ledger.zero_filled_pages > 0);
+        assert_eq!(izc.ledger.copies, 0);
+    }
+
+    #[test]
+    fn eager_maps_recovers_copy_performance() {
+        let copy = run(RuntimeConfig::LegacyCopy, 0.1);
+        let em = run(RuntimeConfig::EagerMaps, 0.1);
+        let ratio = copy.makespan.as_nanos() as f64 / em.makespan.as_nanos() as f64;
+        assert!(
+            (0.93..=1.05).contains(&ratio),
+            "ep Eager Maps should match Copy, ratio {ratio}"
+        );
+        assert_eq!(em.mem_stats.xnack_pages(), 0);
+    }
+
+    #[test]
+    fn copy_mode_copies_only_scalars() {
+        let s = Ep::scaled(0.1);
+        let copy = run(RuntimeConfig::LegacyCopy, 0.1);
+        // tofrom(always) scalar per batch: 2 copies each; no array copies.
+        assert_eq!(copy.ledger.copies as usize, 2 * s.batches);
+        assert!(copy.ledger.bytes_copied < 1_000_000);
+    }
+}

@@ -1,0 +1,140 @@
+//! 404.lbm — lattice Boltzmann.
+//!
+//! The paper's description: one large host→device transfer at the beginning
+//! of the application (skipped entirely by zero-copy configurations, which
+//! therefore win slightly, ≈1.05×), then a long streaming kernel loop. The
+//! lattice is host-initialized, so zero-copy first touch is the *cheap*
+//! XNACK-replay regime — the case that shows why replay must cost less than
+//! a DMA copy of the same pages.
+
+use crate::common::{scaled, scaled_iters, Workload, GIB};
+use apu_mem::AddrRange;
+use omp_offload::{GpuPerf, MapEntry, OmpError, OmpRuntime, TargetRegion};
+use sim_des::VirtDuration;
+
+/// The 404.lbm analog.
+#[derive(Debug, Clone)]
+pub struct Lbm {
+    /// Host-initialized lattice, bulk-transferred at start under Copy.
+    pub lattice_bytes: u64,
+    /// Result slice copied back at the end.
+    pub result_bytes: u64,
+    /// Streaming iterations.
+    pub iterations: usize,
+    /// Per-iteration control parameters (`map(always, to:)`).
+    pub param_bytes: u64,
+    /// GPU throughput model.
+    pub perf: GpuPerf,
+}
+
+impl Lbm {
+    /// Ref-like scale.
+    pub fn ref_size() -> Self {
+        Lbm {
+            lattice_bytes: 20 * GIB,
+            result_bytes: 2 * GIB,
+            iterations: 700,
+            param_bytes: 16 * 1024,
+            perf: GpuPerf::mi300a(),
+        }
+    }
+
+    /// Shrink sizes and iterations by `scale` (tests).
+    pub fn scaled(scale: f64) -> Self {
+        let r = Self::ref_size();
+        Lbm {
+            lattice_bytes: scaled(r.lattice_bytes, scale),
+            result_bytes: scaled(r.result_bytes, scale).min(scaled(r.lattice_bytes, scale)),
+            iterations: scaled_iters(r.iterations, scale),
+            param_bytes: r.param_bytes,
+            perf: r.perf,
+        }
+    }
+
+    fn stream_kernel(&self) -> VirtDuration {
+        self.perf
+            .kernel_time(self.lattice_bytes, self.lattice_bytes / 8)
+    }
+}
+
+impl Workload for Lbm {
+    fn name(&self) -> String {
+        "404.lbm".to_string()
+    }
+
+    fn run(&self, rt: &mut OmpRuntime) -> Result<(), OmpError> {
+        let t = 0;
+        let lattice = rt.host_alloc(t, self.lattice_bytes)?;
+        let lattice_r = AddrRange::new(lattice, self.lattice_bytes);
+        rt.mem_mut().host_touch(lattice_r)?; // host builds the obstacle grid
+        rt.host_compute(t, VirtDuration::from_millis(80));
+
+        let params = rt.host_alloc(t, self.param_bytes)?;
+        let params_r = AddrRange::new(params, self.param_bytes);
+        rt.mem_mut().host_touch(params_r)?;
+
+        // The large transfer at the beginning of the application.
+        rt.target_enter_data(t, &[MapEntry::to(lattice_r), MapEntry::to(params_r)])?;
+
+        let kernel = self.stream_kernel();
+        for _ in 0..self.iterations {
+            rt.target(
+                t,
+                TargetRegion::new("lbm_stream_collide", kernel)
+                    .map(MapEntry::alloc(lattice_r))
+                    .map(MapEntry::to(params_r).always()),
+            )?;
+        }
+
+        // Only a result slice returns.
+        rt.target_update(t, &[], &[AddrRange::new(lattice, self.result_bytes)])?;
+        rt.target_exit_data(
+            t,
+            &[MapEntry::alloc(lattice_r), MapEntry::alloc(params_r)],
+            false,
+        )?;
+        rt.host_free(t, lattice)?;
+        rt.host_free(t, params)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apu_mem::CostModel;
+    use hsa_rocr::Topology;
+    use omp_offload::{RunReport, RuntimeConfig};
+
+    fn run(config: RuntimeConfig, scale: f64) -> RunReport {
+        let mut rt = OmpRuntime::new(CostModel::mi300a(), Topology::default(), config, 1).unwrap();
+        Lbm::scaled(scale).run(&mut rt).unwrap();
+        rt.finish()
+    }
+
+    #[test]
+    fn zero_copy_wins_slightly() {
+        let copy = run(RuntimeConfig::LegacyCopy, 0.05);
+        let izc = run(RuntimeConfig::ImplicitZeroCopy, 0.05);
+        let ratio = copy.makespan.as_nanos() as f64 / izc.makespan.as_nanos() as f64;
+        assert!(ratio > 1.0, "lbm zero-copy should win, ratio {ratio}");
+        assert!(ratio < 1.3, "lbm win should be modest, ratio {ratio}");
+    }
+
+    #[test]
+    fn first_touch_is_all_cheap_replays() {
+        let izc = run(RuntimeConfig::ImplicitZeroCopy, 0.05);
+        // Lattice is host-initialized: no zero-fill faults at all.
+        assert_eq!(izc.ledger.zero_filled_pages, 0);
+        assert!(izc.ledger.replayed_pages > 0);
+    }
+
+    #[test]
+    fn copy_mode_transfers_lattice_then_params_per_iteration() {
+        let s = Lbm::scaled(0.05);
+        let copy = run(RuntimeConfig::LegacyCopy, 0.05);
+        // lattice + params at enter, always-to per iteration, result at end.
+        assert_eq!(copy.ledger.copies as usize, 2 + s.iterations + 1);
+        assert!(copy.ledger.bytes_copied > s.lattice_bytes);
+    }
+}

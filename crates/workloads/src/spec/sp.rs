@@ -1,0 +1,182 @@
+//! 457.spC — scalar penta-diagonal solver.
+//!
+//! The paper's description: allocates and deletes GiB-scale data around
+//! every 13 kernel launches; allocations are synchronous with the kernels
+//! (data dependency) and each kernel takes at most ~6% of one allocation's
+//! time. Host data lives on the program stack, re-allocated (fresh pages)
+//! at every solver invocation and first-touched on the GPU each time. Copy
+//! is crushed by the allocation+copy cadence (paper: 7.8–8.1× for
+//! zero-copy); Eager Maps edges out Implicit Zero-Copy because host-side
+//! prefault inserts are cheaper than GPU-side replays.
+
+use crate::common::{scaled, scaled_iters, Workload, GIB};
+use apu_mem::AddrRange;
+use omp_offload::{GpuPerf, MapEntry, OmpError, OmpRuntime, TargetRegion};
+use sim_des::VirtDuration;
+
+/// The 457.spC analog.
+#[derive(Debug, Clone)]
+pub struct SpC {
+    /// Solver invocations (alloc → kernels → delete cycles).
+    pub cycles: usize,
+    /// Stack arrays allocated per cycle.
+    pub arrays_per_cycle: usize,
+    /// Size of each stack array.
+    pub array_bytes: u64,
+    /// Kernels launched between allocation and deletion.
+    pub kernels_per_cycle: usize,
+    /// GPU throughput model.
+    pub perf: GpuPerf,
+}
+
+impl SpC {
+    /// Ref-like scale.
+    pub fn ref_size() -> Self {
+        SpC {
+            cycles: 60,
+            arrays_per_cycle: 6,
+            array_bytes: 2 * GIB,
+            kernels_per_cycle: 13,
+            perf: GpuPerf::mi300a(),
+        }
+    }
+
+    /// Shrink sizes and cycle count by `scale` (tests).
+    pub fn scaled(scale: f64) -> Self {
+        let r = Self::ref_size();
+        SpC {
+            cycles: scaled_iters(r.cycles, scale),
+            arrays_per_cycle: r.arrays_per_cycle,
+            array_bytes: scaled(r.array_bytes, scale.sqrt()),
+            kernels_per_cycle: r.kernels_per_cycle,
+            perf: r.perf,
+        }
+    }
+
+    fn solver_kernel(&self) -> VirtDuration {
+        // ~1 ms: well under 6% of a single 2 GiB pool allocation (~9.2 ms).
+        self.perf.kernel_time(
+            self.array_bytes + 3 * self.array_bytes / 4,
+            self.array_bytes / 8,
+        )
+    }
+}
+
+impl Workload for SpC {
+    fn name(&self) -> String {
+        "457.spC".to_string()
+    }
+
+    fn run(&self, rt: &mut OmpRuntime) -> Result<(), OmpError> {
+        let t = 0;
+        let kernel = self.solver_kernel();
+        for _cycle in 0..self.cycles {
+            // Fresh stack arrays, initialized by the host before offload.
+            let mut arrays = Vec::with_capacity(self.arrays_per_cycle);
+            for _ in 0..self.arrays_per_cycle {
+                let a = rt.host_alloc(t, self.array_bytes)?;
+                let r = AddrRange::new(a, self.array_bytes);
+                rt.mem_mut().host_touch(r)?;
+                arrays.push(r);
+            }
+            rt.host_compute(t, VirtDuration::from_micros(200));
+
+            // Half the arrays carry input data (to), half are outputs.
+            let maps: Vec<MapEntry> = arrays
+                .iter()
+                .enumerate()
+                .map(|(i, &r)| {
+                    if i % 2 == 0 {
+                        MapEntry::to(r)
+                    } else {
+                        MapEntry::alloc(r)
+                    }
+                })
+                .collect();
+            rt.target_enter_data(t, &maps)?;
+
+            for k in 0..self.kernels_per_cycle {
+                let mut region = TargetRegion::new("spc_solve", kernel);
+                for &r in &arrays {
+                    region = region.map(MapEntry::alloc(r));
+                }
+                rt.target(t, region)?;
+                if k % 4 == 3 {
+                    rt.host_compute(t, VirtDuration::from_micros(50));
+                }
+            }
+
+            // Deletion sequence: results come back, everything is released.
+            let exits: Vec<MapEntry> = arrays
+                .iter()
+                .enumerate()
+                .map(|(i, &r)| {
+                    if i % 2 == 1 {
+                        MapEntry::from(r)
+                    } else {
+                        MapEntry::alloc(r)
+                    }
+                })
+                .collect();
+            rt.target_exit_data(t, &exits, true)?;
+            for r in arrays {
+                rt.host_free(t, r.start)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apu_mem::CostModel;
+    use hsa_rocr::Topology;
+    use omp_offload::{RunReport, RuntimeConfig};
+
+    fn run(config: RuntimeConfig, scale: f64) -> RunReport {
+        let mut rt = OmpRuntime::new(CostModel::mi300a(), Topology::default(), config, 1).unwrap();
+        SpC::scaled(scale).run(&mut rt).unwrap();
+        rt.finish()
+    }
+
+    #[test]
+    fn zero_copy_wins_big() {
+        let copy = run(RuntimeConfig::LegacyCopy, 0.2);
+        let izc = run(RuntimeConfig::ImplicitZeroCopy, 0.2);
+        let ratio = copy.makespan.as_nanos() as f64 / izc.makespan.as_nanos() as f64;
+        assert!(ratio > 3.0, "spC zero-copy should win big, ratio {ratio}");
+    }
+
+    #[test]
+    fn eager_maps_beats_implicit_zero_copy() {
+        let izc = run(RuntimeConfig::ImplicitZeroCopy, 0.2);
+        let em = run(RuntimeConfig::EagerMaps, 0.2);
+        assert!(
+            em.makespan < izc.makespan,
+            "Eager Maps {} should beat Implicit Z-C {}",
+            em.makespan,
+            izc.makespan
+        );
+    }
+
+    #[test]
+    fn fresh_stack_pages_refault_every_cycle() {
+        let s = SpC::scaled(0.2);
+        let izc = run(RuntimeConfig::ImplicitZeroCopy, 0.2);
+        let page = 2 * 1024 * 1024;
+        let pages_per_cycle = s.arrays_per_cycle as u64 * s.array_bytes.div_ceil(page);
+        assert_eq!(izc.ledger.replayed_pages, pages_per_cycle * s.cycles as u64);
+        assert_eq!(izc.ledger.zero_filled_pages, 0); // host-initialized
+    }
+
+    #[test]
+    fn copy_mode_churns_pool_allocations() {
+        let s = SpC::scaled(0.2);
+        let copy = run(RuntimeConfig::LegacyCopy, 0.2);
+        let expected = (s.cycles * s.arrays_per_cycle) as u64;
+        // + device-init allocations.
+        assert!(copy.mem_stats.pool_allocs >= expected);
+        assert!(copy.ledger.mm_alloc > copy.ledger.mm_copy / 4);
+    }
+}

@@ -1,0 +1,156 @@
+//! 403.stencil — a structured-grid sweep.
+//!
+//! The paper's description: two data copies (host→device at the beginning,
+//! device→host at the end of the simulation) around a long kernel loop;
+//! steady-state kernels access memory exclusively from the GPU. A modest
+//! GPU-initialized work array makes zero-copy configurations pay a
+//! first-touch (MI) cost slightly above Copy's memory-management (MM) cost,
+//! yielding the paper's ≈0.99 ratios.
+
+use crate::common::{scaled, scaled_iters, Workload, GIB};
+use apu_mem::AddrRange;
+use omp_offload::{GpuPerf, MapEntry, OmpError, OmpRuntime, TargetRegion};
+use sim_des::VirtDuration;
+
+/// The 403.stencil analog.
+#[derive(Debug, Clone)]
+pub struct Stencil {
+    /// Host-initialized grid, copied in/out under Copy.
+    pub grid_bytes: u64,
+    /// GPU-initialized work array (never touched by the CPU).
+    pub work_bytes: u64,
+    /// Sweep iterations.
+    pub iterations: usize,
+    /// GPU throughput model.
+    pub perf: GpuPerf,
+}
+
+impl Stencil {
+    /// Ref-like scale.
+    pub fn ref_size() -> Self {
+        Stencil {
+            grid_bytes: 16 * GIB,
+            work_bytes: 16 * GIB,
+            iterations: 350,
+            perf: GpuPerf::mi300a(),
+        }
+    }
+
+    /// Shrink sizes and iterations by `scale` (tests).
+    pub fn scaled(scale: f64) -> Self {
+        let r = Self::ref_size();
+        Stencil {
+            grid_bytes: scaled(r.grid_bytes, scale),
+            work_bytes: scaled(r.work_bytes, scale),
+            iterations: scaled_iters(r.iterations, scale),
+            perf: r.perf,
+        }
+    }
+
+    fn sweep_kernel(&self) -> VirtDuration {
+        // Reads grid + work, writes grid: memory-bound with some compute.
+        self.perf
+            .kernel_time(2 * self.grid_bytes + self.work_bytes, self.grid_bytes * 500)
+    }
+
+    fn init_kernel(&self) -> VirtDuration {
+        self.perf.kernel_time(self.work_bytes, 0)
+    }
+}
+
+impl Workload for Stencil {
+    fn name(&self) -> String {
+        "403.stencil".to_string()
+    }
+
+    fn run(&self, rt: &mut OmpRuntime) -> Result<(), OmpError> {
+        let t = 0; // SPECaccel runs single host thread per rank
+        let grid = rt.host_alloc(t, self.grid_bytes)?;
+        let grid_r = AddrRange::new(grid, self.grid_bytes);
+        rt.mem_mut().host_touch(grid_r)?; // host reads the input deck
+        rt.host_compute(t, VirtDuration::from_millis(50));
+
+        let work = rt.host_alloc(t, self.work_bytes)?;
+        let work_r = AddrRange::new(work, self.work_bytes);
+        // NOTE: `work` is *not* host-touched: the GPU initializes it, which
+        // is the zero-fill first-touch regime.
+
+        // Copy 1 of 2: beginning of the simulation.
+        rt.target_enter_data(t, &[MapEntry::to(grid_r), MapEntry::alloc(work_r)])?;
+
+        // GPU-side initialization of the work array.
+        rt.target(
+            t,
+            TargetRegion::new("stencil_init", self.init_kernel()).map(MapEntry::alloc(work_r)),
+        )?;
+
+        for _ in 0..self.iterations {
+            rt.target(
+                t,
+                TargetRegion::new("stencil_sweep", self.sweep_kernel())
+                    .map(MapEntry::alloc(grid_r))
+                    .map(MapEntry::alloc(work_r)),
+            )?;
+        }
+
+        // Copy 2 of 2: end of the simulation.
+        rt.target_exit_data(t, &[MapEntry::from(grid_r), MapEntry::alloc(work_r)], false)?;
+        rt.host_free(t, grid)?;
+        rt.host_free(t, work)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apu_mem::CostModel;
+    use hsa_rocr::Topology;
+    use omp_offload::{RunReport, RuntimeConfig};
+
+    fn run(config: RuntimeConfig, scale: f64) -> RunReport {
+        let mut rt = OmpRuntime::new(CostModel::mi300a(), Topology::default(), config, 1).unwrap();
+        Stencil::scaled(scale).run(&mut rt).unwrap();
+        rt.finish()
+    }
+
+    #[test]
+    fn copy_mode_performs_exactly_two_data_copies() {
+        let r = run(RuntimeConfig::LegacyCopy, 0.05);
+        assert_eq!(r.ledger.copies, 2);
+        assert_eq!(r.ledger.bytes_copied, 2 * Stencil::scaled(0.05).grid_bytes);
+    }
+
+    #[test]
+    fn zero_copy_pays_zero_fill_on_work_array_only() {
+        let r = run(RuntimeConfig::ImplicitZeroCopy, 0.05);
+        assert_eq!(r.ledger.copies, 0);
+        let s = Stencil::scaled(0.05);
+        let page = 2 * 1024 * 1024;
+        assert_eq!(r.ledger.zero_filled_pages, s.work_bytes.div_ceil(page));
+        assert_eq!(r.ledger.replayed_pages, s.grid_bytes.div_ceil(page));
+    }
+
+    #[test]
+    fn ratios_are_near_unity() {
+        let copy = run(RuntimeConfig::LegacyCopy, 0.08);
+        for cfg in [RuntimeConfig::ImplicitZeroCopy, RuntimeConfig::EagerMaps] {
+            let zc = run(cfg, 0.08);
+            let ratio = copy.makespan.as_nanos() as f64 / zc.makespan.as_nanos() as f64;
+            // Scaled-down runs distort the MI/runtime balance (MI scales
+            // with pages, runtime with pages * iterations); the ref-scale
+            // calibration test pins the paper's 0.98-0.99 band.
+            assert!(
+                (0.75..=1.15).contains(&ratio),
+                "{cfg} ratio {ratio} not near unity"
+            );
+        }
+    }
+
+    #[test]
+    fn eager_maps_never_faults() {
+        let r = run(RuntimeConfig::EagerMaps, 0.05);
+        assert_eq!(r.mem_stats.xnack_pages(), 0);
+        assert!(r.ledger.prefault_calls > 0);
+    }
+}

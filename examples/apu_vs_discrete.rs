@@ -1,0 +1,96 @@
+//! APU vs discrete GPU: the contrast that motivates the paper.
+//!
+//! Runs the same workloads on the simulated MI300A APU and on an MI200-class
+//! discrete device (separate VRAM behind a ~50 GB/s link):
+//!
+//! 1. QMCPack under Copy — the discrete device pays interconnect-speed
+//!    transfers where the APU pays HBM-to-HBM copies, and the APU's
+//!    zero-copy configuration folds even those.
+//! 2. 452.ep under Implicit Zero-Copy with a working set *larger than
+//!    VRAM* — unified-memory oversubscription makes pages migrate over the
+//!    link every sweep (the collapse reported by the paper's related work).
+//!
+//! ```text
+//! cargo run --release --example apu_vs_discrete
+//! ```
+
+use mi300a_zerocopy::hsa::Topology;
+use mi300a_zerocopy::mem::{CostModel, DiscreteSpec, SystemKind};
+use mi300a_zerocopy::omp::{OmpRuntime, RuntimeConfig};
+use mi300a_zerocopy::workloads::{spec::Ep, NioSize, QmcPack, Workload};
+
+fn run(
+    w: &dyn Workload,
+    kind: SystemKind,
+    config: RuntimeConfig,
+    threads: usize,
+) -> Result<mi300a_zerocopy::omp::RunReport, Box<dyn std::error::Error>> {
+    let mut rt = OmpRuntime::new_system(
+        CostModel::mi300a(),
+        Topology::default(),
+        kind,
+        config,
+        threads,
+    )?;
+    w.run(&mut rt)?;
+    Ok(rt.finish())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let apu = SystemKind::Apu;
+    let discrete = SystemKind::Discrete(DiscreteSpec::mi200_class());
+
+    println!("== 1. QMCPack S8, 4 threads, the porting story ==\n");
+    let w = QmcPack::nio(NioSize { factor: 8 }).with_steps(120);
+    let d_copy = run(&w, discrete.clone(), RuntimeConfig::LegacyCopy, 4)?;
+    let a_copy = run(&w, apu.clone(), RuntimeConfig::LegacyCopy, 4)?;
+    let a_izc = run(&w, apu.clone(), RuntimeConfig::ImplicitZeroCopy, 4)?;
+    println!("{:<44} {:>12}", "system / configuration", "makespan");
+    println!(
+        "{:<44} {:>12}",
+        "discrete GPU, Copy (the starting point)",
+        d_copy.makespan.to_string()
+    );
+    println!(
+        "{:<44} {:>12}",
+        "MI300A APU, Copy (recompile only)",
+        a_copy.makespan.to_string()
+    );
+    println!(
+        "{:<44} {:>12}",
+        "MI300A APU, Implicit Zero-Copy",
+        a_izc.makespan.to_string()
+    );
+    let s1 = d_copy.makespan.as_nanos() as f64 / a_copy.makespan.as_nanos() as f64;
+    let s2 = d_copy.makespan.as_nanos() as f64 / a_izc.makespan.as_nanos() as f64;
+    println!("\nAPU speedup from faster copies alone: {s1:.2}x; with zero-copy: {s2:.2}x\n");
+
+    println!("== 2. Unified-memory oversubscription on the discrete device ==\n");
+    println!(
+        "452.ep-like working sets under Implicit Zero-Copy (VRAM = {} GiB):\n",
+        DiscreteSpec::mi200_class().vram_bytes >> 30
+    );
+    println!(
+        "{:>18} | {:>14} | {:>14} | {:>12} | {:>12}",
+        "working set", "APU", "discrete", "migrated", "evicted"
+    );
+    for gib in [8u64, 32, 56, 96] {
+        let mut ep = Ep::scaled(1.0);
+        ep.array_bytes = gib << 30;
+        ep.batches = 10;
+        let a = run(&ep, apu.clone(), RuntimeConfig::ImplicitZeroCopy, 1)?;
+        let d = run(&ep, discrete.clone(), RuntimeConfig::ImplicitZeroCopy, 1)?;
+        println!(
+            "{:>13} GiB | {:>14} | {:>14} | {:>12} | {:>12}",
+            gib,
+            a.makespan.to_string(),
+            d.makespan.to_string(),
+            d.mem_stats.migrated_pages,
+            d.mem_stats.evicted_pages,
+        );
+    }
+    println!("\nBelow VRAM capacity the discrete device pays one migration per page;");
+    println!("past 64 GiB every sweep re-migrates its working set over the link —");
+    println!("the oversubscription collapse the APU architecture eliminates.");
+    Ok(())
+}

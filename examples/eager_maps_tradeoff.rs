@@ -1,0 +1,88 @@
+//! The Eager Maps trade-off, demonstrated directly on the memory subsystem.
+//!
+//! The paper's §VI lesson: host-side GPU page-table prefaulting wins when a
+//! large amount of never-touched memory is first used on the GPU (452.ep),
+//! but each prefault request has a syscall floor that accumulates when an
+//! application maps small buffers frequently (QMCPack). This example drives
+//! the `apu-mem` layer directly to show the raw costs of the three
+//! first-touch paths — and then the break-even map count.
+//!
+//! ```text
+//! cargo run --release --example eager_maps_tradeoff
+//! ```
+
+use mi300a_zerocopy::mem::{AddrRange, ApuMemory, CostModel, XnackMode};
+use mi300a_zerocopy::sim::VirtDuration;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cost = CostModel::mi300a();
+    println!(
+        "Page size: {} | calibrated MI300A cost model\n",
+        cost.page_size
+    );
+
+    // --- Path costs for 1 GiB of memory. ---
+    let len = 1u64 << 30;
+
+    // 1. GPU first touch of CPU-initialized memory: XNACK replay.
+    let mut mem = ApuMemory::new(cost.clone());
+    let a = mem.host_alloc(len)?;
+    let r = AddrRange::new(a.addr, len);
+    mem.host_touch(r)?;
+    let replay = mem.gpu_access(&[r], XnackMode::Enabled)?;
+    println!(
+        "XNACK replay (CPU-touched, 1 GiB):      {:>12}  ({} pages)",
+        replay.stall.to_string(),
+        replay.replayed_pages
+    );
+
+    // 2. GPU first touch of never-touched memory: allocate + zero in the
+    //    fault handler, page by page, while waves stall.
+    let mut mem = ApuMemory::new(cost.clone());
+    let b = mem.host_alloc(len)?;
+    let rb = AddrRange::new(b.addr, len);
+    let zero_fill = mem.gpu_access(&[rb], XnackMode::Enabled)?;
+    println!(
+        "GPU zero-fill fault (untouched, 1 GiB): {:>12}  ({} pages)",
+        zero_fill.stall.to_string(),
+        zero_fill.zero_filled_pages
+    );
+
+    // 3. Host-side prefault of the same untouched memory (Eager Maps).
+    let mut mem = ApuMemory::new(cost.clone());
+    let c = mem.host_alloc(len)?;
+    let rc = AddrRange::new(c.addr, len);
+    let prefault = mem.prefault(rc)?;
+    println!(
+        "Host prefault (untouched, 1 GiB):       {:>12}  ({} pages)",
+        prefault.cost.to_string(),
+        prefault.zero_filled_pages
+    );
+    let speedup = zero_fill.stall.as_nanos() as f64 / prefault.cost.as_nanos() as f64;
+    println!("\n=> Eager Maps turns ep-style first touch {speedup:.0}x cheaper (the 0.89 -> 0.99 recovery).\n");
+
+    // --- The downside: re-prefaulting already-present pages. ---
+    println!("Repeated maps of an already-present small buffer (QMCPack pattern):");
+    println!(
+        "{:>10} | {:>16} | {:>18}",
+        "maps", "EM prefault cost", "IZC cost (0 after 1st)"
+    );
+    let small = 64 * 1024u64;
+    let mut mem = ApuMemory::new(cost.clone());
+    let d = mem.host_alloc(small)?;
+    let rd = AddrRange::new(d.addr, small);
+    mem.host_touch(rd)?;
+    let mut total = VirtDuration::ZERO;
+    for maps in 1..=10_000u64 {
+        total += mem.prefault(rd)?.cost;
+        if maps.is_power_of_two() || maps == 10_000 {
+            println!("{maps:>10} | {:>16} | {:>18}", total.to_string(), "~0");
+        }
+    }
+    println!(
+        "\n=> each re-map pays the ~{} syscall floor; at QMCPack's map rate this",
+        cost.prefault_syscall
+    );
+    println!("   is exactly why Eager Maps trails Implicit Zero-Copy for small problem sizes.");
+    Ok(())
+}

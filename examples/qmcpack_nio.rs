@@ -1,0 +1,70 @@
+//! Mini-QMCPack NiO performance runs: the paper's §V-A experiment at the
+//! command line.
+//!
+//! ```text
+//! cargo run --release --example qmcpack_nio -- [S-factor] [threads] [steps]
+//! cargo run --release --example qmcpack_nio -- 8 4 200
+//! ```
+//!
+//! Prints, for the chosen problem size and thread count, the execution time
+//! of each runtime configuration, the Copy/zero-copy ratios, and where each
+//! configuration spends its overhead (MM vs MI vs prefaults).
+
+use mi300a_zerocopy::analysis::{measure_all_configs, ratio, ExperimentConfig};
+use mi300a_zerocopy::workloads::{NioSize, QmcPack};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    let factor: u32 = args.get(1).map(|s| s.parse()).transpose()?.unwrap_or(8);
+    let threads: usize = args.get(2).map(|s| s.parse()).transpose()?.unwrap_or(4);
+    let steps: usize = args.get(3).map(|s| s.parse()).transpose()?.unwrap_or(200);
+
+    let size = NioSize { factor };
+    let w = QmcPack::nio(size).with_steps(steps);
+    println!(
+        "mini-QMCPack NiO {} | {} OpenMP host threads | {} MC steps/thread\n",
+        size.label(),
+        threads,
+        steps
+    );
+
+    let exp = ExperimentConfig {
+        repeats: 4, // the paper runs QMCPack experiments 4 times
+        ..ExperimentConfig::default()
+    };
+    let measurements = measure_all_configs(&w, threads, &exp)?;
+    let copy = &measurements[0];
+
+    println!(
+        "{:<14} {:>12} {:>8} {:>7} {:>10} {:>12} {:>12} {:>10}",
+        "config", "median", "CoV", "ratio", "copies", "MM", "MI", "prefaults"
+    );
+    for m in &measurements {
+        println!(
+            "{:<14} {:>12} {:>8.3} {:>7.2} {:>10} {:>12} {:>12} {:>10}",
+            m.config.to_string(),
+            m.median().to_string(),
+            m.cov(),
+            ratio(copy, m),
+            m.report.ledger.copies,
+            m.report.ledger.mm_total().to_string(),
+            m.report.ledger.mi_total().to_string(),
+            m.report.ledger.prefault_calls,
+        );
+    }
+
+    println!("\nInterpretation: ratio > 1 means the configuration beats Legacy Copy.");
+    println!(
+        "Zero-copy folds the {} map-triggered copies Copy performs; Eager Maps",
+        copy.report.ledger.copies
+    );
+    println!(
+        "replaces first-touch faults with {} prefault syscalls.",
+        measurements
+            .iter()
+            .find(|m| m.config == mi300a_zerocopy::omp::RuntimeConfig::EagerMaps)
+            .map(|m| m.report.ledger.prefault_calls)
+            .unwrap_or(0)
+    );
+    Ok(())
+}

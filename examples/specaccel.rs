@@ -1,0 +1,72 @@
+//! SPECaccel-like benchmark runs: the paper's §V-B experiment at the
+//! command line.
+//!
+//! ```text
+//! cargo run --release --example specaccel -- [benchmark] [scale]
+//! cargo run --release --example specaccel -- ep 1.0
+//! cargo run --release --example specaccel -- all 0.1
+//! ```
+//!
+//! `benchmark` ∈ {stencil, lbm, ep, spC, bt, all}; `scale` shrinks sizes and
+//! iteration counts (1.0 = ref-like).
+
+use mi300a_zerocopy::analysis::{measure_all_configs, ratio, ExperimentConfig};
+use mi300a_zerocopy::workloads::spec::{Bt, Ep, Lbm, SpC, Stencil};
+use mi300a_zerocopy::workloads::Workload;
+
+fn suite(which: &str, scale: f64) -> Vec<Box<dyn Workload>> {
+    let all: Vec<Box<dyn Workload>> = vec![
+        Box::new(Stencil::scaled(scale)),
+        Box::new(Lbm::scaled(scale)),
+        Box::new(Ep::scaled(scale)),
+        Box::new(SpC::scaled(scale)),
+        Box::new(Bt::scaled(scale)),
+    ];
+    if which == "all" {
+        all
+    } else {
+        all.into_iter()
+            .filter(|w| w.name().to_lowercase().contains(&which.to_lowercase()))
+            .collect()
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    let which = args.get(1).cloned().unwrap_or_else(|| "all".to_string());
+    let scale: f64 = args.get(2).map(|s| s.parse()).transpose()?.unwrap_or(0.2);
+
+    let workloads = suite(&which, scale);
+    if workloads.is_empty() {
+        eprintln!("unknown benchmark '{which}' (use stencil|lbm|ep|spC|bt|all)");
+        std::process::exit(2);
+    }
+
+    let exp = ExperimentConfig {
+        repeats: 8, // the paper runs each SPECaccel experiment 8 times
+        ..ExperimentConfig::default()
+    };
+
+    for w in &workloads {
+        println!("== {} (scale {scale}) ==", w.name());
+        let measurements = measure_all_configs(w.as_ref(), 1, &exp)?;
+        let copy = &measurements[0];
+        println!(
+            "{:<14} {:>12} {:>8} {:>7} {:>12} {:>12}",
+            "config", "median", "CoV", "ratio", "MM", "MI"
+        );
+        for m in &measurements {
+            println!(
+                "{:<14} {:>12} {:>8.3} {:>7.2} {:>12} {:>12}",
+                m.config.to_string(),
+                m.median().to_string(),
+                m.cov(),
+                ratio(copy, m),
+                m.report.ledger.mm_total().to_string(),
+                m.report.ledger.mi_total().to_string(),
+            );
+        }
+        println!();
+    }
+    Ok(())
+}

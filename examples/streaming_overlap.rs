@@ -1,0 +1,102 @@
+//! Data-transfer latency hiding (the paper's §V-A.3 optimization),
+//! visualized with resource utilization from the schedule.
+//!
+//! QMCPack hides one thread's map-triggered copies behind another thread's
+//! kernels. This example runs the Copy configuration with 1 vs 8 host
+//! threads and prints where virtual time went: with one thread the DMA time
+//! extends the critical path; with eight it overlaps kernel execution.
+//!
+//! ```text
+//! cargo run --release --example streaming_overlap
+//! ```
+
+use mi300a_zerocopy::analysis::{measure, ExperimentConfig};
+use mi300a_zerocopy::hsa::Topology;
+use mi300a_zerocopy::mem::{AddrRange, CostModel};
+use mi300a_zerocopy::omp::{MapEntry, OmpRuntime, RuntimeConfig, TargetRegion};
+use mi300a_zerocopy::sim::VirtDuration;
+use mi300a_zerocopy::workloads::{NioSize, QmcPack};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let exp = ExperimentConfig::noiseless();
+    let w = QmcPack::nio(NioSize { factor: 16 }).with_steps(150);
+
+    println!("Copy-configuration QMCPack S16: where does virtual time go?\n");
+    println!(
+        "{:>8} | {:>12} | {:>26} | {:>22}",
+        "threads", "makespan", "resource", "busy (utilization)"
+    );
+    for threads in [1usize, 2, 4, 8] {
+        let m = measure(&w, RuntimeConfig::LegacyCopy, threads, &exp)?;
+        let makespan = m.median();
+        let mut first = true;
+        for rs in m.report.schedule.resource_stats() {
+            println!(
+                "{:>8} | {:>12} | {:>20} (x{}) | {:>12} ({:>5.1}%)",
+                if first {
+                    threads.to_string()
+                } else {
+                    String::new()
+                },
+                if first {
+                    makespan.to_string()
+                } else {
+                    String::new()
+                },
+                rs.name,
+                rs.capacity,
+                rs.busy.to_string(),
+                100.0 * rs.utilization(makespan),
+            );
+            first = false;
+        }
+        println!();
+    }
+
+    // --- Single-thread alternative: deferred target tasks (nowait). ---
+    println!("Single-thread alternative: `target nowait` pipelines kernels without");
+    println!("extra host threads (deferred target tasks):\n");
+    let pipeline = |nowait: bool| -> VirtDuration {
+        let mut rt = OmpRuntime::new(
+            CostModel::mi300a(),
+            Topology::default(),
+            RuntimeConfig::ImplicitZeroCopy,
+            1,
+        )
+        .unwrap();
+        let mut ranges = Vec::new();
+        for _ in 0..6 {
+            let a = rt.host_alloc(0, 8 << 20).unwrap();
+            ranges.push(AddrRange::new(a, 8 << 20));
+        }
+        for _ in 0..50 {
+            for &r in &ranges {
+                let region = TargetRegion::new("chunk", VirtDuration::from_micros(200))
+                    .map(MapEntry::tofrom(r));
+                if nowait {
+                    rt.target_nowait(0, region).unwrap();
+                } else {
+                    rt.target(0, region).unwrap();
+                }
+            }
+            rt.taskwait(0).unwrap();
+            rt.host_compute(0, VirtDuration::from_micros(100));
+        }
+        rt.finish().makespan
+    };
+    let sync = pipeline(false);
+    let asynced = pipeline(true);
+    println!("  synchronous targets: {sync}");
+    println!(
+        "  target nowait:       {asynced}  ({:.2}x)\n",
+        sync.as_nanos() as f64 / asynced.as_nanos() as f64
+    );
+
+    println!("Reading the numbers: per-thread work is constant, so total DMA busy time");
+    println!("scales with the thread count — but the makespan grows far slower, because");
+    println!("copies issued by one thread serve on the SDMA engines while other threads'");
+    println!("kernels occupy the GPU. That is the data-transfer latency hiding QMCPack");
+    println!("implements for discrete GPUs; on the APU it keeps helping the Copy");
+    println!("configuration, and zero-copy makes it unnecessary (paper §V-A.3).");
+    Ok(())
+}

@@ -1,0 +1,300 @@
+//! `apusim` — command-line driver for the simulated APU OpenMP stack.
+//!
+//! ```text
+//! apusim list
+//! apusim costs
+//! apusim sweep [--sizes 2,8,32] [--threads 1,4,8] [--steps N]
+//! apusim env [--no-apu] [--no-xnack] [--apu-maps] [--eager] [--usm]
+//! apusim run <workload> [--config copy|usm|izc|eager] [--threads N]
+//!            [--scale F] [--steps N] [--discrete] [--mem-report]
+//!            [--trace FILE.json]
+//! ```
+//!
+//! `run` executes one workload under one configuration and prints the
+//! makespan, the MM/MI ledger and the HSA call statistics; `--trace` also
+//! writes a Chrome-trace timeline of the schedule.
+
+use mi300a_zerocopy::analysis::paper::{qmc_sweep, PaperConfig};
+use mi300a_zerocopy::analysis::timeline::chrome_trace;
+use mi300a_zerocopy::analysis::ExperimentConfig;
+use mi300a_zerocopy::hsa::Topology;
+use mi300a_zerocopy::mem::{CostModel, DiscreteSpec, SystemKind};
+use mi300a_zerocopy::omp::{OmpRuntime, RunEnv, RuntimeConfig};
+use mi300a_zerocopy::workloads::{
+    spec::{Bt, Ep, Lbm, SpC, Stencil},
+    MiniCg, NioSize, OpenFoamMini, QmcPack, Stream, Workload,
+};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  apusim list\n  apusim costs\n  apusim sweep [--sizes 2,8,32] [--threads 1,4,8] [--steps N]\n  apusim env [--no-apu] [--no-xnack] [--apu-maps] [--eager] [--usm]\n  apusim run <workload> [--config copy|usm|izc|eager] [--threads N] [--scale F] [--steps N] [--discrete] [--mem-report] [--trace FILE.json]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_config(s: &str) -> RuntimeConfig {
+    match s.to_lowercase().as_str() {
+        "copy" => RuntimeConfig::LegacyCopy,
+        "usm" => RuntimeConfig::UnifiedSharedMemory,
+        "izc" | "implicit" => RuntimeConfig::ImplicitZeroCopy,
+        "eager" | "em" => RuntimeConfig::EagerMaps,
+        other => {
+            eprintln!("unknown config '{other}'");
+            usage()
+        }
+    }
+}
+
+fn make_workload(name: &str, scale: f64, steps: usize) -> Option<Box<dyn Workload>> {
+    if let Some(s_factor) = name
+        .strip_prefix("qmcpack-s")
+        .or_else(|| name.strip_prefix("nio-s"))
+    {
+        let factor: u32 = s_factor.parse().ok()?;
+        return Some(Box::new(QmcPack::nio(NioSize { factor }).with_steps(steps)));
+    }
+    match name {
+        "stencil" | "403.stencil" => Some(Box::new(Stencil::scaled(scale))),
+        "lbm" | "404.lbm" => Some(Box::new(Lbm::scaled(scale))),
+        "ep" | "452.ep" => Some(Box::new(Ep::scaled(scale))),
+        "spc" | "457.spC" => Some(Box::new(SpC::scaled(scale))),
+        "bt" | "470.bt" => Some(Box::new(Bt::scaled(scale))),
+        "stream" | "babelstream" => Some(Box::new(Stream::scaled(scale))),
+        "openfoam" | "openfoam-mini" => Some(Box::new(OpenFoamMini::scaled(scale))),
+        "cg" | "mini-cg" => Some(Box::new(MiniCg::scaled(scale))),
+        "cg-nowait" => Some(Box::new(MiniCg::scaled(scale).with_nowait())),
+        _ => None,
+    }
+}
+
+fn cmd_list() {
+    println!("workloads:");
+    println!("  qmcpack-s<N>   mini-QMCPack NiO, N in {{2,4,8,16,24,32,64,128}} (--steps)");
+    println!("  stencil        403.stencil analog (--scale)");
+    println!("  lbm            404.lbm analog (--scale)");
+    println!("  ep             452.ep analog (--scale)");
+    println!("  spc            457.spC analog (--scale)");
+    println!("  bt             470.bt analog (--scale)");
+    println!("  stream         BabelStream-style microbenchmark (--scale)");
+    println!("  openfoam       unified_shared_memory mini-solver (--scale; izc/usm only)");
+    println!("  cg, cg-nowait  HPCG-class CG solver, optionally nowait-pipelined (--scale)");
+    println!("configs: copy | usm | izc | eager");
+}
+
+fn cmd_costs() {
+    let c = CostModel::mi300a();
+    println!("CostModel::mi300a() — calibrated preset (see crates/mem/src/cost.rs)");
+    println!("  page size                    {}", c.page_size);
+    println!(
+        "  HBM copy bandwidth           {} GiB/s",
+        c.hbm_copy_bandwidth >> 30
+    );
+    println!(
+        "  copy submit / handler        {} / {}",
+        c.copy_submit, c.copy_handler
+    );
+    println!("  kernel dispatch              {}", c.kernel_dispatch);
+    println!("  signal wait service          {}", c.signal_wait_service);
+    println!("  runtime-stack call service   {}", c.runtime_call_service);
+    println!(
+        "  pool alloc base / per page   {} / {}",
+        c.pool_alloc_base, c.pool_alloc_per_page
+    );
+    println!(
+        "  pool free base / per page    {} / {}",
+        c.pool_free_base, c.pool_free_per_page
+    );
+    println!("  XNACK fault base             {}", c.xnack_fault_base);
+    println!("  XNACK replay per page        {}", c.xnack_replay_per_page);
+    println!(
+        "  GPU zero-fill per page       {}",
+        c.xnack_zero_fill_per_page
+    );
+    println!("  prefault syscall             {}", c.prefault_syscall);
+    println!(
+        "  prefault insert per page     {}",
+        c.prefault_insert_per_page
+    );
+    println!(
+        "  prefault zero-fill per page  {}",
+        c.prefault_zero_fill_per_page
+    );
+    println!(
+        "  prefault check per page      {}",
+        c.prefault_check_per_page
+    );
+    println!(
+        "  TLB miss / entries           {} / {}",
+        c.tlb_miss, c.gpu_tlb_entries
+    );
+}
+
+fn cmd_env(args: &[String]) {
+    let mut env = RunEnv::mi300a();
+    for a in args {
+        match a.as_str() {
+            "--no-apu" => env.is_apu = false,
+            "--no-xnack" => env.hsa_xnack = false,
+            "--apu-maps" => env.ompx_apu_maps = true,
+            "--eager" => env.eager_maps = true,
+            "--usm" => env.requires_usm = true,
+            _ => usage(),
+        }
+    }
+    println!(
+        "environment: is_apu={} HSA_XNACK={} OMPX_APU_MAPS={} eager={} requires_usm={}",
+        env.is_apu, env.hsa_xnack, env.ompx_apu_maps, env.eager_maps, env.requires_usm
+    );
+    match env.resolve() {
+        Some(config) => println!("resolved configuration: {config}"),
+        None => println!("UNSUPPORTED: unified_shared_memory binary without XNACK support"),
+    }
+}
+
+fn cmd_sweep(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let mut sizes = vec![2u32, 8, 32];
+    let mut threads = vec![1usize, 4, 8];
+    let mut steps = 150usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--sizes" => {
+                sizes = it
+                    .next()
+                    .unwrap_or_else(|| usage())
+                    .split(',')
+                    .map(|v| v.parse())
+                    .collect::<Result<_, _>>()?;
+            }
+            "--threads" => {
+                threads = it
+                    .next()
+                    .unwrap_or_else(|| usage())
+                    .split(',')
+                    .map(|v| v.parse())
+                    .collect::<Result<_, _>>()?;
+            }
+            "--steps" => steps = it.next().unwrap_or_else(|| usage()).parse()?,
+            _ => usage(),
+        }
+    }
+    let cfg = PaperConfig {
+        exp: ExperimentConfig::noiseless(),
+        qmc_steps: steps,
+        qmc_repeats: 1,
+        sizes: sizes
+            .iter()
+            .map(|&factor| mi300a_zerocopy::workloads::NioSize { factor })
+            .collect(),
+        threads: threads.clone(),
+        spec_scale: 0.04,
+        table1_steps: 100,
+    };
+    let cells = qmc_sweep(&cfg)?;
+    println!(
+        "QMCPack Copy/zero-copy ratio sweep ({} steps/thread, noiseless)\n",
+        steps
+    );
+    println!(
+        "{:>6} {:>8} | {:>12} {:>8} {:>12}",
+        "size", "threads", "Implicit Z-C", "USM", "Eager Maps"
+    );
+    for c in &cells {
+        println!(
+            "{:>6} {:>8} | {:>12.2} {:>8.2} {:>12.2}",
+            c.size.label(),
+            c.threads,
+            c.ratio_of(RuntimeConfig::ImplicitZeroCopy),
+            c.ratio_of(RuntimeConfig::UnifiedSharedMemory),
+            c.ratio_of(RuntimeConfig::EagerMaps)
+        );
+    }
+    Ok(())
+}
+
+fn cmd_run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let Some(name) = args.first() else { usage() };
+    let mut config = RuntimeConfig::ImplicitZeroCopy;
+    let mut threads = 1usize;
+    let mut scale = 0.1f64;
+    let mut steps = 100usize;
+    let mut discrete = false;
+    let mut mem_report = false;
+    let mut trace_path: Option<String> = None;
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--config" => config = parse_config(it.next().unwrap_or_else(|| usage())),
+            "--threads" => threads = it.next().unwrap_or_else(|| usage()).parse()?,
+            "--scale" => scale = it.next().unwrap_or_else(|| usage()).parse()?,
+            "--steps" => steps = it.next().unwrap_or_else(|| usage()).parse()?,
+            "--discrete" => discrete = true,
+            "--mem-report" => mem_report = true,
+            "--trace" => trace_path = Some(it.next().unwrap_or_else(|| usage()).clone()),
+            _ => usage(),
+        }
+    }
+    let Some(w) = make_workload(name, scale, steps) else {
+        eprintln!("unknown workload '{name}' (try `apusim list`)");
+        std::process::exit(2);
+    };
+    let kind = if discrete {
+        SystemKind::Discrete(DiscreteSpec::mi200_class())
+    } else {
+        SystemKind::Apu
+    };
+    let mut rt = OmpRuntime::new_system(
+        CostModel::mi300a(),
+        Topology::default(),
+        kind,
+        config,
+        threads,
+    )?;
+    w.run(&mut rt)?;
+    let mem_snapshot = mem_report.then(|| mi300a_zerocopy::mem::MemoryReport::capture(rt.mem()));
+    let report = rt.finish();
+
+    println!(
+        "{} | {} | {} host thread(s) | {}",
+        w.name(),
+        config,
+        threads,
+        if discrete {
+            "discrete GPU"
+        } else {
+            "MI300A APU"
+        }
+    );
+    println!("makespan: {}\n", report.makespan);
+    println!("{}", report.ledger);
+    println!("{}", report.api_stats);
+    for rs in report.schedule.resource_stats() {
+        println!(
+            "resource {:<16} busy {:>12} ({:>5.1}% utilization)",
+            rs.name,
+            rs.busy.to_string(),
+            100.0 * rs.utilization(report.makespan)
+        );
+    }
+    if let Some(snapshot) = mem_snapshot {
+        println!("\n{snapshot}");
+    }
+    if let Some(path) = trace_path {
+        std::fs::write(&path, chrome_trace(&report.schedule))?;
+        println!("\nwrote Chrome trace to {path} (open in chrome://tracing or Perfetto)");
+    }
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => cmd_list(),
+        Some("costs") => cmd_costs(),
+        Some("env") => cmd_env(&args[1..]),
+        Some("sweep") => cmd_sweep(&args[1..])?,
+        Some("run") => cmd_run(&args[1..])?,
+        _ => usage(),
+    }
+    Ok(())
+}

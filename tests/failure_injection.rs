@@ -1,0 +1,133 @@
+//! Failure injection: the runtime must surface errors cleanly (no panics,
+//! no corrupted state) when programs misbehave or resources run out.
+
+use mi300a_zerocopy::hsa::Topology;
+use mi300a_zerocopy::mem::{AddrRange, CostModel, DiscreteSpec, MemError, SystemKind, VirtAddr};
+use mi300a_zerocopy::omp::{MapEntry, OmpError, OmpRuntime, RuntimeConfig, TargetRegion};
+use mi300a_zerocopy::sim::VirtDuration;
+
+fn rt(config: RuntimeConfig) -> OmpRuntime {
+    OmpRuntime::new(CostModel::mi300a(), Topology::default(), config, 1).unwrap()
+}
+
+#[test]
+fn vram_exhaustion_surfaces_as_oom_and_state_survives() {
+    // Discrete device with tiny VRAM: the map's pool allocation fails, the
+    // error propagates, and the runtime remains usable.
+    // Enough VRAM for device initialization (~16 x 2 MiB runtime buffers),
+    // far too little for the 256 MiB map below.
+    let spec = DiscreteSpec {
+        vram_bytes: 64 << 20,
+        link_bandwidth: 25_000_000_000,
+        migrate_per_page: VirtDuration::from_micros(25),
+    };
+    let mut r = OmpRuntime::new_system(
+        CostModel::mi300a(),
+        Topology::default(),
+        SystemKind::Discrete(spec),
+        RuntimeConfig::LegacyCopy,
+        1,
+    )
+    .unwrap();
+    let a = r.host_alloc(0, 256 << 20).unwrap();
+    let big = AddrRange::new(a, 256 << 20);
+    r.mem_mut().host_touch(big).unwrap();
+    let err = r.target_enter_data(0, &[MapEntry::to(big)]).unwrap_err();
+    assert!(matches!(err, OmpError::Mem(MemError::OutOfMemory { .. })));
+    // The failed map left no half-mapped entry behind.
+    assert_eq!(r.live_mappings(), 0);
+    // A smaller map still works afterwards.
+    let small = AddrRange::new(a, 1 << 20);
+    r.target_enter_data(0, &[MapEntry::to(small)]).unwrap();
+    r.target_exit_data(0, &[MapEntry::alloc(small)], false)
+        .unwrap();
+    let report = r.finish();
+    assert!(report.makespan > VirtDuration::ZERO);
+}
+
+#[test]
+fn hbm_exhaustion_in_host_allocation() {
+    let mut r = rt(RuntimeConfig::ImplicitZeroCopy);
+    // The MI300A socket has 128 GiB; a 256 GiB request must fail cleanly.
+    let err = r.host_alloc(0, 256 << 30).unwrap_err();
+    assert!(matches!(err, OmpError::Mem(MemError::OutOfMemory { .. })));
+    assert!(r.host_alloc(0, 1 << 20).is_ok());
+}
+
+#[test]
+fn unmapping_never_mapped_data_errors() {
+    let mut r = rt(RuntimeConfig::LegacyCopy);
+    let a = r.host_alloc(0, 4096).unwrap();
+    let err = r
+        .target_exit_data(0, &[MapEntry::from(AddrRange::new(a, 4096))], false)
+        .unwrap_err();
+    assert!(matches!(err, OmpError::NotMapped { .. }));
+}
+
+#[test]
+fn freeing_foreign_addresses_errors() {
+    let mut r = rt(RuntimeConfig::LegacyCopy);
+    let err = r.host_free(0, VirtAddr(0xdead_beef)).unwrap_err();
+    assert!(matches!(err, OmpError::Mem(MemError::InvalidFree { .. })));
+    // Device pointers cannot be host-freed.
+    let d = r.omp_target_alloc(0, 4096).unwrap();
+    assert!(r.host_free(0, d).is_err());
+    assert!(r.omp_target_free(0, d).is_ok());
+    assert!(r.omp_target_free(0, d).is_err()); // double free
+}
+
+#[test]
+fn memcpy_outside_allocations_errors() {
+    let mut r = rt(RuntimeConfig::LegacyCopy);
+    let a = r.host_alloc(0, 4096).unwrap();
+    let err = r.omp_target_memcpy(0, VirtAddr(0x42), a, 8).unwrap_err();
+    assert!(matches!(
+        err,
+        OmpError::Mem(MemError::RangeOutsideAllocation { .. })
+    ));
+    // Overrunning the end of an allocation is also caught (allocations
+    // round up to the 2 MiB THP page, so overrun past that).
+    let b = r.host_alloc(0, 4096).unwrap();
+    assert!(r.omp_target_memcpy(0, b, a, 3 << 20).is_err());
+}
+
+#[test]
+fn kernel_failure_mid_run_leaves_consistent_counters() {
+    // A fatal GPU fault inside a target leaves previously-entered data
+    // environments intact; the program can unwind them.
+    let mut r = rt(RuntimeConfig::LegacyCopy);
+    let ok = r.host_alloc(0, 4096).unwrap();
+    let ok_r = AddrRange::new(ok, 4096);
+    r.mem_mut().host_touch(ok_r).unwrap();
+    r.target_enter_data(0, &[MapEntry::to(ok_r)]).unwrap();
+
+    let bad = r.host_alloc(0, 4096).unwrap();
+    let err = r
+        .target(
+            0,
+            TargetRegion::new("bad", VirtDuration::from_micros(1))
+                .access(AddrRange::new(bad, 4096)), // unmapped raw access
+        )
+        .unwrap_err();
+    assert!(matches!(err, OmpError::Mem(MemError::GpuFatalFault { .. })));
+
+    // The earlier mapping is still live and can be exited normally.
+    assert_eq!(r.live_mappings(), 1);
+    r.target_exit_data(0, &[MapEntry::from(ok_r)], false)
+        .unwrap();
+    assert_eq!(r.live_mappings(), 0);
+}
+
+#[test]
+fn zero_length_operations_are_rejected_or_trivial() {
+    let mut r = rt(RuntimeConfig::ImplicitZeroCopy);
+    assert!(matches!(
+        r.host_alloc(0, 0),
+        Err(OmpError::Mem(MemError::ZeroSizedAllocation))
+    ));
+    let a = r.host_alloc(0, 4096).unwrap();
+    // Zero-byte memcpy is a no-op, not an error.
+    r.omp_target_memcpy(0, a, a, 0).unwrap();
+    let report = r.finish();
+    assert_eq!(report.mem_stats.bytes_copied, 3 * 64 * 1024); // init only
+}

@@ -1,0 +1,133 @@
+//! `target nowait` / `taskwait`: asynchronous offload semantics and timing.
+//!
+//! QMCPack-class applications overlap kernels and host work inside a single
+//! thread with deferred target tasks; this exercises the engine's async
+//! service support end to end.
+
+use mi300a_zerocopy::hsa::Topology;
+use mi300a_zerocopy::mem::{AddrRange, CostModel};
+use mi300a_zerocopy::omp::{MapEntry, OmpRuntime, RuntimeConfig, TargetRegion};
+use mi300a_zerocopy::sim::VirtDuration;
+
+fn rt(config: RuntimeConfig) -> OmpRuntime {
+    OmpRuntime::new(CostModel::mi300a(), Topology::default(), config, 1).unwrap()
+}
+
+#[test]
+fn nowait_overlaps_kernel_with_host_work() {
+    // Sync: kernel (1ms) then host work (0.8ms) => ~1.8ms.
+    // Nowait: they overlap => ~1ms.
+    let run = |nowait: bool| {
+        let mut r = rt(RuntimeConfig::ImplicitZeroCopy);
+        let a = r.host_alloc(0, 1 << 20).unwrap();
+        let range = AddrRange::new(a, 1 << 20);
+        let kernel = VirtDuration::from_millis(1);
+        let region = TargetRegion::new("k", kernel).map(MapEntry::tofrom(range));
+        if nowait {
+            r.target_nowait(0, region).unwrap();
+        } else {
+            r.target(0, region).unwrap();
+        }
+        r.host_compute(0, VirtDuration::from_micros(800));
+        r.taskwait(0).unwrap();
+        assert_eq!(r.pending_nowaits(), 0);
+        r.finish().makespan
+    };
+    let sync = run(false);
+    let asynced = run(true);
+    assert!(
+        asynced + VirtDuration::from_micros(700) < sync,
+        "nowait {asynced} should hide host work behind the kernel (sync {sync})"
+    );
+}
+
+#[test]
+fn nowait_kernels_pipeline_on_the_gpu() {
+    // Six 1ms kernels issued nowait from one thread: with 6 GPU slots they
+    // run concurrently => makespan ~1ms, not ~6ms.
+    let mut r = rt(RuntimeConfig::ImplicitZeroCopy);
+    let mut ranges = Vec::new();
+    for _ in 0..6 {
+        let a = r.host_alloc(0, 1 << 20).unwrap();
+        ranges.push(AddrRange::new(a, 1 << 20));
+    }
+    for &range in &ranges {
+        r.target_nowait(
+            0,
+            TargetRegion::new("k", VirtDuration::from_millis(1)).map(MapEntry::tofrom(range)),
+        )
+        .unwrap();
+    }
+    r.taskwait(0).unwrap();
+    let report = r.finish();
+    assert!(
+        report.makespan < VirtDuration::from_millis(2),
+        "six nowait kernels should overlap: {}",
+        report.makespan
+    );
+    // All six data environments were exited at taskwait (zero-copy: the
+    // maps fold, but the mapping table must be empty).
+    assert_eq!(report.ledger.copies, 0);
+    assert_eq!(report.ledger.maps, 12); // 6 begins + 6 deferred ends
+}
+
+#[test]
+fn deferred_exit_maps_copy_back_at_taskwait() {
+    // Copy mode: the from-transfer of a nowait region happens at taskwait,
+    // not at dispatch — host data is stale in between.
+    let mut r = rt(RuntimeConfig::LegacyCopy);
+    let a = r.host_alloc(0, 4096).unwrap();
+    let range = AddrRange::new(a, 8);
+    let raw_one: Vec<u8> = 1.0f64.to_le_bytes().to_vec();
+    r.mem_mut().cpu_write(a, &raw_one).unwrap();
+    r.target_nowait(
+        0,
+        TargetRegion::new("w", VirtDuration::from_micros(5))
+            .map(MapEntry::tofrom(range))
+            .body(|ctx| ctx.write_f64s(ctx.arg(0), &[42.0])),
+    )
+    .unwrap();
+    // Before taskwait: host still sees the old value (deferred exit).
+    let mut buf = [0u8; 8];
+    r.mem().cpu_read(a, &mut buf).unwrap();
+    assert_eq!(f64::from_le_bytes(buf), 1.0);
+    r.taskwait(0).unwrap();
+    r.mem().cpu_read(a, &mut buf).unwrap();
+    assert_eq!(f64::from_le_bytes(buf), 42.0);
+}
+
+#[test]
+fn nowait_works_under_all_configs_with_identical_results() {
+    let run = |config: RuntimeConfig| -> f64 {
+        let mut r = rt(config);
+        let a = r.host_alloc(0, 4096).unwrap();
+        let range = AddrRange::new(a, 8);
+        r.mem_mut().cpu_write(a, &3.0f64.to_le_bytes()).unwrap();
+        for _ in 0..4 {
+            r.target_nowait(
+                0,
+                TargetRegion::new("inc", VirtDuration::from_micros(5))
+                    .map(MapEntry::tofrom(range))
+                    .body(|ctx| {
+                        let v = ctx.read_f64s(ctx.arg(0), 1)?[0];
+                        ctx.write_f64s(ctx.arg(0), &[v + 1.0])
+                    }),
+            )
+            .unwrap();
+            r.taskwait(0).unwrap();
+        }
+        let mut buf = [0u8; 8];
+        r.mem().cpu_read(a, &mut buf).unwrap();
+        f64::from_le_bytes(buf)
+    };
+    for config in RuntimeConfig::ALL {
+        assert_eq!(run(config), 7.0, "{config}");
+    }
+}
+
+#[test]
+fn taskwait_with_nothing_pending_is_a_noop() {
+    let mut r = rt(RuntimeConfig::ImplicitZeroCopy);
+    r.taskwait(0).unwrap();
+    assert_eq!(r.pending_nowaits(), 0);
+}
