@@ -129,14 +129,10 @@ pub fn qmc_sweep(cfg: &PaperConfig) -> Result<Vec<QmcCell>, OmpError> {
         // Static round-robin partition: worker w takes cells w, w+W, ...
         // Cell count dominates worker count, so load stays balanced, and
         // results land at fixed indices (bit-identical to sequential).
-        let chunks: Vec<&mut [CellSlot]> = {
-            // Interleaved assignment via index math over a split borrow.
-            results.chunks_mut(1).collect()
-        };
         let mut per_worker: Vec<Vec<(usize, &mut CellSlot)>> =
             (0..workers).map(|_| Vec::new()).collect();
-        for (i, slot) in chunks.into_iter().enumerate() {
-            per_worker[i % workers].push((i, &mut slot[0]));
+        for (i, slot) in results.iter_mut().enumerate() {
+            per_worker[i % workers].push((i, slot));
         }
         for work in per_worker {
             let grid = &grid;

@@ -1,13 +1,16 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [--quick|--full] [--fig3] [--fig4] [--table1] [--table2] [--table3] [--csv DIR]
+//! repro [--quick|--full] [--fig3] [--fig4] [--table1] [--table2] [--table3] [--csv DIR] [--timing]
 //! ```
 //!
 //! With no artifact flags, everything is produced. `--quick` (default) runs
 //! a reduced sweep in tens of seconds; `--full` runs the complete
 //! configuration (all sizes, 1–8 threads, ref-scale SPECaccel — several
-//! minutes of virtual-machine simulation).
+//! minutes of virtual-machine simulation). `--timing` additionally writes
+//! `BENCH_repro.json` with per-artifact wall-clock and sweep throughput
+//! (simulated cells per second) — the simulator's own performance, not the
+//! modeled machine's.
 
 use analysis::paper::{
     fig3_from_cells, fig4_from_cells, markdown_report, qmc_sweep, table1, table2, table3,
@@ -15,9 +18,11 @@ use analysis::paper::{
 };
 use std::io::Write as _;
 use std::path::PathBuf;
+use std::time::Instant;
 
 struct Args {
     cfg: PaperConfig,
+    full: bool,
     fig3: bool,
     fig4: bool,
     table1: bool,
@@ -25,6 +30,41 @@ struct Args {
     table3: bool,
     csv_dir: Option<PathBuf>,
     report: Option<PathBuf>,
+    timing: bool,
+}
+
+/// Wall-clock of one produced artifact; `cells` is set for sweep-backed
+/// artifacts and yields a cells/second throughput in the JSON.
+struct ArtifactTiming {
+    name: &'static str,
+    seconds: f64,
+    cells: Option<usize>,
+}
+
+fn timing_json(cfg_name: &str, total_seconds: f64, artifacts: &[ArtifactTiming]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"config\": \"{cfg_name}\",\n"));
+    out.push_str(&format!("  \"total_seconds\": {total_seconds:.6},\n"));
+    out.push_str("  \"artifacts\": [\n");
+    for (i, a) in artifacts.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"seconds\": {:.6}",
+            a.name, a.seconds
+        ));
+        if let Some(cells) = a.cells {
+            let rate = cells as f64 / a.seconds.max(1e-9);
+            out.push_str(&format!(
+                ", \"cells\": {cells}, \"cells_per_sec\": {rate:.3}"
+            ));
+        }
+        out.push_str(if i + 1 < artifacts.len() {
+            "},\n"
+        } else {
+            "}\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 fn parse_args() -> Args {
@@ -32,11 +72,13 @@ fn parse_args() -> Args {
     let mut selected: Vec<String> = Vec::new();
     let mut csv_dir = None;
     let mut report = None;
+    let mut timing = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--quick" => full = false,
             "--full" => full = true,
+            "--timing" => timing = true,
             "--fig3" | "--fig4" | "--table1" | "--table2" | "--table3" => {
                 selected.push(a.trim_start_matches("--").to_string());
             }
@@ -52,7 +94,7 @@ fn parse_args() -> Args {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: repro [--quick|--full] [--fig3] [--fig4] [--table1] [--table2] [--table3] [--csv DIR] [--report FILE.md]"
+                    "usage: repro [--quick|--full] [--fig3] [--fig4] [--table1] [--table2] [--table3] [--csv DIR] [--report FILE.md] [--timing]"
                 );
                 std::process::exit(0);
             }
@@ -70,6 +112,7 @@ fn parse_args() -> Args {
         } else {
             PaperConfig::quick()
         },
+        full,
         fig3: has("fig3"),
         fig4: has("fig4"),
         table1: has("table1"),
@@ -77,6 +120,7 @@ fn parse_args() -> Args {
         table3: has("table3"),
         csv_dir,
         report,
+        timing,
     }
 }
 
@@ -92,7 +136,8 @@ fn write_csv(dir: &Option<PathBuf>, name: &str, content: &str) {
 
 fn main() {
     let args = parse_args();
-    let started = std::time::Instant::now();
+    let started = Instant::now();
+    let mut timings: Vec<ArtifactTiming> = Vec::new();
 
     if args.fig3 || args.fig4 {
         eprintln!(
@@ -100,8 +145,15 @@ fn main() {
             args.cfg.sizes.len(),
             args.cfg.threads.len()
         );
+        let t0 = Instant::now();
         let cells = qmc_sweep(&args.cfg).expect("QMCPack sweep");
+        timings.push(ArtifactTiming {
+            name: "qmc_sweep",
+            seconds: t0.elapsed().as_secs_f64(),
+            cells: Some(cells.len()),
+        });
         if args.fig3 {
+            let t0 = Instant::now();
             for fig in fig3_from_cells(&cells, &args.cfg) {
                 println!("{fig}");
                 write_csv(
@@ -117,42 +169,84 @@ fn main() {
                     &fig.to_csv(),
                 );
             }
+            timings.push(ArtifactTiming {
+                name: "fig3",
+                seconds: t0.elapsed().as_secs_f64(),
+                cells: None,
+            });
         }
         if args.fig4 {
+            let t0 = Instant::now();
             let fig = fig4_from_cells(&cells, &args.cfg);
             println!("{fig}");
             write_csv(&args.csv_dir, "fig4.csv", &fig.to_csv());
+            timings.push(ArtifactTiming {
+                name: "fig4",
+                seconds: t0.elapsed().as_secs_f64(),
+                cells: None,
+            });
         }
     }
 
     if args.table1 {
         eprintln!("running Table I (HSA call statistics)...");
+        let t0 = Instant::now();
         let t = table1(&args.cfg).expect("table1");
         println!("{t}");
         write_csv(&args.csv_dir, "table1.csv", &t.to_csv());
+        timings.push(ArtifactTiming {
+            name: "table1",
+            seconds: t0.elapsed().as_secs_f64(),
+            cells: None,
+        });
     }
 
     if args.table2 {
         eprintln!("running Table II (SPECaccel ratios)...");
+        let t0 = Instant::now();
         let (t, max_cov) = table2(&args.cfg).expect("table2");
         println!("{t}");
         println!("highest observed CoV: {max_cov:.3} (paper: <= 0.03)\n");
         write_csv(&args.csv_dir, "table2.csv", &t.to_csv());
+        timings.push(ArtifactTiming {
+            name: "table2",
+            seconds: t0.elapsed().as_secs_f64(),
+            cells: None,
+        });
     }
 
     if args.table3 {
         eprintln!("running Table III (MM/MI overhead orders)...");
+        let t0 = Instant::now();
         let t = table3(&args.cfg).expect("table3");
         println!("{t}");
         write_csv(&args.csv_dir, "table3.csv", &t.to_csv());
+        timings.push(ArtifactTiming {
+            name: "table3",
+            seconds: t0.elapsed().as_secs_f64(),
+            cells: None,
+        });
     }
 
     if let Some(path) = &args.report {
         eprintln!("generating markdown report...");
+        let t0 = Instant::now();
         let report = markdown_report(&args.cfg).expect("report");
         std::fs::write(path, report).expect("write report");
         eprintln!("wrote {}", path.display());
+        timings.push(ArtifactTiming {
+            name: "report",
+            seconds: t0.elapsed().as_secs_f64(),
+            cells: None,
+        });
     }
 
-    eprintln!("done in {:.1}s", started.elapsed().as_secs_f64());
+    let total = started.elapsed().as_secs_f64();
+    if args.timing {
+        let cfg_name = if args.full { "full" } else { "quick" };
+        let json = timing_json(cfg_name, total, &timings);
+        std::fs::write("BENCH_repro.json", &json).expect("write BENCH_repro.json");
+        eprintln!("wrote BENCH_repro.json");
+    }
+    eprintln!("done in {total:.1}s");
 }

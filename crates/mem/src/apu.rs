@@ -11,12 +11,26 @@
 //! replay* of a CPU-touched page (cheap) and a *zero-fill fault* on memory
 //! no agent ever touched (the OS allocates and zeroes the page inside the
 //! handler — expensive, the paper's 452.ep case).
+//!
+//! # Extent fast paths
+//!
+//! The fault, prefault, touch, and teardown paths classify whole address
+//! ranges into present / replay / zero-fill sub-extents by set algebra
+//! against the extent-based CPU and GPU page tables, then charge stalls and
+//! TLB statistics arithmetically per sub-extent. The work per operation is
+//! O(extents touched), not O(pages), while every observable value — page
+//! counts, `MemStats`, TLB hit/miss/eviction counters, virtual-time charges,
+//! and error addresses — is bit-identical to the page-at-a-time loops. The
+//! original per-page implementation is retained as a reference oracle:
+//! enable it with [`ApuMemory::set_pagewise`] or by setting
+//! `ZC_MEM_PAGEWISE=1` in the environment.
 
-use crate::addr::{AddrRange, PageSize, VirtAddr};
+use crate::addr::{AddrRange, PageSize, PhysAddr, VirtAddr};
 use crate::cost::CostModel;
 use crate::error::MemError;
 use crate::page_table::PageTable;
 use crate::phys::PhysicalMemory;
+use crate::runs::{RunFifo, RunSet};
 use crate::system::{DiscreteSpec, SystemKind};
 use crate::tlb::Tlb;
 use crate::vma::{Backing, Vma, VmaTable};
@@ -162,8 +176,8 @@ pub struct ApuMemory {
     /// Discrete only: VRAM bytes consumed by pool allocations.
     vram_used: u64,
     /// Discrete only: FIFO of unified-memory pages resident in VRAM.
-    um_resident: std::collections::VecDeque<u64>,
-    um_resident_set: std::collections::HashSet<u64>,
+    um_resident: RunFifo,
+    um_resident_set: RunSet,
     phys: PhysicalMemory,
     vmas: VmaTable,
     cpu_pt: PageTable,
@@ -172,26 +186,31 @@ pub struct ApuMemory {
     host_brk: u64,
     pool_brk: u64,
     stats: MemStats,
+    /// Use the per-page reference implementation instead of the extent
+    /// fast paths (equivalence testing / ablation).
+    pagewise: bool,
 }
 
 impl ApuMemory {
     /// A socket with the full 128 GiB of MI300A HBM.
     pub fn new(cost: CostModel) -> Self {
         let tlb = Tlb::new(cost.gpu_tlb_entries);
+        let ps = cost.page_size;
         ApuMemory {
             cost,
             kind: SystemKind::Apu,
             vram_used: 0,
-            um_resident: std::collections::VecDeque::new(),
-            um_resident_set: std::collections::HashSet::new(),
+            um_resident: RunFifo::new(),
+            um_resident_set: RunSet::new(),
             phys: PhysicalMemory::mi300a(),
             vmas: VmaTable::new(),
-            cpu_pt: PageTable::new(),
-            gpu_pt: PageTable::new(),
+            cpu_pt: PageTable::with_page_size(ps),
+            gpu_pt: PageTable::with_page_size(ps),
             gpu_tlb: tlb,
             host_brk: HOST_VA_BASE,
             pool_brk: POOL_VA_BASE,
             stats: MemStats::default(),
+            pagewise: std::env::var("ZC_MEM_PAGEWISE").is_ok_and(|v| v == "1"),
         }
     }
 
@@ -221,7 +240,20 @@ impl ApuMemory {
 
     /// Discrete only: unified-memory pages currently resident in VRAM.
     pub fn um_resident_pages(&self) -> u64 {
-        self.um_resident.len() as u64
+        self.um_resident.len_pages()
+    }
+
+    /// Switch between the extent fast paths (default) and the per-page
+    /// reference implementation. The two are observably identical; the
+    /// reference path exists as an oracle for equivalence tests and for the
+    /// bookkeeping ablation benchmark. Also settable via `ZC_MEM_PAGEWISE=1`.
+    pub fn set_pagewise(&mut self, pagewise: bool) {
+        self.pagewise = pagewise;
+    }
+
+    /// True when the per-page reference implementation is active.
+    pub fn is_pagewise(&self) -> bool {
+        self.pagewise
     }
 
     fn discrete(&self) -> Option<&DiscreteSpec> {
@@ -305,6 +337,22 @@ impl ApuMemory {
         len.div_ceil(ps) * ps
     }
 
+    /// First page index and page count covering `range` (empty -> count 0).
+    fn page_span(&self, range: &AddrRange) -> (u64, u64) {
+        if range.is_empty() {
+            return (0, 0);
+        }
+        let pb = self.page_bytes();
+        let count = self.cost.page_size.pages_covering(range.start, range.len);
+        (range.start.as_u64() / pb, count)
+    }
+
+    /// Physical address backing `vpage` under `vma`.
+    fn vma_page_phys(vma: &Vma, vpage: u64, pb: u64) -> PhysAddr {
+        let off = vpage * pb - vma.range.start.align_down(pb).as_u64();
+        vma.phys.offset(off)
+    }
+
     /// OS allocation (malloc/mmap path). Pages are *reserved, not touched*:
     /// neither the CPU nor the GPU page table gains entries until first
     /// touch ([`host_touch`](Self::host_touch)) or a prefault.
@@ -343,13 +391,30 @@ impl ApuMemory {
             .clone();
         let ps = self.cost.page_size;
         let pb = ps.bytes();
-        let mut newly = 0;
-        for vpage in range.page_indices(ps) {
-            if !self.cpu_pt.contains(vpage) {
-                let off = vpage * pb - vma.range.start.align_down(pb).as_u64();
-                self.cpu_pt.map_page(vpage, vma.phys.offset(off));
-                newly += 1;
+        if self.pagewise {
+            let mut newly = 0;
+            for vpage in range.page_indices(ps) {
+                if !self.cpu_pt.contains(vpage) {
+                    self.cpu_pt
+                        .map_page(vpage, Self::vma_page_phys(&vma, vpage, pb));
+                    newly += 1;
+                }
             }
+            return Ok(newly);
+        }
+        // Fast path: map each unmapped gap of the span as one extent.
+        let (first, count) = self.page_span(&range);
+        let end = first + count;
+        let mut newly = 0;
+        let mut pos = first;
+        while pos < end {
+            let (mapped, run_end) = self.cpu_pt.span_at(pos, end);
+            if !mapped {
+                self.cpu_pt
+                    .map_pages(pos, run_end - pos, Self::vma_page_phys(&vma, pos, pb));
+                newly += run_end - pos;
+            }
+            pos = run_end;
         }
         Ok(newly)
     }
@@ -431,18 +496,23 @@ impl ApuMemory {
     fn teardown(&mut self, vma: &Vma) {
         let ps = self.cost.page_size;
         self.cpu_pt.unmap_range(vma.range, ps);
-        let mut dropped_um = false;
-        for vpage in vma.range.page_indices(ps) {
-            if self.gpu_pt.unmap_page(vpage) {
-                self.gpu_tlb.invalidate(vpage);
+        if self.pagewise {
+            for vpage in vma.range.page_indices(ps) {
+                if self.gpu_pt.unmap_page(vpage) {
+                    self.gpu_tlb.invalidate(vpage);
+                }
+                if !self.um_resident_set.remove_run(vpage, 1).is_empty() {
+                    self.um_resident.remove_pages(vpage, 1);
+                }
             }
-            if self.um_resident_set.remove(&vpage) {
-                dropped_um = true;
+        } else {
+            let (first, count) = self.page_span(&vma.range);
+            for (s, l) in self.gpu_pt.unmap_pages(first, count) {
+                self.gpu_tlb.invalidate_range(s, l);
             }
-        }
-        if dropped_um {
-            let set = &self.um_resident_set;
-            self.um_resident.retain(|p| set.contains(p));
+            if !self.um_resident_set.remove_run(first, count).is_empty() {
+                self.um_resident.remove_pages(first, count);
+            }
         }
         self.phys.free(vma.phys, vma.range.len);
     }
@@ -458,8 +528,7 @@ impl ApuMemory {
         ranges: &[AddrRange],
         xnack: XnackMode,
     ) -> Result<GpuAccessOutcome, MemError> {
-        let ps = self.cost.page_size;
-        let pb = ps.bytes();
+        let pb = self.page_bytes();
         let mut out = GpuAccessOutcome::default();
         for range in ranges {
             if range.is_empty() {
@@ -473,55 +542,11 @@ impl ApuMemory {
                     len: range.len,
                 })?
                 .clone();
-            let mut o = GpuAccessOutcome::default();
-            for vpage in range.page_indices(ps) {
-                o.pages_touched += 1;
-                if self.gpu_pt.contains(vpage) {
-                    if !self.gpu_tlb.access(vpage) {
-                        o.tlb_misses += 1;
-                    }
-                    continue;
-                }
-                if xnack == XnackMode::Disabled {
-                    return Err(MemError::GpuFatalFault {
-                        addr: VirtAddr(vpage * pb),
-                    });
-                }
-                let off = vpage * pb - vma.range.start.align_down(pb).as_u64();
-                let phys = vma.phys.offset(off);
-                if let Some(d) = self.discrete().cloned() {
-                    // Discrete GPU unified memory: first touch *migrates*
-                    // the page over the interconnect into VRAM; when VRAM
-                    // is oversubscribed, the oldest migrated page evicts
-                    // and will re-migrate on its next touch.
-                    self.cpu_pt.map_page(vpage, phys);
-                    self.gpu_pt.map_page(vpage, phys);
-                    self.gpu_tlb.access(vpage);
-                    self.um_resident.push_back(vpage);
-                    self.um_resident_set.insert(vpage);
-                    o.migrated_pages += 1;
-                    let budget_pages = d.vram_bytes.saturating_sub(self.vram_used) / pb;
-                    while self.um_resident.len() as u64 > budget_pages {
-                        let victim = self.um_resident.pop_front().expect("nonempty");
-                        self.um_resident_set.remove(&victim);
-                        if self.gpu_pt.unmap_page(victim) {
-                            self.gpu_tlb.invalidate(victim);
-                        }
-                        o.evicted_pages += 1;
-                    }
-                    continue;
-                }
-                if self.cpu_pt.contains(vpage) {
-                    o.replayed_pages += 1;
-                } else {
-                    // First touch anywhere: allocate + zero in the handler,
-                    // and the CPU table gains the entry too.
-                    self.cpu_pt.map_page(vpage, phys);
-                    o.zero_filled_pages += 1;
-                }
-                self.gpu_pt.map_page(vpage, phys);
-                self.gpu_tlb.access(vpage);
-            }
+            let mut o = if self.pagewise {
+                self.resolve_range_pagewise(range, &vma, xnack)?
+            } else {
+                self.resolve_range_extents(range, &vma, xnack)?
+            };
             o.stall = self.cost.fault_stall(o.replayed_pages, o.zero_filled_pages)
                 + self.cost.tlb_miss * o.tlb_misses;
             if let Some(d) = self.discrete() {
@@ -537,6 +562,173 @@ impl ApuMemory {
             out.merge(o);
         }
         Ok(out)
+    }
+
+    /// Per-page reference resolution of one accessed range (oracle path).
+    fn resolve_range_pagewise(
+        &mut self,
+        range: &AddrRange,
+        vma: &Vma,
+        xnack: XnackMode,
+    ) -> Result<GpuAccessOutcome, MemError> {
+        let ps = self.cost.page_size;
+        let pb = ps.bytes();
+        let mut o = GpuAccessOutcome::default();
+        for vpage in range.page_indices(ps) {
+            o.pages_touched += 1;
+            if self.gpu_pt.contains(vpage) {
+                if !self.gpu_tlb.access(vpage) {
+                    o.tlb_misses += 1;
+                }
+                continue;
+            }
+            if xnack == XnackMode::Disabled {
+                return Err(MemError::GpuFatalFault {
+                    addr: VirtAddr(vpage * pb),
+                });
+            }
+            let phys = Self::vma_page_phys(vma, vpage, pb);
+            if let Some(d) = self.discrete().cloned() {
+                // Discrete GPU unified memory: first touch *migrates*
+                // the page over the interconnect into VRAM; when VRAM
+                // is oversubscribed, the oldest migrated page evicts
+                // and will re-migrate on its next touch.
+                self.cpu_pt.map_page(vpage, phys);
+                self.gpu_pt.map_page(vpage, phys);
+                self.gpu_tlb.access(vpage);
+                self.um_resident.push_back_run(vpage, 1);
+                self.um_resident_set.insert_run(vpage, 1);
+                o.migrated_pages += 1;
+                let budget_pages = d.vram_bytes.saturating_sub(self.vram_used) / pb;
+                while self.um_resident.len_pages() > budget_pages {
+                    let victim = self.um_resident.pop_front_page().expect("nonempty");
+                    self.um_resident_set.remove_run(victim, 1);
+                    if self.gpu_pt.unmap_page(victim) {
+                        self.gpu_tlb.invalidate(victim);
+                    }
+                    o.evicted_pages += 1;
+                }
+                continue;
+            }
+            if self.cpu_pt.contains(vpage) {
+                o.replayed_pages += 1;
+            } else {
+                // First touch anywhere: allocate + zero in the handler,
+                // and the CPU table gains the entry too.
+                self.cpu_pt.map_page(vpage, phys);
+                o.zero_filled_pages += 1;
+            }
+            self.gpu_pt.map_page(vpage, phys);
+            self.gpu_tlb.access(vpage);
+        }
+        Ok(o)
+    }
+
+    /// Extent resolution of one accessed range: walk maximal
+    /// GPU-present/absent runs in ascending page order and handle each as a
+    /// unit. The walk re-queries the GPU table after every run because
+    /// discrete-GPU eviction can unmap pages *ahead* of the cursor within
+    /// the same access (VRAM thrashing), which must re-fault immediately —
+    /// exactly as the per-page loop does.
+    fn resolve_range_extents(
+        &mut self,
+        range: &AddrRange,
+        vma: &Vma,
+        xnack: XnackMode,
+    ) -> Result<GpuAccessOutcome, MemError> {
+        let pb = self.page_bytes();
+        let (first, count) = self.page_span(range);
+        let end = first + count;
+        let mut o = GpuAccessOutcome {
+            pages_touched: count,
+            ..Default::default()
+        };
+        let mut pos = first;
+        while pos < end {
+            let (mapped, run_end) = self.gpu_pt.span_at(pos, end);
+            let run_len = run_end - pos;
+            if mapped {
+                let (_, misses) = self.gpu_tlb.access_range(pos, run_len);
+                o.tlb_misses += misses;
+                pos = run_end;
+                continue;
+            }
+            // A faulting run. Earlier present runs already charged their
+            // TLB accesses, matching the sequential order of events.
+            if xnack == XnackMode::Disabled {
+                return Err(MemError::GpuFatalFault {
+                    addr: VirtAddr(pos * pb),
+                });
+            }
+            if let Some(d) = self.discrete().cloned() {
+                self.migrate_run(pos, run_len, vma, &d, &mut o);
+            } else {
+                // APU: split the faulting run by CPU residency into replay
+                // (CPU-touched) and zero-fill (never-touched) sub-runs.
+                let mut q = pos;
+                while q < run_end {
+                    let (cpu_mapped, sub_end) = self.cpu_pt.span_at(q, run_end);
+                    let sub_len = sub_end - q;
+                    let phys = Self::vma_page_phys(vma, q, pb);
+                    if cpu_mapped {
+                        o.replayed_pages += sub_len;
+                    } else {
+                        self.cpu_pt.map_pages(q, sub_len, phys);
+                        o.zero_filled_pages += sub_len;
+                    }
+                    self.gpu_pt.map_pages(q, sub_len, phys);
+                    self.gpu_tlb.access_range(q, sub_len);
+                    q = sub_end;
+                }
+            }
+            pos = run_end;
+        }
+        Ok(o)
+    }
+
+    /// Discrete GPU: migrate a run of absent pages into VRAM. When the run
+    /// fits the remaining residency budget the whole run is processed as one
+    /// extent (no eviction can occur, so bulk TLB/queue updates are exact).
+    /// Otherwise eviction interleaves with migration page by page — evicted
+    /// pages may sit ahead in this very run — so fall back to the exact
+    /// per-page protocol for this run only.
+    fn migrate_run(
+        &mut self,
+        start: u64,
+        len: u64,
+        vma: &Vma,
+        d: &DiscreteSpec,
+        o: &mut GpuAccessOutcome,
+    ) {
+        let pb = self.page_bytes();
+        let budget_pages = d.vram_bytes.saturating_sub(self.vram_used) / pb;
+        if self.um_resident.len_pages() + len <= budget_pages {
+            let phys = Self::vma_page_phys(vma, start, pb);
+            self.cpu_pt.map_pages(start, len, phys);
+            self.gpu_pt.map_pages(start, len, phys);
+            self.gpu_tlb.access_range(start, len);
+            self.um_resident.push_back_run(start, len);
+            self.um_resident_set.insert_run(start, len);
+            o.migrated_pages += len;
+            return;
+        }
+        for vpage in start..start + len {
+            let phys = Self::vma_page_phys(vma, vpage, pb);
+            self.cpu_pt.map_page(vpage, phys);
+            self.gpu_pt.map_page(vpage, phys);
+            self.gpu_tlb.access(vpage);
+            self.um_resident.push_back_run(vpage, 1);
+            self.um_resident_set.insert_run(vpage, 1);
+            o.migrated_pages += 1;
+            while self.um_resident.len_pages() > budget_pages {
+                let victim = self.um_resident.pop_front_page().expect("nonempty");
+                self.um_resident_set.remove_run(victim, 1);
+                if self.gpu_pt.unmap_page(victim) {
+                    self.gpu_tlb.invalidate(victim);
+                }
+                o.evicted_pages += 1;
+            }
+        }
     }
 
     /// Host-side GPU page-table prefault over `range`
@@ -555,20 +747,51 @@ impl ApuMemory {
         let mut inserted = 0;
         let mut zero_filled = 0;
         let mut present = 0;
-        for vpage in range.page_indices(ps) {
-            if self.gpu_pt.contains(vpage) {
-                present += 1;
-                continue;
+        if self.pagewise {
+            for vpage in range.page_indices(ps) {
+                if self.gpu_pt.contains(vpage) {
+                    present += 1;
+                    continue;
+                }
+                let phys = Self::vma_page_phys(&vma, vpage, pb);
+                if self.cpu_pt.contains(vpage) {
+                    inserted += 1;
+                } else {
+                    self.cpu_pt.map_page(vpage, phys);
+                    zero_filled += 1;
+                }
+                self.gpu_pt.map_page(vpage, phys);
             }
-            let off = vpage * pb - vma.range.start.align_down(pb).as_u64();
-            let phys = vma.phys.offset(off);
-            if self.cpu_pt.contains(vpage) {
-                inserted += 1;
-            } else {
-                self.cpu_pt.map_page(vpage, phys);
-                zero_filled += 1;
+        } else {
+            // Fast path: classify the span into GPU-present runs (re-check
+            // only) and GPU-absent runs, splitting the latter by CPU
+            // residency into inserted vs zero-filled sub-extents.
+            let (first, count) = self.page_span(&range);
+            let end = first + count;
+            let mut pos = first;
+            while pos < end {
+                let (mapped, run_end) = self.gpu_pt.span_at(pos, end);
+                if mapped {
+                    present += run_end - pos;
+                    pos = run_end;
+                    continue;
+                }
+                let mut q = pos;
+                while q < run_end {
+                    let (cpu_mapped, sub_end) = self.cpu_pt.span_at(q, run_end);
+                    let sub_len = sub_end - q;
+                    let phys = Self::vma_page_phys(&vma, q, pb);
+                    if cpu_mapped {
+                        inserted += sub_len;
+                    } else {
+                        self.cpu_pt.map_pages(q, sub_len, phys);
+                        zero_filled += sub_len;
+                    }
+                    self.gpu_pt.map_pages(q, sub_len, phys);
+                    q = sub_end;
+                }
+                pos = run_end;
             }
-            self.gpu_pt.map_page(vpage, phys);
         }
         self.stats.prefault_calls += 1;
         self.stats.prefault_inserted_pages += inserted;
@@ -583,9 +806,25 @@ impl ApuMemory {
             None => self.cost.prefault_cost(inserted, zero_filled, present),
         };
         if self.discrete().is_some() {
-            for vpage in range.page_indices(self.cost.page_size) {
-                if self.um_resident_set.insert(vpage) {
-                    self.um_resident.push_back(vpage);
+            if self.pagewise {
+                for vpage in range.page_indices(self.cost.page_size) {
+                    if self.um_resident_set.insert_run(vpage, 1) == 1 {
+                        self.um_resident.push_back_run(vpage, 1);
+                    }
+                }
+            } else {
+                // Enqueue each not-yet-resident run in ascending order —
+                // the same page order the per-page loop produces.
+                let (first, count) = self.page_span(&range);
+                let end = first + count;
+                let mut pos = first;
+                while pos < end {
+                    let (resident, run_end) = self.um_resident_set.span_at(pos, end);
+                    if !resident {
+                        self.um_resident_set.insert_run(pos, run_end - pos);
+                        self.um_resident.push_back_run(pos, run_end - pos);
+                    }
+                    pos = run_end;
                 }
             }
         }
@@ -660,13 +899,11 @@ impl ApuMemory {
             .find_covering(&range)
             .ok_or(MemError::RangeOutsideAllocation { addr, len })?;
         if gpu {
-            let ps = self.cost.page_size;
-            for vpage in range.page_indices(ps) {
-                if !self.gpu_pt.contains(vpage) {
-                    return Err(MemError::GpuFatalFault {
-                        addr: VirtAddr(vpage * ps.bytes()),
-                    });
-                }
+            let (first, count) = self.page_span(&range);
+            if let Some(vpage) = self.gpu_pt.first_missing(first, count) {
+                return Err(MemError::GpuFatalFault {
+                    addr: VirtAddr(vpage * self.page_bytes()),
+                });
             }
         }
         Ok(vma.phys.offset(addr.as_u64() - vma.range.start.as_u64()))

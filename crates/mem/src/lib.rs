@@ -38,6 +38,7 @@ mod error;
 mod page_table;
 mod phys;
 mod report;
+pub mod runs;
 mod system;
 mod tlb;
 mod vma;

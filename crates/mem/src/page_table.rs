@@ -4,41 +4,88 @@
 //! On the APU the CPU table is populated by the OS allocator; the GPU table
 //! is populated either in bulk (pool allocations / host-side prefaulting) or
 //! page-by-page by the XNACK replay protocol on first GPU touch.
+//!
+//! Storage is extent-based: instead of one hash entry per page, the table
+//! keeps sorted, coalesced `[start_vpage, start_vpage + len)` extents, each
+//! with the physical base of its first page and physically contiguous pages
+//! after it. Real allocations map page-aligned, physically contiguous spans,
+//! so a table over a multi-GiB heap holds a handful of extents rather than
+//! millions of hash entries; range operations run in O(extents touched ·
+//! log extents) instead of O(pages). The `inserts`/`removes` lifetime
+//! counters still advance exactly as if pages were mapped one by one, so
+//! every consumer of those statistics sees identical values.
 
 use crate::addr::{AddrRange, PageSize, PhysAddr, VirtAddr};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
+
+/// One physically contiguous mapping of `len` virtual pages.
+#[derive(Debug, Clone, Copy)]
+struct Extent {
+    /// Number of pages.
+    len: u64,
+    /// Physical base of the extent's first page.
+    phys: PhysAddr,
+}
 
 /// One agent's logical-to-physical page mapping.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct PageTable {
-    /// Virtual page index -> physical base address of that page.
-    entries: HashMap<u64, PhysAddr>,
+    /// Start virtual page index -> extent. Invariant: extents are disjoint
+    /// and maximally coalesced (adjacent extents with contiguous physical
+    /// addresses are merged).
+    extents: BTreeMap<u64, Extent>,
+    /// Bytes per page; fixes the virtual-page-to-physical-offset stride.
+    page_bytes: u64,
+    /// Net mapped pages.
+    pages: u64,
     inserts: u64,
     removes: u64,
 }
 
+impl Default for PageTable {
+    fn default() -> Self {
+        Self::with_page_size(PageSize::Small)
+    }
+}
+
 impl PageTable {
-    /// Create a new instance.
+    /// Create a new instance with 4 KiB pages.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Number of entries.
+    /// Create a new instance with the given page granularity.
+    pub fn with_page_size(ps: PageSize) -> Self {
+        PageTable {
+            extents: BTreeMap::new(),
+            page_bytes: ps.bytes(),
+            pages: 0,
+            inserts: 0,
+            removes: 0,
+        }
+    }
+
+    /// Number of mapped pages.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.pages as usize
     }
 
     /// True when empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.pages == 0
     }
 
-    /// Lifetime count of entry insertions (not net).
+    /// Number of stored extents (bookkeeping granularity, not page count).
+    pub fn extent_count(&self) -> usize {
+        self.extents.len()
+    }
+
+    /// Lifetime count of page insertions (not net).
     pub fn inserts(&self) -> u64 {
         self.inserts
     }
 
-    /// Lifetime count of entry removals.
+    /// Lifetime count of page removals.
     pub fn removes(&self) -> u64 {
         self.removes
     }
@@ -46,78 +93,230 @@ impl PageTable {
     #[inline]
     /// True when the item lies inside.
     pub fn contains(&self, vpage: u64) -> bool {
-        self.entries.contains_key(&vpage)
+        self.translate_page(vpage).is_some()
     }
 
     #[inline]
     /// Physical base of `vpage`, if mapped.
     pub fn translate_page(&self, vpage: u64) -> Option<PhysAddr> {
-        self.entries.get(&vpage).copied()
+        let (&start, ext) = self.extents.range(..=vpage).next_back()?;
+        if vpage < start + ext.len {
+            Some(ext.phys.offset((vpage - start) * self.page_bytes))
+        } else {
+            None
+        }
     }
 
     /// Translate a byte address. Returns the physical address or `None` if
     /// the page has no entry.
     pub fn translate(&self, addr: VirtAddr, ps: PageSize) -> Option<PhysAddr> {
         let bytes = ps.bytes();
+        debug_assert_eq!(bytes, self.page_bytes, "page size mismatch");
         let vpage = addr.as_u64() / bytes;
         let off = addr.as_u64() % bytes;
-        self.entries.get(&vpage).map(|p| p.offset(off))
+        self.translate_page(vpage).map(|p| p.offset(off))
     }
 
     /// Insert an entry; returns true if the page was newly mapped.
     pub fn map_page(&mut self, vpage: u64, phys: PhysAddr) -> bool {
-        let new = self.entries.insert(vpage, phys).is_none();
-        if new {
-            self.inserts += 1;
+        self.map_pages(vpage, 1, phys) == 1
+    }
+
+    /// Map `count` virtually and physically contiguous pages starting at
+    /// `first`, with `phys_base` backing the first page. Pages already mapped
+    /// are re-pointed at the new physical location without counting as
+    /// inserts (matching per-page overwrite semantics). Returns how many
+    /// pages were newly mapped.
+    pub fn map_pages(&mut self, first: u64, count: u64, phys_base: PhysAddr) -> u64 {
+        if count == 0 {
+            return 0;
         }
-        new
+        // Clear the landing zone; overwrites are not removals.
+        let overwritten: u64 = self.carve(first, count).iter().map(|&(_, l)| l).sum();
+        self.insert_extent(first, count, phys_base);
+        let newly = count - overwritten;
+        self.pages += newly;
+        self.inserts += newly;
+        newly
     }
 
     /// Map a contiguous virtual range to a contiguous physical range.
     pub fn map_range(&mut self, range: AddrRange, phys_base: PhysAddr, ps: PageSize) -> u64 {
         let bytes = ps.bytes();
         debug_assert!(range.start.is_aligned(bytes), "range must be page aligned");
-        let mut newly = 0;
-        for (i, vpage) in range.page_indices(ps).enumerate() {
-            if self.map_page(vpage, phys_base.offset(i as u64 * bytes)) {
-                newly += 1;
-            }
+        debug_assert_eq!(bytes, self.page_bytes, "page size mismatch");
+        if range.is_empty() {
+            return 0;
         }
-        newly
+        let first = range.start.as_u64() / bytes;
+        let count = ps.pages_covering(range.start, range.len);
+        self.map_pages(first, count, phys_base)
     }
 
     /// Remove an entry; returns true if it existed.
     pub fn unmap_page(&mut self, vpage: u64) -> bool {
-        let existed = self.entries.remove(&vpage).is_some();
-        if existed {
-            self.removes += 1;
-        }
-        existed
+        !self.unmap_pages(vpage, 1).is_empty()
+    }
+
+    /// Unmap every mapped page of `[first, first + count)`. Returns the
+    /// previously mapped sub-runs `(start_vpage, len)` in ascending order.
+    pub fn unmap_pages(&mut self, first: u64, count: u64) -> Vec<(u64, u64)> {
+        let removed = self.carve(first, count);
+        let pages: u64 = removed.iter().map(|&(_, l)| l).sum();
+        self.pages -= pages;
+        self.removes += pages;
+        removed
     }
 
     /// Remove all entries covering `range`; returns how many were present.
     pub fn unmap_range(&mut self, range: AddrRange, ps: PageSize) -> u64 {
-        let mut removed = 0;
-        for vpage in range.page_indices(ps) {
-            if self.unmap_page(vpage) {
-                removed += 1;
-            }
+        debug_assert_eq!(ps.bytes(), self.page_bytes, "page size mismatch");
+        if range.is_empty() {
+            return 0;
         }
-        removed
+        let first = range.start.as_u64() / ps.bytes();
+        let count = ps.pages_covering(range.start, range.len);
+        self.unmap_pages(first, count).iter().map(|&(_, l)| l).sum()
     }
 
     /// Count pages of `range` with and without entries: `(present, missing)`.
     pub fn presence(&self, range: AddrRange, ps: PageSize) -> (u64, u64) {
-        let mut present = 0;
-        let mut missing = 0;
-        for vpage in range.page_indices(ps) {
-            if self.contains(vpage) {
-                present += 1;
-            } else {
-                missing += 1;
+        debug_assert_eq!(ps.bytes(), self.page_bytes, "page size mismatch");
+        if range.is_empty() {
+            return (0, 0);
+        }
+        let first = range.start.as_u64() / ps.bytes();
+        let count = ps.pages_covering(range.start, range.len);
+        let present = self.count_in(first, count);
+        (present, count - present)
+    }
+
+    /// True when every page of `range` is mapped.
+    pub fn contains_range(&self, range: AddrRange, ps: PageSize) -> bool {
+        debug_assert_eq!(ps.bytes(), self.page_bytes, "page size mismatch");
+        if range.is_empty() {
+            return true;
+        }
+        let first = range.start.as_u64() / ps.bytes();
+        let count = ps.pages_covering(range.start, range.len);
+        self.first_missing(first, count).is_none()
+    }
+
+    /// Lowest unmapped page in `[first, first + count)`, if any.
+    pub fn first_missing(&self, first: u64, count: u64) -> Option<u64> {
+        let end = first + count;
+        let mut pos = first;
+        while pos < end {
+            let (mapped, run_end) = self.span_at(pos, end);
+            if !mapped {
+                return Some(pos);
+            }
+            pos = run_end;
+        }
+        None
+    }
+
+    /// Number of mapped pages inside `[first, first + count)`.
+    pub fn count_in(&self, first: u64, count: u64) -> u64 {
+        if count == 0 {
+            return 0;
+        }
+        let end = first + count;
+        let mut n = 0;
+        for (&s, ext) in self.extents.range(..end).rev() {
+            if s + ext.len <= first {
+                break;
+            }
+            n += (s + ext.len).min(end) - s.max(first);
+        }
+        n
+    }
+
+    /// Classify position `pos` within `[pos, end)`: returns `(mapped,
+    /// run_end)` where every page of `[pos, run_end)` shares the mapped
+    /// status, and `run_end <= end`.
+    pub fn span_at(&self, pos: u64, end: u64) -> (bool, u64) {
+        debug_assert!(pos < end);
+        if let Some((&s, ext)) = self.extents.range(..=pos).next_back() {
+            if pos < s + ext.len {
+                return (true, (s + ext.len).min(end));
             }
         }
-        (present, missing)
+        match self.extents.range(pos..).next() {
+            Some((&s, _)) => (false, s.min(end)),
+            None => (false, end),
+        }
+    }
+
+    /// Remove every extent page inside `[first, first + count)`, splitting
+    /// boundary extents. Returns removed sub-runs ascending. Counters are
+    /// untouched: callers decide whether a carve is a removal or an
+    /// overwrite.
+    fn carve(&mut self, first: u64, count: u64) -> Vec<(u64, u64)> {
+        if count == 0 {
+            return Vec::new();
+        }
+        let end = first + count;
+        let mut touched: Vec<(u64, Extent)> = Vec::new();
+        for (&s, ext) in self.extents.range(..end).rev() {
+            if s + ext.len <= first {
+                break;
+            }
+            touched.push((s, *ext));
+        }
+        let mut removed = Vec::with_capacity(touched.len());
+        for (s, ext) in touched {
+            self.extents.remove(&s);
+            let cut_start = s.max(first);
+            let cut_end = (s + ext.len).min(end);
+            removed.push((cut_start, cut_end - cut_start));
+            if s < cut_start {
+                self.extents.insert(
+                    s,
+                    Extent {
+                        len: cut_start - s,
+                        phys: ext.phys,
+                    },
+                );
+            }
+            if cut_end < s + ext.len {
+                self.extents.insert(
+                    cut_end,
+                    Extent {
+                        len: s + ext.len - cut_end,
+                        phys: ext.phys.offset((cut_end - s) * self.page_bytes),
+                    },
+                );
+            }
+        }
+        removed.sort_unstable();
+        removed
+    }
+
+    /// Insert an extent into a landing zone known to be clear, merging with
+    /// physically contiguous neighbours.
+    fn insert_extent(&mut self, mut start: u64, mut len: u64, mut phys: PhysAddr) {
+        debug_assert!(len > 0);
+        if let Some((&ls, lext)) = self.extents.range(..start).next_back() {
+            if ls + lext.len == start && lext.phys.offset(lext.len * self.page_bytes) == phys {
+                start = ls;
+                len += lext.len;
+                phys = lext.phys;
+                self.extents.remove(&ls);
+            }
+        }
+        if let Some((&rs, rext)) = self.extents.range(start + len..).next() {
+            if start + len == rs && phys.offset(len * self.page_bytes) == rext.phys {
+                len += rext.len;
+                self.extents.remove(&rs);
+            }
+        }
+        self.extents.insert(start, Extent { len, phys });
+    }
+
+    /// Iterate extents ascending as `(start_vpage, len, phys_base)`.
+    pub fn extents(&self) -> impl Iterator<Item = (u64, u64, PhysAddr)> + '_ {
+        self.extents.iter().map(|(&s, e)| (s, e.len, e.phys))
     }
 }
 
@@ -166,5 +365,92 @@ mod tests {
         pt.map_range(AddrRange::new(VirtAddr(0), 2 * 4096), PhysAddr(0), PS);
         let (present, missing) = pt.presence(AddrRange::new(VirtAddr(0), 5 * 4096), PS);
         assert_eq!((present, missing), (2, 3));
+    }
+
+    #[test]
+    fn contiguous_mappings_coalesce_into_one_extent() {
+        let mut pt = PageTable::new();
+        // Page-by-page mapping of a physically contiguous span.
+        for i in 0..64u64 {
+            pt.map_page(100 + i, PhysAddr(0x8000_0000 + i * 4096));
+        }
+        assert_eq!(pt.extent_count(), 1);
+        assert_eq!(pt.len(), 64);
+        assert_eq!(pt.inserts(), 64);
+        assert_eq!(
+            pt.translate_page(163).unwrap().as_u64(),
+            0x8000_0000 + 63 * 4096
+        );
+    }
+
+    #[test]
+    fn non_contiguous_phys_does_not_coalesce() {
+        let mut pt = PageTable::new();
+        pt.map_page(0, PhysAddr(0));
+        pt.map_page(1, PhysAddr(0x10000)); // virtually adjacent, phys gap
+        assert_eq!(pt.extent_count(), 2);
+        assert_eq!(pt.translate_page(1).unwrap().as_u64(), 0x10000);
+    }
+
+    #[test]
+    fn partial_unmap_splits_extent_with_correct_phys() {
+        let mut pt = PageTable::new();
+        pt.map_pages(10, 10, PhysAddr(0x1000_0000));
+        let removed = pt.unmap_pages(13, 3);
+        assert_eq!(removed, vec![(13, 3)]);
+        assert_eq!(pt.extent_count(), 2);
+        // Right-hand split keeps the per-page physical addresses.
+        assert_eq!(
+            pt.translate_page(16).unwrap().as_u64(),
+            0x1000_0000 + 6 * 4096
+        );
+        assert_eq!(pt.removes(), 3);
+        assert_eq!(pt.len(), 7);
+    }
+
+    #[test]
+    fn overwrite_remap_repoints_span_without_insert_counts() {
+        let mut pt = PageTable::new();
+        pt.map_pages(0, 8, PhysAddr(0));
+        // Remap the middle four pages somewhere else: 0 new pages.
+        assert_eq!(pt.map_pages(2, 4, PhysAddr(0x4000_0000)), 0);
+        assert_eq!(pt.inserts(), 8);
+        assert_eq!(pt.removes(), 0);
+        assert_eq!(pt.len(), 8);
+        assert_eq!(pt.translate_page(3).unwrap().as_u64(), 0x4000_0000 + 4096);
+        // Outer pages keep the original backing.
+        assert_eq!(pt.translate_page(1).unwrap().as_u64(), 4096);
+        assert_eq!(pt.translate_page(6).unwrap().as_u64(), 6 * 4096);
+    }
+
+    #[test]
+    fn span_queries_classify_runs() {
+        let mut pt = PageTable::new();
+        pt.map_pages(4, 4, PhysAddr(0));
+        assert_eq!(pt.span_at(0, 16), (false, 4));
+        assert_eq!(pt.span_at(5, 16), (true, 8));
+        assert_eq!(pt.first_missing(4, 4), None);
+        assert_eq!(pt.first_missing(4, 5), Some(8));
+        assert_eq!(pt.count_in(0, 16), 4);
+        assert!(pt.contains_range(AddrRange::new(VirtAddr(4 * 4096), 4 * 4096), PS));
+        assert!(!pt.contains_range(AddrRange::new(VirtAddr(4 * 4096), 5 * 4096), PS));
+    }
+
+    #[test]
+    fn huge_page_stride_respected() {
+        let mut pt = PageTable::with_page_size(PageSize::Huge);
+        let hb = PageSize::Huge.bytes();
+        pt.map_range(
+            AddrRange::new(VirtAddr(0), 4 * hb),
+            PhysAddr(0x1_0000_0000),
+            PageSize::Huge,
+        );
+        assert_eq!(pt.extent_count(), 1);
+        assert_eq!(
+            pt.translate(VirtAddr(3 * hb + 17), PageSize::Huge)
+                .unwrap()
+                .as_u64(),
+            0x1_0000_0000 + 3 * hb + 17
+        );
     }
 }

@@ -129,6 +129,9 @@ impl PhysicalMemory {
     }
 
     /// Write `data` starting at `addr`, materializing chunks as needed.
+    /// Writing zeros to an unmaterialized chunk is a no-op — the chunk
+    /// already reads as zero — so bulk zero-initialization of fresh memory
+    /// stays metadata-only.
     pub fn write(&mut self, addr: PhysAddr, data: &[u8]) {
         let mut pos = addr.as_u64();
         let mut off = 0usize;
@@ -136,11 +139,16 @@ impl PhysicalMemory {
             let chunk_idx = pos / CHUNK;
             let in_chunk = (pos % CHUNK) as usize;
             let take = ((CHUNK as usize) - in_chunk).min(data.len() - off);
-            let chunk = self
-                .chunks
-                .entry(chunk_idx)
-                .or_insert_with(|| vec![0u8; CHUNK as usize].into_boxed_slice());
-            chunk[in_chunk..in_chunk + take].copy_from_slice(&data[off..off + take]);
+            let src = &data[off..off + take];
+            match self.chunks.get_mut(&chunk_idx) {
+                Some(chunk) => chunk[in_chunk..in_chunk + take].copy_from_slice(src),
+                None if src.iter().all(|&b| b == 0) => {}
+                None => {
+                    let mut chunk = vec![0u8; CHUNK as usize].into_boxed_slice();
+                    chunk[in_chunk..in_chunk + take].copy_from_slice(src);
+                    self.chunks.insert(chunk_idx, chunk);
+                }
+            }
             pos += take as u64;
             off += take;
         }
@@ -272,6 +280,34 @@ mod tests {
         m.copy(PhysAddr(0), PhysAddr(200_000), 100); // src is zeros
         let mut back = [1u8; 100];
         m.read(PhysAddr(200_000), &mut back);
+        assert!(back.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn zero_writes_to_fresh_memory_stay_sparse() {
+        let mut m = PhysicalMemory::new(1 << 20);
+        m.write(PhysAddr(0), &vec![0u8; 64 * 1024]);
+        assert_eq!(m.resident_bytes(), 0);
+        let mut back = [1u8; 64];
+        m.read(PhysAddr(4096), &mut back);
+        assert!(back.iter().all(|&b| b == 0));
+        // A single non-zero byte materializes only the chunk holding it.
+        let mut data = vec![0u8; 2 * CHUNK as usize];
+        data[CHUNK as usize] = 1;
+        m.write(PhysAddr(100_000 / CHUNK * CHUNK), &data);
+        assert_eq!(m.resident_bytes(), CHUNK);
+    }
+
+    #[test]
+    fn zero_writes_still_clear_materialized_chunks() {
+        let mut m = PhysicalMemory::new(1 << 20);
+        m.write(PhysAddr(0), &[7u8; 100]);
+        assert_eq!(m.resident_bytes(), CHUNK);
+        m.write(PhysAddr(0), &[0u8; 100]);
+        // The chunk stays materialized but its content is zeroed.
+        assert_eq!(m.resident_bytes(), CHUNK);
+        let mut back = [1u8; 100];
+        m.read(PhysAddr(0), &mut back);
         assert!(back.iter().all(|&b| b == 0));
     }
 

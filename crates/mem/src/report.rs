@@ -14,8 +14,12 @@ pub struct MemoryReport {
     pub vmas: Vec<(u64, u64, Backing)>,
     /// CPU page-table entries.
     pub cpu_pt_entries: usize,
+    /// CPU page-table extents (bookkeeping granularity).
+    pub cpu_pt_extents: usize,
     /// GPU page-table entries.
     pub gpu_pt_entries: usize,
+    /// GPU page-table extents (bookkeeping granularity).
+    pub gpu_pt_extents: usize,
     /// Lifetime GPU page-table insertions.
     pub gpu_pt_inserts: u64,
     /// TLB hits / misses / evictions.
@@ -45,7 +49,9 @@ impl MemoryReport {
                 .map(|v| (v.range.start.as_u64(), v.range.len, v.backing))
                 .collect(),
             cpu_pt_entries: mem.cpu_pt().len(),
+            cpu_pt_extents: mem.cpu_pt().extent_count(),
             gpu_pt_entries: mem.gpu_pt().len(),
+            gpu_pt_extents: mem.gpu_pt().extent_count(),
             gpu_pt_inserts: mem.gpu_pt().inserts(),
             tlb: (
                 mem.gpu_tlb().hits(),
@@ -85,8 +91,12 @@ impl fmt::Display for MemoryReport {
         )?;
         writeln!(
             f,
-            "page tables: CPU {} entries, GPU {} entries ({} lifetime inserts)",
-            self.cpu_pt_entries, self.gpu_pt_entries, self.gpu_pt_inserts
+            "page tables: CPU {} pages in {} extents, GPU {} pages in {} extents ({} lifetime inserts)",
+            self.cpu_pt_entries,
+            self.cpu_pt_extents,
+            self.gpu_pt_entries,
+            self.gpu_pt_extents,
+            self.gpu_pt_inserts
         )?;
         let (hits, misses, evictions) = self.tlb;
         writeln!(
@@ -130,6 +140,7 @@ mod tests {
         assert_eq!(host, 8 * 4096);
         assert_eq!(pool, 4 * 4096);
         assert_eq!(r.gpu_pt_entries, 12); // 8 faulted + 4 pool
+        assert_eq!(r.gpu_pt_extents, 2); // one extent per allocation
         let text = r.to_string();
         assert!(text.contains("APU"));
         assert!(text.contains("GPU TLB"));

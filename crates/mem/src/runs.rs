@@ -1,0 +1,416 @@
+//! Run-length primitives for extent-based bookkeeping.
+//!
+//! Both the TLB and the unified-memory residency queue need two views of the
+//! same population of pages: a *membership* view (is page `p` tracked?) and an
+//! *order* view (which page entered first?). [`RunSet`] is the membership side
+//! — a sorted, coalesced set of `[start, start + len)` page runs supporting
+//! O(log n) point queries and O(runs-touched) span edits. [`RunFifo`] is the
+//! order side — an insertion-ordered queue of runs that can pop pages from the
+//! front or surgically remove pages from the middle without disturbing the
+//! relative order of the rest.
+//!
+//! Every operation is defined so that run-granular calls are *net-effect
+//! identical* to the equivalent sequence of single-page calls. That invariant
+//! is what lets `ApuMemory` swap its per-page loops for O(extents) bulk paths
+//! without perturbing a single observable counter.
+
+use std::collections::{BTreeMap, VecDeque};
+
+/// A sorted, coalesced set of disjoint page runs `[start, start + len)`.
+#[derive(Debug, Default, Clone)]
+pub struct RunSet {
+    /// `start -> len`; invariant: runs are disjoint and non-adjacent
+    /// (adjacent runs are merged on insert).
+    runs: BTreeMap<u64, u64>,
+    /// Total pages across all runs.
+    pages: u64,
+}
+
+impl RunSet {
+    /// Empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total number of pages in the set.
+    pub fn len_pages(&self) -> u64 {
+        self.pages
+    }
+
+    /// True if no pages are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.pages == 0
+    }
+
+    /// Number of stored runs (bookkeeping granularity, not page count).
+    pub fn run_count(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// True if `page` is in the set.
+    pub fn contains(&self, page: u64) -> bool {
+        match self.runs.range(..=page).next_back() {
+            Some((&s, &l)) => page < s + l,
+            None => false,
+        }
+    }
+
+    /// Classify the position `pos` within `[pos, end)`: returns
+    /// `(member, run_end)` where all pages in `[pos, run_end)` share the
+    /// membership status `member`, and `run_end <= end`.
+    pub fn span_at(&self, pos: u64, end: u64) -> (bool, u64) {
+        debug_assert!(pos < end);
+        if let Some((&s, &l)) = self.runs.range(..=pos).next_back() {
+            if pos < s + l {
+                return (true, (s + l).min(end));
+            }
+        }
+        match self.runs.range(pos..).next() {
+            Some((&s, _)) => (false, s.min(end)),
+            None => (false, end),
+        }
+    }
+
+    /// Insert `[start, start + len)`, coalescing with neighbours. Returns the
+    /// number of pages that were *newly* added (not already members).
+    pub fn insert_run(&mut self, start: u64, len: u64) -> u64 {
+        if len == 0 {
+            return 0;
+        }
+        let end = start + len;
+        // Absorb every run overlapping or adjacent to [start, end).
+        let mut new_start = start;
+        let mut new_end = end;
+        let mut absorbed_pages = 0u64;
+        // Candidate runs begin at or before `end`; walk back from there.
+        let mut doomed: Vec<u64> = Vec::new();
+        for (&s, &l) in self.runs.range(..=end).rev() {
+            if s + l < new_start {
+                break;
+            }
+            // Overlapping or adjacent: absorb.
+            new_start = new_start.min(s);
+            new_end = new_end.max(s + l);
+            absorbed_pages += l;
+            doomed.push(s);
+        }
+        for s in doomed {
+            self.runs.remove(&s);
+        }
+        self.runs.insert(new_start, new_end - new_start);
+        let total_after = new_end - new_start;
+        let newly = total_after - absorbed_pages;
+        self.pages += newly;
+        newly
+    }
+
+    /// Remove `[start, start + len)`. Returns the removed sub-runs, ascending.
+    pub fn remove_run(&mut self, start: u64, len: u64) -> Vec<(u64, u64)> {
+        if len == 0 {
+            return Vec::new();
+        }
+        let end = start + len;
+        let mut removed: Vec<(u64, u64)> = Vec::new();
+        // Runs that could intersect start strictly before `end`.
+        let mut edits: Vec<(u64, u64)> = Vec::new(); // (old_start, old_len)
+        for (&s, &l) in self.runs.range(..end).rev() {
+            if s + l <= start {
+                break;
+            }
+            edits.push((s, l));
+        }
+        for (s, l) in edits {
+            self.runs.remove(&s);
+            let cut_start = s.max(start);
+            let cut_end = (s + l).min(end);
+            removed.push((cut_start, cut_end - cut_start));
+            self.pages -= cut_end - cut_start;
+            if s < cut_start {
+                self.runs.insert(s, cut_start - s);
+            }
+            if cut_end < s + l {
+                self.runs.insert(cut_end, s + l - cut_end);
+            }
+        }
+        removed.sort_unstable();
+        removed
+    }
+
+    /// Number of member pages inside `[start, start + len)`.
+    pub fn count_in(&self, start: u64, len: u64) -> u64 {
+        if len == 0 {
+            return 0;
+        }
+        let end = start + len;
+        let mut n = 0;
+        for (&s, &l) in self.runs.range(..end).rev() {
+            if s + l <= start {
+                break;
+            }
+            n += (s + l).min(end) - s.max(start);
+        }
+        n
+    }
+
+    /// Drop everything.
+    pub fn clear(&mut self) {
+        self.runs.clear();
+        self.pages = 0;
+    }
+
+    /// Iterate runs in ascending order as `(start, len)`.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.runs.iter().map(|(&s, &l)| (s, l))
+    }
+}
+
+/// An insertion-ordered FIFO of page runs.
+///
+/// Pages keep the relative order in which they were pushed; a run `(start,
+/// len)` stands for pages `start, start + 1, ..., start + len - 1` pushed in
+/// ascending order, so popping from the front of a run yields its lowest page
+/// first — exactly what a page-at-a-time FIFO would have produced.
+#[derive(Debug, Default, Clone)]
+pub struct RunFifo {
+    queue: VecDeque<(u64, u64)>,
+    pages: u64,
+}
+
+impl RunFifo {
+    /// Empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total pages queued.
+    pub fn len_pages(&self) -> u64 {
+        self.pages
+    }
+
+    /// True if nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.pages == 0
+    }
+
+    /// Number of stored runs.
+    pub fn run_count(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Push `[start, start + len)` at the back, merging with the back run
+    /// when contiguous (page order is unaffected by the merge).
+    pub fn push_back_run(&mut self, start: u64, len: u64) {
+        if len == 0 {
+            return;
+        }
+        if let Some(&mut (bs, ref mut bl)) = self.queue.back_mut() {
+            if bs + *bl == start {
+                *bl += len;
+                self.pages += len;
+                return;
+            }
+        }
+        self.queue.push_back((start, len));
+        self.pages += len;
+    }
+
+    /// Pop the single oldest page, if any.
+    pub fn pop_front_page(&mut self) -> Option<u64> {
+        let &mut (s, ref mut l) = self.queue.front_mut()?;
+        let page = s;
+        *l -= 1;
+        self.pages -= 1;
+        if *l == 0 {
+            self.queue.pop_front();
+        } else {
+            // Front run loses its lowest page: re-key it.
+            let (_, l) = self.queue.pop_front().unwrap();
+            self.queue.push_front((s + 1, l));
+        }
+        Some(page)
+    }
+
+    /// Pop up to `n` of the oldest pages, returned as runs in pop order.
+    pub fn pop_front_pages(&mut self, n: u64) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut left = n.min(self.pages);
+        while left > 0 {
+            let (s, l) = *self.queue.front().expect("pages underflow");
+            if l <= left {
+                self.queue.pop_front();
+                self.pages -= l;
+                left -= l;
+                out.push((s, l));
+            } else {
+                *self.queue.front_mut().unwrap() = (s + left, l - left);
+                self.pages -= left;
+                out.push((s, left));
+                left = 0;
+            }
+        }
+        out
+    }
+
+    /// Remove every page of `[start, start + len)` wherever it sits in the
+    /// queue, preserving the order of the remaining pages. Equivalent to
+    /// `retain(|p| p < start || p >= start + len)` on a page queue.
+    pub fn remove_pages(&mut self, start: u64, len: u64) {
+        if len == 0 || self.pages == 0 {
+            return;
+        }
+        let end = start + len;
+        let mut next = VecDeque::with_capacity(self.queue.len());
+        let mut pages = 0u64;
+        for &(s, l) in &self.queue {
+            let e = s + l;
+            if e <= start || s >= end {
+                Self::push_merged(&mut next, &mut pages, s, l);
+                continue;
+            }
+            if s < start {
+                Self::push_merged(&mut next, &mut pages, s, start - s);
+            }
+            if e > end {
+                Self::push_merged(&mut next, &mut pages, end, e - end);
+            }
+        }
+        self.queue = next;
+        self.pages = pages;
+    }
+
+    fn push_merged(queue: &mut VecDeque<(u64, u64)>, pages: &mut u64, s: u64, l: u64) {
+        if l == 0 {
+            return;
+        }
+        if let Some(&mut (bs, ref mut bl)) = queue.back_mut() {
+            if bs + *bl == s {
+                *bl += l;
+                *pages += l;
+                return;
+            }
+        }
+        queue.push_back((s, l));
+        *pages += l;
+    }
+
+    /// Drop everything.
+    pub fn clear(&mut self) {
+        self.queue.clear();
+        self.pages = 0;
+    }
+
+    /// Iterate queued runs oldest-first as `(start, len)`.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.queue.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_coalesces_and_counts_new_pages() {
+        let mut s = RunSet::new();
+        assert_eq!(s.insert_run(10, 5), 5);
+        assert_eq!(s.insert_run(15, 5), 5); // adjacent: coalesces
+        assert_eq!(s.run_count(), 1);
+        assert_eq!(s.insert_run(12, 10), 2); // overlaps 12..20, adds 20..22
+        assert_eq!(s.len_pages(), 12);
+        assert_eq!(s.run_count(), 1);
+        assert!(s.contains(10) && s.contains(21) && !s.contains(22));
+    }
+
+    #[test]
+    fn insert_bridges_disjoint_runs() {
+        let mut s = RunSet::new();
+        s.insert_run(0, 2);
+        s.insert_run(10, 2);
+        s.insert_run(20, 2);
+        assert_eq!(s.run_count(), 3);
+        // Bridge across all three; the merged run spans [0, 22).
+        assert_eq!(s.insert_run(1, 20), 16);
+        assert_eq!(s.run_count(), 1);
+        assert_eq!(s.len_pages(), 22);
+    }
+
+    #[test]
+    fn remove_splits_runs_and_reports_sub_runs() {
+        let mut s = RunSet::new();
+        s.insert_run(0, 10);
+        let removed = s.remove_run(3, 4);
+        assert_eq!(removed, vec![(3, 4)]);
+        assert_eq!(s.len_pages(), 6);
+        assert_eq!(s.run_count(), 2);
+        assert!(s.contains(2) && !s.contains(3) && !s.contains(6) && s.contains(7));
+        // Removal across a gap reports only present sub-runs, ascending.
+        let removed = s.remove_run(0, 10);
+        assert_eq!(removed, vec![(0, 3), (7, 3)]);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn span_at_classifies_membership_runs() {
+        let mut s = RunSet::new();
+        s.insert_run(4, 4); // members: 4..8
+        assert_eq!(s.span_at(0, 16), (false, 4));
+        assert_eq!(s.span_at(4, 16), (true, 8));
+        assert_eq!(s.span_at(6, 7), (true, 7)); // clipped by end
+        assert_eq!(s.span_at(8, 16), (false, 16));
+    }
+
+    #[test]
+    fn count_in_clips_to_span() {
+        let mut s = RunSet::new();
+        s.insert_run(0, 4);
+        s.insert_run(8, 4);
+        assert_eq!(s.count_in(2, 8), 4); // 2,3 + 8,9
+        assert_eq!(s.count_in(4, 4), 0);
+        assert_eq!(s.count_in(0, 16), 8);
+    }
+
+    #[test]
+    fn fifo_pops_pages_in_push_order() {
+        let mut f = RunFifo::new();
+        f.push_back_run(10, 3);
+        f.push_back_run(13, 2); // contiguous: merges, order unchanged
+        f.push_back_run(0, 1);
+        assert_eq!(f.run_count(), 2);
+        assert_eq!(f.len_pages(), 6);
+        let mut popped = Vec::new();
+        while let Some(p) = f.pop_front_page() {
+            popped.push(p);
+        }
+        assert_eq!(popped, vec![10, 11, 12, 13, 14, 0]);
+    }
+
+    #[test]
+    fn fifo_bulk_pop_matches_single_pops() {
+        let mut a = RunFifo::new();
+        let mut b = RunFifo::new();
+        for f in [&mut a, &mut b] {
+            f.push_back_run(0, 4);
+            f.push_back_run(100, 4);
+        }
+        let runs = a.pop_front_pages(6);
+        let pages: Vec<u64> = runs
+            .iter()
+            .flat_map(|&(s, l)| (s..s + l).collect::<Vec<_>>())
+            .collect();
+        let single: Vec<u64> = (0..6).map(|_| b.pop_front_page().unwrap()).collect();
+        assert_eq!(pages, single);
+        assert_eq!(a.len_pages(), b.len_pages());
+    }
+
+    #[test]
+    fn fifo_remove_pages_preserves_relative_order() {
+        let mut f = RunFifo::new();
+        f.push_back_run(0, 8);
+        f.push_back_run(20, 4);
+        f.remove_pages(2, 4); // drop 2..6
+        let runs: Vec<(u64, u64)> = f.iter().collect();
+        assert_eq!(runs, vec![(0, 2), (6, 2), (20, 4)]);
+        assert_eq!(f.len_pages(), 8);
+        assert_eq!(f.pop_front_page(), Some(0));
+    }
+}

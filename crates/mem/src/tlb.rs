@@ -4,15 +4,27 @@
 //! with a translation still pay a small page-table-walk cost on a TLB miss;
 //! when a working set exceeds the TLB capacity the miss rate climbs
 //! (the paper attributes the S128 Eager Maps variance to TLB thrashing).
+//!
+//! Replacement is strict FIFO — a hit does *not* refresh an entry's
+//! position, unlike LRU — so the victim is always the entry that was
+//! *installed* longest ago. FIFO has a convenient algebraic property this
+//! module exploits: because hits never reorder the queue, the net effect of
+//! sequentially accessing a run of `L` missing pages is "append the run,
+//! then pop `max(0, occupancy + L - capacity)` pages off the front". That
+//! lets [`Tlb::access_range`] process whole page runs with eviction, hit,
+//! and miss counters bit-identical to a page-at-a-time loop, in O(runs)
+//! instead of O(pages). State is run-length encoded ([`RunSet`] membership +
+//! [`RunFifo`] insertion order), so a multi-GiB streaming sweep costs a few
+//! run operations rather than millions of hash updates.
 
-use std::collections::{HashSet, VecDeque};
+use crate::runs::{RunFifo, RunSet};
 
 /// GPU translation lookaside buffer.
 #[derive(Debug)]
 pub struct Tlb {
     capacity: usize,
-    present: HashSet<u64>,
-    fifo: VecDeque<u64>,
+    present: RunSet,
+    fifo: RunFifo,
     hits: u64,
     misses: u64,
     evictions: u64,
@@ -24,22 +36,22 @@ impl Tlb {
         assert!(capacity > 0, "TLB must have at least one entry");
         Tlb {
             capacity,
-            present: HashSet::with_capacity(capacity),
-            fifo: VecDeque::with_capacity(capacity),
+            present: RunSet::new(),
+            fifo: RunFifo::new(),
             hits: 0,
             misses: 0,
             evictions: 0,
         }
     }
 
-    /// Number of identical servers in the pool.
+    /// Number of translation entries the TLB can hold.
     pub fn capacity(&self) -> usize {
         self.capacity
     }
 
     /// Number of entries.
     pub fn len(&self) -> usize {
-        self.present.len()
+        self.present.len_pages() as usize
     }
 
     /// True when empty.
@@ -63,33 +75,70 @@ impl Tlb {
     }
 
     /// Look up `vpage`; on a miss, install it (the walker refills the TLB).
-    /// Returns true on a hit.
+    /// Returns true on a hit. Hits do not change the replacement order
+    /// (FIFO, not LRU).
     pub fn access(&mut self, vpage: u64) -> bool {
-        if self.present.contains(&vpage) {
-            self.hits += 1;
-            return true;
-        }
-        self.misses += 1;
-        self.insert(vpage);
-        false
+        let (hits, _) = self.access_range(vpage, 1);
+        hits == 1
     }
 
-    fn insert(&mut self, vpage: u64) {
-        if self.present.len() == self.capacity {
-            if let Some(victim) = self.fifo.pop_front() {
-                self.present.remove(&victim);
-                self.evictions += 1;
+    /// Look up `len` consecutive pages starting at `start`, installing every
+    /// missing one, in ascending page order. Returns `(hits, misses)` for
+    /// this call. Counter updates and final TLB state are identical to
+    /// calling [`Tlb::access`] once per page.
+    pub fn access_range(&mut self, start: u64, len: u64) -> (u64, u64) {
+        let mut hits = 0;
+        let mut misses = 0;
+        let end = start + len;
+        let mut pos = start;
+        while pos < end {
+            // Evictions from a previous miss-run in this same range can
+            // remove pages ahead of `pos`, so classification must be
+            // incremental rather than precomputed.
+            let (present, run_end) = self.present.span_at(pos, end);
+            let run_len = run_end - pos;
+            if present {
+                hits += run_len;
+            } else {
+                misses += run_len;
+                self.install_run(pos, run_len);
             }
+            pos = run_end;
         }
-        if self.present.insert(vpage) {
-            self.fifo.push_back(vpage);
+        self.hits += hits;
+        self.misses += misses;
+        (hits, misses)
+    }
+
+    /// Install a run of pages known to be absent, evicting from the FIFO
+    /// front exactly as a page-at-a-time insert loop would: each insert at
+    /// full occupancy first pops the oldest page. Net effect of `len`
+    /// inserts: `max(0, occupancy + len - capacity)` evictions — possibly
+    /// including the run's own earliest pages when `len > capacity`.
+    fn install_run(&mut self, start: u64, len: u64) {
+        let occupancy = self.fifo.len_pages();
+        self.fifo.push_back_run(start, len);
+        self.present.insert_run(start, len);
+        let overflow = (occupancy + len).saturating_sub(self.capacity as u64);
+        if overflow > 0 {
+            for (s, l) in self.fifo.pop_front_pages(overflow) {
+                self.present.remove_run(s, l);
+                self.evictions += l;
+            }
         }
     }
 
     /// Drop an entry (page unmapped from the GPU page table).
     pub fn invalidate(&mut self, vpage: u64) {
-        if self.present.remove(&vpage) {
-            self.fifo.retain(|&p| p != vpage);
+        self.invalidate_range(vpage, 1);
+    }
+
+    /// Drop every entry in `[start, start + len)` (bulk shootdown after a
+    /// range unmap).
+    pub fn invalidate_range(&mut self, start: u64, len: u64) {
+        let removed = self.present.remove_run(start, len);
+        if !removed.is_empty() {
+            self.fifo.remove_pages(start, len);
         }
     }
 
@@ -174,5 +223,92 @@ mod tests {
     #[should_panic(expected = "at least one entry")]
     fn zero_capacity_rejected() {
         let _ = Tlb::new(0);
+    }
+
+    /// Drive two TLBs — one via `access_range`, one via per-page `access` —
+    /// through the same trace and require identical counters and state.
+    fn assert_bulk_matches_sequential(capacity: usize, trace: &[(u64, u64)]) {
+        let mut bulk = Tlb::new(capacity);
+        let mut seq = Tlb::new(capacity);
+        for &(start, len) in trace {
+            let (bh, bm) = bulk.access_range(start, len);
+            let mut sh = 0;
+            let mut sm = 0;
+            for p in start..start + len {
+                if seq.access(p) {
+                    sh += 1;
+                } else {
+                    sm += 1;
+                }
+            }
+            assert_eq!((bh, bm), (sh, sm), "per-call counts for ({start},{len})");
+        }
+        assert_eq!(bulk.hits(), seq.hits(), "hits");
+        assert_eq!(bulk.misses(), seq.misses(), "misses");
+        assert_eq!(bulk.evictions(), seq.evictions(), "evictions");
+        assert_eq!(bulk.len(), seq.len(), "occupancy");
+        // Same survivors: every page present in one must be in the other.
+        for (s, l) in bulk.present.iter() {
+            for p in s..s + l {
+                assert!(seq.access(p), "page {p} present in bulk only");
+            }
+        }
+    }
+
+    #[test]
+    fn bulk_matches_sequential_exactly_at_capacity() {
+        // Run length == capacity: the run exactly fills the TLB.
+        assert_bulk_matches_sequential(8, &[(0, 8), (0, 8)]);
+    }
+
+    #[test]
+    fn bulk_matches_sequential_one_under_capacity() {
+        // Run length == capacity - 1: no eviction, full re-hit.
+        assert_bulk_matches_sequential(8, &[(0, 7), (0, 7), (100, 1), (0, 7)]);
+    }
+
+    #[test]
+    fn bulk_matches_sequential_one_over_capacity() {
+        // Run length == capacity + 1: the run evicts its own first page, so
+        // re-accessing the run misses on page 0 (and then cascades).
+        assert_bulk_matches_sequential(8, &[(0, 9), (0, 9)]);
+    }
+
+    #[test]
+    fn bulk_overflow_evicts_runs_own_head() {
+        let mut t = Tlb::new(4);
+        let (h, m) = t.access_range(0, 6);
+        assert_eq!((h, m), (0, 6));
+        assert_eq!(t.evictions(), 2); // pages 0 and 1 evicted by their own run
+        assert_eq!(t.len(), 4);
+        assert!(!t.access(0));
+        assert!(t.access(5));
+    }
+
+    #[test]
+    fn bulk_mixed_hits_and_misses_across_runs() {
+        assert_bulk_matches_sequential(16, &[(0, 4), (8, 4), (0, 16), (2, 10), (20, 40)]);
+    }
+
+    #[test]
+    fn bulk_invalidate_range_matches_per_page() {
+        let mut a = Tlb::new(8);
+        let mut b = Tlb::new(8);
+        a.access_range(0, 6);
+        for p in 0..6 {
+            b.access(p);
+        }
+        a.invalidate_range(2, 3);
+        for p in 2..5 {
+            b.invalidate(p);
+        }
+        assert_eq!(a.len(), b.len());
+        // Eviction order afterwards must also agree.
+        a.access_range(100, 6);
+        for p in 100..106 {
+            b.access(p);
+        }
+        assert_eq!(a.evictions(), b.evictions());
+        assert_eq!(a.len(), b.len());
     }
 }

@@ -1,0 +1,111 @@
+//! A minimal, dependency-free stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io; this crate provides the
+//! subset of the rand 0.8 API the workspace uses: `rngs::StdRng`,
+//! `SeedableRng::seed_from_u64`, and `Rng::gen_range` over half-open ranges.
+//! The stream differs from upstream `StdRng` (it is SplitMix64-based), but it
+//! is deterministic per seed, which is all the callers rely on.
+
+/// Types that can be constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling interface over a random source.
+pub trait Rng {
+    /// Next raw 64-bit value.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform value in `[range.start, range.end)`.
+    fn gen_range<T: SampleUniform>(&mut self, range: std::ops::Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_range(self, &range)
+    }
+}
+
+/// Types `Rng::gen_range` can sample uniformly from a half-open range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Sample uniformly from `[range.start, range.end)`.
+    fn sample_range<R: Rng + ?Sized>(rng: &mut R, range: &std::ops::Range<Self>) -> Self;
+}
+
+impl SampleUniform for f64 {
+    fn sample_range<R: Rng + ?Sized>(rng: &mut R, range: &std::ops::Range<f64>) -> f64 {
+        assert!(range.start < range.end, "empty range");
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        range.start + (range.end - range.start) * unit
+    }
+}
+
+macro_rules! sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: Rng + ?Sized>(rng: &mut R, range: &std::ops::Range<$t>) -> $t {
+                assert!(range.start < range.end, "empty range");
+                let span = (range.end - range.start) as u64;
+                range.start + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+
+sample_uniform_int!(u8, u16, u32, u64, usize);
+
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic generator (SplitMix64; not the upstream ChaCha StdRng).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng {
+                state: seed ^ 0x9e37_79b9_7f4a_7c15,
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn seeded_streams_are_reproducible() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let va: Vec<f64> = (0..8).map(|_| a.gen_range(-8.0..8.0)).collect();
+        let vb: Vec<f64> = (0..8).map(|_| b.gen_range(-8.0..8.0)).collect();
+        assert_eq!(va, vb);
+        assert!(va.iter().all(|v| (-8.0..8.0).contains(v)));
+        let mut c = StdRng::seed_from_u64(8);
+        let vc: Vec<f64> = (0..8).map(|_| c.gen_range(-8.0..8.0)).collect();
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn integer_ranges_respect_bounds() {
+        let mut r = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let v = r.gen_range(5u64..9);
+            assert!((5..9).contains(&v));
+        }
+    }
+}
