@@ -3,10 +3,10 @@
 //! methodology — median for ratios, CoV for robustness.
 
 use crate::stats::{cov_duration, median_duration};
-use apu_mem::CostModel;
+use apu_mem::{CostModel, MemOptions};
 use hsa_rocr::Topology;
 use omp_offload::{OmpError, OmpRuntime, RunReport, RuntimeConfig};
-use sim_des::{NoiseModel, RunOptions, VirtDuration};
+use sim_des::{FaultPlan, NoiseModel, RunOptions, VirtDuration};
 use workloads::Workload;
 
 /// Shared experiment settings.
@@ -22,6 +22,13 @@ pub struct ExperimentConfig {
     pub noise: NoiseModel,
     /// Base RNG seed; repeat `i` uses `base_seed + i`.
     pub base_seed: u64,
+    /// When set, each run is executed under the deterministic fault plan
+    /// derived from this seed ([`FaultPlan::from_seed`]); recovery keeps the
+    /// results semantically identical to healthy runs.
+    pub fault_seed: Option<u64>,
+    /// Memory-subsystem options (pagewise oracle, capacity override).
+    /// Binaries translate `ZC_MEM_PAGEWISE` here once, at the edge.
+    pub mem_options: MemOptions,
 }
 
 impl Default for ExperimentConfig {
@@ -32,6 +39,8 @@ impl Default for ExperimentConfig {
             repeats: 8,
             noise: NoiseModel::os_interference(),
             base_seed: 0x5EED,
+            fault_seed: None,
+            mem_options: MemOptions::default(),
         }
     }
 }
@@ -86,7 +95,14 @@ pub fn measure(
     threads: usize,
     exp: &ExperimentConfig,
 ) -> Result<Measurement, OmpError> {
-    let mut rt = OmpRuntime::new(exp.cost.clone(), exp.topo, config, threads)?;
+    let mut builder = OmpRuntime::builder(exp.cost.clone(), exp.topo)
+        .config(config)
+        .threads(threads)
+        .mem_options(exp.mem_options);
+    if let Some(seed) = exp.fault_seed {
+        builder = builder.fault_plan(FaultPlan::from_seed(seed));
+    }
+    let mut rt = builder.build()?;
     workload.run(&mut rt)?;
     let opts = RunOptions::with_noise(exp.noise, exp.base_seed);
     let seeds: Vec<u64> = (0..exp.repeats as u64).map(|i| exp.base_seed + i).collect();
@@ -140,6 +156,29 @@ mod tests {
         let m = measure(&Ep::scaled(0.02), RuntimeConfig::ImplicitZeroCopy, 1, &exp).unwrap();
         assert_eq!(m.cov(), 0.0);
         assert!(m.makespans.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic_and_equivalent() {
+        let healthy = ExperimentConfig::noiseless();
+        let faulty = ExperimentConfig {
+            fault_seed: Some(0xF00D),
+            ..ExperimentConfig::noiseless()
+        };
+        let w = Ep::scaled(0.02);
+        let h = measure(&w, RuntimeConfig::LegacyCopy, 1, &healthy).unwrap();
+        let f1 = measure(&w, RuntimeConfig::LegacyCopy, 1, &faulty).unwrap();
+        let f2 = measure(&w, RuntimeConfig::LegacyCopy, 1, &faulty).unwrap();
+        // Same fault seed => bit-identical replay.
+        assert_eq!(f1.makespans, f2.makespans);
+        assert_eq!(
+            f1.report.fault_stats.total_injected(),
+            f2.report.fault_stats.total_injected()
+        );
+        // Recovery keeps the functional work identical to a healthy run.
+        assert_eq!(h.report.fault_stats.total_injected(), 0);
+        assert_eq!(f1.report.ledger.kernels, h.report.ledger.kernels);
+        assert_eq!(f1.report.ledger.bytes_copied, h.report.ledger.bytes_copied);
     }
 
     #[test]

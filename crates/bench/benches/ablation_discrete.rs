@@ -13,14 +13,11 @@ use workloads::spec::Ep;
 use workloads::{NioSize, QmcPack, Workload, GIB};
 
 fn run_on(w: &dyn Workload, kind: SystemKind, config: RuntimeConfig) -> sim_des::VirtDuration {
-    let mut rt = OmpRuntime::new_system(
-        apu_mem::CostModel::mi300a(),
-        Topology::default(),
-        kind,
-        config,
-        1,
-    )
-    .unwrap();
+    let mut rt = OmpRuntime::builder(apu_mem::CostModel::mi300a(), Topology::default())
+        .config(config)
+        .system(kind)
+        .build()
+        .unwrap();
     w.run(&mut rt).unwrap();
     rt.finish().makespan
 }

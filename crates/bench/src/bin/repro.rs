@@ -1,16 +1,24 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [--quick|--full] [--fig3] [--fig4] [--table1] [--table2] [--table3] [--csv DIR] [--timing]
+//! repro [--quick|--full] [--ARTIFACT ...] [--csv DIR] [--report FILE.md]
+//!       [--faults SEED] [--timing] [--list-artifacts]
 //! ```
 //!
-//! With no artifact flags, everything is produced. `--quick` (default) runs
-//! a reduced sweep in tens of seconds; `--full` runs the complete
-//! configuration (all sizes, 1–8 threads, ref-scale SPECaccel — several
-//! minutes of virtual-machine simulation). `--timing` additionally writes
-//! `BENCH_repro.json` with per-artifact wall-clock and sweep throughput
-//! (simulated cells per second) — the simulator's own performance, not the
-//! modeled machine's.
+//! With no artifact flags, everything is produced (`--list-artifacts`
+//! enumerates them). `--quick` (default) runs a reduced sweep in tens of
+//! seconds; `--full` runs the complete configuration (all sizes, 1–8
+//! threads, ref-scale SPECaccel — several minutes of virtual-machine
+//! simulation). `--faults SEED` runs every experiment under the
+//! deterministic fault plan derived from SEED: the runtime's recovery
+//! policies absorb the injected failures, so all numeric results match the
+//! healthy run while the recovery activity is charged in virtual time.
+//! `--timing` additionally writes `BENCH_repro.json` with per-artifact
+//! wall-clock and sweep throughput (simulated cells per second) — the
+//! simulator's own performance, not the modeled machine's.
+//!
+//! Exit codes: 0 on success, 2 for unknown arguments, unknown artifacts,
+//! missing or malformed option values.
 
 use analysis::paper::{
     fig3_from_cells, fig4_from_cells, markdown_report, qmc_sweep, table1, table2, table3,
@@ -19,6 +27,17 @@ use analysis::paper::{
 use std::io::Write as _;
 use std::path::PathBuf;
 use std::time::Instant;
+
+/// Every artifact the binary can produce, with the paper element it
+/// reproduces. Artifact flags (`--fig3`, ...) are matched against this
+/// list, so adding an artifact is one row here plus its `main` stanza.
+const ARTIFACTS: &[(&str, &str)] = &[
+    ("fig3", "Figure 3: QMCPack NiO time ratios per problem size"),
+    ("fig4", "Figure 4: QMCPack NiO thread-scaling ratios"),
+    ("table1", "Table I: HSA call statistics (rocprof analog)"),
+    ("table2", "Table II: SPECaccel time ratios and CoV"),
+    ("table3", "Table III: MM/MI overhead orders (microseconds)"),
+];
 
 struct Args {
     cfg: PaperConfig,
@@ -31,6 +50,30 @@ struct Args {
     csv_dir: Option<PathBuf>,
     report: Option<PathBuf>,
     timing: bool,
+    fault_seed: Option<u64>,
+}
+
+fn usage() -> String {
+    let names: Vec<String> = ARTIFACTS.iter().map(|(n, _)| format!("[--{n}]")).collect();
+    format!(
+        "usage: repro [--quick|--full] {} [--csv DIR] [--report FILE.md] [--faults SEED] [--timing] [--list-artifacts]",
+        names.join(" ")
+    )
+}
+
+/// Exit with status 2 (usage error), printing `msg` and the usage line.
+fn usage_error(msg: &str) -> ! {
+    eprintln!("repro: {msg}");
+    eprintln!("{}", usage());
+    std::process::exit(2);
+}
+
+/// The value of option `flag`, or a consistent exit-2 diagnostic.
+fn required_value(args: &mut impl Iterator<Item = String>, flag: &str) -> String {
+    match args.next() {
+        Some(v) if !v.starts_with("--") => v,
+        _ => usage_error(&format!("{flag} requires a value")),
+    }
 }
 
 /// Wall-clock of one produced artifact; `cells` is set for sweep-backed
@@ -73,45 +116,58 @@ fn parse_args() -> Args {
     let mut csv_dir = None;
     let mut report = None;
     let mut timing = false;
+    let mut fault_seed = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--quick" => full = false,
             "--full" => full = true,
             "--timing" => timing = true,
-            "--fig3" | "--fig4" | "--table1" | "--table2" | "--table3" => {
-                selected.push(a.trim_start_matches("--").to_string());
+            "--csv" => csv_dir = Some(PathBuf::from(required_value(&mut args, "--csv"))),
+            "--report" => report = Some(PathBuf::from(required_value(&mut args, "--report"))),
+            "--faults" => {
+                let raw = required_value(&mut args, "--faults");
+                match raw.parse::<u64>() {
+                    Ok(seed) => fault_seed = Some(seed),
+                    Err(_) => usage_error(&format!("--faults needs an integer seed, got '{raw}'")),
+                }
             }
-            "--csv" => {
-                csv_dir = Some(PathBuf::from(
-                    args.next().expect("--csv requires a directory"),
-                ));
-            }
-            "--report" => {
-                report = Some(PathBuf::from(
-                    args.next().expect("--report requires a file path"),
-                ));
+            "--list-artifacts" => {
+                for (name, what) in ARTIFACTS {
+                    println!("{name:<8} {what}");
+                }
+                std::process::exit(0);
             }
             "--help" | "-h" => {
-                eprintln!(
-                    "usage: repro [--quick|--full] [--fig3] [--fig4] [--table1] [--table2] [--table3] [--csv DIR] [--report FILE.md] [--timing]"
-                );
+                eprintln!("{}", usage());
                 std::process::exit(0);
             }
             other => {
-                eprintln!("unknown argument: {other}");
-                std::process::exit(2);
+                if let Some(name) = other.strip_prefix("--") {
+                    if ARTIFACTS.iter().any(|(n, _)| *n == name) {
+                        selected.push(name.to_string());
+                        continue;
+                    }
+                    usage_error(&format!(
+                        "unknown artifact or argument: {other} (see --list-artifacts)"
+                    ));
+                }
+                usage_error(&format!("unknown argument: {other}"));
             }
         }
     }
     let all = selected.is_empty();
     let has = |n: &str| all || selected.iter().any(|s| s == n);
+    let mut cfg = if full {
+        PaperConfig::full()
+    } else {
+        PaperConfig::quick()
+    };
+    cfg.exp.fault_seed = fault_seed;
+    // The env var is translated into typed options exactly once, here.
+    cfg.exp.mem_options = apu_mem::MemOptions::from_env();
     Args {
-        cfg: if full {
-            PaperConfig::full()
-        } else {
-            PaperConfig::quick()
-        },
+        cfg,
         full,
         fig3: has("fig3"),
         fig4: has("fig4"),
@@ -121,6 +177,7 @@ fn parse_args() -> Args {
         csv_dir,
         report,
         timing,
+        fault_seed,
     }
 }
 
@@ -138,6 +195,12 @@ fn main() {
     let args = parse_args();
     let started = Instant::now();
     let mut timings: Vec<ArtifactTiming> = Vec::new();
+    if let Some(seed) = args.fault_seed {
+        eprintln!(
+            "fault injection enabled (seed {seed}): runs replay a deterministic \
+             fault plan; recovery keeps results identical to a healthy run"
+        );
+    }
 
     if args.fig3 || args.fig4 {
         eprintln!(

@@ -78,7 +78,12 @@ impl CardRuntime {
     ) -> Result<Self, OmpError> {
         assert!(sockets >= 1, "at least one socket");
         let sockets = (0..sockets)
-            .map(|_| OmpRuntime::new(cost.clone(), topo, config, threads_per_socket))
+            .map(|_| {
+                OmpRuntime::builder(cost.clone(), topo)
+                    .config(config)
+                    .threads(threads_per_socket)
+                    .build()
+            })
             .collect::<Result<Vec<_>, _>>()?;
         Ok(CardRuntime {
             sockets,

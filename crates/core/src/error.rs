@@ -37,6 +37,14 @@ pub enum OmpError {
         /// Why the deployment is impossible.
         reason: &'static str,
     },
+    /// A recovery policy retried an injected transient failure up to its
+    /// attempt budget and every attempt failed.
+    RecoveryExhausted {
+        /// The fault site that kept failing.
+        kind: sim_des::FaultKind,
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
 }
 
 impl fmt::Display for OmpError {
@@ -61,6 +69,13 @@ impl fmt::Display for OmpError {
             OmpError::UnknownGlobal { index } => write!(f, "unknown global #{index}"),
             OmpError::UnsupportedDeployment { reason } => {
                 write!(f, "unsupported deployment: {reason}")
+            }
+            OmpError::RecoveryExhausted { kind, attempts } => {
+                write!(
+                    f,
+                    "recovery exhausted after {attempts} attempts at fault site {}",
+                    kind.label()
+                )
             }
         }
     }

@@ -23,19 +23,28 @@
 //! use hsa_rocr::Topology;
 //! use sim_des::VirtDuration;
 //!
-//! let mut rt = OmpRuntime::new(
-//!     CostModel::mi300a(), Topology::default(),
-//!     RuntimeConfig::ImplicitZeroCopy, 1).unwrap();
+//! let mut rt = OmpRuntime::builder(CostModel::mi300a(), Topology::default())
+//!     .config(RuntimeConfig::ImplicitZeroCopy)
+//!     .build()
+//!     .unwrap();
 //! let a = rt.host_alloc(0, 1 << 20).unwrap();
 //! rt.target(0, TargetRegion::new("saxpy", VirtDuration::from_micros(50))
 //!     .map(MapEntry::tofrom(AddrRange::new(a, 1 << 20)))).unwrap();
 //! let report = rt.finish();
 //! assert_eq!(report.ledger.copies, 0); // zero-copy folded the transfers
 //! ```
+//!
+//! Runs can carry a deterministic fault-injection plan
+//! ([`sim_des::FaultPlan`]) attached through the builder; the runtime's
+//! recovery policies (bounded retry-with-backoff, eviction-then-retry,
+//! configuration degradation) keep faulty runs semantically equivalent to
+//! healthy ones and record every episode in the [`OverheadLedger`] and the
+//! per-run recovery log.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod builder;
 mod card;
 mod config;
 mod error;
@@ -45,6 +54,7 @@ mod mapping;
 mod runtime;
 mod trace;
 
+pub use builder::{RecoveryPolicy, RuntimeBuilder};
 pub use card::{CardReport, CardRuntime, Fabric};
 pub use config::{RunEnv, RuntimeConfig};
 pub use error::OmpError;
@@ -52,4 +62,4 @@ pub use globals::{GlobalEntry, GlobalId, GlobalRegistry};
 pub use kernel::{GpuPerf, KernelBody, KernelCtx, TargetRegion};
 pub use mapping::{MapDir, MapEntry, Mapping, MappingTable, Presence};
 pub use runtime::{OmpRuntime, RunReport};
-pub use trace::{KernelTraceEntry, OverheadLedger};
+pub use trace::{KernelTraceEntry, OverheadLedger, RecoveryAction, RecoveryEvent};

@@ -6,15 +6,16 @@
 //! and target regions; the runtime translates them into HSA calls according
 //! to the active configuration and attributes overheads to the MM/MI ledger.
 
+use crate::builder::{RecoveryPolicy, RuntimeBuilder};
 use crate::config::{RunEnv, RuntimeConfig};
 use crate::error::OmpError;
 use crate::globals::{GlobalId, GlobalRegistry};
 use crate::kernel::{KernelCtx, TargetRegion};
 use crate::mapping::{MapEntry, MappingTable, Presence};
-use crate::trace::{KernelTraceEntry, OverheadLedger};
-use apu_mem::{AddrRange, ApuMemory, CostModel, MemStats, VirtAddr, XnackMode};
+use crate::trace::{KernelTraceEntry, OverheadLedger, RecoveryAction, RecoveryEvent};
+use apu_mem::{AddrRange, ApuMemory, CostModel, MemError, MemStats, VirtAddr, XnackMode};
 use hsa_rocr::{ApiStats, HsaRuntime, Topology};
-use sim_des::{AsyncToken, RunOptions, Schedule, VirtDuration};
+use sim_des::{AsyncToken, FaultStats, RunOptions, Schedule, VirtDuration};
 use std::sync::Arc;
 
 /// Everything measured in one completed run.
@@ -36,6 +37,13 @@ pub struct RunReport {
     pub schedule: Schedule,
     /// Kernel trace, when enabled.
     pub kernel_trace: Vec<KernelTraceEntry>,
+    /// What the attached fault plan injected (zeroes on healthy runs).
+    pub fault_stats: FaultStats,
+    /// Ordered recovery events (empty on healthy runs).
+    pub recovery_log: Vec<RecoveryEvent>,
+    /// When startup degradation replaced the requested configuration, the
+    /// configuration originally asked for.
+    pub degraded_from: Option<RuntimeConfig>,
 }
 
 /// The OpenMP offloading runtime for one run.
@@ -52,25 +60,32 @@ pub struct OmpRuntime {
     /// Outstanding `target nowait` regions per thread: (token, deferred
     /// exit maps).
     pending_nowait: Vec<Vec<(AsyncToken, Vec<MapEntry>)>>,
+    recovery: RecoveryPolicy,
+    /// Configuration degradation at startup, if any.
+    degraded_from: Option<RuntimeConfig>,
+    /// XNACK capability was lost mid-run: dispatches prefault their access
+    /// sets host-side so kernels never hit a fatal fault.
+    xnack_lost: bool,
+    recovery_log: Vec<RecoveryEvent>,
 }
 
 impl OmpRuntime {
-    /// A runtime in `config` with `threads` OpenMP host threads. Performs
-    /// device initialization (code-object load, queues, runtime-internal
-    /// allocations) on thread 0 and per-thread setup on the rest.
-    pub fn new(
-        cost: CostModel,
-        topo: Topology,
+    /// Start building a runtime: the single construction path composing
+    /// configuration, system kind, environment resolution, memory options,
+    /// fault plan, and recovery policy.
+    pub fn builder(cost: CostModel, topo: Topology) -> RuntimeBuilder {
+        RuntimeBuilder::new(cost, topo)
+    }
+
+    /// Assemble a runtime from an initialized HSA layer (builder only).
+    pub(crate) fn from_parts(
+        hsa: HsaRuntime,
         config: RuntimeConfig,
         threads: usize,
-    ) -> Result<Self, OmpError> {
-        assert!(threads >= 1, "at least one host thread");
-        let mut hsa = HsaRuntime::new(cost, topo);
-        hsa.device_init(0)?;
-        for t in 1..threads {
-            hsa.thread_init(t)?;
-        }
-        Ok(OmpRuntime {
+        recovery: RecoveryPolicy,
+        degraded_from: Option<RuntimeConfig>,
+    ) -> Self {
+        let mut rt = OmpRuntime {
             hsa,
             config,
             xnack: config.xnack(),
@@ -81,10 +96,42 @@ impl OmpRuntime {
             trace_kernels: false,
             kernel_trace: Vec::new(),
             pending_nowait: vec![Vec::new(); threads],
-        })
+            recovery,
+            degraded_from,
+            xnack_lost: false,
+            recovery_log: Vec::new(),
+        };
+        if let Some(from) = degraded_from {
+            rt.ledger.degradations += 1;
+            rt.recovery_log.push(RecoveryEvent {
+                thread: 0,
+                attempts: 0,
+                action: RecoveryAction::StartupDegradation { from, to: config },
+            });
+        }
+        rt
+    }
+
+    /// A runtime in `config` with `threads` OpenMP host threads. Performs
+    /// device initialization (code-object load, queues, runtime-internal
+    /// allocations) on thread 0 and per-thread setup on the rest.
+    #[deprecated(note = "use OmpRuntime::builder(cost, topo).config(..).threads(..).build()")]
+    pub fn new(
+        cost: CostModel,
+        topo: Topology,
+        config: RuntimeConfig,
+        threads: usize,
+    ) -> Result<Self, OmpError> {
+        Self::builder(cost, topo)
+            .config(config)
+            .threads(threads)
+            .build()
     }
 
     /// A runtime over an explicit system kind (APU or discrete GPU).
+    #[deprecated(
+        note = "use OmpRuntime::builder(cost, topo).config(..).system(..).threads(..).build()"
+    )]
     pub fn new_system(
         cost: CostModel,
         topo: Topology,
@@ -92,49 +139,45 @@ impl OmpRuntime {
         config: RuntimeConfig,
         threads: usize,
     ) -> Result<Self, OmpError> {
-        assert!(threads >= 1, "at least one host thread");
-        let mut hsa = HsaRuntime::new_system(cost, topo, kind);
-        hsa.device_init(0)?;
-        for t in 1..threads {
-            hsa.thread_init(t)?;
-        }
-        Ok(OmpRuntime {
-            hsa,
-            config,
-            xnack: config.xnack(),
-            mapping: MappingTable::new(),
-            globals: GlobalRegistry::new(),
-            ledger: OverheadLedger::default(),
-            threads,
-            trace_kernels: false,
-            kernel_trace: Vec::new(),
-            pending_nowait: vec![Vec::new(); threads],
-        })
+        Self::builder(cost, topo)
+            .config(config)
+            .system(kind)
+            .threads(threads)
+            .build()
     }
 
     /// Resolve the configuration from a deployment environment, as the real
     /// stack does at startup. A non-APU environment gets an MI200-class
     /// discrete device.
+    #[deprecated(note = "use OmpRuntime::builder(cost, topo).env(..).threads(..).build()")]
     pub fn from_env(
         cost: CostModel,
         topo: Topology,
         env: RunEnv,
         threads: usize,
     ) -> Result<Self, OmpError> {
-        let config = env.resolve().ok_or(OmpError::UnsupportedDeployment {
-            reason: "unified_shared_memory binary requires XNACK support",
-        })?;
-        let kind = if env.is_apu {
-            apu_mem::SystemKind::Apu
-        } else {
-            apu_mem::SystemKind::Discrete(apu_mem::DiscreteSpec::mi200_class())
-        };
-        Self::new_system(cost, topo, kind, config, threads)
+        Self::builder(cost, topo).env(env).threads(threads).build()
     }
 
     /// The active configuration.
     pub fn config(&self) -> RuntimeConfig {
         self.config
+    }
+
+    /// When startup degradation replaced the requested configuration, the
+    /// configuration originally asked for.
+    pub fn degraded_from(&self) -> Option<RuntimeConfig> {
+        self.degraded_from
+    }
+
+    /// Ordered recovery events so far (empty on healthy runs).
+    pub fn recovery_log(&self) -> &[RecoveryEvent] {
+        &self.recovery_log
+    }
+
+    /// What the attached fault plan injected so far.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.hsa.fault_stats()
     }
 
     /// Host-thread count.
@@ -189,7 +232,7 @@ impl OmpRuntime {
     /// GPU-translated in every configuration — pool memory is bulk-faulted
     /// at allocation).
     pub fn omp_target_alloc(&mut self, thread: usize, len: u64) -> Result<VirtAddr, OmpError> {
-        let d = self.hsa.pool_allocate(thread, len)?;
+        let d = self.pool_allocate_recovered(thread, len)?;
         let pages = self.mem().page_size().pages_covering(d, len);
         self.ledger.mm_alloc += self.mem().cost().pool_alloc_cost(pages);
         Ok(d)
@@ -222,7 +265,7 @@ impl OmpRuntime {
     pub fn declare_target_global(&mut self, thread: usize, len: u64) -> Result<GlobalId, OmpError> {
         let host = self.hsa.host_alloc(thread, len)?;
         let device = if self.config.globals_as_copy() {
-            let d = self.hsa.pool_allocate(thread, len)?;
+            let d = self.pool_allocate_recovered(thread, len)?;
             let pages = self.mem().page_size().pages_covering(d, len);
             self.ledger.mm_alloc += self.mem().cost().pool_alloc_cost(pages);
             Some(d)
@@ -355,9 +398,37 @@ impl OmpRuntime {
         // programs are not portable to those configurations (paper §IV-B).
         access.extend(raw_accesses.iter().copied());
 
-        let out = self
-            .hsa
-            .dispatch_kernel(thread, compute, &access, self.xnack)?;
+        self.prepare_dispatch(thread, &access)?;
+        let mut attempt: u32 = 0;
+        let out = loop {
+            match self
+                .hsa
+                .dispatch_kernel(thread, compute, &access, self.xnack)
+            {
+                Ok(out) => {
+                    if attempt > 0 {
+                        self.ledger.recoveries += 1;
+                        self.recovery_log.push(RecoveryEvent {
+                            thread: thread as u32,
+                            attempts: attempt + 1,
+                            action: RecoveryAction::RetriedDispatch,
+                        });
+                    }
+                    break out;
+                }
+                Err(MemError::Injected { kind }) => {
+                    attempt += 1;
+                    if attempt >= self.recovery.max_attempts {
+                        return Err(OmpError::RecoveryExhausted {
+                            kind,
+                            attempts: attempt,
+                        });
+                    }
+                    self.charge_backoff(thread, attempt);
+                }
+                Err(e) => return Err(e.into()),
+            }
+        };
         let cost = self.mem().cost();
         let fault_stall = cost.fault_stall(out.replayed_pages, out.zero_filled_pages);
         let tlb_stall = cost.tlb_miss * out.tlb_misses;
@@ -433,9 +504,37 @@ impl OmpRuntime {
         }
         access.extend(raw_accesses.iter().copied());
 
-        let (out, token) = self
-            .hsa
-            .dispatch_kernel_nowait(thread, compute, &access, self.xnack)?;
+        self.prepare_dispatch(thread, &access)?;
+        let mut attempt: u32 = 0;
+        let (out, token) = loop {
+            match self
+                .hsa
+                .dispatch_kernel_nowait(thread, compute, &access, self.xnack)
+            {
+                Ok(pair) => {
+                    if attempt > 0 {
+                        self.ledger.recoveries += 1;
+                        self.recovery_log.push(RecoveryEvent {
+                            thread: thread as u32,
+                            attempts: attempt + 1,
+                            action: RecoveryAction::RetriedDispatch,
+                        });
+                    }
+                    break pair;
+                }
+                Err(MemError::Injected { kind }) => {
+                    attempt += 1;
+                    if attempt >= self.recovery.max_attempts {
+                        return Err(OmpError::RecoveryExhausted {
+                            kind,
+                            attempts: attempt,
+                        });
+                    }
+                    self.charge_backoff(thread, attempt);
+                }
+                Err(e) => return Err(e.into()),
+            }
+        };
         let cost = self.mem().cost();
         let fault_stall = cost.fault_stall(out.replayed_pages, out.zero_filled_pages);
         let tlb_stall = cost.tlb_miss * out.tlb_misses;
@@ -500,6 +599,9 @@ impl OmpRuntime {
         let ledger = self.ledger;
         let kernel_trace = self.kernel_trace;
         let mem_stats = self.hsa.mem().stats();
+        let fault_stats = self.hsa.fault_stats();
+        let recovery_log = self.recovery_log;
+        let degraded_from = self.degraded_from;
         let results = self.hsa.finish_many(opts, seeds);
         let makespans: Vec<VirtDuration> = results.iter().map(|r| r.makespan()).collect();
         let first = results.into_iter().next().expect("at least one seed");
@@ -513,6 +615,9 @@ impl OmpRuntime {
                 mem_stats,
                 schedule: first.schedule,
                 kernel_trace,
+                fault_stats,
+                recovery_log,
+                degraded_from,
             },
             makespans,
         )
@@ -525,6 +630,9 @@ impl OmpRuntime {
         let ledger = self.ledger;
         let kernel_trace = self.kernel_trace;
         let mem_stats = self.hsa.mem().stats();
+        let fault_stats = self.hsa.fault_stats();
+        let recovery_log = self.recovery_log;
+        let degraded_from = self.degraded_from;
         let result = self.hsa.finish(opts);
         RunReport {
             config,
@@ -535,6 +643,9 @@ impl OmpRuntime {
             mem_stats,
             schedule: result.schedule,
             kernel_trace,
+            fault_stats,
+            recovery_log,
+            degraded_from,
         }
     }
 
@@ -554,10 +665,143 @@ impl OmpRuntime {
         len: u64,
         with_handler: bool,
     ) -> Result<(), OmpError> {
-        self.hsa.async_copy(thread, src, dst, len, with_handler)?;
+        let mut attempt: u32 = 0;
+        loop {
+            match self.hsa.async_copy(thread, src, dst, len, with_handler) {
+                Ok(()) => {
+                    if attempt > 0 {
+                        self.ledger.recoveries += 1;
+                        self.recovery_log.push(RecoveryEvent {
+                            thread: thread as u32,
+                            attempts: attempt + 1,
+                            action: RecoveryAction::RetriedCopy,
+                        });
+                    }
+                    break;
+                }
+                Err(MemError::Injected { kind }) => {
+                    attempt += 1;
+                    if attempt >= self.recovery.max_attempts {
+                        return Err(OmpError::RecoveryExhausted {
+                            kind,
+                            attempts: attempt,
+                        });
+                    }
+                    self.charge_backoff(thread, attempt);
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
         self.ledger.mm_copy += self.mem().transfer_duration(src, dst, len);
         self.ledger.copies += 1;
         self.ledger.bytes_copied += len;
+        Ok(())
+    }
+
+    /// Virtual-time retry delay between attempts, charged to the issuing
+    /// thread and the recovery ledger.
+    fn charge_backoff(&mut self, thread: usize, attempt: u32) {
+        let d = self.recovery.backoff.delay(attempt);
+        self.hsa.recovery_wait(thread, d);
+        self.ledger.recovery_backoff += d;
+        self.ledger.retries += 1;
+    }
+
+    /// Pool allocation under the recovery policy: injected transient
+    /// failures back off and retry; real VRAM exhaustion on discrete systems
+    /// is relieved by evicting resident unified-memory pages, then retried.
+    /// When eviction frees nothing the original out-of-memory error
+    /// propagates — the policy never spins on a hopeless allocation.
+    fn pool_allocate_recovered(&mut self, thread: usize, len: u64) -> Result<VirtAddr, OmpError> {
+        let mut attempt: u32 = 0;
+        let mut evicted_total: u64 = 0;
+        loop {
+            match self.hsa.pool_allocate(thread, len) {
+                Ok(addr) => {
+                    if attempt > 0 {
+                        self.ledger.recoveries += 1;
+                        let action = if evicted_total > 0 {
+                            RecoveryAction::EvictedThenRetriedAlloc {
+                                pages: evicted_total,
+                            }
+                        } else {
+                            RecoveryAction::RetriedAlloc
+                        };
+                        self.recovery_log.push(RecoveryEvent {
+                            thread: thread as u32,
+                            attempts: attempt + 1,
+                            action,
+                        });
+                    }
+                    return Ok(addr);
+                }
+                Err(MemError::Injected { kind }) => {
+                    attempt += 1;
+                    if attempt >= self.recovery.max_attempts {
+                        return Err(OmpError::RecoveryExhausted {
+                            kind,
+                            attempts: attempt,
+                        });
+                    }
+                    self.charge_backoff(thread, attempt);
+                }
+                Err(MemError::OutOfMemory {
+                    requested,
+                    available,
+                }) => {
+                    attempt += 1;
+                    let deficit = requested.saturating_sub(available).max(1);
+                    let pages = deficit.div_ceil(self.mem().page_size().bytes());
+                    let evicted = if attempt < self.recovery.max_attempts {
+                        self.hsa.evict_um_pages(thread, pages.max(1))
+                    } else {
+                        0
+                    };
+                    if evicted == 0 {
+                        return Err(MemError::OutOfMemory {
+                            requested,
+                            available,
+                        }
+                        .into());
+                    }
+                    evicted_total += evicted;
+                    self.ledger.evicted_for_retry += evicted;
+                    self.charge_backoff(thread, attempt);
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    /// Pre-dispatch fault handling: consume a scheduled mid-run XNACK loss,
+    /// and — once XNACK is gone — prefault the kernel's access set host-side
+    /// (Eager-Maps-style degradation) so demand paging is never needed.
+    fn prepare_dispatch(&mut self, thread: usize, access: &[AddrRange]) -> Result<(), OmpError> {
+        let kernels = self.ledger.kernels;
+        let flipped = self
+            .hsa
+            .fault_plan_mut()
+            .is_some_and(|p| p.xnack_flip_due(kernels));
+        if flipped && self.xnack == XnackMode::Enabled {
+            self.xnack = XnackMode::Disabled;
+            self.xnack_lost = true;
+            self.ledger.degradations += 1;
+            self.recovery_log.push(RecoveryEvent {
+                thread: thread as u32,
+                attempts: 0,
+                action: RecoveryAction::XnackLost,
+            });
+        }
+        if self.xnack_lost {
+            for r in access {
+                if r.len == 0 {
+                    continue;
+                }
+                let out = self.hsa.svm_prefault(thread, *r)?;
+                self.ledger.recovery_prefault += out.cost;
+                self.ledger.recovery_prefaults += 1;
+            }
+        }
         Ok(())
     }
 
@@ -577,7 +821,7 @@ impl OmpRuntime {
                     // Zero-copy: presence bookkeeping only; device == host.
                     self.mapping.insert(e.range, e.range.start);
                 } else {
-                    let dev = self.hsa.pool_allocate(thread, e.range.len)?;
+                    let dev = self.pool_allocate_recovered(thread, e.range.len)?;
                     let pages = self.mem().page_size().pages_covering(dev, e.range.len);
                     self.ledger.mm_alloc += self.mem().cost().pool_alloc_cost(pages);
                     self.mapping.insert(e.range, dev);
@@ -634,7 +878,10 @@ mod tests {
     use crate::mapping::MapEntry;
 
     fn rt(config: RuntimeConfig) -> OmpRuntime {
-        OmpRuntime::new(CostModel::mi300a_no_thp(), Topology::default(), config, 1).unwrap()
+        OmpRuntime::builder(CostModel::mi300a_no_thp(), Topology::default())
+            .config(config)
+            .build()
+            .unwrap()
     }
 
     fn write_f64s(rt: &mut OmpRuntime, addr: VirtAddr, vals: &[f64]) {
@@ -1045,10 +1292,174 @@ mod tests {
         let mut env = RunEnv::mi300a();
         env.requires_usm = true;
         env.hsa_xnack = false;
-        let result = OmpRuntime::from_env(CostModel::mi300a_no_thp(), Topology::default(), env, 1);
+        let result = OmpRuntime::builder(CostModel::mi300a_no_thp(), Topology::default())
+            .env(env)
+            .build();
         assert!(matches!(
             result.err(),
             Some(OmpError::UnsupportedDeployment { .. })
+        ));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructors_still_build() {
+        let r = OmpRuntime::new(
+            CostModel::mi300a_no_thp(),
+            Topology::default(),
+            RuntimeConfig::ImplicitZeroCopy,
+            2,
+        )
+        .unwrap();
+        assert_eq!(r.threads(), 2);
+        let mut env = RunEnv::mi300a();
+        env.requires_usm = true;
+        let r =
+            OmpRuntime::from_env(CostModel::mi300a_no_thp(), Topology::default(), env, 1).unwrap();
+        assert_eq!(r.config(), RuntimeConfig::UnifiedSharedMemory);
+    }
+
+    fn faulty_rt(config: RuntimeConfig, spec: sim_des::FaultSpec, seed: u64) -> OmpRuntime {
+        OmpRuntime::builder(CostModel::mi300a_no_thp(), Topology::default())
+            .config(config)
+            .fault_plan(sim_des::FaultPlan::new(seed, spec))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn injected_faults_recover_with_identical_results() {
+        let expected: Vec<f64> = (0..64).map(|i| 1.0 + 2.0 * i as f64).collect();
+        let spec = sim_des::FaultSpec::soak();
+        for config in RuntimeConfig::ALL {
+            const N: usize = 64;
+            let mut r = faulty_rt(config, spec, 42);
+            let a = r.host_alloc(0, (N * 8) as u64).unwrap();
+            let b = r.host_alloc(0, (N * 8) as u64).unwrap();
+            let alpha = r.declare_target_global(0, 8).unwrap();
+            write_f64s(&mut r, a, &vec![1.0; N]);
+            write_f64s(&mut r, b, &(0..N).map(|i| i as f64).collect::<Vec<_>>());
+            let ah = r.global_host(alpha).unwrap();
+            write_f64s(&mut r, ah.start, &[2.0]);
+            let region = TargetRegion::new("axpy", VirtDuration::from_micros(10))
+                .map(MapEntry::tofrom(AddrRange::new(a, (N * 8) as u64)))
+                .map(MapEntry::to(AddrRange::new(b, (N * 8) as u64)))
+                .global(alpha)
+                .body(move |ctx| {
+                    let av = ctx.read_f64s(ctx.arg(0), N)?;
+                    let bv = ctx.read_f64s(ctx.arg(1), N)?;
+                    let alpha = ctx.read_f64s(ctx.global(0), 1)?[0];
+                    let out: Vec<f64> = av.iter().zip(&bv).map(|(x, y)| x + y * alpha).collect();
+                    ctx.write_f64s(ctx.arg(0), &out)
+                });
+            r.target(0, region).unwrap();
+            assert_eq!(read_f64s(&r, a, N), expected, "config {config}");
+            assert_eq!(r.live_mappings(), 0, "config {config}");
+        }
+    }
+
+    #[test]
+    fn recovery_ledger_and_log_record_retries() {
+        // With soak rates, 16 Copy-mode targets essentially always hit at
+        // least one injected fault; every episode must be recovered and
+        // recorded consistently in the ledger and the event log.
+        let mut r = faulty_rt(RuntimeConfig::LegacyCopy, sim_des::FaultSpec::soak(), 7);
+        let a = r.host_alloc(0, 4096).unwrap();
+        let range = AddrRange::new(a, 4096);
+        for _ in 0..16 {
+            let region =
+                TargetRegion::new("k", VirtDuration::from_micros(5)).map(MapEntry::tofrom(range));
+            r.target(0, region).unwrap();
+        }
+        let stats = r.fault_stats();
+        assert!(stats.total_injected() > 0, "soak spec injected nothing");
+        assert_eq!(r.ledger().recoveries as usize, r.recovery_log().len());
+        assert!(r.ledger().retries >= r.ledger().recoveries);
+        assert!(r.ledger().recovery_backoff > VirtDuration::ZERO);
+        let report = r.finish();
+        assert!(report.fault_stats.total_injected() > 0);
+        assert!(!report.recovery_log.is_empty());
+        assert!(report.ledger.has_recovery_activity());
+    }
+
+    #[test]
+    fn mid_run_xnack_flip_degrades_but_preserves_results() {
+        let plan = sim_des::FaultPlan::new(3, sim_des::FaultSpec::none()).with_xnack_flip_after(2);
+        let mut r = OmpRuntime::builder(CostModel::mi300a_no_thp(), Topology::default())
+            .config(RuntimeConfig::ImplicitZeroCopy)
+            .fault_plan(plan)
+            .build()
+            .unwrap();
+        let a = r.host_alloc(0, 4096).unwrap();
+        let range = AddrRange::new(a, 8);
+        write_f64s(&mut r, a, &[0.0]);
+        for _ in 0..6 {
+            let region = TargetRegion::new("incr", VirtDuration::from_micros(5))
+                .map(MapEntry::tofrom(range))
+                .body(move |ctx| {
+                    let v = ctx.read_f64s(ctx.arg(0), 1)?[0];
+                    ctx.write_f64s(ctx.arg(0), &[v + 1.0])
+                });
+            r.target(0, region).unwrap();
+        }
+        assert_eq!(read_f64s(&r, a, 1), vec![6.0]);
+        assert!(r
+            .recovery_log()
+            .iter()
+            .any(|e| e.action == RecoveryAction::XnackLost));
+        let report = r.finish();
+        assert_eq!(report.fault_stats.xnack_flips, 1);
+        assert_eq!(report.ledger.degradations, 1);
+        // Post-flip dispatches prefault their access sets host-side.
+        assert!(report.ledger.recovery_prefaults > 0);
+        assert!(report.ledger.recovery_prefault > VirtDuration::ZERO);
+    }
+
+    #[test]
+    fn discrete_pool_exhaustion_evicts_then_retries() {
+        use apu_mem::{DiscreteSpec, SystemKind};
+        // VRAM sized to device init (16 x 64 KiB runtime buffers) plus 8
+        // pages: UM pages migrated by a zero-copy-style access fill the
+        // remainder, then a pool allocation must evict them to fit.
+        let spec = DiscreteSpec {
+            vram_bytes: (256 + 8) * 4096,
+            ..DiscreteSpec::mi200_class()
+        };
+        let mut r = OmpRuntime::builder(CostModel::mi300a_no_thp(), Topology::default())
+            .config(RuntimeConfig::UnifiedSharedMemory)
+            .system(SystemKind::Discrete(spec))
+            .build()
+            .unwrap();
+        let a = r.host_alloc(0, 6 * 4096).unwrap();
+        let region = TargetRegion::new("touch", VirtDuration::from_micros(5))
+            .access(AddrRange::new(a, 6 * 4096));
+        r.target(0, region).unwrap();
+        // 6 UM pages resident; a 4-page pool alloc needs eviction to fit.
+        let dev = r.omp_target_alloc(0, 4 * 4096).unwrap();
+        assert!(dev.0 > 0);
+        assert!(r.ledger().evicted_for_retry > 0);
+        assert!(r
+            .recovery_log()
+            .iter()
+            .any(|e| matches!(e.action, RecoveryAction::EvictedThenRetriedAlloc { .. })));
+    }
+
+    #[test]
+    fn recovery_exhaustion_reports_the_site() {
+        // An always-failing site exhausts the attempt budget.
+        let spec = sim_des::FaultSpec {
+            pool_alloc_fail: 1.0,
+            max_burst: u32::MAX,
+            ..sim_des::FaultSpec::none()
+        };
+        let mut r = faulty_rt(RuntimeConfig::LegacyCopy, spec, 1);
+        let err = r.omp_target_alloc(0, 4096).unwrap_err();
+        assert!(matches!(
+            err,
+            OmpError::RecoveryExhausted {
+                kind: sim_des::FaultKind::PoolAllocFail,
+                ..
+            }
         ));
     }
 }

@@ -1,6 +1,8 @@
-//! Overhead attribution: the paper's MM / MI decomposition (Table III) and
-//! the `LIBOMPTARGET_KERNEL_TRACE` analog.
+//! Overhead attribution: the paper's MM / MI decomposition (Table III), the
+//! `LIBOMPTARGET_KERNEL_TRACE` analog, and the recovery-event log that makes
+//! fault-injected runs auditable.
 
+use crate::config::RuntimeConfig;
 use sim_des::VirtDuration;
 use std::fmt;
 use std::sync::Arc;
@@ -41,6 +43,22 @@ pub struct OverheadLedger {
     pub zero_filled_pages: u64,
     /// Prefault syscalls issued.
     pub prefault_calls: u64,
+    /// Virtual time spent in recovery backoff waits between retries.
+    pub recovery_backoff: VirtDuration,
+    /// Virtual time spent prefaulting access sets after XNACK was lost
+    /// mid-run (the degraded Eager-Maps-style dispatch path).
+    pub recovery_prefault: VirtDuration,
+    /// Failed attempts that were retried by a recovery policy.
+    pub retries: u64,
+    /// Failure episodes that recovery resolved (the call later succeeded).
+    pub recoveries: u64,
+    /// Configuration degradations (startup XNACK-unavailable fallback and
+    /// mid-run XNACK loss).
+    pub degradations: u64,
+    /// Unified-memory pages evicted from VRAM by eviction-then-retry.
+    pub evicted_for_retry: u64,
+    /// Prefault syscalls issued by the degraded dispatch path.
+    pub recovery_prefaults: u64,
 }
 
 impl OverheadLedger {
@@ -53,6 +71,23 @@ impl OverheadLedger {
     /// Total memory-initialization overhead (the paper's MI column).
     pub fn mi_total(&self) -> VirtDuration {
         self.mi_fault_stall
+    }
+
+    /// Total virtual time charged by recovery policies (kept out of
+    /// [`mm_total`](Self::mm_total) so the paper's tables are unchanged on
+    /// healthy runs).
+    pub fn recovery_total(&self) -> VirtDuration {
+        self.recovery_backoff + self.recovery_prefault
+    }
+
+    /// True when any recovery or degradation activity was recorded.
+    pub fn has_recovery_activity(&self) -> bool {
+        self.retries != 0
+            || self.recoveries != 0
+            || self.degradations != 0
+            || self.evicted_for_retry != 0
+            || self.recovery_prefaults != 0
+            || self.recovery_total() != VirtDuration::ZERO
     }
 }
 
@@ -83,8 +118,67 @@ impl fmt::Display for OverheadLedger {
             "kernels: {} ({} compute)",
             self.kernels, self.kernel_compute
         )?;
+        // Only faulty runs print the recovery section, keeping healthy-run
+        // output byte-identical to pre-fault-subsystem builds.
+        if self.has_recovery_activity() {
+            writeln!(
+                f,
+                "recovery: {} ({} retries, {} recovered, {} degradations)",
+                self.recovery_total(),
+                self.retries,
+                self.recoveries,
+                self.degradations
+            )?;
+            writeln!(
+                f,
+                "  backoff:  {} | prefault: {} ({} calls) | evicted: {} pages",
+                self.recovery_backoff,
+                self.recovery_prefault,
+                self.recovery_prefaults,
+                self.evicted_for_retry
+            )?;
+        }
         Ok(())
     }
+}
+
+/// What a recovery policy did about one failure episode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryAction {
+    /// A transient pool-allocation failure was retried until it succeeded.
+    RetriedAlloc,
+    /// Pool exhaustion was relieved by evicting resident unified-memory
+    /// pages from VRAM, then the allocation was retried.
+    EvictedThenRetriedAlloc {
+        /// Pages evicted across the episode.
+        pages: u64,
+    },
+    /// A transient DMA error was retried until the copy submitted.
+    RetriedCopy,
+    /// Queue-full backpressure was retried until the dispatch enqueued.
+    RetriedDispatch,
+    /// XNACK capability was lost mid-run; subsequent dispatches prefault
+    /// their access sets host-side (Eager-Maps-style degradation).
+    XnackLost,
+    /// The requested configuration could not run in this deployment and was
+    /// degraded at startup.
+    StartupDegradation {
+        /// The configuration the caller asked for.
+        from: RuntimeConfig,
+        /// The configuration that actually engaged.
+        to: RuntimeConfig,
+    },
+}
+
+/// One recovery event, recorded in order on the owning runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryEvent {
+    /// Host thread on which the episode played out (0 for startup events).
+    pub thread: u32,
+    /// Call attempts the episode consumed (0 for degradations).
+    pub attempts: u32,
+    /// What the recovery policy did.
+    pub action: RecoveryAction,
 }
 
 /// One kernel launch in the trace (`LIBOMPTARGET_KERNEL_TRACE=3` analog).

@@ -34,10 +34,14 @@ pub enum HsaApiKind {
     SignalDestroy = 9,
     /// GPU code-object load at initialization.
     CodeObjectLoad = 10,
+    /// Not a ROCr entry point: virtual-time backoff/eviction work charged by
+    /// a recovery policy between retries of a failed call. Tagged so that
+    /// degraded runs are visible in API statistics and the Chrome timeline.
+    RecoveryBackoff = 11,
 }
 
 /// Number of distinct API kinds (for dense arrays).
-pub const API_KIND_COUNT: usize = 11;
+pub const API_KIND_COUNT: usize = 12;
 
 /// All kinds, in discriminant order.
 pub const ALL_API_KINDS: [HsaApiKind; API_KIND_COUNT] = [
@@ -52,6 +56,7 @@ pub const ALL_API_KINDS: [HsaApiKind; API_KIND_COUNT] = [
     HsaApiKind::SignalCreate,
     HsaApiKind::SignalDestroy,
     HsaApiKind::CodeObjectLoad,
+    HsaApiKind::RecoveryBackoff,
 ];
 
 impl HsaApiKind {
@@ -80,6 +85,7 @@ impl HsaApiKind {
             HsaApiKind::SignalCreate => "hsa_signal_create",
             HsaApiKind::SignalDestroy => "hsa_signal_destroy",
             HsaApiKind::CodeObjectLoad => "hsa_executable_load_agent_code_object",
+            HsaApiKind::RecoveryBackoff => "omp_runtime_recovery_backoff",
         }
     }
 }

@@ -10,11 +10,12 @@ use crate::api::HsaApiKind;
 use crate::stats::ApiStats;
 use crate::topology::{Resources, Topology};
 use apu_mem::{
-    AddrRange, ApuMemory, CostModel, GpuAccessOutcome, MemError, PrefaultOutcome, VirtAddr,
-    XnackMode,
+    AddrRange, ApuMemory, CostModel, GpuAccessOutcome, MemError, MemOptions, PrefaultOutcome,
+    VirtAddr, XnackMode,
 };
 use sim_des::{
-    schedule, AsyncToken, Machine, Op, OpStreams, RunOptions, Schedule, Tag, VirtDuration,
+    schedule, AsyncToken, FaultKind, FaultPlan, FaultStats, Machine, Op, OpStreams, RunOptions,
+    Schedule, Tag, VirtDuration,
 };
 
 /// Completed-run artifacts.
@@ -44,34 +45,94 @@ pub struct HsaRuntime {
     recorded: [u64; crate::api::API_KIND_COUNT],
     /// Async-token allocator for `nowait` dispatches.
     next_token: u64,
+    /// Optional injected-failure schedule, consulted before each fallible
+    /// call's functional effect (so injected failures are always safe to
+    /// retry).
+    fault: Option<FaultPlan>,
 }
 
 impl HsaRuntime {
-    /// A runtime over a fresh socket.
-    pub fn new(cost: CostModel, topo: Topology) -> Self {
+    /// The canonical constructor: a runtime over a system of the given kind
+    /// with typed memory options. All other constructors delegate here.
+    pub fn with_options(
+        cost: CostModel,
+        topo: Topology,
+        kind: apu_mem::SystemKind,
+        opts: MemOptions,
+    ) -> Self {
         let (machine, res) = topo.machine();
         HsaRuntime {
-            mem: ApuMemory::new(cost),
+            mem: ApuMemory::with_options(cost, kind, opts),
             machine,
             res,
             streams: OpStreams::new(1),
             recorded: [0; crate::api::API_KIND_COUNT],
             next_token: 0,
+            fault: None,
         }
+    }
+
+    /// A runtime over a fresh socket.
+    pub fn new(cost: CostModel, topo: Topology) -> Self {
+        Self::with_options(cost, topo, apu_mem::SystemKind::Apu, MemOptions::default())
     }
 
     /// A runtime with a custom HBM capacity (tests).
     pub fn with_capacity(cost: CostModel, topo: Topology, capacity: u64) -> Self {
-        let mut rt = Self::new(cost.clone(), topo);
-        rt.mem = apu_mem::ApuMemory::with_capacity(cost, capacity);
-        rt
+        Self::with_options(
+            cost,
+            topo,
+            apu_mem::SystemKind::Apu,
+            MemOptions::default().capacity(capacity),
+        )
     }
 
     /// A runtime over a system of the given kind (APU or discrete GPU).
     pub fn new_system(cost: CostModel, topo: Topology, kind: apu_mem::SystemKind) -> Self {
-        let mut rt = Self::new(cost.clone(), topo);
-        rt.mem = apu_mem::ApuMemory::new_system(cost, kind);
-        rt
+        Self::with_options(cost, topo, kind, MemOptions::default())
+    }
+
+    /// Attach an injected-failure schedule. Callers normally attach *after*
+    /// device/thread initialization so faults target the measured phase of
+    /// a run, not runtime bring-up.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault = Some(plan);
+    }
+
+    /// Mutable access to the attached fault plan (for plan-level queries
+    /// such as the mid-run XNACK flip).
+    pub fn fault_plan_mut(&mut self) -> Option<&mut FaultPlan> {
+        self.fault.as_mut()
+    }
+
+    /// What the attached plan injected so far (zeroes when no plan).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fault.as_ref().map(|p| p.stats()).unwrap_or_default()
+    }
+
+    /// Consult the fault plan at a transient site. When the plan says the
+    /// call fails, the failed attempt still charges its CPU-side service
+    /// time under the runtime lock (the call happened; it returned an
+    /// error) and counts in the API statistics.
+    fn inject(
+        &mut self,
+        thread: usize,
+        kind: FaultKind,
+        api: HsaApiKind,
+        service: VirtDuration,
+    ) -> Result<(), MemError> {
+        let Some(plan) = self.fault.as_mut() else {
+            return Ok(());
+        };
+        if !plan.should_fail(kind) {
+            return Ok(());
+        }
+        self.count(api);
+        self.streams.push(
+            thread,
+            Op::service(api.tag(), self.res.runtime_lock, service),
+        );
+        Err(MemError::Injected { kind })
     }
 
     /// The memory subsystem (read-only).
@@ -188,6 +249,13 @@ impl HsaRuntime {
     /// `hsa_amd_memory_pool_allocate`: device memory from the single HBM;
     /// the driver bulk-populates the GPU page table (XNACK-off behaviour).
     pub fn pool_allocate(&mut self, thread: usize, len: u64) -> Result<VirtAddr, MemError> {
+        let failed_service = self.lock_service() + self.mem.cost().pool_alloc_base;
+        self.inject(
+            thread,
+            FaultKind::PoolAllocFail,
+            HsaApiKind::MemoryPoolAllocate,
+            failed_service,
+        )?;
         let out = self.mem.pool_alloc(len)?;
         self.count(HsaApiKind::MemoryPoolAllocate);
         self.streams.push(
@@ -229,6 +297,13 @@ impl HsaRuntime {
         len: u64,
         with_handler: bool,
     ) -> Result<(), MemError> {
+        let failed_service = self.lock_service() + self.mem.cost().copy_submit;
+        self.inject(
+            thread,
+            FaultKind::DmaError,
+            HsaApiKind::MemoryAsyncCopy,
+            failed_service,
+        )?;
         self.mem.copy(src, dst, len)?;
         let dma_time = self.mem.transfer_duration(src, dst, len);
         let cost = self.mem.cost();
@@ -296,6 +371,13 @@ impl HsaRuntime {
         access: &[AddrRange],
         xnack: XnackMode,
     ) -> Result<GpuAccessOutcome, MemError> {
+        let failed_service = self.lock_service() + self.mem.cost().kernel_dispatch;
+        self.inject(
+            thread,
+            FaultKind::QueueFull,
+            HsaApiKind::KernelDispatch,
+            failed_service,
+        )?;
         let out = self.mem.gpu_access(access, xnack)?;
         let cost = self.mem.cost();
         let dispatch = cost.kernel_dispatch;
@@ -332,6 +414,13 @@ impl HsaRuntime {
         access: &[AddrRange],
         xnack: XnackMode,
     ) -> Result<(GpuAccessOutcome, AsyncToken), MemError> {
+        let failed_service = self.lock_service() + self.mem.cost().kernel_dispatch;
+        self.inject(
+            thread,
+            FaultKind::QueueFull,
+            HsaApiKind::KernelDispatch,
+            failed_service,
+        )?;
         let out = self.mem.gpu_access(access, xnack)?;
         let cost = self.mem.cost();
         let dispatch = cost.kernel_dispatch;
@@ -366,6 +455,40 @@ impl HsaRuntime {
     pub fn host_compute(&mut self, thread: usize, duration: VirtDuration) {
         self.streams
             .push(thread, Op::local(Tag::UNTAGGED, duration));
+    }
+
+    /// Charge a recovery-policy backoff wait on `thread` in virtual time.
+    /// Tagged [`HsaApiKind::RecoveryBackoff`] so degraded runs show up in
+    /// API statistics and the Chrome timeline.
+    pub fn recovery_wait(&mut self, thread: usize, duration: VirtDuration) {
+        if duration == VirtDuration::ZERO {
+            return;
+        }
+        self.count(HsaApiKind::RecoveryBackoff);
+        self.streams.push(
+            thread,
+            Op::local(HsaApiKind::RecoveryBackoff.tag(), duration),
+        );
+    }
+
+    /// Eviction-then-retry support: evict up to `max_pages` unified-memory
+    /// pages from VRAM (discrete only), charging the page-table teardown
+    /// under the runtime lock as recovery work. Returns pages evicted.
+    pub fn evict_um_pages(&mut self, thread: usize, max_pages: u64) -> u64 {
+        let evicted = self.mem.evict_um_pages(max_pages);
+        if evicted > 0 {
+            let cost = self.mem.cost().pool_free_cost(evicted);
+            self.count(HsaApiKind::RecoveryBackoff);
+            self.streams.push(
+                thread,
+                Op::service(
+                    HsaApiKind::RecoveryBackoff.tag(),
+                    self.res.runtime_lock,
+                    self.lock_service() + cost,
+                ),
+            );
+        }
+        evicted
     }
 
     /// Resolve all recorded streams. `noise` options are augmented with the

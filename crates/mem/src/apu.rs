@@ -168,6 +168,43 @@ impl MemStats {
 const HOST_VA_BASE: u64 = 0x5000_0000_0000;
 const POOL_VA_BASE: u64 = 0x7000_0000_0000;
 
+/// Typed construction options for [`ApuMemory`], passed down from the
+/// runtime builder. Binaries that want environment-variable control
+/// translate it once at the edge via [`MemOptions::from_env`]; the library
+/// itself never reads the environment.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemOptions {
+    /// Use the per-page reference implementation instead of the extent
+    /// fast paths (equivalence testing / ablation).
+    pub pagewise: bool,
+    /// Override the HBM capacity in bytes (tests); `None` keeps the full
+    /// MI300A 128 GiB socket.
+    pub capacity: Option<u64>,
+}
+
+impl MemOptions {
+    /// Translate the `ZC_MEM_PAGEWISE` environment variable into options.
+    /// Only binary entry points should call this.
+    pub fn from_env() -> Self {
+        MemOptions {
+            pagewise: std::env::var("ZC_MEM_PAGEWISE").is_ok_and(|v| v == "1"),
+            capacity: None,
+        }
+    }
+
+    /// Set the per-page reference-implementation flag.
+    pub fn pagewise(mut self, pagewise: bool) -> Self {
+        self.pagewise = pagewise;
+        self
+    }
+
+    /// Override the HBM capacity in bytes.
+    pub fn capacity(mut self, bytes: u64) -> Self {
+        self.capacity = Some(bytes);
+        self
+    }
+}
+
 /// A single APU socket's memory subsystem.
 #[derive(Debug)]
 pub struct ApuMemory {
@@ -192,17 +229,21 @@ pub struct ApuMemory {
 }
 
 impl ApuMemory {
-    /// A socket with the full 128 GiB of MI300A HBM.
-    pub fn new(cost: CostModel) -> Self {
+    /// The canonical constructor: a memory system of the given kind with
+    /// typed [`MemOptions`]. All other constructors delegate here.
+    pub fn with_options(cost: CostModel, kind: SystemKind, opts: MemOptions) -> Self {
         let tlb = Tlb::new(cost.gpu_tlb_entries);
         let ps = cost.page_size;
         ApuMemory {
             cost,
-            kind: SystemKind::Apu,
+            kind,
             vram_used: 0,
             um_resident: RunFifo::new(),
             um_resident_set: RunSet::new(),
-            phys: PhysicalMemory::mi300a(),
+            phys: match opts.capacity {
+                Some(bytes) => PhysicalMemory::new(bytes),
+                None => PhysicalMemory::mi300a(),
+            },
             vmas: VmaTable::new(),
             cpu_pt: PageTable::with_page_size(ps),
             gpu_pt: PageTable::with_page_size(ps),
@@ -210,22 +251,27 @@ impl ApuMemory {
             host_brk: HOST_VA_BASE,
             pool_brk: POOL_VA_BASE,
             stats: MemStats::default(),
-            pagewise: std::env::var("ZC_MEM_PAGEWISE").is_ok_and(|v| v == "1"),
+            pagewise: opts.pagewise,
         }
+    }
+
+    /// A socket with the full 128 GiB of MI300A HBM.
+    pub fn new(cost: CostModel) -> Self {
+        Self::with_options(cost, SystemKind::Apu, MemOptions::default())
     }
 
     /// A socket with a custom HBM capacity (tests).
     pub fn with_capacity(cost: CostModel, capacity: u64) -> Self {
-        let mut m = Self::new(cost);
-        m.phys = PhysicalMemory::new(capacity);
-        m
+        Self::with_options(
+            cost,
+            SystemKind::Apu,
+            MemOptions::default().capacity(capacity),
+        )
     }
 
     /// A memory system of the given kind (APU or discrete GPU).
     pub fn new_system(cost: CostModel, kind: SystemKind) -> Self {
-        let mut m = Self::new(cost);
-        m.kind = kind;
-        m
+        Self::with_options(cost, kind, MemOptions::default())
     }
 
     /// The system kind.
@@ -246,7 +292,9 @@ impl ApuMemory {
     /// Switch between the extent fast paths (default) and the per-page
     /// reference implementation. The two are observably identical; the
     /// reference path exists as an oracle for equivalence tests and for the
-    /// bookkeeping ablation benchmark. Also settable via `ZC_MEM_PAGEWISE=1`.
+    /// bookkeeping ablation benchmark. Also settable at construction via
+    /// [`MemOptions::pagewise`] (binaries translate `ZC_MEM_PAGEWISE=1`
+    /// into it at the edge).
     pub fn set_pagewise(&mut self, pagewise: bool) {
         self.pagewise = pagewise;
     }
@@ -442,10 +490,14 @@ impl ApuMemory {
         }
         let alen = self.round_up(len);
         if let Some(d) = self.discrete() {
-            if self.vram_used + alen > d.vram_bytes {
+            // Resident unified-memory pages physically occupy VRAM too; a
+            // pool allocation that would not fit beside them fails, and the
+            // runtime's eviction-then-retry recovery may push them out.
+            let um_bytes = self.um_resident.len_pages() * self.page_bytes();
+            if self.vram_used + um_bytes + alen > d.vram_bytes {
                 return Err(MemError::OutOfMemory {
                     requested: alen,
-                    available: d.vram_bytes - self.vram_used,
+                    available: d.vram_bytes.saturating_sub(self.vram_used + um_bytes),
                 });
             }
             self.vram_used += alen;
@@ -482,6 +534,32 @@ impl ApuMemory {
             pages,
             cost: self.cost.pool_free_cost(pages),
         })
+    }
+
+    /// Discrete only: evict up to `max_pages` unified-memory pages from
+    /// VRAM, oldest first (same FIFO order as oversubscription eviction).
+    /// Evicted pages lose their GPU translation and re-migrate on their
+    /// next GPU touch; CPU translations are untouched, so content is
+    /// preserved. Returns the number of pages actually evicted — `0` on an
+    /// APU or when nothing is resident, which recovery policies use to
+    /// decide whether an eviction-then-retry attempt is worth making.
+    pub fn evict_um_pages(&mut self, max_pages: u64) -> u64 {
+        if self.discrete().is_none() {
+            return 0;
+        }
+        let mut evicted = 0;
+        while evicted < max_pages {
+            let Some(victim) = self.um_resident.pop_front_page() else {
+                break;
+            };
+            self.um_resident_set.remove_run(victim, 1);
+            if self.gpu_pt.unmap_page(victim) {
+                self.gpu_tlb.invalidate(victim);
+            }
+            evicted += 1;
+        }
+        self.stats.evicted_pages += evicted;
+        evicted
     }
 
     fn take_vma(&mut self, addr: VirtAddr, backing: Backing) -> Result<Vma, MemError> {

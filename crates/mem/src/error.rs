@@ -38,6 +38,12 @@ pub enum MemError {
         /// Length of the offending range.
         len: u64,
     },
+    /// A failure injected by an attached [`sim_des::FaultPlan`]: the call
+    /// had no functional effect and is safe to retry.
+    Injected {
+        /// Which fault site fired.
+        kind: sim_des::FaultKind,
+    },
 }
 
 impl fmt::Display for MemError {
@@ -66,6 +72,9 @@ impl fmt::Display for MemError {
                     f,
                     "range [{addr}, +{len}) is not covered by a live allocation"
                 )
+            }
+            MemError::Injected { kind } => {
+                write!(f, "injected transient fault: {}", kind.label())
             }
         }
     }

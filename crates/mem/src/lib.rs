@@ -45,7 +45,8 @@ mod vma;
 
 pub use addr::{AddrRange, PageSize, PhysAddr, VirtAddr};
 pub use apu::{
-    AllocOutcome, ApuMemory, FreeOutcome, GpuAccessOutcome, MemStats, PrefaultOutcome, XnackMode,
+    AllocOutcome, ApuMemory, FreeOutcome, GpuAccessOutcome, MemOptions, MemStats, PrefaultOutcome,
+    XnackMode,
 };
 pub use cost::CostModel;
 pub use error::MemError;

@@ -41,12 +41,14 @@
 #![warn(missing_docs)]
 
 mod engine;
+mod fault;
 mod noise;
 mod op;
 mod resource;
 mod time;
 
 pub use engine::{schedule, Machine, OpRecord, RunOptions, Schedule, TagStats};
+pub use fault::{Backoff, FaultKind, FaultPlan, FaultSpec, FaultStats};
 pub use noise::{NoiseModel, SplitMix64};
 pub use op::{AsyncToken, Op, OpStreams, Segment, Tag};
 pub use resource::{Pool, ResourceId, ResourceStats};

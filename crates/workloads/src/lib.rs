@@ -58,8 +58,10 @@ mod cross_config_tests {
         ];
         for w in &workloads {
             for config in RuntimeConfig::ALL {
-                let mut rt =
-                    OmpRuntime::new(CostModel::mi300a(), Topology::default(), config, 1).unwrap();
+                let mut rt = OmpRuntime::builder(CostModel::mi300a(), Topology::default())
+                    .config(config)
+                    .build()
+                    .unwrap();
                 w.run(&mut rt)
                     .unwrap_or_else(|e| panic!("{} under {config}: {e}", w.name()));
                 let report = rt.finish();
@@ -81,13 +83,10 @@ mod cross_config_tests {
             Box::new(spec::SpC::scaled(0.05)),
         ];
         for w in &workloads {
-            let mut rt = OmpRuntime::new(
-                CostModel::mi300a(),
-                Topology::default(),
-                RuntimeConfig::LegacyCopy,
-                1,
-            )
-            .unwrap();
+            let mut rt = OmpRuntime::builder(CostModel::mi300a(), Topology::default())
+                .config(RuntimeConfig::LegacyCopy)
+                .build()
+                .unwrap();
             w.run(&mut rt).unwrap();
             assert_eq!(rt.live_mappings(), 0, "{} leaked mappings", w.name());
         }

@@ -167,7 +167,10 @@ mod tests {
     use omp_offload::{RunReport, RuntimeConfig};
 
     fn run(w: &MiniCg, config: RuntimeConfig) -> RunReport {
-        let mut rt = OmpRuntime::new(CostModel::mi300a(), Topology::default(), config, 1).unwrap();
+        let mut rt = OmpRuntime::builder(CostModel::mi300a(), Topology::default())
+            .config(config)
+            .build()
+            .unwrap();
         w.run(&mut rt).unwrap();
         assert_eq!(rt.pending_nowaits(), 0);
         rt.finish()

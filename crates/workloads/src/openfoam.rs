@@ -123,7 +123,9 @@ mod tests {
     use omp_offload::{OmpError, RuntimeConfig};
 
     fn run(config: RuntimeConfig) -> Result<omp_offload::RunReport, OmpError> {
-        let mut rt = OmpRuntime::new(CostModel::mi300a(), Topology::default(), config, 1)?;
+        let mut rt = OmpRuntime::builder(CostModel::mi300a(), Topology::default())
+            .config(config)
+            .build()?;
         OpenFoamMini::scaled(0.05).run(&mut rt)?;
         Ok(rt.finish())
     }

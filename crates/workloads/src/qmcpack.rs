@@ -381,8 +381,11 @@ mod tests {
     use omp_offload::RuntimeConfig;
 
     fn run(config: RuntimeConfig, threads: usize, steps: usize) -> omp_offload::RunReport {
-        let mut rt =
-            OmpRuntime::new(CostModel::mi300a(), Topology::default(), config, threads).unwrap();
+        let mut rt = OmpRuntime::builder(CostModel::mi300a(), Topology::default())
+            .config(config)
+            .threads(threads)
+            .build()
+            .unwrap();
         let w = QmcPack::nio(NioSize { factor: 2 }).with_steps(steps);
         w.run(&mut rt).unwrap();
         rt.finish()
@@ -426,13 +429,11 @@ mod tests {
 
     #[test]
     fn no_mapping_leaks() {
-        let mut rt = OmpRuntime::new(
-            CostModel::mi300a(),
-            Topology::default(),
-            RuntimeConfig::LegacyCopy,
-            2,
-        )
-        .unwrap();
+        let mut rt = OmpRuntime::builder(CostModel::mi300a(), Topology::default())
+            .config(RuntimeConfig::LegacyCopy)
+            .threads(2)
+            .build()
+            .unwrap();
         QmcPack::nio(NioSize { factor: 2 })
             .with_steps(5)
             .run(&mut rt)
@@ -445,13 +446,10 @@ mod tests {
         // Deferred target tasks speed up a single-thread run by pipelining
         // the three per-step kernels on the GPU...
         let run = |nowait: bool| {
-            let mut rt = OmpRuntime::new(
-                CostModel::mi300a(),
-                Topology::default(),
-                RuntimeConfig::ImplicitZeroCopy,
-                1,
-            )
-            .unwrap();
+            let mut rt = OmpRuntime::builder(CostModel::mi300a(), Topology::default())
+                .config(RuntimeConfig::ImplicitZeroCopy)
+                .build()
+                .unwrap();
             let mut w = QmcPack::nio(NioSize { factor: 16 }).with_steps(40);
             w.nowait = nowait;
             w.run(&mut rt).unwrap();
@@ -463,13 +461,10 @@ mod tests {
         // ...and compute the same numbers (validation bodies execute
         // identically; the reduction read-back happens after taskwait).
         let probe = |nowait: bool| {
-            let mut rt = OmpRuntime::new(
-                CostModel::mi300a(),
-                Topology::default(),
-                RuntimeConfig::LegacyCopy,
-                1,
-            )
-            .unwrap();
+            let mut rt = OmpRuntime::builder(CostModel::mi300a(), Topology::default())
+                .config(RuntimeConfig::LegacyCopy)
+                .build()
+                .unwrap();
             let mut w = QmcPack::nio(NioSize { factor: 2 })
                 .with_steps(8)
                 .with_validation();

@@ -109,7 +109,10 @@ mod tests {
     use omp_offload::{RunReport, RuntimeConfig};
 
     fn run(config: RuntimeConfig, scale: f64) -> RunReport {
-        let mut rt = OmpRuntime::new(CostModel::mi300a(), Topology::default(), config, 1).unwrap();
+        let mut rt = OmpRuntime::builder(CostModel::mi300a(), Topology::default())
+            .config(config)
+            .build()
+            .unwrap();
         Stencil::scaled(scale).run(&mut rt).unwrap();
         rt.finish()
     }

@@ -151,7 +151,10 @@ mod tests {
     use omp_offload::{RunReport, RuntimeConfig};
 
     fn run(config: RuntimeConfig, scale: f64) -> RunReport {
-        let mut rt = OmpRuntime::new(CostModel::mi300a(), Topology::default(), config, 1).unwrap();
+        let mut rt = OmpRuntime::builder(CostModel::mi300a(), Topology::default())
+            .config(config)
+            .build()
+            .unwrap();
         Stream::scaled(scale).run(&mut rt).unwrap();
         rt.finish()
     }
@@ -162,7 +165,10 @@ mod tests {
         // of percent of the kernel time; tiny scaled arrays inflate them.
         let mut w = Stream::default_size();
         w.iterations = iterations;
-        let mut rt = OmpRuntime::new(CostModel::mi300a(), Topology::default(), config, 1).unwrap();
+        let mut rt = OmpRuntime::builder(CostModel::mi300a(), Topology::default())
+            .config(config)
+            .build()
+            .unwrap();
         w.run(&mut rt).unwrap();
         rt.finish().makespan.as_nanos()
     }

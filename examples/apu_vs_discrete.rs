@@ -25,13 +25,11 @@ fn run(
     config: RuntimeConfig,
     threads: usize,
 ) -> Result<mi300a_zerocopy::omp::RunReport, Box<dyn std::error::Error>> {
-    let mut rt = OmpRuntime::new_system(
-        CostModel::mi300a(),
-        Topology::default(),
-        kind,
-        config,
-        threads,
-    )?;
+    let mut rt = OmpRuntime::builder(CostModel::mi300a(), Topology::default())
+        .config(config)
+        .system(kind)
+        .threads(threads)
+        .build()?;
     w.run(&mut rt)?;
     Ok(rt.finish())
 }

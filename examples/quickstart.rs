@@ -17,7 +17,9 @@ use mi300a_zerocopy::sim::VirtDuration;
 const N: usize = 1024;
 
 fn run(config: RuntimeConfig) -> Result<(Vec<f64>, String), Box<dyn std::error::Error>> {
-    let mut rt = OmpRuntime::new(CostModel::mi300a(), Topology::default(), config, 1)?;
+    let mut rt = OmpRuntime::builder(CostModel::mi300a(), Topology::default())
+        .config(config)
+        .build()?;
 
     // double* a = new double[N]; double* b = new double[N];
     let bytes = (N * 8) as u64;

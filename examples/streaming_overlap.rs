@@ -57,13 +57,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Single-thread alternative: `target nowait` pipelines kernels without");
     println!("extra host threads (deferred target tasks):\n");
     let pipeline = |nowait: bool| -> VirtDuration {
-        let mut rt = OmpRuntime::new(
-            CostModel::mi300a(),
-            Topology::default(),
-            RuntimeConfig::ImplicitZeroCopy,
-            1,
-        )
-        .unwrap();
+        let mut rt = OmpRuntime::builder(CostModel::mi300a(), Topology::default())
+            .config(RuntimeConfig::ImplicitZeroCopy)
+            .build()
+            .unwrap();
         let mut ranges = Vec::new();
         for _ in 0..6 {
             let a = rt.host_alloc(0, 8 << 20).unwrap();

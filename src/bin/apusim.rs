@@ -18,7 +18,7 @@ use mi300a_zerocopy::analysis::paper::{qmc_sweep, PaperConfig};
 use mi300a_zerocopy::analysis::timeline::chrome_trace;
 use mi300a_zerocopy::analysis::ExperimentConfig;
 use mi300a_zerocopy::hsa::Topology;
-use mi300a_zerocopy::mem::{CostModel, DiscreteSpec, SystemKind};
+use mi300a_zerocopy::mem::{CostModel, DiscreteSpec, MemOptions, SystemKind};
 use mi300a_zerocopy::omp::{OmpRuntime, RunEnv, RuntimeConfig};
 use mi300a_zerocopy::workloads::{
     spec::{Bt, Ep, Lbm, SpC, Stencil},
@@ -179,7 +179,10 @@ fn cmd_sweep(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     let cfg = PaperConfig {
-        exp: ExperimentConfig::noiseless(),
+        exp: ExperimentConfig {
+            mem_options: MemOptions::from_env(),
+            ..ExperimentConfig::noiseless()
+        },
         qmc_steps: steps,
         qmc_repeats: 1,
         sizes: sizes
@@ -243,13 +246,13 @@ fn cmd_run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     } else {
         SystemKind::Apu
     };
-    let mut rt = OmpRuntime::new_system(
-        CostModel::mi300a(),
-        Topology::default(),
-        kind,
-        config,
-        threads,
-    )?;
+    // `ZC_MEM_PAGEWISE` becomes typed options exactly once, here at the edge.
+    let mut rt = OmpRuntime::builder(CostModel::mi300a(), Topology::default())
+        .config(config)
+        .system(kind)
+        .threads(threads)
+        .mem_options(MemOptions::from_env())
+        .build()?;
     w.run(&mut rt)?;
     let mem_snapshot = mem_report.then(|| mi300a_zerocopy::mem::MemoryReport::capture(rt.mem()));
     let report = rt.finish();

@@ -1,0 +1,191 @@
+//! Deployment matrix: {APU, discrete} × {XNACK on, off} × the four
+//! configurations. Asserts which configuration actually engages at startup
+//! — degradation to Copy when an XNACK-dependent configuration meets a
+//! deployment without XNACK — and that `UnsupportedDeployment` is returned
+//! exactly when no fallback exists (`requires unified_shared_memory`).
+
+use mi300a_zerocopy::hsa::Topology;
+use mi300a_zerocopy::mem::{CostModel, DiscreteSpec, SystemKind};
+use mi300a_zerocopy::omp::{OmpError, OmpRuntime, RunEnv, RuntimeConfig};
+
+fn systems() -> [SystemKind; 2] {
+    [
+        SystemKind::Apu,
+        SystemKind::Discrete(DiscreteSpec::mi200_class()),
+    ]
+}
+
+fn env_with_xnack(is_apu: bool, xnack: bool) -> RunEnv {
+    RunEnv {
+        is_apu,
+        hsa_xnack: xnack,
+        ompx_apu_maps: false,
+        eager_maps: false,
+        requires_usm: false,
+    }
+}
+
+#[test]
+fn with_xnack_every_config_engages_as_requested() {
+    for system in systems() {
+        for config in RuntimeConfig::ALL {
+            let rt = OmpRuntime::builder(CostModel::mi300a(), Topology::default())
+                .config(config)
+                .system(system.clone())
+                .env(env_with_xnack(system.is_apu(), true))
+                .build()
+                .unwrap();
+            assert_eq!(rt.config(), config, "{system:?}");
+            assert_eq!(rt.degraded_from(), None, "{system:?} {config}");
+        }
+    }
+}
+
+#[test]
+fn without_xnack_only_usm_has_no_fallback() {
+    for system in systems() {
+        for config in RuntimeConfig::ALL {
+            let result = OmpRuntime::builder(CostModel::mi300a(), Topology::default())
+                .config(config)
+                .system(system.clone())
+                .env(env_with_xnack(system.is_apu(), false))
+                .build();
+            match config {
+                // Raw host pointers with no maps: nothing to degrade to.
+                RuntimeConfig::UnifiedSharedMemory => {
+                    assert!(
+                        matches!(result.err(), Some(OmpError::UnsupportedDeployment { .. })),
+                        "{system:?}: USM without XNACK must be unsupported"
+                    );
+                }
+                // Implicit Zero-Copy falls back to Copy data handling.
+                RuntimeConfig::ImplicitZeroCopy => {
+                    let rt = result.unwrap();
+                    assert_eq!(rt.config(), RuntimeConfig::LegacyCopy, "{system:?}");
+                    assert_eq!(
+                        rt.degraded_from(),
+                        Some(RuntimeConfig::ImplicitZeroCopy),
+                        "{system:?}"
+                    );
+                    assert_eq!(rt.ledger().degradations, 1);
+                }
+                // Copy and Eager Maps never needed XNACK.
+                RuntimeConfig::LegacyCopy | RuntimeConfig::EagerMaps => {
+                    let rt = result.unwrap();
+                    assert_eq!(rt.config(), config, "{system:?}");
+                    assert_eq!(rt.degraded_from(), None, "{system:?} {config}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn env_resolution_matrix_selects_expected_configs() {
+    // Environment-only resolution (no explicit config): the startup logic
+    // the real stack runs. Selection is not recorded as degradation.
+    let cases = [
+        // (is_apu, xnack, apu_maps, eager, usm) -> expected
+        (
+            true,
+            true,
+            false,
+            false,
+            false,
+            Some(RuntimeConfig::ImplicitZeroCopy),
+        ),
+        (
+            true,
+            false,
+            false,
+            false,
+            false,
+            Some(RuntimeConfig::LegacyCopy),
+        ),
+        (
+            false,
+            true,
+            false,
+            false,
+            false,
+            Some(RuntimeConfig::LegacyCopy),
+        ),
+        (
+            false,
+            false,
+            false,
+            false,
+            false,
+            Some(RuntimeConfig::LegacyCopy),
+        ),
+        (
+            true,
+            true,
+            false,
+            true,
+            false,
+            Some(RuntimeConfig::EagerMaps),
+        ),
+        (
+            true,
+            true,
+            false,
+            false,
+            true,
+            Some(RuntimeConfig::UnifiedSharedMemory),
+        ),
+        (true, false, false, false, true, None),
+        (false, false, false, false, true, None),
+    ];
+    for (is_apu, xnack, apu_maps, eager, usm, expected) in cases {
+        let env = RunEnv {
+            is_apu,
+            hsa_xnack: xnack,
+            ompx_apu_maps: apu_maps,
+            eager_maps: eager,
+            requires_usm: usm,
+        };
+        let result = OmpRuntime::builder(CostModel::mi300a(), Topology::default())
+            .env(env)
+            .build();
+        match expected {
+            Some(config) => {
+                let rt = result.unwrap();
+                assert_eq!(rt.config(), config, "env {env:?}");
+                assert_eq!(rt.degraded_from(), None, "selection is not degradation");
+                // The system kind follows `is_apu`.
+                assert_eq!(rt.mem().kind().is_apu(), is_apu, "env {env:?}");
+            }
+            None => {
+                assert!(
+                    matches!(result.err(), Some(OmpError::UnsupportedDeployment { .. })),
+                    "env {env:?} should be unsupported"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn faulty_runs_respect_the_same_matrix() {
+    use mi300a_zerocopy::sim::{FaultPlan, FaultSpec};
+    // A fault plan declaring XNACK unavailable composes with the matrix the
+    // same way a `HSA_XNACK=0` environment does.
+    let plan = FaultPlan::new(1, FaultSpec::none()).with_xnack_unavailable(true);
+    let rt = OmpRuntime::builder(CostModel::mi300a(), Topology::default())
+        .config(RuntimeConfig::ImplicitZeroCopy)
+        .fault_plan(plan.clone())
+        .build()
+        .unwrap();
+    assert_eq!(rt.config(), RuntimeConfig::LegacyCopy);
+    assert_eq!(rt.degraded_from(), Some(RuntimeConfig::ImplicitZeroCopy));
+
+    let result = OmpRuntime::builder(CostModel::mi300a(), Topology::default())
+        .config(RuntimeConfig::UnifiedSharedMemory)
+        .fault_plan(plan)
+        .build();
+    assert!(matches!(
+        result.err(),
+        Some(OmpError::UnsupportedDeployment { .. })
+    ));
+}

@@ -7,7 +7,10 @@ use mi300a_zerocopy::omp::{MapEntry, OmpError, OmpRuntime, RuntimeConfig, Target
 use mi300a_zerocopy::sim::VirtDuration;
 
 fn rt(config: RuntimeConfig) -> OmpRuntime {
-    OmpRuntime::new(CostModel::mi300a(), Topology::default(), config, 1).unwrap()
+    OmpRuntime::builder(CostModel::mi300a(), Topology::default())
+        .config(config)
+        .build()
+        .unwrap()
 }
 
 #[test]
@@ -21,14 +24,11 @@ fn vram_exhaustion_surfaces_as_oom_and_state_survives() {
         link_bandwidth: 25_000_000_000,
         migrate_per_page: VirtDuration::from_micros(25),
     };
-    let mut r = OmpRuntime::new_system(
-        CostModel::mi300a(),
-        Topology::default(),
-        SystemKind::Discrete(spec),
-        RuntimeConfig::LegacyCopy,
-        1,
-    )
-    .unwrap();
+    let mut r = OmpRuntime::builder(CostModel::mi300a(), Topology::default())
+        .config(RuntimeConfig::LegacyCopy)
+        .system(SystemKind::Discrete(spec))
+        .build()
+        .unwrap();
     let a = r.host_alloc(0, 256 << 20).unwrap();
     let big = AddrRange::new(a, 256 << 20);
     r.mem_mut().host_touch(big).unwrap();

@@ -10,7 +10,10 @@ use mi300a_zerocopy::omp::{MapEntry, OmpRuntime, RuntimeConfig, TargetRegion};
 use mi300a_zerocopy::sim::VirtDuration;
 
 fn rt(config: RuntimeConfig) -> OmpRuntime {
-    OmpRuntime::new(CostModel::mi300a(), Topology::default(), config, 1).unwrap()
+    OmpRuntime::builder(CostModel::mi300a(), Topology::default())
+        .config(config)
+        .build()
+        .unwrap()
 }
 
 #[test]

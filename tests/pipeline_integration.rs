@@ -132,13 +132,11 @@ fn thread_scaling_helps_zero_copy_more_than_copy() {
 #[test]
 fn runtime_rejects_threads_overflow_gracefully() {
     // Threads beyond the recorded set still schedule (lazy stream growth).
-    let mut rt = OmpRuntime::new(
-        CostModel::mi300a(),
-        Topology::default(),
-        RuntimeConfig::ImplicitZeroCopy,
-        3,
-    )
-    .unwrap();
+    let mut rt = OmpRuntime::builder(CostModel::mi300a(), Topology::default())
+        .config(RuntimeConfig::ImplicitZeroCopy)
+        .threads(3)
+        .build()
+        .unwrap();
     rt.host_compute(2, VirtDuration::from_micros(10));
     let report = rt.finish();
     assert!(report.makespan >= VirtDuration::from_micros(10));
@@ -147,13 +145,10 @@ fn runtime_rejects_threads_overflow_gracefully() {
 #[test]
 fn replicated_finish_matches_single_finish() {
     let build = || {
-        let mut rt = OmpRuntime::new(
-            CostModel::mi300a(),
-            Topology::default(),
-            RuntimeConfig::LegacyCopy,
-            1,
-        )
-        .unwrap();
+        let mut rt = OmpRuntime::builder(CostModel::mi300a(), Topology::default())
+            .config(RuntimeConfig::LegacyCopy)
+            .build()
+            .unwrap();
         Ep::scaled(0.02).run(&mut rt).unwrap();
         rt
     };

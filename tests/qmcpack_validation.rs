@@ -10,8 +10,11 @@ use mi300a_zerocopy::omp::{OmpRuntime, RuntimeConfig};
 use mi300a_zerocopy::workloads::{NioSize, QmcPack};
 
 fn probe(config: RuntimeConfig, threads: usize, steps: usize) -> Vec<f64> {
-    let mut rt =
-        OmpRuntime::new(CostModel::mi300a(), Topology::default(), config, threads).unwrap();
+    let mut rt = OmpRuntime::builder(CostModel::mi300a(), Topology::default())
+        .config(config)
+        .threads(threads)
+        .build()
+        .unwrap();
     let w = QmcPack::nio(NioSize { factor: 2 })
         .with_steps(steps)
         .with_validation();
@@ -49,13 +52,11 @@ fn validation_mode_costs_match_modeled_mode() {
     // Bodies are functional only: the virtual-time results are identical
     // with and without validation.
     let run = |validate: bool| {
-        let mut rt = OmpRuntime::new(
-            CostModel::mi300a(),
-            Topology::default(),
-            RuntimeConfig::LegacyCopy,
-            2,
-        )
-        .unwrap();
+        let mut rt = OmpRuntime::builder(CostModel::mi300a(), Topology::default())
+            .config(RuntimeConfig::LegacyCopy)
+            .threads(2)
+            .build()
+            .unwrap();
         let mut w = QmcPack::nio(NioSize { factor: 2 }).with_steps(10);
         w.validate = validate;
         w.run_with_probe(&mut rt).unwrap();

@@ -14,7 +14,10 @@ use mi300a_zerocopy::omp::{OmpRuntime, RunReport, RuntimeConfig};
 use mi300a_zerocopy::workloads::{NioSize, QmcPack, Workload};
 
 fn traced_run(factor: u32, config: RuntimeConfig) -> RunReport {
-    let mut rt = OmpRuntime::new(CostModel::mi300a(), Topology::default(), config, 1).unwrap();
+    let mut rt = OmpRuntime::builder(CostModel::mi300a(), Topology::default())
+        .config(config)
+        .build()
+        .unwrap();
     rt.set_kernel_trace(true);
     QmcPack::nio(NioSize { factor })
         .with_steps(100)

@@ -35,8 +35,10 @@ fn write_f64s(rt: &mut OmpRuntime, addr: VirtAddr, vals: &[f64]) {
 
 /// Execute the program under `config`; return the final buffer contents.
 fn execute(p: &Program, config: RuntimeConfig, seed: u64) -> Vec<Vec<f64>> {
-    let mut rt =
-        OmpRuntime::new(CostModel::mi300a_no_thp(), Topology::default(), config, 1).unwrap();
+    let mut rt = OmpRuntime::builder(CostModel::mi300a_no_thp(), Topology::default())
+        .config(config)
+        .build()
+        .unwrap();
     let bytes = (p.len * 8) as u64;
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let bufs: Vec<VirtAddr> = (0..p.buffers)
@@ -106,8 +108,11 @@ proptest! {
 /// concurrently (recording interleaves at the runtime level); results must
 /// still match across configurations.
 fn execute_two_threads(p: &Program, config: RuntimeConfig, seed: u64) -> Vec<Vec<f64>> {
-    let mut rt =
-        OmpRuntime::new(CostModel::mi300a_no_thp(), Topology::default(), config, 2).unwrap();
+    let mut rt = OmpRuntime::builder(CostModel::mi300a_no_thp(), Topology::default())
+        .config(config)
+        .threads(2)
+        .build()
+        .unwrap();
     let bytes = (p.len * 8) as u64;
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     // Two disjoint universes, one per thread.
@@ -179,8 +184,10 @@ fn persistent_mapping_with_updates_is_equivalent() {
     // enter data + repeated kernels + explicit updates: the Copy staleness
     // path exercised deliberately, ending in the same state everywhere.
     let run = |config: RuntimeConfig| -> Vec<f64> {
-        let mut rt =
-            OmpRuntime::new(CostModel::mi300a_no_thp(), Topology::default(), config, 1).unwrap();
+        let mut rt = OmpRuntime::builder(CostModel::mi300a_no_thp(), Topology::default())
+            .config(config)
+            .build()
+            .unwrap();
         const N: usize = 32;
         let bytes = (N * 8) as u64;
         let a = rt.host_alloc(0, bytes).unwrap();

@@ -12,7 +12,10 @@ use mi300a_zerocopy::sim::VirtDuration;
 use mi300a_zerocopy::workloads::{NioSize, QmcPack, Workload};
 
 fn traced_run(config: RuntimeConfig) -> Vec<KernelTraceEntry> {
-    let mut rt = OmpRuntime::new(CostModel::mi300a(), Topology::default(), config, 1).unwrap();
+    let mut rt = OmpRuntime::builder(CostModel::mi300a(), Topology::default())
+        .config(config)
+        .build()
+        .unwrap();
     rt.set_kernel_trace(true);
     QmcPack::nio(NioSize { factor: 8 })
         .with_steps(100)
@@ -60,23 +63,17 @@ fn eager_maps_wins_the_warmup_then_stalls_vanish() {
     // The paper's point: EM's *kernel-side* win is bounded (a fraction of a
     // second), while its prefault syscalls accrue on the host side — which
     // is why EM trails IZC overall at small sizes. Confirm the host side:
-    let mut izc_rt = OmpRuntime::new(
-        CostModel::mi300a(),
-        Topology::default(),
-        RuntimeConfig::ImplicitZeroCopy,
-        1,
-    )
-    .unwrap();
+    let mut izc_rt = OmpRuntime::builder(CostModel::mi300a(), Topology::default())
+        .config(RuntimeConfig::ImplicitZeroCopy)
+        .build()
+        .unwrap();
     let w = QmcPack::nio(NioSize { factor: 8 }).with_steps(100);
     w.run(&mut izc_rt).unwrap();
     let izc_report = izc_rt.finish();
-    let mut em_rt = OmpRuntime::new(
-        CostModel::mi300a(),
-        Topology::default(),
-        RuntimeConfig::EagerMaps,
-        1,
-    )
-    .unwrap();
+    let mut em_rt = OmpRuntime::builder(CostModel::mi300a(), Topology::default())
+        .config(RuntimeConfig::EagerMaps)
+        .build()
+        .unwrap();
     w.run(&mut em_rt).unwrap();
     let em_report = em_rt.finish();
     assert!(em_report.ledger.mm_prefault > VirtDuration::ZERO);
@@ -92,13 +89,11 @@ fn eager_maps_wins_the_warmup_then_stalls_vanish() {
 
 #[test]
 fn chrome_trace_of_a_run_is_loadable_json_shape() {
-    let mut rt = OmpRuntime::new(
-        CostModel::mi300a(),
-        Topology::default(),
-        RuntimeConfig::LegacyCopy,
-        2,
-    )
-    .unwrap();
+    let mut rt = OmpRuntime::builder(CostModel::mi300a(), Topology::default())
+        .config(RuntimeConfig::LegacyCopy)
+        .threads(2)
+        .build()
+        .unwrap();
     QmcPack::nio(NioSize { factor: 2 })
         .with_steps(5)
         .run(&mut rt)
