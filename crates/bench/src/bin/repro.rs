@@ -3,6 +3,7 @@
 //! ```text
 //! repro [--quick|--full] [--ARTIFACT ...] [--csv DIR] [--report FILE.md]
 //!       [--faults SEED] [--timing] [--list-artifacts]
+//! repro --check [--json]
 //! ```
 //!
 //! With no artifact flags, everything is produced (`--list-artifacts`
@@ -17,8 +18,15 @@
 //! wall-clock and sweep throughput (simulated cells per second) — the
 //! simulator's own performance, not the modeled machine's.
 //!
-//! Exit codes: 0 on success, 2 for unknown arguments, unknown artifacts,
-//! missing or malformed option values.
+//! `--check` runs the mapcheck harness instead of the experiments: every
+//! shipped workload's data-environment op stream is captured once, checked
+//! statically against each compatible configuration, and cross-validated
+//! with a sanitized real run (`--json` switches to machine-readable
+//! output, for CI).
+//!
+//! Exit codes: 0 on success, 1 when `--check` finds error-severity
+//! diagnostics or a static/sanitizer mismatch, 2 for unknown arguments,
+//! unknown artifacts, missing or malformed option values.
 
 use analysis::paper::{
     fig3_from_cells, fig4_from_cells, markdown_report, qmc_sweep, table1, table2, table3,
@@ -51,12 +59,14 @@ struct Args {
     report: Option<PathBuf>,
     timing: bool,
     fault_seed: Option<u64>,
+    check: bool,
+    json: bool,
 }
 
 fn usage() -> String {
     let names: Vec<String> = ARTIFACTS.iter().map(|(n, _)| format!("[--{n}]")).collect();
     format!(
-        "usage: repro [--quick|--full] {} [--csv DIR] [--report FILE.md] [--faults SEED] [--timing] [--list-artifacts]",
+        "usage: repro [--quick|--full] {} [--csv DIR] [--report FILE.md] [--faults SEED] [--timing] [--list-artifacts]\n       repro --check [--json]",
         names.join(" ")
     )
 }
@@ -117,12 +127,16 @@ fn parse_args() -> Args {
     let mut report = None;
     let mut timing = false;
     let mut fault_seed = None;
+    let mut check = false;
+    let mut json = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--quick" => full = false,
             "--full" => full = true,
             "--timing" => timing = true,
+            "--check" => check = true,
+            "--json" => json = true,
             "--csv" => csv_dir = Some(PathBuf::from(required_value(&mut args, "--csv"))),
             "--report" => report = Some(PathBuf::from(required_value(&mut args, "--report"))),
             "--faults" => {
@@ -156,6 +170,12 @@ fn parse_args() -> Args {
             }
         }
     }
+    if json && !check {
+        usage_error("--json only applies to --check");
+    }
+    if check && (full || timing || fault_seed.is_some() || !selected.is_empty()) {
+        usage_error("--check does not combine with experiment flags");
+    }
     let all = selected.is_empty();
     let has = |n: &str| all || selected.iter().any(|s| s == n);
     let mut cfg = if full {
@@ -178,7 +198,32 @@ fn parse_args() -> Args {
         report,
         timing,
         fault_seed,
+        check,
+        json,
     }
+}
+
+/// `repro --check`: run the mapcheck harness over every shipped workload
+/// and exit 0 (clean) or 1 (error diagnostics or cross-validation
+/// mismatch). Warnings are reported but do not fail the run.
+fn run_check(json: bool) -> ! {
+    let cells = match omp_mapcheck::check_all(None) {
+        Ok(cells) => cells,
+        Err(e) => {
+            eprintln!("repro: mapcheck capture failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    if json {
+        println!("{}", omp_mapcheck::render_json(&cells));
+    } else {
+        print!("{}", omp_mapcheck::render_text(&cells));
+    }
+    std::process::exit(if omp_mapcheck::has_errors(&cells) {
+        1
+    } else {
+        0
+    });
 }
 
 fn write_csv(dir: &Option<PathBuf>, name: &str, content: &str) {
@@ -193,6 +238,9 @@ fn write_csv(dir: &Option<PathBuf>, name: &str, content: &str) {
 
 fn main() {
     let args = parse_args();
+    if args.check {
+        run_check(args.json);
+    }
     let started = Instant::now();
     let mut timings: Vec<ArtifactTiming> = Vec::new();
     if let Some(seed) = args.fault_seed {

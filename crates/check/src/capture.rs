@@ -1,0 +1,44 @@
+//! MapIR capture: run a program against a recording runtime.
+
+use apu_mem::CostModel;
+use hsa_rocr::Topology;
+use omp_offload::{MapIr, OmpError, OmpRuntime, RuntimeConfig};
+use workloads::Workload;
+
+/// Run `f` against a capture-mode runtime and return the recorded MapIR.
+///
+/// Capture always runs under Implicit Zero-Copy: workloads issue the same
+/// directive stream regardless of configuration (that is the paper's
+/// semantic-equivalence premise), and the permissive XNACK-on configuration
+/// guarantees the recording pass itself never faults — so one capture can
+/// be [`check`](crate::check)ed against all four configurations.
+pub fn capture_run(
+    threads: usize,
+    f: impl FnOnce(&mut OmpRuntime) -> Result<(), OmpError>,
+) -> Result<MapIr, OmpError> {
+    let mut rt = OmpRuntime::builder(CostModel::mi300a_no_thp(), Topology::default())
+        .config(RuntimeConfig::ImplicitZeroCopy)
+        .threads(threads)
+        .capture(true)
+        .build()?;
+    f(&mut rt)?;
+    Ok(rt.take_mapir().expect("runtime was built in capture mode"))
+}
+
+/// Capture the MapIR of a [`Workload`].
+pub fn capture_workload(w: &dyn Workload, threads: usize) -> Result<MapIr, OmpError> {
+    capture_run(threads, |rt| w.run(rt))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capture_of_a_shipped_workload_is_nonempty_and_round_trips() {
+        let w = workloads::spec::Stencil::scaled(0.02);
+        let ir = capture_workload(&w, 1).unwrap();
+        assert!(ir.kernels() > 0);
+        assert_eq!(MapIr::parse(&ir.to_text()).unwrap(), ir);
+    }
+}

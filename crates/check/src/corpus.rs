@@ -1,0 +1,172 @@
+//! Golden corpus of minimal ill-formed programs.
+//!
+//! Each program is the smallest directive sequence that trips exactly one
+//! diagnostic code under its designated configuration. They serve as the
+//! cross-validation contract's executable specification: every program must
+//! be flagged with its code by BOTH the static checker (over a capture of
+//! the program) and the runtime sanitizer (during a real run), with the two
+//! passes agreeing on the complete code list.
+//!
+//! Programs that model fatal conditions (MC005's unmapped raw access under
+//! XNACK-off, MC006's partial overlap) abort the real run with an error —
+//! the sanitizer's findings up to the abort are the diagnosis.
+
+use apu_mem::AddrRange;
+use omp_offload::{DiagCode, MapEntry, OmpError, OmpRuntime, RuntimeConfig, TargetRegion};
+use sim_des::VirtDuration;
+use workloads::Workload;
+
+/// One deliberately-ill-formed program.
+pub struct GoldenProgram {
+    /// The code this program demonstrates.
+    pub code: DiagCode,
+    /// Short identifier.
+    pub name: &'static str,
+    /// Configuration under which the hazard manifests.
+    pub config: RuntimeConfig,
+    /// The program body. May return an error (some hazards are fatal at
+    /// runtime); callers check the sanitizer afterwards either way.
+    pub run: fn(&mut OmpRuntime) -> Result<(), OmpError>,
+}
+
+impl Workload for GoldenProgram {
+    fn name(&self) -> String {
+        self.name.to_string()
+    }
+
+    fn run(&self, rt: &mut OmpRuntime) -> Result<(), OmpError> {
+        (self.run)(rt)
+    }
+}
+
+const KB4: u64 = 4096;
+
+fn kernel(name: &'static str) -> TargetRegion<'static> {
+    TargetRegion::new(name, VirtDuration::from_micros(5))
+}
+
+/// MC001: enter without a matching exit — the mapping leaks.
+fn leak(rt: &mut OmpRuntime) -> Result<(), OmpError> {
+    let a = rt.host_alloc(0, KB4)?;
+    let r = AddrRange::new(a, KB4);
+    rt.host_write(0, r)?;
+    rt.target_enter_data(0, &[MapEntry::to(r)])?;
+    rt.target(0, kernel("leak").map(MapEntry::alloc(r)))
+}
+
+/// MC002: exit map of an extent that was never entered (fatal: the runtime
+/// reports `NotMapped` right after the sanitizer records the hazard).
+fn release_unmapped(rt: &mut OmpRuntime) -> Result<(), OmpError> {
+    let a = rt.host_alloc(0, KB4)?;
+    rt.target_exit_data(0, &[MapEntry::from(AddrRange::new(a, KB4))], false)
+}
+
+/// MC003: host writes after the to-transfer; the kernel then reads the
+/// stale device copy (no `always`, no `target update to`).
+fn stale_device_read(rt: &mut OmpRuntime) -> Result<(), OmpError> {
+    let a = rt.host_alloc(0, KB4)?;
+    let r = AddrRange::new(a, KB4);
+    rt.host_write(0, r)?;
+    rt.target_enter_data(0, &[MapEntry::to(r)])?;
+    rt.host_write(0, r)?; // device copy is now stale
+    rt.target(0, kernel("stale-read").map(MapEntry::to(r)))?;
+    rt.target_exit_data(0, &[MapEntry::alloc(r)], false)
+}
+
+/// MC004: the host reads kernel-written data before the deferred `from`
+/// transfer of a `nowait` region has run (classic result race).
+fn stale_host_read(rt: &mut OmpRuntime) -> Result<(), OmpError> {
+    let a = rt.host_alloc(0, KB4)?;
+    let r = AddrRange::new(a, KB4);
+    rt.host_write(0, r)?;
+    rt.target_nowait(0, kernel("producer").map(MapEntry::tofrom(r)))?;
+    rt.host_read(0, r); // from-transfer has not happened yet
+    rt.taskwait(0)
+}
+
+/// MC005: raw host-pointer access with no map, under a configuration whose
+/// GPU has no translation for it (fatal fault, paper §IV-B).
+fn raw_access_no_xnack(rt: &mut OmpRuntime) -> Result<(), OmpError> {
+    let a = rt.host_alloc(0, KB4)?;
+    rt.target(0, kernel("usm-only").access(AddrRange::new(a, KB4)))
+}
+
+/// MC006: second map partially overlaps the first with mismatched bounds
+/// (fatal: the runtime rejects partial overlaps).
+fn overlapping_double_map(rt: &mut OmpRuntime) -> Result<(), OmpError> {
+    let a = rt.host_alloc(0, 2 * KB4)?;
+    rt.target_enter_data(0, &[MapEntry::to(AddrRange::new(a, KB4))])?;
+    rt.target_enter_data(0, &[MapEntry::to(AddrRange::new(a.offset(KB4 / 2), KB4))])
+}
+
+/// MC007 (warning): re-mapping a present extent with a transfer direction
+/// but no `always` — nothing is transferred, only the refcount moves; the
+/// paper's zero-copy promotion candidate.
+fn redundant_remap(rt: &mut OmpRuntime) -> Result<(), OmpError> {
+    let a = rt.host_alloc(0, KB4)?;
+    let r = AddrRange::new(a, KB4);
+    rt.host_write(0, r)?;
+    rt.target_enter_data(0, &[MapEntry::to(r)])?;
+    rt.target(0, kernel("redundant").map(MapEntry::to(r)))?;
+    rt.target_exit_data(0, &[MapEntry::alloc(r)], false)
+}
+
+/// The full corpus: one program per diagnostic code.
+pub fn all() -> Vec<GoldenProgram> {
+    vec![
+        GoldenProgram {
+            code: DiagCode::Mc001,
+            name: "golden-mc001-leak",
+            config: RuntimeConfig::LegacyCopy,
+            run: leak,
+        },
+        GoldenProgram {
+            code: DiagCode::Mc002,
+            name: "golden-mc002-release-unmapped",
+            config: RuntimeConfig::LegacyCopy,
+            run: release_unmapped,
+        },
+        GoldenProgram {
+            code: DiagCode::Mc003,
+            name: "golden-mc003-stale-device-read",
+            config: RuntimeConfig::LegacyCopy,
+            run: stale_device_read,
+        },
+        GoldenProgram {
+            code: DiagCode::Mc004,
+            name: "golden-mc004-stale-host-read",
+            config: RuntimeConfig::LegacyCopy,
+            run: stale_host_read,
+        },
+        GoldenProgram {
+            code: DiagCode::Mc005,
+            name: "golden-mc005-raw-access-no-xnack",
+            config: RuntimeConfig::LegacyCopy,
+            run: raw_access_no_xnack,
+        },
+        GoldenProgram {
+            code: DiagCode::Mc006,
+            name: "golden-mc006-overlapping-double-map",
+            config: RuntimeConfig::ImplicitZeroCopy,
+            run: overlapping_double_map,
+        },
+        GoldenProgram {
+            code: DiagCode::Mc007,
+            name: "golden-mc007-redundant-remap",
+            config: RuntimeConfig::EagerMaps,
+            run: redundant_remap,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_covers_every_code_exactly_once() {
+        let corpus = all();
+        let codes: Vec<_> = corpus.iter().map(|p| p.code).collect();
+        assert_eq!(codes, DiagCode::ALL);
+    }
+}

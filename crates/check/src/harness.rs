@@ -1,0 +1,275 @@
+//! The mapcheck harness: capture → static check × configurations, with a
+//! sanitized real run cross-validating every cell.
+//!
+//! This is the engine behind `repro --check` and `apusim check`. Exit-code
+//! convention (enforced by the binaries): 0 clean, 1 diagnostics found or
+//! cross-validation mismatch, 2 usage error.
+
+use crate::{capture_workload, check};
+use apu_mem::CostModel;
+use hsa_rocr::Topology;
+use omp_offload::{DiagCode, Diagnostic, OmpError, OmpRuntime, RuntimeConfig, Severity};
+use workloads::{spec, MiniCg, NioSize, OpenFoamMini, QmcPack, Stream, Workload};
+
+/// The result of checking one (workload, configuration) cell.
+#[derive(Debug)]
+pub struct CheckCell {
+    /// Workload name.
+    pub workload: String,
+    /// Configuration the cell was checked under.
+    pub config: RuntimeConfig,
+    /// Static-checker diagnostics (abstract interpretation of the capture).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Runtime-sanitizer diagnostics from a real run.
+    pub sanitizer_diagnostics: Vec<Diagnostic>,
+    /// True when both passes found the same multiset of codes — the
+    /// cross-validation contract.
+    pub cross_validated: bool,
+}
+
+impl CheckCell {
+    /// True when the static pass found an error-severity diagnostic.
+    pub fn has_static_errors(&self) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity() == Severity::Error)
+    }
+}
+
+/// The workloads `repro --check` covers: every shipped program at the
+/// scales the test suites use.
+pub fn shipped_workloads() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(QmcPack::nio(NioSize { factor: 2 }).with_steps(3)),
+        Box::new(
+            QmcPack::nio(NioSize { factor: 2 })
+                .with_steps(3)
+                .with_nowait(),
+        ),
+        Box::new(spec::Stencil::scaled(0.02)),
+        Box::new(spec::Lbm::scaled(0.02)),
+        Box::new(spec::Ep::scaled(0.05)),
+        Box::new(spec::SpC::scaled(0.05)),
+        Box::new(spec::Bt::scaled(0.08)),
+        Box::new(Stream::scaled(0.05)),
+        Box::new(OpenFoamMini::scaled(0.02)),
+        Box::new(MiniCg::scaled(0.05)),
+        Box::new(MiniCg::scaled(0.05).with_nowait()),
+    ]
+}
+
+/// Configurations a workload is expected to run under: everything, unless
+/// the program needs `unified_shared_memory` semantics (then only the
+/// XNACK-enabled pair — elsewhere it fatal-faults, which MC005 reports when
+/// the static pass *is* run against those configurations).
+pub fn configs_for(w: &dyn Workload) -> Vec<RuntimeConfig> {
+    if w.requires_usm() {
+        vec![
+            RuntimeConfig::UnifiedSharedMemory,
+            RuntimeConfig::ImplicitZeroCopy,
+        ]
+    } else {
+        RuntimeConfig::ALL.to_vec()
+    }
+}
+
+fn sorted_codes(diags: &[Diagnostic]) -> Vec<DiagCode> {
+    let mut v: Vec<DiagCode> = diags.iter().map(|d| d.code).collect();
+    v.sort();
+    v
+}
+
+/// Check one workload: capture its MapIR once, statically check it against
+/// each compatible configuration, and cross-validate every cell with a
+/// sanitized real run.
+pub fn check_workload(w: &dyn Workload) -> Result<Vec<CheckCell>, OmpError> {
+    let threads = if w.name().contains("qmc") { 2 } else { 1 };
+    let ir = capture_workload(w, threads)?;
+    let mut cells = Vec::new();
+    for config in configs_for(w) {
+        let diagnostics = check(&ir, config);
+        let mut rt = OmpRuntime::builder(CostModel::mi300a_no_thp(), Topology::default())
+            .config(config)
+            .threads(threads)
+            .sanitize(true)
+            .build()?;
+        // A run may abort on a fatal hazard; the sanitizer's findings up to
+        // the abort are exactly what the static pass predicted.
+        let _ = w.run(&mut rt);
+        let sanitizer_diagnostics = rt.sanitizer_finalize().to_vec();
+        let cross_validated = sorted_codes(&diagnostics) == sorted_codes(&sanitizer_diagnostics);
+        cells.push(CheckCell {
+            workload: w.name(),
+            config,
+            diagnostics,
+            sanitizer_diagnostics,
+            cross_validated,
+        });
+    }
+    Ok(cells)
+}
+
+/// Check every shipped workload. `filter` restricts by case-insensitive
+/// name substring.
+pub fn check_all(filter: Option<&str>) -> Result<Vec<CheckCell>, OmpError> {
+    let mut cells = Vec::new();
+    for w in shipped_workloads() {
+        if let Some(f) = filter {
+            if !w.name().to_lowercase().contains(&f.to_lowercase()) {
+                continue;
+            }
+        }
+        cells.extend(check_workload(w.as_ref())?);
+    }
+    Ok(cells)
+}
+
+/// True when any cell fails the acceptance bar: an error-severity static
+/// diagnostic, or a static/dynamic verdict mismatch.
+pub fn has_errors(cells: &[CheckCell]) -> bool {
+    cells
+        .iter()
+        .any(|c| c.has_static_errors() || !c.cross_validated)
+}
+
+/// Human-readable report.
+pub fn render_text(cells: &[CheckCell]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "mapcheck: static map-clause analysis, cross-validated by the runtime sanitizer\n\n",
+    );
+    let mut current = String::new();
+    for c in cells {
+        if c.workload != current {
+            current = c.workload.clone();
+            out.push_str(&format!("{current}\n"));
+        }
+        let verdict = if !c.cross_validated {
+            "CROSS-VALIDATION MISMATCH"
+        } else if c.has_static_errors() {
+            "FAIL"
+        } else if c.diagnostics.is_empty() {
+            "clean"
+        } else {
+            "warnings"
+        };
+        out.push_str(&format!(
+            "  [{:>11}] {} ({} static, {} sanitizer)\n",
+            c.config.label(),
+            verdict,
+            c.diagnostics.len(),
+            c.sanitizer_diagnostics.len()
+        ));
+        for d in &c.diagnostics {
+            out.push_str(&format!("    {d}\n"));
+        }
+        if !c.cross_validated {
+            for d in &c.sanitizer_diagnostics {
+                out.push_str(&format!("    sanitizer: {d}\n"));
+            }
+        }
+    }
+    let (bad, total) = (
+        cells
+            .iter()
+            .filter(|c| c.has_static_errors() || !c.cross_validated)
+            .count(),
+        cells.len(),
+    );
+    out.push_str(&format!(
+        "\n{} cell(s) checked, {} failing, {} warning(s)\n",
+        total,
+        bad,
+        cells
+            .iter()
+            .flat_map(|c| &c.diagnostics)
+            .filter(|d| d.severity() == Severity::Warning)
+            .count()
+    ));
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_diag(d: &Diagnostic) -> String {
+    format!(
+        "{{\"code\":\"{}\",\"severity\":\"{}\",\"thread\":{},\"extent_start\":{},\"extent_len\":{},\"detail\":\"{}\"}}",
+        d.code,
+        d.severity(),
+        d.thread,
+        d.extent.start.as_u64(),
+        d.extent.len,
+        json_escape(&d.detail)
+    )
+}
+
+/// Machine-readable report (`repro --check --json`).
+pub fn render_json(cells: &[CheckCell]) -> String {
+    let mut out = String::from("{\"cells\":[");
+    for (i, c) in cells.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"workload\":\"{}\",\"config\":\"{}\",\"cross_validated\":{},\"static\":[",
+            json_escape(&c.workload),
+            c.config.label(),
+            c.cross_validated
+        ));
+        out.push_str(
+            &c.diagnostics
+                .iter()
+                .map(json_diag)
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push_str("],\"sanitizer\":[");
+        out.push_str(
+            &c.sanitizer_diagnostics
+                .iter()
+                .map(json_diag)
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push_str("]}");
+    }
+    out.push_str(&format!("],\"errors\":{}}}", has_errors(cells)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping_is_safe() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn one_cheap_cell_checks_clean_end_to_end() {
+        let w = spec::Ep::scaled(0.02);
+        let cells = check_workload(&w).unwrap();
+        assert_eq!(cells.len(), 4);
+        for c in &cells {
+            assert!(c.cross_validated, "{:?}", c);
+            assert!(c.diagnostics.is_empty(), "{:?}", c.diagnostics);
+        }
+        assert!(!has_errors(&cells));
+        let json = render_json(&cells);
+        assert!(json.contains("\"errors\":false"), "{json}");
+    }
+}

@@ -1,0 +1,45 @@
+//! # omp-mapcheck — static map-clause & data-environment analyzer
+//!
+//! The paper's central premise is that the four runtime configurations
+//! (Copy / USM / Implicit Zero-Copy / Eager Maps) are semantically
+//! equivalent implementations of the OpenMP data-environment model — but
+//! that equivalence only holds for *well-formed* programs: balanced
+//! enter/exit refcounts, no stale-copy reads in Copy mode, no raw
+//! `unified_shared_memory`-style accesses under XNACK-off configurations.
+//! This crate makes those properties checkable without running a workload
+//! to a fatal fault or a silently-stale value:
+//!
+//! 1. [`capture_workload`] runs a workload against a *recording* runtime
+//!    (`RuntimeBuilder::capture`): the data-environment op stream is
+//!    captured as a [`MapIr`](omp_offload::MapIr) without executing maps,
+//!    transfers, or kernels.
+//! 2. [`check`] abstractly interprets that stream against a symbolic
+//!    mapping table — per-extent refcounts plus host/device version
+//!    clocks — once per configuration, emitting structured
+//!    [`Diagnostic`](omp_offload::Diagnostic)s with stable `MC00x` codes.
+//! 3. The same invariants are checked dynamically by the runtime sanitizer
+//!    (`RuntimeBuilder::sanitize`); [`harness`] cross-validates the two
+//!    verdicts for every shipped workload, and [`corpus`] holds the golden
+//!    ill-formed programs that each trip one specific code in both passes.
+//!
+//! | Code | Severity | Meaning |
+//! |---|---|---|
+//! | MC001 | error | refcount imbalance: mapping leaked at program end |
+//! | MC002 | error | release/update of never-mapped or partially-overlapping extent |
+//! | MC003 | error | stale device read in Copy mode (host wrote after last to-transfer) |
+//! | MC004 | error | stale host read of device-written data without `from` |
+//! | MC005 | error | raw USM access under a non-XNACK configuration (fatal fault, paper §IV-B) |
+//! | MC006 | error | overlapping double-map with mismatched extents |
+//! | MC007 | warning | redundant re-map of a present extent — zero-copy promotion candidate |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod capture;
+mod checker;
+pub mod corpus;
+pub mod harness;
+
+pub use capture::{capture_run, capture_workload};
+pub use checker::check;
+pub use harness::{check_all, check_workload, has_errors, render_json, render_text, CheckCell};

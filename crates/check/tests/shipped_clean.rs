@@ -1,0 +1,66 @@
+//! Acceptance bar for the shipped programs: every workload `repro --check`
+//! covers must be clean — zero static diagnostics and zero sanitizer
+//! diagnostics — under every configuration it supports, with the two
+//! passes cross-validating. Also pins the reason `openfoam-mini-usm` is
+//! excluded from the XNACK-off configurations: checked against Copy
+//! statically, its raw accesses are exactly the MC005 fatal-fault hazard
+//! the paper's §IV-B describes.
+
+use omp_mapcheck::{capture_workload, check, check_workload, harness};
+use omp_offload::{DiagCode, MapIr, RuntimeConfig};
+use workloads::{NioSize, OpenFoamMini, QmcPack};
+
+#[test]
+fn every_shipped_workload_is_clean_under_all_compatible_configs() {
+    for w in harness::shipped_workloads() {
+        let cells = check_workload(w.as_ref()).expect("capture succeeds");
+        assert_eq!(cells.len(), harness::configs_for(w.as_ref()).len());
+        for c in &cells {
+            assert!(
+                c.diagnostics.is_empty(),
+                "{} [{}]: static diagnostics on a shipped workload: {:?}",
+                c.workload,
+                c.config.label(),
+                c.diagnostics
+            );
+            assert!(
+                c.sanitizer_diagnostics.is_empty(),
+                "{} [{}]: sanitizer diagnostics on a shipped workload: {:?}",
+                c.workload,
+                c.config.label(),
+                c.sanitizer_diagnostics
+            );
+            assert!(c.cross_validated);
+        }
+        assert!(!harness::has_errors(&cells));
+    }
+}
+
+/// The USM-only workload is not mis-gated: under the XNACK-off Copy
+/// configuration the static checker predicts its raw accesses fault (MC005),
+/// which is exactly why `configs_for` restricts it to the XNACK pair.
+#[test]
+fn openfoam_under_copy_is_predicted_to_fault() {
+    let w = OpenFoamMini::scaled(0.02);
+    let ir = capture_workload(&w, 1).expect("capture");
+    let diags = check(&ir, RuntimeConfig::LegacyCopy);
+    assert!(
+        diags.iter().any(|d| d.code == DiagCode::Mc005),
+        "expected MC005 under Copy: {diags:?}"
+    );
+    assert!(check(&ir, RuntimeConfig::UnifiedSharedMemory).is_empty());
+}
+
+/// A multi-threaded capture serializes and parses back identically — the
+/// MapIR text format is a faithful round-trip even for interleaved
+/// per-thread op streams with nowait kernels.
+#[test]
+fn qmcpack_capture_round_trips_through_text() {
+    let w = QmcPack::nio(NioSize { factor: 2 })
+        .with_steps(2)
+        .with_nowait();
+    let ir = capture_workload(&w, 2).expect("capture");
+    assert!(ir.kernels() > 0);
+    let text = ir.to_text();
+    assert_eq!(MapIr::parse(&text).expect("parse"), ir);
+}

@@ -1,0 +1,171 @@
+//! Property: well-formed map programs produce ZERO diagnostics — from the
+//! static checker under every configuration AND from the runtime sanitizer
+//! on a real run under every configuration.
+//!
+//! Random opcode traces are folded onto a small gated driver whose state
+//! machine only emits directive sequences that respect the data-environment
+//! contract: balanced enter/exit per buffer, host access only while a
+//! buffer is unmapped and no deferred transfer is in flight, `alloc`-only
+//! re-maps of present extents, `always` or `alloc` kernel maps on present
+//! extents, raw kernel accesses only into `omp_target_alloc` pool memory,
+//! and a drain epilogue (taskwait + exits + frees). If either pass reports
+//! anything on such a program, the checker (or sanitizer) has a false
+//! positive — the property that keeps mapcheck adoptable.
+
+use apu_mem::{AddrRange, CostModel};
+use hsa_rocr::Topology;
+use omp_mapcheck::{capture_run, check};
+use omp_offload::{MapDir, MapEntry, OmpError, OmpRuntime, RuntimeConfig, TargetRegion};
+use proptest::prelude::*;
+use sim_des::VirtDuration;
+
+const NBUF: usize = 4;
+const BUF: u64 = 8192;
+
+fn kernel(name: &'static str) -> TargetRegion<'static> {
+    TargetRegion::new(name, VirtDuration::from_micros(3))
+}
+
+/// Interpret the opcode trace as a well-formed program against `rt`.
+/// Deterministic in `ops`, so the captured and sanitized executions issue
+/// identical directive streams.
+fn drive(rt: &mut OmpRuntime, ops: &[(u8, u8, u8)]) -> Result<(), OmpError> {
+    let t = 0usize;
+    let mut bufs = Vec::with_capacity(NBUF);
+    for _ in 0..NBUF {
+        let a = rt.host_alloc(t, BUF)?;
+        let r = AddrRange::new(a, BUF);
+        rt.host_write(t, r)?;
+        bufs.push(r);
+    }
+    let pool = AddrRange::new(rt.omp_target_alloc(t, BUF)?, BUF);
+
+    // Per-buffer stack of enter directions (refcount model) and whether a
+    // nowait kernel's deferred exit is still in flight.
+    let mut stacks: Vec<Vec<MapDir>> = vec![Vec::new(); NBUF];
+    let mut pending = [false; NBUF];
+
+    for &(op, buf, aux) in ops {
+        let b = buf as usize % NBUF;
+        let r = bufs[b];
+        let closed = stacks[b].is_empty() && !pending[b];
+        match op % 8 {
+            0 if closed => rt.host_write(t, r)?,
+            1 if closed => rt.host_read(t, r),
+            2 => {
+                let dir = if closed {
+                    // First map may transfer; re-maps of a present extent
+                    // (explicitly entered or held by a nowait kernel's
+                    // deferred exit) must be `alloc` — anything else is
+                    // MC007-redundant.
+                    match aux % 3 {
+                        0 => MapDir::To,
+                        1 => MapDir::ToFrom,
+                        _ => MapDir::Alloc,
+                    }
+                } else {
+                    MapDir::Alloc
+                };
+                let entry = match dir {
+                    MapDir::To => MapEntry::to(r),
+                    MapDir::ToFrom => MapEntry::tofrom(r),
+                    _ => MapEntry::alloc(r),
+                };
+                rt.target_enter_data(t, &[entry])?;
+                stacks[b].push(dir);
+            }
+            3 if !stacks[b].is_empty() && !pending[b] => {
+                let entry = match stacks[b].pop().unwrap() {
+                    MapDir::Alloc => MapEntry::alloc(r),
+                    _ => MapEntry::from(r),
+                };
+                rt.target_exit_data(t, &[entry], false)?;
+            }
+            4 => {
+                if closed {
+                    // Fresh transient map; optionally nowait (the deferred
+                    // from-transfer blocks host access until taskwait).
+                    let region = kernel("prop-kernel").map(MapEntry::tofrom(r));
+                    if aux & 1 == 1 {
+                        rt.target_nowait(t, region)?;
+                        pending[b] = true;
+                    } else {
+                        rt.target(t, region)?;
+                    }
+                } else {
+                    // Present extent: only `alloc` or `always` maps are
+                    // hazard-free in Copy mode.
+                    let entry = if aux & 1 == 1 {
+                        MapEntry::tofrom(r).always()
+                    } else {
+                        MapEntry::alloc(r)
+                    };
+                    rt.target(t, kernel("prop-kernel").map(entry))?;
+                }
+            }
+            5 if !stacks[b].is_empty() && !pending[b] => {
+                if aux & 1 == 1 {
+                    rt.target_update(t, &[r], &[])?;
+                } else {
+                    rt.target_update(t, &[], &[r])?;
+                }
+            }
+            6 => rt.target(t, kernel("prop-pool").access(pool))?,
+            7 => {
+                rt.taskwait(t)?;
+                pending = [false; NBUF];
+            }
+            _ => {} // gated-out op: skip
+        }
+    }
+
+    // Drain epilogue: settle deferred transfers, unwind every stack.
+    rt.taskwait(t)?;
+    for b in 0..NBUF {
+        while let Some(dir) = stacks[b].pop() {
+            let entry = match dir {
+                MapDir::Alloc => MapEntry::alloc(bufs[b]),
+                _ => MapEntry::from(bufs[b]),
+            };
+            rt.target_exit_data(t, &[entry], false)?;
+        }
+    }
+    rt.omp_target_free(t, pool.start)?;
+    for r in &bufs {
+        rt.host_read(t, *r);
+        rt.host_free(t, r.start)?;
+    }
+    Ok(())
+}
+
+fn op_traces(max_len: usize) -> impl Strategy<Value = Vec<(u8, u8, u8)>> {
+    proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 4..max_len)
+}
+
+proptest! {
+    /// Zero diagnostics from both passes under all four configurations.
+    #[test]
+    fn wellformed_programs_are_clean(ops in op_traces(40)) {
+        let ir = capture_run(1, |rt| drive(rt, &ops)).expect("well-formed capture");
+        for config in RuntimeConfig::ALL {
+            let diags = check(&ir, config);
+            prop_assert!(
+                diags.is_empty(),
+                "static false positive under {}: {diags:?}\nops: {ops:?}",
+                config.label()
+            );
+            let mut rt = OmpRuntime::builder(CostModel::mi300a_no_thp(), Topology::default())
+                .config(config)
+                .sanitize(true)
+                .build()
+                .expect("build sanitized runtime");
+            drive(&mut rt, &ops).expect("well-formed run");
+            let dyn_diags = rt.sanitizer_finalize().to_vec();
+            prop_assert!(
+                dyn_diags.is_empty(),
+                "sanitizer false positive under {}: {dyn_diags:?}\nops: {ops:?}",
+                config.label()
+            );
+        }
+    }
+}

@@ -64,6 +64,8 @@ pub struct RuntimeBuilder {
     fault_plan: Option<FaultPlan>,
     mem_options: MemOptions,
     recovery: RecoveryPolicy,
+    capture: bool,
+    sanitize: bool,
 }
 
 impl RuntimeBuilder {
@@ -78,6 +80,8 @@ impl RuntimeBuilder {
             fault_plan: None,
             mem_options: MemOptions::default(),
             recovery: RecoveryPolicy::default(),
+            capture: false,
+            sanitize: false,
         }
     }
 
@@ -127,6 +131,30 @@ impl RuntimeBuilder {
     /// Override the recovery policy (retry budget, backoff schedule).
     pub fn recovery(mut self, policy: RecoveryPolicy) -> Self {
         self.recovery = policy;
+        self
+    }
+
+    /// Capture mode: record the program's data-environment operations into
+    /// a [`MapIr`](crate::MapIr) stream instead of executing them.
+    /// Address-producing calls (`host_alloc`, `omp_target_alloc`,
+    /// `declare_target_global`) still execute so the stream carries real
+    /// addresses; maps, updates, kernel launches, and kernel bodies do not
+    /// run. Retrieve the stream with
+    /// [`OmpRuntime::take_mapir`](crate::OmpRuntime::take_mapir).
+    /// Capture takes precedence over [`sanitize`](Self::sanitize).
+    pub fn capture(mut self, on: bool) -> Self {
+        self.capture = on;
+        self
+    }
+
+    /// Sanitizer mode: validate data-environment invariants dynamically
+    /// while the program executes, recording
+    /// [`Diagnostic`](crate::Diagnostic)s (same codes as the static
+    /// `omp-mapcheck` checker) into the report's
+    /// [`sanitizer`](crate::RunReport::sanitizer) field. Execution itself is
+    /// unchanged — the sanitizer observes, it never blocks or repairs.
+    pub fn sanitize(mut self, on: bool) -> Self {
+        self.sanitize = on;
         self
     }
 
@@ -198,6 +226,8 @@ impl RuntimeBuilder {
             self.threads,
             self.recovery,
             degraded_from,
+            self.capture,
+            self.sanitize,
         ))
     }
 }

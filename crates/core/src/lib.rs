@@ -47,19 +47,25 @@
 mod builder;
 mod card;
 mod config;
+pub mod diag;
 mod error;
 mod globals;
 mod kernel;
+mod mapir;
 mod mapping;
 mod runtime;
+mod sanitize;
 mod trace;
 
 pub use builder::{RecoveryPolicy, RuntimeBuilder};
 pub use card::{CardReport, CardRuntime, Fabric};
 pub use config::{RunEnv, RuntimeConfig};
+pub use diag::{DiagCode, Diagnostic, Severity};
 pub use error::OmpError;
 pub use globals::{GlobalEntry, GlobalId, GlobalRegistry};
 pub use kernel::{GpuPerf, KernelBody, KernelCtx, TargetRegion};
+pub use mapir::{KernelOp, MapIr, MapOp, MapRecord};
 pub use mapping::{MapDir, MapEntry, Mapping, MappingTable, Presence};
 pub use runtime::{OmpRuntime, RunReport};
+pub use sanitize::SanitizerReport;
 pub use trace::{KernelTraceEntry, OverheadLedger, RecoveryAction, RecoveryEvent};

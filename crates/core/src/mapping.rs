@@ -38,7 +38,7 @@ impl MapDir {
 }
 
 /// One `map` clause item.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MapEntry {
     /// Host range being mapped.
     pub range: AddrRange,

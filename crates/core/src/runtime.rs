@@ -7,11 +7,14 @@
 //! to the active configuration and attributes overheads to the MM/MI ledger.
 
 use crate::builder::{RecoveryPolicy, RuntimeBuilder};
-use crate::config::{RunEnv, RuntimeConfig};
+use crate::config::RuntimeConfig;
+use crate::diag::Diagnostic;
 use crate::error::OmpError;
 use crate::globals::{GlobalId, GlobalRegistry};
 use crate::kernel::{KernelCtx, TargetRegion};
+use crate::mapir::{KernelOp, MapIr, MapOp};
 use crate::mapping::{MapEntry, MappingTable, Presence};
+use crate::sanitize::{MapSanitizer, SanitizerReport};
 use crate::trace::{KernelTraceEntry, OverheadLedger, RecoveryAction, RecoveryEvent};
 use apu_mem::{AddrRange, ApuMemory, CostModel, MemError, MemStats, VirtAddr, XnackMode};
 use hsa_rocr::{ApiStats, HsaRuntime, Topology};
@@ -44,6 +47,9 @@ pub struct RunReport {
     /// When startup degradation replaced the requested configuration, the
     /// configuration originally asked for.
     pub degraded_from: Option<RuntimeConfig>,
+    /// Map-sanitizer findings, when the runtime was built with
+    /// [`RuntimeBuilder::sanitize`](crate::RuntimeBuilder::sanitize).
+    pub sanitizer: Option<SanitizerReport>,
 }
 
 /// The OpenMP offloading runtime for one run.
@@ -67,6 +73,12 @@ pub struct OmpRuntime {
     /// sets host-side so kernels never hit a fatal fault.
     xnack_lost: bool,
     recovery_log: Vec<RecoveryEvent>,
+    /// Capture mode: data-environment directives are recorded here instead
+    /// of executing (address-producing calls still execute so the stream
+    /// carries real addresses).
+    capture: Option<MapIr>,
+    /// Sanitizer mode: dynamic invariant checking alongside execution.
+    sanitizer: Option<MapSanitizer>,
 }
 
 impl OmpRuntime {
@@ -84,6 +96,8 @@ impl OmpRuntime {
         threads: usize,
         recovery: RecoveryPolicy,
         degraded_from: Option<RuntimeConfig>,
+        capture: bool,
+        sanitize: bool,
     ) -> Self {
         let mut rt = OmpRuntime {
             hsa,
@@ -100,6 +114,10 @@ impl OmpRuntime {
             degraded_from,
             xnack_lost: false,
             recovery_log: Vec::new(),
+            capture: capture.then(MapIr::new),
+            // Capture wins: recorded directives never execute, so there is
+            // nothing for a sanitizer to observe.
+            sanitizer: (sanitize && !capture).then(|| MapSanitizer::new(config)),
         };
         if let Some(from) = degraded_from {
             rt.ledger.degradations += 1;
@@ -110,53 +128,6 @@ impl OmpRuntime {
             });
         }
         rt
-    }
-
-    /// A runtime in `config` with `threads` OpenMP host threads. Performs
-    /// device initialization (code-object load, queues, runtime-internal
-    /// allocations) on thread 0 and per-thread setup on the rest.
-    #[deprecated(note = "use OmpRuntime::builder(cost, topo).config(..).threads(..).build()")]
-    pub fn new(
-        cost: CostModel,
-        topo: Topology,
-        config: RuntimeConfig,
-        threads: usize,
-    ) -> Result<Self, OmpError> {
-        Self::builder(cost, topo)
-            .config(config)
-            .threads(threads)
-            .build()
-    }
-
-    /// A runtime over an explicit system kind (APU or discrete GPU).
-    #[deprecated(
-        note = "use OmpRuntime::builder(cost, topo).config(..).system(..).threads(..).build()"
-    )]
-    pub fn new_system(
-        cost: CostModel,
-        topo: Topology,
-        kind: apu_mem::SystemKind,
-        config: RuntimeConfig,
-        threads: usize,
-    ) -> Result<Self, OmpError> {
-        Self::builder(cost, topo)
-            .config(config)
-            .system(kind)
-            .threads(threads)
-            .build()
-    }
-
-    /// Resolve the configuration from a deployment environment, as the real
-    /// stack does at startup. A non-APU environment gets an MI200-class
-    /// discrete device.
-    #[deprecated(note = "use OmpRuntime::builder(cost, topo).env(..).threads(..).build()")]
-    pub fn from_env(
-        cost: CostModel,
-        topo: Topology,
-        env: RunEnv,
-        threads: usize,
-    ) -> Result<Self, OmpError> {
-        Self::builder(cost, topo).env(env).threads(threads).build()
     }
 
     /// The active configuration.
@@ -212,13 +183,45 @@ impl OmpRuntime {
 
     /// Allocate host (OS) memory on behalf of `thread`.
     pub fn host_alloc(&mut self, thread: usize, len: u64) -> Result<VirtAddr, OmpError> {
-        Ok(self.hsa.host_alloc(thread, len)?)
+        let addr = self.hsa.host_alloc(thread, len)?;
+        self.record(
+            thread,
+            MapOp::HostAlloc {
+                range: AddrRange::new(addr, len),
+            },
+        );
+        Ok(addr)
     }
 
     /// Free host memory. GPU translations for the region are torn down, so
     /// re-allocated regions fault again on first GPU touch.
     pub fn host_free(&mut self, thread: usize, addr: VirtAddr) -> Result<(), OmpError> {
+        self.record(thread, MapOp::HostFree { addr });
         Ok(self.hsa.host_free(thread, addr)?)
+    }
+
+    /// Host-side write to `range` (CPU initialization or update of a
+    /// buffer): faults the pages in host-side, informs the sanitizer's
+    /// staleness clocks, and is recorded in capture mode. Workloads use this
+    /// instead of touching [`mem_mut`](Self::mem_mut) directly so host-side
+    /// data traffic is visible to the checking passes.
+    pub fn host_write(&mut self, thread: usize, range: AddrRange) -> Result<(), OmpError> {
+        self.record(thread, MapOp::HostWrite { range });
+        if let Some(s) = &mut self.sanitizer {
+            s.on_host_write(thread as u32, range);
+        }
+        self.hsa.mem_mut().host_touch(range)?;
+        Ok(())
+    }
+
+    /// Host-side read of `range` (result consumption, convergence checks).
+    /// Pure bookkeeping: checks the sanitizer's staleness clocks (MC004) and
+    /// is recorded in capture mode.
+    pub fn host_read(&mut self, thread: usize, range: AddrRange) {
+        self.record(thread, MapOp::HostRead { range });
+        if let Some(s) = &mut self.sanitizer {
+            s.on_host_read(thread as u32, range);
+        }
     }
 
     /// Host-side compute on `thread` (advances its virtual clock).
@@ -235,11 +238,24 @@ impl OmpRuntime {
         let d = self.pool_allocate_recovered(thread, len)?;
         let pages = self.mem().page_size().pages_covering(d, len);
         self.ledger.mm_alloc += self.mem().cost().pool_alloc_cost(pages);
+        self.record(
+            thread,
+            MapOp::PoolAlloc {
+                range: AddrRange::new(d, len),
+            },
+        );
+        if let Some(s) = &mut self.sanitizer {
+            s.on_pool_alloc(AddrRange::new(d, len));
+        }
         Ok(d)
     }
 
     /// `omp_target_free`.
     pub fn omp_target_free(&mut self, thread: usize, addr: VirtAddr) -> Result<(), OmpError> {
+        self.record(thread, MapOp::PoolFree { addr });
+        if let Some(s) = &mut self.sanitizer {
+            s.on_pool_free(addr);
+        }
         self.hsa.pool_free(thread, addr)?;
         Ok(())
     }
@@ -272,7 +288,15 @@ impl OmpRuntime {
         } else {
             None
         };
-        Ok(self.globals.register(AddrRange::new(host, len), device))
+        let id = self.globals.register(AddrRange::new(host, len), device);
+        self.record(
+            thread,
+            MapOp::GlobalDecl {
+                id: id.0,
+                host: AddrRange::new(host, len),
+            },
+        );
+        Ok(id)
     }
 
     /// Host address of a global (for CPU-side initialization).
@@ -294,7 +318,10 @@ impl OmpRuntime {
         entries: &[MapEntry],
     ) -> Result<(), OmpError> {
         for e in entries {
-            self.begin_map(thread, e)?;
+            self.record(thread, MapOp::MapEnter { entry: *e });
+            if self.capture.is_none() {
+                self.begin_map(thread, e)?;
+            }
         }
         Ok(())
     }
@@ -308,7 +335,10 @@ impl OmpRuntime {
         delete: bool,
     ) -> Result<(), OmpError> {
         for e in entries {
-            self.end_map(thread, e, delete)?;
+            self.record(thread, MapOp::MapExit { entry: *e, delete });
+            if self.capture.is_none() {
+                self.end_map(thread, e, delete)?;
+            }
         }
         Ok(())
     }
@@ -338,7 +368,28 @@ impl OmpRuntime {
         to: &[AddrRange],
         from: &[AddrRange],
     ) -> Result<(), OmpError> {
+        if self.capture.is_some() {
+            self.record(
+                thread,
+                MapOp::Update {
+                    to: to.to_vec(),
+                    from: from.to_vec(),
+                },
+            );
+            return Ok(());
+        }
         if !self.config.is_zero_copy() {
+            if self.sanitizer.is_some() {
+                let tov: Vec<(AddrRange, Presence)> =
+                    to.iter().map(|r| (*r, self.mapping.presence(r))).collect();
+                let fromv: Vec<(AddrRange, Presence)> = from
+                    .iter()
+                    .map(|r| (*r, self.mapping.presence(r)))
+                    .collect();
+                if let Some(s) = &mut self.sanitizer {
+                    s.on_update(thread as u32, &tov, &fromv);
+                }
+            }
             for r in to {
                 let dev = self.require_translation(r)?;
                 self.issue_copy(thread, r.start, dev, r.len, false)?;
@@ -365,8 +416,23 @@ impl OmpRuntime {
             body,
         } = region;
 
+        if self.capture.is_some() {
+            let op = MapOp::Kernel(KernelOp {
+                name: name.to_string(),
+                maps,
+                raw: raw_accesses,
+                globals: globals.iter().map(|g| g.0).collect(),
+                nowait: false,
+            });
+            self.record(thread, op);
+            return Ok(());
+        }
+
         for e in &maps {
             self.begin_map(thread, e)?;
+        }
+        if let Some(s) = &mut self.sanitizer {
+            s.on_kernel(thread as u32, &maps, &raw_accesses);
         }
 
         // Globals: Copy-style handling issues a system-to-system transfer
@@ -482,8 +548,23 @@ impl OmpRuntime {
             body,
         } = region;
 
+        if self.capture.is_some() {
+            let op = MapOp::Kernel(KernelOp {
+                name: name.to_string(),
+                maps,
+                raw: raw_accesses,
+                globals: globals.iter().map(|g| g.0).collect(),
+                nowait: true,
+            });
+            self.record(thread, op);
+            return Ok(());
+        }
+
         for e in &maps {
             self.begin_map(thread, e)?;
+        }
+        if let Some(s) = &mut self.sanitizer {
+            s.on_kernel(thread as u32, &maps, &raw_accesses);
         }
         let mut access: Vec<AddrRange> = Vec::with_capacity(maps.len() + globals.len());
         let mut global_addrs = Vec::with_capacity(globals.len());
@@ -564,6 +645,7 @@ impl OmpRuntime {
     /// `#pragma omp taskwait`: block `thread` until all of its outstanding
     /// `target nowait` regions complete, then run their deferred exit maps.
     pub fn taskwait(&mut self, thread: usize) -> Result<(), OmpError> {
+        self.record(thread, MapOp::Taskwait);
         let pending = std::mem::take(&mut self.pending_nowait[thread]);
         let tokens: Vec<AsyncToken> = pending.iter().map(|(t, _)| *t).collect();
         self.hsa.await_kernels(thread, &tokens);
@@ -581,6 +663,51 @@ impl OmpRuntime {
         self.pending_nowait.iter().map(Vec::len).sum()
     }
 
+    /// True when this runtime records MapIR instead of executing the data
+    /// environment (built with [`RuntimeBuilder::capture`](crate::RuntimeBuilder::capture)).
+    pub fn is_capturing(&self) -> bool {
+        self.capture.is_some()
+    }
+
+    /// Take the MapIR captured so far (capture mode only; `None` otherwise
+    /// or when already taken).
+    pub fn take_mapir(&mut self) -> Option<MapIr> {
+        self.capture.take()
+    }
+
+    /// Sanitizer diagnostics recorded so far (empty when the sanitizer is
+    /// off). End-of-program leak checks only appear after
+    /// [`sanitizer_finalize`](Self::sanitizer_finalize) or `finish`.
+    pub fn sanitizer_diagnostics(&self) -> &[Diagnostic] {
+        self.sanitizer.as_ref().map_or(&[], |s| s.diagnostics())
+    }
+
+    /// Run the sanitizer's end-of-program checks (leaked mappings → MC001)
+    /// against the live table and return everything found. Idempotent; for
+    /// use when a run aborts early and `finish` is never reached.
+    pub fn sanitizer_finalize(&mut self) -> &[Diagnostic] {
+        match &mut self.sanitizer {
+            Some(s) => {
+                s.end_of_program(&self.mapping);
+                s.diagnostics()
+            }
+            None => &[],
+        }
+    }
+
+    fn finalize_sanitizer(&mut self) -> Option<SanitizerReport> {
+        let mut s = self.sanitizer.take()?;
+        s.end_of_program(&self.mapping);
+        Some(s.into_report())
+    }
+
+    /// Append to the capture stream (no-op unless in capture mode).
+    fn record(&mut self, thread: usize, op: MapOp) {
+        if let Some(ir) = &mut self.capture {
+            ir.push(thread as u32, op);
+        }
+    }
+
     /// Finish the run: resolve the schedule and collect all statistics.
     pub fn finish(self) -> RunReport {
         self.finish_with(&RunOptions::noiseless())
@@ -590,10 +717,11 @@ impl OmpRuntime {
     /// under different noise seeds (the paper's N-runs methodology).
     /// Returns the full report for the first seed plus every makespan.
     pub fn finish_replicated(
-        self,
+        mut self,
         opts: &RunOptions,
         seeds: &[u64],
     ) -> (RunReport, Vec<VirtDuration>) {
+        let sanitizer = self.finalize_sanitizer();
         let config = self.config;
         let threads = self.threads;
         let ledger = self.ledger;
@@ -618,13 +746,15 @@ impl OmpRuntime {
                 fault_stats,
                 recovery_log,
                 degraded_from,
+                sanitizer,
             },
             makespans,
         )
     }
 
     /// Finish with explicit scheduling options (noise model, seed).
-    pub fn finish_with(self, opts: &RunOptions) -> RunReport {
+    pub fn finish_with(mut self, opts: &RunOptions) -> RunReport {
+        let sanitizer = self.finalize_sanitizer();
         let config = self.config;
         let threads = self.threads;
         let ledger = self.ledger;
@@ -646,6 +776,7 @@ impl OmpRuntime {
             fault_stats,
             recovery_log,
             degraded_from,
+            sanitizer,
         }
     }
 
@@ -807,7 +938,11 @@ impl OmpRuntime {
 
     fn begin_map(&mut self, thread: usize, e: &MapEntry) -> Result<(), OmpError> {
         self.ledger.maps += 1;
-        match self.mapping.presence(&e.range) {
+        let presence = self.mapping.presence(&e.range);
+        if let Some(s) = &mut self.sanitizer {
+            s.on_map_enter(thread as u32, e, presence);
+        }
+        match presence {
             Presence::Partial => return Err(OmpError::PartialOverlap { range: e.range }),
             Presence::Present => {
                 self.mapping.retain(&e.range)?;
@@ -843,6 +978,16 @@ impl OmpRuntime {
 
     fn end_map(&mut self, thread: usize, e: &MapEntry, delete: bool) -> Result<(), OmpError> {
         self.ledger.maps += 1;
+        if self.sanitizer.is_some() {
+            let presence = self.mapping.presence(&e.range);
+            let disappearing = match self.mapping.find(e.range.start) {
+                Some(m) => m.refcount == 1 || delete,
+                None => true,
+            };
+            if let Some(s) = &mut self.sanitizer {
+                s.on_map_exit(thread as u32, e, presence, disappearing);
+            }
+        }
         if self.config.is_zero_copy() {
             self.mapping.release(&e.range, delete)?;
             return Ok(());
@@ -875,6 +1020,7 @@ impl OmpRuntime {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::RunEnv;
     use crate::mapping::MapEntry;
 
     fn rt(config: RuntimeConfig) -> OmpRuntime {
@@ -1301,24 +1447,6 @@ mod tests {
         ));
     }
 
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_constructors_still_build() {
-        let r = OmpRuntime::new(
-            CostModel::mi300a_no_thp(),
-            Topology::default(),
-            RuntimeConfig::ImplicitZeroCopy,
-            2,
-        )
-        .unwrap();
-        assert_eq!(r.threads(), 2);
-        let mut env = RunEnv::mi300a();
-        env.requires_usm = true;
-        let r =
-            OmpRuntime::from_env(CostModel::mi300a_no_thp(), Topology::default(), env, 1).unwrap();
-        assert_eq!(r.config(), RuntimeConfig::UnifiedSharedMemory);
-    }
-
     fn faulty_rt(config: RuntimeConfig, spec: sim_des::FaultSpec, seed: u64) -> OmpRuntime {
         OmpRuntime::builder(CostModel::mi300a_no_thp(), Topology::default())
             .config(config)
@@ -1461,5 +1589,106 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    fn issue_small_program(r: &mut OmpRuntime) {
+        let a = r.host_alloc(0, 8192).unwrap();
+        let range = AddrRange::new(a, 8192);
+        r.host_write(0, range).unwrap();
+        r.target_enter_data(0, &[MapEntry::to(range)]).unwrap();
+        let region =
+            TargetRegion::new("k", VirtDuration::from_micros(5)).map(MapEntry::alloc(range));
+        r.target(0, region).unwrap();
+        r.target_exit_data(0, &[MapEntry::from(range)], false)
+            .unwrap();
+        r.host_read(0, range);
+        r.host_free(0, a).unwrap();
+    }
+
+    #[test]
+    fn capture_records_without_executing() {
+        let mut r = OmpRuntime::builder(CostModel::mi300a_no_thp(), Topology::default())
+            .config(RuntimeConfig::ImplicitZeroCopy)
+            .capture(true)
+            .build()
+            .unwrap();
+        assert!(r.is_capturing());
+        issue_small_program(&mut r);
+        // No data-environment execution happened.
+        assert_eq!(r.live_mappings(), 0);
+        assert_eq!(r.ledger().kernels, 0);
+        assert_eq!(r.ledger().maps, 0);
+        let ir = r.take_mapir().expect("capture present");
+        assert_eq!(ir.kernels(), 1);
+        // host_alloc, host_write, enter, kernel, exit, host_read, host_free.
+        assert_eq!(ir.len(), 7);
+        // The stream round-trips through the text format.
+        assert_eq!(crate::mapir::MapIr::parse(&ir.to_text()).unwrap(), ir);
+        assert!(r.take_mapir().is_none(), "take drains the capture");
+    }
+
+    #[test]
+    fn capture_runs_the_same_program_regardless_of_its_own_config() {
+        // Workloads issue identical directive streams under every
+        // configuration, so one capture (modulo addresses) stands for all.
+        let build = |config| {
+            let mut r = OmpRuntime::builder(CostModel::mi300a_no_thp(), Topology::default())
+                .config(config)
+                .capture(true)
+                .build()
+                .unwrap();
+            issue_small_program(&mut r);
+            r.take_mapir().unwrap()
+        };
+        let a = build(RuntimeConfig::ImplicitZeroCopy);
+        let b = build(RuntimeConfig::LegacyCopy);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sanitizer_is_silent_on_a_clean_run_and_flags_a_leak() {
+        for config in RuntimeConfig::ALL {
+            let mut r = OmpRuntime::builder(CostModel::mi300a_no_thp(), Topology::default())
+                .config(config)
+                .sanitize(true)
+                .build()
+                .unwrap();
+            issue_small_program(&mut r);
+            let report = r.finish().sanitizer.expect("sanitizer report");
+            assert!(report.is_clean(), "{config:?}: {:?}", report.diagnostics);
+        }
+
+        let mut r = OmpRuntime::builder(CostModel::mi300a_no_thp(), Topology::default())
+            .config(RuntimeConfig::LegacyCopy)
+            .sanitize(true)
+            .build()
+            .unwrap();
+        let a = r.host_alloc(0, 4096).unwrap();
+        r.target_enter_data(0, &[MapEntry::to(AddrRange::new(a, 4096))])
+            .unwrap();
+        let report = r.finish().sanitizer.unwrap();
+        let codes: Vec<_> = report.diagnostics.iter().map(|d| d.code).collect();
+        assert_eq!(codes, [crate::diag::DiagCode::Mc001]);
+    }
+
+    #[test]
+    fn sanitizer_does_not_change_measured_behavior() {
+        let run = |sanitize: bool| {
+            let mut r = OmpRuntime::builder(CostModel::mi300a_no_thp(), Topology::default())
+                .config(RuntimeConfig::LegacyCopy)
+                .sanitize(sanitize)
+                .build()
+                .unwrap();
+            issue_small_program(&mut r);
+            let report = r.finish();
+            (
+                report.makespan,
+                report.ledger.copies,
+                report.ledger.bytes_copied,
+                report.ledger.maps,
+                report.ledger.kernels,
+            )
+        };
+        assert_eq!(run(false), run(true));
     }
 }

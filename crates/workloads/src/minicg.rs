@@ -91,7 +91,7 @@ impl Workload for MiniCg {
         let alloc_touched = |rt: &mut OmpRuntime, len: u64| -> Result<AddrRange, OmpError> {
             let a = rt.host_alloc(t, len)?;
             let r = AddrRange::new(a, len);
-            rt.mem_mut().host_touch(r)?;
+            rt.host_write(t, r)?;
             Ok(r)
         };
         let matrix = alloc_touched(rt, self.matrix_bytes)?;

@@ -72,12 +72,16 @@ impl Workload for OpenFoamMini {
         "openfoam-mini-usm".to_string()
     }
 
+    fn requires_usm(&self) -> bool {
+        true
+    }
+
     fn run(&self, rt: &mut OmpRuntime) -> Result<(), OmpError> {
         let t = 0;
         let alloc_touched = |rt: &mut OmpRuntime, len: u64| -> Result<AddrRange, OmpError> {
             let a = rt.host_alloc(t, len)?;
             let r = AddrRange::new(a, len);
-            rt.mem_mut().host_touch(r)?;
+            rt.host_write(t, r)?;
             Ok(r)
         };
         // Everything is plain host memory; nothing is ever mapped.

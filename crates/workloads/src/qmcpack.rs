@@ -204,7 +204,7 @@ impl QmcPack {
         // --- Setup on thread 0: spline table, ahead-of-time transfer. ---
         let spline = rt.host_alloc(0, self.spline_bytes())?;
         let spline_range = AddrRange::new(spline, self.spline_bytes());
-        rt.mem_mut().host_touch(spline_range)?; // I/O fills it on the host
+        rt.host_write(0, spline_range)?; // I/O fills it on the host
         if self.validate {
             // Seed a header the spline-eval bodies will read.
             let hdr: Vec<u8> = (1..=8u64).flat_map(|v| (v as f64).to_le_bytes()).collect();
@@ -229,7 +229,7 @@ impl QmcPack {
             let alloc_touched = |rt: &mut OmpRuntime, len: u64| -> Result<AddrRange, OmpError> {
                 let a = rt.host_alloc(t, len)?;
                 let r = AddrRange::new(a, len);
-                rt.mem_mut().host_touch(r)?;
+                rt.host_write(t, r)?;
                 Ok(r)
             };
             let positions = alloc_touched(rt, self.positions_bytes())?;

@@ -76,12 +76,12 @@ impl Workload for Bt {
         for _cycle in 0..self.cycles {
             let big = rt.host_alloc(t, self.big_bytes)?;
             let big_r = AddrRange::new(big, self.big_bytes);
-            rt.mem_mut().host_touch(big_r)?;
+            rt.host_write(t, big_r)?;
             let mut auxes = Vec::with_capacity(self.aux_arrays);
             for _ in 0..self.aux_arrays {
                 let a = rt.host_alloc(t, self.aux_bytes)?;
                 let r = AddrRange::new(a, self.aux_bytes);
-                rt.mem_mut().host_touch(r)?;
+                rt.host_write(t, r)?;
                 auxes.push(r);
             }
             rt.host_compute(t, VirtDuration::from_micros(300));

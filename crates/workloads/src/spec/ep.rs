@@ -72,7 +72,7 @@ impl Workload for Ep {
 
         let scalar = rt.host_alloc(t, self.scalar_bytes)?;
         let scalar_r = AddrRange::new(scalar, self.scalar_bytes);
-        rt.mem_mut().host_touch(scalar_r)?;
+        rt.host_write(t, scalar_r)?;
 
         rt.target_enter_data(t, &[MapEntry::alloc(arrays_r)])?;
 

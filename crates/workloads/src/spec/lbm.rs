@@ -66,12 +66,12 @@ impl Workload for Lbm {
         let t = 0;
         let lattice = rt.host_alloc(t, self.lattice_bytes)?;
         let lattice_r = AddrRange::new(lattice, self.lattice_bytes);
-        rt.mem_mut().host_touch(lattice_r)?; // host builds the obstacle grid
+        rt.host_write(t, lattice_r)?; // host builds the obstacle grid
         rt.host_compute(t, VirtDuration::from_millis(80));
 
         let params = rt.host_alloc(t, self.param_bytes)?;
         let params_r = AddrRange::new(params, self.param_bytes);
-        rt.mem_mut().host_touch(params_r)?;
+        rt.host_write(t, params_r)?;
 
         // The large transfer at the beginning of the application.
         rt.target_enter_data(t, &[MapEntry::to(lattice_r), MapEntry::to(params_r)])?;

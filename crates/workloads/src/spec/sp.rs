@@ -76,7 +76,7 @@ impl Workload for SpC {
             for _ in 0..self.arrays_per_cycle {
                 let a = rt.host_alloc(t, self.array_bytes)?;
                 let r = AddrRange::new(a, self.array_bytes);
-                rt.mem_mut().host_touch(r)?;
+                rt.host_write(t, r)?;
                 arrays.push(r);
             }
             rt.host_compute(t, VirtDuration::from_micros(200));

@@ -67,7 +67,7 @@ impl Workload for Stencil {
         let t = 0; // SPECaccel runs single host thread per rank
         let grid = rt.host_alloc(t, self.grid_bytes)?;
         let grid_r = AddrRange::new(grid, self.grid_bytes);
-        rt.mem_mut().host_touch(grid_r)?; // host reads the input deck
+        rt.host_write(t, grid_r)?; // host reads the input deck
         rt.host_compute(t, VirtDuration::from_millis(50));
 
         let work = rt.host_alloc(t, self.work_bytes)?;

@@ -72,7 +72,7 @@ impl Workload for Stream {
         for _ in 0..3 {
             let a = rt.host_alloc(t, n)?;
             let r = AddrRange::new(a, n);
-            rt.mem_mut().host_touch(r)?;
+            rt.host_write(t, r)?;
             arrays.push(r);
         }
         let (a, b, c) = (arrays[0], arrays[1], arrays[2]);
@@ -83,7 +83,7 @@ impl Workload for Stream {
         // stays persistently mapped; `always(from)` forces the read-back.
         let dot = rt.host_alloc(t, 64)?;
         let dot_r = AddrRange::new(dot, 64);
-        rt.mem_mut().host_touch(dot_r)?;
+        rt.host_write(t, dot_r)?;
         rt.target_enter_data(t, &[MapEntry::alloc(dot_r)])?;
 
         for _ in 0..self.iterations {

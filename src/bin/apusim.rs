@@ -8,11 +8,18 @@
 //! apusim run <workload> [--config copy|usm|izc|eager] [--threads N]
 //!            [--scale F] [--steps N] [--discrete] [--mem-report]
 //!            [--trace FILE.json]
+//! apusim check [--json] [NAME]
 //! ```
 //!
 //! `run` executes one workload under one configuration and prints the
 //! makespan, the MM/MI ledger and the HSA call statistics; `--trace` also
 //! writes a Chrome-trace timeline of the schedule.
+//!
+//! `check` runs the mapcheck harness (static map-clause analysis of a
+//! captured MapIR, cross-validated by a sanitized real run) over the
+//! shipped workloads, optionally filtered by a case-insensitive name
+//! substring; exits 1 if any cell has error diagnostics or a
+//! static/sanitizer mismatch.
 
 use mi300a_zerocopy::analysis::paper::{qmc_sweep, PaperConfig};
 use mi300a_zerocopy::analysis::timeline::chrome_trace;
@@ -27,7 +34,7 @@ use mi300a_zerocopy::workloads::{
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  apusim list\n  apusim costs\n  apusim sweep [--sizes 2,8,32] [--threads 1,4,8] [--steps N]\n  apusim env [--no-apu] [--no-xnack] [--apu-maps] [--eager] [--usm]\n  apusim run <workload> [--config copy|usm|izc|eager] [--threads N] [--scale F] [--steps N] [--discrete] [--mem-report] [--trace FILE.json]"
+        "usage:\n  apusim list\n  apusim costs\n  apusim sweep [--sizes 2,8,32] [--threads 1,4,8] [--steps N]\n  apusim env [--no-apu] [--no-xnack] [--apu-maps] [--eager] [--usm]\n  apusim run <workload> [--config copy|usm|izc|eager] [--threads N] [--scale F] [--steps N] [--discrete] [--mem-report] [--trace FILE.json]\n  apusim check [--json] [NAME]"
     );
     std::process::exit(2);
 }
@@ -289,6 +296,44 @@ fn cmd_run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+fn cmd_check(args: &[String]) -> ! {
+    let mut json = false;
+    let mut filter: Option<String> = None;
+    for a in args {
+        match a.as_str() {
+            "--json" => json = true,
+            other if !other.starts_with("--") && filter.is_none() => {
+                filter = Some(other.to_string());
+            }
+            _ => usage(),
+        }
+    }
+    let cells = match mi300a_zerocopy::mapcheck::check_all(filter.as_deref()) {
+        Ok(cells) => cells,
+        Err(e) => {
+            eprintln!("apusim check: capture failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    if cells.is_empty() {
+        eprintln!(
+            "apusim check: no shipped workload matches '{}'",
+            filter.as_deref().unwrap_or("")
+        );
+        std::process::exit(2);
+    }
+    if json {
+        println!("{}", mi300a_zerocopy::mapcheck::render_json(&cells));
+    } else {
+        print!("{}", mi300a_zerocopy::mapcheck::render_text(&cells));
+    }
+    std::process::exit(if mi300a_zerocopy::mapcheck::has_errors(&cells) {
+        1
+    } else {
+        0
+    });
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -297,6 +342,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Some("env") => cmd_env(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..])?,
         Some("run") => cmd_run(&args[1..])?,
+        Some("check") => cmd_check(&args[1..]),
         _ => usage(),
     }
     Ok(())

@@ -13,6 +13,8 @@
 //!   configurations (the paper's contribution)
 //! * [`workloads`] — mini-QMCPack and SPECaccel-like benchmark programs
 //! * [`analysis`] — experiment driver, statistics, tables and figures
+//! * [`mapcheck`] — static map-clause analyzer cross-validated by the
+//!   runtime sanitizer (`repro --check`, `apusim check`)
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the system inventory.
 
@@ -21,6 +23,7 @@
 pub use analysis;
 pub use apu_mem as mem;
 pub use hsa_rocr as hsa;
+pub use omp_mapcheck as mapcheck;
 pub use omp_offload as omp;
 pub use sim_des as sim;
 pub use workloads;
