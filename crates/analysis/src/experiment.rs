@@ -5,7 +5,7 @@
 use crate::stats::{cov_duration, median_duration};
 use apu_mem::{CostModel, MemOptions};
 use hsa_rocr::Topology;
-use omp_offload::{OmpError, OmpRuntime, RunReport, RuntimeConfig};
+use omp_offload::{ElideMode, OmpError, OmpRuntime, RunReport, RuntimeConfig};
 use sim_des::{FaultPlan, NoiseModel, RunOptions, VirtDuration};
 use workloads::Workload;
 
@@ -29,6 +29,8 @@ pub struct ExperimentConfig {
     /// Memory-subsystem options (pagewise oracle, capacity override).
     /// Binaries translate `ZC_MEM_PAGEWISE` here once, at the edge.
     pub mem_options: MemOptions,
+    /// Map-elision mode for every run (`repro --elide` sets Online).
+    pub elide: ElideMode,
 }
 
 impl Default for ExperimentConfig {
@@ -41,6 +43,7 @@ impl Default for ExperimentConfig {
             base_seed: 0x5EED,
             fault_seed: None,
             mem_options: MemOptions::default(),
+            elide: ElideMode::Off,
         }
     }
 }
@@ -98,7 +101,8 @@ pub fn measure(
     let mut builder = OmpRuntime::builder(exp.cost.clone(), exp.topo)
         .config(config)
         .threads(threads)
-        .mem_options(exp.mem_options);
+        .mem_options(exp.mem_options)
+        .elide(exp.elide.clone());
     if let Some(seed) = exp.fault_seed {
         builder = builder.fault_plan(FaultPlan::from_seed(seed));
     }

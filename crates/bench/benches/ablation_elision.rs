@@ -1,0 +1,99 @@
+//! Ablation: MC007-driven online map elision under Copy data handling.
+//!
+//! The steady-state workloads re-map resident extents every iteration; each
+//! such map is charged the full map-service cost unelided, and only a
+//! mapping-table lookup (hot-path cache hit when it lands) when the online
+//! pass promotes it to `alloc`. This bench reports, per workload: the MM
+//! overhead with and without elision, the exact map-service time recovered,
+//! the lookup-cache hit rate sustained by the elision probes, and a
+//! best-of-three wall-clock comparison of the *simulator itself* — the
+//! elision pass plus cache must not slow the simulation down measurably.
+//! Semantic equivalence (bit-identical memory, clean sanitizer) is pinned
+//! by `crates/check/tests/elision_prop.rs`; this artifact is about cost.
+
+use apu_mem::CostModel;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hsa_rocr::Topology;
+use omp_offload::{ElideMode, OmpRuntime, OverheadLedger, RuntimeConfig};
+use sim_des::VirtDuration;
+use std::time::Instant;
+use workloads::{MiniCg, NioSize, QmcPack, Stream, Workload};
+
+/// One sanitizer-free Copy run; returns makespan, ledger, and the mapping
+/// lookup-cache (hits, misses) accumulated by the elision probes.
+fn run(w: &dyn Workload, elide: ElideMode) -> (VirtDuration, OverheadLedger, (u64, u64)) {
+    let mut rt = OmpRuntime::builder(CostModel::mi300a_no_thp(), Topology::default())
+        .config(RuntimeConfig::LegacyCopy)
+        .elide(elide)
+        .build()
+        .unwrap();
+    w.run(&mut rt).unwrap();
+    let cache = rt.mapping_cache_stats();
+    let ledger = *rt.ledger();
+    (rt.finish().makespan, ledger, cache)
+}
+
+fn suite() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(QmcPack::nio(NioSize { factor: 2 }).with_steps(60)),
+        Box::new(Stream::scaled(0.1)),
+        Box::new(MiniCg::scaled(0.1)),
+    ]
+}
+
+fn print_artifact() {
+    println!("Ablation: online map elision under Copy (MM recovered, cache hit rate)");
+    println!(
+        "{:>14} | {:>12} | {:>10} | {:>10} | {:>6} | {:>9}",
+        "workload", "MM off (us)", "MM on (us)", "saved (us)", "elided", "cache hit"
+    );
+    for w in suite() {
+        let (_, off, _) = run(w.as_ref(), ElideMode::Off);
+        let (_, on, (hits, misses)) = run(w.as_ref(), ElideMode::Online);
+        assert_eq!(off.mm_total() - on.mm_total(), on.mm_saved);
+        let rate = hits as f64 / (hits + misses).max(1) as f64;
+        println!(
+            "{:>14} | {:>12.1} | {:>10.1} | {:>10.1} | {:>6} | {:>8.1}%",
+            w.name(),
+            off.mm_total().as_micros_f64(),
+            on.mm_total().as_micros_f64(),
+            on.mm_saved.as_micros_f64(),
+            on.maps_elided,
+            100.0 * rate
+        );
+    }
+    println!();
+}
+
+/// The simulator's own wall-clock with the pass on vs off — the elision
+/// rewrite plus lookup cache must be in the noise.
+fn bench_simulator_cost(_c: &mut Criterion) {
+    let w = QmcPack::nio(NioSize { factor: 2 }).with_steps(60);
+    let time = |elide: &ElideMode| {
+        let t0 = Instant::now();
+        black_box(run(&w, elide.clone()));
+        t0.elapsed()
+    };
+    let off = (0..3).map(|_| time(&ElideMode::Off)).min().unwrap();
+    let on = (0..3).map(|_| time(&ElideMode::Online)).min().unwrap();
+    let overhead = on.as_secs_f64() / off.as_secs_f64().max(1e-9);
+    println!(
+        "ablation_elision summary: simulator {off:?} unelided vs {on:?} online -> {overhead:.2}x"
+    );
+}
+
+fn bench_elision(c: &mut Criterion) {
+    print_artifact();
+    let mut g = c.benchmark_group("ablation_elision");
+    g.sample_size(10);
+    let w = QmcPack::nio(NioSize { factor: 2 }).with_steps(40);
+    for (label, elide) in [("off", ElideMode::Off), ("online", ElideMode::Online)] {
+        g.bench_with_input(BenchmarkId::new("qmc_copy", label), &elide, |b, e| {
+            b.iter(|| black_box(run(&w, e.clone())).0)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_elision, bench_simulator_cost);
+criterion_main!(benches);

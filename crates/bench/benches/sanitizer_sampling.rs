@@ -1,0 +1,81 @@
+//! Bench: sampled sanitizing — the simulator-side cost of `sanitize_sampled(N)`.
+//!
+//! The sanitizer shadows every construct when fully on (N = 1). Sampling
+//! observes one in N constructs with a deterministic counter, trading
+//! diagnostic coverage for hook cost; end-of-program leak checks always
+//! run. This bench measures the simulator's own wall-clock at
+//! N ∈ {1, 16, 256} against an unsanitized baseline, and prints the MC007
+//! diagnostic count surviving at each rate on a redundantly-mapping
+//! workload so the coverage trade-off is visible next to the cost.
+
+use apu_mem::CostModel;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hsa_rocr::Topology;
+use omp_offload::{OmpRuntime, RuntimeConfig};
+use std::time::Instant;
+use workloads::{NioSize, QmcPack, Workload};
+
+const RATES: [u64; 3] = [1, 16, 256];
+
+/// One Copy run; `sample_every` None disables the sanitizer entirely.
+/// Returns the number of diagnostics the sampled sanitizer reported.
+fn run(w: &dyn Workload, sample_every: Option<u64>) -> usize {
+    let mut builder = OmpRuntime::builder(CostModel::mi300a_no_thp(), Topology::default())
+        .config(RuntimeConfig::LegacyCopy);
+    if let Some(n) = sample_every {
+        builder = builder.sanitize_sampled(n);
+    }
+    let mut rt = builder.build().unwrap();
+    w.run(&mut rt).unwrap();
+    let n = rt.sanitizer_finalize().len();
+    black_box(rt.finish().makespan);
+    n
+}
+
+fn print_artifact() {
+    let w = QmcPack::nio(NioSize { factor: 2 }).with_steps(60);
+    let time = |sample: Option<u64>| {
+        let t0 = Instant::now();
+        black_box(run(&w, sample));
+        t0.elapsed()
+    };
+    let off = (0..3).map(|_| time(None)).min().unwrap();
+    println!("Sanitizer sampling cost (QMCPack S2, 60 steps, Copy)");
+    println!(
+        "{:>10} | {:>12} | {:>12} | {:>11}",
+        "mode", "wall-clock", "vs off", "diagnostics"
+    );
+    println!(
+        "{:>10} | {:>12?} | {:>12} | {:>11}",
+        "off", off, "1.00x", "-"
+    );
+    for n in RATES {
+        let t = (0..3).map(|_| time(Some(n))).min().unwrap();
+        let diags = run(&w, Some(n));
+        println!(
+            "{:>10} | {:>12?} | {:>11.2}x | {:>11}",
+            format!("1-in-{n}"),
+            t,
+            t.as_secs_f64() / off.as_secs_f64().max(1e-9),
+            diags
+        );
+    }
+    println!();
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    print_artifact();
+    let mut g = c.benchmark_group("sanitizer_sampling");
+    g.sample_size(10);
+    let w = QmcPack::nio(NioSize { factor: 2 }).with_steps(40);
+    g.bench_function("off", |b| b.iter(|| black_box(run(&w, None))));
+    for n in RATES {
+        g.bench_with_input(BenchmarkId::new("sampled", n), &n, |b, &n| {
+            b.iter(|| black_box(run(&w, Some(n))))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sampling);
+criterion_main!(benches);

@@ -1,8 +1,8 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [--quick|--full] [--ARTIFACT ...] [--csv DIR] [--report FILE.md]
-//!       [--faults SEED] [--timing] [--list-artifacts]
+//! repro [--quick|--full] [--ARTIFACT ...] [--elide] [--csv DIR]
+//!       [--report FILE.md] [--faults SEED] [--timing] [--list-artifacts]
 //! repro --check [--json]
 //! ```
 //!
@@ -14,9 +14,15 @@
 //! deterministic fault plan derived from SEED: the runtime's recovery
 //! policies absorb the injected failures, so all numeric results match the
 //! healthy run while the recovery activity is charged in virtual time.
-//! `--timing` additionally writes `BENCH_repro.json` with per-artifact
-//! wall-clock and sweep throughput (simulated cells per second) — the
-//! simulator's own performance, not the modeled machine's.
+//! `--elide` (with `--table3`) appends the map-elision delta table: each
+//! steady-state workload is measured under Copy data handling with elision
+//! off and with online MC007 elision, and the table reports the map-service
+//! time recovered — the headline experiments themselves are never elided,
+//! so the paper's numbers are untouched. `--timing` additionally writes
+//! `BENCH_repro.json` with per-artifact wall-clock and sweep throughput
+//! (simulated cells per second) — the simulator's own performance, not the
+//! modeled machine's — and, with `--elide`, `BENCH_elision.json` with the
+//! per-workload elision deltas.
 //!
 //! `--check` runs the mapcheck harness instead of the experiments: every
 //! shipped workload's data-environment op stream is captured once, checked
@@ -30,7 +36,7 @@
 
 use analysis::paper::{
     fig3_from_cells, fig4_from_cells, markdown_report, qmc_sweep, table1, table2, table3,
-    PaperConfig,
+    table3_elision, ElisionRow, PaperConfig,
 };
 use std::io::Write as _;
 use std::path::PathBuf;
@@ -47,6 +53,52 @@ const ARTIFACTS: &[(&str, &str)] = &[
     ("table3", "Table III: MM/MI overhead orders (microseconds)"),
 ];
 
+/// Every option flag: name, value placeholder (empty for booleans), help
+/// line. The usage line and `--help` listing are both generated from this
+/// table (and [`ARTIFACTS`]), so a new flag cannot drift out of the usage
+/// text — adding one is a row here plus its `parse_args` arm.
+const FLAGS: &[(&str, &str, &str)] = &[
+    ("--quick", "", "reduced sweep, tens of seconds (default)"),
+    (
+        "--full",
+        "",
+        "complete configuration: all sizes, 1-8 threads",
+    ),
+    (
+        "--elide",
+        "",
+        "with --table3: append the map-elision delta table (MM saved under Copy)",
+    ),
+    ("--csv", "DIR", "also write each artifact as CSV into DIR"),
+    (
+        "--report",
+        "FILE.md",
+        "write the full markdown report to FILE.md",
+    ),
+    (
+        "--faults",
+        "SEED",
+        "run under the deterministic fault plan derived from SEED",
+    ),
+    (
+        "--timing",
+        "",
+        "write BENCH_repro.json (and BENCH_elision.json with --elide)",
+    ),
+    ("--list-artifacts", "", "list artifact flags and exit"),
+    (
+        "--check",
+        "",
+        "run the mapcheck harness instead of the experiments",
+    ),
+    ("--json", "", "with --check: machine-readable output"),
+    ("--help", "", "print this help"),
+];
+
+/// Flags that only apply to the `--check` form; kept out of the first
+/// usage line.
+const CHECK_ONLY: &[&str] = &["--check", "--json", "--help"];
+
 struct Args {
     cfg: PaperConfig,
     full: bool,
@@ -55,6 +107,7 @@ struct Args {
     table1: bool,
     table2: bool,
     table3: bool,
+    elide: bool,
     csv_dir: Option<PathBuf>,
     report: Option<PathBuf>,
     timing: bool,
@@ -64,11 +117,42 @@ struct Args {
 }
 
 fn usage() -> String {
+    let opts: Vec<String> = FLAGS
+        .iter()
+        .filter(|(f, _, _)| !CHECK_ONLY.contains(f))
+        .map(|(f, v, _)| {
+            if v.is_empty() {
+                format!("[{f}]")
+            } else {
+                format!("[{f} {v}]")
+            }
+        })
+        .collect();
     let names: Vec<String> = ARTIFACTS.iter().map(|(n, _)| format!("[--{n}]")).collect();
     format!(
-        "usage: repro [--quick|--full] {} [--csv DIR] [--report FILE.md] [--faults SEED] [--timing] [--list-artifacts]\n       repro --check [--json]",
+        "usage: repro {} {}\n       repro --check [--json]",
+        opts.join(" "),
         names.join(" ")
     )
+}
+
+fn help() -> String {
+    let mut out = usage();
+    out.push_str("\n\noptions:\n");
+    for (f, v, what) in FLAGS {
+        let head = if v.is_empty() {
+            (*f).to_string()
+        } else {
+            format!("{f} {v}")
+        };
+        out.push_str(&format!("  {head:<18} {what}\n"));
+    }
+    out.push_str("\nartifacts (default: all):\n");
+    for (n, what) in ARTIFACTS {
+        let flag = format!("--{n}");
+        out.push_str(&format!("  {flag:<18} {what}\n"));
+    }
+    out
 }
 
 /// Exit with status 2 (usage error), printing `msg` and the usage line.
@@ -120,9 +204,31 @@ fn timing_json(cfg_name: &str, total_seconds: f64, artifacts: &[ArtifactTiming])
     out
 }
 
+/// Machine-readable form of the elision delta table, written next to
+/// `BENCH_repro.json` under `--timing --elide` so CI can archive the
+/// savings alongside the simulator's own timings.
+fn elision_json(rows: &[ElisionRow]) -> String {
+    let mut out = String::from("{\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"mm_unelided_us\": {:.3}, \"mm_elided_us\": {:.3}, \
+             \"mm_saved_us\": {:.3}, \"maps_elided\": {}}}{}\n",
+            r.workload,
+            r.mm_unelided.as_micros_f64(),
+            r.mm_elided.as_micros_f64(),
+            r.mm_saved.as_micros_f64(),
+            r.maps_elided,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 fn parse_args() -> Args {
     let mut full = false;
     let mut selected: Vec<String> = Vec::new();
+    let mut elide = false;
     let mut csv_dir = None;
     let mut report = None;
     let mut timing = false;
@@ -134,6 +240,7 @@ fn parse_args() -> Args {
         match a.as_str() {
             "--quick" => full = false,
             "--full" => full = true,
+            "--elide" => elide = true,
             "--timing" => timing = true,
             "--check" => check = true,
             "--json" => json = true,
@@ -153,7 +260,7 @@ fn parse_args() -> Args {
                 std::process::exit(0);
             }
             "--help" | "-h" => {
-                eprintln!("{}", usage());
+                eprintln!("{}", help());
                 std::process::exit(0);
             }
             other => {
@@ -173,11 +280,14 @@ fn parse_args() -> Args {
     if json && !check {
         usage_error("--json only applies to --check");
     }
-    if check && (full || timing || fault_seed.is_some() || !selected.is_empty()) {
+    if check && (full || timing || elide || fault_seed.is_some() || !selected.is_empty()) {
         usage_error("--check does not combine with experiment flags");
     }
     let all = selected.is_empty();
     let has = |n: &str| all || selected.iter().any(|s| s == n);
+    if elide && !has("table3") {
+        usage_error("--elide requires --table3");
+    }
     let mut cfg = if full {
         PaperConfig::full()
     } else {
@@ -194,6 +304,7 @@ fn parse_args() -> Args {
         table1: has("table1"),
         table2: has("table2"),
         table3: has("table3"),
+        elide,
         csv_dir,
         report,
         timing,
@@ -339,6 +450,25 @@ fn main() {
         });
     }
 
+    if args.elide {
+        eprintln!("running Table III elision delta (MM recovered by map elision)...");
+        let t0 = Instant::now();
+        let (t, rows) = table3_elision(&args.cfg).expect("table3 elision");
+        println!("{t}");
+        write_csv(&args.csv_dir, "table3_elision.csv", &t.to_csv());
+        timings.push(ArtifactTiming {
+            name: "elision",
+            seconds: t0.elapsed().as_secs_f64(),
+            // Each workload is measured twice under Copy: elision off, on.
+            cells: Some(rows.len() * 2),
+        });
+        if args.timing {
+            std::fs::write("BENCH_elision.json", elision_json(&rows))
+                .expect("write BENCH_elision.json");
+            eprintln!("wrote BENCH_elision.json");
+        }
+    }
+
     if let Some(path) = &args.report {
         eprintln!("generating markdown report...");
         let t0 = Instant::now();
@@ -360,4 +490,55 @@ fn main() {
         eprintln!("wrote BENCH_repro.json");
     }
     eprintln!("done in {total:.1}s");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_des::VirtDuration;
+
+    /// The anti-drift contract of the flag table: every experiment flag and
+    /// every artifact appears in the generated usage line, and every flag's
+    /// help text appears in `--help`.
+    #[test]
+    fn usage_and_help_are_generated_from_the_flag_tables() {
+        let u = usage();
+        for (f, _, _) in FLAGS {
+            if CHECK_ONLY.contains(f) {
+                continue;
+            }
+            assert!(u.contains(f), "usage line is missing {f}");
+        }
+        assert!(u.contains("--check [--json]"));
+        let h = help();
+        for (f, _, what) in FLAGS {
+            assert!(h.contains(f), "help is missing {f}");
+            assert!(h.contains(what), "help is missing the {f} description");
+        }
+        for (n, what) in ARTIFACTS {
+            assert!(u.contains(&format!("--{n}")), "usage missing --{n}");
+            assert!(h.contains(what), "help missing the {n} description");
+        }
+    }
+
+    #[test]
+    fn elision_json_carries_the_delta_fields() {
+        let rows = vec![ElisionRow {
+            workload: "w".into(),
+            mm_unelided: VirtDuration::from_micros(10),
+            mm_elided: VirtDuration::from_micros(4),
+            mm_saved: VirtDuration::from_micros(6),
+            maps_elided: 3,
+        }];
+        let j = elision_json(&rows);
+        for needle in [
+            "\"workload\": \"w\"",
+            "\"mm_unelided_us\": 10.000",
+            "\"mm_elided_us\": 4.000",
+            "\"mm_saved_us\": 6.000",
+            "\"maps_elided\": 3",
+        ] {
+            assert!(j.contains(needle), "missing {needle} in:\n{j}");
+        }
+    }
 }

@@ -1,0 +1,226 @@
+//! Profile-guided elision: derive an [`ElisionPlan`] from a capture.
+//!
+//! The planner walks the [`MapIr`] stream with a symbolic refcount table
+//! (the presence half of the [`check`](crate::check) interpreter) and marks
+//! every map site the runtime's online elision would promote: a re-map of an
+//! already-present extent carrying a transfer direction and no `always`
+//! modifier — the MC007 pattern. Under the refcount model such a map's
+//! transfers can never be observed (see DESIGN.md §11), so it can be
+//! rewritten to `alloc` on replay.
+//!
+//! Eligibility is evaluated against the table state *before the construct
+//! begins any of its own maps* — the same pre-construct rule the runtime
+//! applies. Eliding against mid-construct state would be unsound: the
+//! second `tofrom` map of an extent the *same* construct just made present
+//! carries that extent's final `from` copy, and promoting it to `alloc`
+//! would lose the copy-back. A pre-construct-present extent, by contrast,
+//! has an enclosing reference that outlives the construct, so the construct
+//! can neither trigger its first `to` copy nor its last `from` copy.
+//!
+//! Sites are addressed as `(op_index, map_index)`: the operation's position
+//! in the capture stream (which the runtime's op counter reproduces on
+//! replay) and the map's position in the construct's clause list
+//! (`MapEnter` sites use map index 0).
+
+use apu_mem::AddrRange;
+use omp_offload::{ElisionPlan, MapDir, MapEntry, MapIr, MapOp};
+use std::collections::BTreeMap;
+
+/// Compute the elision plan for a captured program.
+///
+/// The plan is deterministic in the capture: replaying `ir` under
+/// [`ElideMode::Plan`](omp_offload::ElideMode) applies exactly these sites,
+/// and the planner's eligibility rule matches the runtime's online mode, so
+/// plan-mode replay elides the same maps an online run of the same program
+/// would.
+pub fn elision_plan(ir: &MapIr) -> ElisionPlan {
+    let mut p = Planner::default();
+    for (idx, rec) in ir.records.iter().enumerate() {
+        p.step(idx as u64, rec.thread, &rec.op);
+    }
+    p.plan
+}
+
+/// Symbolic refcount table: extent start → (extent, refcount), plus the
+/// per-thread deferred `nowait` exit maps.
+#[derive(Default)]
+struct Planner {
+    table: BTreeMap<u64, (AddrRange, u32)>,
+    pending: BTreeMap<u32, Vec<MapEntry>>,
+    plan: ElisionPlan,
+}
+
+impl Planner {
+    /// Full containment by a live extent — the runtime's
+    /// `Presence::Present`. Partial overlaps are never eligible.
+    fn present(&self, r: &AddrRange) -> bool {
+        self.table
+            .range(..=r.start.as_u64())
+            .next_back()
+            .is_some_and(|(_, (e, _))| e.contains(r.start) && e.contains_range(r))
+    }
+
+    fn eligible(&self, e: &MapEntry) -> bool {
+        e.dir != MapDir::Alloc && !e.always && self.present(&e.range)
+    }
+
+    fn enter(&mut self, e: &MapEntry) {
+        if self.present(&e.range) {
+            if let Some((_, rc)) = self
+                .table
+                .range_mut(..=e.range.start.as_u64())
+                .next_back()
+                .map(|(_, v)| v)
+            {
+                *rc += 1;
+            }
+        } else if self
+            .table
+            .range(e.range.start.as_u64()..e.range.end())
+            .next()
+            .is_none()
+            && self
+                .table
+                .range(..=e.range.start.as_u64())
+                .next_back()
+                .is_none_or(|(_, (r, _))| !r.contains(e.range.start))
+        {
+            self.table.insert(e.range.start.as_u64(), (e.range, 1));
+        }
+        // Partial overlaps abort the real run (PartialOverlap); nothing
+        // useful to model past this point.
+    }
+
+    fn exit(&mut self, e: &MapEntry, delete: bool) {
+        let Some(key) = self
+            .table
+            .range(..=e.range.start.as_u64())
+            .next_back()
+            .filter(|(_, (r, _))| r.contains(e.range.start) && r.contains_range(&e.range))
+            .map(|(k, _)| *k)
+        else {
+            return;
+        };
+        let (_, rc) = self.table.get_mut(&key).expect("present extent");
+        if *rc == 1 || delete {
+            self.table.remove(&key);
+        } else {
+            *rc -= 1;
+        }
+    }
+
+    fn step(&mut self, idx: u64, thread: u32, op: &MapOp) {
+        match op {
+            MapOp::MapEnter { entry } => {
+                if self.eligible(entry) {
+                    self.plan.insert(idx, 0);
+                }
+                self.enter(entry);
+            }
+            MapOp::MapExit { entry, delete } => self.exit(entry, *delete),
+            MapOp::Kernel(k) => {
+                // Pre-pass: every map's eligibility is judged against the
+                // pre-construct table, before any of this construct's own
+                // enters take effect.
+                let eligible: Vec<bool> = k.maps.iter().map(|e| self.eligible(e)).collect();
+                for (i, yes) in eligible.iter().enumerate() {
+                    if *yes {
+                        self.plan.insert(idx, i as u32);
+                    }
+                }
+                for e in &k.maps {
+                    self.enter(e);
+                }
+                if k.nowait {
+                    self.pending
+                        .entry(thread)
+                        .or_default()
+                        .extend(k.maps.iter().copied());
+                } else {
+                    for e in &k.maps {
+                        self.exit(e, false);
+                    }
+                }
+            }
+            MapOp::Taskwait => {
+                for e in self.pending.remove(&thread).unwrap_or_default() {
+                    self.exit(&e, false);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apu_mem::VirtAddr;
+    use omp_offload::KernelOp;
+
+    fn r(start: u64, len: u64) -> AddrRange {
+        AddrRange::new(VirtAddr(start), len)
+    }
+
+    fn kernel(maps: Vec<MapEntry>, nowait: bool) -> MapOp {
+        MapOp::Kernel(KernelOp {
+            name: "k".to_string(),
+            maps,
+            raw: vec![],
+            globals: vec![],
+            nowait,
+        })
+    }
+
+    #[test]
+    fn plans_remaps_of_present_extents_only() {
+        let buf = r(4096, 8192);
+        let mut ir = MapIr::new();
+        ir.push(
+            0,
+            MapOp::MapEnter {
+                entry: MapEntry::tofrom(buf),
+            },
+        ); // op 0: absent — not planned
+        ir.push(0, kernel(vec![MapEntry::tofrom(buf)], false)); // op 1 map 0: planned
+        ir.push(0, kernel(vec![MapEntry::tofrom(buf).always()], false)); // always — never
+        ir.push(0, kernel(vec![MapEntry::alloc(buf)], false)); // alloc — never
+        ir.push(
+            0,
+            MapOp::MapExit {
+                entry: MapEntry::from(buf),
+                delete: false,
+            },
+        );
+        let plan = elision_plan(&ir);
+        assert!(plan.contains(1, 0));
+        assert_eq!(plan.len(), 1);
+    }
+
+    #[test]
+    fn same_construct_double_map_is_not_planned() {
+        // The second tofrom of an extent made present by the *same*
+        // construct carries the final from-copy — pre-construct evaluation
+        // must leave both maps alone.
+        let buf = r(4096, 4096);
+        let mut ir = MapIr::new();
+        ir.push(
+            0,
+            kernel(vec![MapEntry::tofrom(buf), MapEntry::tofrom(buf)], false),
+        );
+        assert!(elision_plan(&ir).is_empty());
+    }
+
+    #[test]
+    fn nowait_deferred_exits_keep_refcounts_exact() {
+        let buf = r(4096, 4096);
+        let mut ir = MapIr::new();
+        ir.push(0, kernel(vec![MapEntry::tofrom(buf)], true)); // op 0: absent
+        ir.push(0, kernel(vec![MapEntry::tofrom(buf)], true)); // op 1: present — planned
+        ir.push(0, MapOp::Taskwait); // drains both exits
+        ir.push(0, kernel(vec![MapEntry::tofrom(buf)], false)); // op 3: absent again
+        let plan = elision_plan(&ir);
+        assert!(plan.contains(1, 0));
+        assert_eq!(plan.len(), 1);
+    }
+}

@@ -8,7 +8,10 @@
 use crate::{capture_workload, check};
 use apu_mem::CostModel;
 use hsa_rocr::Topology;
-use omp_offload::{DiagCode, Diagnostic, OmpError, OmpRuntime, RuntimeConfig, Severity};
+use omp_offload::{
+    DiagCode, Diagnostic, ElideMode, OmpError, OmpRuntime, OverheadLedger, RuntimeConfig, Severity,
+};
+use sim_des::VirtDuration;
 use workloads::{spec, MiniCg, NioSize, OpenFoamMini, QmcPack, Stream, Workload};
 
 /// The result of checking one (workload, configuration) cell.
@@ -25,6 +28,15 @@ pub struct CheckCell {
     /// True when both passes found the same multiset of codes — the
     /// cross-validation contract.
     pub cross_validated: bool,
+    /// Maps the online elision pass promoted in the elided verification run.
+    pub maps_elided: u64,
+    /// Map-service time the elided run recovered.
+    pub mm_saved: VirtDuration,
+    /// The elision contract held for this cell: the elided run is
+    /// diagnostic-clean, bit-identical to the unelided run, its operation
+    /// counters match, and `mm_total(unelided) − mm_total(elided)` equals
+    /// the reported saving exactly.
+    pub elision_verified: bool,
 }
 
 impl CheckCell {
@@ -79,31 +91,70 @@ fn sorted_codes(diags: &[Diagnostic]) -> Vec<DiagCode> {
     v
 }
 
+/// One instrumented run: sanitized, under `config`, with the given elision
+/// mode. Returns the sanitizer's findings, the memory digest (taken after
+/// the program body, before teardown), and the ledger.
+fn instrumented_run(
+    w: &dyn Workload,
+    threads: usize,
+    config: RuntimeConfig,
+    elide: ElideMode,
+) -> Result<(Vec<Diagnostic>, u64, OverheadLedger), OmpError> {
+    let mut rt = OmpRuntime::builder(CostModel::mi300a_no_thp(), Topology::default())
+        .config(config)
+        .threads(threads)
+        .sanitize(true)
+        .elide(elide)
+        .build()?;
+    // A run may abort on a fatal hazard; the sanitizer's findings up to
+    // the abort are exactly what the static pass predicted.
+    let _ = w.run(&mut rt);
+    let digest = rt.memory_digest();
+    let ledger = *rt.ledger();
+    Ok((rt.sanitizer_finalize().to_vec(), digest, ledger))
+}
+
+/// The elision contract for one cell: the elided run found no hazards, its
+/// memory is bit-identical to the unelided run's, its operation counters
+/// match, and the accounting identity `mm_total(off) − mm_total(elided) ==
+/// mm_saved` holds exactly.
+fn elision_holds(
+    off: &(Vec<Diagnostic>, u64, OverheadLedger),
+    on: &(Vec<Diagnostic>, u64, OverheadLedger),
+) -> bool {
+    let (l0, l1) = (&off.2, &on.2);
+    on.0.is_empty()
+        && off.1 == on.1
+        && (l0.copies, l0.bytes_copied, l0.kernels, l0.maps)
+            == (l1.copies, l1.bytes_copied, l1.kernels, l1.maps)
+        && l0.prefault_calls == l1.prefault_calls
+        && l0.mm_total().saturating_sub(l1.mm_total()) == l1.mm_saved
+        && l1.mm_total() <= l0.mm_total()
+}
+
 /// Check one workload: capture its MapIR once, statically check it against
 /// each compatible configuration, and cross-validate every cell with a
-/// sanitized real run.
+/// sanitized real run. Each cell also runs a second time with online map
+/// elision and verifies the elision contract ([`CheckCell::elision_verified`]).
 pub fn check_workload(w: &dyn Workload) -> Result<Vec<CheckCell>, OmpError> {
     let threads = if w.name().contains("qmc") { 2 } else { 1 };
     let ir = capture_workload(w, threads)?;
     let mut cells = Vec::new();
     for config in configs_for(w) {
         let diagnostics = check(&ir, config);
-        let mut rt = OmpRuntime::builder(CostModel::mi300a_no_thp(), Topology::default())
-            .config(config)
-            .threads(threads)
-            .sanitize(true)
-            .build()?;
-        // A run may abort on a fatal hazard; the sanitizer's findings up to
-        // the abort are exactly what the static pass predicted.
-        let _ = w.run(&mut rt);
-        let sanitizer_diagnostics = rt.sanitizer_finalize().to_vec();
-        let cross_validated = sorted_codes(&diagnostics) == sorted_codes(&sanitizer_diagnostics);
+        let off = instrumented_run(w, threads, config, ElideMode::Off)?;
+        let on = instrumented_run(w, threads, config, ElideMode::Online)?;
+        let cross_validated = sorted_codes(&diagnostics) == sorted_codes(&off.0);
+        let elision_verified = elision_holds(&off, &on);
         cells.push(CheckCell {
             workload: w.name(),
             config,
             diagnostics,
-            sanitizer_diagnostics,
+            sanitizer_diagnostics: off.0,
             cross_validated,
+            maps_elided: on.2.maps_elided,
+            mm_saved: on.2.mm_saved,
+            elision_verified,
         });
     }
     Ok(cells)
@@ -125,11 +176,12 @@ pub fn check_all(filter: Option<&str>) -> Result<Vec<CheckCell>, OmpError> {
 }
 
 /// True when any cell fails the acceptance bar: an error-severity static
-/// diagnostic, or a static/dynamic verdict mismatch.
+/// diagnostic, a static/dynamic verdict mismatch, or a broken elision
+/// contract.
 pub fn has_errors(cells: &[CheckCell]) -> bool {
     cells
         .iter()
-        .any(|c| c.has_static_errors() || !c.cross_validated)
+        .any(|c| c.has_static_errors() || !c.cross_validated || !c.elision_verified)
 }
 
 /// Human-readable report.
@@ -146,6 +198,8 @@ pub fn render_text(cells: &[CheckCell]) -> String {
         }
         let verdict = if !c.cross_validated {
             "CROSS-VALIDATION MISMATCH"
+        } else if !c.elision_verified {
+            "ELISION CONTRACT BROKEN"
         } else if c.has_static_errors() {
             "FAIL"
         } else if c.diagnostics.is_empty() {
@@ -153,12 +207,18 @@ pub fn render_text(cells: &[CheckCell]) -> String {
         } else {
             "warnings"
         };
+        let elided = if c.maps_elided != 0 {
+            format!(", {} elided saving {}", c.maps_elided, c.mm_saved)
+        } else {
+            String::new()
+        };
         out.push_str(&format!(
-            "  [{:>11}] {} ({} static, {} sanitizer)\n",
+            "  [{:>11}] {} ({} static, {} sanitizer{})\n",
             c.config.label(),
             verdict,
             c.diagnostics.len(),
-            c.sanitizer_diagnostics.len()
+            c.sanitizer_diagnostics.len(),
+            elided
         ));
         for d in &c.diagnostics {
             out.push_str(&format!("    {d}\n"));
@@ -224,10 +284,14 @@ pub fn render_json(cells: &[CheckCell]) -> String {
             out.push(',');
         }
         out.push_str(&format!(
-            "{{\"workload\":\"{}\",\"config\":\"{}\",\"cross_validated\":{},\"static\":[",
+            "{{\"workload\":\"{}\",\"config\":\"{}\",\"cross_validated\":{},\
+             \"elision_verified\":{},\"maps_elided\":{},\"mm_saved_us\":{:.3},\"static\":[",
             json_escape(&c.workload),
             c.config.label(),
-            c.cross_validated
+            c.cross_validated,
+            c.elision_verified,
+            c.maps_elided,
+            c.mm_saved.as_micros_f64()
         ));
         out.push_str(
             &c.diagnostics
@@ -267,6 +331,7 @@ mod tests {
         for c in &cells {
             assert!(c.cross_validated, "{:?}", c);
             assert!(c.diagnostics.is_empty(), "{:?}", c.diagnostics);
+            assert!(c.elision_verified, "{:?}", c);
         }
         assert!(!has_errors(&cells));
         let json = render_json(&cells);

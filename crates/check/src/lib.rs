@@ -38,8 +38,10 @@
 mod capture;
 mod checker;
 pub mod corpus;
+mod elision;
 pub mod harness;
 
 pub use capture::{capture_run, capture_workload};
 pub use checker::check;
+pub use elision::elision_plan;
 pub use harness::{check_all, check_workload, has_errors, render_json, render_text, CheckCell};

@@ -1,0 +1,219 @@
+//! Property: map elision is semantics-preserving on randomized well-formed
+//! programs that *do* contain MC007 sites.
+//!
+//! The driver is the well-formed-program state machine with one liberty the
+//! strict variant forbids: re-maps of present extents may carry transfer
+//! directions (the MC007-redundant pattern real programs exhibit). For every
+//! generated program and every configuration:
+//!
+//! * the unelided sanitized run reports nothing but MC007 warnings, and the
+//!   static checker agrees;
+//! * the online-elided run reports ZERO diagnostics;
+//! * both runs are bit-identical in memory (digest taken before teardown)
+//!   and agree on every operation counter, differing only in the elision
+//!   fields, with `mm_total(off) − mm_total(online) == mm_saved` exactly;
+//! * a plan-mode run driven by [`elision_plan`] of the program's capture
+//!   elides the same sites the online mode does and matches the same
+//!   digest.
+
+use apu_mem::{AddrRange, CostModel};
+use hsa_rocr::Topology;
+use omp_mapcheck::{capture_run, check, elision_plan};
+use omp_offload::{
+    DiagCode, ElideMode, MapDir, MapEntry, OmpError, OmpRuntime, RuntimeConfig, TargetRegion,
+};
+use proptest::prelude::*;
+use sim_des::VirtDuration;
+
+const NBUF: usize = 4;
+const BUF: u64 = 8192;
+
+fn kernel(name: &'static str) -> TargetRegion<'static> {
+    TargetRegion::new(name, VirtDuration::from_micros(3))
+}
+
+/// Interpret the opcode trace as a well-formed-but-redundantly-mapping
+/// program against `rt`. Returns the memory digest taken before teardown
+/// (teardown frees the buffers, which would empty the digest).
+fn drive(rt: &mut OmpRuntime, ops: &[(u8, u8, u8)]) -> Result<u64, OmpError> {
+    let t = 0usize;
+    let mut bufs = Vec::with_capacity(NBUF);
+    for _ in 0..NBUF {
+        let a = rt.host_alloc(t, BUF)?;
+        let r = AddrRange::new(a, BUF);
+        rt.host_write(t, r)?;
+        bufs.push(r);
+    }
+
+    // Per-buffer stack of enter directions (refcount model) and whether a
+    // nowait kernel's deferred exit is still in flight. The *first* map of a
+    // buffer always carries a transfer direction, so the final (stack-
+    // bottom) exit is a `from` that syncs the host copy — without it, a
+    // kernel's device writes under an unelided transfer-direction re-map
+    // would be a real MC004 staleness hazard, not a redundancy warning.
+    let mut stacks: Vec<Vec<MapDir>> = vec![Vec::new(); NBUF];
+    let mut pending = [false; NBUF];
+
+    for &(op, buf, aux) in ops {
+        let b = buf as usize % NBUF;
+        let r = bufs[b];
+        let closed = stacks[b].is_empty() && !pending[b];
+        match op % 6 {
+            0 if closed => rt.host_write(t, r)?,
+            1 if closed => rt.host_read(t, r),
+            2 => {
+                let dir = if closed {
+                    if aux & 1 == 1 {
+                        MapDir::To
+                    } else {
+                        MapDir::ToFrom
+                    }
+                } else {
+                    // Re-map of a present extent: transfer directions here
+                    // are exactly the MC007 sites elision promotes.
+                    match aux % 3 {
+                        0 => MapDir::To,
+                        1 => MapDir::ToFrom,
+                        _ => MapDir::Alloc,
+                    }
+                };
+                let entry = match dir {
+                    MapDir::To => MapEntry::to(r),
+                    MapDir::ToFrom => MapEntry::tofrom(r),
+                    _ => MapEntry::alloc(r),
+                };
+                rt.target_enter_data(t, &[entry])?;
+                stacks[b].push(dir);
+            }
+            3 if !stacks[b].is_empty() && !pending[b] => {
+                let entry = match stacks[b].pop().unwrap() {
+                    MapDir::Alloc => MapEntry::alloc(r),
+                    _ => MapEntry::from(r),
+                };
+                rt.target_exit_data(t, &[entry], false)?;
+            }
+            4 => {
+                if closed {
+                    let region = kernel("prop-kernel").map(MapEntry::tofrom(r));
+                    if aux & 1 == 1 {
+                        rt.target_nowait(t, region)?;
+                        pending[b] = true;
+                    } else {
+                        rt.target(t, region)?;
+                    }
+                } else {
+                    // Present extent: plain transfer-direction re-maps are
+                    // allowed here (MC007 candidates), alongside the
+                    // always/alloc forms the strict driver uses.
+                    let entry = match aux % 3 {
+                        0 => MapEntry::tofrom(r),
+                        1 => MapEntry::tofrom(r).always(),
+                        _ => MapEntry::alloc(r),
+                    };
+                    rt.target(t, kernel("prop-kernel").map(entry))?;
+                }
+            }
+            5 => {
+                rt.taskwait(t)?;
+                pending = [false; NBUF];
+            }
+            _ => {} // gated-out op: skip
+        }
+    }
+
+    // Drain epilogue: settle deferred transfers, unwind every stack.
+    rt.taskwait(t)?;
+    for b in 0..NBUF {
+        while let Some(dir) = stacks[b].pop() {
+            let entry = match dir {
+                MapDir::Alloc => MapEntry::alloc(bufs[b]),
+                _ => MapEntry::from(bufs[b]),
+            };
+            rt.target_exit_data(t, &[entry], false)?;
+        }
+    }
+    for r in &bufs {
+        rt.host_read(t, *r);
+    }
+    let digest = rt.memory_digest();
+    for r in &bufs {
+        rt.host_free(t, r.start)?;
+    }
+    Ok(digest)
+}
+
+fn op_traces(max_len: usize) -> impl Strategy<Value = Vec<(u8, u8, u8)>> {
+    proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 4..max_len)
+}
+
+fn sanitized_run(
+    config: RuntimeConfig,
+    elide: ElideMode,
+    ops: &[(u8, u8, u8)],
+) -> (u64, omp_offload::OverheadLedger, Vec<DiagCode>) {
+    let mut rt = OmpRuntime::builder(CostModel::mi300a_no_thp(), Topology::default())
+        .config(config)
+        .sanitize(true)
+        .elide(elide)
+        .build()
+        .expect("build sanitized runtime");
+    let digest = drive(&mut rt, ops).expect("well-formed run");
+    let ledger = *rt.ledger();
+    let codes = rt.sanitizer_finalize().iter().map(|d| d.code).collect();
+    (digest, ledger, codes)
+}
+
+proptest! {
+    #[test]
+    fn elision_preserves_semantics_on_redundantly_mapped_programs(ops in op_traces(40)) {
+        let ir = capture_run(1, |rt| drive(rt, &ops).map(|_| ())).expect("capture");
+        let plan = elision_plan(&ir);
+        for config in RuntimeConfig::ALL {
+            let static_codes: Vec<DiagCode> =
+                check(&ir, config).iter().map(|d| d.code).collect();
+            prop_assert!(
+                static_codes.iter().all(|&c| c == DiagCode::Mc007),
+                "static non-MC007 under {}: {static_codes:?}\nops: {ops:?}",
+                config.label()
+            );
+
+            let (d_off, off, off_codes) = sanitized_run(config, ElideMode::Off, &ops);
+            prop_assert!(
+                off_codes.iter().all(|&c| c == DiagCode::Mc007),
+                "sanitizer non-MC007 under {}: {off_codes:?}\nops: {ops:?}",
+                config.label()
+            );
+            prop_assert_eq!(&static_codes, &off_codes);
+
+            let (d_on, on, on_codes) = sanitized_run(config, ElideMode::Online, &ops);
+            prop_assert!(
+                on_codes.is_empty(),
+                "elided run not clean under {}: {on_codes:?}\nops: {ops:?}",
+                config.label()
+            );
+            prop_assert_eq!(d_off, d_on, "digest diverged under {}", config.label());
+            prop_assert_eq!(
+                (off.copies, off.bytes_copied, off.kernels, off.maps, off.prefault_calls),
+                (on.copies, on.bytes_copied, on.kernels, on.maps, on.prefault_calls),
+                "counters diverged under {}",
+                config.label()
+            );
+            prop_assert_eq!(
+                off.mm_total().saturating_sub(on.mm_total()),
+                on.mm_saved,
+                "accounting identity broken under {}",
+                config.label()
+            );
+            prop_assert_eq!(off.maps_elided, 0);
+
+            // Profile-guided mode applies the statically planned sites and
+            // lands on the same memory.
+            let (d_plan, planned, plan_codes) =
+                sanitized_run(config, ElideMode::Plan(plan.clone()), &ops);
+            prop_assert!(plan_codes.is_empty(), "planned run not clean: {plan_codes:?}");
+            prop_assert_eq!(d_off, d_plan);
+            prop_assert_eq!(planned.maps_elided, on.maps_elided);
+            prop_assert_eq!(planned.maps_elided as usize, plan.len());
+        }
+    }
+}

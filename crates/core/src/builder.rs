@@ -11,11 +11,22 @@
 //! [`OmpError::UnsupportedDeployment`]).
 
 use crate::config::{RunEnv, RuntimeConfig};
+use crate::elide::ElideMode;
 use crate::error::OmpError;
 use crate::runtime::OmpRuntime;
 use apu_mem::{CostModel, MemOptions, SystemKind, XnackMode};
 use hsa_rocr::{HsaRuntime, Topology};
 use sim_des::{Backoff, FaultPlan};
+
+/// Instrumentation switches forwarded from the builder to the runtime
+/// constructor (grouped so the constructor signature stays readable).
+#[derive(Debug, Clone)]
+pub(crate) struct Instrumentation {
+    pub capture: bool,
+    pub sanitize: bool,
+    pub sanitize_every: u64,
+    pub elide: ElideMode,
+}
 
 /// Bounded retry-with-backoff parameters applied by [`OmpRuntime`] to
 /// transient failures (injected alloc/DMA/dispatch faults and real pool
@@ -66,6 +77,8 @@ pub struct RuntimeBuilder {
     recovery: RecoveryPolicy,
     capture: bool,
     sanitize: bool,
+    sanitize_every: u64,
+    elide: ElideMode,
 }
 
 impl RuntimeBuilder {
@@ -82,6 +95,8 @@ impl RuntimeBuilder {
             recovery: RecoveryPolicy::default(),
             capture: false,
             sanitize: false,
+            sanitize_every: 1,
+            elide: ElideMode::Off,
         }
     }
 
@@ -158,6 +173,33 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Sampled sanitizer mode: like [`sanitize`](Self::sanitize), but only
+    /// 1-in-`n` hook observations check and report diagnostics, selected by
+    /// a deterministic counter (the first observation is always checked).
+    /// Shadow state — extent clocks, pool tracking — is maintained on every
+    /// hook regardless, and end-of-program leak checks always run, so
+    /// sampling trades detection latency for hook cost, never state drift.
+    /// `n == 0` is treated as 1 (observe everything).
+    pub fn sanitize_sampled(mut self, n: u64) -> Self {
+        self.sanitize = true;
+        self.sanitize_every = n.max(1);
+        self
+    }
+
+    /// Handle MC007-redundant maps according to `mode` (default
+    /// [`ElideMode::Off`]): promote re-maps of present extents that carry a
+    /// transfer direction and no `always` modifier into no-transfer `alloc`
+    /// maps, either by probing the live mapping table
+    /// ([`ElideMode::Online`]) or by applying a precomputed plan
+    /// ([`ElideMode::Plan`]). Promotion never changes program results — the
+    /// enclosing reference already keeps transfers suppressed — it removes
+    /// the per-entry transfer-decision service cost under Copy data
+    /// handling.
+    pub fn elide(mut self, mode: ElideMode) -> Self {
+        self.elide = mode;
+        self
+    }
+
     /// Construct the runtime: pick the engaging configuration (with startup
     /// degradation), build the memory system, run device/per-thread
     /// initialization, and arm the fault plan.
@@ -226,8 +268,12 @@ impl RuntimeBuilder {
             self.threads,
             self.recovery,
             degraded_from,
-            self.capture,
-            self.sanitize,
+            Instrumentation {
+                capture: self.capture,
+                sanitize: self.sanitize,
+                sanitize_every: self.sanitize_every,
+                elide: self.elide,
+            },
         ))
     }
 }

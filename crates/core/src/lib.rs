@@ -48,11 +48,13 @@ mod builder;
 mod card;
 mod config;
 pub mod diag;
+mod elide;
 mod error;
 mod globals;
 mod kernel;
 mod mapir;
 mod mapping;
+mod replay;
 mod runtime;
 mod sanitize;
 mod trace;
@@ -61,11 +63,13 @@ pub use builder::{RecoveryPolicy, RuntimeBuilder};
 pub use card::{CardReport, CardRuntime, Fabric};
 pub use config::{RunEnv, RuntimeConfig};
 pub use diag::{DiagCode, Diagnostic, Severity};
+pub use elide::{ElideMode, ElisionPlan};
 pub use error::OmpError;
 pub use globals::{GlobalEntry, GlobalId, GlobalRegistry};
 pub use kernel::{GpuPerf, KernelBody, KernelCtx, TargetRegion};
 pub use mapir::{KernelOp, MapIr, MapOp, MapRecord};
 pub use mapping::{MapDir, MapEntry, Mapping, MappingTable, Presence};
+pub use replay::{replay, replay_threads, ReplayOutcome, REPLAY_KERNEL_COMPUTE_US};
 pub use runtime::{OmpRuntime, RunReport};
 pub use sanitize::SanitizerReport;
 pub use trace::{KernelTraceEntry, OverheadLedger, RecoveryAction, RecoveryEvent};

@@ -125,12 +125,23 @@ pub enum Presence {
     Partial,
 }
 
+/// Ways in the extent-keyed presence lookup cache. Sized for the repeated-map
+/// workloads that drive elision (a kernel's handful of operands re-probed
+/// every iteration), not for capacity.
+const LOOKUP_CACHE_WAYS: usize = 8;
+
 /// The mapping table: live entries keyed by host start address.
 #[derive(Debug, Default)]
 pub struct MappingTable {
     entries: BTreeMap<u64, Mapping>,
     /// Lifetime number of map operations processed (statistics).
     total_maps: u64,
+    /// Extent-keyed presence cache, most-recently-used first (so index 0 is
+    /// the last-hit slot and the tail ages out LRU). Invalidated whenever an
+    /// entry is inserted or removed — refcount changes don't affect presence.
+    cache: Vec<(AddrRange, Presence)>,
+    lookup_hits: u64,
+    lookup_misses: u64,
 }
 
 impl MappingTable {
@@ -176,6 +187,30 @@ impl MappingTable {
         }
     }
 
+    /// Classify `range` through the extent-keyed lookup cache (last-hit plus
+    /// a small LRU over full extents). Returns the presence and whether the
+    /// probe hit the cache. This is the elision hot path: the repeated-map
+    /// workloads probe the same few extents once per kernel per iteration,
+    /// so after the first round every probe is an O(1) cache hit.
+    pub fn presence_cached(&mut self, range: &AddrRange) -> (Presence, bool) {
+        if let Some(i) = self.cache.iter().position(|(r, _)| r == range) {
+            let slot = self.cache.remove(i);
+            self.cache.insert(0, slot);
+            self.lookup_hits += 1;
+            return (self.cache[0].1, true);
+        }
+        let p = self.presence(range);
+        self.cache.insert(0, (*range, p));
+        self.cache.truncate(LOOKUP_CACHE_WAYS);
+        self.lookup_misses += 1;
+        (p, false)
+    }
+
+    /// `(hits, misses)` observed by [`presence_cached`](Self::presence_cached).
+    pub fn lookup_cache_stats(&self) -> (u64, u64) {
+        (self.lookup_hits, self.lookup_misses)
+    }
+
     /// The live entry containing `addr`, if any.
     pub fn find(&self, addr: VirtAddr) -> Option<&Mapping> {
         self.entries
@@ -194,6 +229,7 @@ impl MappingTable {
     /// the range is `Absent`.
     pub fn insert(&mut self, host: AddrRange, device_base: VirtAddr) {
         debug_assert_eq!(self.presence(&host), Presence::Absent);
+        self.cache.clear();
         self.total_maps += 1;
         self.entries.insert(
             host.start.as_u64(),
@@ -237,6 +273,7 @@ impl MappingTable {
             m.refcount.saturating_sub(1)
         };
         if m.refcount == 0 {
+            self.cache.clear();
             Ok(self.entries.remove(&key))
         } else {
             Ok(None)
@@ -333,6 +370,40 @@ mod tests {
         assert!(e.always);
         assert_eq!(e.dir, MapDir::ToFrom);
         assert!(!MapEntry::alloc(r(0, 8)).always);
+    }
+
+    #[test]
+    fn cached_presence_hits_on_repeat_and_invalidates_on_change() {
+        let mut t = MappingTable::new();
+        t.insert(r(1000, 100), VirtAddr(1000));
+        let q = r(1000, 100);
+        assert_eq!(t.presence_cached(&q), (Presence::Present, false));
+        assert_eq!(t.presence_cached(&q), (Presence::Present, true));
+        assert_eq!(t.lookup_cache_stats(), (1, 1));
+        // An insert changes what Absent probes would answer: cache flushes.
+        t.insert(r(5000, 10), VirtAddr(5000));
+        assert_eq!(t.presence_cached(&q), (Presence::Present, false));
+        // Refcount-only release keeps presence — and the cache — intact.
+        t.retain(&q).unwrap();
+        assert!(t.release(&q, false).unwrap().is_none());
+        assert_eq!(t.presence_cached(&q), (Presence::Present, true));
+        // Removal flushes, and the fresh probe sees the extent gone.
+        assert!(t.release(&q, false).unwrap().is_some());
+        assert_eq!(t.presence_cached(&q), (Presence::Absent, false));
+    }
+
+    #[test]
+    fn cache_ages_out_least_recently_used_extents() {
+        let mut t = MappingTable::new();
+        t.insert(r(0, 8), VirtAddr(0));
+        // Prime more distinct probe extents than the cache holds.
+        for i in 0..(LOOKUP_CACHE_WAYS as u64 + 2) {
+            t.presence_cached(&r(i * 8, 4));
+        }
+        // The oldest probe aged out; the newest is still cached.
+        assert!(!t.presence_cached(&r(0, 4)).1);
+        let newest = (LOOKUP_CACHE_WAYS as u64 + 1) * 8;
+        assert!(t.presence_cached(&r(newest, 4)).1);
     }
 
     #[test]

@@ -1,0 +1,259 @@
+//! Re-execute a captured [`MapIr`] stream against a live runtime.
+//!
+//! A capture records the program's data-environment operations with the
+//! addresses of the capture run. Replay re-issues each operation through the
+//! public runtime API — under any configuration, with any instrumentation
+//! (sanitizer, elision) — which means allocations happen again and generally
+//! land at *different* addresses: under Copy data handling the replayed
+//! `begin_map` pool allocations interleave with the recorded `PoolAlloc`
+//! ops, shifting every later pool address. Replay therefore maintains a
+//! captured-to-replayed address rebase built from the re-executed
+//! `host_alloc` / `omp_target_alloc` / `declare_target_global` operations
+//! and translates every subsequent range through it.
+//!
+//! Captured kernels carry no compute duration (MapIR records the data
+//! environment, not the roofline inputs), so each replayed kernel charges a
+//! fixed nominal [`REPLAY_KERNEL_COMPUTE_US`] — replay reproduces the
+//! *runtime-handling* behaviour of the program, not its compute profile.
+//!
+//! This is the vehicle for profile-guided elision: compute an
+//! [`ElisionPlan`](crate::ElisionPlan) from the capture, build the replay
+//! runtime with [`ElideMode::Plan`](crate::ElideMode), and the plan's
+//! `(op_index, map_index)` sites resolve against the replayed stream because
+//! the runtime's operation counter advances identically on capture and on
+//! execution.
+
+use crate::error::OmpError;
+use crate::globals::GlobalId;
+use crate::kernel::TargetRegion;
+use crate::mapir::{MapIr, MapOp};
+use crate::mapping::MapEntry;
+use crate::runtime::OmpRuntime;
+use apu_mem::{AddrRange, VirtAddr};
+use sim_des::VirtDuration;
+use std::collections::BTreeMap;
+
+/// Nominal compute (µs) charged per replayed kernel launch.
+pub const REPLAY_KERNEL_COMPUTE_US: u64 = 5;
+
+/// Counters describing one completed replay.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReplayOutcome {
+    /// Captured records re-executed.
+    pub ops: usize,
+    /// Kernel launches among them.
+    pub kernels: usize,
+}
+
+/// Captured-to-replayed address translation, keyed by the captured
+/// allocation spans. Addresses outside every recorded span pass through
+/// unchanged.
+#[derive(Debug, Default)]
+struct Rebase {
+    /// Captured span start → (span length, replayed span start).
+    spans: BTreeMap<u64, (u64, u64)>,
+}
+
+impl Rebase {
+    fn insert(&mut self, old: AddrRange, new_start: VirtAddr) {
+        self.spans
+            .insert(old.start.as_u64(), (old.len, new_start.as_u64()));
+    }
+
+    fn remove(&mut self, old_start: VirtAddr) -> Option<VirtAddr> {
+        self.spans
+            .remove(&old_start.as_u64())
+            .map(|(_, new)| VirtAddr(new))
+    }
+
+    fn addr(&self, a: VirtAddr) -> VirtAddr {
+        let x = a.as_u64();
+        if let Some((start, (len, new))) = self.spans.range(..=x).next_back() {
+            if x < start + len {
+                return VirtAddr(new + (x - start));
+            }
+        }
+        a
+    }
+
+    fn range(&self, r: AddrRange) -> AddrRange {
+        AddrRange::new(self.addr(r.start), r.len)
+    }
+
+    fn entry(&self, e: &MapEntry) -> MapEntry {
+        MapEntry {
+            range: self.range(e.range),
+            ..*e
+        }
+    }
+}
+
+/// Re-execute `ir` against `rt`, operation by operation, in capture order.
+///
+/// `rt` must be a freshly built runtime with at least as many host threads
+/// as the capture used and must not itself be in capture mode (a capturing
+/// runtime would record instead of executing). Errors propagate from the
+/// first operation that fails.
+pub fn replay(rt: &mut OmpRuntime, ir: &MapIr) -> Result<ReplayOutcome, OmpError> {
+    let mut rb = Rebase::default();
+    let mut globals: BTreeMap<usize, GlobalId> = BTreeMap::new();
+    let mut out = ReplayOutcome::default();
+    for rec in &ir.records {
+        let t = rec.thread as usize;
+        out.ops += 1;
+        match &rec.op {
+            MapOp::HostAlloc { range } => {
+                let a = rt.host_alloc(t, range.len)?;
+                rb.insert(*range, a);
+            }
+            MapOp::HostFree { addr } => {
+                let a = rb.remove(*addr).unwrap_or(*addr);
+                rt.host_free(t, a)?;
+            }
+            MapOp::PoolAlloc { range } => {
+                let a = rt.omp_target_alloc(t, range.len)?;
+                rb.insert(*range, a);
+            }
+            MapOp::PoolFree { addr } => {
+                let a = rb.remove(*addr).unwrap_or(*addr);
+                rt.omp_target_free(t, a)?;
+            }
+            MapOp::HostWrite { range } => rt.host_write(t, rb.range(*range))?,
+            MapOp::HostRead { range } => rt.host_read(t, rb.range(*range)),
+            MapOp::GlobalDecl { id, host } => {
+                let gid = rt.declare_target_global(t, host.len)?;
+                rb.insert(*host, rt.global_host(gid)?.start);
+                globals.insert(*id, gid);
+            }
+            MapOp::MapEnter { entry } => rt.target_enter_data(t, &[rb.entry(entry)])?,
+            MapOp::MapExit { entry, delete } => {
+                rt.target_exit_data(t, &[rb.entry(entry)], *delete)?
+            }
+            MapOp::Update { to, from } => {
+                let to: Vec<AddrRange> = to.iter().map(|r| rb.range(*r)).collect();
+                let from: Vec<AddrRange> = from.iter().map(|r| rb.range(*r)).collect();
+                rt.target_update(t, &to, &from)?;
+            }
+            MapOp::Kernel(k) => {
+                out.kernels += 1;
+                let mut region =
+                    TargetRegion::new(&k.name, VirtDuration::from_micros(REPLAY_KERNEL_COMPUTE_US));
+                for e in &k.maps {
+                    region = region.map(rb.entry(e));
+                }
+                for r in &k.raw {
+                    region = region.access(rb.range(*r));
+                }
+                for id in &k.globals {
+                    let gid = globals
+                        .get(id)
+                        .copied()
+                        .ok_or(OmpError::UnknownGlobal { index: *id })?;
+                    region = region.global(gid);
+                }
+                if k.nowait {
+                    rt.target_nowait(t, region)?;
+                } else {
+                    rt.target(t, region)?;
+                }
+            }
+            MapOp::Taskwait => rt.taskwait(t)?,
+        }
+    }
+    Ok(out)
+}
+
+/// The highest thread index the capture uses, plus one — the thread count a
+/// replay runtime must be built with.
+pub fn replay_threads(ir: &MapIr) -> usize {
+    ir.records
+        .iter()
+        .map(|r| r.thread as usize + 1)
+        .max()
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RuntimeConfig;
+    use apu_mem::CostModel;
+    use hsa_rocr::Topology;
+
+    fn capture_small_program() -> MapIr {
+        let mut rt = OmpRuntime::builder(CostModel::mi300a_no_thp(), Topology::default())
+            .config(RuntimeConfig::ImplicitZeroCopy)
+            .capture(true)
+            .build()
+            .unwrap();
+        let a = rt.host_alloc(0, 8192).unwrap();
+        let r = AddrRange::new(a, 8192);
+        rt.host_write(0, r).unwrap();
+        rt.target_enter_data(0, &[MapEntry::to(r)]).unwrap();
+        rt.target(
+            0,
+            TargetRegion::new("k", VirtDuration::from_micros(3)).map(MapEntry::alloc(r)),
+        )
+        .unwrap();
+        rt.target_exit_data(0, &[MapEntry::from(r)], false).unwrap();
+        rt.host_read(0, r);
+        rt.host_free(0, a).unwrap();
+        rt.take_mapir().unwrap()
+    }
+
+    #[test]
+    fn replay_reexecutes_a_capture_under_any_config() {
+        let ir = capture_small_program();
+        for config in RuntimeConfig::ALL {
+            let mut rt = OmpRuntime::builder(CostModel::mi300a_no_thp(), Topology::default())
+                .config(config)
+                .threads(replay_threads(&ir))
+                .sanitize(true)
+                .build()
+                .unwrap();
+            let out = replay(&mut rt, &ir).expect("replay");
+            assert_eq!(out.ops, ir.len());
+            assert_eq!(out.kernels, 1);
+            assert_eq!(rt.ledger().kernels, 1);
+            assert!(rt.sanitizer_finalize().is_empty(), "{config:?}");
+            assert_eq!(rt.live_mappings(), 0);
+        }
+    }
+
+    #[test]
+    fn replay_rebases_pool_and_global_addresses() {
+        // Build a capture whose kernel dereferences pool memory and a
+        // global; Copy-mode replay shifts pool addresses (begin_map
+        // allocations interleave), so this only passes if rebasing works.
+        let mut rt = OmpRuntime::builder(CostModel::mi300a_no_thp(), Topology::default())
+            .config(RuntimeConfig::ImplicitZeroCopy)
+            .capture(true)
+            .build()
+            .unwrap();
+        let a = rt.host_alloc(0, 4096).unwrap();
+        let r = AddrRange::new(a, 4096);
+        let pool = AddrRange::new(rt.omp_target_alloc(0, 4096).unwrap(), 4096);
+        let g = rt.declare_target_global(0, 256).unwrap();
+        rt.target_enter_data(0, &[MapEntry::tofrom(r)]).unwrap();
+        rt.target(
+            0,
+            TargetRegion::new("k", VirtDuration::from_micros(3))
+                .map(MapEntry::alloc(r))
+                .access(pool)
+                .global(g),
+        )
+        .unwrap();
+        rt.target_exit_data(0, &[MapEntry::from(r)], false).unwrap();
+        rt.omp_target_free(0, pool.start).unwrap();
+        let ir = rt.take_mapir().unwrap();
+
+        let mut rt = OmpRuntime::builder(CostModel::mi300a_no_thp(), Topology::default())
+            .config(RuntimeConfig::LegacyCopy)
+            .sanitize(true)
+            .build()
+            .unwrap();
+        let out = replay(&mut rt, &ir).expect("copy-mode replay");
+        assert_eq!(out.kernels, 1);
+        assert!(rt.sanitizer_finalize().is_empty());
+    }
+}

@@ -6,14 +6,15 @@
 //! and target regions; the runtime translates them into HSA calls according
 //! to the active configuration and attributes overheads to the MM/MI ledger.
 
-use crate::builder::{RecoveryPolicy, RuntimeBuilder};
+use crate::builder::{Instrumentation, RecoveryPolicy, RuntimeBuilder};
 use crate::config::RuntimeConfig;
 use crate::diag::Diagnostic;
+use crate::elide::ElideMode;
 use crate::error::OmpError;
 use crate::globals::{GlobalId, GlobalRegistry};
 use crate::kernel::{KernelCtx, TargetRegion};
 use crate::mapir::{KernelOp, MapIr, MapOp};
-use crate::mapping::{MapEntry, MappingTable, Presence};
+use crate::mapping::{MapDir, MapEntry, MappingTable, Presence};
 use crate::sanitize::{MapSanitizer, SanitizerReport};
 use crate::trace::{KernelTraceEntry, OverheadLedger, RecoveryAction, RecoveryEvent};
 use apu_mem::{AddrRange, ApuMemory, CostModel, MemError, MemStats, VirtAddr, XnackMode};
@@ -79,6 +80,12 @@ pub struct OmpRuntime {
     capture: Option<MapIr>,
     /// Sanitizer mode: dynamic invariant checking alongside execution.
     sanitizer: Option<MapSanitizer>,
+    /// How MC007-redundant maps are handled (promotion to `alloc`).
+    elide: ElideMode,
+    /// Data-environment operation counter, advanced identically on capture
+    /// and on execution so plan-mode elision sites (keyed by capture op
+    /// index) line up when the same program runs for real.
+    op_counter: u64,
 }
 
 impl OmpRuntime {
@@ -96,8 +103,7 @@ impl OmpRuntime {
         threads: usize,
         recovery: RecoveryPolicy,
         degraded_from: Option<RuntimeConfig>,
-        capture: bool,
-        sanitize: bool,
+        instr: Instrumentation,
     ) -> Self {
         let mut rt = OmpRuntime {
             hsa,
@@ -114,10 +120,13 @@ impl OmpRuntime {
             degraded_from,
             xnack_lost: false,
             recovery_log: Vec::new(),
-            capture: capture.then(MapIr::new),
+            capture: instr.capture.then(MapIr::new),
             // Capture wins: recorded directives never execute, so there is
             // nothing for a sanitizer to observe.
-            sanitizer: (sanitize && !capture).then(|| MapSanitizer::new(config)),
+            sanitizer: (instr.sanitize && !instr.capture)
+                .then(|| MapSanitizer::with_sampling(config, instr.sanitize_every)),
+            elide: instr.elide,
+            op_counter: 0,
         };
         if let Some(from) = degraded_from {
             rt.ledger.degradations += 1;
@@ -159,6 +168,45 @@ impl OmpRuntime {
     /// Live mapping-table entries (diagnostics).
     pub fn live_mappings(&self) -> usize {
         self.mapping.len()
+    }
+
+    /// `(hits, misses)` observed by the mapping table's extent-keyed
+    /// presence lookup cache (the online-elision hot path).
+    pub fn mapping_cache_stats(&self) -> (u64, u64) {
+        self.mapping.lookup_cache_stats()
+    }
+
+    /// FNV-1a digest over every live virtual memory area: address, length,
+    /// and full contents (sparse pages read as zeros). Two runs of the same
+    /// program digest equal iff they left bit-identical memory behind —
+    /// this is how the harness asserts elision never changes results.
+    pub fn memory_digest(&self) -> u64 {
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        fn mix(h: &mut u64, bytes: &[u8]) {
+            for &b in bytes {
+                *h = (*h ^ u64::from(b)).wrapping_mul(PRIME);
+            }
+        }
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut buf = vec![0u8; 1 << 20];
+        for vma in self.mem().vmas() {
+            mix(&mut h, &vma.range.start.as_u64().to_le_bytes());
+            mix(&mut h, &vma.range.len.to_le_bytes());
+            let mut off = 0u64;
+            while off < vma.range.len {
+                let n = (vma.range.len - off).min(buf.len() as u64) as usize;
+                if self
+                    .mem()
+                    .cpu_read(vma.range.start.offset(off), &mut buf[..n])
+                    .is_err()
+                {
+                    break;
+                }
+                mix(&mut h, &buf[..n]);
+                off += n as u64;
+            }
+        }
+        h
     }
 
     /// The overhead ledger so far.
@@ -318,9 +366,11 @@ impl OmpRuntime {
         entries: &[MapEntry],
     ) -> Result<(), OmpError> {
         for e in entries {
-            self.record(thread, MapOp::MapEnter { entry: *e });
+            let op_idx = self.record(thread, MapOp::MapEnter { entry: *e });
             if self.capture.is_none() {
-                self.begin_map(thread, e)?;
+                let mut entry = [*e];
+                self.elide_rewrite(thread, &mut entry, op_idx);
+                self.begin_map(thread, &entry[0])?;
             }
         }
         Ok(())
@@ -378,6 +428,7 @@ impl OmpRuntime {
             );
             return Ok(());
         }
+        self.note_op();
         if !self.config.is_zero_copy() {
             if self.sanitizer.is_some() {
                 let tov: Vec<(AddrRange, Presence)> =
@@ -409,7 +460,7 @@ impl OmpRuntime {
     pub fn target(&mut self, thread: usize, region: TargetRegion<'_>) -> Result<(), OmpError> {
         let TargetRegion {
             name,
-            maps,
+            mut maps,
             raw_accesses,
             globals,
             compute,
@@ -428,6 +479,11 @@ impl OmpRuntime {
             return Ok(());
         }
 
+        let op_idx = self.note_op();
+        // Elision rewrites the map list up front so everything downstream —
+        // begin maps, the sanitizer's kernel hook, argument translation,
+        // and the exit maps — sees the promoted `alloc` entries.
+        self.elide_rewrite(thread, &mut maps, op_idx);
         for e in &maps {
             self.begin_map(thread, e)?;
         }
@@ -541,7 +597,7 @@ impl OmpRuntime {
     ) -> Result<(), OmpError> {
         let TargetRegion {
             name,
-            maps,
+            mut maps,
             raw_accesses,
             globals,
             compute,
@@ -560,6 +616,11 @@ impl OmpRuntime {
             return Ok(());
         }
 
+        let op_idx = self.note_op();
+        // As in `target`: rewrite before anything observes the map list, so
+        // the deferred exit maps released at `taskwait` are the promoted
+        // entries too.
+        self.elide_rewrite(thread, &mut maps, op_idx);
         for e in &maps {
             self.begin_map(thread, e)?;
         }
@@ -701,10 +762,84 @@ impl OmpRuntime {
         Some(s.into_report())
     }
 
-    /// Append to the capture stream (no-op unless in capture mode).
-    fn record(&mut self, thread: usize, op: MapOp) {
+    /// Advance the operation counter: one tick per data-environment
+    /// operation, in the exact order capture mode records them. Execute
+    /// paths that don't call [`record`](Self::record) (kernels, updates)
+    /// tick it directly so plan-mode elision sites — keyed by capture op
+    /// index — resolve against the same numbering at execution time.
+    fn note_op(&mut self) -> u64 {
+        let idx = self.op_counter;
+        self.op_counter += 1;
+        idx
+    }
+
+    /// Append to the capture stream (no-op unless in capture mode) and
+    /// return the operation's stream index.
+    fn record(&mut self, thread: usize, op: MapOp) -> u64 {
+        let idx = self.note_op();
         if let Some(ir) = &mut self.capture {
             ir.push(thread as u32, op);
+        }
+        idx
+    }
+
+    /// The elision optimization pass: rewrite MC007-eligible entries in
+    /// `maps` — present extent, transfer direction, no `always` — into
+    /// no-transfer `alloc` maps, per the active [`ElideMode`].
+    ///
+    /// Eligibility is evaluated against the table state *before* the
+    /// enclosing construct begins any of its own maps (the whole vector is
+    /// rewritten up front): presence then implies an enclosing reference
+    /// that outlives this construct, so neither the suppressed entry
+    /// transfer nor the exit-side from-transfer decision can change — the
+    /// rewrite only removes the per-entry transfer-decision service cost
+    /// (see DESIGN.md §11). Two maps of the same extent within one
+    /// construct are deliberately *not* treated as making each other
+    /// present.
+    ///
+    /// Online mode charges the (cached) presence probe under Copy data
+    /// handling; plan mode charges nothing. Zero-copy configurations charge
+    /// neither the service cost nor the probe, so elision is
+    /// makespan-neutral there.
+    fn elide_rewrite(&mut self, thread: usize, maps: &mut [MapEntry], op_idx: u64) {
+        if self.elide == ElideMode::Off {
+            return;
+        }
+        let online = self.elide == ElideMode::Online;
+        let (svc, hit_cost, miss_cost) = {
+            let c = self.mem().cost();
+            (c.map_service, c.map_lookup_hit, c.map_lookup_miss)
+        };
+        for (i, entry) in maps.iter_mut().enumerate() {
+            let e = *entry;
+            if e.dir == MapDir::Alloc || e.always {
+                continue;
+            }
+            if online {
+                let (presence, hit) = self.mapping.presence_cached(&e.range);
+                if presence != Presence::Present {
+                    continue;
+                }
+                if !self.config.is_zero_copy() {
+                    let lookup = if hit { hit_cost } else { miss_cost };
+                    self.ledger.mm_map += lookup;
+                    self.ledger.mm_saved += svc - lookup;
+                    self.hsa.host_compute(thread, lookup);
+                }
+            } else {
+                let planned = match &self.elide {
+                    ElideMode::Plan(p) => p.contains(op_idx, i as u32),
+                    _ => unreachable!("Off and Online handled above"),
+                };
+                if !planned {
+                    continue;
+                }
+                if !self.config.is_zero_copy() {
+                    self.ledger.mm_saved += svc;
+                }
+            }
+            self.ledger.maps_elided += 1;
+            *entry = MapEntry::alloc(e.range);
         }
     }
 
@@ -946,9 +1081,21 @@ impl OmpRuntime {
             Presence::Partial => return Err(OmpError::PartialOverlap { range: e.range }),
             Presence::Present => {
                 self.mapping.retain(&e.range)?;
-                if !self.config.is_zero_copy() && e.always && e.dir.copies_to() {
-                    let dev = self.require_translation(&e.range)?;
-                    self.issue_copy(thread, e.range.start, dev, e.range.len, false)?;
+                if !self.config.is_zero_copy() {
+                    if e.always && e.dir.copies_to() {
+                        let dev = self.require_translation(&e.range)?;
+                        self.issue_copy(thread, e.range.start, dev, e.range.len, false)?;
+                    } else if e.dir != MapDir::Alloc && !e.always {
+                        // Transfer-direction re-map of a present extent
+                        // (MC007's pattern): no data moves, but the entry
+                        // still runs the full targetDataBegin transfer-
+                        // decision path. This is the service cost the
+                        // elision pass recovers; `alloc` entries
+                        // short-circuit it.
+                        let svc = self.mem().cost().map_service;
+                        self.ledger.mm_map += svc;
+                        self.hsa.host_compute(thread, svc);
+                    }
                 }
             }
             Presence::Absent => {
@@ -1690,5 +1837,123 @@ mod tests {
             )
         };
         assert_eq!(run(false), run(true));
+    }
+
+    /// A program with per-iteration MC007 sites: one enclosing `tofrom`
+    /// enter, then kernels that re-map the present extent with a transfer
+    /// direction and no `always`.
+    fn redundant_remap_program(r: &mut OmpRuntime, iters: u64) {
+        let a = r.host_alloc(0, 8192).unwrap();
+        let range = AddrRange::new(a, 8192);
+        r.host_write(0, range).unwrap();
+        r.target_enter_data(0, &[MapEntry::tofrom(range)]).unwrap();
+        for _ in 0..iters {
+            let region = TargetRegion::new("iter", VirtDuration::from_micros(5))
+                .map(MapEntry::tofrom(range));
+            r.target(0, region).unwrap();
+        }
+        r.target_exit_data(0, &[MapEntry::from(range)], false)
+            .unwrap();
+        r.host_read(0, range);
+    }
+
+    fn elide_run(config: RuntimeConfig, elide: ElideMode) -> (u64, RunReport) {
+        let mut r = OmpRuntime::builder(CostModel::mi300a_no_thp(), Topology::default())
+            .config(config)
+            .sanitize(true)
+            .elide(elide)
+            .build()
+            .unwrap();
+        redundant_remap_program(&mut r, 10);
+        let digest = r.memory_digest();
+        (digest, r.finish())
+    }
+
+    #[test]
+    fn online_elision_saves_map_service_under_copy() {
+        let (d_off, off) = elide_run(RuntimeConfig::LegacyCopy, ElideMode::Off);
+        let (d_on, on) = elide_run(RuntimeConfig::LegacyCopy, ElideMode::Online);
+        // Bit-identical memory, identical transfers and storage operations.
+        assert_eq!(d_off, d_on);
+        assert_eq!(off.ledger.copies, on.ledger.copies);
+        assert_eq!(off.ledger.bytes_copied, on.ledger.bytes_copied);
+        assert_eq!(off.ledger.kernels, on.ledger.kernels);
+        assert_eq!(off.ledger.maps, on.ledger.maps);
+        // Every per-iteration re-map was promoted, and the accounting
+        // identity holds exactly: what the unelided run paid extra is what
+        // the elided run reports as saved.
+        assert_eq!(off.ledger.maps_elided, 0);
+        assert_eq!(on.ledger.maps_elided, 10);
+        assert!(on.ledger.mm_saved > VirtDuration::ZERO);
+        assert_eq!(
+            off.ledger.mm_total() - on.ledger.mm_total(),
+            on.ledger.mm_saved
+        );
+        assert!(on.makespan <= off.makespan);
+        // The unelided run warns MC007; the elided run is diagnostic-clean.
+        let off_codes: Vec<_> = off
+            .sanitizer
+            .unwrap()
+            .diagnostics
+            .iter()
+            .map(|d| d.code)
+            .collect();
+        assert_eq!(off_codes, [crate::diag::DiagCode::Mc007]);
+        assert!(on.sanitizer.unwrap().is_clean());
+    }
+
+    #[test]
+    fn plan_elision_applies_at_capture_op_indices() {
+        // Op stream: host_alloc(0), host_write(1), enter(2), kernels
+        // (3..13), exit(13), host_read(14). Plan the ten kernel map sites.
+        let mut plan = crate::elide::ElisionPlan::new();
+        for i in 0..10 {
+            plan.insert(3 + i, 0);
+        }
+        let (d_off, off) = elide_run(RuntimeConfig::LegacyCopy, ElideMode::Off);
+        let (d_plan, planned) = elide_run(RuntimeConfig::LegacyCopy, ElideMode::Plan(plan));
+        assert_eq!(d_off, d_plan);
+        assert_eq!(planned.ledger.maps_elided, 10);
+        // Plan mode charges no lookups at all: the full service cost is
+        // recovered.
+        let svc = CostModel::mi300a_no_thp().map_service;
+        assert_eq!(planned.ledger.mm_saved, svc * 10);
+        assert_eq!(
+            off.ledger.mm_total() - planned.ledger.mm_total(),
+            planned.ledger.mm_saved
+        );
+        assert!(planned.sanitizer.unwrap().is_clean());
+    }
+
+    #[test]
+    fn elision_is_makespan_neutral_under_zero_copy() {
+        for config in RuntimeConfig::ZERO_COPY {
+            let (d_off, off) = elide_run(config, ElideMode::Off);
+            let (d_on, on) = elide_run(config, ElideMode::Online);
+            assert_eq!(d_off, d_on, "{config:?}");
+            // Promotion still happens (uniform diagnostics), but zero-copy
+            // configurations never paid the service cost, so nothing is
+            // charged or saved and the makespan is untouched.
+            assert_eq!(on.ledger.maps_elided, 10, "{config:?}");
+            assert_eq!(on.ledger.mm_saved, VirtDuration::ZERO, "{config:?}");
+            assert_eq!(on.makespan, off.makespan, "{config:?}");
+            assert_eq!(off.ledger.copies, on.ledger.copies, "{config:?}");
+            assert!(on.sanitizer.unwrap().is_clean(), "{config:?}");
+        }
+    }
+
+    #[test]
+    fn online_elision_lookups_hit_the_mapping_cache() {
+        let mut r = OmpRuntime::builder(CostModel::mi300a_no_thp(), Topology::default())
+            .config(RuntimeConfig::LegacyCopy)
+            .elide(ElideMode::Online)
+            .build()
+            .unwrap();
+        redundant_remap_program(&mut r, 10);
+        let (hits, misses) = r.mapping_cache_stats();
+        // The enter's eligibility probe misses (extent absent), the first
+        // kernel probe misses (the enter's insert flushed the cache), and
+        // the nine repeats hit.
+        assert_eq!((hits, misses), (9, 2));
     }
 }

@@ -23,6 +23,16 @@ pub struct OverheadLedger {
     pub mm_free: VirtDuration,
     /// Host-side GPU page-table prefault time (Eager Maps).
     pub mm_prefault: VirtDuration,
+    /// Per-entry map-service time: the transfer-decision path for
+    /// transfer-direction re-maps of present extents, or the (cached)
+    /// elision lookups that replace it.
+    pub mm_map: VirtDuration,
+    /// Map-service time recovered by elision: what the elided maps would
+    /// have been charged minus what their lookups cost. Informational —
+    /// *not* part of [`mm_total`](Self::mm_total).
+    pub mm_saved: VirtDuration,
+    /// Maps promoted to no-transfer `alloc` by the elision pass.
+    pub maps_elided: u64,
     /// GPU stall from XNACK first-touch replays.
     pub mi_fault_stall: VirtDuration,
     /// GPU stall from TLB misses on present translations.
@@ -65,7 +75,7 @@ impl OverheadLedger {
     /// Total memory-management overhead (the paper's MM column; prefault
     /// cost is MM because it is paid on the map path, not in kernels).
     pub fn mm_total(&self) -> VirtDuration {
-        self.mm_alloc + self.mm_copy + self.mm_free + self.mm_prefault
+        self.mm_alloc + self.mm_copy + self.mm_free + self.mm_prefault + self.mm_map
     }
 
     /// Total memory-initialization overhead (the paper's MI column).
@@ -106,6 +116,18 @@ impl fmt::Display for OverheadLedger {
             "  prefault: {} ({} calls)",
             self.mm_prefault, self.prefault_calls
         )?;
+        // Map-service and elision lines only appear on runs that exercise
+        // them, keeping older output byte-identical.
+        if self.mm_map != VirtDuration::ZERO {
+            writeln!(f, "  map:      {}", self.mm_map)?;
+        }
+        if self.maps_elided != 0 {
+            writeln!(
+                f,
+                "elision: {} maps promoted to alloc, {} saved",
+                self.maps_elided, self.mm_saved
+            )?;
+        }
         writeln!(
             f,
             "MI total: {} ({} replayed + {} zero-filled pages)",

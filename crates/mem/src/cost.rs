@@ -99,6 +99,20 @@ pub struct CostModel {
     /// repeated prefault (batched presence scan under the syscall).
     pub prefault_check_per_page: VirtDuration,
 
+    /// CPU-side cost of servicing one map entry through the full
+    /// `targetDataBegin` transfer-decision path (descriptor lookup, reference
+    /// bookkeeping, transfer-policy evaluation) when the entry carries a
+    /// transfer direction. `alloc` entries short-circuit this path.
+    pub map_service: VirtDuration,
+
+    /// Cost of an elision presence probe that hits the mapping-table lookup
+    /// cache (last-hit / small LRU over the extent runs).
+    pub map_lookup_hit: VirtDuration,
+
+    /// Cost of an elision presence probe that misses the lookup cache and
+    /// falls back to the extent-tree search.
+    pub map_lookup_miss: VirtDuration,
+
     /// GPU page-table walk on a TLB miss when the translation *is* present.
     pub tlb_miss: VirtDuration,
 
@@ -130,6 +144,9 @@ impl CostModel {
             prefault_insert_per_page: VirtDuration::from_nanos(250),
             prefault_zero_fill_per_page: VirtDuration::from_micros(10),
             prefault_check_per_page: VirtDuration::from_nanos(2),
+            map_service: VirtDuration::from_nanos(1500),
+            map_lookup_hit: VirtDuration::from_nanos(80),
+            map_lookup_miss: VirtDuration::from_nanos(250),
             tlb_miss: VirtDuration::from_nanos(200),
             gpu_tlb_entries: 8192,
         }
@@ -245,6 +262,17 @@ mod tests {
         let host_fill = m.prefault_cost(0, 100, 0);
         let gpu_fill = m.fault_stall(0, 100);
         assert!(host_fill < gpu_fill / 5);
+    }
+
+    #[test]
+    fn map_lookup_is_cheaper_than_map_service() {
+        // Elision only pays off if a presence probe (hit or miss) is cheaper
+        // than the per-entry transfer-decision path it replaces, and both are
+        // noise next to an actual pool allocation.
+        let m = CostModel::mi300a();
+        assert!(m.map_lookup_hit < m.map_lookup_miss);
+        assert!(m.map_lookup_miss < m.map_service);
+        assert!(m.map_service * 5 < m.pool_alloc_base);
     }
 
     #[test]

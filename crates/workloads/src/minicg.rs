@@ -115,27 +115,30 @@ impl Workload for MiniCg {
                     rt.target(t, region)
                 }
             };
+            // The kernels map their arguments with natural transfer
+            // directions; everything is already resident from the enter, so
+            // these re-maps never transfer (MC007 — elision candidates).
             // Ap = A * p
             launch(
                 rt,
                 TargetRegion::new("cg_spmv", self.spmv_kernel())
-                    .map(MapEntry::alloc(matrix))
-                    .map(MapEntry::alloc(p))
-                    .map(MapEntry::alloc(ap)),
+                    .map(MapEntry::to(matrix))
+                    .map(MapEntry::to(p))
+                    .map(MapEntry::from(ap)),
             )?;
             // x += alpha p ; r -= alpha Ap
             launch(
                 rt,
                 TargetRegion::new("cg_axpy", self.axpy_kernel()).maps([
-                    MapEntry::alloc(x),
-                    MapEntry::alloc(p),
-                    MapEntry::alloc(ap),
+                    MapEntry::tofrom(x),
+                    MapEntry::to(p),
+                    MapEntry::to(ap),
                 ]),
             )?;
             launch(
                 rt,
                 TargetRegion::new("cg_axpy", self.axpy_kernel())
-                    .maps([MapEntry::alloc(r), MapEntry::alloc(ap)]),
+                    .maps([MapEntry::tofrom(r), MapEntry::to(ap)]),
             )?;
             if self.nowait {
                 rt.taskwait(t)?;
@@ -144,7 +147,7 @@ impl Workload for MiniCg {
             rt.target(
                 t,
                 TargetRegion::new("cg_dot", self.dot_kernel())
-                    .maps([MapEntry::alloc(r), MapEntry::alloc(r)])
+                    .maps([MapEntry::to(r), MapEntry::to(r)])
                     .map(MapEntry::from(scalar).always()),
             )?;
             // Convergence check on the host.

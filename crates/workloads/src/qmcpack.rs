@@ -275,7 +275,7 @@ impl QmcPack {
 
                 // Kernel 1: update distance tables.
                 let mut dist = TargetRegion::new("qmc_dist_table", dist_t)
-                    .map(MapEntry::alloc(crowd.positions))
+                    .map(MapEntry::tofrom(crowd.positions))
                     .map(MapEntry::to(crowd.params[0]).always())
                     .map(MapEntry::to(crowd.params[1]).always());
                 if self.validate {
@@ -289,9 +289,9 @@ impl QmcPack {
 
                 // Kernel 2: evaluate B-splines against the big table.
                 let mut spline_k = TargetRegion::new("qmc_spline_eval", spline_t)
-                    .map(MapEntry::alloc(spline_range))
-                    .map(MapEntry::alloc(crowd.positions))
-                    .map(MapEntry::alloc(crowd.results))
+                    .map(MapEntry::to(spline_range))
+                    .map(MapEntry::to(crowd.positions))
+                    .map(MapEntry::from(crowd.results))
                     .map(MapEntry::to(crowd.params[0]).always());
                 if self.validate {
                     spline_k = spline_k.body(move |ctx| {
@@ -308,8 +308,8 @@ impl QmcPack {
                 // reduction round trip; a transient scratch buffer rides
                 // along on checkpoint steps (alloc+copy+free under Copy).
                 let mut det = TargetRegion::new("qmc_det_update", det_t)
-                    .map(MapEntry::alloc(crowd.results))
-                    .map(MapEntry::alloc(crowd.dets))
+                    .map(MapEntry::to(crowd.results))
+                    .map(MapEntry::tofrom(crowd.dets))
                     .map(MapEntry::tofrom(crowd.reduction).always());
                 if step % Self::SCRATCH_PERIOD == 0 {
                     det = det.map(MapEntry::tofrom(crowd.scratch));

@@ -86,44 +86,48 @@ impl Workload for Stream {
         rt.host_write(t, dot_r)?;
         rt.target_enter_data(t, &[MapEntry::alloc(dot_r)])?;
 
+        // Each kernel maps its arguments with their natural transfer
+        // directions, as the source program would write them. The arrays are
+        // already present (refcounted), so none of these re-maps transfers —
+        // they are exactly the MC007 pattern the elision pass promotes.
         for _ in 0..self.iterations {
             // c = a
             rt.target(
                 t,
                 TargetRegion::new("stream_copy", self.kernel(1, 1))
-                    .map(MapEntry::alloc(a))
-                    .map(MapEntry::alloc(c)),
+                    .map(MapEntry::to(a))
+                    .map(MapEntry::from(c)),
             )?;
             // b = scalar * c
             rt.target(
                 t,
                 TargetRegion::new("stream_mul", self.kernel(1, 1))
-                    .map(MapEntry::alloc(b))
-                    .map(MapEntry::alloc(c)),
+                    .map(MapEntry::from(b))
+                    .map(MapEntry::to(c)),
             )?;
             // c = a + b
             rt.target(
                 t,
                 TargetRegion::new("stream_add", self.kernel(2, 1)).maps([
-                    MapEntry::alloc(a),
-                    MapEntry::alloc(b),
-                    MapEntry::alloc(c),
+                    MapEntry::to(a),
+                    MapEntry::to(b),
+                    MapEntry::from(c),
                 ]),
             )?;
             // a = b + scalar * c
             rt.target(
                 t,
                 TargetRegion::new("stream_triad", self.kernel(2, 1)).maps([
-                    MapEntry::alloc(a),
-                    MapEntry::alloc(b),
-                    MapEntry::alloc(c),
+                    MapEntry::from(a),
+                    MapEntry::to(b),
+                    MapEntry::to(c),
                 ]),
             )?;
             // dot = sum(a * b)
             rt.target(
                 t,
                 TargetRegion::new("stream_dot", self.kernel(2, 0))
-                    .maps([MapEntry::alloc(a), MapEntry::alloc(b)])
+                    .maps([MapEntry::to(a), MapEntry::to(b)])
                     .map(MapEntry::from(dot_r).always()),
             )?;
         }

@@ -7,13 +7,23 @@
 //! apusim env [--no-apu] [--no-xnack] [--apu-maps] [--eager] [--usm]
 //! apusim run <workload> [--config copy|usm|izc|eager] [--threads N]
 //!            [--scale F] [--steps N] [--discrete] [--mem-report]
-//!            [--trace FILE.json]
+//!            [--trace FILE.json] [--capture FILE.mapir]
+//! apusim replay FILE.mapir [--config copy|usm|izc|eager]
+//!               [--elide off|online|plan]
 //! apusim check [--json] [NAME]
 //! ```
 //!
 //! `run` executes one workload under one configuration and prints the
 //! makespan, the MM/MI ledger and the HSA call statistics; `--trace` also
-//! writes a Chrome-trace timeline of the schedule.
+//! writes a Chrome-trace timeline of the schedule, and `--capture` writes
+//! the workload's data-environment op stream as MapIR text.
+//!
+//! `replay` re-executes a saved MapIR capture under any configuration with
+//! the sanitizer on, optionally applying map elision: `online` consults the
+//! live mapping table per map, `plan` derives the profile-guided elision
+//! plan from the capture itself (the static MC007 sites) and applies it by
+//! op index. It prints the makespan, ledger (including maps elided and MM
+//! saved), memory digest, and sanitizer verdict.
 //!
 //! `check` runs the mapcheck harness (static map-clause analysis of a
 //! captured MapIR, cross-validated by a sanitized real run) over the
@@ -26,7 +36,9 @@ use mi300a_zerocopy::analysis::timeline::chrome_trace;
 use mi300a_zerocopy::analysis::ExperimentConfig;
 use mi300a_zerocopy::hsa::Topology;
 use mi300a_zerocopy::mem::{CostModel, DiscreteSpec, MemOptions, SystemKind};
-use mi300a_zerocopy::omp::{OmpRuntime, RunEnv, RuntimeConfig};
+use mi300a_zerocopy::omp::{
+    replay, replay_threads, ElideMode, MapIr, OmpRuntime, RunEnv, RuntimeConfig,
+};
 use mi300a_zerocopy::workloads::{
     spec::{Bt, Ep, Lbm, SpC, Stencil},
     MiniCg, NioSize, OpenFoamMini, QmcPack, Stream, Workload,
@@ -34,7 +46,7 @@ use mi300a_zerocopy::workloads::{
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  apusim list\n  apusim costs\n  apusim sweep [--sizes 2,8,32] [--threads 1,4,8] [--steps N]\n  apusim env [--no-apu] [--no-xnack] [--apu-maps] [--eager] [--usm]\n  apusim run <workload> [--config copy|usm|izc|eager] [--threads N] [--scale F] [--steps N] [--discrete] [--mem-report] [--trace FILE.json]\n  apusim check [--json] [NAME]"
+        "usage:\n  apusim list\n  apusim costs\n  apusim sweep [--sizes 2,8,32] [--threads 1,4,8] [--steps N]\n  apusim env [--no-apu] [--no-xnack] [--apu-maps] [--eager] [--usm]\n  apusim run <workload> [--config copy|usm|izc|eager] [--threads N] [--scale F] [--steps N] [--discrete] [--mem-report] [--trace FILE.json] [--capture FILE.mapir]\n  apusim replay FILE.mapir [--config copy|usm|izc|eager] [--elide off|online|plan]\n  apusim check [--json] [NAME]"
     );
     std::process::exit(2);
 }
@@ -231,6 +243,7 @@ fn cmd_run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let mut discrete = false;
     let mut mem_report = false;
     let mut trace_path: Option<String> = None;
+    let mut capture_path: Option<String> = None;
     let mut it = args[1..].iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -241,6 +254,7 @@ fn cmd_run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             "--discrete" => discrete = true,
             "--mem-report" => mem_report = true,
             "--trace" => trace_path = Some(it.next().unwrap_or_else(|| usage()).clone()),
+            "--capture" => capture_path = Some(it.next().unwrap_or_else(|| usage()).clone()),
             _ => usage(),
         }
     }
@@ -293,6 +307,68 @@ fn cmd_run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         std::fs::write(&path, chrome_trace(&report.schedule))?;
         println!("\nwrote Chrome trace to {path} (open in chrome://tracing or Perfetto)");
     }
+    if let Some(path) = capture_path {
+        // Captures record the op stream, not the timing, so they always run
+        // under the zero-copy capture configuration regardless of --config.
+        let ir = mi300a_zerocopy::mapcheck::capture_workload(w.as_ref(), threads)?;
+        std::fs::write(&path, ir.to_text())?;
+        println!("\nwrote MapIR capture to {path} (re-execute with `apusim replay`)");
+    }
+    Ok(())
+}
+
+fn cmd_replay(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
+        usage()
+    };
+    let mut config = RuntimeConfig::ImplicitZeroCopy;
+    let mut elide_arg = String::from("off");
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--config" => config = parse_config(it.next().unwrap_or_else(|| usage())),
+            "--elide" => elide_arg = it.next().unwrap_or_else(|| usage()).clone(),
+            _ => usage(),
+        }
+    }
+    let ir = MapIr::parse(&std::fs::read_to_string(path)?)?;
+    let elide = match elide_arg.as_str() {
+        "off" => ElideMode::Off,
+        "online" => ElideMode::Online,
+        "plan" => ElideMode::Plan(mi300a_zerocopy::mapcheck::elision_plan(&ir)),
+        other => {
+            eprintln!("unknown elide mode '{other}' (off | online | plan)");
+            usage()
+        }
+    };
+    let threads = replay_threads(&ir);
+    let mut rt = OmpRuntime::builder(CostModel::mi300a(), Topology::default())
+        .config(config)
+        .threads(threads)
+        .mem_options(MemOptions::from_env())
+        .sanitize(true)
+        .elide(elide)
+        .build()?;
+    let outcome = replay(&mut rt, &ir)?;
+    let digest = rt.memory_digest();
+    let diagnostics = rt.sanitizer_finalize().to_vec();
+    let report = rt.finish();
+
+    println!(
+        "{path} | {config} | {threads} host thread(s) | {} ops, {} kernels replayed",
+        outcome.ops, outcome.kernels
+    );
+    println!("makespan: {}", report.makespan);
+    println!("memory digest: {digest:#018x}\n");
+    println!("{}", report.ledger);
+    if diagnostics.is_empty() {
+        println!("sanitizer: clean");
+    } else {
+        println!("sanitizer: {} diagnostic(s)", diagnostics.len());
+        for d in &diagnostics {
+            println!("  {d}");
+        }
+    }
     Ok(())
 }
 
@@ -342,6 +418,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Some("env") => cmd_env(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..])?,
         Some("run") => cmd_run(&args[1..])?,
+        Some("replay") => cmd_replay(&args[1..])?,
         Some("check") => cmd_check(&args[1..]),
         _ => usage(),
     }
