@@ -5,7 +5,7 @@
 use crate::stats::{cov_duration, median_duration};
 use apu_mem::{CostModel, MemOptions};
 use hsa_rocr::Topology;
-use omp_offload::{ElideMode, OmpError, OmpRuntime, RunReport, RuntimeConfig};
+use omp_offload::{ElideMode, OmpError, OmpRuntime, RunReport, RuntimeConfig, TelemetryMode};
 use sim_des::{FaultPlan, NoiseModel, RunOptions, VirtDuration};
 use workloads::Workload;
 
@@ -31,6 +31,9 @@ pub struct ExperimentConfig {
     pub mem_options: MemOptions,
     /// Map-elision mode for every run (`repro --elide` sets Online).
     pub elide: ElideMode,
+    /// Telemetry collection for every run (`repro --profile` turns the
+    /// ring on; the default `Off` keeps the hot paths event-free).
+    pub telemetry: TelemetryMode,
 }
 
 impl Default for ExperimentConfig {
@@ -44,6 +47,7 @@ impl Default for ExperimentConfig {
             fault_seed: None,
             mem_options: MemOptions::default(),
             elide: ElideMode::Off,
+            telemetry: TelemetryMode::Off,
         }
     }
 }
@@ -102,7 +106,8 @@ pub fn measure(
         .config(config)
         .threads(threads)
         .mem_options(exp.mem_options)
-        .elide(exp.elide.clone());
+        .elide(exp.elide.clone())
+        .telemetry(exp.telemetry);
     if let Some(seed) = exp.fault_seed {
         builder = builder.fault_plan(FaultPlan::from_seed(seed));
     }

@@ -15,7 +15,8 @@ use crate::figure::Figure;
 use crate::stats::order_of_magnitude_us;
 use crate::table::Table;
 use hsa_rocr::HsaApiKind;
-use omp_offload::{ElideMode, OmpError, RuntimeConfig};
+use omp_offload::telemetry::{attribution, AttributionReport};
+use omp_offload::{ElideMode, OmpError, RuntimeConfig, TelemetryMode};
 use sim_des::VirtDuration;
 use workloads::{spec, MiniCg, NioSize, QmcPack, Stream, Workload};
 
@@ -398,6 +399,10 @@ pub struct ElisionRow {
     pub mm_saved: VirtDuration,
     /// Maps promoted to `alloc`.
     pub maps_elided: u64,
+    /// Presence-lookup cache hits during the elided run.
+    pub cache_hits: u64,
+    /// Presence-lookup cache misses during the elided run.
+    pub cache_misses: u64,
 }
 
 /// Table III elision delta (`repro --table3 --elide`): MM overhead saved by
@@ -439,6 +444,8 @@ pub fn table3_elision(cfg: &PaperConfig) -> Result<(Table, Vec<ElisionRow>), Omp
             mm_elided: on.report.ledger.mm_total(),
             mm_saved: on.report.ledger.mm_saved,
             maps_elided: on.report.ledger.maps_elided,
+            cache_hits: on.report.mapping_cache.0,
+            cache_misses: on.report.mapping_cache.1,
         };
         t.push_row(vec![
             row.workload.clone(),
@@ -450,6 +457,110 @@ pub fn table3_elision(cfg: &PaperConfig) -> Result<(Table, Vec<ElisionRow>), Omp
         rows.push(row);
     }
     Ok((t, rows))
+}
+
+/// Per-site/per-kernel attribution for one (workload, configuration) cell
+/// of the profiling pass (`repro --profile`).
+#[derive(Debug)]
+pub struct ProfileCell {
+    /// Configuration profiled.
+    pub config: RuntimeConfig,
+    /// Workload name.
+    pub workload: String,
+    /// Attribution folded from the run's telemetry stream — by the
+    /// derivability contract, its totals equal the run's ledger exactly.
+    pub attribution: AttributionReport,
+}
+
+/// Profile the Table III workloads (403.stencil and 452.ep) under every
+/// configuration with the telemetry ring on: per-map-site MM charges and
+/// per-kernel MI stalls, one cell per (workload, configuration).
+pub fn profile_cells(cfg: &PaperConfig) -> Result<Vec<ProfileCell>, OmpError> {
+    let exp = ExperimentConfig {
+        repeats: 1,
+        telemetry: TelemetryMode::ring(),
+        ..cfg.exp.clone()
+    };
+    let suite: Vec<Box<dyn Workload>> = vec![
+        Box::new(spec::Stencil::scaled(cfg.spec_scale)),
+        Box::new(spec::Ep::scaled(cfg.spec_scale)),
+    ];
+    let mut out = Vec::new();
+    for w in &suite {
+        for &config in RuntimeConfig::ALL.iter() {
+            let m = measure(w.as_ref(), config, 1, &exp)?;
+            let telemetry = m.report.telemetry.as_ref().expect("telemetry ring was on");
+            out.push(ProfileCell {
+                config,
+                workload: w.name(),
+                attribution: attribution(telemetry),
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// CSV of every profiled map site — one row per (workload, configuration,
+/// site), sites in attribution order (MM-heaviest first).
+pub fn profile_sites_csv(cells: &[ProfileCell]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from(
+        "workload,config,addr,len,maps,allocs,copies,bytes,elided,\
+         mm_alloc_us,mm_copy_us,mm_free_us,mm_prefault_us,mm_map_us,mm_saved_us,mm_total_us\n",
+    );
+    for c in cells {
+        for s in &c.attribution.sites {
+            let _ = writeln!(
+                out,
+                "{},{},0x{:x},{},{},{},{},{},{},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3}",
+                c.workload,
+                c.config.label(),
+                s.range.start.as_u64(),
+                s.range.len,
+                s.maps,
+                s.allocs,
+                s.copies,
+                s.bytes,
+                s.elided,
+                s.mm_alloc.as_micros_f64(),
+                s.mm_copy.as_micros_f64(),
+                s.mm_free.as_micros_f64(),
+                s.mm_prefault.as_micros_f64(),
+                s.mm_map.as_micros_f64(),
+                s.mm_saved.as_micros_f64(),
+                s.mm_total().as_micros_f64(),
+            );
+        }
+    }
+    out
+}
+
+/// CSV of every profiled kernel — one row per (workload, configuration,
+/// kernel), kernels in attribution order (fault-stall-heaviest first).
+pub fn profile_kernels_csv(cells: &[ProfileCell]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from(
+        "workload,config,kernel,launches,compute_us,fault_stall_us,tlb_stall_us,\
+         replayed_pages,zero_filled_pages\n",
+    );
+    for c in cells {
+        for k in &c.attribution.kernels {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{:.3},{:.3},{:.3},{},{}",
+                c.workload,
+                c.config.label(),
+                k.name,
+                k.launches,
+                k.compute.as_micros_f64(),
+                k.fault_stall.as_micros_f64(),
+                k.tlb_stall.as_micros_f64(),
+                k.replayed_pages,
+                k.zero_filled_pages,
+            );
+        }
+    }
+    out
 }
 
 /// Render a complete markdown reproduction report: every table and figure
@@ -512,6 +623,25 @@ pub fn markdown_report(cfg: &PaperConfig) -> Result<String, OmpError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn profile_cells_cover_every_config_with_exact_streams() {
+        let mut cfg = PaperConfig::quick();
+        cfg.spec_scale = 0.02;
+        let cells = profile_cells(&cfg).unwrap();
+        assert_eq!(cells.len(), 2 * RuntimeConfig::ALL.len());
+        for c in &cells {
+            assert_eq!(c.attribution.dropped_events, 0);
+            assert!(!c.attribution.kernels.is_empty());
+            assert!(!c.attribution.sites.is_empty());
+        }
+        let sites = profile_sites_csv(&cells);
+        assert!(sites.starts_with("workload,config,addr,len,"));
+        assert!(sites.lines().count() > cells.len());
+        let kernels = profile_kernels_csv(&cells);
+        assert!(kernels.starts_with("workload,config,kernel,"));
+        assert!(kernels.lines().count() > cells.len());
+    }
 
     #[test]
     fn quick_fig3_has_expected_shape() {

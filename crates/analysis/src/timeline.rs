@@ -7,6 +7,7 @@
 //! objects with a handful of numeric/string fields.
 
 use hsa_rocr::HsaApiKind;
+use omp_offload::telemetry::{resolve, FieldVal, TelemetryReport};
 use sim_des::{Schedule, Tag};
 use std::fmt::Write as _;
 
@@ -66,6 +67,113 @@ pub fn chrome_trace(schedule: &Schedule) -> String {
     out
 }
 
+/// Append one schedule record as a Trace Event object under `pid`.
+fn push_schedule_event(out: &mut String, r: &sim_des::OpRecord, pid: u32, first: &mut bool) {
+    let dur_us = r.latency().as_nanos() as f64 / 1000.0;
+    if dur_us <= 0.0 {
+        return;
+    }
+    if !*first {
+        out.push_str(",\n");
+    }
+    *first = false;
+    let ts_us = r.start.as_nanos() as f64 / 1000.0;
+    let _ = write!(
+        out,
+        "{{\"name\":\"{}\",\"ph\":\"X\",\"pid\":{},\"tid\":{},\"ts\":{:.3},\"dur\":{:.3}}}",
+        json_escape(&event_name(r.tag)),
+        pid,
+        r.thread,
+        ts_us,
+        dur_us
+    );
+}
+
+/// Render a telemetry event's payload fields as a Trace Event `args`
+/// object (shown in the Perfetto detail pane).
+fn args_json(fields: &[(&'static str, FieldVal)]) -> String {
+    let mut out = String::from("{");
+    for (i, (key, val)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        match val {
+            FieldVal::U64(v) => {
+                let _ = write!(out, "\"{key}\":{v}");
+            }
+            FieldVal::Str(s) => {
+                let _ = write!(out, "\"{key}\":\"{}\"", json_escape(s));
+            }
+            FieldVal::Bool(b) => {
+                let _ = write!(out, "\"{key}\":{b}");
+            }
+        }
+    }
+    out.push('}');
+    out
+}
+
+/// Render the schedule and the telemetry stream as one merged Chrome/Perfetto
+/// trace on a single virtual clock: the HSA schedule's per-thread op rows
+/// under process 1, the runtime's attributed spans (maps, copies, prefaults,
+/// kernels, recovery episodes) under process 2. Telemetry anchors are
+/// resolved against the same schedule that produced the HSA rows
+/// ([`omp_offload::telemetry::resolve`]), so a runtime span visually covers
+/// exactly the HSA operations it charged for.
+///
+/// The output is the Trace Event Format *object* form; `otherData` is the
+/// sink header and always carries `dropped_events` — a nonzero value means
+/// the ring overflowed and the span set is a suffix of the run.
+pub fn merged_chrome_trace(schedule: &Schedule, telemetry: &TelemetryReport) -> String {
+    let mut out = String::from("{\n\"traceEvents\":[\n");
+    let mut first = true;
+    for name in ["HSA schedule", "runtime telemetry"] {
+        let pid = if name.starts_with("HSA") { 1 } else { 2 };
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"args\":{{\"name\":\"{name}\"}}}}",
+        );
+    }
+    for r in schedule.records() {
+        push_schedule_event(&mut out, r, 1, &mut first);
+    }
+    for t in resolve(telemetry, schedule) {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        let name = json_escape(t.event.kind.name());
+        let args = args_json(&t.event.kind.fields());
+        let ts_us = t.start.as_nanos() as f64 / 1000.0;
+        let dur_us = (t.end - t.start).as_nanos() as f64 / 1000.0;
+        if dur_us > 0.0 {
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"ph\":\"X\",\"pid\":2,\"tid\":{},\"ts\":{:.3},\"dur\":{:.3},\"args\":{}}}",
+                name, t.event.thread, ts_us, dur_us, args
+            );
+        } else {
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"ph\":\"i\",\"pid\":2,\"tid\":{},\"ts\":{:.3},\"s\":\"t\",\"args\":{}}}",
+                name, t.event.thread, ts_us, args
+            );
+        }
+    }
+    let _ = write!(
+        out,
+        "\n],\n\"otherData\":{{\"telemetry_events\":{},\"dropped_events\":{},\"capacity\":{}}}\n}}\n",
+        telemetry.events.len(),
+        telemetry.dropped_events,
+        telemetry.capacity
+    );
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -104,5 +212,91 @@ mod tests {
     fn escaping_handles_specials() {
         assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
         assert_eq!(json_escape("x\ny"), "x\\u000ay");
+    }
+
+    fn empty_schedule() -> Schedule {
+        schedule(Machine::new(), OpStreams::new(1), &RunOptions::noiseless())
+    }
+
+    #[test]
+    fn chrome_trace_of_empty_schedule_is_a_valid_empty_array() {
+        let json = chrome_trace(&empty_schedule());
+        assert_eq!(json, "[\n\n]\n");
+    }
+
+    #[test]
+    fn merged_trace_on_empty_schedule_and_stream_is_header_only() {
+        let empty = omp_offload::telemetry::TelemetryReport {
+            events: Vec::new(),
+            dropped_events: 0,
+            capacity: 16,
+        };
+        let json = merged_chrome_trace(&empty_schedule(), &empty);
+        assert!(json.contains("\"traceEvents\""));
+        // Only the two process_name metadata records, no spans.
+        assert_eq!(json.matches("\"ph\":\"M\"").count(), 2);
+        assert!(!json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"dropped_events\":0"));
+        assert!(json.contains("\"capacity\":16"));
+    }
+
+    #[test]
+    fn merged_trace_covers_a_zero_kernel_run() {
+        use apu_mem::{AddrRange, CostModel};
+        use hsa_rocr::Topology;
+        use omp_offload::{MapEntry, OmpRuntime, RuntimeConfig, TelemetryMode};
+
+        // Map traffic but no kernel launches: the merged trace must still
+        // carry the runtime rows and never emit a kernel event.
+        let mut rt = OmpRuntime::builder(CostModel::mi300a(), Topology::default())
+            .config(RuntimeConfig::LegacyCopy)
+            .telemetry(TelemetryMode::ring())
+            .build()
+            .unwrap();
+        let a = rt.host_alloc(0, 1 << 16).unwrap();
+        let e = MapEntry::tofrom(AddrRange::new(a, 1 << 16));
+        rt.target_enter_data(0, &[e]).unwrap();
+        rt.target_exit_data(0, &[e], false).unwrap();
+        let report = rt.finish();
+        let telemetry = report.telemetry.as_ref().unwrap();
+        let json = merged_chrome_trace(&report.schedule, telemetry);
+        assert!(json.contains("\"name\":\"map_begin\""));
+        assert!(json.contains("\"name\":\"copy\""));
+        assert!(json.contains("\"pid\":2"));
+        assert!(!json.contains("kernel_launch"));
+        assert!(!json.contains("kernel_complete"));
+        assert!(json.contains("\"dropped_events\":0"));
+    }
+
+    #[test]
+    fn merged_trace_interleaves_schedule_and_telemetry_processes() {
+        use apu_mem::{AddrRange, CostModel};
+        use hsa_rocr::Topology;
+        use omp_offload::{MapEntry, OmpRuntime, RuntimeConfig, TargetRegion, TelemetryMode};
+
+        let mut rt = OmpRuntime::builder(CostModel::mi300a(), Topology::default())
+            .config(RuntimeConfig::LegacyCopy)
+            .telemetry(TelemetryMode::ring())
+            .build()
+            .unwrap();
+        let a = rt.host_alloc(0, 1 << 16).unwrap();
+        rt.target(
+            0,
+            TargetRegion::new("saxpy", VirtDuration::from_micros(50))
+                .map(MapEntry::tofrom(AddrRange::new(a, 1 << 16))),
+        )
+        .unwrap();
+        let report = rt.finish();
+        let json = merged_chrome_trace(&report.schedule, report.telemetry.as_ref().unwrap());
+        // Both processes present and named.
+        assert!(json.contains("\"name\":\"HSA schedule\""));
+        assert!(json.contains("\"name\":\"runtime telemetry\""));
+        assert!(json.contains("\"pid\":1"));
+        assert!(json.contains("\"pid\":2"));
+        // The kernel appears on both clocks: the HSA dispatch op and the
+        // runtime's attributed completion span.
+        assert!(json.contains("hsa_queue_dispatch"));
+        assert!(json.contains("\"name\":\"kernel_complete\""));
+        assert!(json.contains("\"name\":\"saxpy\""));
     }
 }

@@ -1,0 +1,109 @@
+//! Ablation: cost of the runtime telemetry stream on the simulator itself.
+//!
+//! The telemetry ring sits on every MM/MI charge site, so its Off mode must
+//! be a measured no-op: one `Option` branch per charge, no allocation. This
+//! bench runs the streaming workload under three settings — telemetry off,
+//! ring on, and ring on plus a full JSONL export — and reports best-of-three
+//! wall-clock ratios of the *simulator*, not the simulated program (the
+//! virtual makespan is identical in all three by construction). It also
+//! re-asserts the derivability contract on the instrumented runs: folding
+//! the collected stream must reproduce the overhead ledger field for field.
+
+use apu_mem::CostModel;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use hsa_rocr::Topology;
+use omp_offload::telemetry::{fold, to_jsonl};
+use omp_offload::{OmpRuntime, RuntimeConfig, TelemetryMode};
+use std::time::Instant;
+use workloads::{Stream, Workload};
+
+#[derive(Clone, Copy, PartialEq)]
+enum Setting {
+    Off,
+    Ring,
+    RingJsonl,
+}
+
+impl Setting {
+    fn label(self) -> &'static str {
+        match self {
+            Setting::Off => "off",
+            Setting::Ring => "ring",
+            Setting::RingJsonl => "ring+jsonl",
+        }
+    }
+
+    fn mode(self) -> TelemetryMode {
+        match self {
+            Setting::Off => TelemetryMode::Off,
+            _ => TelemetryMode::ring(),
+        }
+    }
+}
+
+/// One Copy-config streaming run; returns the number of collected events
+/// (0 when off) after enforcing `ledger == fold(events)` on instrumented
+/// runs and serializing to JSONL when asked.
+fn run(w: &dyn Workload, setting: Setting) -> usize {
+    let mut rt = OmpRuntime::builder(CostModel::mi300a_no_thp(), Topology::default())
+        .config(RuntimeConfig::LegacyCopy)
+        .telemetry(setting.mode())
+        .build()
+        .unwrap();
+    w.run(&mut rt).unwrap();
+    let ledger = *rt.ledger();
+    let report = rt.finish();
+    match (setting, report.telemetry) {
+        (Setting::Off, telemetry) => {
+            assert!(telemetry.is_none());
+            0
+        }
+        (_, Some(telemetry)) => {
+            assert_eq!(fold(&telemetry.events), ledger, "fold != ledger");
+            assert_eq!(telemetry.dropped_events, 0);
+            if setting == Setting::RingJsonl {
+                black_box(to_jsonl(&telemetry));
+            }
+            telemetry.events.len()
+        }
+        (_, None) => unreachable!("ring was on"),
+    }
+}
+
+/// Best-of-three wall-clock per setting; Off must be within noise of the
+/// pre-telemetry simulator, and the ring itself cheap.
+fn bench_simulator_cost(_c: &mut Criterion) {
+    let w = Stream::scaled(1.0);
+    let time = |setting: Setting| {
+        let t0 = Instant::now();
+        black_box(run(&w, setting));
+        t0.elapsed()
+    };
+    let off = (0..3).map(|_| time(Setting::Off)).min().unwrap();
+    let ring = (0..3).map(|_| time(Setting::Ring)).min().unwrap();
+    let jsonl = (0..3).map(|_| time(Setting::RingJsonl)).min().unwrap();
+    let events = run(&w, Setting::Ring);
+    println!(
+        "telemetry_overhead summary: {events} events | off {off:?} | ring {ring:?} \
+         ({:.2}x) | ring+jsonl {jsonl:?} ({:.2}x)",
+        ring.as_secs_f64() / off.as_secs_f64().max(1e-9),
+        jsonl.as_secs_f64() / off.as_secs_f64().max(1e-9)
+    );
+}
+
+fn bench_telemetry(c: &mut Criterion) {
+    let mut g = c.benchmark_group("telemetry_overhead");
+    g.sample_size(10);
+    let w = Stream::scaled(0.5);
+    for setting in [Setting::Off, Setting::Ring, Setting::RingJsonl] {
+        g.bench_with_input(
+            BenchmarkId::new("stream_copy", setting.label()),
+            &setting,
+            |b, &s| b.iter(|| black_box(run(&w, s))),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_telemetry, bench_simulator_cost);
+criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [--quick|--full] [--ARTIFACT ...] [--elide] [--csv DIR]
+//! repro [--quick|--full] [--ARTIFACT ...] [--elide] [--profile] [--csv DIR]
 //!       [--report FILE.md] [--faults SEED] [--timing] [--list-artifacts]
 //! repro --check [--json]
 //! ```
@@ -22,7 +22,11 @@
 //! `BENCH_repro.json` with per-artifact wall-clock and sweep throughput
 //! (simulated cells per second) — the simulator's own performance, not the
 //! modeled machine's — and, with `--elide`, `BENCH_elision.json` with the
-//! per-workload elision deltas.
+//! per-workload elision deltas. `--profile` runs the Table III workloads
+//! under every configuration with the telemetry ring on and writes
+//! per-map-site MM and per-kernel MI attribution CSVs
+//! (`profile_sites.csv`, `profile_kernels.csv`) next to the other
+//! artifacts, printing the top charges per cell.
 //!
 //! `--check` runs the mapcheck harness instead of the experiments: every
 //! shipped workload's data-environment op stream is captured once, checked
@@ -35,8 +39,8 @@
 //! unknown artifacts, missing or malformed option values.
 
 use analysis::paper::{
-    fig3_from_cells, fig4_from_cells, markdown_report, qmc_sweep, table1, table2, table3,
-    table3_elision, ElisionRow, PaperConfig,
+    fig3_from_cells, fig4_from_cells, markdown_report, profile_cells, profile_kernels_csv,
+    profile_sites_csv, qmc_sweep, table1, table2, table3, table3_elision, ElisionRow, PaperConfig,
 };
 use std::io::Write as _;
 use std::path::PathBuf;
@@ -68,6 +72,11 @@ const FLAGS: &[(&str, &str, &str)] = &[
         "--elide",
         "",
         "with --table3: append the map-elision delta table (MM saved under Copy)",
+    ),
+    (
+        "--profile",
+        "",
+        "write telemetry-derived per-site/per-kernel attribution CSVs",
     ),
     ("--csv", "DIR", "also write each artifact as CSV into DIR"),
     (
@@ -108,6 +117,7 @@ struct Args {
     table2: bool,
     table3: bool,
     elide: bool,
+    profile: bool,
     csv_dir: Option<PathBuf>,
     report: Option<PathBuf>,
     timing: bool,
@@ -212,12 +222,15 @@ fn elision_json(rows: &[ElisionRow]) -> String {
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"workload\": \"{}\", \"mm_unelided_us\": {:.3}, \"mm_elided_us\": {:.3}, \
-             \"mm_saved_us\": {:.3}, \"maps_elided\": {}}}{}\n",
+             \"mm_saved_us\": {:.3}, \"maps_elided\": {}, \"cache_hits\": {}, \
+             \"cache_misses\": {}}}{}\n",
             r.workload,
             r.mm_unelided.as_micros_f64(),
             r.mm_elided.as_micros_f64(),
             r.mm_saved.as_micros_f64(),
             r.maps_elided,
+            r.cache_hits,
+            r.cache_misses,
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
@@ -229,6 +242,7 @@ fn parse_args() -> Args {
     let mut full = false;
     let mut selected: Vec<String> = Vec::new();
     let mut elide = false;
+    let mut profile = false;
     let mut csv_dir = None;
     let mut report = None;
     let mut timing = false;
@@ -241,6 +255,7 @@ fn parse_args() -> Args {
             "--quick" => full = false,
             "--full" => full = true,
             "--elide" => elide = true,
+            "--profile" => profile = true,
             "--timing" => timing = true,
             "--check" => check = true,
             "--json" => json = true,
@@ -280,7 +295,8 @@ fn parse_args() -> Args {
     if json && !check {
         usage_error("--json only applies to --check");
     }
-    if check && (full || timing || elide || fault_seed.is_some() || !selected.is_empty()) {
+    if check && (full || timing || elide || profile || fault_seed.is_some() || !selected.is_empty())
+    {
         usage_error("--check does not combine with experiment flags");
     }
     let all = selected.is_empty();
@@ -305,6 +321,7 @@ fn parse_args() -> Args {
         table2: has("table2"),
         table3: has("table3"),
         elide,
+        profile,
         csv_dir,
         report,
         timing,
@@ -374,6 +391,16 @@ fn main() {
             seconds: t0.elapsed().as_secs_f64(),
             cells: Some(cells.len()),
         });
+        if args.fault_seed.is_some() {
+            let reports = cells.iter().flat_map(|c| c.measurements.iter());
+            let episodes: usize = reports.clone().map(|m| m.report.recovery_log.len()).sum();
+            let retries: u64 = reports.clone().map(|m| m.report.ledger.retries).sum();
+            let degradations: u64 = reports.map(|m| m.report.ledger.degradations).sum();
+            println!(
+                "fault recovery: {episodes} episodes across the sweep \
+                 ({retries} retries, {degradations} degradations)\n"
+            );
+        }
         if args.fig3 {
             let t0 = Instant::now();
             for fig in fig3_from_cells(&cells, &args.cfg) {
@@ -455,6 +482,13 @@ fn main() {
         let t0 = Instant::now();
         let (t, rows) = table3_elision(&args.cfg).expect("table3 elision");
         println!("{t}");
+        for r in &rows {
+            println!(
+                "{}: mapping cache {} hits / {} misses",
+                r.workload, r.cache_hits, r.cache_misses
+            );
+        }
+        println!();
         write_csv(&args.csv_dir, "table3_elision.csv", &t.to_csv());
         timings.push(ArtifactTiming {
             name: "elision",
@@ -467,6 +501,38 @@ fn main() {
                 .expect("write BENCH_elision.json");
             eprintln!("wrote BENCH_elision.json");
         }
+    }
+
+    if args.profile {
+        eprintln!("running telemetry attribution profile (Table III workloads x 4 configs)...");
+        let t0 = Instant::now();
+        let cells = profile_cells(&args.cfg).expect("profile");
+        for c in &cells {
+            println!("## {} under {}", c.workload, c.config.label());
+            print!("{}", c.attribution.render_text(5));
+            println!();
+        }
+        let sites = profile_sites_csv(&cells);
+        let kernels = profile_kernels_csv(&cells);
+        match &args.csv_dir {
+            Some(_) => {
+                write_csv(&args.csv_dir, "profile_sites.csv", &sites);
+                write_csv(&args.csv_dir, "profile_kernels.csv", &kernels);
+            }
+            None => {
+                // No --csv: still materialize the profiles, next to the
+                // timing JSON in the working directory.
+                std::fs::write("profile_sites.csv", &sites).expect("write profile_sites.csv");
+                std::fs::write("profile_kernels.csv", &kernels).expect("write profile_kernels.csv");
+                eprintln!("wrote profile_sites.csv");
+                eprintln!("wrote profile_kernels.csv");
+            }
+        }
+        timings.push(ArtifactTiming {
+            name: "profile",
+            seconds: t0.elapsed().as_secs_f64(),
+            cells: Some(cells.len()),
+        });
     }
 
     if let Some(path) = &args.report {
@@ -529,6 +595,8 @@ mod tests {
             mm_elided: VirtDuration::from_micros(4),
             mm_saved: VirtDuration::from_micros(6),
             maps_elided: 3,
+            cache_hits: 2,
+            cache_misses: 1,
         }];
         let j = elision_json(&rows);
         for needle in [
@@ -537,6 +605,8 @@ mod tests {
             "\"mm_elided_us\": 4.000",
             "\"mm_saved_us\": 6.000",
             "\"maps_elided\": 3",
+            "\"cache_hits\": 2",
+            "\"cache_misses\": 1",
         ] {
             assert!(j.contains(needle), "missing {needle} in:\n{j}");
         }

@@ -10,6 +10,7 @@ use apu_mem::CostModel;
 use hsa_rocr::Topology;
 use omp_offload::{
     DiagCode, Diagnostic, ElideMode, OmpError, OmpRuntime, OverheadLedger, RuntimeConfig, Severity,
+    TelemetryMode,
 };
 use sim_des::VirtDuration;
 use workloads::{spec, MiniCg, NioSize, OpenFoamMini, QmcPack, Stream, Workload};
@@ -37,6 +38,10 @@ pub struct CheckCell {
     /// counters match, and `mm_total(unelided) − mm_total(elided)` equals
     /// the reported saving exactly.
     pub elision_verified: bool,
+    /// The telemetry derivability contract held for this cell: in both the
+    /// unelided and the elided run, the fold of the event stream equals the
+    /// ledger field for field and the ring dropped nothing.
+    pub telemetry_exact: bool,
 }
 
 impl CheckCell {
@@ -91,27 +96,31 @@ fn sorted_codes(diags: &[Diagnostic]) -> Vec<DiagCode> {
     v
 }
 
-/// One instrumented run: sanitized, under `config`, with the given elision
-/// mode. Returns the sanitizer's findings, the memory digest (taken after
-/// the program body, before teardown), and the ledger.
+/// One instrumented run: sanitized, telemetry ring on, under `config`, with
+/// the given elision mode. Returns the sanitizer's findings, the memory
+/// digest (taken after the program body, before teardown), the ledger, and
+/// whether the telemetry fold reproduced the ledger exactly.
 fn instrumented_run(
     w: &dyn Workload,
     threads: usize,
     config: RuntimeConfig,
     elide: ElideMode,
-) -> Result<(Vec<Diagnostic>, u64, OverheadLedger), OmpError> {
+) -> Result<(Vec<Diagnostic>, u64, OverheadLedger, bool), OmpError> {
     let mut rt = OmpRuntime::builder(CostModel::mi300a_no_thp(), Topology::default())
         .config(config)
         .threads(threads)
         .sanitize(true)
         .elide(elide)
+        .telemetry(TelemetryMode::ring())
         .build()?;
     // A run may abort on a fatal hazard; the sanitizer's findings up to
     // the abort are exactly what the static pass predicted.
     let _ = w.run(&mut rt);
     let digest = rt.memory_digest();
+    let diags = rt.sanitizer_finalize().to_vec();
     let ledger = *rt.ledger();
-    Ok((rt.sanitizer_finalize().to_vec(), digest, ledger))
+    let telemetry_exact = rt.telemetry_fold() == Some(ledger) && rt.telemetry_dropped() == 0;
+    Ok((diags, digest, ledger, telemetry_exact))
 }
 
 /// The elision contract for one cell: the elided run found no hazards, its
@@ -119,8 +128,8 @@ fn instrumented_run(
 /// match, and the accounting identity `mm_total(off) − mm_total(elided) ==
 /// mm_saved` holds exactly.
 fn elision_holds(
-    off: &(Vec<Diagnostic>, u64, OverheadLedger),
-    on: &(Vec<Diagnostic>, u64, OverheadLedger),
+    off: &(Vec<Diagnostic>, u64, OverheadLedger, bool),
+    on: &(Vec<Diagnostic>, u64, OverheadLedger, bool),
 ) -> bool {
     let (l0, l1) = (&off.2, &on.2);
     on.0.is_empty()
@@ -146,6 +155,7 @@ pub fn check_workload(w: &dyn Workload) -> Result<Vec<CheckCell>, OmpError> {
         let on = instrumented_run(w, threads, config, ElideMode::Online)?;
         let cross_validated = sorted_codes(&diagnostics) == sorted_codes(&off.0);
         let elision_verified = elision_holds(&off, &on);
+        let telemetry_exact = off.3 && on.3;
         cells.push(CheckCell {
             workload: w.name(),
             config,
@@ -155,6 +165,7 @@ pub fn check_workload(w: &dyn Workload) -> Result<Vec<CheckCell>, OmpError> {
             maps_elided: on.2.maps_elided,
             mm_saved: on.2.mm_saved,
             elision_verified,
+            telemetry_exact,
         });
     }
     Ok(cells)
@@ -176,12 +187,12 @@ pub fn check_all(filter: Option<&str>) -> Result<Vec<CheckCell>, OmpError> {
 }
 
 /// True when any cell fails the acceptance bar: an error-severity static
-/// diagnostic, a static/dynamic verdict mismatch, or a broken elision
-/// contract.
+/// diagnostic, a static/dynamic verdict mismatch, a broken elision
+/// contract, or a telemetry stream whose fold diverged from the ledger.
 pub fn has_errors(cells: &[CheckCell]) -> bool {
-    cells
-        .iter()
-        .any(|c| c.has_static_errors() || !c.cross_validated || !c.elision_verified)
+    cells.iter().any(|c| {
+        c.has_static_errors() || !c.cross_validated || !c.elision_verified || !c.telemetry_exact
+    })
 }
 
 /// Human-readable report.
@@ -200,6 +211,8 @@ pub fn render_text(cells: &[CheckCell]) -> String {
             "CROSS-VALIDATION MISMATCH"
         } else if !c.elision_verified {
             "ELISION CONTRACT BROKEN"
+        } else if !c.telemetry_exact {
+            "TELEMETRY FOLD DIVERGED"
         } else if c.has_static_errors() {
             "FAIL"
         } else if c.diagnostics.is_empty() {
@@ -285,11 +298,13 @@ pub fn render_json(cells: &[CheckCell]) -> String {
         }
         out.push_str(&format!(
             "{{\"workload\":\"{}\",\"config\":\"{}\",\"cross_validated\":{},\
-             \"elision_verified\":{},\"maps_elided\":{},\"mm_saved_us\":{:.3},\"static\":[",
+             \"elision_verified\":{},\"telemetry_exact\":{},\"maps_elided\":{},\
+             \"mm_saved_us\":{:.3},\"static\":[",
             json_escape(&c.workload),
             c.config.label(),
             c.cross_validated,
             c.elision_verified,
+            c.telemetry_exact,
             c.maps_elided,
             c.mm_saved.as_micros_f64()
         ));
@@ -332,6 +347,7 @@ mod tests {
             assert!(c.cross_validated, "{:?}", c);
             assert!(c.diagnostics.is_empty(), "{:?}", c.diagnostics);
             assert!(c.elision_verified, "{:?}", c);
+            assert!(c.telemetry_exact, "{:?}", c);
         }
         assert!(!has_errors(&cells));
         let json = render_json(&cells);

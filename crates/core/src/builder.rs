@@ -14,6 +14,7 @@ use crate::config::{RunEnv, RuntimeConfig};
 use crate::elide::ElideMode;
 use crate::error::OmpError;
 use crate::runtime::OmpRuntime;
+use crate::telemetry::TelemetryMode;
 use apu_mem::{CostModel, MemOptions, SystemKind, XnackMode};
 use hsa_rocr::{HsaRuntime, Topology};
 use sim_des::{Backoff, FaultPlan};
@@ -26,6 +27,7 @@ pub(crate) struct Instrumentation {
     pub sanitize: bool,
     pub sanitize_every: u64,
     pub elide: ElideMode,
+    pub telemetry: TelemetryMode,
 }
 
 /// Bounded retry-with-backoff parameters applied by [`OmpRuntime`] to
@@ -79,6 +81,7 @@ pub struct RuntimeBuilder {
     sanitize: bool,
     sanitize_every: u64,
     elide: ElideMode,
+    telemetry: TelemetryMode,
 }
 
 impl RuntimeBuilder {
@@ -97,6 +100,7 @@ impl RuntimeBuilder {
             sanitize: false,
             sanitize_every: 1,
             elide: ElideMode::Off,
+            telemetry: TelemetryMode::Off,
         }
     }
 
@@ -200,6 +204,18 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Telemetry collection mode (default [`TelemetryMode::Off`]). With a
+    /// ring attached, every runtime charge emits a typed
+    /// [`Event`](crate::telemetry::Event) whose fold reproduces the
+    /// [`OverheadLedger`](crate::OverheadLedger) field for field; the
+    /// collected stream lands in
+    /// [`RunReport::telemetry`](crate::RunReport::telemetry). Off is a
+    /// measured no-op on the hot paths.
+    pub fn telemetry(mut self, mode: TelemetryMode) -> Self {
+        self.telemetry = mode;
+        self
+    }
+
     /// Construct the runtime: pick the engaging configuration (with startup
     /// degradation), build the memory system, run device/per-thread
     /// initialization, and arm the fault plan.
@@ -273,6 +289,7 @@ impl RuntimeBuilder {
                 sanitize: self.sanitize,
                 sanitize_every: self.sanitize_every,
                 elide: self.elide,
+                telemetry: self.telemetry,
             },
         ))
     }

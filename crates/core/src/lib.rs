@@ -57,6 +57,7 @@ mod mapping;
 mod replay;
 mod runtime;
 mod sanitize;
+pub mod telemetry;
 mod trace;
 
 pub use builder::{RecoveryPolicy, RuntimeBuilder};
@@ -72,4 +73,5 @@ pub use mapping::{MapDir, MapEntry, Mapping, MappingTable, Presence};
 pub use replay::{replay, replay_threads, ReplayOutcome, REPLAY_KERNEL_COMPUTE_US};
 pub use runtime::{OmpRuntime, RunReport};
 pub use sanitize::SanitizerReport;
+pub use telemetry::{TelemetryMode, TelemetryReport};
 pub use trace::{KernelTraceEntry, OverheadLedger, RecoveryAction, RecoveryEvent};

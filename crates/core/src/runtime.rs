@@ -16,6 +16,7 @@ use crate::kernel::{KernelCtx, TargetRegion};
 use crate::mapir::{KernelOp, MapIr, MapOp};
 use crate::mapping::{MapDir, MapEntry, MappingTable, Presence};
 use crate::sanitize::{MapSanitizer, SanitizerReport};
+use crate::telemetry::{ElideProbe, EventKind, EventRing, TelemetryMode, TelemetryReport};
 use crate::trace::{KernelTraceEntry, OverheadLedger, RecoveryAction, RecoveryEvent};
 use apu_mem::{AddrRange, ApuMemory, CostModel, MemError, MemStats, VirtAddr, XnackMode};
 use hsa_rocr::{ApiStats, HsaRuntime, Topology};
@@ -51,6 +52,12 @@ pub struct RunReport {
     /// Map-sanitizer findings, when the runtime was built with
     /// [`RuntimeBuilder::sanitize`](crate::RuntimeBuilder::sanitize).
     pub sanitizer: Option<SanitizerReport>,
+    /// Collected telemetry stream, when the runtime was built with
+    /// [`RuntimeBuilder::telemetry`](crate::RuntimeBuilder::telemetry).
+    pub telemetry: Option<TelemetryReport>,
+    /// `(hits, misses)` observed by the mapping table's extent-keyed
+    /// presence lookup cache over the whole run.
+    pub mapping_cache: (u64, u64),
 }
 
 /// The OpenMP offloading runtime for one run.
@@ -86,6 +93,11 @@ pub struct OmpRuntime {
     /// and on execution so plan-mode elision sites (keyed by capture op
     /// index) line up when the same program runs for real.
     op_counter: u64,
+    /// Telemetry ring; `None` when collection is off (the hot paths then
+    /// see one predictable branch per charge).
+    telemetry: Option<EventRing>,
+    /// Sanitizer diagnostics already mirrored into the telemetry stream.
+    san_seen: usize,
 }
 
 impl OmpRuntime {
@@ -127,14 +139,20 @@ impl OmpRuntime {
                 .then(|| MapSanitizer::with_sampling(config, instr.sanitize_every)),
             elide: instr.elide,
             op_counter: 0,
+            telemetry: match instr.telemetry {
+                TelemetryMode::Off => None,
+                TelemetryMode::Ring(capacity) => Some(EventRing::new(capacity)),
+            },
+            san_seen: 0,
         };
         if let Some(from) = degraded_from {
-            rt.ledger.degradations += 1;
-            rt.recovery_log.push(RecoveryEvent {
-                thread: 0,
-                attempts: 0,
-                action: RecoveryAction::StartupDegradation { from, to: config },
-            });
+            let a0 = rt.anchor(0);
+            rt.log_recovery(
+                0,
+                a0,
+                0,
+                RecoveryAction::StartupDegradation { from, to: config },
+            );
         }
         rt
     }
@@ -174,6 +192,19 @@ impl OmpRuntime {
     /// presence lookup cache (the online-elision hot path).
     pub fn mapping_cache_stats(&self) -> (u64, u64) {
         self.mapping.lookup_cache_stats()
+    }
+
+    /// Fold of the telemetry stream recorded so far (`None` when telemetry
+    /// is off). With [`telemetry_dropped`](Self::telemetry_dropped) zero
+    /// this equals [`ledger`](Self::ledger) field for field — the
+    /// derivability contract the check harness enforces on every cell.
+    pub fn telemetry_fold(&self) -> Option<OverheadLedger> {
+        self.telemetry.as_ref().map(EventRing::fold)
+    }
+
+    /// Telemetry events evicted by ring overflow so far (0 when off).
+    pub fn telemetry_dropped(&self) -> u64 {
+        self.telemetry.as_ref().map_or(0, EventRing::dropped)
     }
 
     /// FNV-1a digest over every live virtual memory area: address, length,
@@ -258,6 +289,7 @@ impl OmpRuntime {
         if let Some(s) = &mut self.sanitizer {
             s.on_host_write(thread as u32, range);
         }
+        self.sync_sanitizer_events(thread);
         self.hsa.mem_mut().host_touch(range)?;
         Ok(())
     }
@@ -270,6 +302,7 @@ impl OmpRuntime {
         if let Some(s) = &mut self.sanitizer {
             s.on_host_read(thread as u32, range);
         }
+        self.sync_sanitizer_events(thread);
     }
 
     /// Host-side compute on `thread` (advances its virtual clock).
@@ -283,9 +316,19 @@ impl OmpRuntime {
     /// GPU-translated in every configuration — pool memory is bulk-faulted
     /// at allocation).
     pub fn omp_target_alloc(&mut self, thread: usize, len: u64) -> Result<VirtAddr, OmpError> {
+        let a0 = self.anchor(thread);
         let d = self.pool_allocate_recovered(thread, len)?;
         let pages = self.mem().page_size().pages_covering(d, len);
-        self.ledger.mm_alloc += self.mem().cost().pool_alloc_cost(pages);
+        let cost = self.mem().cost().pool_alloc_cost(pages);
+        self.ledger.mm_alloc += cost;
+        self.emit(
+            thread,
+            a0,
+            EventKind::PoolAlloc {
+                range: AddrRange::new(d, len),
+                cost,
+            },
+        );
         self.record(
             thread,
             MapOp::PoolAlloc {
@@ -295,6 +338,7 @@ impl OmpRuntime {
         if let Some(s) = &mut self.sanitizer {
             s.on_pool_alloc(AddrRange::new(d, len));
         }
+        self.sync_sanitizer_events(thread);
         Ok(d)
     }
 
@@ -304,6 +348,7 @@ impl OmpRuntime {
         if let Some(s) = &mut self.sanitizer {
             s.on_pool_free(addr);
         }
+        self.sync_sanitizer_events(thread);
         self.hsa.pool_free(thread, addr)?;
         Ok(())
     }
@@ -329,9 +374,19 @@ impl OmpRuntime {
     pub fn declare_target_global(&mut self, thread: usize, len: u64) -> Result<GlobalId, OmpError> {
         let host = self.hsa.host_alloc(thread, len)?;
         let device = if self.config.globals_as_copy() {
+            let a0 = self.anchor(thread);
             let d = self.pool_allocate_recovered(thread, len)?;
             let pages = self.mem().page_size().pages_covering(d, len);
-            self.ledger.mm_alloc += self.mem().cost().pool_alloc_cost(pages);
+            let cost = self.mem().cost().pool_alloc_cost(pages);
+            self.ledger.mm_alloc += cost;
+            self.emit(
+                thread,
+                a0,
+                EventKind::PoolAlloc {
+                    range: AddrRange::new(host, len),
+                    cost,
+                },
+            );
             Some(d)
         } else {
             None
@@ -440,6 +495,7 @@ impl OmpRuntime {
                 if let Some(s) = &mut self.sanitizer {
                     s.on_update(thread as u32, &tov, &fromv);
                 }
+                self.sync_sanitizer_events(thread);
             }
             for r in to {
                 let dev = self.require_translation(r)?;
@@ -490,6 +546,7 @@ impl OmpRuntime {
         if let Some(s) = &mut self.sanitizer {
             s.on_kernel(thread as u32, &maps, &raw_accesses);
         }
+        self.sync_sanitizer_events(thread);
 
         // Globals: Copy-style handling issues a system-to-system transfer
         // per target (map(always, to) semantics); USM indirects.
@@ -521,6 +578,7 @@ impl OmpRuntime {
         access.extend(raw_accesses.iter().copied());
 
         self.prepare_dispatch(thread, &access)?;
+        let a0 = self.anchor(thread);
         let mut attempt: u32 = 0;
         let out = loop {
             match self
@@ -529,12 +587,8 @@ impl OmpRuntime {
             {
                 Ok(out) => {
                     if attempt > 0 {
-                        self.ledger.recoveries += 1;
-                        self.recovery_log.push(RecoveryEvent {
-                            thread: thread as u32,
-                            attempts: attempt + 1,
-                            action: RecoveryAction::RetriedDispatch,
-                        });
+                        let a = self.anchor(thread);
+                        self.log_recovery(thread, a, attempt + 1, RecoveryAction::RetriedDispatch);
                     }
                     break out;
                 }
@@ -560,6 +614,30 @@ impl OmpRuntime {
         self.ledger.kernels += 1;
         self.ledger.replayed_pages += out.replayed_pages;
         self.ledger.zero_filled_pages += out.zero_filled_pages;
+        if self.telemetry.is_some() {
+            let kname: Arc<str> = Arc::from(name);
+            self.emit_at(
+                thread,
+                a0,
+                a0,
+                EventKind::KernelLaunch {
+                    name: kname.clone(),
+                    compute,
+                },
+            );
+            self.emit(
+                thread,
+                a0,
+                EventKind::KernelComplete {
+                    name: kname,
+                    compute,
+                    fault_stall,
+                    tlb_stall,
+                    replayed_pages: out.replayed_pages,
+                    zero_filled_pages: out.zero_filled_pages,
+                },
+            );
+        }
 
         if self.trace_kernels {
             self.kernel_trace.push(KernelTraceEntry {
@@ -627,6 +705,7 @@ impl OmpRuntime {
         if let Some(s) = &mut self.sanitizer {
             s.on_kernel(thread as u32, &maps, &raw_accesses);
         }
+        self.sync_sanitizer_events(thread);
         let mut access: Vec<AddrRange> = Vec::with_capacity(maps.len() + globals.len());
         let mut global_addrs = Vec::with_capacity(globals.len());
         for gid in &globals {
@@ -647,6 +726,7 @@ impl OmpRuntime {
         access.extend(raw_accesses.iter().copied());
 
         self.prepare_dispatch(thread, &access)?;
+        let a0 = self.anchor(thread);
         let mut attempt: u32 = 0;
         let (out, token) = loop {
             match self
@@ -655,12 +735,8 @@ impl OmpRuntime {
             {
                 Ok(pair) => {
                     if attempt > 0 {
-                        self.ledger.recoveries += 1;
-                        self.recovery_log.push(RecoveryEvent {
-                            thread: thread as u32,
-                            attempts: attempt + 1,
-                            action: RecoveryAction::RetriedDispatch,
-                        });
+                        let a = self.anchor(thread);
+                        self.log_recovery(thread, a, attempt + 1, RecoveryAction::RetriedDispatch);
                     }
                     break pair;
                 }
@@ -686,6 +762,30 @@ impl OmpRuntime {
         self.ledger.kernels += 1;
         self.ledger.replayed_pages += out.replayed_pages;
         self.ledger.zero_filled_pages += out.zero_filled_pages;
+        if self.telemetry.is_some() {
+            let kname: Arc<str> = Arc::from(name);
+            self.emit_at(
+                thread,
+                a0,
+                a0,
+                EventKind::KernelLaunch {
+                    name: kname.clone(),
+                    compute,
+                },
+            );
+            self.emit(
+                thread,
+                a0,
+                EventKind::KernelComplete {
+                    name: kname,
+                    compute,
+                    fault_stall,
+                    tlb_stall,
+                    replayed_pages: out.replayed_pages,
+                    zero_filled_pages: out.zero_filled_pages,
+                },
+            );
+        }
         if self.trace_kernels {
             self.kernel_trace.push(KernelTraceEntry {
                 name: Arc::from(name),
@@ -747,18 +847,17 @@ impl OmpRuntime {
     /// against the live table and return everything found. Idempotent; for
     /// use when a run aborts early and `finish` is never reached.
     pub fn sanitizer_finalize(&mut self) -> &[Diagnostic] {
-        match &mut self.sanitizer {
-            Some(s) => {
-                s.end_of_program(&self.mapping);
-                s.diagnostics()
-            }
-            None => &[],
+        if let Some(s) = &mut self.sanitizer {
+            s.end_of_program(&self.mapping);
         }
+        self.sync_sanitizer_events(0);
+        self.sanitizer.as_ref().map_or(&[], |s| s.diagnostics())
     }
 
     fn finalize_sanitizer(&mut self) -> Option<SanitizerReport> {
-        let mut s = self.sanitizer.take()?;
-        s.end_of_program(&self.mapping);
+        self.sanitizer.as_mut()?.end_of_program(&self.mapping);
+        self.sync_sanitizer_events(0);
+        let s = self.sanitizer.take()?;
         Some(s.into_report())
     }
 
@@ -781,6 +880,77 @@ impl OmpRuntime {
             ir.push(thread as u32, op);
         }
         idx
+    }
+
+    /// Telemetry anchor: `thread`'s op-stream cursor "now". Captured before
+    /// the HSA work a charge covers; the resolved schedule turns it into a
+    /// virtual timestamp (see [`crate::telemetry::resolve`]).
+    fn anchor(&self, thread: usize) -> u32 {
+        self.hsa.thread_ops(thread) as u32
+    }
+
+    /// Emit an event spanning `[a0, a1]` in anchor space. No-op when
+    /// telemetry is off.
+    fn emit_at(&mut self, thread: usize, a0: u32, a1: u32, kind: EventKind) {
+        if let Some(ring) = &mut self.telemetry {
+            ring.push(thread as u32, a0, a1, kind);
+        }
+    }
+
+    /// Emit an event spanning from `a0` to the thread's current cursor —
+    /// the shape of every charge site: capture the anchor, do the HSA work,
+    /// mutate the ledger, emit with the same delta.
+    fn emit(&mut self, thread: usize, a0: u32, kind: EventKind) {
+        if self.telemetry.is_some() {
+            let a1 = self.anchor(thread);
+            self.emit_at(thread, a0, a1, kind);
+        }
+    }
+
+    /// Emit an instantaneous event at the thread's current cursor.
+    fn emit_instant(&mut self, thread: usize, kind: EventKind) {
+        if self.telemetry.is_some() {
+            let a = self.anchor(thread);
+            self.emit_at(thread, a, a, kind);
+        }
+    }
+
+    /// The single funnel for recovery episodes and degradations: splits the
+    /// `recoveries`/`degradations` counters, appends to the recovery log,
+    /// and emits the matching telemetry event — so the ledger, the log, and
+    /// the stream can never disagree.
+    fn log_recovery(&mut self, thread: usize, a0: u32, attempts: u32, action: RecoveryAction) {
+        match action {
+            RecoveryAction::XnackLost | RecoveryAction::StartupDegradation { .. } => {
+                self.ledger.degradations += 1;
+            }
+            _ => self.ledger.recoveries += 1,
+        }
+        let event = RecoveryEvent {
+            thread: thread as u32,
+            attempts,
+            action,
+        };
+        self.recovery_log.push(event);
+        self.emit(thread, a0, EventKind::Recovery { event });
+    }
+
+    /// Mirror sanitizer diagnostics recorded since the last sync into the
+    /// telemetry stream as verdict events (instantaneous at `thread`'s
+    /// cursor). Called after every sanitizer hook site.
+    fn sync_sanitizer_events(&mut self, thread: usize) {
+        let Some(ring) = &mut self.telemetry else {
+            return;
+        };
+        let Some(s) = &self.sanitizer else { return };
+        let diags = s.diagnostics();
+        if diags.len() > self.san_seen {
+            let a = self.hsa.thread_ops(thread) as u32;
+            for d in &diags[self.san_seen..] {
+                ring.push(thread as u32, a, a, EventKind::Sanitizer { code: d.code });
+            }
+            self.san_seen = diags.len();
+        }
     }
 
     /// The elision optimization pass: rewrite MC007-eligible entries in
@@ -806,6 +976,7 @@ impl OmpRuntime {
             return;
         }
         let online = self.elide == ElideMode::Online;
+        let zc = self.config.is_zero_copy();
         let (svc, hit_cost, miss_cost) = {
             let c = self.mem().cost();
             (c.map_service, c.map_lookup_hit, c.map_lookup_miss)
@@ -815,17 +986,25 @@ impl OmpRuntime {
             if e.dir == MapDir::Alloc || e.always {
                 continue;
             }
-            if online {
+            let (probe, lookup, saved) = if online {
                 let (presence, hit) = self.mapping.presence_cached(&e.range);
                 if presence != Presence::Present {
                     continue;
                 }
-                if !self.config.is_zero_copy() {
-                    let lookup = if hit { hit_cost } else { miss_cost };
-                    self.ledger.mm_map += lookup;
-                    self.ledger.mm_saved += svc - lookup;
-                    self.hsa.host_compute(thread, lookup);
-                }
+                let probe = if hit {
+                    ElideProbe::CacheHit
+                } else {
+                    ElideProbe::CacheMiss
+                };
+                let lookup = if zc {
+                    VirtDuration::ZERO
+                } else if hit {
+                    hit_cost
+                } else {
+                    miss_cost
+                };
+                let saved = if zc { VirtDuration::ZERO } else { svc - lookup };
+                (probe, lookup, saved)
             } else {
                 let planned = match &self.elide {
                     ElideMode::Plan(p) => p.contains(op_idx, i as u32),
@@ -834,11 +1013,26 @@ impl OmpRuntime {
                 if !planned {
                     continue;
                 }
-                if !self.config.is_zero_copy() {
-                    self.ledger.mm_saved += svc;
-                }
+                let saved = if zc { VirtDuration::ZERO } else { svc };
+                (ElideProbe::Planned, VirtDuration::ZERO, saved)
+            };
+            let a0 = self.anchor(thread);
+            if online && !zc {
+                self.hsa.host_compute(thread, lookup);
             }
+            self.ledger.mm_map += lookup;
+            self.ledger.mm_saved += saved;
             self.ledger.maps_elided += 1;
+            self.emit(
+                thread,
+                a0,
+                EventKind::Elide {
+                    range: e.range,
+                    probe,
+                    lookup,
+                    saved,
+                },
+            );
             *entry = MapEntry::alloc(e.range);
         }
     }
@@ -857,6 +1051,8 @@ impl OmpRuntime {
         seeds: &[u64],
     ) -> (RunReport, Vec<VirtDuration>) {
         let sanitizer = self.finalize_sanitizer();
+        let telemetry = self.telemetry.take().map(EventRing::into_report);
+        let mapping_cache = self.mapping.lookup_cache_stats();
         let config = self.config;
         let threads = self.threads;
         let ledger = self.ledger;
@@ -882,6 +1078,8 @@ impl OmpRuntime {
                 recovery_log,
                 degraded_from,
                 sanitizer,
+                telemetry,
+                mapping_cache,
             },
             makespans,
         )
@@ -890,6 +1088,8 @@ impl OmpRuntime {
     /// Finish with explicit scheduling options (noise model, seed).
     pub fn finish_with(mut self, opts: &RunOptions) -> RunReport {
         let sanitizer = self.finalize_sanitizer();
+        let telemetry = self.telemetry.take().map(EventRing::into_report);
+        let mapping_cache = self.mapping.lookup_cache_stats();
         let config = self.config;
         let threads = self.threads;
         let ledger = self.ledger;
@@ -912,6 +1112,8 @@ impl OmpRuntime {
             recovery_log,
             degraded_from,
             sanitizer,
+            telemetry,
+            mapping_cache,
         }
     }
 
@@ -931,17 +1133,14 @@ impl OmpRuntime {
         len: u64,
         with_handler: bool,
     ) -> Result<(), OmpError> {
+        let a0 = self.anchor(thread);
         let mut attempt: u32 = 0;
         loop {
             match self.hsa.async_copy(thread, src, dst, len, with_handler) {
                 Ok(()) => {
                     if attempt > 0 {
-                        self.ledger.recoveries += 1;
-                        self.recovery_log.push(RecoveryEvent {
-                            thread: thread as u32,
-                            attempts: attempt + 1,
-                            action: RecoveryAction::RetriedCopy,
-                        });
+                        let a = self.anchor(thread);
+                        self.log_recovery(thread, a, attempt + 1, RecoveryAction::RetriedCopy);
                     }
                     break;
                 }
@@ -958,19 +1157,39 @@ impl OmpRuntime {
                 Err(e) => return Err(e.into()),
             }
         }
-        self.ledger.mm_copy += self.mem().transfer_duration(src, dst, len);
+        let cost = self.mem().transfer_duration(src, dst, len);
+        self.ledger.mm_copy += cost;
         self.ledger.copies += 1;
         self.ledger.bytes_copied += len;
+        // Attribute the copy to its host-side extent: the destination for
+        // device-to-host transfers, the source otherwise.
+        let range = if with_handler {
+            AddrRange::new(dst, len)
+        } else {
+            AddrRange::new(src, len)
+        };
+        self.emit(
+            thread,
+            a0,
+            EventKind::Copy {
+                range,
+                bytes: len,
+                cost,
+                to_host: with_handler,
+            },
+        );
         Ok(())
     }
 
     /// Virtual-time retry delay between attempts, charged to the issuing
     /// thread and the recovery ledger.
     fn charge_backoff(&mut self, thread: usize, attempt: u32) {
+        let a0 = self.anchor(thread);
         let d = self.recovery.backoff.delay(attempt);
         self.hsa.recovery_wait(thread, d);
         self.ledger.recovery_backoff += d;
         self.ledger.retries += 1;
+        self.emit(thread, a0, EventKind::Backoff { attempt, delay: d });
     }
 
     /// Pool allocation under the recovery policy: injected transient
@@ -985,7 +1204,6 @@ impl OmpRuntime {
             match self.hsa.pool_allocate(thread, len) {
                 Ok(addr) => {
                     if attempt > 0 {
-                        self.ledger.recoveries += 1;
                         let action = if evicted_total > 0 {
                             RecoveryAction::EvictedThenRetriedAlloc {
                                 pages: evicted_total,
@@ -993,11 +1211,8 @@ impl OmpRuntime {
                         } else {
                             RecoveryAction::RetriedAlloc
                         };
-                        self.recovery_log.push(RecoveryEvent {
-                            thread: thread as u32,
-                            attempts: attempt + 1,
-                            action,
-                        });
+                        let a = self.anchor(thread);
+                        self.log_recovery(thread, a, attempt + 1, action);
                     }
                     return Ok(addr);
                 }
@@ -1018,6 +1233,7 @@ impl OmpRuntime {
                     attempt += 1;
                     let deficit = requested.saturating_sub(available).max(1);
                     let pages = deficit.div_ceil(self.mem().page_size().bytes());
+                    let a0 = self.anchor(thread);
                     let evicted = if attempt < self.recovery.max_attempts {
                         self.hsa.evict_um_pages(thread, pages.max(1))
                     } else {
@@ -1032,6 +1248,7 @@ impl OmpRuntime {
                     }
                     evicted_total += evicted;
                     self.ledger.evicted_for_retry += evicted;
+                    self.emit(thread, a0, EventKind::Evicted { pages: evicted });
                     self.charge_backoff(thread, attempt);
                 }
                 Err(e) => return Err(e.into()),
@@ -1051,21 +1268,27 @@ impl OmpRuntime {
         if flipped && self.xnack == XnackMode::Enabled {
             self.xnack = XnackMode::Disabled;
             self.xnack_lost = true;
-            self.ledger.degradations += 1;
-            self.recovery_log.push(RecoveryEvent {
-                thread: thread as u32,
-                attempts: 0,
-                action: RecoveryAction::XnackLost,
-            });
+            let a0 = self.anchor(thread);
+            self.log_recovery(thread, a0, 0, RecoveryAction::XnackLost);
         }
         if self.xnack_lost {
             for r in access {
                 if r.len == 0 {
                     continue;
                 }
+                let a0 = self.anchor(thread);
                 let out = self.hsa.svm_prefault(thread, *r)?;
                 self.ledger.recovery_prefault += out.cost;
                 self.ledger.recovery_prefaults += 1;
+                self.emit(
+                    thread,
+                    a0,
+                    EventKind::Prefault {
+                        range: *r,
+                        cost: out.cost,
+                        recovery: true,
+                    },
+                );
             }
         }
         Ok(())
@@ -1073,10 +1296,19 @@ impl OmpRuntime {
 
     fn begin_map(&mut self, thread: usize, e: &MapEntry) -> Result<(), OmpError> {
         self.ledger.maps += 1;
+        self.emit_instant(
+            thread,
+            EventKind::MapBegin {
+                range: e.range,
+                dir: e.dir,
+                always: e.always,
+            },
+        );
         let presence = self.mapping.presence(&e.range);
         if let Some(s) = &mut self.sanitizer {
             s.on_map_enter(thread as u32, e, presence);
         }
+        self.sync_sanitizer_events(thread);
         match presence {
             Presence::Partial => return Err(OmpError::PartialOverlap { range: e.range }),
             Presence::Present => {
@@ -1093,8 +1325,17 @@ impl OmpRuntime {
                         // elision pass recovers; `alloc` entries
                         // short-circuit it.
                         let svc = self.mem().cost().map_service;
+                        let a0 = self.anchor(thread);
                         self.ledger.mm_map += svc;
                         self.hsa.host_compute(thread, svc);
+                        self.emit(
+                            thread,
+                            a0,
+                            EventKind::MapService {
+                                range: e.range,
+                                cost: svc,
+                            },
+                        );
                     }
                 }
             }
@@ -1103,9 +1344,19 @@ impl OmpRuntime {
                     // Zero-copy: presence bookkeeping only; device == host.
                     self.mapping.insert(e.range, e.range.start);
                 } else {
+                    let a0 = self.anchor(thread);
                     let dev = self.pool_allocate_recovered(thread, e.range.len)?;
                     let pages = self.mem().page_size().pages_covering(dev, e.range.len);
-                    self.ledger.mm_alloc += self.mem().cost().pool_alloc_cost(pages);
+                    let cost = self.mem().cost().pool_alloc_cost(pages);
+                    self.ledger.mm_alloc += cost;
+                    self.emit(
+                        thread,
+                        a0,
+                        EventKind::PoolAlloc {
+                            range: e.range,
+                            cost,
+                        },
+                    );
                     self.mapping.insert(e.range, dev);
                     if e.dir.copies_to() {
                         self.issue_copy(thread, e.range.start, dev, e.range.len, false)?;
@@ -1116,15 +1367,33 @@ impl OmpRuntime {
         // Eager Maps: every map triggers a host-side prefault of the host
         // range — new pages are inserted, present pages are re-checked.
         if self.config.prefaults_on_map() {
+            let a0 = self.anchor(thread);
             let out = self.hsa.svm_prefault(thread, e.range)?;
             self.ledger.mm_prefault += out.cost;
             self.ledger.prefault_calls += 1;
+            self.emit(
+                thread,
+                a0,
+                EventKind::Prefault {
+                    range: e.range,
+                    cost: out.cost,
+                    recovery: false,
+                },
+            );
         }
         Ok(())
     }
 
     fn end_map(&mut self, thread: usize, e: &MapEntry, delete: bool) -> Result<(), OmpError> {
         self.ledger.maps += 1;
+        self.emit_instant(
+            thread,
+            EventKind::MapEnd {
+                range: e.range,
+                dir: e.dir,
+                delete,
+            },
+        );
         if self.sanitizer.is_some() {
             let presence = self.mapping.presence(&e.range);
             let disappearing = match self.mapping.find(e.range.start) {
@@ -1135,6 +1404,7 @@ impl OmpRuntime {
                 s.on_map_exit(thread as u32, e, presence, disappearing);
             }
         }
+        self.sync_sanitizer_events(thread);
         if self.config.is_zero_copy() {
             self.mapping.release(&e.range, delete)?;
             return Ok(());
@@ -1157,8 +1427,18 @@ impl OmpRuntime {
                 .mem()
                 .page_size()
                 .pages_covering(removed.device_base, removed.host.len);
-            self.ledger.mm_free += self.mem().cost().pool_free_cost(pages);
+            let cost = self.mem().cost().pool_free_cost(pages);
+            let a0 = self.anchor(thread);
+            self.ledger.mm_free += cost;
             self.hsa.pool_free(thread, removed.device_base)?;
+            self.emit(
+                thread,
+                a0,
+                EventKind::PoolFree {
+                    range: removed.host,
+                    cost,
+                },
+            );
         }
         Ok(())
     }

@@ -1,0 +1,1601 @@
+//! Typed, virtually-timestamped runtime telemetry.
+//!
+//! The runtime's hot paths emit [`Event`]s into a bounded ring buffer
+//! ([`EventRing`]) when telemetry is enabled through
+//! [`RuntimeBuilder::telemetry`](crate::RuntimeBuilder::telemetry). Every
+//! event carries the issuing host thread and a pair of *op-stream anchors*:
+//! the number of operations the thread had recorded when the charged work
+//! began and when it ended. Because the discrete-event engine resolves
+//! per-thread operations in issue order, an anchor `k` names one exact point
+//! on the resolved schedule's clock — the completion time of the thread's
+//! `k-1`-th operation ([`resolve`] performs that lookup). Events therefore
+//! get real virtual timestamps without the runtime ever consulting a clock,
+//! preserving the simulator's determinism.
+//!
+//! The load-bearing contract is *ledger derivability*: [`fold`] replays an
+//! event stream into an [`OverheadLedger`] and the result equals the ledger
+//! the runtime accumulated, field for field, whenever no events were dropped.
+//! The ledger is thus a derived view of the stream, not a parallel
+//! bookkeeping path; the check harness enforces this on every shipped cell
+//! and `crates/check/tests/telemetry_prop.rs` on randomized programs.
+//!
+//! Overflow is never silent: when the ring is full the oldest event is
+//! evicted and [`TelemetryReport::dropped_events`] is incremented; every sink
+//! (JSONL header, merged Chrome trace metadata, attribution report) carries
+//! the counter, and the fold contract is only claimed when it is zero.
+
+use crate::config::RuntimeConfig;
+use crate::diag::DiagCode;
+use crate::mapping::MapDir;
+use crate::trace::{OverheadLedger, RecoveryAction, RecoveryEvent};
+use apu_mem::{AddrRange, VirtAddr};
+use sim_des::{Schedule, VirtDuration, VirtInstant};
+use std::collections::{HashMap, VecDeque};
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Telemetry collection mode for a runtime instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TelemetryMode {
+    /// No collection. The hot paths see one predictable branch per charge;
+    /// `benches/telemetry_overhead.rs` pins this as a measured no-op.
+    #[default]
+    Off,
+    /// Collect into a drop-oldest ring holding at most this many events.
+    Ring(usize),
+}
+
+impl TelemetryMode {
+    /// Default ring capacity: ample for every shipped workload while
+    /// bounding a runaway run to ~64 MiB of events.
+    pub const DEFAULT_CAPACITY: usize = 1 << 20;
+
+    /// Ring mode at the default capacity.
+    pub fn ring() -> Self {
+        TelemetryMode::Ring(Self::DEFAULT_CAPACITY)
+    }
+
+    /// True when no events are collected.
+    pub fn is_off(self) -> bool {
+        matches!(self, TelemetryMode::Off)
+    }
+}
+
+/// How an elision decision resolved its presence probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ElideProbe {
+    /// Online probe answered by the mapping-table lookup cache.
+    CacheHit,
+    /// Online probe fell through to the full table walk.
+    CacheMiss,
+    /// Decided ahead of time by a static elision plan (no probe).
+    Planned,
+}
+
+/// One telemetry event payload.
+///
+/// Every duration-carrying variant records exactly the delta the runtime
+/// charged to the matching [`OverheadLedger`] field, which is what makes
+/// [`fold`] exact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    /// A map construct entered for one entry (counts toward `maps`).
+    MapBegin {
+        /// Host extent of the entry — the site id used by attribution.
+        range: AddrRange,
+        /// Declared direction.
+        dir: MapDir,
+        /// `always` modifier present.
+        always: bool,
+    },
+    /// A map construct exited for one entry (counts toward `maps`).
+    MapEnd {
+        /// Host extent of the entry.
+        range: AddrRange,
+        /// Declared direction.
+        dir: MapDir,
+        /// `delete` semantics (refcount forced to zero).
+        delete: bool,
+    },
+    /// Per-entry map-service charge for a transfer-direction re-map of a
+    /// present extent (`mm_map`).
+    MapService {
+        /// Host extent of the entry.
+        range: AddrRange,
+        /// Service time charged.
+        cost: VirtDuration,
+    },
+    /// Device-pool allocation charge (`mm_alloc`).
+    PoolAlloc {
+        /// Host extent backed by the new pool block.
+        range: AddrRange,
+        /// Allocation time charged.
+        cost: VirtDuration,
+    },
+    /// Device-pool free charge (`mm_free`).
+    PoolFree {
+        /// Host extent whose backing was released.
+        range: AddrRange,
+        /// Free time charged.
+        cost: VirtDuration,
+    },
+    /// Map-triggered copy (`mm_copy`, `copies`, `bytes_copied`).
+    Copy {
+        /// Host-side extent of the transfer (the attribution site).
+        range: AddrRange,
+        /// Bytes moved.
+        bytes: u64,
+        /// DMA duration charged.
+        cost: VirtDuration,
+        /// Direction: true for device-to-host.
+        to_host: bool,
+    },
+    /// Prefault syscall. `recovery: false` is the Eager-Maps map path
+    /// (`mm_prefault`); `recovery: true` is the degraded post-XNACK-loss
+    /// dispatch path (`recovery_prefault`).
+    Prefault {
+        /// Host extent prefaulted.
+        range: AddrRange,
+        /// Syscall time charged.
+        cost: VirtDuration,
+        /// Charged to the recovery ledger rather than MM.
+        recovery: bool,
+    },
+    /// A kernel was submitted (no ledger effect; completion carries the
+    /// charges).
+    KernelLaunch {
+        /// Region name.
+        name: Arc<str>,
+        /// Modeled compute time of the submission.
+        compute: VirtDuration,
+    },
+    /// A kernel completed (`kernels`, `kernel_compute`, `mi_fault_stall`,
+    /// `tlb_stall`, page counters).
+    KernelComplete {
+        /// Region name.
+        name: Arc<str>,
+        /// Modeled compute time.
+        compute: VirtDuration,
+        /// XNACK first-touch stall charged to MI.
+        fault_stall: VirtDuration,
+        /// TLB-miss stall.
+        tlb_stall: VirtDuration,
+        /// Pages XNACK-replayed by this launch.
+        replayed_pages: u64,
+        /// Pages zero-filled in the fault handler.
+        zero_filled_pages: u64,
+    },
+    /// A redundant re-map was promoted to a no-transfer `alloc` map
+    /// (`maps_elided`, lookup into `mm_map`, recovered time into
+    /// `mm_saved`).
+    Elide {
+        /// Host extent of the elided entry.
+        range: AddrRange,
+        /// How the presence probe was answered.
+        probe: ElideProbe,
+        /// Lookup cost charged to `mm_map` (zero under zero-copy or a plan).
+        lookup: VirtDuration,
+        /// Map-service time recovered.
+        saved: VirtDuration,
+    },
+    /// One recovery backoff wait between retries (`retries`,
+    /// `recovery_backoff`).
+    Backoff {
+        /// 1-based attempt number that failed.
+        attempt: u32,
+        /// Backoff wait charged.
+        delay: VirtDuration,
+    },
+    /// Unified-memory pages evicted from VRAM to relieve pool exhaustion
+    /// (`evicted_for_retry`). Separate from the episode's
+    /// [`EventKind::Recovery`] so the counter stays exact even when the
+    /// episode ultimately fails.
+    Evicted {
+        /// Pages evicted by this pass.
+        pages: u64,
+    },
+    /// A recovery episode resolved, or a degradation engaged
+    /// (`recoveries` / `degradations`, plus the recovery log).
+    Recovery {
+        /// The logged episode.
+        event: RecoveryEvent,
+    },
+    /// The runtime sanitizer issued a verdict (no ledger effect).
+    Sanitizer {
+        /// Diagnostic code of the verdict.
+        code: DiagCode,
+    },
+}
+
+impl EventKind {
+    /// Stable snake_case name: the JSONL `kind` field and the merged-trace
+    /// event name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::MapBegin { .. } => "map_begin",
+            EventKind::MapEnd { .. } => "map_end",
+            EventKind::MapService { .. } => "map_service",
+            EventKind::PoolAlloc { .. } => "pool_alloc",
+            EventKind::PoolFree { .. } => "pool_free",
+            EventKind::Copy { .. } => "copy",
+            EventKind::Prefault { .. } => "prefault",
+            EventKind::KernelLaunch { .. } => "kernel_launch",
+            EventKind::KernelComplete { .. } => "kernel_complete",
+            EventKind::Elide { .. } => "elide",
+            EventKind::Backoff { .. } => "backoff",
+            EventKind::Evicted { .. } => "evicted",
+            EventKind::Recovery { .. } => "recovery",
+            EventKind::Sanitizer { .. } => "sanitizer",
+        }
+    }
+
+    /// Flat key/value payload, shared by the JSONL writer and the merged
+    /// Chrome trace's `args` object. Keys are stable; durations are integer
+    /// nanoseconds with an `_ns` suffix.
+    pub fn fields(&self) -> Vec<(&'static str, FieldVal)> {
+        fn range(r: &AddrRange) -> Vec<(&'static str, FieldVal)> {
+            vec![
+                ("start", FieldVal::U64(r.start.as_u64())),
+                ("len", FieldVal::U64(r.len)),
+            ]
+        }
+        match self {
+            EventKind::MapBegin {
+                range: r,
+                dir,
+                always,
+            } => {
+                let mut f = range(r);
+                f.push(("dir", FieldVal::Str(dir_str(*dir).into())));
+                f.push(("always", FieldVal::Bool(*always)));
+                f
+            }
+            EventKind::MapEnd {
+                range: r,
+                dir,
+                delete,
+            } => {
+                let mut f = range(r);
+                f.push(("dir", FieldVal::Str(dir_str(*dir).into())));
+                f.push(("delete", FieldVal::Bool(*delete)));
+                f
+            }
+            EventKind::MapService { range: r, cost }
+            | EventKind::PoolAlloc { range: r, cost }
+            | EventKind::PoolFree { range: r, cost } => {
+                let mut f = range(r);
+                f.push(("cost_ns", FieldVal::U64(cost.as_nanos())));
+                f
+            }
+            EventKind::Copy {
+                range: r,
+                bytes,
+                cost,
+                to_host,
+            } => {
+                let mut f = range(r);
+                f.push(("bytes", FieldVal::U64(*bytes)));
+                f.push(("cost_ns", FieldVal::U64(cost.as_nanos())));
+                f.push(("to_host", FieldVal::Bool(*to_host)));
+                f
+            }
+            EventKind::Prefault {
+                range: r,
+                cost,
+                recovery,
+            } => {
+                let mut f = range(r);
+                f.push(("cost_ns", FieldVal::U64(cost.as_nanos())));
+                f.push(("recovery", FieldVal::Bool(*recovery)));
+                f
+            }
+            EventKind::KernelLaunch { name, compute } => vec![
+                ("name", FieldVal::Str(name.to_string())),
+                ("compute_ns", FieldVal::U64(compute.as_nanos())),
+            ],
+            EventKind::KernelComplete {
+                name,
+                compute,
+                fault_stall,
+                tlb_stall,
+                replayed_pages,
+                zero_filled_pages,
+            } => vec![
+                ("name", FieldVal::Str(name.to_string())),
+                ("compute_ns", FieldVal::U64(compute.as_nanos())),
+                ("fault_stall_ns", FieldVal::U64(fault_stall.as_nanos())),
+                ("tlb_stall_ns", FieldVal::U64(tlb_stall.as_nanos())),
+                ("replayed_pages", FieldVal::U64(*replayed_pages)),
+                ("zero_filled_pages", FieldVal::U64(*zero_filled_pages)),
+            ],
+            EventKind::Elide {
+                range: r,
+                probe,
+                lookup,
+                saved,
+            } => {
+                let mut f = range(r);
+                let p = match probe {
+                    ElideProbe::CacheHit => "hit",
+                    ElideProbe::CacheMiss => "miss",
+                    ElideProbe::Planned => "planned",
+                };
+                f.push(("probe", FieldVal::Str(p.into())));
+                f.push(("lookup_ns", FieldVal::U64(lookup.as_nanos())));
+                f.push(("saved_ns", FieldVal::U64(saved.as_nanos())));
+                f
+            }
+            EventKind::Backoff { attempt, delay } => vec![
+                ("attempt", FieldVal::U64(u64::from(*attempt))),
+                ("delay_ns", FieldVal::U64(delay.as_nanos())),
+            ],
+            EventKind::Evicted { pages } => vec![("pages", FieldVal::U64(*pages))],
+            EventKind::Recovery { event } => {
+                let mut f = vec![("attempts", FieldVal::U64(u64::from(event.attempts)))];
+                match event.action {
+                    RecoveryAction::RetriedAlloc => {
+                        f.push(("action", FieldVal::Str("retried_alloc".into())));
+                    }
+                    RecoveryAction::EvictedThenRetriedAlloc { pages } => {
+                        f.push(("action", FieldVal::Str("evicted_then_retried_alloc".into())));
+                        f.push(("pages", FieldVal::U64(pages)));
+                    }
+                    RecoveryAction::RetriedCopy => {
+                        f.push(("action", FieldVal::Str("retried_copy".into())));
+                    }
+                    RecoveryAction::RetriedDispatch => {
+                        f.push(("action", FieldVal::Str("retried_dispatch".into())));
+                    }
+                    RecoveryAction::XnackLost => {
+                        f.push(("action", FieldVal::Str("xnack_lost".into())));
+                    }
+                    RecoveryAction::StartupDegradation { from, to } => {
+                        f.push(("action", FieldVal::Str("startup_degradation".into())));
+                        f.push(("from", FieldVal::Str(from.label().into())));
+                        f.push(("to", FieldVal::Str(to.label().into())));
+                    }
+                }
+                f
+            }
+            EventKind::Sanitizer { code } => {
+                vec![("code", FieldVal::Str(code.as_str().into()))]
+            }
+        }
+    }
+}
+
+/// A scalar value in an event's flat payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FieldVal {
+    /// Unsigned integer (counts, bytes, nanoseconds, addresses).
+    U64(u64),
+    /// String (names, enums rendered as stable tokens).
+    Str(String),
+    /// Boolean flag.
+    Bool(bool),
+}
+
+/// One telemetry event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Monotonic sequence number across the whole run (survives ring
+    /// eviction, so gaps reveal exactly which events were dropped).
+    pub seq: u64,
+    /// Issuing host thread.
+    pub thread: u32,
+    /// Ops recorded on `thread`'s stream when the charged work began.
+    pub anchor: u32,
+    /// Ops recorded when the charged work ended (equal to `anchor` for
+    /// instantaneous decisions such as elisions and sanitizer verdicts).
+    pub anchor_end: u32,
+    /// Payload.
+    pub kind: EventKind,
+}
+
+/// Bounded drop-oldest event buffer with explicit overflow accounting.
+#[derive(Debug)]
+pub struct EventRing {
+    buf: VecDeque<Event>,
+    capacity: usize,
+    next_seq: u64,
+    dropped: u64,
+}
+
+impl EventRing {
+    /// An empty ring holding at most `capacity` events (minimum 1). Storage
+    /// grows lazily; nothing is preallocated.
+    pub fn new(capacity: usize) -> Self {
+        EventRing {
+            buf: VecDeque::new(),
+            capacity: capacity.max(1),
+            next_seq: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Record one event. When the ring is full the *oldest* event is evicted
+    /// (flight-recorder semantics) and the dropped counter incremented —
+    /// overflow is accounted, never silent.
+    pub fn push(&mut self, thread: u32, anchor: u32, anchor_end: u32, kind: EventKind) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(Event {
+            seq: self.next_seq,
+            thread,
+            anchor,
+            anchor_end,
+            kind,
+        });
+        self.next_seq += 1;
+    }
+
+    /// Events currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been recorded (or everything was evicted).
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events evicted by overflow so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Fold the events currently held into a ledger (see [`fold`]).
+    pub fn fold(&self) -> OverheadLedger {
+        fold_iter(self.buf.iter())
+    }
+
+    /// Finish collection, yielding the report consumed by the sinks.
+    pub fn into_report(self) -> TelemetryReport {
+        TelemetryReport {
+            events: self.buf.into_iter().collect(),
+            dropped_events: self.dropped,
+            capacity: self.capacity,
+        }
+    }
+}
+
+/// The collected event stream of one run, as attached to
+/// [`RunReport`](crate::RunReport).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TelemetryReport {
+    /// Events in emission order (oldest may have been evicted — check
+    /// [`dropped_events`](Self::dropped_events)).
+    pub events: Vec<Event>,
+    /// Events lost to ring overflow. The `ledger == fold(events)` contract
+    /// holds exactly when this is zero.
+    pub dropped_events: u64,
+    /// Ring capacity the run was collected with.
+    pub capacity: usize,
+}
+
+/// Replay an event stream into the ledger it implies.
+///
+/// For a complete stream (`dropped_events == 0`) the result equals the
+/// runtime's [`OverheadLedger`] field for field — the derivability contract
+/// enforced by the check harness on every shipped cell.
+pub fn fold(events: &[Event]) -> OverheadLedger {
+    fold_iter(events.iter())
+}
+
+fn fold_iter<'a>(events: impl Iterator<Item = &'a Event>) -> OverheadLedger {
+    let mut l = OverheadLedger::default();
+    for e in events {
+        match &e.kind {
+            EventKind::MapBegin { .. } | EventKind::MapEnd { .. } => l.maps += 1,
+            EventKind::MapService { cost, .. } => l.mm_map += *cost,
+            EventKind::PoolAlloc { cost, .. } => l.mm_alloc += *cost,
+            EventKind::PoolFree { cost, .. } => l.mm_free += *cost,
+            EventKind::Copy { bytes, cost, .. } => {
+                l.mm_copy += *cost;
+                l.copies += 1;
+                l.bytes_copied += *bytes;
+            }
+            EventKind::Prefault { cost, recovery, .. } => {
+                if *recovery {
+                    l.recovery_prefault += *cost;
+                    l.recovery_prefaults += 1;
+                } else {
+                    l.mm_prefault += *cost;
+                    l.prefault_calls += 1;
+                }
+            }
+            EventKind::KernelLaunch { .. } => {}
+            EventKind::KernelComplete {
+                compute,
+                fault_stall,
+                tlb_stall,
+                replayed_pages,
+                zero_filled_pages,
+                ..
+            } => {
+                l.kernel_compute += *compute;
+                l.kernels += 1;
+                l.mi_fault_stall += *fault_stall;
+                l.tlb_stall += *tlb_stall;
+                l.replayed_pages += *replayed_pages;
+                l.zero_filled_pages += *zero_filled_pages;
+            }
+            EventKind::Elide { lookup, saved, .. } => {
+                l.mm_map += *lookup;
+                l.mm_saved += *saved;
+                l.maps_elided += 1;
+            }
+            EventKind::Backoff { delay, .. } => {
+                l.retries += 1;
+                l.recovery_backoff += *delay;
+            }
+            EventKind::Evicted { pages } => l.evicted_for_retry += *pages,
+            EventKind::Recovery { event } => match event.action {
+                RecoveryAction::XnackLost | RecoveryAction::StartupDegradation { .. } => {
+                    l.degradations += 1;
+                }
+                _ => l.recoveries += 1,
+            },
+            EventKind::Sanitizer { .. } => {}
+        }
+    }
+    l
+}
+
+/// An event placed on the resolved schedule's virtual clock.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimedEvent {
+    /// When the charged work began.
+    pub start: VirtInstant,
+    /// When it ended (equal to `start` for instantaneous events).
+    pub end: VirtInstant,
+    /// The event.
+    pub event: Event,
+}
+
+/// Resolve anchors against a finished schedule: anchor `k` on thread `t`
+/// maps to the completion time of `t`'s `k-1`-th operation (simulation start
+/// for `k == 0`). Anchors past the stream end clamp to the thread's finish
+/// time, so partially dropped streams still resolve.
+pub fn resolve(report: &TelemetryReport, schedule: &Schedule) -> Vec<TimedEvent> {
+    let ends = schedule.per_thread_op_ends();
+    let at = |thread: u32, anchor: u32| -> VirtInstant {
+        let Some(ops) = ends.get(thread as usize) else {
+            return VirtInstant::ZERO;
+        };
+        if anchor == 0 {
+            return VirtInstant::ZERO;
+        }
+        let idx = (anchor as usize - 1).min(ops.len().saturating_sub(1));
+        ops.get(idx).copied().unwrap_or(VirtInstant::ZERO)
+    };
+    report
+        .events
+        .iter()
+        .map(|e| TimedEvent {
+            start: at(e.thread, e.anchor),
+            end: at(e.thread, e.anchor_end),
+            event: e.clone(),
+        })
+        .collect()
+}
+
+fn dir_str(dir: MapDir) -> &'static str {
+    match dir {
+        MapDir::To => "to",
+        MapDir::From => "from",
+        MapDir::ToFrom => "tofrom",
+        MapDir::Alloc => "alloc",
+    }
+}
+
+fn dir_from_str(s: &str) -> Result<MapDir, String> {
+    match s {
+        "to" => Ok(MapDir::To),
+        "from" => Ok(MapDir::From),
+        "tofrom" => Ok(MapDir::ToFrom),
+        "alloc" => Ok(MapDir::Alloc),
+        other => Err(format!("unknown map direction {other:?}")),
+    }
+}
+
+fn config_from_label(s: &str) -> Result<RuntimeConfig, String> {
+    RuntimeConfig::ALL
+        .iter()
+        .copied()
+        .find(|c| c.label() == s)
+        .ok_or_else(|| format!("unknown configuration label {s:?}"))
+}
+
+fn code_from_str(s: &str) -> Result<DiagCode, String> {
+    DiagCode::ALL
+        .iter()
+        .copied()
+        .find(|c| c.as_str() == s)
+        .ok_or_else(|| format!("unknown diagnostic code {s:?}"))
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn write_val(out: &mut String, v: &FieldVal) {
+    match v {
+        FieldVal::U64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        FieldVal::Str(s) => {
+            let _ = write!(out, "\"{}\"", json_escape(s));
+        }
+        FieldVal::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+    }
+}
+
+/// Serialize a report as JSONL: a header object (carrying
+/// `dropped_events`) followed by one flat object per event.
+/// [`parse_jsonl`] round-trips the result exactly.
+pub fn to_jsonl(report: &TelemetryReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{{\"type\":\"header\",\"version\":1,\"capacity\":{},\"events\":{},\"dropped_events\":{}}}",
+        report.capacity,
+        report.events.len(),
+        report.dropped_events
+    );
+    for e in &report.events {
+        let _ = write!(
+            out,
+            "{{\"type\":\"event\",\"seq\":{},\"thread\":{},\"anchor\":{},\"anchor_end\":{},\"kind\":\"{}\"",
+            e.seq,
+            e.thread,
+            e.anchor,
+            e.anchor_end,
+            e.kind.name()
+        );
+        for (k, v) in e.kind.fields() {
+            let _ = write!(out, ",\"{k}\":");
+            write_val(&mut out, &v);
+        }
+        out.push_str("}\n");
+    }
+    out
+}
+
+/// Minimal parser for the flat single-line objects [`to_jsonl`] emits.
+fn parse_flat_object(line: &str) -> Result<HashMap<String, FieldVal>, String> {
+    let line = line.trim();
+    let inner = line
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .ok_or_else(|| format!("not an object: {line:?}"))?;
+    let mut map = HashMap::new();
+    let bytes = inner.as_bytes();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        // Key.
+        if bytes[i] != b'"' {
+            return Err(format!("expected key quote at byte {i} in {line:?}"));
+        }
+        i += 1;
+        let key_start = i;
+        while i < bytes.len() && bytes[i] != b'"' {
+            if bytes[i] == b'\\' {
+                return Err("escapes in keys are not supported".into());
+            }
+            i += 1;
+        }
+        let key = inner[key_start..i].to_string();
+        i += 1; // closing quote
+        if i >= bytes.len() || bytes[i] != b':' {
+            return Err(format!("expected ':' after key {key:?}"));
+        }
+        i += 1;
+        // Value.
+        if i >= bytes.len() {
+            return Err(format!("missing value for key {key:?}"));
+        }
+        let val = if bytes[i] == b'"' {
+            i += 1;
+            let mut s = String::new();
+            loop {
+                if i >= bytes.len() {
+                    return Err("unterminated string value".into());
+                }
+                match bytes[i] {
+                    b'"' => break,
+                    b'\\' => {
+                        i += 1;
+                        match bytes.get(i) {
+                            Some(b'"') => s.push('"'),
+                            Some(b'\\') => s.push('\\'),
+                            Some(b'n') => s.push('\n'),
+                            Some(b'r') => s.push('\r'),
+                            Some(b't') => s.push('\t'),
+                            Some(b'u') => {
+                                let hex = inner.get(i + 1..i + 5).ok_or("truncated \\u escape")?;
+                                let cp = u32::from_str_radix(hex, 16)
+                                    .map_err(|e| format!("bad \\u escape: {e}"))?;
+                                s.push(char::from_u32(cp).ok_or("invalid \\u code point")?);
+                                i += 4;
+                            }
+                            other => return Err(format!("bad escape {other:?}")),
+                        }
+                        i += 1;
+                    }
+                    _ => {
+                        // Multi-byte UTF-8: copy the full char.
+                        let c = inner[i..].chars().next().ok_or("bad utf-8")?;
+                        s.push(c);
+                        i += c.len_utf8();
+                    }
+                }
+            }
+            i += 1; // closing quote
+            FieldVal::Str(s)
+        } else if inner[i..].starts_with("true") {
+            i += 4;
+            FieldVal::Bool(true)
+        } else if inner[i..].starts_with("false") {
+            i += 5;
+            FieldVal::Bool(false)
+        } else {
+            let num_start = i;
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+            let n: u64 = inner[num_start..i]
+                .parse()
+                .map_err(|e| format!("bad number at byte {num_start}: {e}"))?;
+            FieldVal::U64(n)
+        };
+        map.insert(key, val);
+        if i < bytes.len() {
+            if bytes[i] != b',' {
+                return Err(format!("expected ',' at byte {i} in {line:?}"));
+            }
+            i += 1;
+        }
+    }
+    Ok(map)
+}
+
+fn take_u64(map: &HashMap<String, FieldVal>, key: &str) -> Result<u64, String> {
+    match map.get(key) {
+        Some(FieldVal::U64(n)) => Ok(*n),
+        other => Err(format!("field {key:?}: expected integer, got {other:?}")),
+    }
+}
+
+fn take_str<'m>(map: &'m HashMap<String, FieldVal>, key: &str) -> Result<&'m str, String> {
+    match map.get(key) {
+        Some(FieldVal::Str(s)) => Ok(s),
+        other => Err(format!("field {key:?}: expected string, got {other:?}")),
+    }
+}
+
+fn take_bool(map: &HashMap<String, FieldVal>, key: &str) -> Result<bool, String> {
+    match map.get(key) {
+        Some(FieldVal::Bool(b)) => Ok(*b),
+        other => Err(format!("field {key:?}: expected bool, got {other:?}")),
+    }
+}
+
+fn take_range(map: &HashMap<String, FieldVal>) -> Result<AddrRange, String> {
+    Ok(AddrRange::new(
+        VirtAddr(take_u64(map, "start")?),
+        take_u64(map, "len")?,
+    ))
+}
+
+fn take_ns(map: &HashMap<String, FieldVal>, key: &str) -> Result<VirtDuration, String> {
+    Ok(VirtDuration::from_nanos(take_u64(map, key)?))
+}
+
+fn kind_from_fields(
+    kind: &str,
+    thread: u32,
+    map: &HashMap<String, FieldVal>,
+) -> Result<EventKind, String> {
+    Ok(match kind {
+        "map_begin" => EventKind::MapBegin {
+            range: take_range(map)?,
+            dir: dir_from_str(take_str(map, "dir")?)?,
+            always: take_bool(map, "always")?,
+        },
+        "map_end" => EventKind::MapEnd {
+            range: take_range(map)?,
+            dir: dir_from_str(take_str(map, "dir")?)?,
+            delete: take_bool(map, "delete")?,
+        },
+        "map_service" => EventKind::MapService {
+            range: take_range(map)?,
+            cost: take_ns(map, "cost_ns")?,
+        },
+        "pool_alloc" => EventKind::PoolAlloc {
+            range: take_range(map)?,
+            cost: take_ns(map, "cost_ns")?,
+        },
+        "pool_free" => EventKind::PoolFree {
+            range: take_range(map)?,
+            cost: take_ns(map, "cost_ns")?,
+        },
+        "copy" => EventKind::Copy {
+            range: take_range(map)?,
+            bytes: take_u64(map, "bytes")?,
+            cost: take_ns(map, "cost_ns")?,
+            to_host: take_bool(map, "to_host")?,
+        },
+        "prefault" => EventKind::Prefault {
+            range: take_range(map)?,
+            cost: take_ns(map, "cost_ns")?,
+            recovery: take_bool(map, "recovery")?,
+        },
+        "kernel_launch" => EventKind::KernelLaunch {
+            name: Arc::from(take_str(map, "name")?),
+            compute: take_ns(map, "compute_ns")?,
+        },
+        "kernel_complete" => EventKind::KernelComplete {
+            name: Arc::from(take_str(map, "name")?),
+            compute: take_ns(map, "compute_ns")?,
+            fault_stall: take_ns(map, "fault_stall_ns")?,
+            tlb_stall: take_ns(map, "tlb_stall_ns")?,
+            replayed_pages: take_u64(map, "replayed_pages")?,
+            zero_filled_pages: take_u64(map, "zero_filled_pages")?,
+        },
+        "elide" => EventKind::Elide {
+            range: take_range(map)?,
+            probe: match take_str(map, "probe")? {
+                "hit" => ElideProbe::CacheHit,
+                "miss" => ElideProbe::CacheMiss,
+                "planned" => ElideProbe::Planned,
+                other => return Err(format!("unknown elide probe {other:?}")),
+            },
+            lookup: take_ns(map, "lookup_ns")?,
+            saved: take_ns(map, "saved_ns")?,
+        },
+        "backoff" => EventKind::Backoff {
+            attempt: take_u64(map, "attempt")? as u32,
+            delay: take_ns(map, "delay_ns")?,
+        },
+        "evicted" => EventKind::Evicted {
+            pages: take_u64(map, "pages")?,
+        },
+        "recovery" => {
+            let attempts = take_u64(map, "attempts")? as u32;
+            let action = match take_str(map, "action")? {
+                "retried_alloc" => RecoveryAction::RetriedAlloc,
+                "evicted_then_retried_alloc" => RecoveryAction::EvictedThenRetriedAlloc {
+                    pages: take_u64(map, "pages")?,
+                },
+                "retried_copy" => RecoveryAction::RetriedCopy,
+                "retried_dispatch" => RecoveryAction::RetriedDispatch,
+                "xnack_lost" => RecoveryAction::XnackLost,
+                "startup_degradation" => RecoveryAction::StartupDegradation {
+                    from: config_from_label(take_str(map, "from")?)?,
+                    to: config_from_label(take_str(map, "to")?)?,
+                },
+                other => return Err(format!("unknown recovery action {other:?}")),
+            };
+            EventKind::Recovery {
+                event: RecoveryEvent {
+                    thread,
+                    attempts,
+                    action,
+                },
+            }
+        }
+        "sanitizer" => EventKind::Sanitizer {
+            code: code_from_str(take_str(map, "code")?)?,
+        },
+        other => return Err(format!("unknown event kind {other:?}")),
+    })
+}
+
+/// Parse a [`to_jsonl`] export back into a report. Exact round-trip:
+/// `parse_jsonl(&to_jsonl(&r)) == Ok(r)`.
+pub fn parse_jsonl(text: &str) -> Result<TelemetryReport, String> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header = parse_flat_object(lines.next().ok_or("empty input")?)?;
+    if take_str(&header, "type")? != "header" {
+        return Err("first line is not a header".into());
+    }
+    let version = take_u64(&header, "version")?;
+    if version != 1 {
+        return Err(format!("unsupported telemetry version {version}"));
+    }
+    let capacity = take_u64(&header, "capacity")? as usize;
+    let declared = take_u64(&header, "events")? as usize;
+    let dropped_events = take_u64(&header, "dropped_events")?;
+    let mut events = Vec::with_capacity(declared);
+    for line in lines {
+        let map = parse_flat_object(line)?;
+        if take_str(&map, "type")? != "event" {
+            return Err(format!("unexpected line type in {line:?}"));
+        }
+        let thread = take_u64(&map, "thread")? as u32;
+        events.push(Event {
+            seq: take_u64(&map, "seq")?,
+            thread,
+            anchor: take_u64(&map, "anchor")? as u32,
+            anchor_end: take_u64(&map, "anchor_end")? as u32,
+            kind: kind_from_fields(take_str(&map, "kind")?, thread, &map)?,
+        });
+    }
+    if events.len() != declared {
+        return Err(format!(
+            "header declares {declared} events but {} followed",
+            events.len()
+        ));
+    }
+    Ok(TelemetryReport {
+        events,
+        dropped_events,
+        capacity,
+    })
+}
+
+/// Aggregated charges for one map site (keyed by host extent).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SiteProfile {
+    /// The host extent identifying the site.
+    pub range: AddrRange,
+    /// Map operations (begins + ends) at the site.
+    pub maps: u64,
+    /// Pool allocations backing the site.
+    pub allocs: u64,
+    /// Map-triggered copies at the site.
+    pub copies: u64,
+    /// Bytes moved by those copies.
+    pub bytes: u64,
+    /// Maps elided at the site.
+    pub elided: u64,
+    /// Pool-allocation time charged.
+    pub mm_alloc: VirtDuration,
+    /// Copy time charged.
+    pub mm_copy: VirtDuration,
+    /// Pool-free time charged.
+    pub mm_free: VirtDuration,
+    /// Eager prefault time charged.
+    pub mm_prefault: VirtDuration,
+    /// Map-service plus elision-lookup time charged.
+    pub mm_map: VirtDuration,
+    /// Map-service time recovered by elision.
+    pub mm_saved: VirtDuration,
+}
+
+impl Default for SiteProfile {
+    fn default() -> Self {
+        SiteProfile {
+            range: AddrRange::new(VirtAddr(0), 0),
+            maps: 0,
+            allocs: 0,
+            copies: 0,
+            bytes: 0,
+            elided: 0,
+            mm_alloc: VirtDuration::ZERO,
+            mm_copy: VirtDuration::ZERO,
+            mm_free: VirtDuration::ZERO,
+            mm_prefault: VirtDuration::ZERO,
+            mm_map: VirtDuration::ZERO,
+            mm_saved: VirtDuration::ZERO,
+        }
+    }
+}
+
+impl SiteProfile {
+    /// Total MM charge attributed to the site (the ranking key).
+    pub fn mm_total(&self) -> VirtDuration {
+        self.mm_alloc + self.mm_copy + self.mm_free + self.mm_prefault + self.mm_map
+    }
+}
+
+/// Aggregated charges for one kernel (keyed by region name).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct KernelProfile {
+    /// Region name.
+    pub name: String,
+    /// Completed launches.
+    pub launches: u64,
+    /// Modeled compute time.
+    pub compute: VirtDuration,
+    /// XNACK first-touch stall (the MI ranking key).
+    pub fault_stall: VirtDuration,
+    /// TLB-miss stall.
+    pub tlb_stall: VirtDuration,
+    /// Pages XNACK-replayed.
+    pub replayed_pages: u64,
+    /// Pages zero-filled in the fault handler.
+    pub zero_filled_pages: u64,
+}
+
+/// Per-site / per-kernel drill-down of the Table III decomposition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttributionReport {
+    /// Map sites, ranked by total MM charge (descending, ties by address).
+    pub sites: Vec<SiteProfile>,
+    /// Kernels, ranked by XNACK fault stall (descending, ties by name).
+    pub kernels: Vec<KernelProfile>,
+    /// Events lost to ring overflow; nonzero means the profile is a lower
+    /// bound, not an exact decomposition.
+    pub dropped_events: u64,
+}
+
+/// Build the per-site attribution report from an event stream.
+pub fn attribution(report: &TelemetryReport) -> AttributionReport {
+    fn site<'a>(
+        sites: &'a mut HashMap<(u64, u64), SiteProfile>,
+        r: &AddrRange,
+    ) -> &'a mut SiteProfile {
+        let s = sites.entry((r.start.as_u64(), r.len)).or_default();
+        s.range = *r;
+        s
+    }
+    let mut sites: HashMap<(u64, u64), SiteProfile> = HashMap::new();
+    let mut kernels: HashMap<String, KernelProfile> = HashMap::new();
+    for e in &report.events {
+        match &e.kind {
+            EventKind::MapBegin { range, .. } | EventKind::MapEnd { range, .. } => {
+                site(&mut sites, range).maps += 1;
+            }
+            EventKind::MapService { range, cost } => {
+                site(&mut sites, range).mm_map += *cost;
+            }
+            EventKind::PoolAlloc { range, cost } => {
+                let s = site(&mut sites, range);
+                s.allocs += 1;
+                s.mm_alloc += *cost;
+            }
+            EventKind::PoolFree { range, cost } => {
+                site(&mut sites, range).mm_free += *cost;
+            }
+            EventKind::Copy {
+                range, bytes, cost, ..
+            } => {
+                let s = site(&mut sites, range);
+                s.copies += 1;
+                s.bytes += *bytes;
+                s.mm_copy += *cost;
+            }
+            EventKind::Prefault {
+                range,
+                cost,
+                recovery: false,
+            } => {
+                site(&mut sites, range).mm_prefault += *cost;
+            }
+            EventKind::Prefault { recovery: true, .. } => {}
+            EventKind::Elide {
+                range,
+                lookup,
+                saved,
+                ..
+            } => {
+                let s = site(&mut sites, range);
+                s.elided += 1;
+                s.mm_map += *lookup;
+                s.mm_saved += *saved;
+            }
+            EventKind::KernelComplete {
+                name,
+                compute,
+                fault_stall,
+                tlb_stall,
+                replayed_pages,
+                zero_filled_pages,
+            } => {
+                let k = kernels.entry(name.to_string()).or_default();
+                k.name = name.to_string();
+                k.launches += 1;
+                k.compute += *compute;
+                k.fault_stall += *fault_stall;
+                k.tlb_stall += *tlb_stall;
+                k.replayed_pages += *replayed_pages;
+                k.zero_filled_pages += *zero_filled_pages;
+            }
+            _ => {}
+        }
+    }
+    let mut sites: Vec<SiteProfile> = sites.into_values().collect();
+    sites.sort_by(|a, b| {
+        b.mm_total()
+            .cmp(&a.mm_total())
+            .then(a.range.start.as_u64().cmp(&b.range.start.as_u64()))
+            .then(a.range.len.cmp(&b.range.len))
+    });
+    let mut kernels: Vec<KernelProfile> = kernels.into_values().collect();
+    kernels.sort_by(|a, b| b.fault_stall.cmp(&a.fault_stall).then(a.name.cmp(&b.name)));
+    AttributionReport {
+        sites,
+        kernels,
+        dropped_events: report.dropped_events,
+    }
+}
+
+impl AttributionReport {
+    /// Human-readable drill-down: top-`top_n` map sites by MM charge and
+    /// kernels by MI stall, with the overflow counter in the header.
+    pub fn render_text(&self, top_n: usize) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "attribution: {} sites, {} kernels (dropped events: {})",
+            self.sites.len(),
+            self.kernels.len(),
+            self.dropped_events
+        );
+        let _ = writeln!(
+            out,
+            "{:>18} | {:>5} | {:>6} | {:>12} | {:>11} | {:>10}",
+            "site [start+len]", "maps", "elided", "MM total (us)", "copies (us)", "saved (us)"
+        );
+        for s in self.sites.iter().take(top_n) {
+            let _ = writeln!(
+                out,
+                "{:>18} | {:>5} | {:>6} | {:>13.1} | {:>11.1} | {:>10.1}",
+                format!("{:#x}+{}", s.range.start.as_u64(), s.range.len),
+                s.maps,
+                s.elided,
+                s.mm_total().as_micros_f64(),
+                s.mm_copy.as_micros_f64(),
+                s.mm_saved.as_micros_f64()
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{:>18} | {:>8} | {:>12} | {:>14} | {:>9}",
+            "kernel", "launches", "compute (us)", "MI stall (us)", "replayed"
+        );
+        for k in self.kernels.iter().take(top_n) {
+            let _ = writeln!(
+                out,
+                "{:>18} | {:>8} | {:>12.1} | {:>14.1} | {:>9}",
+                k.name,
+                k.launches,
+                k.compute.as_micros_f64(),
+                k.fault_stall.as_micros_f64(),
+                k.replayed_pages
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(seq: u64, kind: EventKind) -> Event {
+        Event {
+            seq,
+            thread: 0,
+            anchor: 0,
+            anchor_end: 0,
+            kind,
+        }
+    }
+
+    fn r(start: u64, len: u64) -> AddrRange {
+        AddrRange::new(VirtAddr(start), len)
+    }
+
+    #[test]
+    fn ring_drops_oldest_and_counts_at_the_capacity_boundary() {
+        let mut ring = EventRing::new(3);
+        for i in 0..3 {
+            ring.push(
+                0,
+                i,
+                i,
+                EventKind::Evicted {
+                    pages: u64::from(i),
+                },
+            );
+        }
+        // Exactly full: nothing dropped yet.
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.dropped(), 0);
+        // One past capacity: the oldest event (seq 0) is evicted, accounted.
+        ring.push(0, 3, 3, EventKind::Evicted { pages: 3 });
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.dropped(), 1);
+        let report = ring.into_report();
+        assert_eq!(report.dropped_events, 1);
+        assert_eq!(report.events.len(), 3);
+        // Sequence numbers survive eviction, exposing the gap.
+        assert_eq!(
+            report.events.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn ring_capacity_zero_is_clamped_to_one() {
+        let mut ring = EventRing::new(0);
+        ring.push(0, 0, 0, EventKind::Evicted { pages: 1 });
+        ring.push(0, 0, 0, EventKind::Evicted { pages: 2 });
+        assert_eq!(ring.len(), 1);
+        assert_eq!(ring.dropped(), 1);
+    }
+
+    #[test]
+    fn fold_replays_every_charge() {
+        let us = VirtDuration::from_micros;
+        let events = vec![
+            ev(
+                0,
+                EventKind::MapBegin {
+                    range: r(0x1000, 64),
+                    dir: MapDir::ToFrom,
+                    always: false,
+                },
+            ),
+            ev(
+                1,
+                EventKind::PoolAlloc {
+                    range: r(0x1000, 64),
+                    cost: us(3),
+                },
+            ),
+            ev(
+                2,
+                EventKind::Copy {
+                    range: r(0x1000, 64),
+                    bytes: 64,
+                    cost: us(5),
+                    to_host: false,
+                },
+            ),
+            ev(
+                3,
+                EventKind::Prefault {
+                    range: r(0x1000, 64),
+                    cost: us(2),
+                    recovery: false,
+                },
+            ),
+            ev(
+                4,
+                EventKind::KernelComplete {
+                    name: Arc::from("k"),
+                    compute: us(100),
+                    fault_stall: us(40),
+                    tlb_stall: us(1),
+                    replayed_pages: 7,
+                    zero_filled_pages: 2,
+                },
+            ),
+            ev(
+                5,
+                EventKind::Elide {
+                    range: r(0x1000, 64),
+                    probe: ElideProbe::CacheHit,
+                    lookup: us(1),
+                    saved: us(9),
+                },
+            ),
+            ev(
+                6,
+                EventKind::Backoff {
+                    attempt: 1,
+                    delay: us(8),
+                },
+            ),
+            ev(7, EventKind::Evicted { pages: 16 }),
+            ev(
+                8,
+                EventKind::Recovery {
+                    event: RecoveryEvent {
+                        thread: 0,
+                        attempts: 2,
+                        action: RecoveryAction::RetriedAlloc,
+                    },
+                },
+            ),
+            ev(
+                9,
+                EventKind::Recovery {
+                    event: RecoveryEvent {
+                        thread: 0,
+                        attempts: 0,
+                        action: RecoveryAction::XnackLost,
+                    },
+                },
+            ),
+            ev(
+                10,
+                EventKind::MapEnd {
+                    range: r(0x1000, 64),
+                    dir: MapDir::ToFrom,
+                    delete: false,
+                },
+            ),
+            ev(
+                11,
+                EventKind::PoolFree {
+                    range: r(0x1000, 64),
+                    cost: us(1),
+                },
+            ),
+            ev(
+                12,
+                EventKind::Prefault {
+                    range: r(0x2000, 64),
+                    cost: us(4),
+                    recovery: true,
+                },
+            ),
+        ];
+        let l = fold(&events);
+        assert_eq!(l.maps, 2);
+        assert_eq!(l.mm_alloc, us(3));
+        assert_eq!(l.mm_copy, us(5));
+        assert_eq!(l.copies, 1);
+        assert_eq!(l.bytes_copied, 64);
+        assert_eq!(l.mm_prefault, us(2));
+        assert_eq!(l.prefault_calls, 1);
+        assert_eq!(l.mm_free, us(1));
+        assert_eq!(l.kernel_compute, us(100));
+        assert_eq!(l.kernels, 1);
+        assert_eq!(l.mi_fault_stall, us(40));
+        assert_eq!(l.tlb_stall, us(1));
+        assert_eq!(l.replayed_pages, 7);
+        assert_eq!(l.zero_filled_pages, 2);
+        assert_eq!(l.mm_map, us(1));
+        assert_eq!(l.mm_saved, us(9));
+        assert_eq!(l.maps_elided, 1);
+        assert_eq!(l.retries, 1);
+        assert_eq!(l.recovery_backoff, us(8));
+        assert_eq!(l.evicted_for_retry, 16);
+        assert_eq!(l.recoveries, 1);
+        assert_eq!(l.degradations, 1);
+        assert_eq!(l.recovery_prefault, us(4));
+        assert_eq!(l.recovery_prefaults, 1);
+    }
+
+    #[test]
+    fn jsonl_round_trips_every_kind() {
+        let us = VirtDuration::from_micros;
+        let kinds = vec![
+            EventKind::MapBegin {
+                range: r(0x10, 8),
+                dir: MapDir::To,
+                always: true,
+            },
+            EventKind::MapEnd {
+                range: r(0x10, 8),
+                dir: MapDir::From,
+                delete: true,
+            },
+            EventKind::MapService {
+                range: r(0x20, 8),
+                cost: us(2),
+            },
+            EventKind::PoolAlloc {
+                range: r(0x20, 8),
+                cost: us(3),
+            },
+            EventKind::PoolFree {
+                range: r(0x20, 8),
+                cost: us(4),
+            },
+            EventKind::Copy {
+                range: r(0x30, 16),
+                bytes: 16,
+                cost: us(5),
+                to_host: true,
+            },
+            EventKind::Prefault {
+                range: r(0x40, 32),
+                cost: us(6),
+                recovery: true,
+            },
+            EventKind::KernelLaunch {
+                name: Arc::from("stencil \"hot\"\nloop"),
+                compute: us(7),
+            },
+            EventKind::KernelComplete {
+                name: Arc::from("stencil \"hot\"\nloop"),
+                compute: us(7),
+                fault_stall: us(8),
+                tlb_stall: us(1),
+                replayed_pages: 3,
+                zero_filled_pages: 1,
+            },
+            EventKind::Elide {
+                range: r(0x50, 64),
+                probe: ElideProbe::CacheMiss,
+                lookup: us(1),
+                saved: us(9),
+            },
+            EventKind::Backoff {
+                attempt: 3,
+                delay: us(10),
+            },
+            EventKind::Evicted { pages: 12 },
+            EventKind::Recovery {
+                event: RecoveryEvent {
+                    thread: 2,
+                    attempts: 1,
+                    action: RecoveryAction::EvictedThenRetriedAlloc { pages: 12 },
+                },
+            },
+            EventKind::Recovery {
+                event: RecoveryEvent {
+                    thread: 2,
+                    attempts: 0,
+                    action: RecoveryAction::StartupDegradation {
+                        from: RuntimeConfig::UnifiedSharedMemory,
+                        to: RuntimeConfig::LegacyCopy,
+                    },
+                },
+            },
+            EventKind::Sanitizer {
+                code: DiagCode::Mc007,
+            },
+        ];
+        let events: Vec<Event> = kinds
+            .into_iter()
+            .enumerate()
+            .map(|(i, kind)| Event {
+                seq: i as u64,
+                thread: 2,
+                anchor: i as u32,
+                anchor_end: i as u32 + 1,
+                kind,
+            })
+            .collect();
+        let report = TelemetryReport {
+            events,
+            dropped_events: 5,
+            capacity: 128,
+        };
+        let text = to_jsonl(&report);
+        assert!(text.starts_with("{\"type\":\"header\""));
+        assert!(text
+            .lines()
+            .next()
+            .unwrap()
+            .contains("\"dropped_events\":5"));
+        let parsed = parse_jsonl(&text).expect("round-trip parse");
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn jsonl_parser_rejects_malformed_input() {
+        assert!(parse_jsonl("").is_err());
+        assert!(parse_jsonl("{\"type\":\"event\"}").is_err());
+        assert!(parse_jsonl(
+            "{\"type\":\"header\",\"version\":2,\"capacity\":1,\"events\":0,\"dropped_events\":0}"
+        )
+        .is_err());
+        // Header/event count mismatch must be caught.
+        assert!(parse_jsonl(
+            "{\"type\":\"header\",\"version\":1,\"capacity\":1,\"events\":3,\"dropped_events\":0}"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn attribution_ranks_sites_by_mm_and_kernels_by_stall() {
+        let us = VirtDuration::from_micros;
+        let events = vec![
+            ev(
+                0,
+                EventKind::PoolAlloc {
+                    range: r(0x1000, 64),
+                    cost: us(10),
+                },
+            ),
+            ev(
+                1,
+                EventKind::Copy {
+                    range: r(0x2000, 64),
+                    bytes: 64,
+                    cost: us(50),
+                    to_host: false,
+                },
+            ),
+            ev(
+                2,
+                EventKind::KernelComplete {
+                    name: Arc::from("cold"),
+                    compute: us(5),
+                    fault_stall: us(1),
+                    tlb_stall: us(0),
+                    replayed_pages: 1,
+                    zero_filled_pages: 0,
+                },
+            ),
+            ev(
+                3,
+                EventKind::KernelComplete {
+                    name: Arc::from("hot"),
+                    compute: us(5),
+                    fault_stall: us(100),
+                    tlb_stall: us(0),
+                    replayed_pages: 9,
+                    zero_filled_pages: 4,
+                },
+            ),
+        ];
+        let report = TelemetryReport {
+            events,
+            dropped_events: 0,
+            capacity: 16,
+        };
+        let attr = attribution(&report);
+        assert_eq!(attr.sites.len(), 2);
+        assert_eq!(attr.sites[0].range, r(0x2000, 64));
+        assert_eq!(attr.sites[0].mm_copy, us(50));
+        assert_eq!(attr.kernels[0].name, "hot");
+        assert_eq!(attr.kernels[1].name, "cold");
+        let text = attr.render_text(10);
+        assert!(text.contains("dropped events: 0"));
+        assert!(text.contains("hot"));
+    }
+
+    #[test]
+    fn resolve_places_anchors_on_the_schedule_clock() {
+        // Build a tiny schedule by hand through the sim engine.
+        use sim_des::{schedule, Machine, Op, OpStreams, RunOptions, Tag};
+        let machine = Machine::new();
+        let mut streams = OpStreams::new(1);
+        streams.push(0, Op::local(Tag(1), VirtDuration::from_nanos(100)));
+        streams.push(0, Op::local(Tag(2), VirtDuration::from_nanos(50)));
+        let sched = schedule(machine, streams, &RunOptions::noiseless());
+        let report = TelemetryReport {
+            events: vec![
+                Event {
+                    seq: 0,
+                    thread: 0,
+                    anchor: 0,
+                    anchor_end: 1,
+                    kind: EventKind::Evicted { pages: 1 },
+                },
+                Event {
+                    seq: 1,
+                    thread: 0,
+                    anchor: 1,
+                    anchor_end: 2,
+                    kind: EventKind::Evicted { pages: 2 },
+                },
+                // Unknown thread and overlong anchors clamp, never panic.
+                Event {
+                    seq: 2,
+                    thread: 7,
+                    anchor: 9,
+                    anchor_end: 9,
+                    kind: EventKind::Evicted { pages: 3 },
+                },
+            ],
+            dropped_events: 0,
+            capacity: 8,
+        };
+        let timed = resolve(&report, &sched);
+        assert_eq!(timed[0].start, VirtInstant::ZERO);
+        assert_eq!(timed[0].end, VirtInstant::from_nanos(100));
+        assert_eq!(timed[1].start, VirtInstant::from_nanos(100));
+        assert_eq!(timed[1].end, VirtInstant::from_nanos(150));
+        assert_eq!(timed[2].start, VirtInstant::ZERO);
+        assert_eq!(timed[2].end, VirtInstant::ZERO);
+    }
+}

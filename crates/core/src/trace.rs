@@ -13,7 +13,7 @@ use std::sync::Arc;
 ///   copies, and — for Eager Maps — host-side prefault syscalls.
 /// * **MI** (memory initialization): GPU stalls from XNACK replays on first
 ///   touch, charged to the kernels that fault.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct OverheadLedger {
     /// Device-pool allocation time.
     pub mm_alloc: VirtDuration,

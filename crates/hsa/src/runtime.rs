@@ -155,6 +155,18 @@ impl HsaRuntime {
         self.streams.total_ops()
     }
 
+    /// Operations recorded so far on `thread`'s stream (0 for a thread that
+    /// has not recorded yet). This is the telemetry anchor: the engine
+    /// resolves a thread's ops in issue order, so "`k` ops recorded" names
+    /// one exact point on the finished schedule's clock.
+    pub fn thread_ops(&self, thread: usize) -> usize {
+        if thread < self.streams.threads() {
+            self.streams.stream(thread).len()
+        } else {
+            0
+        }
+    }
+
     /// Record-time count of calls of `kind`.
     pub fn recorded_calls(&self, kind: HsaApiKind) -> u64 {
         self.recorded[kind as usize]

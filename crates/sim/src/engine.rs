@@ -112,6 +112,20 @@ impl Schedule {
         &self.records
     }
 
+    /// Completion times of every operation, grouped by issuing thread in
+    /// issue order: `ends[t][k]` is when thread `t`'s `k`-th operation
+    /// finished. The engine resolves each thread's operations strictly in
+    /// order, so the per-thread subsequence of [`records`](Self::records)
+    /// *is* issue order; telemetry anchors (op-stream cursors captured at
+    /// emission time) resolve against this view.
+    pub fn per_thread_op_ends(&self) -> Vec<Vec<VirtInstant>> {
+        let mut out = vec![Vec::new(); self.thread_finish.len()];
+        for r in &self.records {
+            out[r.thread as usize].push(r.end);
+        }
+        out
+    }
+
     /// Per-resource utilization statistics.
     pub fn resource_stats(&self) -> &[ResourceStats] {
         &self.resources

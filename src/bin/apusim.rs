@@ -7,23 +7,28 @@
 //! apusim env [--no-apu] [--no-xnack] [--apu-maps] [--eager] [--usm]
 //! apusim run <workload> [--config copy|usm|izc|eager] [--threads N]
 //!            [--scale F] [--steps N] [--discrete] [--mem-report]
-//!            [--trace FILE.json] [--capture FILE.mapir]
+//!            [--trace FILE [--trace-format chrome|jsonl]] [--capture FILE.mapir]
 //! apusim replay FILE.mapir [--config copy|usm|izc|eager]
 //!               [--elide off|online|plan]
+//!               [--trace FILE [--trace-format chrome|jsonl]]
 //! apusim check [--json] [NAME]
 //! ```
 //!
 //! `run` executes one workload under one configuration and prints the
-//! makespan, the MM/MI ledger and the HSA call statistics; `--trace` also
-//! writes a Chrome-trace timeline of the schedule, and `--capture` writes
-//! the workload's data-environment op stream as MapIR text.
+//! makespan, the MM/MI ledger and the HSA call statistics; `--trace` turns
+//! the runtime telemetry ring on and writes the merged trace — by default a
+//! Chrome/Perfetto timeline interleaving the HSA schedule with the resolved
+//! runtime event spans on one virtual clock, or the raw event stream as
+//! JSONL with `--trace-format jsonl`. `--capture` writes the workload's
+//! data-environment op stream as MapIR text.
 //!
 //! `replay` re-executes a saved MapIR capture under any configuration with
 //! the sanitizer on, optionally applying map elision: `online` consults the
 //! live mapping table per map, `plan` derives the profile-guided elision
 //! plan from the capture itself (the static MC007 sites) and applies it by
 //! op index. It prints the makespan, ledger (including maps elided and MM
-//! saved), memory digest, and sanitizer verdict.
+//! saved), memory digest, and sanitizer verdict; `--trace` works exactly as
+//! under `run`, so an elision decision stream can be inspected span by span.
 //!
 //! `check` runs the mapcheck harness (static map-clause analysis of a
 //! captured MapIR, cross-validated by a sanitized real run) over the
@@ -32,12 +37,13 @@
 //! static/sanitizer mismatch.
 
 use mi300a_zerocopy::analysis::paper::{qmc_sweep, PaperConfig};
-use mi300a_zerocopy::analysis::timeline::chrome_trace;
+use mi300a_zerocopy::analysis::timeline::merged_chrome_trace;
 use mi300a_zerocopy::analysis::ExperimentConfig;
 use mi300a_zerocopy::hsa::Topology;
 use mi300a_zerocopy::mem::{CostModel, DiscreteSpec, MemOptions, SystemKind};
 use mi300a_zerocopy::omp::{
-    replay, replay_threads, ElideMode, MapIr, OmpRuntime, RunEnv, RuntimeConfig,
+    replay, replay_threads, telemetry, ElideMode, MapIr, OmpRuntime, RunEnv, RunReport,
+    RuntimeConfig, TelemetryMode,
 };
 use mi300a_zerocopy::workloads::{
     spec::{Bt, Ep, Lbm, SpC, Stencil},
@@ -46,7 +52,7 @@ use mi300a_zerocopy::workloads::{
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  apusim list\n  apusim costs\n  apusim sweep [--sizes 2,8,32] [--threads 1,4,8] [--steps N]\n  apusim env [--no-apu] [--no-xnack] [--apu-maps] [--eager] [--usm]\n  apusim run <workload> [--config copy|usm|izc|eager] [--threads N] [--scale F] [--steps N] [--discrete] [--mem-report] [--trace FILE.json] [--capture FILE.mapir]\n  apusim replay FILE.mapir [--config copy|usm|izc|eager] [--elide off|online|plan]\n  apusim check [--json] [NAME]"
+        "usage:\n  apusim list\n  apusim costs\n  apusim sweep [--sizes 2,8,32] [--threads 1,4,8] [--steps N]\n  apusim env [--no-apu] [--no-xnack] [--apu-maps] [--eager] [--usm]\n  apusim run <workload> [--config copy|usm|izc|eager] [--threads N] [--scale F] [--steps N] [--discrete] [--mem-report] [--trace FILE [--trace-format chrome|jsonl]] [--capture FILE.mapir]\n  apusim replay FILE.mapir [--config copy|usm|izc|eager] [--elide off|online|plan] [--trace FILE [--trace-format chrome|jsonl]]\n  apusim check [--json] [NAME]"
     );
     std::process::exit(2);
 }
@@ -62,6 +68,45 @@ fn parse_config(s: &str) -> RuntimeConfig {
             usage()
         }
     }
+}
+
+fn parse_trace_format(s: &str) -> &'static str {
+    match s {
+        "chrome" => "chrome",
+        "jsonl" => "jsonl",
+        other => {
+            eprintln!("unknown trace format '{other}' (chrome | jsonl)");
+            usage()
+        }
+    }
+}
+
+/// Render and write the requested trace sink. The event and drop counts are
+/// printed here and embedded in the sink's own header, so ring overflow is
+/// never silent.
+fn write_trace(
+    path: &str,
+    format: &str,
+    report: &RunReport,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let telemetry = report
+        .telemetry
+        .as_ref()
+        .expect("--trace builds the runtime with the telemetry ring on");
+    let (out, hint) = match format {
+        "jsonl" => (telemetry::to_jsonl(telemetry), ""),
+        _ => (
+            merged_chrome_trace(&report.schedule, telemetry),
+            " — open in chrome://tracing or Perfetto",
+        ),
+    };
+    std::fs::write(path, out)?;
+    println!(
+        "\nwrote {format} trace to {path}: {} event(s), {} dropped{hint}",
+        telemetry.events.len(),
+        telemetry.dropped_events
+    );
+    Ok(())
 }
 
 fn make_workload(name: &str, scale: f64, steps: usize) -> Option<Box<dyn Workload>> {
@@ -243,6 +288,7 @@ fn cmd_run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let mut discrete = false;
     let mut mem_report = false;
     let mut trace_path: Option<String> = None;
+    let mut trace_format = "chrome";
     let mut capture_path: Option<String> = None;
     let mut it = args[1..].iter();
     while let Some(a) = it.next() {
@@ -254,6 +300,9 @@ fn cmd_run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             "--discrete" => discrete = true,
             "--mem-report" => mem_report = true,
             "--trace" => trace_path = Some(it.next().unwrap_or_else(|| usage()).clone()),
+            "--trace-format" => {
+                trace_format = parse_trace_format(it.next().unwrap_or_else(|| usage()));
+            }
             "--capture" => capture_path = Some(it.next().unwrap_or_else(|| usage()).clone()),
             _ => usage(),
         }
@@ -273,6 +322,11 @@ fn cmd_run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         .system(kind)
         .threads(threads)
         .mem_options(MemOptions::from_env())
+        .telemetry(if trace_path.is_some() {
+            TelemetryMode::ring()
+        } else {
+            TelemetryMode::Off
+        })
         .build()?;
     w.run(&mut rt)?;
     let mem_snapshot = mem_report.then(|| mi300a_zerocopy::mem::MemoryReport::capture(rt.mem()));
@@ -304,8 +358,7 @@ fn cmd_run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         println!("\n{snapshot}");
     }
     if let Some(path) = trace_path {
-        std::fs::write(&path, chrome_trace(&report.schedule))?;
-        println!("\nwrote Chrome trace to {path} (open in chrome://tracing or Perfetto)");
+        write_trace(&path, trace_format, &report)?;
     }
     if let Some(path) = capture_path {
         // Captures record the op stream, not the timing, so they always run
@@ -323,11 +376,17 @@ fn cmd_replay(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     };
     let mut config = RuntimeConfig::ImplicitZeroCopy;
     let mut elide_arg = String::from("off");
+    let mut trace_path: Option<String> = None;
+    let mut trace_format = "chrome";
     let mut it = args[1..].iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--config" => config = parse_config(it.next().unwrap_or_else(|| usage())),
             "--elide" => elide_arg = it.next().unwrap_or_else(|| usage()).clone(),
+            "--trace" => trace_path = Some(it.next().unwrap_or_else(|| usage()).clone()),
+            "--trace-format" => {
+                trace_format = parse_trace_format(it.next().unwrap_or_else(|| usage()));
+            }
             _ => usage(),
         }
     }
@@ -348,6 +407,11 @@ fn cmd_replay(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         .mem_options(MemOptions::from_env())
         .sanitize(true)
         .elide(elide)
+        .telemetry(if trace_path.is_some() {
+            TelemetryMode::ring()
+        } else {
+            TelemetryMode::Off
+        })
         .build()?;
     let outcome = replay(&mut rt, &ir)?;
     let digest = rt.memory_digest();
@@ -368,6 +432,9 @@ fn cmd_replay(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         for d in &diagnostics {
             println!("  {d}");
         }
+    }
+    if let Some(path) = trace_path {
+        write_trace(&path, trace_format, &report)?;
     }
     Ok(())
 }
