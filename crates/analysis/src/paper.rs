@@ -37,6 +37,10 @@ pub struct PaperConfig {
     pub spec_scale: f64,
     /// QMCPack steps for the Table I call-count run.
     pub table1_steps: usize,
+    /// Sweep worker count (`repro --jobs`); `0` = one per available core.
+    /// Whatever the value, sweep outputs are byte-identical — the batch
+    /// driver launders the schedule out (see `omp_batch`).
+    pub jobs: usize,
 }
 
 impl PaperConfig {
@@ -50,6 +54,7 @@ impl PaperConfig {
             threads: vec![1, 2, 4, 8],
             spec_scale: 1.0,
             table1_steps: 4000,
+            jobs: 0,
         }
     }
 
@@ -70,7 +75,21 @@ impl PaperConfig {
             threads: vec![1, 4],
             spec_scale: 0.04,
             table1_steps: 150,
+            jobs: 0,
         }
+    }
+
+    /// Resolve [`jobs`](Self::jobs) for a sweep of `cells` cells: explicit
+    /// counts pass through, `0` takes one worker per available core.
+    pub fn worker_count(&self, cells: usize) -> usize {
+        let jobs = if self.jobs == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.jobs
+        };
+        jobs.min(cells.max(1))
     }
 
     fn qmc_exp(&self) -> ExperimentConfig {
@@ -110,9 +129,11 @@ impl QmcCell {
 
 /// The full QMCPack sweep behind Figures 3 and 4.
 ///
-/// Cells are measured on scoped worker threads — each cell owns its entire
-/// simulated machine, so the sweep is embarrassingly parallel and results
-/// stay bit-identical to a sequential pass.
+/// Cells run on the batch subsystem's work-stealing driver
+/// ([`omp_batch::drive`]) — each cell owns its entire simulated machine, so
+/// the sweep is embarrassingly parallel, and the driver restores injection
+/// order on the way out, so results stay bit-identical to a sequential pass
+/// at any `--jobs` count.
 pub fn qmc_sweep(cfg: &PaperConfig) -> Result<Vec<QmcCell>, OmpError> {
     let exp = cfg.qmc_exp();
     let mut grid: Vec<(NioSize, usize)> = Vec::new();
@@ -121,45 +142,17 @@ pub fn qmc_sweep(cfg: &PaperConfig) -> Result<Vec<QmcCell>, OmpError> {
             grid.push((size, threads));
         }
     }
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(grid.len().max(1));
-    type CellSlot = Option<Result<QmcCell, OmpError>>;
-    let mut results: Vec<CellSlot> = (0..grid.len()).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        // Static round-robin partition: worker w takes cells w, w+W, ...
-        // Cell count dominates worker count, so load stays balanced, and
-        // results land at fixed indices (bit-identical to sequential).
-        let mut per_worker: Vec<Vec<(usize, &mut CellSlot)>> =
-            (0..workers).map(|_| Vec::new()).collect();
-        for (i, slot) in results.iter_mut().enumerate() {
-            per_worker[i % workers].push((i, slot));
-        }
-        for work in per_worker {
-            let grid = &grid;
-            let exp = &exp;
-            let steps = cfg.qmc_steps;
-            scope.spawn(move || {
-                for (i, slot) in work {
-                    let (size, threads) = grid[i];
-                    let w = QmcPack::nio(size).with_steps(steps);
-                    *slot =
-                        Some(
-                            measure_all_configs(&w, threads, exp).map(|measurements| QmcCell {
-                                size,
-                                threads,
-                                measurements,
-                            }),
-                        );
-                }
-            });
-        }
-    });
-    results
-        .into_iter()
-        .map(|r| r.expect("every cell measured"))
-        .collect()
+    omp_batch::drive(grid.len(), cfg.worker_count(grid.len()), |i| {
+        let (size, threads) = grid[i];
+        let w = QmcPack::nio(size).with_steps(cfg.qmc_steps);
+        measure_all_configs(&w, threads, &exp).map(|measurements| QmcCell {
+            size,
+            threads,
+            measurements,
+        })
+    })
+    .into_iter()
+    .collect()
 }
 
 /// Figure 3: one ratio-vs-threads figure per problem size.
@@ -301,20 +294,12 @@ pub fn spec_suite(scale: f64) -> Vec<Box<dyn Workload>> {
 /// Also returns the highest CoV observed (the paper reports ≤ 0.03).
 pub fn table2(cfg: &PaperConfig) -> Result<(Table, f64), OmpError> {
     let suite = spec_suite(cfg.spec_scale);
-    // One scoped worker per benchmark; each owns its simulated machines.
-    let measured: Vec<Result<(String, Vec<Measurement>), OmpError>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = suite
-            .iter()
-            .map(|w| {
-                let exp = &cfg.exp;
-                scope.spawn(move || Ok((w.name(), measure_all_configs(w.as_ref(), 1, exp)?)))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("table2 worker panicked"))
-            .collect()
-    });
+    // One driver cell per benchmark; each owns its simulated machines.
+    let measured: Vec<Result<(String, Vec<Measurement>), OmpError>> =
+        omp_batch::drive(suite.len(), cfg.worker_count(suite.len()), |i| {
+            let w = &suite[i];
+            Ok((w.name(), measure_all_configs(w.as_ref(), 1, &cfg.exp)?))
+        });
     let mut per_bench: Vec<(String, Vec<Measurement>)> = Vec::new();
     let mut max_cov: f64 = 0.0;
     for r in measured {

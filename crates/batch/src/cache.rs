@@ -1,0 +1,253 @@
+//! Content-addressed, self-invalidating on-disk result store.
+//!
+//! Results live under a cache directory (`.apusim-cache/` by convention),
+//! one file per request digest: `<digest>.sweep`. Each entry embeds a
+//! header salt (folding the request-encoding and result-schema versions),
+//! the full canonical request block, and the serialized result. A lookup
+//! only hits when the salt matches *and* the stored canonical block is
+//! byte-identical to the probing request's — so an FNV collision, a schema
+//! bump, or a hand-edited file all degrade to a miss (and are overwritten
+//! on the next store), never to a wrong result.
+
+use crate::request::{SweepRequest, REQUEST_VERSION};
+use crate::result::{SweepResult, RESULT_VERSION};
+use omp_offload::digest::Fnv1a;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Where (and whether) sweep results are memoized.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub enum CacheMode {
+    /// No memoization: every request simulates.
+    #[default]
+    Off,
+    /// Memoize under this directory (created on first store).
+    Dir(PathBuf),
+}
+
+impl CacheMode {
+    /// Parse a `--cache` CLI operand: `off` disables, anything else is a
+    /// directory path.
+    pub fn from_arg(arg: &str) -> CacheMode {
+        if arg == "off" {
+            CacheMode::Off
+        } else {
+            CacheMode::Dir(PathBuf::from(arg))
+        }
+    }
+
+    /// The conventional on-disk location, `.apusim-cache/` in `base`.
+    pub fn default_dir(base: &Path) -> CacheMode {
+        CacheMode::Dir(base.join(".apusim-cache"))
+    }
+}
+
+/// The salt folded into every entry header: any bump of the request
+/// encoding or the result schema changes it, invalidating old entries.
+pub fn cache_salt() -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_str("apusim-cache");
+    h.write_u64(u64::from(REQUEST_VERSION));
+    h.write_u64(u64::from(RESULT_VERSION));
+    h.finish()
+}
+
+/// Handle on one cache directory (or the disabled store).
+#[derive(Debug)]
+pub struct ResultCache {
+    dir: Option<PathBuf>,
+    salt: u64,
+    tmp_seq: AtomicUsize,
+}
+
+impl ResultCache {
+    /// Open a cache in `mode`. Purely in-memory setup; the directory is
+    /// created lazily on first store.
+    pub fn open(mode: &CacheMode) -> ResultCache {
+        ResultCache {
+            dir: match mode {
+                CacheMode::Off => None,
+                CacheMode::Dir(d) => Some(d.clone()),
+            },
+            salt: cache_salt(),
+            tmp_seq: AtomicUsize::new(0),
+        }
+    }
+
+    /// Whether this store can ever hit.
+    pub fn enabled(&self) -> bool {
+        self.dir.is_some()
+    }
+
+    fn entry_path(&self, req: &SweepRequest) -> Option<PathBuf> {
+        self.dir
+            .as_ref()
+            .map(|d| d.join(format!("{:016x}.sweep", req.digest())))
+    }
+
+    /// Look `req` up. Returns the stored result only when the entry's salt
+    /// matches and its canonical request block is byte-identical to
+    /// `req.canonical()`; anything else — absent file, stale salt, digest
+    /// collision, truncated or corrupt body — is a miss.
+    pub fn lookup(&self, req: &SweepRequest) -> Option<SweepResult> {
+        let path = self.entry_path(req)?;
+        let text = fs::read_to_string(path).ok()?;
+        let mut lines = text.splitn(2, '\n');
+        let header = lines.next()?;
+        if header != format!("apusim-cache v1 salt={:016x}", self.salt) {
+            return None;
+        }
+        let body = lines.next()?;
+        let canonical = req.canonical();
+        let stored_req = body.get(..canonical.len())?;
+        if stored_req != canonical {
+            return None;
+        }
+        let rest = &body[canonical.len()..];
+        let result_block = rest.strip_prefix("---\n")?;
+        SweepResult::parse(result_block).ok()
+    }
+
+    /// Memoize `result` for `req`. Writes to a temp file in the cache
+    /// directory and renames into place, so concurrent workers storing the
+    /// same key race benignly (equal content, last rename wins) and a
+    /// crashed write never leaves a torn entry where `lookup` finds it.
+    pub fn store(&self, req: &SweepRequest, result: &SweepResult) -> std::io::Result<()> {
+        let Some(path) = self.entry_path(req) else {
+            return Ok(());
+        };
+        let dir = path.parent().expect("entry path has a parent");
+        fs::create_dir_all(dir)?;
+        let payload = format!(
+            "apusim-cache v1 salt={:016x}\n{}---\n{}",
+            self.salt,
+            req.canonical(),
+            result.to_text(),
+        );
+        let tmp = dir.join(format!(
+            ".tmp-{}-{}",
+            std::process::id(),
+            self.tmp_seq.fetch_add(1, Ordering::Relaxed),
+        ));
+        fs::write(&tmp, payload)?;
+        fs::rename(&tmp, &path)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apu_mem::{AddrRange, VirtAddr};
+    use omp_offload::{MapIr, MapOp, RuntimeConfig};
+    use std::sync::Arc;
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        static SEQ: AtomicUsize = AtomicUsize::new(0);
+        let d = std::env::temp_dir().join(format!(
+            "apusim-cache-test-{}-{}-{}",
+            std::process::id(),
+            tag,
+            SEQ.fetch_add(1, Ordering::Relaxed),
+        ));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    fn req() -> SweepRequest {
+        let mut ir = MapIr::new();
+        ir.push(
+            0,
+            MapOp::HostAlloc {
+                range: AddrRange::new(VirtAddr(4096), 8192),
+            },
+        );
+        SweepRequest::new("t", Arc::new(ir), RuntimeConfig::LegacyCopy)
+    }
+
+    fn result() -> SweepResult {
+        SweepResult {
+            ops: 1,
+            memory_digest: 0xabcd,
+            ..SweepResult::default()
+        }
+    }
+
+    #[test]
+    fn off_mode_never_hits_or_writes() {
+        let c = ResultCache::open(&CacheMode::Off);
+        assert!(!c.enabled());
+        c.store(&req(), &result()).unwrap();
+        assert_eq!(c.lookup(&req()), None);
+    }
+
+    #[test]
+    fn store_then_lookup_round_trips() {
+        let dir = scratch_dir("roundtrip");
+        let c = ResultCache::open(&CacheMode::Dir(dir.clone()));
+        assert_eq!(c.lookup(&req()), None, "cold cache must miss");
+        c.store(&req(), &result()).unwrap();
+        assert_eq!(c.lookup(&req()), Some(result()));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_salt_self_invalidates() {
+        let dir = scratch_dir("salt");
+        let c = ResultCache::open(&CacheMode::Dir(dir.clone()));
+        c.store(&req(), &result()).unwrap();
+        // Corrupt the entry's salt in place, as a version bump would.
+        let path = dir.join(format!("{:016x}.sweep", req().digest()));
+        let stale = fs::read_to_string(&path)
+            .unwrap()
+            .replacen("salt=", "salt=f", 1);
+        fs::write(&path, stale).unwrap();
+        assert_eq!(c.lookup(&req()), None, "stale salt must miss");
+        // The next store heals the entry.
+        c.store(&req(), &result()).unwrap();
+        assert_eq!(c.lookup(&req()), Some(result()));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mismatched_canonical_block_is_a_miss() {
+        let dir = scratch_dir("collide");
+        let c = ResultCache::open(&CacheMode::Dir(dir.clone()));
+        c.store(&req(), &result()).unwrap();
+        // Simulate an FNV collision: another request's entry lands on this
+        // digest path but carries a different canonical block.
+        let path = dir.join(format!("{:016x}.sweep", req().digest()));
+        let forged = fs::read_to_string(&path)
+            .unwrap()
+            .replacen("config copy", "config eager", 1);
+        fs::write(&path, forged).unwrap();
+        assert_eq!(c.lookup(&req()), None, "collision must miss, not lie");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_entry_is_a_miss() {
+        let dir = scratch_dir("trunc");
+        let c = ResultCache::open(&CacheMode::Dir(dir.clone()));
+        c.store(&req(), &result()).unwrap();
+        let path = dir.join(format!("{:016x}.sweep", req().digest()));
+        let full = fs::read_to_string(&path).unwrap();
+        fs::write(&path, &full[..full.len() / 2]).unwrap();
+        assert_eq!(c.lookup(&req()), None);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cache_mode_arg_parsing() {
+        assert_eq!(CacheMode::from_arg("off"), CacheMode::Off);
+        assert_eq!(
+            CacheMode::from_arg("/tmp/c"),
+            CacheMode::Dir(PathBuf::from("/tmp/c"))
+        );
+        assert_eq!(
+            CacheMode::default_dir(Path::new("/w")),
+            CacheMode::Dir(PathBuf::from("/w/.apusim-cache"))
+        );
+    }
+}

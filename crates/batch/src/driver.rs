@@ -1,0 +1,125 @@
+//! Hand-rolled work-stealing parallel map with deterministic output order.
+//!
+//! [`drive`] runs `f(0..n)` across `jobs` workers. Each worker owns a deque
+//! seeded round-robin from the injection order; it pops its own work from
+//! the back (LIFO, cache-warm) and, when empty, steals from the *front* of
+//! the currently most-loaded victim (FIFO, grabbing the work that victim
+//! will touch last). Results carry their injection index and are re-sorted
+//! after the join, so output order — and therefore every byte of every
+//! downstream report — is independent of worker count and steal schedule.
+//! That is the scheduling half of the sweep determinism contract; the other
+//! half (cell independence) is each simulation owning its runtime.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Run `f` over `0..n` with `jobs` workers and return the results in index
+/// order. `jobs <= 1` (or `n <= 1`) runs serially on the caller's thread
+/// with no queues, locks, or spawns — the baseline the determinism matrix
+/// compares every parallel schedule against.
+pub fn drive<T, F>(n: usize, jobs: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if jobs <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let workers = jobs.min(n);
+    // Per-worker deques, seeded round-robin so every worker starts with a
+    // near-equal share regardless of how uneven the cells turn out.
+    let deques: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+        .map(|w| Mutex::new((w..n).step_by(workers).collect()))
+        .collect();
+
+    let mut tagged: Vec<(usize, T)> = Vec::with_capacity(n);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|me| {
+                let deques = &deques;
+                let f = &f;
+                scope.spawn(move || {
+                    let mut out: Vec<(usize, T)> = Vec::new();
+                    loop {
+                        // Own work first, newest-first.
+                        let own = deques[me].lock().expect("deque poisoned").pop_back();
+                        if let Some(i) = own {
+                            out.push((i, f(i)));
+                            continue;
+                        }
+                        // Steal oldest-first from the most-loaded victim.
+                        // Jobs only leave deques when a worker takes them,
+                        // so one full empty scan proves global exhaustion.
+                        let victim = (0..workers)
+                            .filter(|&v| v != me)
+                            .map(|v| (deques[v].lock().expect("deque poisoned").len(), v))
+                            .max()
+                            .filter(|&(len, _)| len > 0)
+                            .map(|(_, v)| v);
+                        match victim {
+                            Some(v) => {
+                                let stolen = deques[v].lock().expect("deque poisoned").pop_front();
+                                if let Some(i) = stolen {
+                                    out.push((i, f(i)));
+                                }
+                                // Lost the race to another thief: rescan.
+                            }
+                            None => break,
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        for h in handles {
+            tagged.extend(h.join().expect("sweep worker panicked"));
+        }
+    });
+
+    tagged.sort_by_key(|&(i, _)| i);
+    debug_assert_eq!(tagged.len(), n);
+    tagged.into_iter().map(|(_, t)| t).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn serial_path_preserves_order() {
+        assert_eq!(drive(5, 1, |i| i * 10), vec![0, 10, 20, 30, 40]);
+        assert_eq!(drive(0, 4, |i| i), Vec::<usize>::new());
+        assert_eq!(drive(1, 8, |i| i + 1), vec![1]);
+    }
+
+    #[test]
+    fn parallel_output_matches_serial_for_any_worker_count() {
+        let serial = drive(97, 1, |i| i * i + 3);
+        for jobs in [2, 3, 4, 8, 97, 200] {
+            assert_eq!(drive(97, jobs, |i| i * i + 3), serial, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn every_index_runs_exactly_once() {
+        const N: usize = 64;
+        let hits: Vec<AtomicUsize> = (0..N).map(|_| AtomicUsize::new(0)).collect();
+        drive(N, 4, |i| hits[i].fetch_add(1, Ordering::Relaxed));
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "index {i}");
+        }
+    }
+
+    #[test]
+    fn uneven_cells_still_complete_and_order() {
+        // Make worker 0's seeded share much heavier so others must steal.
+        let out = drive(32, 4, |i| {
+            if i % 4 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            i
+        });
+        assert_eq!(out, (0..32).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,317 @@
+//! Sweep requests and their canonical, digestable encoding.
+//!
+//! A [`SweepRequest`] names one deterministic simulation: re-execute a MapIR
+//! capture under one (cost preset, configuration, elide mode, fault seed,
+//! telemetry mode) tuple. Every field that can change the simulation's
+//! result is folded into a *canonical encoding* — a stable, line-oriented
+//! text block — and the request digest is the FNV-1a hash of that block.
+//! Two requests with equal digests (and equal canonical blocks, which the
+//! cache verifies byte-for-byte) therefore produce byte-identical results,
+//! which is what makes the content-addressed result store sound.
+//!
+//! Display-only fields (the request's `name` label) are deliberately kept
+//! *out* of the encoding: the same capture swept under two file names is
+//! one cache entry, not two.
+
+use omp_offload::digest::Fnv1a;
+use omp_offload::{ElideMode, MapIr, RuntimeConfig, TelemetryMode};
+use std::sync::Arc;
+
+/// Canonical-encoding format version. Bump when the encoding, the
+/// simulation semantics it names, or the result schema changes; the cache
+/// folds it into its salt so stale entries self-invalidate.
+pub const REQUEST_VERSION: u32 = 1;
+
+/// Cost-model preset a request runs under. Requests name presets rather
+/// than carrying a full [`CostModel`](apu_mem::CostModel) so the canonical
+/// encoding stays small and stable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CostPreset {
+    /// [`CostModel::mi300a`](apu_mem::CostModel::mi300a) — the calibrated
+    /// MI300A preset.
+    #[default]
+    Mi300a,
+    /// [`CostModel::mi300a_no_thp`](apu_mem::CostModel::mi300a_no_thp) —
+    /// the THP-disabled variant the check harness uses.
+    Mi300aNoThp,
+}
+
+impl CostPreset {
+    /// Stable canonical-encoding token.
+    pub fn token(self) -> &'static str {
+        match self {
+            CostPreset::Mi300a => "mi300a",
+            CostPreset::Mi300aNoThp => "mi300a_no_thp",
+        }
+    }
+
+    /// Parse a canonical-encoding token.
+    pub fn from_token(s: &str) -> Option<Self> {
+        match s {
+            "mi300a" => Some(CostPreset::Mi300a),
+            "mi300a_no_thp" => Some(CostPreset::Mi300aNoThp),
+            _ => None,
+        }
+    }
+
+    /// Materialize the preset.
+    pub fn model(self) -> apu_mem::CostModel {
+        match self {
+            CostPreset::Mi300a => apu_mem::CostModel::mi300a(),
+            CostPreset::Mi300aNoThp => apu_mem::CostModel::mi300a_no_thp(),
+        }
+    }
+}
+
+/// Elision mode of a request. [`ElideMode::Plan`] carries a concrete plan;
+/// in a request the plan is always *derived from the capture itself*
+/// (`omp_mapcheck::elision_plan`), so the kind alone canonicalizes it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ElideKind {
+    /// No elision.
+    #[default]
+    Off,
+    /// Online: probe the live mapping table per map.
+    Online,
+    /// Profile-guided: apply `elision_plan(capture)` on replay.
+    Plan,
+}
+
+impl ElideKind {
+    /// Stable canonical-encoding token.
+    pub fn token(self) -> &'static str {
+        match self {
+            ElideKind::Off => "off",
+            ElideKind::Online => "online",
+            ElideKind::Plan => "plan",
+        }
+    }
+
+    /// Parse a canonical-encoding token.
+    pub fn from_token(s: &str) -> Option<Self> {
+        match s {
+            "off" => Some(ElideKind::Off),
+            "online" => Some(ElideKind::Online),
+            "plan" => Some(ElideKind::Plan),
+            _ => None,
+        }
+    }
+
+    /// Resolve to a concrete [`ElideMode`] for `ir`.
+    pub fn mode(self, ir: &MapIr) -> ElideMode {
+        match self {
+            ElideKind::Off => ElideMode::Off,
+            ElideKind::Online => ElideMode::Online,
+            ElideKind::Plan => ElideMode::Plan(omp_mapcheck::elision_plan(ir)),
+        }
+    }
+}
+
+/// Telemetry mode of a request. `Ring` collects the full event stream and
+/// folds it into the per-request attribution aggregate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TelemetryKind {
+    /// No telemetry: hot paths stay event-free.
+    #[default]
+    Off,
+    /// Bounded ring: events collected, attribution aggregated.
+    Ring,
+}
+
+impl TelemetryKind {
+    /// Stable canonical-encoding token.
+    pub fn token(self) -> &'static str {
+        match self {
+            TelemetryKind::Off => "off",
+            TelemetryKind::Ring => "ring",
+        }
+    }
+
+    /// Parse a canonical-encoding token.
+    pub fn from_token(s: &str) -> Option<Self> {
+        match s {
+            "off" => Some(TelemetryKind::Off),
+            "ring" => Some(TelemetryKind::Ring),
+            _ => None,
+        }
+    }
+
+    /// Resolve to a concrete [`TelemetryMode`].
+    pub fn mode(self) -> TelemetryMode {
+        match self {
+            TelemetryKind::Off => TelemetryMode::Off,
+            TelemetryKind::Ring => TelemetryMode::ring(),
+        }
+    }
+}
+
+/// Stable config token shared with the `apusim` CLI.
+pub fn config_token(c: RuntimeConfig) -> &'static str {
+    match c {
+        RuntimeConfig::LegacyCopy => "copy",
+        RuntimeConfig::UnifiedSharedMemory => "usm",
+        RuntimeConfig::ImplicitZeroCopy => "izc",
+        RuntimeConfig::EagerMaps => "eager",
+    }
+}
+
+/// Parse a stable config token.
+pub fn config_from_token(s: &str) -> Option<RuntimeConfig> {
+    match s {
+        "copy" => Some(RuntimeConfig::LegacyCopy),
+        "usm" => Some(RuntimeConfig::UnifiedSharedMemory),
+        "izc" => Some(RuntimeConfig::ImplicitZeroCopy),
+        "eager" => Some(RuntimeConfig::EagerMaps),
+        _ => None,
+    }
+}
+
+/// One cell of a sweep: a capture plus everything that determines its
+/// simulated outcome. Captures are shared (`Arc`) so a corpus replaying one
+/// capture under many configurations carries it once.
+#[derive(Debug, Clone)]
+pub struct SweepRequest {
+    /// Display label (workload or capture-file name). *Not* part of the
+    /// canonical encoding or digest.
+    pub name: String,
+    /// The captured operation stream to re-execute.
+    pub ir: Arc<MapIr>,
+    /// Cost-model preset.
+    pub preset: CostPreset,
+    /// Runtime configuration to replay under.
+    pub config: RuntimeConfig,
+    /// Elision mode.
+    pub elide: ElideKind,
+    /// Deterministic fault-plan seed (`None` = healthy run).
+    pub fault_seed: Option<u64>,
+    /// Telemetry collection mode.
+    pub telemetry: TelemetryKind,
+}
+
+impl SweepRequest {
+    /// A healthy, un-elided, telemetry-off request under the calibrated
+    /// MI300A preset.
+    pub fn new(name: impl Into<String>, ir: Arc<MapIr>, config: RuntimeConfig) -> Self {
+        SweepRequest {
+            name: name.into(),
+            ir,
+            preset: CostPreset::Mi300a,
+            config,
+            elide: ElideKind::Off,
+            fault_seed: None,
+            telemetry: TelemetryKind::Off,
+        }
+    }
+
+    /// The canonical encoding: every result-determining field, one per
+    /// line, in fixed order. The capture itself enters as the FNV-1a digest
+    /// of its stable `mapir v1` text plus its record count — the capture
+    /// body is *not* inlined, keeping cache entries small.
+    pub fn canonical(&self) -> String {
+        let ir_text = self.ir.to_text();
+        let mut h = Fnv1a::new();
+        h.write_str(&ir_text);
+        format!(
+            "sweepreq v{}\npreset {}\nconfig {}\nelide {}\nfault {}\ntelemetry {}\ncapture {:016x} {}\n",
+            REQUEST_VERSION,
+            self.preset.token(),
+            config_token(self.config),
+            self.elide.token(),
+            self.fault_seed
+                .map_or_else(|| "none".to_string(), |s| s.to_string()),
+            self.telemetry.token(),
+            h.finish(),
+            self.ir.len(),
+        )
+    }
+
+    /// The request digest: FNV-1a over the canonical encoding. This is the
+    /// content address of the request's result.
+    pub fn digest(&self) -> u64 {
+        omp_offload::digest::fnv1a(self.canonical().as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apu_mem::{AddrRange, VirtAddr};
+    use omp_offload::MapOp;
+
+    fn small_ir() -> Arc<MapIr> {
+        let mut ir = MapIr::new();
+        ir.push(
+            0,
+            MapOp::HostAlloc {
+                range: AddrRange::new(VirtAddr(4096), 8192),
+            },
+        );
+        Arc::new(ir)
+    }
+
+    #[test]
+    fn canonical_is_stable_and_name_free() {
+        let a = SweepRequest::new("first", small_ir(), RuntimeConfig::LegacyCopy);
+        let b = SweepRequest::new("second", small_ir(), RuntimeConfig::LegacyCopy);
+        assert_eq!(a.canonical(), b.canonical());
+        assert_eq!(a.digest(), b.digest());
+        assert!(a
+            .canonical()
+            .starts_with("sweepreq v1\npreset mi300a\nconfig copy\n"));
+    }
+
+    #[test]
+    fn every_result_determining_field_changes_the_digest() {
+        let base = SweepRequest::new("w", small_ir(), RuntimeConfig::LegacyCopy);
+        let d0 = base.digest();
+        let variants = [
+            SweepRequest {
+                config: RuntimeConfig::ImplicitZeroCopy,
+                ..base.clone()
+            },
+            SweepRequest {
+                elide: ElideKind::Online,
+                ..base.clone()
+            },
+            SweepRequest {
+                fault_seed: Some(7),
+                ..base.clone()
+            },
+            SweepRequest {
+                telemetry: TelemetryKind::Ring,
+                ..base.clone()
+            },
+            SweepRequest {
+                preset: CostPreset::Mi300aNoThp,
+                ..base.clone()
+            },
+        ];
+        for v in &variants {
+            assert_ne!(v.digest(), d0, "{}", v.canonical());
+        }
+        let mut ir2 = (*base.ir).clone();
+        ir2.push(0, MapOp::Taskwait);
+        let changed = SweepRequest {
+            ir: Arc::new(ir2),
+            ..base
+        };
+        assert_ne!(changed.digest(), d0);
+    }
+
+    #[test]
+    fn tokens_round_trip() {
+        for p in [CostPreset::Mi300a, CostPreset::Mi300aNoThp] {
+            assert_eq!(CostPreset::from_token(p.token()), Some(p));
+        }
+        for e in [ElideKind::Off, ElideKind::Online, ElideKind::Plan] {
+            assert_eq!(ElideKind::from_token(e.token()), Some(e));
+        }
+        for t in [TelemetryKind::Off, TelemetryKind::Ring] {
+            assert_eq!(TelemetryKind::from_token(t.token()), Some(t));
+        }
+        for c in RuntimeConfig::ALL {
+            assert_eq!(config_from_token(config_token(c)), Some(c));
+        }
+        assert_eq!(CostPreset::from_token("bogus"), None);
+    }
+}

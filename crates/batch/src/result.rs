@@ -1,0 +1,466 @@
+//! Sweep results: the exact, serializable outcome of one request.
+//!
+//! A [`SweepResult`] carries everything the sweep surfaces report — replay
+//! op counts, the virtual makespan, the full [`OverheadLedger`], the memory
+//! digest, the sanitizer's findings, and (when the request ran with the
+//! telemetry ring) the per-site/per-kernel attribution aggregate. The
+//! line-oriented `sweepresult v1` text form round-trips exactly, which is
+//! what the content-addressed cache stores: a cache hit *parses* the stored
+//! result and is therefore byte-indistinguishable from a fresh simulation
+//! in every downstream report. The determinism matrix test pins that
+//! contract at `-j {1,4,8}`, cold and warm.
+
+use omp_offload::telemetry::{KernelProfile, SiteProfile};
+use omp_offload::OverheadLedger;
+use sim_des::VirtDuration;
+use std::fmt::Write as _;
+
+/// The serialized-result schema version, folded into the cache salt.
+pub const RESULT_VERSION: u32 = 1;
+
+/// Outcome of one executed (or cache-recalled) sweep request.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SweepResult {
+    /// Captured records re-executed.
+    pub ops: u64,
+    /// Kernel launches among them.
+    pub kernels: u64,
+    /// Virtual makespan of the replay.
+    pub makespan: VirtDuration,
+    /// FNV-1a digest of live memory after the program body (before
+    /// teardown of the runtime).
+    pub memory_digest: u64,
+    /// The complete overhead ledger.
+    pub ledger: OverheadLedger,
+    /// Sanitizer findings, rendered, in detection order.
+    pub diagnostics: Vec<String>,
+    /// Telemetry events collected (0 when the ring was off).
+    pub telemetry_events: u64,
+    /// Telemetry events lost to ring overflow.
+    pub dropped_events: u64,
+    /// Per-map-site attribution (empty when the ring was off), in
+    /// attribution rank order (MM-heaviest first, ties by address).
+    pub sites: Vec<SiteProfile>,
+    /// Per-kernel attribution (empty when the ring was off), in rank order
+    /// (fault-stall-heaviest first, ties by name).
+    pub kernel_rows: Vec<KernelProfile>,
+}
+
+fn esc(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+fn unesc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some(other) => out.push(other),
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// The ledger's duration fields, in serialization order.
+const LEDGER_NS: &[&str] = &[
+    "mm_alloc",
+    "mm_copy",
+    "mm_free",
+    "mm_prefault",
+    "mm_map",
+    "mm_saved",
+    "mi_fault_stall",
+    "tlb_stall",
+    "kernel_compute",
+    "recovery_backoff",
+    "recovery_prefault",
+];
+
+/// The ledger's counter fields, in serialization order.
+const LEDGER_U64: &[&str] = &[
+    "maps_elided",
+    "kernels",
+    "copies",
+    "bytes_copied",
+    "maps",
+    "replayed_pages",
+    "zero_filled_pages",
+    "prefault_calls",
+    "retries",
+    "recoveries",
+    "degradations",
+    "evicted_for_retry",
+    "recovery_prefaults",
+];
+
+fn ledger_ns(l: &OverheadLedger, field: &str) -> u64 {
+    let d = match field {
+        "mm_alloc" => l.mm_alloc,
+        "mm_copy" => l.mm_copy,
+        "mm_free" => l.mm_free,
+        "mm_prefault" => l.mm_prefault,
+        "mm_map" => l.mm_map,
+        "mm_saved" => l.mm_saved,
+        "mi_fault_stall" => l.mi_fault_stall,
+        "tlb_stall" => l.tlb_stall,
+        "kernel_compute" => l.kernel_compute,
+        "recovery_backoff" => l.recovery_backoff,
+        "recovery_prefault" => l.recovery_prefault,
+        _ => unreachable!("unknown ledger duration field {field}"),
+    };
+    d.as_nanos()
+}
+
+fn ledger_ns_mut<'a>(l: &'a mut OverheadLedger, field: &str) -> Option<&'a mut VirtDuration> {
+    Some(match field {
+        "mm_alloc" => &mut l.mm_alloc,
+        "mm_copy" => &mut l.mm_copy,
+        "mm_free" => &mut l.mm_free,
+        "mm_prefault" => &mut l.mm_prefault,
+        "mm_map" => &mut l.mm_map,
+        "mm_saved" => &mut l.mm_saved,
+        "mi_fault_stall" => &mut l.mi_fault_stall,
+        "tlb_stall" => &mut l.tlb_stall,
+        "kernel_compute" => &mut l.kernel_compute,
+        "recovery_backoff" => &mut l.recovery_backoff,
+        "recovery_prefault" => &mut l.recovery_prefault,
+        _ => return None,
+    })
+}
+
+fn ledger_u64(l: &OverheadLedger, field: &str) -> u64 {
+    match field {
+        "maps_elided" => l.maps_elided,
+        "kernels" => l.kernels,
+        "copies" => l.copies,
+        "bytes_copied" => l.bytes_copied,
+        "maps" => l.maps,
+        "replayed_pages" => l.replayed_pages,
+        "zero_filled_pages" => l.zero_filled_pages,
+        "prefault_calls" => l.prefault_calls,
+        "retries" => l.retries,
+        "recoveries" => l.recoveries,
+        "degradations" => l.degradations,
+        "evicted_for_retry" => l.evicted_for_retry,
+        "recovery_prefaults" => l.recovery_prefaults,
+        _ => unreachable!("unknown ledger counter field {field}"),
+    }
+}
+
+fn ledger_u64_mut<'a>(l: &'a mut OverheadLedger, field: &str) -> Option<&'a mut u64> {
+    Some(match field {
+        "maps_elided" => &mut l.maps_elided,
+        "kernels" => &mut l.kernels,
+        "copies" => &mut l.copies,
+        "bytes_copied" => &mut l.bytes_copied,
+        "maps" => &mut l.maps,
+        "replayed_pages" => &mut l.replayed_pages,
+        "zero_filled_pages" => &mut l.zero_filled_pages,
+        "prefault_calls" => &mut l.prefault_calls,
+        "retries" => &mut l.retries,
+        "recoveries" => &mut l.recoveries,
+        "degradations" => &mut l.degradations,
+        "evicted_for_retry" => &mut l.evicted_for_retry,
+        "recovery_prefaults" => &mut l.recovery_prefaults,
+        _ => return None,
+    })
+}
+
+impl SweepResult {
+    /// Serialize to the line-oriented `sweepresult v1` text form. The
+    /// output is canonical: equal results serialize to equal bytes.
+    pub fn to_text(&self) -> String {
+        let mut out = format!("sweepresult v{RESULT_VERSION}\n");
+        let _ = writeln!(out, "ops {}", self.ops);
+        let _ = writeln!(out, "kernels {}", self.kernels);
+        let _ = writeln!(out, "makespan_ns {}", self.makespan.as_nanos());
+        let _ = writeln!(out, "memory_digest {:016x}", self.memory_digest);
+        for f in LEDGER_NS {
+            let _ = writeln!(out, "ledger_ns {f} {}", ledger_ns(&self.ledger, f));
+        }
+        for f in LEDGER_U64 {
+            let _ = writeln!(out, "ledger {f} {}", ledger_u64(&self.ledger, f));
+        }
+        for d in &self.diagnostics {
+            let _ = writeln!(out, "diag {}", esc(d));
+        }
+        let _ = writeln!(out, "telemetry_events {}", self.telemetry_events);
+        let _ = writeln!(out, "dropped_events {}", self.dropped_events);
+        for s in &self.sites {
+            let _ = writeln!(
+                out,
+                "site {} {} {} {} {} {} {} {} {} {} {} {} {}",
+                s.range.start.as_u64(),
+                s.range.len,
+                s.maps,
+                s.allocs,
+                s.copies,
+                s.bytes,
+                s.elided,
+                s.mm_alloc.as_nanos(),
+                s.mm_copy.as_nanos(),
+                s.mm_free.as_nanos(),
+                s.mm_prefault.as_nanos(),
+                s.mm_map.as_nanos(),
+                s.mm_saved.as_nanos(),
+            );
+        }
+        for k in &self.kernel_rows {
+            let name: String = k
+                .name
+                .chars()
+                .map(|c| if c.is_whitespace() { '_' } else { c })
+                .collect();
+            let _ = writeln!(
+                out,
+                "kernelrow {name} {} {} {} {} {} {}",
+                k.launches,
+                k.compute.as_nanos(),
+                k.fault_stall.as_nanos(),
+                k.tlb_stall.as_nanos(),
+                k.replayed_pages,
+                k.zero_filled_pages,
+            );
+        }
+        out
+    }
+
+    /// Parse the `sweepresult v1` form produced by
+    /// [`to_text`](Self::to_text).
+    pub fn parse(text: &str) -> Result<SweepResult, String> {
+        let mut lines = text.lines();
+        match lines.next() {
+            Some(l) if l == format!("sweepresult v{RESULT_VERSION}") => {}
+            other => return Err(format!("bad result header: {other:?}")),
+        }
+        let mut r = SweepResult::default();
+        for (no, line) in lines.enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (key, rest) = line.split_once(' ').unwrap_or((line, ""));
+            let num = |s: &str| {
+                s.parse::<u64>()
+                    .map_err(|_| format!("line {}: bad number {s:?}", no + 2))
+            };
+            match key {
+                "ops" => r.ops = num(rest)?,
+                "kernels" => r.kernels = num(rest)?,
+                "makespan_ns" => r.makespan = VirtDuration::from_nanos(num(rest)?),
+                "memory_digest" => {
+                    r.memory_digest = u64::from_str_radix(rest, 16)
+                        .map_err(|_| format!("line {}: bad digest {rest:?}", no + 2))?;
+                }
+                "ledger_ns" => {
+                    let (f, v) = rest
+                        .split_once(' ')
+                        .ok_or_else(|| format!("line {}: bad ledger_ns", no + 2))?;
+                    let slot = ledger_ns_mut(&mut r.ledger, f)
+                        .ok_or_else(|| format!("line {}: unknown ledger field {f:?}", no + 2))?;
+                    *slot = VirtDuration::from_nanos(num(v)?);
+                }
+                "ledger" => {
+                    let (f, v) = rest
+                        .split_once(' ')
+                        .ok_or_else(|| format!("line {}: bad ledger", no + 2))?;
+                    let slot = ledger_u64_mut(&mut r.ledger, f)
+                        .ok_or_else(|| format!("line {}: unknown ledger field {f:?}", no + 2))?;
+                    *slot = num(v)?;
+                }
+                "diag" => r.diagnostics.push(unesc(rest)),
+                "telemetry_events" => r.telemetry_events = num(rest)?,
+                "dropped_events" => r.dropped_events = num(rest)?,
+                "site" => {
+                    let v: Vec<u64> = rest.split_whitespace().map(num).collect::<Result<_, _>>()?;
+                    if v.len() != 13 {
+                        return Err(format!("line {}: site needs 13 fields", no + 2));
+                    }
+                    r.sites.push(SiteProfile {
+                        range: apu_mem::AddrRange::new(apu_mem::VirtAddr(v[0]), v[1]),
+                        maps: v[2],
+                        allocs: v[3],
+                        copies: v[4],
+                        bytes: v[5],
+                        elided: v[6],
+                        mm_alloc: VirtDuration::from_nanos(v[7]),
+                        mm_copy: VirtDuration::from_nanos(v[8]),
+                        mm_free: VirtDuration::from_nanos(v[9]),
+                        mm_prefault: VirtDuration::from_nanos(v[10]),
+                        mm_map: VirtDuration::from_nanos(v[11]),
+                        mm_saved: VirtDuration::from_nanos(v[12]),
+                    });
+                }
+                "kernelrow" => {
+                    let mut tok = rest.split_whitespace();
+                    let name = tok
+                        .next()
+                        .ok_or_else(|| format!("line {}: kernelrow needs a name", no + 2))?
+                        .to_string();
+                    let v: Vec<u64> = tok.map(num).collect::<Result<_, _>>()?;
+                    if v.len() != 6 {
+                        return Err(format!("line {}: kernelrow needs 6 numbers", no + 2));
+                    }
+                    r.kernel_rows.push(KernelProfile {
+                        name,
+                        launches: v[0],
+                        compute: VirtDuration::from_nanos(v[1]),
+                        fault_stall: VirtDuration::from_nanos(v[2]),
+                        tlb_stall: VirtDuration::from_nanos(v[3]),
+                        replayed_pages: v[4],
+                        zero_filled_pages: v[5],
+                    });
+                }
+                other => return Err(format!("line {}: unknown key {other:?}", no + 2)),
+            }
+        }
+        Ok(r)
+    }
+}
+
+/// Merge per-request attribution aggregates across a sweep into one
+/// profile: sites summed by extent, kernels summed by name, re-ranked the
+/// way [`attribution`](omp_offload::telemetry::attribution) ranks them
+/// (sites by total MM descending with address ties ascending; kernels by
+/// fault stall descending with name ties ascending). Deterministic for a
+/// given result sequence, independent of worker scheduling.
+pub fn merge_attribution(results: &[SweepResult]) -> (Vec<SiteProfile>, Vec<KernelProfile>) {
+    use std::collections::BTreeMap;
+    let mut sites: BTreeMap<(u64, u64), SiteProfile> = BTreeMap::new();
+    let mut kernels: BTreeMap<String, KernelProfile> = BTreeMap::new();
+    for r in results {
+        for s in &r.sites {
+            let e = sites
+                .entry((s.range.start.as_u64(), s.range.len))
+                .or_default();
+            e.range = s.range;
+            e.maps += s.maps;
+            e.allocs += s.allocs;
+            e.copies += s.copies;
+            e.bytes += s.bytes;
+            e.elided += s.elided;
+            e.mm_alloc += s.mm_alloc;
+            e.mm_copy += s.mm_copy;
+            e.mm_free += s.mm_free;
+            e.mm_prefault += s.mm_prefault;
+            e.mm_map += s.mm_map;
+            e.mm_saved += s.mm_saved;
+        }
+        for k in &r.kernel_rows {
+            let e = kernels
+                .entry(k.name.clone())
+                .or_insert_with(|| KernelProfile {
+                    name: k.name.clone(),
+                    launches: 0,
+                    compute: VirtDuration::ZERO,
+                    fault_stall: VirtDuration::ZERO,
+                    tlb_stall: VirtDuration::ZERO,
+                    replayed_pages: 0,
+                    zero_filled_pages: 0,
+                });
+            e.launches += k.launches;
+            e.compute += k.compute;
+            e.fault_stall += k.fault_stall;
+            e.tlb_stall += k.tlb_stall;
+            e.replayed_pages += k.replayed_pages;
+            e.zero_filled_pages += k.zero_filled_pages;
+        }
+    }
+    let mut site_rows: Vec<SiteProfile> = sites.into_values().collect();
+    site_rows.sort_by(|a, b| {
+        b.mm_total()
+            .cmp(&a.mm_total())
+            .then(a.range.start.as_u64().cmp(&b.range.start.as_u64()))
+            .then(a.range.len.cmp(&b.range.len))
+    });
+    let mut kernel_out: Vec<KernelProfile> = kernels.into_values().collect();
+    kernel_out.sort_by(|a, b| b.fault_stall.cmp(&a.fault_stall).then(a.name.cmp(&b.name)));
+    (site_rows, kernel_out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apu_mem::{AddrRange, VirtAddr};
+
+    fn sample() -> SweepResult {
+        let mut r = SweepResult {
+            ops: 12,
+            kernels: 3,
+            makespan: VirtDuration::from_micros(42),
+            memory_digest: 0xdead_beef_0042_1234,
+            diagnostics: vec!["MC001: stray\nexit".to_string(), "back\\slash".to_string()],
+            telemetry_events: 99,
+            dropped_events: 0,
+            ..SweepResult::default()
+        };
+        r.ledger.mm_alloc = VirtDuration::from_nanos(1234);
+        r.ledger.maps = 7;
+        r.ledger.bytes_copied = 1 << 30;
+        r.sites.push(SiteProfile {
+            range: AddrRange::new(VirtAddr(4096), 8192),
+            maps: 2,
+            mm_map: VirtDuration::from_nanos(55),
+            ..SiteProfile::default()
+        });
+        r.kernel_rows.push(KernelProfile {
+            name: "axpy".into(),
+            launches: 3,
+            compute: VirtDuration::from_micros(5),
+            fault_stall: VirtDuration::ZERO,
+            tlb_stall: VirtDuration::from_nanos(9),
+            replayed_pages: 0,
+            zero_filled_pages: 0,
+        });
+        r
+    }
+
+    #[test]
+    fn text_round_trips_exactly() {
+        let r = sample();
+        let text = r.to_text();
+        let back = SweepResult::parse(&text).unwrap();
+        assert_eq!(r, back);
+        assert_eq!(back.to_text(), text);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(SweepResult::parse("nope").is_err());
+        assert!(SweepResult::parse("sweepresult v1\nfrob 3").is_err());
+        assert!(SweepResult::parse("sweepresult v1\nledger bogus 3").is_err());
+        assert!(SweepResult::parse("sweepresult v1\nsite 1 2 3").is_err());
+    }
+
+    #[test]
+    fn escaping_round_trips_diagnostics() {
+        assert_eq!(unesc(&esc("a\nb\\c")), "a\nb\\c");
+    }
+
+    #[test]
+    fn merge_sums_and_ranks() {
+        let a = sample();
+        let mut b = sample();
+        b.sites[0].mm_map = VirtDuration::from_nanos(45);
+        b.sites.push(SiteProfile {
+            range: AddrRange::new(VirtAddr(1 << 20), 4096),
+            maps: 1,
+            mm_map: VirtDuration::from_nanos(500),
+            ..SiteProfile::default()
+        });
+        let (sites, kernels) = merge_attribution(&[a, b]);
+        assert_eq!(sites.len(), 2);
+        // The 500ns site outranks the merged 100ns site.
+        assert_eq!(sites[0].range.start.as_u64(), 1 << 20);
+        assert_eq!(sites[1].mm_map, VirtDuration::from_nanos(100));
+        assert_eq!(sites[1].maps, 4);
+        assert_eq!(kernels.len(), 1);
+        assert_eq!(kernels[0].launches, 6);
+    }
+}

@@ -1,0 +1,335 @@
+//! Executing sweep requests: one cell, and whole corpora under the driver.
+//!
+//! [`execute`] runs exactly one [`SweepRequest`] in a private runtime — the
+//! cell owns its [`OmpRuntime`], its memory image, and its telemetry ring,
+//! so cells are independent and any execution schedule yields the same
+//! per-cell bytes. [`run_sweep`] fans a corpus across the work-stealing
+//! [`drive`](crate::driver::drive) loop with the result cache consulted
+//! around each cell, and [`render_report`] folds the ordered results into
+//! the sweep's canonical stdout report. Cache and scheduling statistics are
+//! surfaced separately ([`SweepStats`]) precisely so the report itself
+//! never mentions them: cold, warm, serial, and parallel sweeps print
+//! byte-identical reports.
+
+use crate::cache::{CacheMode, ResultCache};
+use crate::driver::drive;
+use crate::request::{config_token, SweepRequest};
+use crate::result::{merge_attribution, SweepResult};
+use hsa_rocr::Topology;
+use omp_offload::telemetry::attribution;
+use omp_offload::{replay, replay_threads, OmpError, OmpRuntime};
+use sim_des::FaultPlan;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Cache effectiveness counters for one sweep. Reported on stderr by the
+/// CLI clients, never folded into stdout reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepStats {
+    /// Cells answered from the result cache.
+    pub hits: u64,
+    /// Cells that ran a simulation.
+    pub simulated: u64,
+}
+
+impl SweepStats {
+    /// Hit rate in `[0, 1]`; `0` for an empty sweep.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.simulated;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A completed sweep: per-cell results in corpus order plus cache counters.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// One result per corpus request, index-aligned with the input.
+    pub results: Vec<SweepResult>,
+    /// Cache effectiveness over the whole sweep.
+    pub stats: SweepStats,
+}
+
+/// Execute one request in a fresh, private runtime and distill the outcome.
+/// Deterministic: equal requests produce equal results, on any thread, in
+/// any order, which is the invariant the result cache and the `-j N`
+/// byte-identity contract both stand on.
+pub fn execute(req: &SweepRequest) -> Result<SweepResult, OmpError> {
+    let ir = &*req.ir;
+    let mut b = OmpRuntime::builder(req.preset.model(), Topology::default())
+        .config(req.config)
+        .threads(replay_threads(ir))
+        .sanitize(true)
+        .elide(req.elide.mode(ir))
+        .telemetry(req.telemetry.mode());
+    if let Some(seed) = req.fault_seed {
+        b = b.fault_plan(FaultPlan::from_seed(seed));
+    }
+    let mut rt = b.build()?;
+    let out = replay(&mut rt, ir)?;
+    let memory_digest = rt.memory_digest();
+    let report = rt.finish();
+
+    let mut result = SweepResult {
+        ops: out.ops as u64,
+        kernels: out.kernels as u64,
+        makespan: report.makespan,
+        memory_digest,
+        ledger: report.ledger,
+        ..SweepResult::default()
+    };
+    if let Some(san) = &report.sanitizer {
+        result.diagnostics = san.diagnostics.iter().map(|d| d.to_string()).collect();
+    }
+    if let Some(tel) = &report.telemetry {
+        result.telemetry_events = tel.events.len() as u64;
+        result.dropped_events = tel.dropped_events;
+        let attr = attribution(tel);
+        result.sites = attr.sites;
+        result.kernel_rows = attr.kernels;
+    }
+    Ok(result)
+}
+
+/// Run a whole corpus: each cell is answered from the cache when possible
+/// and simulated (then stored) otherwise, with cells distributed over
+/// `jobs` work-stealing workers. Results come back in corpus order
+/// regardless of schedule. The first cell error aborts the sweep.
+pub fn run_sweep(
+    corpus: &[SweepRequest],
+    jobs: usize,
+    cache_mode: &CacheMode,
+) -> Result<SweepOutcome, OmpError> {
+    let cache = ResultCache::open(cache_mode);
+    let hits = AtomicU64::new(0);
+    let simulated = AtomicU64::new(0);
+    let cells = drive(corpus.len(), jobs, |i| {
+        let req = &corpus[i];
+        if let Some(found) = cache.lookup(req) {
+            hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(found);
+        }
+        let fresh = execute(req)?;
+        simulated.fetch_add(1, Ordering::Relaxed);
+        if let Err(e) = cache.store(req, &fresh) {
+            // Memoization is an optimization; a full disk or read-only
+            // cache directory must not fail the sweep itself.
+            eprintln!("apusim: cache store failed for {}: {e}", req.name);
+        }
+        Ok(fresh)
+    });
+    let results = cells.into_iter().collect::<Result<Vec<_>, OmpError>>()?;
+    Ok(SweepOutcome {
+        results,
+        stats: SweepStats {
+            hits: hits.load(Ordering::Relaxed),
+            simulated: simulated.load(Ordering::Relaxed),
+        },
+    })
+}
+
+/// Render the sweep's stdout report: one line per cell in corpus order,
+/// then corpus totals and the merged cross-run attribution profile (when
+/// any cell collected telemetry). Pure function of `(corpus, results)` —
+/// cache state, worker count, and steal schedule cannot reach it.
+pub fn render_report(corpus: &[SweepRequest], results: &[SweepResult]) -> String {
+    assert_eq!(corpus.len(), results.len(), "corpus/result misalignment");
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<24} {:>6} {:>6} {:>5} {:>12} {:>10} {:>8} {:>5} {:>16}",
+        "workload",
+        "config",
+        "elide",
+        "fault",
+        "makespan_us",
+        "copies",
+        "elided",
+        "diags",
+        "mem_digest"
+    );
+    for (req, r) in corpus.iter().zip(results) {
+        let _ = writeln!(
+            out,
+            "{:<24} {:>6} {:>6} {:>5} {:>12.3} {:>10} {:>8} {:>5} {:016x}",
+            req.name,
+            config_token(req.config),
+            req.elide.token(),
+            req.fault_seed
+                .map_or_else(|| "-".to_string(), |s| s.to_string()),
+            r.makespan.as_nanos() as f64 / 1_000.0,
+            r.ledger.copies,
+            r.ledger.maps_elided,
+            r.diagnostics.len(),
+            r.memory_digest,
+        );
+    }
+    let total_ops: u64 = results.iter().map(|r| r.ops).sum();
+    let total_kernels: u64 = results.iter().map(|r| r.kernels).sum();
+    let total_ns: u64 = results.iter().map(|r| r.makespan.as_nanos()).sum();
+    let _ = writeln!(
+        out,
+        "total: {} cells, {} ops, {} kernels, {:.3} virtual ms",
+        results.len(),
+        total_ops,
+        total_kernels,
+        total_ns as f64 / 1_000_000.0,
+    );
+    let (sites, kernels) = merge_attribution(results);
+    if !sites.is_empty() || !kernels.is_empty() {
+        let _ = writeln!(out, "\nmerged site profile (top 10 by MM charge):");
+        for s in sites.iter().take(10) {
+            let _ = writeln!(
+                out,
+                "  {:#012x}+{:<10} maps {:<6} copies {:<6} mm_us {:<10.3} saved_us {:.3}",
+                s.range.start.as_u64(),
+                s.range.len,
+                s.maps,
+                s.copies,
+                s.mm_total().as_nanos() as f64 / 1_000.0,
+                s.mm_saved.as_nanos() as f64 / 1_000.0,
+            );
+        }
+        let _ = writeln!(out, "merged kernel profile (top 10 by fault stall):");
+        for k in kernels.iter().take(10) {
+            let _ = writeln!(
+                out,
+                "  {:<24} launches {:<6} fault_us {:<10.3} tlb_us {:<10.3} replayed {}",
+                k.name,
+                k.launches,
+                k.fault_stall.as_nanos() as f64 / 1_000.0,
+                k.tlb_stall.as_nanos() as f64 / 1_000.0,
+                k.replayed_pages,
+            );
+        }
+    }
+    out
+}
+
+fn capture_threads(w: &dyn workloads::Workload) -> usize {
+    if w.name().contains("qmc") {
+        2
+    } else {
+        1
+    }
+}
+
+fn corpus_for(
+    programs: Vec<Box<dyn workloads::Workload>>,
+    elides: &[crate::request::ElideKind],
+) -> Vec<SweepRequest> {
+    let mut corpus = Vec::new();
+    for w in programs {
+        let ir = Arc::new(
+            omp_mapcheck::capture_workload(&*w, capture_threads(&*w))
+                .expect("shipped workloads capture cleanly"),
+        );
+        for config in omp_mapcheck::harness::configs_for(&*w) {
+            for &elide in elides {
+                let mut req = SweepRequest::new(w.name(), Arc::clone(&ir), config);
+                req.elide = elide;
+                corpus.push(req);
+            }
+        }
+    }
+    corpus
+}
+
+/// The small, fast corpus CI sweeps: three shipped programs at reduced
+/// scale, every compatible configuration, elision off. Deterministic
+/// construction: element order is fixed.
+pub fn smoke_corpus() -> Vec<SweepRequest> {
+    use crate::request::ElideKind;
+    use workloads::{spec, NioSize, QmcPack};
+    let programs: Vec<Box<dyn workloads::Workload>> = vec![
+        Box::new(spec::Ep::scaled(0.02)),
+        Box::new(spec::Stencil::scaled(0.02)),
+        Box::new(QmcPack::nio(NioSize { factor: 2 }).with_steps(2)),
+    ];
+    corpus_for(programs, &[ElideKind::Off])
+}
+
+/// The full sweep corpus `repro` runs: every shipped workload, every
+/// compatible configuration, elision off and profile-guided.
+pub fn full_corpus() -> Vec<SweepRequest> {
+    use crate::request::ElideKind;
+    corpus_for(
+        omp_mapcheck::harness::shipped_workloads(),
+        &[ElideKind::Off, ElideKind::Plan],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{ElideKind, TelemetryKind};
+    use omp_offload::RuntimeConfig;
+
+    fn tiny_corpus() -> Vec<SweepRequest> {
+        use workloads::{spec, Workload};
+        let w = spec::Ep::scaled(0.02);
+        let ir = Arc::new(omp_mapcheck::capture_workload(&w, 1).unwrap());
+        RuntimeConfig::ALL
+            .into_iter()
+            .map(|c| SweepRequest::new(w.name(), Arc::clone(&ir), c))
+            .collect()
+    }
+
+    #[test]
+    fn execute_is_deterministic_per_request() {
+        let corpus = tiny_corpus();
+        for req in &corpus {
+            let a = execute(req).unwrap();
+            let b = execute(req).unwrap();
+            assert_eq!(a, b, "{} {:?}", req.name, req.config);
+            assert!(a.ops > 0);
+        }
+    }
+
+    #[test]
+    fn telemetry_requests_carry_attribution() {
+        let mut req = tiny_corpus().remove(0);
+        req.telemetry = TelemetryKind::Ring;
+        let r = execute(&req).unwrap();
+        assert!(r.telemetry_events > 0);
+        assert_eq!(r.dropped_events, 0);
+        assert!(!r.sites.is_empty());
+        // And the serialized form round-trips the profile exactly.
+        assert_eq!(SweepResult::parse(&r.to_text()).unwrap(), r);
+    }
+
+    #[test]
+    fn plan_elision_recovers_map_service_time() {
+        use workloads::{Stream, Workload};
+        let w = Stream::scaled(0.02);
+        let ir = Arc::new(omp_mapcheck::capture_workload(&w, 1).unwrap());
+        let base = SweepRequest::new(w.name(), ir, RuntimeConfig::LegacyCopy);
+        let mut planned = base.clone();
+        planned.elide = ElideKind::Plan;
+        let off = execute(&base).unwrap();
+        let on = execute(&planned).unwrap();
+        assert_eq!(
+            off.memory_digest, on.memory_digest,
+            "elision preserves results"
+        );
+        assert!(on.ledger.maps_elided > 0);
+    }
+
+    #[test]
+    fn sweep_report_ignores_schedule_and_cache() {
+        let corpus = tiny_corpus();
+        let serial = run_sweep(&corpus, 1, &CacheMode::Off).unwrap();
+        let parallel = run_sweep(&corpus, 3, &CacheMode::Off).unwrap();
+        assert_eq!(serial.results, parallel.results);
+        assert_eq!(
+            render_report(&corpus, &serial.results),
+            render_report(&corpus, &parallel.results),
+        );
+        assert_eq!(serial.stats.simulated, corpus.len() as u64);
+        assert_eq!(serial.stats.hits, 0);
+    }
+}

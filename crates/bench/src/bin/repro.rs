@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! repro [--quick|--full] [--ARTIFACT ...] [--elide] [--profile] [--csv DIR]
-//!       [--report FILE.md] [--faults SEED] [--timing] [--list-artifacts]
+//!       [--report FILE.md] [--faults SEED] [--jobs N] [--cache DIR|off]
+//!       [--timing] [--list-artifacts]
 //! repro --check [--json]
 //! ```
 //!
@@ -27,6 +28,16 @@
 //! per-map-site MM and per-kernel MI attribution CSVs
 //! (`profile_sites.csv`, `profile_kernels.csv`) next to the other
 //! artifacts, printing the top charges per cell.
+//!
+//! `--sweep` runs the batched capture-replay sweep: every shipped
+//! workload's capture is replayed under every compatible configuration on
+//! the batch subsystem's work-stealing driver (`--jobs N` workers, 0 = one
+//! per core), with each cell memoized in the content-addressed result
+//! cache (`--cache DIR`, default `.apusim-cache/`; `--cache off`
+//! disables). The sweep report — including the merged per-site/per-kernel
+//! aggregate — is byte-identical at any job count, cached or cold; cache
+//! statistics are printed to stderr only. `--jobs` also drives the
+//! QMCPack and SPECaccel sweeps behind the figures and Table II.
 //!
 //! `--check` runs the mapcheck harness instead of the experiments: every
 //! shipped workload's data-environment op stream is captured once, checked
@@ -55,6 +66,10 @@ const ARTIFACTS: &[(&str, &str)] = &[
     ("table1", "Table I: HSA call statistics (rocprof analog)"),
     ("table2", "Table II: SPECaccel time ratios and CoV"),
     ("table3", "Table III: MM/MI overhead orders (microseconds)"),
+    (
+        "sweep",
+        "Batched capture-replay sweep over the shipped workloads (cached)",
+    ),
 ];
 
 /// Every option flag: name, value placeholder (empty for booleans), help
@@ -90,6 +105,16 @@ const FLAGS: &[(&str, &str, &str)] = &[
         "run under the deterministic fault plan derived from SEED",
     ),
     (
+        "--jobs",
+        "N",
+        "sweep worker count (0 = one per core); outputs are byte-identical at any N",
+    ),
+    (
+        "--cache",
+        "DIR|off",
+        "with --sweep: memoize results in DIR (default .apusim-cache)",
+    ),
+    (
         "--timing",
         "",
         "write BENCH_repro.json (and BENCH_elision.json with --elide)",
@@ -116,12 +141,14 @@ struct Args {
     table1: bool,
     table2: bool,
     table3: bool,
+    sweep: bool,
     elide: bool,
     profile: bool,
     csv_dir: Option<PathBuf>,
     report: Option<PathBuf>,
     timing: bool,
     fault_seed: Option<u64>,
+    cache: omp_batch::CacheMode,
     check: bool,
     json: bool,
 }
@@ -181,16 +208,23 @@ fn required_value(args: &mut impl Iterator<Item = String>, flag: &str) -> String
 }
 
 /// Wall-clock of one produced artifact; `cells` is set for sweep-backed
-/// artifacts and yields a cells/second throughput in the JSON.
+/// artifacts and yields cells/second throughput *and* per-cell simulator
+/// cost (seconds_per_cell) in the JSON.
 struct ArtifactTiming {
     name: &'static str,
     seconds: f64,
     cells: Option<usize>,
 }
 
-fn timing_json(cfg_name: &str, total_seconds: f64, artifacts: &[ArtifactTiming]) -> String {
+fn timing_json(
+    cfg_name: &str,
+    jobs: usize,
+    total_seconds: f64,
+    artifacts: &[ArtifactTiming],
+) -> String {
     let mut out = String::from("{\n");
     out.push_str(&format!("  \"config\": \"{cfg_name}\",\n"));
+    out.push_str(&format!("  \"jobs\": {jobs},\n"));
     out.push_str(&format!("  \"total_seconds\": {total_seconds:.6},\n"));
     out.push_str("  \"artifacts\": [\n");
     for (i, a) in artifacts.iter().enumerate() {
@@ -200,8 +234,9 @@ fn timing_json(cfg_name: &str, total_seconds: f64, artifacts: &[ArtifactTiming])
         ));
         if let Some(cells) = a.cells {
             let rate = cells as f64 / a.seconds.max(1e-9);
+            let per_cell = a.seconds / cells.max(1) as f64;
             out.push_str(&format!(
-                ", \"cells\": {cells}, \"cells_per_sec\": {rate:.3}"
+                ", \"cells\": {cells}, \"cells_per_sec\": {rate:.3}, \"seconds_per_cell\": {per_cell:.6}"
             ));
         }
         out.push_str(if i + 1 < artifacts.len() {
@@ -247,6 +282,8 @@ fn parse_args() -> Args {
     let mut report = None;
     let mut timing = false;
     let mut fault_seed = None;
+    let mut jobs = 0usize;
+    let mut cache = omp_batch::CacheMode::default_dir(std::path::Path::new("."));
     let mut check = false;
     let mut json = false;
     let mut args = std::env::args().skip(1);
@@ -259,6 +296,16 @@ fn parse_args() -> Args {
             "--timing" => timing = true,
             "--check" => check = true,
             "--json" => json = true,
+            "--jobs" => {
+                let raw = required_value(&mut args, "--jobs");
+                match raw.parse::<usize>() {
+                    Ok(n) => jobs = n,
+                    Err(_) => usage_error(&format!("--jobs needs a worker count, got '{raw}'")),
+                }
+            }
+            "--cache" => {
+                cache = omp_batch::CacheMode::from_arg(&required_value(&mut args, "--cache"))
+            }
             "--csv" => csv_dir = Some(PathBuf::from(required_value(&mut args, "--csv"))),
             "--report" => report = Some(PathBuf::from(required_value(&mut args, "--report"))),
             "--faults" => {
@@ -310,6 +357,7 @@ fn parse_args() -> Args {
         PaperConfig::quick()
     };
     cfg.exp.fault_seed = fault_seed;
+    cfg.jobs = jobs;
     // The env var is translated into typed options exactly once, here.
     cfg.exp.mem_options = apu_mem::MemOptions::from_env();
     Args {
@@ -320,12 +368,14 @@ fn parse_args() -> Args {
         table1: has("table1"),
         table2: has("table2"),
         table3: has("table3"),
+        sweep: has("sweep"),
         elide,
         profile,
         csv_dir,
         report,
         timing,
         fault_seed,
+        cache,
         check,
         json,
     }
@@ -477,6 +527,48 @@ fn main() {
         });
     }
 
+    if args.sweep {
+        eprintln!("running batched capture-replay sweep (shipped workloads x configurations)...");
+        let t0 = Instant::now();
+        let corpus = if args.full {
+            omp_batch::full_corpus()
+        } else {
+            omp_batch::smoke_corpus()
+        };
+        let jobs = args.cfg.worker_count(corpus.len());
+        let outcome = omp_batch::run_sweep(&corpus, jobs, &args.cache).expect("sweep");
+        print!("{}", omp_batch::render_report(&corpus, &outcome.results));
+        println!();
+        eprintln!(
+            "sweep cache: {} hit(s), {} simulated ({:.0}% hit rate)",
+            outcome.stats.hits,
+            outcome.stats.simulated,
+            100.0 * outcome.stats.hit_rate()
+        );
+        let mut csv = String::from(
+            "workload,config,elide,makespan_us,copies,maps_elided,diagnostics,memory_digest\n",
+        );
+        for (req, r) in corpus.iter().zip(&outcome.results) {
+            csv.push_str(&format!(
+                "{},{},{},{:.3},{},{},{},{:016x}\n",
+                req.name,
+                omp_batch::config_token(req.config),
+                req.elide.token(),
+                r.makespan.as_nanos() as f64 / 1_000.0,
+                r.ledger.copies,
+                r.ledger.maps_elided,
+                r.diagnostics.len(),
+                r.memory_digest,
+            ));
+        }
+        write_csv(&args.csv_dir, "sweep.csv", &csv);
+        timings.push(ArtifactTiming {
+            name: "sweep",
+            seconds: t0.elapsed().as_secs_f64(),
+            cells: Some(corpus.len()),
+        });
+    }
+
     if args.elide {
         eprintln!("running Table III elision delta (MM recovered by map elision)...");
         let t0 = Instant::now();
@@ -551,7 +643,7 @@ fn main() {
     let total = started.elapsed().as_secs_f64();
     if args.timing {
         let cfg_name = if args.full { "full" } else { "quick" };
-        let json = timing_json(cfg_name, total, &timings);
+        let json = timing_json(cfg_name, args.cfg.jobs, total, &timings);
         std::fs::write("BENCH_repro.json", &json).expect("write BENCH_repro.json");
         eprintln!("wrote BENCH_repro.json");
     }

@@ -48,6 +48,7 @@ mod builder;
 mod card;
 mod config;
 pub mod diag;
+pub mod digest;
 mod elide;
 mod error;
 mod globals;

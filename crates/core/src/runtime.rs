@@ -212,17 +212,11 @@ impl OmpRuntime {
     /// program digest equal iff they left bit-identical memory behind —
     /// this is how the harness asserts elision never changes results.
     pub fn memory_digest(&self) -> u64 {
-        const PRIME: u64 = 0x0000_0100_0000_01b3;
-        fn mix(h: &mut u64, bytes: &[u8]) {
-            for &b in bytes {
-                *h = (*h ^ u64::from(b)).wrapping_mul(PRIME);
-            }
-        }
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut h = crate::digest::Fnv1a::new();
         let mut buf = vec![0u8; 1 << 20];
         for vma in self.mem().vmas() {
-            mix(&mut h, &vma.range.start.as_u64().to_le_bytes());
-            mix(&mut h, &vma.range.len.to_le_bytes());
+            h.write_u64(vma.range.start.as_u64());
+            h.write_u64(vma.range.len);
             let mut off = 0u64;
             while off < vma.range.len {
                 let n = (vma.range.len - off).min(buf.len() as u64) as usize;
@@ -233,11 +227,11 @@ impl OmpRuntime {
                 {
                     break;
                 }
-                mix(&mut h, &buf[..n]);
+                h.write(&buf[..n]);
                 off += n as u64;
             }
         }
-        h
+        h.finish()
     }
 
     /// The overhead ledger so far.

@@ -1,0 +1,51 @@
+//! Send/Sync audit for the batch-sweep subsystem.
+//!
+//! The work-stealing driver (`omp_batch::drive`) moves whole simulations
+//! across worker threads: each cell builds an [`OmpRuntime`] on whatever
+//! worker steals it and sends the distilled result back to the injector.
+//! That is only sound if the types crossing the boundary are `Send` — and
+//! shared inputs (the capture behind an `Arc`) additionally `Sync`. These
+//! are compile-time assertions: a `Rc`, `RefCell`-captured pointer, or
+//! raw-pointer field sneaking into any of these types fails this test at
+//! build time, long before it could corrupt a parallel sweep.
+
+use apu_mem::ApuMemory;
+use omp_offload::telemetry::TelemetryReport;
+use omp_offload::{ElisionPlan, MapIr, OmpRuntime, OverheadLedger, RunReport, SanitizerReport};
+use sim_des::FaultPlan;
+
+fn assert_send<T: Send>() {}
+fn assert_sync<T: Sync>() {}
+
+#[test]
+fn runtime_and_memory_move_across_workers() {
+    // A sweep cell owns its runtime and memory image; both migrate to the
+    // worker that executes the cell.
+    assert_send::<OmpRuntime>();
+    assert_send::<ApuMemory>();
+}
+
+#[test]
+fn results_and_reports_move_back_to_the_injector() {
+    assert_send::<RunReport>();
+    assert_sync::<RunReport>();
+    assert_send::<OverheadLedger>();
+    assert_sync::<OverheadLedger>();
+    assert_send::<TelemetryReport>();
+    assert_sync::<TelemetryReport>();
+    assert_send::<SanitizerReport>();
+    assert_sync::<SanitizerReport>();
+}
+
+#[test]
+fn shared_sweep_inputs_are_sync() {
+    // Captures are shared read-only across workers via Arc<MapIr>; elision
+    // plans and fault plans are built per cell but may be precomputed and
+    // shared the same way.
+    assert_send::<MapIr>();
+    assert_sync::<MapIr>();
+    assert_send::<ElisionPlan>();
+    assert_sync::<ElisionPlan>();
+    assert_send::<FaultPlan>();
+    assert_sync::<FaultPlan>();
+}

@@ -3,13 +3,13 @@
 //! ```text
 //! apusim list
 //! apusim costs
-//! apusim sweep [--sizes 2,8,32] [--threads 1,4,8] [--steps N]
+//! apusim sweep [--sizes 2,8,32] [--threads 1,4,8] [--steps N] [--jobs N]
 //! apusim env [--no-apu] [--no-xnack] [--apu-maps] [--eager] [--usm]
 //! apusim run <workload> [--config copy|usm|izc|eager] [--threads N]
 //!            [--scale F] [--steps N] [--discrete] [--mem-report]
 //!            [--trace FILE [--trace-format chrome|jsonl]] [--capture FILE.mapir]
-//! apusim replay FILE.mapir [--config copy|usm|izc|eager]
-//!               [--elide off|online|plan]
+//! apusim replay FILE.mapir... [--config copy|usm|izc|eager]
+//!               [--elide off|online|plan] [--jobs N] [--cache DIR|off]
 //!               [--trace FILE [--trace-format chrome|jsonl]]
 //! apusim check [--json] [NAME]
 //! ```
@@ -29,6 +29,11 @@
 //! op index. It prints the makespan, ledger (including maps elided and MM
 //! saved), memory digest, and sanitizer verdict; `--trace` works exactly as
 //! under `run`, so an elision decision stream can be inspected span by span.
+//! With several capture files — or with `--jobs`/`--cache` — replay routes
+//! through the batch subsystem instead: cells are scheduled on the
+//! work-stealing driver and memoized in the content-addressed result cache
+//! (default `.apusim-cache/`, `--cache off` disables), and the per-capture
+//! report is byte-identical for any `--jobs` count, cached or cold.
 //!
 //! `check` runs the mapcheck harness (static map-clause analysis of a
 //! captured MapIR, cross-validated by a sanitized real run) over the
@@ -39,6 +44,7 @@
 use mi300a_zerocopy::analysis::paper::{qmc_sweep, PaperConfig};
 use mi300a_zerocopy::analysis::timeline::merged_chrome_trace;
 use mi300a_zerocopy::analysis::ExperimentConfig;
+use mi300a_zerocopy::batch;
 use mi300a_zerocopy::hsa::Topology;
 use mi300a_zerocopy::mem::{CostModel, DiscreteSpec, MemOptions, SystemKind};
 use mi300a_zerocopy::omp::{
@@ -52,7 +58,7 @@ use mi300a_zerocopy::workloads::{
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  apusim list\n  apusim costs\n  apusim sweep [--sizes 2,8,32] [--threads 1,4,8] [--steps N]\n  apusim env [--no-apu] [--no-xnack] [--apu-maps] [--eager] [--usm]\n  apusim run <workload> [--config copy|usm|izc|eager] [--threads N] [--scale F] [--steps N] [--discrete] [--mem-report] [--trace FILE [--trace-format chrome|jsonl]] [--capture FILE.mapir]\n  apusim replay FILE.mapir [--config copy|usm|izc|eager] [--elide off|online|plan] [--trace FILE [--trace-format chrome|jsonl]]\n  apusim check [--json] [NAME]"
+        "usage:\n  apusim list\n  apusim costs\n  apusim sweep [--sizes 2,8,32] [--threads 1,4,8] [--steps N] [--jobs N]\n  apusim env [--no-apu] [--no-xnack] [--apu-maps] [--eager] [--usm]\n  apusim run <workload> [--config copy|usm|izc|eager] [--threads N] [--scale F] [--steps N] [--discrete] [--mem-report] [--trace FILE [--trace-format chrome|jsonl]] [--capture FILE.mapir]\n  apusim replay FILE.mapir... [--config copy|usm|izc|eager] [--elide off|online|plan] [--jobs N] [--cache DIR|off] [--trace FILE [--trace-format chrome|jsonl]]\n  apusim check [--json] [NAME]"
     );
     std::process::exit(2);
 }
@@ -219,9 +225,11 @@ fn cmd_sweep(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let mut sizes = vec![2u32, 8, 32];
     let mut threads = vec![1usize, 4, 8];
     let mut steps = 150usize;
+    let mut jobs = 0usize;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--jobs" | "-j" => jobs = it.next().unwrap_or_else(|| usage()).parse()?,
             "--sizes" => {
                 sizes = it
                     .next()
@@ -256,6 +264,7 @@ fn cmd_sweep(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         threads: threads.clone(),
         spec_scale: 0.04,
         table1_steps: 100,
+        jobs,
     };
     let cells = qmc_sweep(&cfg)?;
     println!(
@@ -371,14 +380,14 @@ fn cmd_run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
 }
 
 fn cmd_replay(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
-    let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
-        usage()
-    };
+    let mut paths: Vec<String> = Vec::new();
     let mut config = RuntimeConfig::ImplicitZeroCopy;
     let mut elide_arg = String::from("off");
     let mut trace_path: Option<String> = None;
     let mut trace_format = "chrome";
-    let mut it = args[1..].iter();
+    let mut jobs: Option<usize> = None;
+    let mut cache_arg: Option<String> = None;
+    let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--config" => config = parse_config(it.next().unwrap_or_else(|| usage())),
@@ -387,9 +396,26 @@ fn cmd_replay(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             "--trace-format" => {
                 trace_format = parse_trace_format(it.next().unwrap_or_else(|| usage()));
             }
+            "--jobs" | "-j" => jobs = Some(it.next().unwrap_or_else(|| usage()).parse()?),
+            "--cache" => cache_arg = Some(it.next().unwrap_or_else(|| usage()).clone()),
+            other if !other.starts_with("--") => paths.push(other.to_string()),
             _ => usage(),
         }
     }
+    if paths.is_empty() {
+        usage()
+    }
+    // More than one capture, or an explicit --jobs/--cache, routes through
+    // the batch driver; a plain single-file replay keeps the detailed
+    // single-run output below.
+    if paths.len() > 1 || jobs.is_some() || cache_arg.is_some() {
+        if trace_path.is_some() {
+            eprintln!("--trace applies to single-file replay only");
+            usage();
+        }
+        return cmd_replay_batch(&paths, config, &elide_arg, jobs.unwrap_or(1), cache_arg);
+    }
+    let path = &paths[0];
     let ir = MapIr::parse(&std::fs::read_to_string(path)?)?;
     let elide = match elide_arg.as_str() {
         "off" => ElideMode::Off,
@@ -436,6 +462,49 @@ fn cmd_replay(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     if let Some(path) = trace_path {
         write_trace(&path, trace_format, &report)?;
     }
+    Ok(())
+}
+
+/// `apusim replay` over several captures (or with `--jobs`/`--cache`): each
+/// file becomes one [`SweepRequest`](batch::SweepRequest) and the corpus
+/// runs on the work-stealing driver with the result cache around each cell.
+/// The stdout report is byte-identical for any job count and any cache
+/// state; cache statistics go to stderr.
+fn cmd_replay_batch(
+    paths: &[String],
+    config: RuntimeConfig,
+    elide_arg: &str,
+    jobs: usize,
+    cache_arg: Option<String>,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let elide = match elide_arg {
+        "off" => batch::ElideKind::Off,
+        "online" => batch::ElideKind::Online,
+        "plan" => batch::ElideKind::Plan,
+        other => {
+            eprintln!("unknown elide mode '{other}' (off | online | plan)");
+            usage()
+        }
+    };
+    let mut corpus = Vec::with_capacity(paths.len());
+    for path in paths {
+        let ir = MapIr::parse(&std::fs::read_to_string(path)?)?;
+        let mut req = batch::SweepRequest::new(path.clone(), std::sync::Arc::new(ir), config);
+        req.elide = elide;
+        corpus.push(req);
+    }
+    let cache = match cache_arg {
+        Some(arg) => batch::CacheMode::from_arg(&arg),
+        None => batch::CacheMode::default_dir(std::path::Path::new(".")),
+    };
+    let outcome = batch::run_sweep(&corpus, jobs.max(1), &cache)?;
+    print!("{}", batch::render_report(&corpus, &outcome.results));
+    eprintln!(
+        "cache: {} hit(s), {} simulated ({:.0}% hit rate)",
+        outcome.stats.hits,
+        outcome.stats.simulated,
+        100.0 * outcome.stats.hit_rate()
+    );
     Ok(())
 }
 

@@ -15,6 +15,9 @@
 //! * [`analysis`] — experiment driver, statistics, tables and figures
 //! * [`mapcheck`] — static map-clause analyzer cross-validated by the
 //!   runtime sanitizer (`repro --check`, `apusim check`)
+//! * [`batch`] — replay-at-scale: work-stealing batched sweep driver with
+//!   a content-addressed result cache (`repro --jobs/--cache`,
+//!   `apusim replay FILE...`)
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the system inventory.
 
@@ -23,6 +26,7 @@
 pub use analysis;
 pub use apu_mem as mem;
 pub use hsa_rocr as hsa;
+pub use omp_batch as batch;
 pub use omp_mapcheck as mapcheck;
 pub use omp_offload as omp;
 pub use sim_des as sim;

@@ -83,6 +83,7 @@ fn qmcpack_ratio_trends_match_figures_3_and_4() {
         threads: vec![1, 8],
         spec_scale: 0.05,
         table1_steps: 100,
+        jobs: 0,
     };
     let cells = qmc_sweep(&cfg).unwrap();
     let get = |f: u32, t: usize| {
