@@ -8,40 +8,23 @@
 //! byte-identical to the probing request's — so an FNV collision, a schema
 //! bump, or a hand-edited file all degrade to a miss (and are overwritten
 //! on the next store), never to a wrong result.
+//!
+//! The store can be bounded: [`ResultCache::gc`] evicts
+//! least-recently-*used* entries (lookups touch an entry's mtime) until the
+//! directory fits a byte budget. Eviction is only ever a cache miss — the
+//! next request re-simulates and re-stores — so GC is always safe to run,
+//! including while a `serve` instance is answering from the same directory.
 
 use crate::request::{SweepRequest, REQUEST_VERSION};
 use crate::result::{SweepResult, RESULT_VERSION};
 use omp_offload::digest::Fnv1a;
+use std::fmt;
 use std::fs;
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::SystemTime;
 
-/// Where (and whether) sweep results are memoized.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub enum CacheMode {
-    /// No memoization: every request simulates.
-    #[default]
-    Off,
-    /// Memoize under this directory (created on first store).
-    Dir(PathBuf),
-}
-
-impl CacheMode {
-    /// Parse a `--cache` CLI operand: `off` disables, anything else is a
-    /// directory path.
-    pub fn from_arg(arg: &str) -> CacheMode {
-        if arg == "off" {
-            CacheMode::Off
-        } else {
-            CacheMode::Dir(PathBuf::from(arg))
-        }
-    }
-
-    /// The conventional on-disk location, `.apusim-cache/` in `base`.
-    pub fn default_dir(base: &Path) -> CacheMode {
-        CacheMode::Dir(base.join(".apusim-cache"))
-    }
-}
+pub use omp_offload::CacheMode;
 
 /// The salt folded into every entry header: any bump of the request
 /// encoding or the result schema changes it, invalidating old entries.
@@ -51,6 +34,35 @@ pub fn cache_salt() -> u64 {
     h.write_u64(u64::from(REQUEST_VERSION));
     h.write_u64(u64::from(RESULT_VERSION));
     h.finish()
+}
+
+/// What one [`ResultCache::gc`] pass did (or, dry-run, would do).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcSummary {
+    /// Entries found in the cache directory.
+    pub scanned: usize,
+    /// Entries evicted (oldest-used first).
+    pub evicted: usize,
+    /// Bytes those entries occupied.
+    pub bytes_freed: u64,
+    /// Bytes the surviving entries occupy.
+    pub bytes_kept: u64,
+    /// True when nothing was actually deleted.
+    pub dry_run: bool,
+}
+
+impl fmt::Display for GcSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cache gc: scanned {} entries, evicted {} ({} bytes freed), {} bytes kept{}",
+            self.scanned,
+            self.evicted,
+            self.bytes_freed,
+            self.bytes_kept,
+            if self.dry_run { " [dry run]" } else { "" },
+        )
+    }
 }
 
 /// Handle on one cache directory (or the disabled store).
@@ -89,10 +101,11 @@ impl ResultCache {
     /// Look `req` up. Returns the stored result only when the entry's salt
     /// matches and its canonical request block is byte-identical to
     /// `req.canonical()`; anything else — absent file, stale salt, digest
-    /// collision, truncated or corrupt body — is a miss.
+    /// collision, truncated or corrupt body — is a miss. A hit touches the
+    /// entry's mtime, which is the recency [`gc`](Self::gc) orders by.
     pub fn lookup(&self, req: &SweepRequest) -> Option<SweepResult> {
         let path = self.entry_path(req)?;
-        let text = fs::read_to_string(path).ok()?;
+        let text = fs::read_to_string(&path).ok()?;
         let mut lines = text.splitn(2, '\n');
         let header = lines.next()?;
         if header != format!("apusim-cache v1 salt={:016x}", self.salt) {
@@ -106,7 +119,12 @@ impl ResultCache {
         }
         let rest = &body[canonical.len()..];
         let result_block = rest.strip_prefix("---\n")?;
-        SweepResult::parse(result_block).ok()
+        let result = SweepResult::parse(result_block).ok()?;
+        // LRU recency: best-effort, a read-only cache still hits.
+        if let Ok(f) = fs::File::options().append(true).open(&path) {
+            let _ = f.set_modified(SystemTime::now());
+        }
+        Some(result)
     }
 
     /// Memoize `result` for `req`. Writes to a temp file in the cache
@@ -134,6 +152,63 @@ impl ResultCache {
         fs::rename(&tmp, &path)?;
         Ok(())
     }
+
+    /// Evict least-recently-used entries until the directory's `.sweep`
+    /// files total at most `max_bytes`. Ordering is mtime ascending (oldest
+    /// evicted first), path as the deterministic tiebreak; `dry_run` only
+    /// reports. Eviction can only cause future misses, never wrong answers,
+    /// so this is safe to run concurrently with lookups and stores — an
+    /// entry deleted mid-lookup reads as a miss.
+    pub fn gc(&self, max_bytes: u64, dry_run: bool) -> std::io::Result<GcSummary> {
+        let mut summary = GcSummary {
+            dry_run,
+            ..GcSummary::default()
+        };
+        let Some(dir) = self.dir.as_ref() else {
+            return Ok(summary);
+        };
+        let entries = match fs::read_dir(dir) {
+            Ok(rd) => rd,
+            // A cache that was never stored to has nothing to evict.
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(summary),
+            Err(e) => return Err(e),
+        };
+        let mut files: Vec<(SystemTime, PathBuf, u64)> = Vec::new();
+        for entry in entries {
+            let entry = entry?;
+            let path = entry.path();
+            if path.extension().is_none_or(|e| e != "sweep") {
+                continue;
+            }
+            let meta = match entry.metadata() {
+                Ok(m) => m,
+                Err(_) => continue, // raced with a concurrent eviction
+            };
+            let mtime = meta.modified().unwrap_or(SystemTime::UNIX_EPOCH);
+            files.push((mtime, path, meta.len()));
+        }
+        files.sort();
+        summary.scanned = files.len();
+        let mut total: u64 = files.iter().map(|&(_, _, len)| len).sum();
+        for (_, path, len) in files {
+            if total <= max_bytes {
+                summary.bytes_kept = total;
+                break;
+            }
+            if !dry_run {
+                match fs::remove_file(&path) {
+                    Ok(()) => {}
+                    Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                    Err(e) => return Err(e),
+                }
+            }
+            summary.evicted += 1;
+            summary.bytes_freed += len;
+            total -= len;
+        }
+        summary.bytes_kept = total;
+        Ok(summary)
+    }
 }
 
 #[cfg(test)]
@@ -141,7 +216,9 @@ mod tests {
     use super::*;
     use apu_mem::{AddrRange, VirtAddr};
     use omp_offload::{MapIr, MapOp, RuntimeConfig};
+    use std::path::Path;
     use std::sync::Arc;
+    use std::time::Duration;
 
     fn scratch_dir(tag: &str) -> PathBuf {
         static SEQ: AtomicUsize = AtomicUsize::new(0);
@@ -156,6 +233,10 @@ mod tests {
     }
 
     fn req() -> SweepRequest {
+        req_with(RuntimeConfig::LegacyCopy)
+    }
+
+    fn req_with(config: RuntimeConfig) -> SweepRequest {
         let mut ir = MapIr::new();
         ir.push(
             0,
@@ -163,7 +244,10 @@ mod tests {
                 range: AddrRange::new(VirtAddr(4096), 8192),
             },
         );
-        SweepRequest::new("t", Arc::new(ir), RuntimeConfig::LegacyCopy)
+        SweepRequest::builder("t", Arc::new(ir))
+            .config(config)
+            .build()
+            .unwrap()
     }
 
     fn result() -> SweepResult {
@@ -240,14 +324,104 @@ mod tests {
 
     #[test]
     fn cache_mode_arg_parsing() {
-        assert_eq!(CacheMode::from_arg("off"), CacheMode::Off);
+        assert_eq!("off".parse::<CacheMode>(), Ok(CacheMode::Off));
         assert_eq!(
-            CacheMode::from_arg("/tmp/c"),
-            CacheMode::Dir(PathBuf::from("/tmp/c"))
+            "/tmp/c".parse::<CacheMode>(),
+            Ok(CacheMode::Dir(PathBuf::from("/tmp/c")))
         );
         assert_eq!(
             CacheMode::default_dir(Path::new("/w")),
             CacheMode::Dir(PathBuf::from("/w/.apusim-cache"))
         );
+    }
+
+    fn set_mtime(path: &Path, t: SystemTime) {
+        fs::File::options()
+            .append(true)
+            .open(path)
+            .unwrap()
+            .set_modified(t)
+            .unwrap();
+    }
+
+    #[test]
+    fn gc_evicts_oldest_until_under_budget() {
+        let dir = scratch_dir("gc");
+        let c = ResultCache::open(&CacheMode::Dir(dir.clone()));
+        let reqs: Vec<_> = [
+            RuntimeConfig::LegacyCopy,
+            RuntimeConfig::UnifiedSharedMemory,
+            RuntimeConfig::ImplicitZeroCopy,
+            RuntimeConfig::EagerMaps,
+        ]
+        .into_iter()
+        .map(req_with)
+        .collect();
+        let base = SystemTime::UNIX_EPOCH + Duration::from_secs(1_000_000);
+        for (i, r) in reqs.iter().enumerate() {
+            c.store(r, &result()).unwrap();
+            // Stamp distinct recencies: reqs[0] oldest, reqs[3] newest.
+            set_mtime(
+                &dir.join(format!("{:016x}.sweep", r.digest())),
+                base + Duration::from_secs(i as u64),
+            );
+        }
+        // Entry sizes differ (config tokens have different lengths).
+        let lens: Vec<u64> = reqs
+            .iter()
+            .map(|r| {
+                fs::metadata(dir.join(format!("{:016x}.sweep", r.digest())))
+                    .unwrap()
+                    .len()
+            })
+            .collect();
+        let total: u64 = lens.iter().sum();
+
+        // Dry run: reports, deletes nothing.
+        let dry = c.gc(total - 1, true).unwrap();
+        assert_eq!((dry.scanned, dry.evicted, dry.bytes_freed), (4, 1, lens[0]));
+        assert!(dry.dry_run);
+        assert_eq!(c.lookup(&reqs[0]), Some(result()));
+
+        // Re-stamp (the dry-run lookup above touched reqs[0]).
+        set_mtime(&dir.join(format!("{:016x}.sweep", reqs[0].digest())), base);
+
+        // Budget for the two newest entries: the two oldest go.
+        let s = c.gc(lens[2] + lens[3], false).unwrap();
+        assert_eq!((s.scanned, s.evicted), (4, 2));
+        assert_eq!(s.bytes_freed, lens[0] + lens[1]);
+        assert_eq!(s.bytes_kept, lens[2] + lens[3]);
+        assert_eq!(c.lookup(&reqs[0]), None);
+        assert_eq!(c.lookup(&reqs[1]), None);
+        assert_eq!(c.lookup(&reqs[2]), Some(result()));
+        assert_eq!(c.lookup(&reqs[3]), Some(result()));
+
+        // Already under budget: nothing to do.
+        let idle = c.gc(u64::MAX, false).unwrap();
+        assert_eq!((idle.scanned, idle.evicted, idle.bytes_freed), (2, 0, 0));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_on_disabled_or_absent_cache_is_a_noop() {
+        let off = ResultCache::open(&CacheMode::Off);
+        assert_eq!(off.gc(0, false).unwrap(), GcSummary::default());
+        let ghost = ResultCache::open(&CacheMode::Dir(scratch_dir("ghost")));
+        let s = ghost.gc(0, false).unwrap();
+        assert_eq!(s.scanned, 0);
+    }
+
+    #[test]
+    fn lookup_touches_recency() {
+        let dir = scratch_dir("touch");
+        let c = ResultCache::open(&CacheMode::Dir(dir.clone()));
+        c.store(&req(), &result()).unwrap();
+        let path = dir.join(format!("{:016x}.sweep", req().digest()));
+        let old = SystemTime::UNIX_EPOCH + Duration::from_secs(1);
+        set_mtime(&path, old);
+        assert!(c.lookup(&req()).is_some());
+        let touched = fs::metadata(&path).unwrap().modified().unwrap();
+        assert!(touched > old, "hit must refresh mtime for LRU gc");
+        let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -21,6 +21,11 @@
 //! - [`run_sweep`] composes the three around a corpus and
 //!   [`render_report`] folds the ordered results — including the merged
 //!   cross-run attribution profile — into the sweep report ([`sweep`]).
+//! - [`Server`] keeps all of it resident behind a long-lived socket: the
+//!   `PROTO v1` line protocol ([`proto`]) frames the *same* canonical
+//!   encodings over the wire, parsed captures and derived elision plans
+//!   stay warm between requests, and every response is byte-identical to
+//!   the offline path ([`serve`]).
 //!
 //! ## The determinism contract
 //!
@@ -40,17 +45,22 @@
 
 pub mod cache;
 pub mod driver;
+pub mod proto;
 pub mod request;
 pub mod result;
+pub mod serve;
 pub mod sweep;
 
-pub use cache::{cache_salt, CacheMode, ResultCache};
+pub use cache::{cache_salt, CacheMode, GcSummary, ResultCache};
 pub use driver::drive;
+pub use proto::{Frame, ProtoError, Response, Verb, PROTO_VERSION};
 pub use request::{
-    config_from_token, config_token, CostPreset, ElideKind, SweepRequest, TelemetryKind,
-    REQUEST_VERSION,
+    config_from_token, config_token, CostPreset, ElideKind, ModeParseError, RequestError,
+    SweepRequest, SweepRequestBuilder, TelemetryKind, REQUEST_VERSION,
 };
 pub use result::{merge_attribution, SweepResult, RESULT_VERSION};
+pub use serve::{Client, Server, ServerConfig, ServerHandle, ServerStats};
 pub use sweep::{
-    execute, full_corpus, render_report, run_sweep, smoke_corpus, SweepOutcome, SweepStats,
+    execute, execute_prepared, full_corpus, render_report, run_sweep, smoke_corpus, SweepOutcome,
+    SweepStats,
 };

@@ -9,13 +9,26 @@
 //! cache verifies byte-for-byte) therefore produce byte-identical results,
 //! which is what makes the content-addressed result store sound.
 //!
+//! Requests are constructed through [`SweepRequest::builder`], the one
+//! choke point that validates field combinations (a capture whose kernels
+//! dereference raw host pointers cannot run under a non-XNACK
+//! configuration — the MC005 gate — and empty captures or labels are
+//! rejected outright). [`SweepRequest::canonical`] is the only encoder and
+//! [`SweepRequest::from_canonical`] its exact inverse, which is what the
+//! `PROTO v1` wire format ships — there is no second serialization format
+//! to drift.
+//!
 //! Display-only fields (the request's `name` label) are deliberately kept
 //! *out* of the encoding: the same capture swept under two file names is
 //! one cache entry, not two.
 
 use omp_offload::digest::Fnv1a;
-use omp_offload::{ElideMode, MapIr, RuntimeConfig, TelemetryMode};
+use omp_offload::{MapIr, RuntimeConfig};
+use std::fmt;
+use std::str::FromStr;
 use std::sync::Arc;
+
+pub use omp_offload::modes::{ElideKind, ModeParseError, TelemetryKind};
 
 /// Canonical-encoding format version. Bump when the encoding, the
 /// simulation semantics it names, or the result schema changes; the cache
@@ -25,7 +38,7 @@ pub const REQUEST_VERSION: u32 = 1;
 /// Cost-model preset a request runs under. Requests name presets rather
 /// than carrying a full [`CostModel`](apu_mem::CostModel) so the canonical
 /// encoding stays small and stable.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum CostPreset {
     /// [`CostModel::mi300a`](apu_mem::CostModel::mi300a) — the calibrated
     /// MI300A preset.
@@ -37,6 +50,12 @@ pub enum CostPreset {
 }
 
 impl CostPreset {
+    /// Every preset, in canonical order.
+    pub const ALL: [CostPreset; 2] = [CostPreset::Mi300a, CostPreset::Mi300aNoThp];
+
+    /// The accepted token set, for usage strings.
+    pub const EXPECTED: &'static str = "mi300a | mi300a_no_thp";
+
     /// Stable canonical-encoding token.
     pub fn token(self) -> &'static str {
         match self {
@@ -47,11 +66,7 @@ impl CostPreset {
 
     /// Parse a canonical-encoding token.
     pub fn from_token(s: &str) -> Option<Self> {
-        match s {
-            "mi300a" => Some(CostPreset::Mi300a),
-            "mi300a_no_thp" => Some(CostPreset::Mi300aNoThp),
-            _ => None,
-        }
+        s.parse().ok()
     }
 
     /// Materialize the preset.
@@ -63,112 +78,91 @@ impl CostPreset {
     }
 }
 
-/// Elision mode of a request. [`ElideMode::Plan`] carries a concrete plan;
-/// in a request the plan is always *derived from the capture itself*
-/// (`omp_mapcheck::elision_plan`), so the kind alone canonicalizes it.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum ElideKind {
-    /// No elision.
-    #[default]
-    Off,
-    /// Online: probe the live mapping table per map.
-    Online,
-    /// Profile-guided: apply `elision_plan(capture)` on replay.
-    Plan,
+impl fmt::Display for CostPreset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.token())
+    }
 }
 
-impl ElideKind {
-    /// Stable canonical-encoding token.
-    pub fn token(self) -> &'static str {
-        match self {
-            ElideKind::Off => "off",
-            ElideKind::Online => "online",
-            ElideKind::Plan => "plan",
-        }
-    }
+impl FromStr for CostPreset {
+    type Err = ModeParseError;
 
-    /// Parse a canonical-encoding token.
-    pub fn from_token(s: &str) -> Option<Self> {
+    fn from_str(s: &str) -> Result<Self, ModeParseError> {
         match s {
-            "off" => Some(ElideKind::Off),
-            "online" => Some(ElideKind::Online),
-            "plan" => Some(ElideKind::Plan),
-            _ => None,
-        }
-    }
-
-    /// Resolve to a concrete [`ElideMode`] for `ir`.
-    pub fn mode(self, ir: &MapIr) -> ElideMode {
-        match self {
-            ElideKind::Off => ElideMode::Off,
-            ElideKind::Online => ElideMode::Online,
-            ElideKind::Plan => ElideMode::Plan(omp_mapcheck::elision_plan(ir)),
+            "mi300a" => Ok(CostPreset::Mi300a),
+            "mi300a_no_thp" => Ok(CostPreset::Mi300aNoThp),
+            other => Err(ModeParseError {
+                what: "cost preset",
+                got: other.to_string(),
+                expected: Self::EXPECTED,
+            }),
         }
     }
 }
 
-/// Telemetry mode of a request. `Ring` collects the full event stream and
-/// folds it into the per-request attribution aggregate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum TelemetryKind {
-    /// No telemetry: hot paths stay event-free.
-    #[default]
-    Off,
-    /// Bounded ring: events collected, attribution aggregated.
-    Ring,
-}
-
-impl TelemetryKind {
-    /// Stable canonical-encoding token.
-    pub fn token(self) -> &'static str {
-        match self {
-            TelemetryKind::Off => "off",
-            TelemetryKind::Ring => "ring",
-        }
-    }
-
-    /// Parse a canonical-encoding token.
-    pub fn from_token(s: &str) -> Option<Self> {
-        match s {
-            "off" => Some(TelemetryKind::Off),
-            "ring" => Some(TelemetryKind::Ring),
-            _ => None,
-        }
-    }
-
-    /// Resolve to a concrete [`TelemetryMode`].
-    pub fn mode(self) -> TelemetryMode {
-        match self {
-            TelemetryKind::Off => TelemetryMode::Off,
-            TelemetryKind::Ring => TelemetryMode::ring(),
-        }
-    }
-}
-
-/// Stable config token shared with the `apusim` CLI.
+/// Stable config token shared with the `apusim` CLI. Delegates to the one
+/// parsing surface in [`omp_offload::modes`].
 pub fn config_token(c: RuntimeConfig) -> &'static str {
-    match c {
-        RuntimeConfig::LegacyCopy => "copy",
-        RuntimeConfig::UnifiedSharedMemory => "usm",
-        RuntimeConfig::ImplicitZeroCopy => "izc",
-        RuntimeConfig::EagerMaps => "eager",
-    }
+    c.token()
 }
 
 /// Parse a stable config token.
 pub fn config_from_token(s: &str) -> Option<RuntimeConfig> {
-    match s {
-        "copy" => Some(RuntimeConfig::LegacyCopy),
-        "usm" => Some(RuntimeConfig::UnifiedSharedMemory),
-        "izc" => Some(RuntimeConfig::ImplicitZeroCopy),
-        "eager" => Some(RuntimeConfig::EagerMaps),
-        _ => None,
+    s.parse().ok()
+}
+
+/// Why a request could not be built (or decoded). Every construction path —
+/// CLI, corpus builders, the serve wire format — funnels through
+/// [`SweepRequestBuilder::build`], so these are the complete set of ways a
+/// request can be invalid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RequestError {
+    /// The display label is empty.
+    EmptyName,
+    /// The capture has no records; replaying it names no simulation.
+    EmptyCapture,
+    /// The capture's kernels dereference raw (unmapped) host memory outside
+    /// any device-pool allocation, but the configuration runs with XNACK
+    /// disabled — the MC005 gate, rejected before it can reach a runtime.
+    RawAccessNeedsXnack {
+        /// The configuration that cannot serve the raw access.
+        config: RuntimeConfig,
+    },
+    /// A canonical block failed to decode (wire/cache form).
+    Malformed(String),
+    /// A canonical block references a capture digest the decoder's resolver
+    /// does not hold.
+    UnknownCapture {
+        /// The unresolved capture digest.
+        digest: u64,
+    },
+}
+
+impl fmt::Display for RequestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RequestError::EmptyName => f.write_str("request name is empty"),
+            RequestError::EmptyCapture => f.write_str("capture has no records"),
+            RequestError::RawAccessNeedsXnack { config } => write!(
+                f,
+                "capture dereferences raw host memory outside any device pool; \
+                 config '{}' runs without XNACK (MC005)",
+                config.token()
+            ),
+            RequestError::Malformed(msg) => write!(f, "malformed request: {msg}"),
+            RequestError::UnknownCapture { digest } => {
+                write!(f, "unknown capture {digest:016x} (upload it first)")
+            }
+        }
     }
 }
 
+impl std::error::Error for RequestError {}
+
 /// One cell of a sweep: a capture plus everything that determines its
 /// simulated outcome. Captures are shared (`Arc`) so a corpus replaying one
-/// capture under many configurations carries it once.
+/// capture under many configurations carries it once. Build through
+/// [`SweepRequest::builder`].
 #[derive(Debug, Clone)]
 pub struct SweepRequest {
     /// Display label (workload or capture-file name). *Not* part of the
@@ -188,9 +182,129 @@ pub struct SweepRequest {
     pub telemetry: TelemetryKind,
 }
 
+/// Typed constructor for [`SweepRequest`]: collects the result-determining
+/// fields, then [`build`](Self::build) validates the combination at one
+/// choke point. Obtained from [`SweepRequest::builder`].
+#[derive(Debug, Clone)]
+pub struct SweepRequestBuilder {
+    name: String,
+    ir: Arc<MapIr>,
+    preset: CostPreset,
+    config: RuntimeConfig,
+    elide: ElideKind,
+    fault_seed: Option<u64>,
+    telemetry: TelemetryKind,
+}
+
+impl SweepRequestBuilder {
+    /// Cost-model preset (default: the calibrated MI300A model).
+    pub fn preset(mut self, preset: CostPreset) -> Self {
+        self.preset = preset;
+        self
+    }
+
+    /// Runtime configuration (default: Implicit Zero-Copy).
+    pub fn config(mut self, config: RuntimeConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Elision strategy (default: off).
+    pub fn elide(mut self, elide: ElideKind) -> Self {
+        self.elide = elide;
+        self
+    }
+
+    /// Deterministic fault-plan seed (default: healthy run).
+    pub fn fault_seed(mut self, seed: u64) -> Self {
+        self.fault_seed = Some(seed);
+        self
+    }
+
+    /// Telemetry collection mode (default: off).
+    pub fn telemetry(mut self, telemetry: TelemetryKind) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Validate the field combination and produce the request. This is the
+    /// single gate every construction path goes through: empty labels and
+    /// captures are rejected, and a capture whose kernels touch raw host
+    /// memory outside any device-pool allocation cannot be paired with a
+    /// configuration that runs XNACK-disabled (the combination the static
+    /// checker flags as MC005 — it would fault on real hardware).
+    pub fn build(self) -> Result<SweepRequest, RequestError> {
+        if self.name.is_empty() {
+            return Err(RequestError::EmptyName);
+        }
+        if self.ir.is_empty() {
+            return Err(RequestError::EmptyCapture);
+        }
+        if self.config.xnack() == apu_mem::XnackMode::Disabled && has_unpooled_raw_access(&self.ir)
+        {
+            return Err(RequestError::RawAccessNeedsXnack {
+                config: self.config,
+            });
+        }
+        Ok(SweepRequest {
+            name: self.name,
+            ir: self.ir,
+            preset: self.preset,
+            config: self.config,
+            elide: self.elide,
+            fault_seed: self.fault_seed,
+            telemetry: self.telemetry,
+        })
+    }
+}
+
+/// Does any kernel in `ir` dereference a raw host range that is not fully
+/// contained in a device-pool allocation? Pool-backed raw accesses are
+/// GPU-translated in every configuration; anything else needs XNACK.
+fn has_unpooled_raw_access(ir: &MapIr) -> bool {
+    use omp_offload::MapOp;
+    let pools: Vec<(u64, u64)> = ir
+        .records
+        .iter()
+        .filter_map(|r| match &r.op {
+            MapOp::PoolAlloc { range } => {
+                Some((range.start.as_u64(), range.start.as_u64() + range.len))
+            }
+            _ => None,
+        })
+        .collect();
+    ir.records.iter().any(|r| match &r.op {
+        MapOp::Kernel(k) => k.raw.iter().any(|raw| {
+            let (lo, hi) = (raw.start.as_u64(), raw.start.as_u64() + raw.len);
+            !pools.iter().any(|&(plo, phi)| plo <= lo && hi <= phi)
+        }),
+        _ => false,
+    })
+}
+
 impl SweepRequest {
+    /// Start building a request for `ir`, labelled `name`. Defaults: the
+    /// calibrated MI300A preset, Implicit Zero-Copy, no elision, healthy,
+    /// telemetry off.
+    pub fn builder(name: impl Into<String>, ir: Arc<MapIr>) -> SweepRequestBuilder {
+        SweepRequestBuilder {
+            name: name.into(),
+            ir,
+            preset: CostPreset::Mi300a,
+            config: RuntimeConfig::ImplicitZeroCopy,
+            elide: ElideKind::Off,
+            fault_seed: None,
+            telemetry: TelemetryKind::Off,
+        }
+    }
+
     /// A healthy, un-elided, telemetry-off request under the calibrated
     /// MI300A preset.
+    #[deprecated(
+        since = "0.1.0",
+        note = "construct through SweepRequest::builder, which validates the \
+                field combination"
+    )]
     pub fn new(name: impl Into<String>, ir: Arc<MapIr>, config: RuntimeConfig) -> Self {
         SweepRequest {
             name: name.into(),
@@ -203,26 +317,115 @@ impl SweepRequest {
         }
     }
 
+    /// The FNV-1a digest of the capture's stable `mapir v1` text — the
+    /// identity under which the capture enters the canonical encoding (and
+    /// the key of the serve layer's resident-capture table).
+    pub fn capture_digest(ir: &MapIr) -> u64 {
+        let mut h = Fnv1a::new();
+        h.write_str(&ir.to_text());
+        h.finish()
+    }
+
     /// The canonical encoding: every result-determining field, one per
     /// line, in fixed order. The capture itself enters as the FNV-1a digest
     /// of its stable `mapir v1` text plus its record count — the capture
-    /// body is *not* inlined, keeping cache entries small.
+    /// body is *not* inlined, keeping cache entries small. This is the only
+    /// encoder: the cache stores it, the wire format ships it, and
+    /// [`from_canonical`](Self::from_canonical) inverts it.
     pub fn canonical(&self) -> String {
-        let ir_text = self.ir.to_text();
-        let mut h = Fnv1a::new();
-        h.write_str(&ir_text);
         format!(
             "sweepreq v{}\npreset {}\nconfig {}\nelide {}\nfault {}\ntelemetry {}\ncapture {:016x} {}\n",
             REQUEST_VERSION,
             self.preset.token(),
-            config_token(self.config),
+            self.config.token(),
             self.elide.token(),
             self.fault_seed
                 .map_or_else(|| "none".to_string(), |s| s.to_string()),
             self.telemetry.token(),
-            h.finish(),
+            Self::capture_digest(&self.ir),
             self.ir.len(),
         )
+    }
+
+    /// Decode a canonical block produced by [`canonical`](Self::canonical),
+    /// resolving the capture digest through `resolve` (the serve layer's
+    /// resident-capture table; a test can close over a map). The decoded
+    /// request passes through [`SweepRequestBuilder::build`], so wire
+    /// requests face exactly the same validation as locally built ones.
+    /// `name` is the display label (not part of the encoding).
+    pub fn from_canonical(
+        name: impl Into<String>,
+        text: &str,
+        resolve: impl FnOnce(u64) -> Option<Arc<MapIr>>,
+    ) -> Result<SweepRequest, RequestError> {
+        let mut lines = text.lines();
+        let bad = |msg: &str| RequestError::Malformed(msg.to_string());
+        match lines.next() {
+            Some(l) if l == format!("sweepreq v{REQUEST_VERSION}") => {}
+            other => {
+                return Err(bad(&format!(
+                    "bad header {other:?} (expected 'sweepreq v{REQUEST_VERSION}')"
+                )))
+            }
+        }
+        let mut field = |key: &'static str| -> Result<String, RequestError> {
+            match lines.next().and_then(|l| l.split_once(' ')) {
+                Some((k, v)) if k == key => Ok(v.to_string()),
+                other => Err(bad(&format!("expected '{key} ...', got {other:?}"))),
+            }
+        };
+        let preset: CostPreset = field("preset")?
+            .parse()
+            .map_err(|e: ModeParseError| bad(&e.to_string()))?;
+        let config_tok = field("config")?;
+        let config = config_from_token(&config_tok)
+            .ok_or_else(|| bad(&format!("unknown config token '{config_tok}'")))?;
+        let elide: ElideKind = field("elide")?
+            .parse()
+            .map_err(|e: ModeParseError| bad(&e.to_string()))?;
+        let fault_raw = field("fault")?;
+        let fault_seed = if fault_raw == "none" {
+            None
+        } else {
+            Some(
+                fault_raw
+                    .parse::<u64>()
+                    .map_err(|_| bad(&format!("bad fault seed '{fault_raw}'")))?,
+            )
+        };
+        let telemetry: TelemetryKind = field("telemetry")?
+            .parse()
+            .map_err(|e: ModeParseError| bad(&e.to_string()))?;
+        let capture_line = field("capture")?;
+        let (digest_hex, len_str) = capture_line
+            .split_once(' ')
+            .ok_or_else(|| bad("capture line needs '<digest> <records>'"))?;
+        let digest = u64::from_str_radix(digest_hex, 16)
+            .map_err(|_| bad(&format!("bad capture digest '{digest_hex}'")))?;
+        let len: usize = len_str
+            .parse()
+            .map_err(|_| bad(&format!("bad capture record count '{len_str}'")))?;
+        if let Some(extra) = lines.next() {
+            if !extra.trim().is_empty() {
+                return Err(bad(&format!("trailing content '{extra}'")));
+            }
+        }
+        let ir = resolve(digest).ok_or(RequestError::UnknownCapture { digest })?;
+        if ir.len() != len {
+            return Err(bad(&format!(
+                "capture {digest:016x} has {} records, request claims {len}",
+                ir.len()
+            )));
+        }
+        let mut b = SweepRequest::builder(name, ir)
+            .preset(preset)
+            .config(config)
+            .elide(elide)
+            .telemetry(telemetry);
+        if let Some(seed) = fault_seed {
+            b = b.fault_seed(seed);
+        }
+        b.build()
     }
 
     /// The request digest: FNV-1a over the canonical encoding. This is the
@@ -236,7 +439,7 @@ impl SweepRequest {
 mod tests {
     use super::*;
     use apu_mem::{AddrRange, VirtAddr};
-    use omp_offload::MapOp;
+    use omp_offload::{KernelOp, MapOp};
 
     fn small_ir() -> Arc<MapIr> {
         let mut ir = MapIr::new();
@@ -249,10 +452,23 @@ mod tests {
         Arc::new(ir)
     }
 
+    fn req(config: RuntimeConfig) -> SweepRequest {
+        SweepRequest::builder("w", small_ir())
+            .config(config)
+            .build()
+            .unwrap()
+    }
+
     #[test]
     fn canonical_is_stable_and_name_free() {
-        let a = SweepRequest::new("first", small_ir(), RuntimeConfig::LegacyCopy);
-        let b = SweepRequest::new("second", small_ir(), RuntimeConfig::LegacyCopy);
+        let a = SweepRequest::builder("first", small_ir())
+            .config(RuntimeConfig::LegacyCopy)
+            .build()
+            .unwrap();
+        let b = SweepRequest::builder("second", small_ir())
+            .config(RuntimeConfig::LegacyCopy)
+            .build()
+            .unwrap();
         assert_eq!(a.canonical(), b.canonical());
         assert_eq!(a.digest(), b.digest());
         assert!(a
@@ -262,7 +478,7 @@ mod tests {
 
     #[test]
     fn every_result_determining_field_changes_the_digest() {
-        let base = SweepRequest::new("w", small_ir(), RuntimeConfig::LegacyCopy);
+        let base = req(RuntimeConfig::LegacyCopy);
         let d0 = base.digest();
         let variants = [
             SweepRequest {
@@ -300,18 +516,140 @@ mod tests {
 
     #[test]
     fn tokens_round_trip() {
-        for p in [CostPreset::Mi300a, CostPreset::Mi300aNoThp] {
+        for p in CostPreset::ALL {
             assert_eq!(CostPreset::from_token(p.token()), Some(p));
         }
-        for e in [ElideKind::Off, ElideKind::Online, ElideKind::Plan] {
+        for e in ElideKind::ALL {
             assert_eq!(ElideKind::from_token(e.token()), Some(e));
         }
-        for t in [TelemetryKind::Off, TelemetryKind::Ring] {
+        for t in TelemetryKind::ALL {
             assert_eq!(TelemetryKind::from_token(t.token()), Some(t));
         }
         for c in RuntimeConfig::ALL {
             assert_eq!(config_from_token(config_token(c)), Some(c));
         }
         assert_eq!(CostPreset::from_token("bogus"), None);
+    }
+
+    #[test]
+    fn canonical_round_trips_through_from_canonical() {
+        let mut base = req(RuntimeConfig::EagerMaps);
+        base.elide = ElideKind::Plan;
+        base.fault_seed = Some(42);
+        base.telemetry = TelemetryKind::Ring;
+        base.preset = CostPreset::Mi300aNoThp;
+        let ir = Arc::clone(&base.ir);
+        let back = SweepRequest::from_canonical("w", &base.canonical(), |d| {
+            assert_eq!(d, SweepRequest::capture_digest(&ir));
+            Some(Arc::clone(&ir))
+        })
+        .unwrap();
+        assert_eq!(back.canonical(), base.canonical());
+        assert_eq!(back.digest(), base.digest());
+        assert_eq!(back.name, "w");
+    }
+
+    #[test]
+    fn from_canonical_rejects_garbage_and_mismatches() {
+        let base = req(RuntimeConfig::LegacyCopy);
+        let ir = Arc::clone(&base.ir);
+        let ok = |text: &str| SweepRequest::from_canonical("w", text, |_| Some(Arc::clone(&ir)));
+        assert!(matches!(ok(""), Err(RequestError::Malformed(_))));
+        assert!(matches!(
+            ok("sweepreq v9\n"),
+            Err(RequestError::Malformed(_))
+        ));
+        let tampered = base.canonical().replace("config copy", "config frob");
+        assert!(matches!(ok(&tampered), Err(RequestError::Malformed(_))));
+        let bad_count = {
+            let c = base.canonical();
+            let head = c.rsplit_once(' ').unwrap().0;
+            format!("{head} 999\n")
+        };
+        assert!(matches!(ok(&bad_count), Err(RequestError::Malformed(_))));
+        let unresolved = SweepRequest::from_canonical("w", &base.canonical(), |_| None);
+        assert!(matches!(
+            unresolved,
+            Err(RequestError::UnknownCapture { .. })
+        ));
+    }
+
+    #[test]
+    fn builder_validates_at_the_choke_point() {
+        assert_eq!(
+            SweepRequest::builder("", small_ir()).build().unwrap_err(),
+            RequestError::EmptyName
+        );
+        assert_eq!(
+            SweepRequest::builder("w", Arc::new(MapIr::new()))
+                .build()
+                .unwrap_err(),
+            RequestError::EmptyCapture
+        );
+    }
+
+    #[test]
+    fn raw_access_rejected_under_non_xnack_configs() {
+        // A kernel dereferencing raw host memory outside any pool.
+        let mut ir = MapIr::new();
+        ir.push(
+            0,
+            MapOp::HostAlloc {
+                range: AddrRange::new(VirtAddr(4096), 8192),
+            },
+        );
+        ir.push(
+            0,
+            MapOp::Kernel(KernelOp {
+                name: "usm_kernel".into(),
+                maps: vec![],
+                raw: vec![AddrRange::new(VirtAddr(4096), 8192)],
+                globals: vec![],
+                nowait: false,
+            }),
+        );
+        let ir = Arc::new(ir);
+        for config in [RuntimeConfig::LegacyCopy, RuntimeConfig::EagerMaps] {
+            let err = SweepRequest::builder("w", Arc::clone(&ir))
+                .config(config)
+                .build()
+                .unwrap_err();
+            assert_eq!(err, RequestError::RawAccessNeedsXnack { config });
+        }
+        for config in [
+            RuntimeConfig::UnifiedSharedMemory,
+            RuntimeConfig::ImplicitZeroCopy,
+        ] {
+            assert!(SweepRequest::builder("w", Arc::clone(&ir))
+                .config(config)
+                .build()
+                .is_ok());
+        }
+
+        // The same raw range backed by a pool allocation is fine anywhere.
+        let mut pooled = MapIr::new();
+        pooled.push(
+            0,
+            MapOp::PoolAlloc {
+                range: AddrRange::new(VirtAddr(4096), 8192),
+            },
+        );
+        pooled.push(
+            0,
+            MapOp::Kernel(KernelOp {
+                name: "pool_kernel".into(),
+                maps: vec![],
+                raw: vec![AddrRange::new(VirtAddr(4096), 4096)],
+                globals: vec![],
+                nowait: false,
+            }),
+        );
+        let pooled = Arc::new(pooled);
+        for config in RuntimeConfig::ALL {
+            assert!(SweepRequest::builder("w", Arc::clone(&pooled))
+                .config(config)
+                .build()
+                .is_ok());
+        }
     }
 }

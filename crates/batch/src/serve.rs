@@ -1,0 +1,752 @@
+//! `apusim serve`: a long-lived sweep service over the result cache.
+//!
+//! A [`Server`] owns everything the offline replay path re-builds per
+//! invocation and keeps it resident between requests: parsed captures
+//! (`Arc<MapIr>`, keyed by the digest of their canonical `mapir v1` text),
+//! elision plans derived once per capture, the materialized cost-model
+//! presets, and an open [`ResultCache`]. Requests arrive as `PROTO v1`
+//! frames ([`crate::proto`]) over a Unix-domain socket or TCP; sweep cells
+//! are scheduled on the same work-stealing [`drive`] pool the offline path
+//! uses, answered from the cache on hit, simulated-then-stored on miss.
+//!
+//! ## The byte-identity contract
+//!
+//! A `SWEEP` response body is exactly the [`render_report`] bytes the
+//! offline `apusim replay` prints for the same corpus, and a `RESULT` body
+//! is exactly the cell's `sweepresult v1` text — cached or cold, serial or
+//! concurrent, first request or thousandth. The contract holds because the
+//! server adds no third path: it resolves the same canonical encodings
+//! through the same `execute`/cache code, and residency only pre-computes
+//! inputs ([`execute_prepared`]) that determinism guarantees are
+//! equivalent. `tests/serve_matrix.rs` pins this against offline replay.
+//!
+//! ## Robustness
+//!
+//! Admission control bounds in-flight cells (`BUSY` response, never a
+//! hang); per-request timeouts detach the waiting connection while the
+//! sweep finishes into the cache (a retry then hits); malformed frames are
+//! answered with `ERR` and poison nothing; and a `SHUTDOWN` request stops
+//! the accept loop and drains in-flight work to zero before the socket is
+//! removed. There is no signal handling — the runtime is `forbid(unsafe)`
+//! and the container has no signal crate — but an un-drained kill is still
+//! safe: cache writes are temp-file-plus-rename, so the store can lose at
+//! most un-renamed work, never serve a torn entry.
+
+use crate::cache::ResultCache;
+use crate::driver::drive;
+use crate::proto::{sweep_stanza, Frame, ProtoError, Response, Verb, PROTO_VERSION};
+use crate::request::{CostPreset, ElideKind, SweepRequest};
+use crate::result::SweepResult;
+use crate::sweep::{execute_prepared, render_report};
+use crate::CacheMode;
+use omp_offload::{ElideMode, ElisionPlan, MapIr, OmpError};
+use std::collections::HashMap;
+use std::io::{BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
+
+/// Tunables of one server instance.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Result store the server answers from and feeds.
+    pub cache: CacheMode,
+    /// Work-stealing workers per sweep (the offline `-j N`).
+    pub jobs: usize,
+    /// Admission bound: total sweep cells running or queued across all
+    /// connections before requests get `BUSY`.
+    pub max_inflight: usize,
+    /// How long a connection waits for its sweep before answering `ERR
+    /// timeout` (the sweep itself keeps running into the cache).
+    pub timeout: Duration,
+    /// When set, cache GC runs to this byte budget after any sweep that
+    /// stored new entries (and on explicit `GC` requests).
+    pub cache_max_bytes: Option<u64>,
+    /// Per-frame byte bound enforced on every read.
+    pub max_frame_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            cache: CacheMode::Off,
+            jobs: 1,
+            max_inflight: 256,
+            timeout: Duration::from_secs(30),
+            cache_max_bytes: None,
+            max_frame_bytes: crate::proto::DEFAULT_MAX_FRAME_BYTES,
+        }
+    }
+}
+
+/// Snapshot of the server's counters, as served by `STATS`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Well-formed frames handled.
+    pub requests: u64,
+    /// Sweep cells answered from the result cache.
+    pub hits: u64,
+    /// Sweep cells simulated (cache misses).
+    pub simulated: u64,
+    /// Sweep cells currently running or queued.
+    pub in_flight: u64,
+    /// Captures resident in memory.
+    pub captures: u64,
+    /// Elision plans warmed.
+    pub plans: u64,
+    /// Cache entries evicted by GC since start.
+    pub evicted: u64,
+    /// Requests rejected by admission control.
+    pub busy_rejections: u64,
+    /// Malformed frames rejected.
+    pub malformed: u64,
+}
+
+impl ServerStats {
+    fn info(&self) -> Vec<(String, String)> {
+        [
+            ("requests", self.requests),
+            ("hits", self.hits),
+            ("simulated", self.simulated),
+            ("in_flight", self.in_flight),
+            ("captures", self.captures),
+            ("plans", self.plans),
+            ("evicted", self.evicted),
+            ("busy_rejections", self.busy_rejections),
+            ("malformed", self.malformed),
+        ]
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect()
+    }
+}
+
+/// Where a running server can be reached (for the shutdown self-connect).
+#[derive(Debug, Clone)]
+enum SelfAddr {
+    Unix(PathBuf),
+    Tcp(SocketAddr),
+}
+
+/// State shared by every connection thread.
+struct Shared {
+    cfg: ServerConfig,
+    cache: ResultCache,
+    addr: SelfAddr,
+    /// Resident captures, keyed by the digest of their canonical text
+    /// (exactly the digest the `capture` line of a request block names).
+    captures: Mutex<HashMap<u64, Arc<MapIr>>>,
+    /// Fast path for re-uploads: digest of the *received* capture bytes →
+    /// canonical digest, so a known capture skips parsing entirely.
+    raw_index: Mutex<HashMap<u64, u64>>,
+    /// Elision plans derived once per capture, keyed like `captures`.
+    plans: Mutex<HashMap<u64, Arc<ElisionPlan>>>,
+    /// Materialized cost-model presets (index = [`CostPreset`] order).
+    models: [apu_mem::CostModel; 2],
+    shutdown: AtomicBool,
+    requests: AtomicU64,
+    hits: AtomicU64,
+    simulated: AtomicU64,
+    in_flight: AtomicU64,
+    evicted: AtomicU64,
+    busy_rejections: AtomicU64,
+    malformed: AtomicU64,
+}
+
+impl Shared {
+    fn model_for(&self, preset: CostPreset) -> apu_mem::CostModel {
+        match preset {
+            CostPreset::Mi300a => self.models[0].clone(),
+            CostPreset::Mi300aNoThp => self.models[1].clone(),
+        }
+    }
+
+    fn stats(&self) -> ServerStats {
+        ServerStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            simulated: self.simulated.load(Ordering::Relaxed),
+            in_flight: self.in_flight.load(Ordering::Relaxed),
+            captures: self.captures.lock().unwrap().len() as u64,
+            plans: self.plans.lock().unwrap().len() as u64,
+            evicted: self.evicted.load(Ordering::Relaxed),
+            busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
+            malformed: self.malformed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reserve `n` in-flight slots, or report `(current, max)` when the
+    /// admission bound would be exceeded. Lock-free so a flood of requests
+    /// is rejected with `BUSY` rather than queued behind a mutex.
+    fn try_admit(&self, n: u64) -> Result<(), (u64, u64)> {
+        let max = self.cfg.max_inflight as u64;
+        let mut cur = self.in_flight.load(Ordering::Relaxed);
+        loop {
+            if cur + n > max {
+                return Err((cur, max));
+            }
+            match self.in_flight.compare_exchange_weak(
+                cur,
+                cur + n,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Ok(()),
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// The elision plan for a resident capture, derived on first use.
+    fn plan_for(&self, digest: u64, ir: &MapIr) -> Arc<ElisionPlan> {
+        if let Some(p) = self.plans.lock().unwrap().get(&digest) {
+            return Arc::clone(p);
+        }
+        // Derive outside the lock; a racing duplicate derivation is
+        // harmless (plans are pure functions of the capture).
+        let fresh = Arc::new(omp_mapcheck::elision_plan(ir));
+        Arc::clone(self.plans.lock().unwrap().entry(digest).or_insert(fresh))
+    }
+}
+
+/// Releases admitted in-flight slots even if a sweep worker unwinds.
+struct SlotGuard {
+    shared: Arc<Shared>,
+    n: u64,
+}
+
+impl Drop for SlotGuard {
+    fn drop(&mut self) {
+        self.shared.in_flight.fetch_sub(self.n, Ordering::Relaxed);
+    }
+}
+
+enum Listener {
+    Unix(UnixListener),
+    Tcp(TcpListener),
+}
+
+impl Listener {
+    fn accept(&self) -> std::io::Result<Conn> {
+        match self {
+            Listener::Unix(l) => l.accept().map(|(s, _)| Conn::Unix(s)),
+            Listener::Tcp(l) => l.accept().map(|(s, _)| Conn::Tcp(s)),
+        }
+    }
+}
+
+/// One accepted (or dialed) connection; stream kind erased.
+#[derive(Debug)]
+enum Conn {
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl Conn {
+    fn try_clone(&self) -> std::io::Result<Conn> {
+        match self {
+            Conn::Unix(s) => s.try_clone().map(Conn::Unix),
+            Conn::Tcp(s) => s.try_clone().map(Conn::Tcp),
+        }
+    }
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Unix(s) => s.read(buf),
+            Conn::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Unix(s) => s.write(buf),
+            Conn::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Conn::Unix(s) => s.flush(),
+            Conn::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// A bound, not-yet-running sweep service. [`run`](Self::run) blocks the
+/// calling thread in the accept loop; [`spawn`](Self::spawn) runs it on a
+/// background thread and returns a joinable handle (the in-process shape
+/// the integration tests and the latency bench use).
+pub struct Server {
+    listener: Listener,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    fn new(listener: Listener, addr: SelfAddr, cfg: ServerConfig) -> Server {
+        let cache = ResultCache::open(&cfg.cache);
+        Server {
+            listener,
+            shared: Arc::new(Shared {
+                cache,
+                addr,
+                captures: Mutex::new(HashMap::new()),
+                raw_index: Mutex::new(HashMap::new()),
+                plans: Mutex::new(HashMap::new()),
+                models: [CostPreset::Mi300a.model(), CostPreset::Mi300aNoThp.model()],
+                shutdown: AtomicBool::new(false),
+                requests: AtomicU64::new(0),
+                hits: AtomicU64::new(0),
+                simulated: AtomicU64::new(0),
+                in_flight: AtomicU64::new(0),
+                evicted: AtomicU64::new(0),
+                busy_rejections: AtomicU64::new(0),
+                malformed: AtomicU64::new(0),
+                cfg,
+            }),
+        }
+    }
+
+    /// Bind a Unix-domain socket at `path` (a stale socket file from a
+    /// previous unclean exit is removed first).
+    pub fn bind_unix(path: &Path, cfg: ServerConfig) -> std::io::Result<Server> {
+        let _ = std::fs::remove_file(path);
+        let listener = UnixListener::bind(path)?;
+        Ok(Server::new(
+            Listener::Unix(listener),
+            SelfAddr::Unix(path.to_path_buf()),
+            cfg,
+        ))
+    }
+
+    /// Bind a TCP listener at `addr` (e.g. `127.0.0.1:0` to let the OS pick
+    /// a port — read it back with [`tcp_addr`](Self::tcp_addr)).
+    pub fn bind_tcp(addr: &str, cfg: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        Ok(Server::new(
+            Listener::Tcp(listener),
+            SelfAddr::Tcp(local),
+            cfg,
+        ))
+    }
+
+    /// The bound TCP address, when TCP-bound.
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        match &self.shared.addr {
+            SelfAddr::Tcp(a) => Some(*a),
+            SelfAddr::Unix(_) => None,
+        }
+    }
+
+    /// Run the accept loop on the calling thread until a `SHUTDOWN` request
+    /// arrives, then drain in-flight work to zero and clean up the socket.
+    pub fn run(self) -> std::io::Result<()> {
+        loop {
+            let conn = self.listener.accept();
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            match conn {
+                Ok(conn) => {
+                    let shared = Arc::clone(&self.shared);
+                    std::thread::spawn(move || handle_connection(conn, shared));
+                }
+                Err(e) => {
+                    eprintln!("apusim serve: accept failed: {e}");
+                }
+            }
+        }
+        // Graceful drain: every admitted cell finishes (and reaches the
+        // cache) before the listener goes away.
+        while self.shared.in_flight.load(Ordering::SeqCst) > 0 {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        if let SelfAddr::Unix(path) = &self.shared.addr {
+            let _ = std::fs::remove_file(path);
+        }
+        Ok(())
+    }
+
+    /// Run the accept loop on a background thread.
+    pub fn spawn(self) -> ServerHandle {
+        ServerHandle {
+            thread: std::thread::spawn(move || self.run()),
+        }
+    }
+}
+
+/// Join handle for a [`Server::spawn`]ed accept loop.
+pub struct ServerHandle {
+    thread: std::thread::JoinHandle<std::io::Result<()>>,
+}
+
+impl ServerHandle {
+    /// Wait for the server to shut down (send it a `SHUTDOWN` frame first).
+    pub fn join(self) -> std::io::Result<()> {
+        self.thread
+            .join()
+            .map_err(|_| std::io::Error::other("server thread panicked"))?
+    }
+}
+
+fn handle_connection(conn: Conn, shared: Arc<Shared>) {
+    let Ok(read_half) = conn.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = conn;
+    loop {
+        match Frame::read_from(&mut reader, shared.cfg.max_frame_bytes) {
+            Ok(None) => break,
+            Ok(Some(frame)) => {
+                shared.requests.fetch_add(1, Ordering::Relaxed);
+                let is_shutdown = frame.verb == Verb::Shutdown;
+                let resp = handle_frame(frame, &shared);
+                if writer.write_all(resp.to_wire().as_bytes()).is_err() {
+                    break;
+                }
+                let _ = writer.flush();
+                if is_shutdown {
+                    // Unblock the accept loop so it can observe the flag;
+                    // the requester already holds its response bytes.
+                    match &shared.addr {
+                        SelfAddr::Unix(path) => {
+                            let _ = UnixStream::connect(path);
+                        }
+                        SelfAddr::Tcp(addr) => {
+                            let _ = TcpStream::connect(addr);
+                        }
+                    }
+                    break;
+                }
+            }
+            Err(e) => {
+                // Malformed-request isolation: answer, close this
+                // connection, poison nothing else.
+                shared.malformed.fetch_add(1, Ordering::Relaxed);
+                let _ = writer.write_all(Response::err(e.message).to_wire().as_bytes());
+                let _ = writer.flush();
+                break;
+            }
+        }
+    }
+}
+
+fn handle_frame(frame: Frame, shared: &Arc<Shared>) -> Response {
+    match frame.verb {
+        Verb::Ping => Response::ok_with(
+            Verb::Ping,
+            vec![("proto".into(), PROTO_VERSION.to_string())],
+            "",
+        ),
+        Verb::Capture => handle_capture(&frame.body, shared),
+        Verb::Sweep => handle_sweep(Verb::Sweep, &frame.body, shared),
+        Verb::Result => handle_sweep(Verb::Result, &frame.body, shared),
+        Verb::Stats => Response::ok_with(Verb::Stats, shared.stats().info(), ""),
+        Verb::Gc => handle_gc(shared),
+        Verb::Shutdown => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            // The accept loop is unblocked by handle_connection *after*
+            // this response is flushed, so the requester always reads its
+            // OK before the server process can exit.
+            Response::ok(Verb::Shutdown, "")
+        }
+    }
+}
+
+fn handle_capture(body: &str, shared: &Arc<Shared>) -> Response {
+    let respond = |digest: u64, records: usize| {
+        Response::ok_with(
+            Verb::Capture,
+            vec![
+                ("digest".into(), format!("{digest:016x}")),
+                ("records".into(), records.to_string()),
+            ],
+            "",
+        )
+    };
+    // Warm path: a byte-identical upload skips parsing entirely.
+    let raw_digest = omp_offload::digest::fnv1a(body.as_bytes());
+    if let Some(&canonical) = shared.raw_index.lock().unwrap().get(&raw_digest) {
+        if let Some(ir) = shared.captures.lock().unwrap().get(&canonical) {
+            return respond(canonical, ir.len());
+        }
+    }
+    let ir = match MapIr::parse(body) {
+        Ok(ir) => ir,
+        Err(e) => return Response::err(format!("bad capture: {e}")),
+    };
+    if ir.is_empty() {
+        return Response::err("bad capture: no records");
+    }
+    // Residency key = digest of the *canonical* text, which is exactly what
+    // request blocks name in their `capture` line.
+    let digest = SweepRequest::capture_digest(&ir);
+    let records = ir.len();
+    shared
+        .captures
+        .lock()
+        .unwrap()
+        .entry(digest)
+        .or_insert_with(|| Arc::new(ir));
+    shared.raw_index.lock().unwrap().insert(raw_digest, digest);
+    respond(digest, records)
+}
+
+/// Split a `SWEEP`/`RESULT` body into cells: each stanza is an optional
+/// `name <label>` line followed by the 7-line canonical request block.
+fn parse_stanzas(body: &str, shared: &Arc<Shared>) -> Result<Vec<SweepRequest>, String> {
+    let captures = shared.captures.lock().unwrap().clone();
+    let mut lines = body.lines().peekable();
+    let mut out: Vec<SweepRequest> = Vec::new();
+    while let Some(&first) = lines.peek() {
+        let name = match first.strip_prefix("name ") {
+            Some(label) => {
+                lines.next();
+                label.to_string()
+            }
+            None => format!("cell{}", out.len()),
+        };
+        let mut block = String::new();
+        for _ in 0..7 {
+            let line = lines
+                .next()
+                .ok_or_else(|| format!("truncated request stanza for '{name}'"))?;
+            block.push_str(line);
+            block.push('\n');
+        }
+        let req = SweepRequest::from_canonical(name, &block, |d| captures.get(&d).cloned())
+            .map_err(|e| e.to_string())?;
+        out.push(req);
+    }
+    if out.is_empty() {
+        return Err("empty request body".to_string());
+    }
+    Ok(out)
+}
+
+fn handle_sweep(verb: Verb, body: &str, shared: &Arc<Shared>) -> Response {
+    let corpus = match parse_stanzas(body, shared) {
+        Ok(c) => c,
+        Err(e) => return Response::err(e),
+    };
+    if verb == Verb::Result && corpus.len() != 1 {
+        return Response::err(format!(
+            "RESULT takes exactly one request stanza, got {}",
+            corpus.len()
+        ));
+    }
+    let n = corpus.len() as u64;
+    if let Err((cur, max)) = shared.try_admit(n) {
+        shared.busy_rejections.fetch_add(1, Ordering::Relaxed);
+        return Response::Busy {
+            in_flight: cur,
+            max,
+        };
+    }
+    // The sweep runs on its own thread so the connection can stop waiting
+    // at the timeout while the work still completes into the cache.
+    let (tx, rx) = mpsc::channel();
+    let worker_shared = Arc::clone(shared);
+    std::thread::spawn(move || {
+        let slots = SlotGuard {
+            shared: Arc::clone(&worker_shared),
+            n,
+        };
+        let outcome = run_resident_sweep(&corpus, &worker_shared);
+        // Release before sending: a client holding its response (or a
+        // STATS reader it wakes) must observe these cells as no longer
+        // in flight.
+        drop(slots);
+        let _ = tx.send((corpus, outcome));
+    });
+    let (corpus, outcome) = match rx.recv_timeout(shared.cfg.timeout) {
+        Ok(pair) => pair,
+        Err(mpsc::RecvTimeoutError::Timeout) => {
+            return Response::err(format!(
+                "timeout after {}ms (the sweep continues server-side and will \
+                 be cached; retry to collect it)",
+                shared.cfg.timeout.as_millis()
+            ))
+        }
+        Err(mpsc::RecvTimeoutError::Disconnected) => return Response::err("sweep worker died"),
+    };
+    let (results, hits, simulated) = match outcome {
+        Ok(triple) => triple,
+        Err(e) => return Response::err(format!("sweep failed: {e}")),
+    };
+    let info = vec![
+        ("cells".into(), corpus.len().to_string()),
+        ("hits".into(), hits.to_string()),
+        ("simulated".into(), simulated.to_string()),
+    ];
+    match verb {
+        Verb::Result => {
+            let mut info = info;
+            info.push(("digest".into(), format!("{:016x}", corpus[0].digest())));
+            Response::ok_with(Verb::Result, info, results[0].to_text())
+        }
+        _ => Response::ok_with(Verb::Sweep, info, render_report(&corpus, &results)),
+    }
+}
+
+/// The resident equivalent of [`crate::run_sweep`]: same cache protocol,
+/// same driver, but the cost model and elision plan come from the server's
+/// warm tables instead of being re-derived per cell.
+fn run_resident_sweep(
+    corpus: &[SweepRequest],
+    shared: &Arc<Shared>,
+) -> Result<(Vec<SweepResult>, u64, u64), OmpError> {
+    let hits = AtomicU64::new(0);
+    let simulated = AtomicU64::new(0);
+    let cells = drive(corpus.len(), shared.cfg.jobs, |i| {
+        let req = &corpus[i];
+        if let Some(found) = shared.cache.lookup(req) {
+            hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(found);
+        }
+        let elide = match req.elide {
+            ElideKind::Off => ElideMode::Off,
+            ElideKind::Online => ElideMode::Online,
+            ElideKind::Plan => {
+                let digest = SweepRequest::capture_digest(&req.ir);
+                ElideMode::Plan((*shared.plan_for(digest, &req.ir)).clone())
+            }
+        };
+        let fresh = execute_prepared(req, shared.model_for(req.preset), elide)?;
+        simulated.fetch_add(1, Ordering::Relaxed);
+        if let Err(e) = shared.cache.store(req, &fresh) {
+            eprintln!("apusim serve: cache store failed for {}: {e}", req.name);
+        }
+        Ok(fresh)
+    });
+    let results = cells.into_iter().collect::<Result<Vec<_>, OmpError>>()?;
+    let (h, s) = (
+        hits.load(Ordering::Relaxed),
+        simulated.load(Ordering::Relaxed),
+    );
+    shared.hits.fetch_add(h, Ordering::Relaxed);
+    shared.simulated.fetch_add(s, Ordering::Relaxed);
+    // Keep the store inside its byte budget once new entries landed.
+    if s > 0 {
+        if let Some(max_bytes) = shared.cfg.cache_max_bytes {
+            if let Ok(gc) = shared.cache.gc(max_bytes, false) {
+                shared
+                    .evicted
+                    .fetch_add(gc.evicted as u64, Ordering::Relaxed);
+            }
+        }
+    }
+    Ok((results, h, s))
+}
+
+fn handle_gc(shared: &Arc<Shared>) -> Response {
+    let Some(max_bytes) = shared.cfg.cache_max_bytes else {
+        return Response::err("no cache byte budget configured (start with --cache-max-bytes)");
+    };
+    match shared.cache.gc(max_bytes, false) {
+        Ok(s) => {
+            shared
+                .evicted
+                .fetch_add(s.evicted as u64, Ordering::Relaxed);
+            Response::ok_with(
+                Verb::Gc,
+                vec![
+                    ("scanned".into(), s.scanned.to_string()),
+                    ("evicted".into(), s.evicted.to_string()),
+                    ("bytes_freed".into(), s.bytes_freed.to_string()),
+                    ("bytes_kept".into(), s.bytes_kept.to_string()),
+                ],
+                "",
+            )
+        }
+        Err(e) => Response::err(format!("gc failed: {e}")),
+    }
+}
+
+/// A blocking `PROTO v1` client over a Unix or TCP connection. One
+/// connection serves many sequential requests; the typed helpers wrap
+/// [`roundtrip`](Self::roundtrip) for the common verbs.
+pub struct Client {
+    reader: BufReader<Conn>,
+    writer: Conn,
+    max_frame_bytes: usize,
+}
+
+impl Client {
+    fn new(conn: Conn) -> std::io::Result<Client> {
+        let read_half = conn.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(read_half),
+            writer: conn,
+            max_frame_bytes: crate::proto::DEFAULT_MAX_FRAME_BYTES,
+        })
+    }
+
+    /// Connect to a Unix-domain server socket.
+    pub fn connect_unix(path: &Path) -> std::io::Result<Client> {
+        Client::new(Conn::Unix(UnixStream::connect(path)?))
+    }
+
+    /// Connect to a TCP server.
+    pub fn connect_tcp(addr: &str) -> std::io::Result<Client> {
+        Client::new(Conn::Tcp(TcpStream::connect(addr)?))
+    }
+
+    /// Send one frame, read one response.
+    pub fn roundtrip(&mut self, frame: &Frame) -> Result<Response, ProtoError> {
+        self.writer.write_all(frame.to_wire().as_bytes())?;
+        self.writer.flush()?;
+        Response::read_from(&mut self.reader, self.max_frame_bytes)?.ok_or_else(|| ProtoError {
+            message: "server closed the connection".to_string(),
+        })
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<Response, ProtoError> {
+        self.roundtrip(&Frame::bare(Verb::Ping))
+    }
+
+    /// Upload a capture (its `mapir v1` text); returns the server's
+    /// response carrying `digest=` and `records=` info.
+    pub fn capture(&mut self, mapir_text: &str) -> Result<Response, ProtoError> {
+        self.roundtrip(&Frame::new(Verb::Capture, mapir_text))
+    }
+
+    /// Run named sweep cells; the `OK` body is the rendered sweep report.
+    /// Captures must already be resident (see [`capture`](Self::capture)).
+    pub fn sweep(&mut self, cells: &[(String, SweepRequest)]) -> Result<Response, ProtoError> {
+        let body: String = cells
+            .iter()
+            .map(|(name, req)| sweep_stanza(name, req))
+            .collect();
+        self.roundtrip(&Frame::new(Verb::Sweep, body))
+    }
+
+    /// Run exactly one cell; the `OK` body is its `sweepresult v1` text.
+    pub fn result(&mut self, name: &str, req: &SweepRequest) -> Result<Response, ProtoError> {
+        self.roundtrip(&Frame::new(Verb::Result, sweep_stanza(name, req)))
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&mut self) -> Result<Response, ProtoError> {
+        self.roundtrip(&Frame::bare(Verb::Stats))
+    }
+
+    /// Trigger cache GC against the server's configured byte budget.
+    pub fn gc(&mut self) -> Result<Response, ProtoError> {
+        self.roundtrip(&Frame::bare(Verb::Gc))
+    }
+
+    /// Ask the server to drain and exit.
+    pub fn shutdown(&mut self) -> Result<Response, ProtoError> {
+        self.roundtrip(&Frame::bare(Verb::Shutdown))
+    }
+}

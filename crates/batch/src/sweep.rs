@@ -4,7 +4,7 @@
 //! cell owns its [`OmpRuntime`], its memory image, and its telemetry ring,
 //! so cells are independent and any execution schedule yields the same
 //! per-cell bytes. [`run_sweep`] fans a corpus across the work-stealing
-//! [`drive`](crate::driver::drive) loop with the result cache consulted
+//! [`drive`] loop with the result cache consulted
 //! around each cell, and [`render_report`] folds the ordered results into
 //! the sweep's canonical stdout report. Cache and scheduling statistics are
 //! surfaced separately ([`SweepStats`]) precisely so the report itself
@@ -59,12 +59,32 @@ pub struct SweepOutcome {
 /// any order, which is the invariant the result cache and the `-j N`
 /// byte-identity contract both stand on.
 pub fn execute(req: &SweepRequest) -> Result<SweepResult, OmpError> {
+    execute_prepared(
+        req,
+        req.preset.model(),
+        req.elide.mode_with(|| omp_mapcheck::elision_plan(&req.ir)),
+    )
+}
+
+/// [`execute`] with the two derivable inputs — the cost model and the
+/// resolved elide mode — supplied by the caller. This is the serve layer's
+/// entry point: a resident server derives the model per preset and the
+/// elision plan per capture *once*, then replays them into every request,
+/// and determinism guarantees the result bytes cannot differ from the
+/// cold-path [`execute`]. Passing a model or mode that does not match the
+/// request's `preset`/`elide` fields would break the cache contract; only
+/// do that in tests proving the equivalence.
+pub fn execute_prepared(
+    req: &SweepRequest,
+    model: apu_mem::CostModel,
+    elide: omp_offload::ElideMode,
+) -> Result<SweepResult, OmpError> {
     let ir = &*req.ir;
-    let mut b = OmpRuntime::builder(req.preset.model(), Topology::default())
+    let mut b = OmpRuntime::builder(model, Topology::default())
         .config(req.config)
         .threads(replay_threads(ir))
         .sanitize(true)
-        .elide(req.elide.mode(ir))
+        .elide(elide)
         .telemetry(req.telemetry.mode());
     if let Some(seed) = req.fault_seed {
         b = b.fault_plan(FaultPlan::from_seed(seed));
@@ -230,9 +250,13 @@ fn corpus_for(
         );
         for config in omp_mapcheck::harness::configs_for(&*w) {
             for &elide in elides {
-                let mut req = SweepRequest::new(w.name(), Arc::clone(&ir), config);
-                req.elide = elide;
-                corpus.push(req);
+                corpus.push(
+                    SweepRequest::builder(w.name(), Arc::clone(&ir))
+                        .config(config)
+                        .elide(elide)
+                        .build()
+                        .expect("shipped corpus combinations are valid"),
+                );
             }
         }
     }
@@ -275,7 +299,12 @@ mod tests {
         let ir = Arc::new(omp_mapcheck::capture_workload(&w, 1).unwrap());
         RuntimeConfig::ALL
             .into_iter()
-            .map(|c| SweepRequest::new(w.name(), Arc::clone(&ir), c))
+            .map(|c| {
+                SweepRequest::builder(w.name(), Arc::clone(&ir))
+                    .config(c)
+                    .build()
+                    .unwrap()
+            })
             .collect()
     }
 
@@ -307,7 +336,10 @@ mod tests {
         use workloads::{Stream, Workload};
         let w = Stream::scaled(0.02);
         let ir = Arc::new(omp_mapcheck::capture_workload(&w, 1).unwrap());
-        let base = SweepRequest::new(w.name(), ir, RuntimeConfig::LegacyCopy);
+        let base = SweepRequest::builder(w.name(), ir)
+            .config(RuntimeConfig::LegacyCopy)
+            .build()
+            .unwrap();
         let mut planned = base.clone();
         planned.elide = ElideKind::Plan;
         let off = execute(&base).unwrap();
@@ -317,6 +349,19 @@ mod tests {
             "elision preserves results"
         );
         assert!(on.ledger.maps_elided > 0);
+    }
+
+    #[test]
+    fn prepared_execution_matches_cold_path() {
+        // The serve layer's residency contract: a caller-supplied model and
+        // pre-derived elision plan yield the exact result the cold path does.
+        let mut req = tiny_corpus().remove(0);
+        req.elide = ElideKind::Plan;
+        let cold = execute(&req).unwrap();
+        let plan = omp_mapcheck::elision_plan(&req.ir);
+        let warm =
+            execute_prepared(&req, req.preset.model(), omp_offload::ElideMode::Plan(plan)).unwrap();
+        assert_eq!(cold, warm);
     }
 
     #[test]

@@ -1,0 +1,366 @@
+//! The serve byte-identity matrix: `apusim serve` is pinned against the
+//! offline replay path, cold and warm, serial and parallel, one client and
+//! many — every `SWEEP` response body must equal the offline
+//! [`render_report`] bytes for the same corpus, every `RESULT` body the
+//! cell's `sweepresult v1` text, and the server's counters must account for
+//! every cell exactly.
+//!
+//! Robustness is pinned alongside: malformed frames are answered with `ERR`
+//! and poison nothing, admission control answers `BUSY` deterministically,
+//! a zero timeout detaches the connection while the sweep still finishes
+//! into the cache, and `SHUTDOWN` drains and removes the socket.
+
+use omp_batch::{
+    execute, render_report, run_sweep, smoke_corpus, CacheMode, Client, ElideKind, Server,
+    ServerConfig, SweepRequest,
+};
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    static SEQ: AtomicUsize = AtomicUsize::new(0);
+    let d = std::env::temp_dir().join(format!(
+        "apusim-serve-{}-{}-{}",
+        std::process::id(),
+        tag,
+        SEQ.fetch_add(1, Ordering::Relaxed),
+    ));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).expect("scratch dir");
+    d
+}
+
+/// The test corpus: the CI smoke corpus plus profile-guided variants of its
+/// first two cells, so the server's warmed-plan table is on the hot path.
+fn corpus() -> Vec<SweepRequest> {
+    let mut corpus = smoke_corpus();
+    let extra: Vec<SweepRequest> = corpus
+        .iter()
+        .take(2)
+        .map(|r| {
+            SweepRequest::builder(format!("{}+plan", r.name), Arc::clone(&r.ir))
+                .preset(r.preset)
+                .config(r.config)
+                .elide(ElideKind::Plan)
+                .build()
+                .expect("plan variant is valid")
+        })
+        .collect();
+    corpus.extend(extra);
+    corpus
+}
+
+/// Unique capture texts of a corpus, keyed by canonical digest.
+fn captures_of(corpus: &[SweepRequest]) -> BTreeMap<u64, String> {
+    corpus
+        .iter()
+        .map(|r| (SweepRequest::capture_digest(&r.ir), r.ir.to_text()))
+        .collect()
+}
+
+/// The offline reference: what `apusim replay` prints for this corpus.
+fn offline_report(corpus: &[SweepRequest]) -> String {
+    let outcome = run_sweep(corpus, 1, &CacheMode::Off).expect("offline sweep");
+    render_report(corpus, &outcome.results)
+}
+
+fn cells_of(corpus: &[SweepRequest]) -> Vec<(String, SweepRequest)> {
+    corpus.iter().map(|r| (r.name.clone(), r.clone())).collect()
+}
+
+fn upload_captures(client: &mut Client, corpus: &[SweepRequest]) {
+    for (digest, text) in captures_of(corpus) {
+        let resp = client.capture(&text).expect("capture roundtrip");
+        assert_eq!(
+            resp.info_get("digest"),
+            Some(format!("{digest:016x}").as_str()),
+            "server and client disagree on a capture digest"
+        );
+    }
+}
+
+fn info_u64(resp: &omp_batch::Response, key: &str) -> u64 {
+    resp.info_get(key)
+        .unwrap_or_else(|| panic!("missing info key '{key}' in {resp:?}"))
+        .parse()
+        .expect("numeric info value")
+}
+
+#[test]
+fn serve_matches_offline_replay_cold_and_warm() {
+    let corpus = corpus();
+    let n = corpus.len() as u64;
+    let expected = offline_report(&corpus);
+    let cells = cells_of(&corpus);
+
+    for jobs in [1usize, 8] {
+        let dir = scratch_dir(&format!("identity-j{jobs}"));
+        let sock = dir.join("serve.sock");
+        let server = Server::bind_unix(
+            &sock,
+            ServerConfig {
+                cache: CacheMode::Dir(dir.join("cache")),
+                jobs,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("bind");
+        let handle = server.spawn();
+
+        let mut client = Client::connect_unix(&sock).expect("connect");
+        assert_eq!(client.ping().unwrap().info_get("proto"), Some("1"));
+        upload_captures(&mut client, &corpus);
+
+        // Cold: every cell simulates; the report is the offline bytes.
+        let cold = client.sweep(&cells).expect("cold sweep");
+        assert_eq!(info_u64(&cold, "hits"), 0, "-j {jobs} cold hits");
+        assert_eq!(info_u64(&cold, "simulated"), n, "-j {jobs} cold simulated");
+        assert_eq!(
+            cold.into_ok_body().unwrap(),
+            expected,
+            "-j {jobs} cold serve output diverged from offline replay"
+        );
+
+        // Warm: every cell hits; the bytes cannot tell the difference.
+        let warm = client.sweep(&cells).expect("warm sweep");
+        assert_eq!(info_u64(&warm, "hits"), n, "-j {jobs} warm hits");
+        assert_eq!(info_u64(&warm, "simulated"), 0, "-j {jobs} warm simulated");
+        assert_eq!(
+            warm.into_ok_body().unwrap(),
+            expected,
+            "-j {jobs} warm serve output diverged from offline replay"
+        );
+
+        client.shutdown().expect("shutdown");
+        handle.join().expect("server exits cleanly");
+        assert!(!sock.exists(), "socket file removed on shutdown");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn concurrent_clients_get_identical_bytes_with_exact_accounting() {
+    let corpus = corpus();
+    let n = corpus.len() as u64;
+    let expected = offline_report(&corpus);
+    let cells = cells_of(&corpus);
+    let plan_captures = corpus
+        .iter()
+        .filter(|r| r.elide == ElideKind::Plan)
+        .map(|r| SweepRequest::capture_digest(&r.ir))
+        .collect::<std::collections::BTreeSet<_>>();
+
+    let dir = scratch_dir("concurrent");
+    let sock = dir.join("serve.sock");
+    let server = Server::bind_unix(
+        &sock,
+        ServerConfig {
+            cache: CacheMode::Dir(dir.join("cache")),
+            jobs: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let handle = server.spawn();
+
+    // Phase 1 (sequential): one client warms the cache, so phase 2's
+    // accounting is exact — concurrent cold sweeps could legitimately race
+    // the same cell into multiple simulations.
+    let mut warmer = Client::connect_unix(&sock).expect("connect");
+    upload_captures(&mut warmer, &corpus);
+    let cold = warmer.sweep(&cells).expect("cold sweep");
+    assert_eq!(info_u64(&cold, "simulated"), n);
+    assert_eq!(cold.into_ok_body().unwrap(), expected);
+
+    // Phase 2: N concurrent clients sweep the warmed corpus while K others
+    // speak garbage. Every well-formed client must read the offline bytes.
+    const CLIENTS: usize = 6;
+    const MALFORMED: usize = 3;
+    let mut threads = Vec::new();
+    for _ in 0..CLIENTS {
+        let sock = sock.clone();
+        let cells = cells.clone();
+        let expected = expected.clone();
+        threads.push(std::thread::spawn(move || {
+            let mut c = Client::connect_unix(&sock).expect("connect");
+            let resp = c.sweep(&cells).expect("warm sweep");
+            assert_eq!(info_u64(&resp, "hits"), cells.len() as u64);
+            assert_eq!(info_u64(&resp, "simulated"), 0);
+            assert_eq!(resp.into_ok_body().unwrap(), expected);
+        }));
+    }
+    for _ in 0..MALFORMED {
+        let sock = sock.clone();
+        threads.push(std::thread::spawn(move || {
+            let mut s = UnixStream::connect(&sock).expect("connect");
+            s.write_all(b"NOT A PROTOCOL\n").expect("write garbage");
+            s.flush().unwrap();
+            let mut line = String::new();
+            BufReader::new(&s).read_line(&mut line).expect("read reply");
+            assert!(
+                line.starts_with("ERR "),
+                "malformed frame must get ERR, got {line:?}"
+            );
+        }));
+    }
+    for t in threads {
+        t.join().expect("client thread");
+    }
+
+    // Exact accounting across the whole run.
+    let mut auditor = Client::connect_unix(&sock).expect("connect");
+    let stats = auditor.stats().expect("stats");
+    assert_eq!(
+        info_u64(&stats, "simulated"),
+        n,
+        "cold sweep simulated each cell once"
+    );
+    assert_eq!(
+        info_u64(&stats, "hits"),
+        n * CLIENTS as u64,
+        "each warm client hit every cell"
+    );
+    assert_eq!(info_u64(&stats, "in_flight"), 0);
+    assert_eq!(info_u64(&stats, "malformed"), MALFORMED as u64);
+    assert_eq!(info_u64(&stats, "busy_rejections"), 0);
+    assert_eq!(
+        info_u64(&stats, "captures"),
+        captures_of(&corpus).len() as u64
+    );
+    assert_eq!(
+        info_u64(&stats, "plans"),
+        plan_captures.len() as u64,
+        "plans are derived exactly for the captures swept with elide=plan"
+    );
+
+    auditor.shutdown().expect("shutdown");
+    handle.join().expect("server exits cleanly");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn result_verb_errors_and_admission_control() {
+    let corpus = corpus();
+    let req = &corpus[0];
+    let mut expected_text = execute(req).expect("offline execute").to_text();
+    if !expected_text.ends_with('\n') {
+        expected_text.push('\n');
+    }
+
+    let dir = scratch_dir("result");
+    let sock = dir.join("serve.sock");
+    let server = Server::bind_unix(
+        &sock,
+        ServerConfig {
+            cache: CacheMode::Dir(dir.join("cache")),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let handle = server.spawn();
+    let mut client = Client::connect_unix(&sock).expect("connect");
+
+    // A sweep naming an un-uploaded capture is an ERR, not a hang or panic.
+    let early = client
+        .result(&req.name, req)
+        .expect("roundtrip")
+        .into_ok_body();
+    assert!(early.is_err(), "sweep before CAPTURE must fail");
+
+    upload_captures(&mut client, std::slice::from_ref(req));
+    let resp = client.result(&req.name, req).expect("result roundtrip");
+    assert_eq!(
+        resp.info_get("digest"),
+        Some(format!("{:016x}", req.digest()).as_str())
+    );
+    assert_eq!(
+        resp.into_ok_body().unwrap(),
+        expected_text,
+        "RESULT body is the cell's sweepresult text"
+    );
+
+    // GC without a configured byte budget is a clean refusal.
+    assert!(client.gc().expect("roundtrip").into_ok_body().is_err());
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("server exits cleanly");
+
+    // Admission control: a zero-slot server answers BUSY deterministically.
+    let sock2 = dir.join("busy.sock");
+    let busy_server = Server::bind_unix(
+        &sock2,
+        ServerConfig {
+            max_inflight: 0,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let busy_handle = busy_server.spawn();
+    let mut c2 = Client::connect_unix(&sock2).expect("connect");
+    upload_captures(&mut c2, std::slice::from_ref(req));
+    match c2.result(&req.name, req).expect("roundtrip") {
+        omp_batch::Response::Busy { in_flight, max } => {
+            assert_eq!((in_flight, max), (0, 0));
+        }
+        other => panic!("expected BUSY from a zero-slot server, got {other:?}"),
+    }
+    c2.shutdown().expect("shutdown");
+    busy_handle.join().expect("server exits cleanly");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn timed_out_sweeps_still_finish_into_the_cache() {
+    let corpus = corpus();
+    let n = corpus.len() as u64;
+    let cells = cells_of(&corpus);
+
+    let dir = scratch_dir("timeout");
+    let sock = dir.join("serve.sock");
+    let cache_dir = dir.join("cache");
+    let server = Server::bind_unix(
+        &sock,
+        ServerConfig {
+            cache: CacheMode::Dir(cache_dir.clone()),
+            jobs: 2,
+            timeout: Duration::ZERO,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let handle = server.spawn();
+
+    let mut client = Client::connect_unix(&sock).expect("connect");
+    upload_captures(&mut client, &corpus);
+    // With a zero timeout the connection detaches (almost) immediately; a
+    // lucky scheduler may still deliver the result, so accept either — the
+    // invariant under test is what happens *after*.
+    let resp = client.sweep(&cells).expect("roundtrip");
+    if let Err(e) = resp.into_ok_body() {
+        assert!(e.message.contains("timeout"), "unexpected error: {e}");
+    }
+
+    // The detached sweep must drain to zero and land every cell in the
+    // cache: a fresh offline sweep against the same directory hits n/n.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let stats = client.stats().expect("stats");
+        if info_u64(&stats, "in_flight") == 0 && info_u64(&stats, "simulated") >= n {
+            break;
+        }
+        assert!(Instant::now() < deadline, "detached sweep never finished");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let warm = run_sweep(&corpus, 1, &CacheMode::Dir(cache_dir)).expect("offline warm sweep");
+    assert_eq!(warm.stats.hits, n, "detached sweep cached every cell");
+    assert_eq!(warm.stats.simulated, 0);
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("server exits cleanly");
+    let _ = std::fs::remove_dir_all(&dir);
+}

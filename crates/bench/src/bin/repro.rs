@@ -304,7 +304,9 @@ fn parse_args() -> Args {
                 }
             }
             "--cache" => {
-                cache = omp_batch::CacheMode::from_arg(&required_value(&mut args, "--cache"))
+                cache = required_value(&mut args, "--cache")
+                    .parse()
+                    .expect("cache operands always parse")
             }
             "--csv" => csv_dir = Some(PathBuf::from(required_value(&mut args, "--csv"))),
             "--report" => report = Some(PathBuf::from(required_value(&mut args, "--report"))),

@@ -82,6 +82,43 @@ impl RuntimeConfig {
             RuntimeConfig::EagerMaps => "Eager Maps",
         }
     }
+
+    /// Stable machine token, shared by the CLI, the `PROTO v1` wire format,
+    /// and the canonical sweep-request encoding. Round-trips through
+    /// [`FromStr`](std::str::FromStr); distinct from [`label`](Self::label),
+    /// which is the human-facing table heading.
+    pub fn token(self) -> &'static str {
+        match self {
+            RuntimeConfig::LegacyCopy => "copy",
+            RuntimeConfig::UnifiedSharedMemory => "usm",
+            RuntimeConfig::ImplicitZeroCopy => "izc",
+            RuntimeConfig::EagerMaps => "eager",
+        }
+    }
+
+    /// The accepted token set, for usage strings.
+    pub const EXPECTED: &'static str = "copy | usm | izc | eager";
+}
+
+impl std::str::FromStr for RuntimeConfig {
+    type Err = crate::modes::ModeParseError;
+
+    /// Parse a config token, case-insensitively, accepting the CLI aliases
+    /// `implicit` (for `izc`) and `em` (for `eager`). Canonical printing is
+    /// always [`token`](RuntimeConfig::token).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_lowercase().as_str() {
+            "copy" => Ok(RuntimeConfig::LegacyCopy),
+            "usm" => Ok(RuntimeConfig::UnifiedSharedMemory),
+            "izc" | "implicit" => Ok(RuntimeConfig::ImplicitZeroCopy),
+            "eager" | "em" => Ok(RuntimeConfig::EagerMaps),
+            other => Err(crate::modes::ModeParseError {
+                what: "config",
+                got: other.to_string(),
+                expected: Self::EXPECTED,
+            }),
+        }
+    }
 }
 
 impl fmt::Display for RuntimeConfig {

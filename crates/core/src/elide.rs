@@ -38,6 +38,25 @@ pub enum ElideMode {
     Plan(ElisionPlan),
 }
 
+impl ElideMode {
+    /// The parseable strategy this mode embodies (drops the plan payload).
+    pub fn kind(&self) -> crate::modes::ElideKind {
+        match self {
+            ElideMode::Off => crate::modes::ElideKind::Off,
+            ElideMode::Online => crate::modes::ElideKind::Online,
+            ElideMode::Plan(_) => crate::modes::ElideKind::Plan,
+        }
+    }
+}
+
+impl std::fmt::Display for ElideMode {
+    /// Prints the shared mode token (`off | online | plan`); the plan
+    /// payload is not rendered. One spelling across every surface.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.kind().token())
+    }
+}
+
 /// A profile-guided elision plan: the set of map sites to promote.
 ///
 /// Sites are keyed by `(op_index, map_index)` against the operation stream

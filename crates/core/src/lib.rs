@@ -55,6 +55,7 @@ mod globals;
 mod kernel;
 mod mapir;
 mod mapping;
+pub mod modes;
 mod replay;
 mod runtime;
 mod sanitize;
@@ -71,6 +72,7 @@ pub use globals::{GlobalEntry, GlobalId, GlobalRegistry};
 pub use kernel::{GpuPerf, KernelBody, KernelCtx, TargetRegion};
 pub use mapir::{KernelOp, MapIr, MapOp, MapRecord};
 pub use mapping::{MapDir, MapEntry, Mapping, MappingTable, Presence};
+pub use modes::{CacheMode, ElideKind, ModeParseError, TelemetryKind};
 pub use replay::{replay, replay_threads, ReplayOutcome, REPLAY_KERNEL_COMPUTE_US};
 pub use runtime::{OmpRuntime, RunReport};
 pub use sanitize::SanitizerReport;

@@ -59,6 +59,22 @@ impl TelemetryMode {
     pub fn is_off(self) -> bool {
         matches!(self, TelemetryMode::Off)
     }
+
+    /// The parseable strategy this mode embodies (drops the capacity).
+    pub fn kind(self) -> crate::modes::TelemetryKind {
+        match self {
+            TelemetryMode::Off => crate::modes::TelemetryKind::Off,
+            TelemetryMode::Ring(_) => crate::modes::TelemetryKind::Ring,
+        }
+    }
+}
+
+impl std::fmt::Display for TelemetryMode {
+    /// Prints the shared mode token (`off | ring`); the ring capacity is
+    /// not rendered. One spelling across every surface.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.kind().token())
+    }
 }
 
 /// How an elision decision resolved its presence probe.

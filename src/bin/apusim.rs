@@ -12,6 +12,12 @@
 //!               [--elide off|online|plan] [--jobs N] [--cache DIR|off]
 //!               [--trace FILE [--trace-format chrome|jsonl]]
 //! apusim check [--json] [NAME]
+//! apusim serve [--socket PATH | --tcp ADDR] [--jobs N] [--cache DIR|off]
+//!              [--cache-max-bytes SIZE] [--max-inflight N] [--timeout-ms N]
+//! apusim request [--socket PATH | --tcp ADDR] [FILE.mapir...]
+//!                [--config C] [--elide K] [--telemetry K] [--fault SEED]
+//!                [--preset P] [--ping] [--stats] [--gc] [--shutdown]
+//! apusim cache gc [--cache DIR] [--max-bytes SIZE] [--dry-run]
 //! ```
 //!
 //! `run` executes one workload under one configuration and prints the
@@ -40,6 +46,16 @@
 //! shipped workloads, optionally filtered by a case-insensitive name
 //! substring; exits 1 if any cell has error diagnostics or a
 //! static/sanitizer mismatch.
+//!
+//! `serve` keeps the whole batch subsystem resident behind a Unix-domain
+//! socket (or `--tcp ADDR`): parsed captures, warmed elision plans, and the
+//! open result cache survive between requests, and every `SWEEP` response
+//! is byte-identical to the offline `apusim replay` stdout for the same
+//! corpus. `request` is the matching client: it uploads captures, sends one
+//! `SWEEP` for the given files (report to stdout, cache counters to
+//! stderr), and can probe (`--ping`), inspect (`--stats`), garbage-collect
+//! (`--gc`), or stop (`--shutdown`) a running server. `cache gc` bounds an
+//! offline cache directory by evicting least-recently-used entries.
 
 use mi300a_zerocopy::analysis::paper::{qmc_sweep, PaperConfig};
 use mi300a_zerocopy::analysis::timeline::merged_chrome_trace;
@@ -58,22 +74,26 @@ use mi300a_zerocopy::workloads::{
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  apusim list\n  apusim costs\n  apusim sweep [--sizes 2,8,32] [--threads 1,4,8] [--steps N] [--jobs N]\n  apusim env [--no-apu] [--no-xnack] [--apu-maps] [--eager] [--usm]\n  apusim run <workload> [--config copy|usm|izc|eager] [--threads N] [--scale F] [--steps N] [--discrete] [--mem-report] [--trace FILE [--trace-format chrome|jsonl]] [--capture FILE.mapir]\n  apusim replay FILE.mapir... [--config copy|usm|izc|eager] [--elide off|online|plan] [--jobs N] [--cache DIR|off] [--trace FILE [--trace-format chrome|jsonl]]\n  apusim check [--json] [NAME]"
+        "usage:\n  apusim list\n  apusim costs\n  apusim sweep [--sizes 2,8,32] [--threads 1,4,8] [--steps N] [--jobs N]\n  apusim env [--no-apu] [--no-xnack] [--apu-maps] [--eager] [--usm]\n  apusim run <workload> [--config copy|usm|izc|eager] [--threads N] [--scale F] [--steps N] [--discrete] [--mem-report] [--trace FILE [--trace-format chrome|jsonl]] [--capture FILE.mapir]\n  apusim replay FILE.mapir... [--config copy|usm|izc|eager] [--elide off|online|plan] [--jobs N] [--cache DIR|off] [--trace FILE [--trace-format chrome|jsonl]]\n  apusim check [--json] [NAME]\n  apusim serve [--socket PATH | --tcp ADDR] [--jobs N] [--cache DIR|off] [--cache-max-bytes SIZE] [--max-inflight N] [--timeout-ms N]\n  apusim request [--socket PATH | --tcp ADDR] [FILE.mapir...] [--config C] [--elide K] [--telemetry K] [--fault SEED] [--preset P] [--ping] [--stats] [--gc] [--shutdown]\n  apusim cache gc [--cache DIR] [--max-bytes SIZE] [--dry-run]"
     );
     std::process::exit(2);
 }
 
+/// Parse a shared mode token through its one `FromStr` surface, exiting
+/// with the canonical diagnostic on rejection.
+fn parse_mode<T>(s: &str) -> T
+where
+    T: std::str::FromStr,
+    T::Err: std::fmt::Display,
+{
+    s.parse().unwrap_or_else(|e| {
+        eprintln!("{e}");
+        usage()
+    })
+}
+
 fn parse_config(s: &str) -> RuntimeConfig {
-    match s.to_lowercase().as_str() {
-        "copy" => RuntimeConfig::LegacyCopy,
-        "usm" => RuntimeConfig::UnifiedSharedMemory,
-        "izc" | "implicit" => RuntimeConfig::ImplicitZeroCopy,
-        "eager" | "em" => RuntimeConfig::EagerMaps,
-        other => {
-            eprintln!("unknown config '{other}'");
-            usage()
-        }
-    }
+    parse_mode(s)
 }
 
 fn parse_trace_format(s: &str) -> &'static str {
@@ -417,15 +437,8 @@ fn cmd_replay(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     }
     let path = &paths[0];
     let ir = MapIr::parse(&std::fs::read_to_string(path)?)?;
-    let elide = match elide_arg.as_str() {
-        "off" => ElideMode::Off,
-        "online" => ElideMode::Online,
-        "plan" => ElideMode::Plan(mi300a_zerocopy::mapcheck::elision_plan(&ir)),
-        other => {
-            eprintln!("unknown elide mode '{other}' (off | online | plan)");
-            usage()
-        }
-    };
+    let elide: ElideMode = parse_mode::<batch::ElideKind>(&elide_arg)
+        .mode_with(|| mi300a_zerocopy::mapcheck::elision_plan(&ir));
     let threads = replay_threads(&ir);
     let mut rt = OmpRuntime::builder(CostModel::mi300a(), Topology::default())
         .config(config)
@@ -477,24 +490,19 @@ fn cmd_replay_batch(
     jobs: usize,
     cache_arg: Option<String>,
 ) -> Result<(), Box<dyn std::error::Error>> {
-    let elide = match elide_arg {
-        "off" => batch::ElideKind::Off,
-        "online" => batch::ElideKind::Online,
-        "plan" => batch::ElideKind::Plan,
-        other => {
-            eprintln!("unknown elide mode '{other}' (off | online | plan)");
-            usage()
-        }
-    };
+    let elide: batch::ElideKind = parse_mode(elide_arg);
     let mut corpus = Vec::with_capacity(paths.len());
     for path in paths {
         let ir = MapIr::parse(&std::fs::read_to_string(path)?)?;
-        let mut req = batch::SweepRequest::new(path.clone(), std::sync::Arc::new(ir), config);
-        req.elide = elide;
-        corpus.push(req);
+        corpus.push(
+            batch::SweepRequest::builder(path.clone(), std::sync::Arc::new(ir))
+                .config(config)
+                .elide(elide)
+                .build()?,
+        );
     }
     let cache = match cache_arg {
-        Some(arg) => batch::CacheMode::from_arg(&arg),
+        Some(arg) => parse_mode(&arg),
         None => batch::CacheMode::default_dir(std::path::Path::new(".")),
     };
     let outcome = batch::run_sweep(&corpus, jobs.max(1), &cache)?;
@@ -546,6 +554,197 @@ fn cmd_check(args: &[String]) -> ! {
     });
 }
 
+/// Conventional socket path `apusim serve` binds and `apusim request`
+/// dials when neither `--socket` nor `--tcp` is given.
+const DEFAULT_SOCKET: &str = ".apusim-serve.sock";
+
+/// Parse a byte size with an optional `K`/`M`/`G` suffix (powers of 1024).
+fn parse_size(s: &str) -> Option<u64> {
+    let (digits, mult) = match s.chars().last()? {
+        'k' | 'K' => (&s[..s.len() - 1], 1u64 << 10),
+        'm' | 'M' => (&s[..s.len() - 1], 1u64 << 20),
+        'g' | 'G' => (&s[..s.len() - 1], 1u64 << 30),
+        _ => (s, 1u64),
+    };
+    digits.parse::<u64>().ok().and_then(|n| n.checked_mul(mult))
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let mut socket = String::from(DEFAULT_SOCKET);
+    let mut tcp: Option<String> = None;
+    let mut cfg = batch::ServerConfig {
+        cache: batch::CacheMode::default_dir(std::path::Path::new(".")),
+        ..batch::ServerConfig::default()
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--socket" => socket = it.next().unwrap_or_else(|| usage()).clone(),
+            "--tcp" => tcp = Some(it.next().unwrap_or_else(|| usage()).clone()),
+            "--jobs" | "-j" => cfg.jobs = it.next().unwrap_or_else(|| usage()).parse()?,
+            "--cache" => cfg.cache = parse_mode(it.next().unwrap_or_else(|| usage())),
+            "--cache-max-bytes" => {
+                cfg.cache_max_bytes = Some(
+                    parse_size(it.next().unwrap_or_else(|| usage())).unwrap_or_else(|| {
+                        eprintln!("bad --cache-max-bytes (want N, NK, NM, or NG)");
+                        usage()
+                    }),
+                );
+            }
+            "--max-inflight" => cfg.max_inflight = it.next().unwrap_or_else(|| usage()).parse()?,
+            "--timeout-ms" => {
+                cfg.timeout =
+                    std::time::Duration::from_millis(it.next().unwrap_or_else(|| usage()).parse()?);
+            }
+            _ => usage(),
+        }
+    }
+    let server = match &tcp {
+        Some(addr) => batch::Server::bind_tcp(addr, cfg)?,
+        None => batch::Server::bind_unix(std::path::Path::new(&socket), cfg)?,
+    };
+    match server.tcp_addr() {
+        Some(addr) => eprintln!("apusim serve: listening on tcp {addr}"),
+        None => eprintln!("apusim serve: listening on {socket}"),
+    }
+    eprintln!("apusim serve: stop with `apusim request --shutdown`");
+    server.run()?;
+    eprintln!("apusim serve: drained, exiting");
+    Ok(())
+}
+
+/// The `key=value` pairs of an `OK` response header, one line.
+fn info_line(resp: &batch::Response) -> String {
+    match resp {
+        batch::Response::Ok { verb, info, .. } => {
+            let mut line = verb.lower().to_string();
+            for (k, v) in info {
+                line.push_str(&format!(" {k}={v}"));
+            }
+            line
+        }
+        batch::Response::Err { message } => format!("error: {message}"),
+        batch::Response::Busy { in_flight, max } => format!("busy: {in_flight}/{max} in flight"),
+    }
+}
+
+/// Fail fast on anything but `OK`: server errors and `BUSY` rejections
+/// become a nonzero exit, never a silent partial result.
+fn expect_ok(resp: batch::Response) -> batch::Response {
+    match resp {
+        ok @ batch::Response::Ok { .. } => ok,
+        other => {
+            eprintln!("apusim request: {}", info_line(&other));
+            std::process::exit(1);
+        }
+    }
+}
+
+fn cmd_request(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let mut socket = String::from(DEFAULT_SOCKET);
+    let mut tcp: Option<String> = None;
+    let mut paths: Vec<String> = Vec::new();
+    let mut config = RuntimeConfig::ImplicitZeroCopy;
+    let mut elide = batch::ElideKind::Off;
+    let mut telemetry = batch::TelemetryKind::Off;
+    let mut preset = batch::CostPreset::Mi300a;
+    let mut fault: Option<u64> = None;
+    let (mut ping, mut stats, mut gc, mut shutdown) = (false, false, false, false);
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--socket" => socket = it.next().unwrap_or_else(|| usage()).clone(),
+            "--tcp" => tcp = Some(it.next().unwrap_or_else(|| usage()).clone()),
+            "--config" => config = parse_config(it.next().unwrap_or_else(|| usage())),
+            "--elide" => elide = parse_mode(it.next().unwrap_or_else(|| usage())),
+            "--telemetry" => telemetry = parse_mode(it.next().unwrap_or_else(|| usage())),
+            "--preset" => preset = parse_mode(it.next().unwrap_or_else(|| usage())),
+            "--fault" => fault = Some(it.next().unwrap_or_else(|| usage()).parse()?),
+            "--ping" => ping = true,
+            "--stats" => stats = true,
+            "--gc" => gc = true,
+            "--shutdown" => shutdown = true,
+            other if !other.starts_with("--") => paths.push(other.to_string()),
+            _ => usage(),
+        }
+    }
+    if paths.is_empty() && !(ping || stats || gc || shutdown) {
+        usage();
+    }
+    let mut client = match &tcp {
+        Some(addr) => batch::Client::connect_tcp(addr)?,
+        None => batch::Client::connect_unix(std::path::Path::new(&socket))?,
+    };
+    if ping {
+        let resp = expect_ok(client.ping()?);
+        eprintln!("{}", info_line(&resp));
+    }
+    if !paths.is_empty() {
+        // Upload each capture, then one SWEEP over all of them — the exact
+        // corpus `apusim replay FILE...` builds, so the stdout report is
+        // byte-identical to the offline path.
+        let mut cells = Vec::with_capacity(paths.len());
+        for path in &paths {
+            let text = std::fs::read_to_string(path)?;
+            expect_ok(client.capture(&text)?);
+            let ir = MapIr::parse(&text)?;
+            let mut b = batch::SweepRequest::builder(path.clone(), std::sync::Arc::new(ir))
+                .preset(preset)
+                .config(config)
+                .elide(elide)
+                .telemetry(telemetry);
+            if let Some(seed) = fault {
+                b = b.fault_seed(seed);
+            }
+            cells.push((path.clone(), b.build()?));
+        }
+        let resp = expect_ok(client.sweep(&cells)?);
+        eprintln!("{}", info_line(&resp));
+        if let batch::Response::Ok { body, .. } = resp {
+            print!("{body}");
+        }
+    }
+    if stats {
+        let resp = expect_ok(client.stats()?);
+        println!("{}", info_line(&resp));
+    }
+    if gc {
+        let resp = expect_ok(client.gc()?);
+        println!("{}", info_line(&resp));
+    }
+    if shutdown {
+        let resp = expect_ok(client.shutdown()?);
+        eprintln!("{}", info_line(&resp));
+    }
+    Ok(())
+}
+
+fn cmd_cache(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    if args.first().map(String::as_str) != Some("gc") {
+        usage();
+    }
+    let mut cache = batch::CacheMode::default_dir(std::path::Path::new("."));
+    let mut max_bytes: u64 = 256 << 20;
+    let mut dry_run = false;
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--cache" => cache = parse_mode(it.next().unwrap_or_else(|| usage())),
+            "--max-bytes" => {
+                max_bytes = parse_size(it.next().unwrap_or_else(|| usage())).unwrap_or_else(|| {
+                    eprintln!("bad --max-bytes (want N, NK, NM, or NG)");
+                    usage()
+                });
+            }
+            "--dry-run" => dry_run = true,
+            _ => usage(),
+        }
+    }
+    let summary = batch::ResultCache::open(&cache).gc(max_bytes, dry_run)?;
+    println!("{summary}");
+    Ok(())
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -556,6 +755,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Some("run") => cmd_run(&args[1..])?,
         Some("replay") => cmd_replay(&args[1..])?,
         Some("check") => cmd_check(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..])?,
+        Some("request") => cmd_request(&args[1..])?,
+        Some("cache") => cmd_cache(&args[1..])?,
         _ => usage(),
     }
     Ok(())
