@@ -32,8 +32,9 @@ pub use omp_offload::modes::{ElideKind, ModeParseError, TelemetryKind};
 
 /// Canonical-encoding format version. Bump when the encoding, the
 /// simulation semantics it names, or the result schema changes; the cache
-/// folds it into its salt so stale entries self-invalidate.
-pub const REQUEST_VERSION: u32 = 1;
+/// folds it into its salt so stale entries self-invalidate. v2: the `opt`
+/// elide kind (static whole-program optimization before replay).
+pub const REQUEST_VERSION: u32 = 2;
 
 /// Cost-model preset a request runs under. Requests name presets rather
 /// than carrying a full [`CostModel`](apu_mem::CostModel) so the canonical
@@ -473,7 +474,7 @@ mod tests {
         assert_eq!(a.digest(), b.digest());
         assert!(a
             .canonical()
-            .starts_with("sweepreq v1\npreset mi300a\nconfig copy\n"));
+            .starts_with("sweepreq v2\npreset mi300a\nconfig copy\n"));
     }
 
     #[test]
@@ -487,6 +488,10 @@ mod tests {
             },
             SweepRequest {
                 elide: ElideKind::Online,
+                ..base.clone()
+            },
+            SweepRequest {
+                elide: ElideKind::Opt,
                 ..base.clone()
             },
             SweepRequest {

@@ -613,7 +613,8 @@ fn run_resident_sweep(
             return Ok(found);
         }
         let elide = match req.elide {
-            ElideKind::Off => ElideMode::Off,
+            // Opt rewrites the IR inside execute_prepared; no runtime mode.
+            ElideKind::Off | ElideKind::Opt => ElideMode::Off,
             ElideKind::Online => ElideMode::Online,
             ElideKind::Plan => {
                 let digest = SweepRequest::capture_digest(&req.ir);

@@ -79,7 +79,21 @@ pub fn execute_prepared(
     model: apu_mem::CostModel,
     elide: omp_offload::ElideMode,
 ) -> Result<SweepResult, OmpError> {
-    let ir = &*req.ir;
+    // Opt mode rewrites the program itself before replay. The rewrite is a
+    // pure function of the capture, so the cache contract holds; an
+    // ill-formed capture (optimizer refusal) replays unrewritten and lets
+    // the sanitizer report it like any other cell.
+    let optimized;
+    let ir = match req.elide {
+        crate::request::ElideKind::Opt => match omp_mapcheck::optimize(&req.ir) {
+            Ok(o) => {
+                optimized = o.ir;
+                &optimized
+            }
+            Err(_) => &*req.ir,
+        },
+        _ => &*req.ir,
+    };
     let mut b = OmpRuntime::builder(model, Topology::default())
         .config(req.config)
         .threads(replay_threads(ir))
@@ -349,6 +363,32 @@ mod tests {
             "elision preserves results"
         );
         assert!(on.ledger.maps_elided > 0);
+    }
+
+    #[test]
+    fn opt_mode_rewrites_before_replay_and_preserves_results() {
+        use workloads::{Stream, Workload};
+        let w = Stream::scaled(0.02);
+        let ir = Arc::new(omp_mapcheck::capture_workload(&w, 1).unwrap());
+        let base = SweepRequest::builder(w.name(), ir)
+            .config(RuntimeConfig::LegacyCopy)
+            .build()
+            .unwrap();
+        let mut opted = base.clone();
+        opted.elide = ElideKind::Opt;
+        let off = execute(&base).unwrap();
+        let opt = execute(&opted).unwrap();
+        assert_eq!(
+            off.memory_digest, opt.memory_digest,
+            "static optimization preserves results"
+        );
+        assert_eq!(off.kernels, opt.kernels);
+        assert!(
+            opt.ledger.mm_total() < off.ledger.mm_total(),
+            "optimized replay must cut map-management time: {:?} vs {:?}",
+            opt.ledger.mm_total(),
+            off.ledger.mm_total()
+        );
     }
 
     #[test]

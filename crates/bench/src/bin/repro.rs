@@ -1,7 +1,7 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [--quick|--full] [--ARTIFACT ...] [--elide] [--profile] [--csv DIR]
+//! repro [--quick|--full] [--ARTIFACT ...] [--elide] [--optimize] [--profile] [--csv DIR]
 //!       [--report FILE.md] [--faults SEED] [--jobs N] [--cache DIR|off]
 //!       [--timing] [--list-artifacts]
 //! repro --check [--json]
@@ -19,7 +19,13 @@
 //! steady-state workload is measured under Copy data handling with elision
 //! off and with online MC007 elision, and the table reports the map-service
 //! time recovered — the headline experiments themselves are never elided,
-//! so the paper's numbers are untouched. `--timing` additionally writes
+//! so the paper's numbers are untouched. `--optimize` (with `--table3`)
+//! appends the static-optimizer delta table: each steady-state capture is
+//! replayed under Copy as-is, with the profile-guided elision plan, and
+//! after whole-program optimization (`omp_mapcheck::optimize`), with the
+//! equivalence contract verified per row — the table's headline column is
+//! the MM time recovered *beyond* what plan elision achieves. `--timing`
+//! additionally writes
 //! `BENCH_repro.json` with per-artifact wall-clock and sweep throughput
 //! (simulated cells per second) — the simulator's own performance, not the
 //! modeled machine's — and, with `--elide`, `BENCH_elision.json` with the
@@ -51,7 +57,8 @@
 
 use analysis::paper::{
     fig3_from_cells, fig4_from_cells, markdown_report, profile_cells, profile_kernels_csv,
-    profile_sites_csv, qmc_sweep, table1, table2, table3, table3_elision, ElisionRow, PaperConfig,
+    profile_sites_csv, qmc_sweep, table1, table2, table3, table3_elision, table3_optimize,
+    ElisionRow, OptimizeRow, PaperConfig,
 };
 use std::io::Write as _;
 use std::path::PathBuf;
@@ -89,6 +96,11 @@ const FLAGS: &[(&str, &str, &str)] = &[
         "with --table3: append the map-elision delta table (MM saved under Copy)",
     ),
     (
+        "--optimize",
+        "",
+        "with --table3: append the static-optimizer delta table (MM saved beyond plan elision)",
+    ),
+    (
         "--profile",
         "",
         "write telemetry-derived per-site/per-kernel attribution CSVs",
@@ -117,7 +129,7 @@ const FLAGS: &[(&str, &str, &str)] = &[
     (
         "--timing",
         "",
-        "write BENCH_repro.json (and BENCH_elision.json with --elide)",
+        "write BENCH_repro.json (BENCH_elision.json with --elide, BENCH_optimize.json with --optimize)",
     ),
     ("--list-artifacts", "", "list artifact flags and exit"),
     (
@@ -143,6 +155,7 @@ struct Args {
     table3: bool,
     sweep: bool,
     elide: bool,
+    optimize: bool,
     profile: bool,
     csv_dir: Option<PathBuf>,
     report: Option<PathBuf>,
@@ -273,10 +286,40 @@ fn elision_json(rows: &[ElisionRow]) -> String {
     out
 }
 
+/// Machine-readable form of the static-optimizer delta table, written next
+/// to `BENCH_repro.json` under `--timing --optimize` (CI archives it as
+/// `BENCH_optimize.json`).
+fn optimize_json(rows: &[OptimizeRow]) -> String {
+    let mut out = String::from("{\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"mm_baseline_us\": {:.3}, \"mm_plan_us\": {:.3}, \
+             \"mm_optimized_us\": {:.3}, \"beyond_plan_us\": {:.3}, \"hoisted\": {}, \
+             \"dead_to\": {}, \"dead_from\": {}, \"updates_dropped\": {}, \
+             \"recommended\": \"{}\", \"verified\": {}}}{}\n",
+            r.workload,
+            r.mm_baseline.as_micros_f64(),
+            r.mm_plan.as_micros_f64(),
+            r.mm_optimized.as_micros_f64(),
+            r.saved_beyond_plan().as_micros_f64(),
+            r.hoisted,
+            r.dead_to,
+            r.dead_from,
+            r.updates_dropped,
+            r.recommended.map(|c| c.token()).unwrap_or("-"),
+            r.verified,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 fn parse_args() -> Args {
     let mut full = false;
     let mut selected: Vec<String> = Vec::new();
     let mut elide = false;
+    let mut optimize = false;
     let mut profile = false;
     let mut csv_dir = None;
     let mut report = None;
@@ -292,6 +335,7 @@ fn parse_args() -> Args {
             "--quick" => full = false,
             "--full" => full = true,
             "--elide" => elide = true,
+            "--optimize" => optimize = true,
             "--profile" => profile = true,
             "--timing" => timing = true,
             "--check" => check = true,
@@ -344,7 +388,14 @@ fn parse_args() -> Args {
     if json && !check {
         usage_error("--json only applies to --check");
     }
-    if check && (full || timing || elide || profile || fault_seed.is_some() || !selected.is_empty())
+    if check
+        && (full
+            || timing
+            || elide
+            || optimize
+            || profile
+            || fault_seed.is_some()
+            || !selected.is_empty())
     {
         usage_error("--check does not combine with experiment flags");
     }
@@ -352,6 +403,9 @@ fn parse_args() -> Args {
     let has = |n: &str| all || selected.iter().any(|s| s == n);
     if elide && !has("table3") {
         usage_error("--elide requires --table3");
+    }
+    if optimize && !has("table3") {
+        usage_error("--optimize requires --table3");
     }
     let mut cfg = if full {
         PaperConfig::full()
@@ -372,6 +426,7 @@ fn parse_args() -> Args {
         table3: has("table3"),
         sweep: has("sweep"),
         elide,
+        optimize,
         profile,
         csv_dir,
         report,
@@ -597,6 +652,36 @@ fn main() {
         }
     }
 
+    if args.optimize {
+        eprintln!("running Table III optimizer delta (MM recovered by static optimization)...");
+        let t0 = Instant::now();
+        let (t, rows) = table3_optimize(&args.cfg).expect("table3 optimize");
+        println!("{t}");
+        for r in &rows {
+            if !r.verified {
+                eprintln!(
+                    "repro: {}: optimizer equivalence contract BROKEN",
+                    r.workload
+                );
+                std::process::exit(1);
+            }
+        }
+        println!();
+        write_csv(&args.csv_dir, "table3_optimize.csv", &t.to_csv());
+        timings.push(ArtifactTiming {
+            name: "optimize",
+            seconds: t0.elapsed().as_secs_f64(),
+            // Each capture replays three times under Copy: baseline,
+            // plan-elided, optimized.
+            cells: Some(rows.len() * 3),
+        });
+        if args.timing {
+            std::fs::write("BENCH_optimize.json", optimize_json(&rows))
+                .expect("write BENCH_optimize.json");
+            eprintln!("wrote BENCH_optimize.json");
+        }
+    }
+
     if args.profile {
         eprintln!("running telemetry attribution profile (Table III workloads x 4 configs)...");
         let t0 = Instant::now();
@@ -678,6 +763,38 @@ mod tests {
         for (n, what) in ARTIFACTS {
             assert!(u.contains(&format!("--{n}")), "usage missing --{n}");
             assert!(h.contains(what), "help missing the {n} description");
+        }
+    }
+
+    #[test]
+    fn optimize_json_carries_the_delta_fields() {
+        let rows = vec![OptimizeRow {
+            workload: "w".into(),
+            mm_baseline: VirtDuration::from_micros(10),
+            mm_plan: VirtDuration::from_micros(6),
+            mm_optimized: VirtDuration::from_micros(4),
+            hoisted: 1,
+            dead_to: 2,
+            dead_from: 3,
+            updates_dropped: 4,
+            recommended: Some(omp_offload::RuntimeConfig::EagerMaps),
+            verified: true,
+        }];
+        let j = optimize_json(&rows);
+        for needle in [
+            "\"workload\": \"w\"",
+            "\"mm_baseline_us\": 10.000",
+            "\"mm_plan_us\": 6.000",
+            "\"mm_optimized_us\": 4.000",
+            "\"beyond_plan_us\": 2.000",
+            "\"hoisted\": 1",
+            "\"dead_to\": 2",
+            "\"dead_from\": 3",
+            "\"updates_dropped\": 4",
+            "\"recommended\": \"eager\"",
+            "\"verified\": true",
+        ] {
+            assert!(j.contains(needle), "missing {needle} in:\n{j}");
         }
     }
 

@@ -34,6 +34,16 @@ use std::collections::BTreeMap;
 /// plan-mode replay elides the same maps an online run of the same program
 /// would.
 pub fn elision_plan(ir: &MapIr) -> ElisionPlan {
+    // Empty and zero-map (kernels-only) captures have no sites by
+    // construction: return the empty plan without touching the table.
+    let has_map_sites = ir.records.iter().any(|r| match &r.op {
+        MapOp::MapEnter { .. } | MapOp::MapExit { .. } => true,
+        MapOp::Kernel(k) => !k.maps.is_empty(),
+        _ => false,
+    });
+    if !has_map_sites {
+        return ElisionPlan::new();
+    }
     let mut p = Planner::default();
     for (idx, rec) in ir.records.iter().enumerate() {
         p.step(idx as u64, rec.thread, &rec.op);
@@ -207,6 +217,27 @@ mod tests {
         ir.push(
             0,
             kernel(vec![MapEntry::tofrom(buf), MapEntry::tofrom(buf)], false),
+        );
+        assert!(elision_plan(&ir).is_empty());
+    }
+
+    #[test]
+    fn empty_capture_yields_an_empty_plan() {
+        assert!(elision_plan(&MapIr::new()).is_empty());
+    }
+
+    #[test]
+    fn zero_map_kernels_only_capture_yields_an_empty_plan() {
+        let mut ir = MapIr::new();
+        ir.push(0, MapOp::HostAlloc { range: r(4096, 64) });
+        ir.push(0, kernel(vec![], false));
+        ir.push(0, kernel(vec![], true));
+        ir.push(0, MapOp::Taskwait);
+        ir.push(
+            0,
+            MapOp::HostFree {
+                addr: VirtAddr(4096),
+            },
         );
         assert!(elision_plan(&ir).is_empty());
     }

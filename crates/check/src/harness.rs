@@ -5,7 +5,7 @@
 //! convention (enforced by the binaries): 0 clean, 1 diagnostics found or
 //! cross-validation mismatch, 2 usage error.
 
-use crate::{capture_workload, check};
+use crate::{capture_workload, check, optimize, verify_equivalence};
 use apu_mem::CostModel;
 use hsa_rocr::Topology;
 use omp_offload::{
@@ -42,6 +42,14 @@ pub struct CheckCell {
     /// unelided and the elided run, the fold of the event stream equals the
     /// ledger field for field and the ring dropped nothing.
     pub telemetry_exact: bool,
+    /// The static-optimizer equivalence contract held for this cell: the
+    /// [`optimize`]d capture replays with a bit-identical memory digest, an
+    /// error-free sanitizer, the same kernel count, and never more
+    /// map-management time than the baseline replay.
+    pub opt_verified: bool,
+    /// Map-management time the optimized replay recovered over the baseline
+    /// replay (`mm_total(baseline) − mm_total(optimized)`).
+    pub opt_mm_saved: VirtDuration,
 }
 
 impl CheckCell {
@@ -144,10 +152,16 @@ fn elision_holds(
 /// Check one workload: capture its MapIR once, statically check it against
 /// each compatible configuration, and cross-validate every cell with a
 /// sanitized real run. Each cell also runs a second time with online map
-/// elision and verifies the elision contract ([`CheckCell::elision_verified`]).
+/// elision and verifies the elision contract ([`CheckCell::elision_verified`]),
+/// and replays the statically [`optimize`]d capture to verify the optimizer's
+/// equivalence contract ([`CheckCell::opt_verified`]).
 pub fn check_workload(w: &dyn Workload) -> Result<Vec<CheckCell>, OmpError> {
     let threads = if w.name().contains("qmc") { 2 } else { 1 };
     let ir = capture_workload(w, threads)?;
+    // Optimize the capture once; each cell then verifies the equivalence
+    // contract under its own configuration. A refused (ill-formed) capture
+    // fails every cell's contract — shipped workloads are well-formed.
+    let optimized = optimize(&ir).ok();
     let mut cells = Vec::new();
     for config in configs_for(w) {
         let diagnostics = check(&ir, config);
@@ -156,6 +170,13 @@ pub fn check_workload(w: &dyn Workload) -> Result<Vec<CheckCell>, OmpError> {
         let cross_validated = sorted_codes(&diagnostics) == sorted_codes(&off.0);
         let elision_verified = elision_holds(&off, &on);
         let telemetry_exact = off.3 && on.3;
+        let (opt_verified, opt_mm_saved) = match &optimized {
+            Some(o) => {
+                let eq = verify_equivalence(&ir, &o.ir, config)?;
+                (eq.holds(), eq.mm_saved())
+            }
+            None => (false, VirtDuration::ZERO),
+        };
         cells.push(CheckCell {
             workload: w.name(),
             config,
@@ -166,6 +187,8 @@ pub fn check_workload(w: &dyn Workload) -> Result<Vec<CheckCell>, OmpError> {
             mm_saved: on.2.mm_saved,
             elision_verified,
             telemetry_exact,
+            opt_verified,
+            opt_mm_saved,
         });
     }
     Ok(cells)
@@ -187,11 +210,16 @@ pub fn check_all(filter: Option<&str>) -> Result<Vec<CheckCell>, OmpError> {
 }
 
 /// True when any cell fails the acceptance bar: an error-severity static
-/// diagnostic, a static/dynamic verdict mismatch, a broken elision
-/// contract, or a telemetry stream whose fold diverged from the ledger.
+/// diagnostic, a static/dynamic verdict mismatch, a broken elision or
+/// optimizer-equivalence contract, or a telemetry stream whose fold
+/// diverged from the ledger.
 pub fn has_errors(cells: &[CheckCell]) -> bool {
     cells.iter().any(|c| {
-        c.has_static_errors() || !c.cross_validated || !c.elision_verified || !c.telemetry_exact
+        c.has_static_errors()
+            || !c.cross_validated
+            || !c.elision_verified
+            || !c.telemetry_exact
+            || !c.opt_verified
     })
 }
 
@@ -211,6 +239,8 @@ pub fn render_text(cells: &[CheckCell]) -> String {
             "CROSS-VALIDATION MISMATCH"
         } else if !c.elision_verified {
             "ELISION CONTRACT BROKEN"
+        } else if !c.opt_verified {
+            "OPTIMIZER CONTRACT BROKEN"
         } else if !c.telemetry_exact {
             "TELEMETRY FOLD DIVERGED"
         } else if c.has_static_errors() {
@@ -225,13 +255,19 @@ pub fn render_text(cells: &[CheckCell]) -> String {
         } else {
             String::new()
         };
+        let opt = if c.opt_mm_saved != VirtDuration::ZERO {
+            format!(", opt saves {}", c.opt_mm_saved)
+        } else {
+            String::new()
+        };
         out.push_str(&format!(
-            "  [{:>11}] {} ({} static, {} sanitizer{})\n",
+            "  [{:>11}] {} ({} static, {} sanitizer{}{})\n",
             c.config.label(),
             verdict,
             c.diagnostics.len(),
             c.sanitizer_diagnostics.len(),
-            elided
+            elided,
+            opt
         ));
         for d in &c.diagnostics {
             out.push_str(&format!("    {d}\n"));
@@ -299,14 +335,17 @@ pub fn render_json(cells: &[CheckCell]) -> String {
         out.push_str(&format!(
             "{{\"workload\":\"{}\",\"config\":\"{}\",\"cross_validated\":{},\
              \"elision_verified\":{},\"telemetry_exact\":{},\"maps_elided\":{},\
-             \"mm_saved_us\":{:.3},\"static\":[",
+             \"mm_saved_us\":{:.3},\"opt_verified\":{},\"opt_mm_saved_us\":{:.3},\
+             \"static\":[",
             json_escape(&c.workload),
             c.config.label(),
             c.cross_validated,
             c.elision_verified,
             c.telemetry_exact,
             c.maps_elided,
-            c.mm_saved.as_micros_f64()
+            c.mm_saved.as_micros_f64(),
+            c.opt_verified,
+            c.opt_mm_saved.as_micros_f64()
         ));
         out.push_str(
             &c.diagnostics
@@ -348,6 +387,7 @@ mod tests {
             assert!(c.diagnostics.is_empty(), "{:?}", c.diagnostics);
             assert!(c.elision_verified, "{:?}", c);
             assert!(c.telemetry_exact, "{:?}", c);
+            assert!(c.opt_verified, "{:?}", c);
         }
         assert!(!has_errors(&cells));
         let json = render_json(&cells);

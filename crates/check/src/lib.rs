@@ -21,6 +21,12 @@
 //!    (`RuntimeBuilder::sanitize`); [`harness`] cross-validates the two
 //!    verdicts for every shipped workload, and [`corpus`] holds the golden
 //!    ill-formed programs that each trip one specific code in both passes.
+//! 4. [`optimize`] upgrades the checker into a whole-program optimizing
+//!    pass: liveness and reaching-transfer dataflow over the capture drives
+//!    four rewrite rules (loop hoisting, dead to/from transfer deletion,
+//!    update downgrade), and the rewritten program is verified equivalent
+//!    on replay — bit-identical memory digest, error-free sanitizer,
+//!    identical kernel count, never more map-management time ([`opt`]).
 //!
 //! | Code | Severity | Meaning |
 //! |---|---|---|
@@ -40,8 +46,13 @@ mod checker;
 pub mod corpus;
 mod elision;
 pub mod harness;
+pub mod opt;
 
 pub use capture::{capture_run, capture_workload};
 pub use checker::check;
 pub use elision::elision_plan;
 pub use harness::{check_all, check_workload, has_errors, render_json, render_text, CheckCell};
+pub use opt::{
+    admissible_configs, optimize, replay_probe, verify_equivalence, ConfigScore, Equivalence,
+    OptError, OptReport, Optimized, ReplayProbe,
+};

@@ -1,0 +1,228 @@
+//! Property: on deliberately ill-formed programs the static checker and the
+//! runtime sanitizer agree on the complete diagnostic code list — the
+//! cross-validation contract fuzzed, not just snapshot-tested.
+//!
+//! The strict well-formed generator from `wellformed_prop` runs (and fully
+//! drains) first, then one deliberate gate violation is injected on a
+//! scratch extent the prefix never touches: release of a never-mapped
+//! extent, use after `delete`, a stale device read (host write after the
+//! `to` transfer), or a stale host read (result race with a `nowait`
+//! region's deferred from-transfer). Fatal violations abort the real run;
+//! the sanitizer's findings up to the abort are its diagnosis, and the
+//! static checker over the full capture must emit exactly the same codes —
+//! in a randomized context, not only the golden corpus's minimal one.
+
+use apu_mem::{AddrRange, CostModel};
+use hsa_rocr::Topology;
+use omp_mapcheck::{capture_run, check};
+use omp_offload::{DiagCode, MapDir, MapEntry, OmpError, OmpRuntime, RuntimeConfig, TargetRegion};
+use proptest::prelude::*;
+use sim_des::VirtDuration;
+
+const NBUF: usize = 4;
+const BUF: u64 = 8192;
+
+/// The checker's clocks model Copy-mode staleness, so the stale-read
+/// injections designate the configuration the golden corpus uses.
+const CONFIG: RuntimeConfig = RuntimeConfig::LegacyCopy;
+
+fn kernel(name: &'static str) -> TargetRegion<'static> {
+    TargetRegion::new(name, VirtDuration::from_micros(3))
+}
+
+/// Code each injection is designed to trip (secondary codes may ride along;
+/// the agreement assertion covers the complete list either way).
+fn designated(inj: u8) -> DiagCode {
+    match inj % 4 {
+        0 | 1 => DiagCode::Mc002,
+        2 => DiagCode::Mc003,
+        _ => DiagCode::Mc004,
+    }
+}
+
+/// The strict well-formed state machine, followed by one injected gate
+/// violation on `s`. Fatal injections propagate the runtime's error; in
+/// capture mode directives are recorded, not executed, so the capture
+/// always covers the whole program.
+fn drive(rt: &mut OmpRuntime, ops: &[(u8, u8, u8)], inj: u8) -> Result<(), OmpError> {
+    let t = 0usize;
+    let s = AddrRange::new(rt.host_alloc(t, BUF)?, BUF);
+    rt.host_write(t, s)?;
+
+    let mut bufs = Vec::with_capacity(NBUF);
+    for _ in 0..NBUF {
+        let a = rt.host_alloc(t, BUF)?;
+        let r = AddrRange::new(a, BUF);
+        rt.host_write(t, r)?;
+        bufs.push(r);
+    }
+    let pool = AddrRange::new(rt.omp_target_alloc(t, BUF)?, BUF);
+
+    let mut stacks: Vec<Vec<MapDir>> = vec![Vec::new(); NBUF];
+    let mut pending = [false; NBUF];
+
+    for &(op, buf, aux) in ops {
+        let b = buf as usize % NBUF;
+        let r = bufs[b];
+        let closed = stacks[b].is_empty() && !pending[b];
+        match op % 8 {
+            0 if closed => rt.host_write(t, r)?,
+            1 if closed => rt.host_read(t, r),
+            2 => {
+                let dir = if closed {
+                    match aux % 3 {
+                        0 => MapDir::To,
+                        1 => MapDir::ToFrom,
+                        _ => MapDir::Alloc,
+                    }
+                } else {
+                    MapDir::Alloc
+                };
+                let entry = match dir {
+                    MapDir::To => MapEntry::to(r),
+                    MapDir::ToFrom => MapEntry::tofrom(r),
+                    _ => MapEntry::alloc(r),
+                };
+                rt.target_enter_data(t, &[entry])?;
+                stacks[b].push(dir);
+            }
+            3 if !stacks[b].is_empty() && !pending[b] => {
+                let entry = match stacks[b].pop().unwrap() {
+                    MapDir::Alloc => MapEntry::alloc(r),
+                    _ => MapEntry::from(r),
+                };
+                rt.target_exit_data(t, &[entry], false)?;
+            }
+            4 => {
+                if closed {
+                    let region = kernel("prop-kernel").map(MapEntry::tofrom(r));
+                    if aux & 1 == 1 {
+                        rt.target_nowait(t, region)?;
+                        pending[b] = true;
+                    } else {
+                        rt.target(t, region)?;
+                    }
+                } else {
+                    let entry = if aux & 1 == 1 {
+                        MapEntry::tofrom(r).always()
+                    } else {
+                        MapEntry::alloc(r)
+                    };
+                    rt.target(t, kernel("prop-kernel").map(entry))?;
+                }
+            }
+            5 if !stacks[b].is_empty() && !pending[b] => {
+                if aux & 1 == 1 {
+                    rt.target_update(t, &[r], &[])?;
+                } else {
+                    rt.target_update(t, &[], &[r])?;
+                }
+            }
+            6 => rt.target(t, kernel("prop-pool").access(pool))?,
+            7 => {
+                rt.taskwait(t)?;
+                pending = [false; NBUF];
+            }
+            _ => {} // gated-out op: skip
+        }
+    }
+
+    // Drain the well-formed prefix completely, so the injection's codes are
+    // the program's only codes.
+    rt.taskwait(t)?;
+    for b in 0..NBUF {
+        while let Some(dir) = stacks[b].pop() {
+            let entry = match dir {
+                MapDir::Alloc => MapEntry::alloc(bufs[b]),
+                _ => MapEntry::from(bufs[b]),
+            };
+            rt.target_exit_data(t, &[entry], false)?;
+        }
+    }
+    rt.omp_target_free(t, pool.start)?;
+    for r in &bufs {
+        rt.host_read(t, *r);
+        rt.host_free(t, r.start)?;
+    }
+
+    match inj % 4 {
+        0 => {
+            // Missing map: release an extent that was never entered (fatal).
+            rt.target_exit_data(t, &[MapEntry::from(s)], false)?;
+        }
+        1 => {
+            // Use after delete: `delete` wipes the mapping despite refcount
+            // 2, so the balancing exit releases a gone extent (fatal).
+            rt.target_enter_data(t, &[MapEntry::to(s)])?;
+            rt.target_enter_data(t, &[MapEntry::alloc(s)])?;
+            rt.target_exit_data(t, &[MapEntry::from(s)], true)?;
+            rt.target_exit_data(t, &[MapEntry::from(s)], false)?;
+        }
+        2 => {
+            // Stale device read: the host writes after the to-transfer and
+            // the kernel then reads the stale device copy.
+            rt.target_enter_data(t, &[MapEntry::to(s)])?;
+            rt.host_write(t, s)?;
+            rt.target(t, kernel("stale-read").map(MapEntry::to(s)))?;
+            rt.target_exit_data(t, &[MapEntry::alloc(s)], false)?;
+        }
+        _ => {
+            // Stale host read: the host consumes the result before the
+            // nowait region's deferred from-transfer has run.
+            rt.target_nowait(t, kernel("producer").map(MapEntry::tofrom(s)))?;
+            rt.host_read(t, s);
+            rt.taskwait(t)?;
+        }
+    }
+    rt.host_free(t, s.start)?;
+    Ok(())
+}
+
+fn op_traces(max_len: usize) -> impl Strategy<Value = Vec<(u8, u8, u8)>> {
+    proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 4..max_len)
+}
+
+fn sorted_codes(diags: &[omp_offload::Diagnostic]) -> Vec<DiagCode> {
+    let mut v: Vec<DiagCode> = diags.iter().map(|d| d.code).collect();
+    v.sort();
+    v
+}
+
+proptest! {
+    #[test]
+    fn both_passes_emit_the_same_codes_on_injected_violations(
+        ops in op_traces(32),
+        inj in any::<u8>(),
+    ) {
+        let ir = capture_run(1, |rt| drive(rt, &ops, inj)).expect("capture never faults");
+        let st = check(&ir, CONFIG);
+
+        let mut rt = OmpRuntime::builder(CostModel::mi300a_no_thp(), Topology::default())
+            .config(CONFIG)
+            .sanitize(true)
+            .build()
+            .expect("build sanitized runtime");
+        let _ = drive(&mut rt, &ops, inj); // fatal injections abort mid-run
+        let dy = rt.sanitizer_finalize().to_vec();
+
+        let code = designated(inj);
+        prop_assert!(
+            st.iter().any(|d| d.code == code),
+            "static pass missed {code} (injection {}): {st:?}\nops: {ops:?}",
+            inj % 4
+        );
+        prop_assert!(
+            dy.iter().any(|d| d.code == code),
+            "sanitizer missed {code} (injection {}): {dy:?}\nops: {ops:?}",
+            inj % 4
+        );
+        prop_assert_eq!(
+            sorted_codes(&st),
+            sorted_codes(&dy),
+            "passes disagree (injection {}):\n  static: {:?}\n  sanitizer: {:?}\nops: {ops:?}",
+            inj % 4,
+            st,
+            dy
+        );
+    }
+}

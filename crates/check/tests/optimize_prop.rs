@@ -1,0 +1,183 @@
+//! Property: the static mapping optimizer is semantics-preserving on
+//! randomized redundantly-mapping programs — the equivalence contract,
+//! executed.
+//!
+//! The driver is the redundant-remap state machine from `elision_prop`
+//! preceded by a deterministic per-iteration map loop (the hoist rule's
+//! target shape: the same enter/kernel/exit window repeated back to back).
+//! For every generated program:
+//!
+//! * [`optimize`] accepts it — these programs are well-formed, merely
+//!   wasteful (nothing worse than MC007 redundancy warnings);
+//! * under EVERY admissible configuration, [`verify_equivalence`] holds:
+//!   bit-identical memory digest, identical kernel count, a clean sanitized
+//!   replay of the rewrite, no new static diagnostic codes, and
+//!   `mm_total(optimized) ≤ mm_total(baseline)`;
+//! * the optimized program survives a text-format round-trip unchanged;
+//! * with ≥2 loop iterations the hoist rule provably fires.
+
+use apu_mem::AddrRange;
+use omp_mapcheck::{admissible_configs, capture_run, optimize, verify_equivalence};
+use omp_offload::{MapDir, MapEntry, MapIr, OmpError, OmpRuntime, TargetRegion};
+use proptest::prelude::*;
+use sim_des::VirtDuration;
+
+const NBUF: usize = 4;
+const BUF: u64 = 8192;
+
+fn kernel(name: &'static str) -> TargetRegion<'static> {
+    TargetRegion::new(name, VirtDuration::from_micros(3))
+}
+
+/// Interpret the opcode trace as a well-formed-but-redundantly-mapping
+/// program against `rt`, preceded by `iters` passes of an identical
+/// per-iteration map loop over the first buffer.
+fn drive(rt: &mut OmpRuntime, ops: &[(u8, u8, u8)], iters: usize) -> Result<(), OmpError> {
+    let t = 0usize;
+    let mut bufs = Vec::with_capacity(NBUF);
+    for _ in 0..NBUF {
+        let a = rt.host_alloc(t, BUF)?;
+        let r = AddrRange::new(a, BUF);
+        rt.host_write(t, r)?;
+        bufs.push(r);
+    }
+
+    // The hoist rule's target shape: every iteration brackets the same
+    // kernel with a structurally identical map pair, and the host never
+    // touches the extent in between.
+    for _ in 0..iters {
+        rt.target_enter_data(t, &[MapEntry::to(bufs[0])])?;
+        rt.target(t, kernel("loop-kernel").map(MapEntry::alloc(bufs[0])))?;
+        rt.target_exit_data(t, &[MapEntry::from(bufs[0])], false)?;
+    }
+
+    // Per-buffer stack of enter directions (refcount model) and whether a
+    // nowait kernel's deferred exit is still in flight. The first map of a
+    // buffer always carries a transfer direction, so the stack-bottom exit
+    // is a `from` that syncs the host copy.
+    let mut stacks: Vec<Vec<MapDir>> = vec![Vec::new(); NBUF];
+    let mut pending = [false; NBUF];
+
+    for &(op, buf, aux) in ops {
+        let b = buf as usize % NBUF;
+        let r = bufs[b];
+        let closed = stacks[b].is_empty() && !pending[b];
+        match op % 6 {
+            0 if closed => rt.host_write(t, r)?,
+            1 if closed => rt.host_read(t, r),
+            2 => {
+                let dir = if closed {
+                    if aux & 1 == 1 {
+                        MapDir::To
+                    } else {
+                        MapDir::ToFrom
+                    }
+                } else {
+                    // Re-map of a present extent: transfer directions here
+                    // are the MC007 sites the optimizer's planned-elision
+                    // rule deletes.
+                    match aux % 3 {
+                        0 => MapDir::To,
+                        1 => MapDir::ToFrom,
+                        _ => MapDir::Alloc,
+                    }
+                };
+                let entry = match dir {
+                    MapDir::To => MapEntry::to(r),
+                    MapDir::ToFrom => MapEntry::tofrom(r),
+                    _ => MapEntry::alloc(r),
+                };
+                rt.target_enter_data(t, &[entry])?;
+                stacks[b].push(dir);
+            }
+            3 if !stacks[b].is_empty() && !pending[b] => {
+                let entry = match stacks[b].pop().unwrap() {
+                    MapDir::Alloc => MapEntry::alloc(r),
+                    _ => MapEntry::from(r),
+                };
+                rt.target_exit_data(t, &[entry], false)?;
+            }
+            4 => {
+                if closed {
+                    let region = kernel("prop-kernel").map(MapEntry::tofrom(r));
+                    if aux & 1 == 1 {
+                        rt.target_nowait(t, region)?;
+                        pending[b] = true;
+                    } else {
+                        rt.target(t, region)?;
+                    }
+                } else {
+                    let entry = match aux % 3 {
+                        0 => MapEntry::tofrom(r),
+                        1 => MapEntry::tofrom(r).always(),
+                        _ => MapEntry::alloc(r),
+                    };
+                    rt.target(t, kernel("prop-kernel").map(entry))?;
+                }
+            }
+            5 => {
+                rt.taskwait(t)?;
+                pending = [false; NBUF];
+            }
+            _ => {} // gated-out op: skip
+        }
+    }
+
+    // Drain epilogue: settle deferred transfers, unwind every stack.
+    rt.taskwait(t)?;
+    for b in 0..NBUF {
+        while let Some(dir) = stacks[b].pop() {
+            let entry = match dir {
+                MapDir::Alloc => MapEntry::alloc(bufs[b]),
+                _ => MapEntry::from(bufs[b]),
+            };
+            rt.target_exit_data(t, &[entry], false)?;
+        }
+    }
+    for r in &bufs {
+        rt.host_read(t, *r);
+        rt.host_free(t, r.start)?;
+    }
+    Ok(())
+}
+
+fn op_traces(max_len: usize) -> impl Strategy<Value = Vec<(u8, u8, u8)>> {
+    proptest::collection::vec((any::<u8>(), any::<u8>(), any::<u8>()), 4..max_len)
+}
+
+proptest! {
+    #[test]
+    fn optimizer_rewrites_hold_the_equivalence_contract(
+        ops in op_traces(32),
+        iters in 0usize..4,
+    ) {
+        let ir = capture_run(1, |rt| drive(rt, &ops, iters)).expect("capture");
+        let opt = optimize(&ir).expect("redundant programs are well-formed");
+
+        if iters >= 2 {
+            prop_assert!(
+                opt.report.hoisted >= 1,
+                "hoist rule missed a {iters}-iteration map loop: {}\nops: {ops:?}",
+                opt.report
+            );
+        }
+
+        for config in admissible_configs(&ir) {
+            let eq = verify_equivalence(&ir, &opt.ir, config)
+                .expect("equivalence replays never fault");
+            prop_assert!(
+                eq.holds(),
+                "contract broken under {}: baseline {:?} vs optimized {:?}\nops: {ops:?}, iters: {iters}",
+                config.label(),
+                eq.baseline,
+                eq.optimized
+            );
+        }
+
+        // The rewrite survives the interchange format: parse(to_text) is a
+        // fixed point, so optimized programs can ship as `.mapir` files.
+        let text = opt.ir.to_text();
+        let reparsed = MapIr::parse(&text).expect("optimizer output parses");
+        prop_assert_eq!(reparsed.to_text(), text);
+    }
+}

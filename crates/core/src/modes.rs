@@ -62,14 +62,22 @@ pub enum ElideKind {
     Online,
     /// Profile-guided: apply a plan derived from the capture.
     Plan,
+    /// Static: rewrite the capture with the whole-program optimizer before
+    /// replay; the rewritten program needs no runtime elision mode.
+    Opt,
 }
 
 impl ElideKind {
     /// Every variant, in canonical order (for exhaustive round-trip tests).
-    pub const ALL: [ElideKind; 3] = [ElideKind::Off, ElideKind::Online, ElideKind::Plan];
+    pub const ALL: [ElideKind; 4] = [
+        ElideKind::Off,
+        ElideKind::Online,
+        ElideKind::Plan,
+        ElideKind::Opt,
+    ];
 
     /// The accepted token set, for usage strings.
-    pub const EXPECTED: &'static str = "off | online | plan";
+    pub const EXPECTED: &'static str = "off | online | plan | opt";
 
     /// Stable canonical token. This is the *only* spelling: the CLI, the
     /// wire format, and the cache key all print and parse exactly this.
@@ -78,6 +86,7 @@ impl ElideKind {
             ElideKind::Off => "off",
             ElideKind::Online => "online",
             ElideKind::Plan => "plan",
+            ElideKind::Opt => "opt",
         }
     }
 
@@ -88,9 +97,11 @@ impl ElideKind {
 
     /// Resolve to a concrete [`ElideMode`], synthesizing the plan through
     /// `plan` only when this kind actually is [`ElideKind::Plan`].
+    /// [`ElideKind::Opt`] resolves to [`ElideMode::Off`]: the rewriting
+    /// happens to the program before replay, not in the runtime.
     pub fn mode_with(self, plan: impl FnOnce() -> ElisionPlan) -> ElideMode {
         match self {
-            ElideKind::Off => ElideMode::Off,
+            ElideKind::Off | ElideKind::Opt => ElideMode::Off,
             ElideKind::Online => ElideMode::Online,
             ElideKind::Plan => ElideMode::Plan(plan()),
         }
@@ -111,6 +122,7 @@ impl FromStr for ElideKind {
             "off" => Ok(ElideKind::Off),
             "online" => Ok(ElideKind::Online),
             "plan" => Ok(ElideKind::Plan),
+            "opt" => Ok(ElideKind::Opt),
             other => Err(ModeParseError {
                 what: "elide mode",
                 got: other.to_string(),
@@ -265,6 +277,8 @@ mod tests {
     #[test]
     fn kind_resolution() {
         assert_eq!(ElideKind::Off.mode_with(|| unreachable!()), ElideMode::Off);
+        // Opt rewrites the program, not the runtime: no runtime mode.
+        assert_eq!(ElideKind::Opt.mode_with(|| unreachable!()), ElideMode::Off);
         assert_eq!(
             ElideKind::Online.mode_with(|| unreachable!()),
             ElideMode::Online
@@ -284,7 +298,7 @@ mod tests {
         let e = "bogus".parse::<ElideKind>().unwrap_err();
         assert_eq!(
             e.to_string(),
-            "unknown elide mode 'bogus' (expected off | online | plan)"
+            "unknown elide mode 'bogus' (expected off | online | plan | opt)"
         );
         assert!("ringg".parse::<TelemetryKind>().is_err());
         assert!("".parse::<ElideKind>().is_err());

@@ -9,7 +9,7 @@
 //!            [--scale F] [--steps N] [--discrete] [--mem-report]
 //!            [--trace FILE [--trace-format chrome|jsonl]] [--capture FILE.mapir]
 //! apusim replay FILE.mapir... [--config copy|usm|izc|eager]
-//!               [--elide off|online|plan] [--jobs N] [--cache DIR|off]
+//!               [--elide off|online|plan|opt] [--jobs N] [--cache DIR|off]
 //!               [--trace FILE [--trace-format chrome|jsonl]]
 //! apusim check [--json] [NAME]
 //! apusim serve [--socket PATH | --tcp ADDR] [--jobs N] [--cache DIR|off]
@@ -74,7 +74,7 @@ use mi300a_zerocopy::workloads::{
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  apusim list\n  apusim costs\n  apusim sweep [--sizes 2,8,32] [--threads 1,4,8] [--steps N] [--jobs N]\n  apusim env [--no-apu] [--no-xnack] [--apu-maps] [--eager] [--usm]\n  apusim run <workload> [--config copy|usm|izc|eager] [--threads N] [--scale F] [--steps N] [--discrete] [--mem-report] [--trace FILE [--trace-format chrome|jsonl]] [--capture FILE.mapir]\n  apusim replay FILE.mapir... [--config copy|usm|izc|eager] [--elide off|online|plan] [--jobs N] [--cache DIR|off] [--trace FILE [--trace-format chrome|jsonl]]\n  apusim check [--json] [NAME]\n  apusim serve [--socket PATH | --tcp ADDR] [--jobs N] [--cache DIR|off] [--cache-max-bytes SIZE] [--max-inflight N] [--timeout-ms N]\n  apusim request [--socket PATH | --tcp ADDR] [FILE.mapir...] [--config C] [--elide K] [--telemetry K] [--fault SEED] [--preset P] [--ping] [--stats] [--gc] [--shutdown]\n  apusim cache gc [--cache DIR] [--max-bytes SIZE] [--dry-run]"
+        "usage:\n  apusim list\n  apusim costs\n  apusim sweep [--sizes 2,8,32] [--threads 1,4,8] [--steps N] [--jobs N]\n  apusim env [--no-apu] [--no-xnack] [--apu-maps] [--eager] [--usm]\n  apusim run <workload> [--config copy|usm|izc|eager] [--threads N] [--scale F] [--steps N] [--discrete] [--mem-report] [--trace FILE [--trace-format chrome|jsonl]] [--capture FILE.mapir]\n  apusim replay FILE.mapir... [--config copy|usm|izc|eager] [--elide off|online|plan|opt] [--jobs N] [--cache DIR|off] [--trace FILE [--trace-format chrome|jsonl]]\n  apusim optimize IN.mapir [-o OUT.mapir] [--report]\n  apusim check [--json] [NAME]\n  apusim serve [--socket PATH | --tcp ADDR] [--jobs N] [--cache DIR|off] [--cache-max-bytes SIZE] [--max-inflight N] [--timeout-ms N]\n  apusim request [--socket PATH | --tcp ADDR] [FILE.mapir...] [--config C] [--elide K] [--telemetry K] [--fault SEED] [--preset P] [--ping] [--stats] [--gc] [--shutdown]\n  apusim cache gc [--cache DIR] [--max-bytes SIZE] [--dry-run]"
     );
     std::process::exit(2);
 }
@@ -516,6 +516,62 @@ fn cmd_replay_batch(
     Ok(())
 }
 
+/// `apusim optimize`: run the whole-program static optimizer over one
+/// capture. Writes the rewritten capture with `-o` (stdout report either
+/// way); `--report` adds the per-config equivalence evidence. Exit codes:
+/// 0 optimized, 2 ill-formed input (refused, never rewritten) or usage.
+fn cmd_optimize(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let mut input: Option<String> = None;
+    let mut output: Option<String> = None;
+    let mut report = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-o" | "--output" => output = Some(it.next().unwrap_or_else(|| usage()).clone()),
+            "--report" => report = true,
+            other if !other.starts_with('-') && input.is_none() => {
+                input = Some(other.to_string());
+            }
+            _ => usage(),
+        }
+    }
+    let Some(input) = input else { usage() };
+    let ir = MapIr::parse(&std::fs::read_to_string(&input)?)?;
+    let opt = match mi300a_zerocopy::mapcheck::optimize(&ir) {
+        Ok(opt) => opt,
+        Err(e) => {
+            eprintln!("apusim optimize: {input}: {e}");
+            std::process::exit(2);
+        }
+    };
+    println!("{input}: {}", opt.report);
+    if report {
+        println!("equivalence (baseline vs optimized replay):");
+        for config in mi300a_zerocopy::mapcheck::admissible_configs(&ir) {
+            let eq = mi300a_zerocopy::mapcheck::verify_equivalence(&ir, &opt.ir, config)?;
+            println!(
+                "  {:<6} {}  digest {:#018x}  kernels {}  mm {} -> {} (saved {})",
+                config.token(),
+                if eq.holds() { "ok" } else { "BROKEN" },
+                eq.optimized.digest,
+                eq.optimized.kernels,
+                eq.baseline.mm_total,
+                eq.optimized.mm_total,
+                eq.mm_saved()
+            );
+        }
+    }
+    if let Some(out) = output {
+        std::fs::write(&out, opt.ir.to_text())?;
+        println!(
+            "wrote optimized capture to {out}: {} record(s) (was {})",
+            opt.ir.records.len(),
+            ir.records.len()
+        );
+    }
+    Ok(())
+}
+
 fn cmd_check(args: &[String]) -> ! {
     let mut json = false;
     let mut filter: Option<String> = None;
@@ -754,6 +810,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Some("sweep") => cmd_sweep(&args[1..])?,
         Some("run") => cmd_run(&args[1..])?,
         Some("replay") => cmd_replay(&args[1..])?,
+        Some("optimize") => cmd_optimize(&args[1..])?,
         Some("check") => cmd_check(&args[1..]),
         Some("serve") => cmd_serve(&args[1..])?,
         Some("request") => cmd_request(&args[1..])?,
