@@ -58,9 +58,9 @@ pub use request::{
     config_from_token, config_token, CostPreset, ElideKind, ModeParseError, RequestError,
     SweepRequest, SweepRequestBuilder, TelemetryKind, REQUEST_VERSION,
 };
-pub use result::{merge_attribution, SweepResult, RESULT_VERSION};
+pub use result::{merge_attribution, SweepResult, TenantRow, RESULT_VERSION};
 pub use serve::{Client, Server, ServerConfig, ServerHandle, ServerStats};
 pub use sweep::{
-    execute, execute_prepared, full_corpus, render_report, run_sweep, smoke_corpus, SweepOutcome,
-    SweepStats,
+    execute, execute_prepared, full_corpus, render_report, run_sweep, run_sweep_derived,
+    smoke_corpus, PreparedCell, SweepOutcome, SweepStats,
 };

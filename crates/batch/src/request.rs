@@ -137,6 +137,11 @@ pub enum RequestError {
         /// The unresolved capture digest.
         digest: u64,
     },
+    /// The tenant count is zero or beyond the pool's VA-window capacity.
+    BadTenantCount {
+        /// The rejected count.
+        tenants: u32,
+    },
 }
 
 impl fmt::Display for RequestError {
@@ -153,6 +158,13 @@ impl fmt::Display for RequestError {
             RequestError::Malformed(msg) => write!(f, "malformed request: {msg}"),
             RequestError::UnknownCapture { digest } => {
                 write!(f, "unknown capture {digest:016x} (upload it first)")
+            }
+            RequestError::BadTenantCount { tenants } => {
+                write!(
+                    f,
+                    "tenant count {tenants} out of range (1..={})",
+                    omp_offload::MAX_TENANTS
+                )
             }
         }
     }
@@ -181,6 +193,11 @@ pub struct SweepRequest {
     pub fault_seed: Option<u64>,
     /// Telemetry collection mode.
     pub telemetry: TelemetryKind,
+    /// Concurrent data environments replaying this capture over one shared
+    /// mapping table (1 = the classic single-tenant cell). Each tenant's
+    /// result is byte-equal to running it alone; the cell's primary result
+    /// fields are tenant 0's.
+    pub tenants: u32,
 }
 
 /// Typed constructor for [`SweepRequest`]: collects the result-determining
@@ -195,6 +212,7 @@ pub struct SweepRequestBuilder {
     elide: ElideKind,
     fault_seed: Option<u64>,
     telemetry: TelemetryKind,
+    tenants: u32,
 }
 
 impl SweepRequestBuilder {
@@ -228,6 +246,14 @@ impl SweepRequestBuilder {
         self
     }
 
+    /// Concurrent tenants replaying the capture over one shared mapping
+    /// table (default 1). Validated against the tenant-pool VA-window
+    /// capacity at [`build`](Self::build).
+    pub fn tenants(mut self, tenants: u32) -> Self {
+        self.tenants = tenants;
+        self
+    }
+
     /// Validate the field combination and produce the request. This is the
     /// single gate every construction path goes through: empty labels and
     /// captures are rejected, and a capture whose kernels touch raw host
@@ -247,6 +273,11 @@ impl SweepRequestBuilder {
                 config: self.config,
             });
         }
+        if self.tenants == 0 || self.tenants > omp_offload::MAX_TENANTS {
+            return Err(RequestError::BadTenantCount {
+                tenants: self.tenants,
+            });
+        }
         Ok(SweepRequest {
             name: self.name,
             ir: self.ir,
@@ -255,6 +286,7 @@ impl SweepRequestBuilder {
             elide: self.elide,
             fault_seed: self.fault_seed,
             telemetry: self.telemetry,
+            tenants: self.tenants,
         })
     }
 }
@@ -296,6 +328,7 @@ impl SweepRequest {
             elide: ElideKind::Off,
             fault_seed: None,
             telemetry: TelemetryKind::Off,
+            tenants: 1,
         }
     }
 
@@ -315,6 +348,7 @@ impl SweepRequest {
             elide: ElideKind::Off,
             fault_seed: None,
             telemetry: TelemetryKind::Off,
+            tenants: 1,
         }
     }
 
@@ -334,8 +368,8 @@ impl SweepRequest {
     /// encoder: the cache stores it, the wire format ships it, and
     /// [`from_canonical`](Self::from_canonical) inverts it.
     pub fn canonical(&self) -> String {
-        format!(
-            "sweepreq v{}\npreset {}\nconfig {}\nelide {}\nfault {}\ntelemetry {}\ncapture {:016x} {}\n",
+        let mut block = format!(
+            "sweepreq v{}\npreset {}\nconfig {}\nelide {}\nfault {}\ntelemetry {}\n",
             REQUEST_VERSION,
             self.preset.token(),
             self.config.token(),
@@ -343,9 +377,19 @@ impl SweepRequest {
             self.fault_seed
                 .map_or_else(|| "none".to_string(), |s| s.to_string()),
             self.telemetry.token(),
+        );
+        // The single-tenant default is encoded by *omission* so every
+        // pre-tenant cache entry and wire block stays byte-identical (no
+        // REQUEST_VERSION bump, no cache self-invalidation).
+        if self.tenants > 1 {
+            block.push_str(&format!("tenants {}\n", self.tenants));
+        }
+        block.push_str(&format!(
+            "capture {:016x} {}\n",
             Self::capture_digest(&self.ir),
             self.ir.len(),
-        )
+        ));
+        block
     }
 
     /// Decode a canonical block produced by [`canonical`](Self::canonical),
@@ -397,7 +441,27 @@ impl SweepRequest {
         let telemetry: TelemetryKind = field("telemetry")?
             .parse()
             .map_err(|e: ModeParseError| bad(&e.to_string()))?;
-        let capture_line = field("capture")?;
+        // Optional `tenants N` line (emitted only for N > 1), then the
+        // terminal capture line.
+        let next = lines
+            .next()
+            .ok_or_else(|| bad("expected 'tenants ...' or 'capture ...'"))?;
+        let (tenants, capture_line) = if let Some(v) = next.strip_prefix("tenants ") {
+            let n: u32 = v
+                .parse()
+                .map_err(|_| bad(&format!("bad tenant count '{v}'")))?;
+            let cap = match lines.next().and_then(|l| l.split_once(' ')) {
+                Some(("capture", rest)) => rest.to_string(),
+                other => return Err(bad(&format!("expected 'capture ...', got {other:?}"))),
+            };
+            (n, cap)
+        } else if let Some(v) = next.strip_prefix("capture ") {
+            (1, v.to_string())
+        } else {
+            return Err(bad(&format!(
+                "expected 'tenants ...' or 'capture ...', got '{next}'"
+            )));
+        };
         let (digest_hex, len_str) = capture_line
             .split_once(' ')
             .ok_or_else(|| bad("capture line needs '<digest> <records>'"))?;
@@ -422,7 +486,8 @@ impl SweepRequest {
             .preset(preset)
             .config(config)
             .elide(elide)
-            .telemetry(telemetry);
+            .telemetry(telemetry)
+            .tenants(tenants);
         if let Some(seed) = fault_seed {
             b = b.fault_seed(seed);
         }
@@ -577,6 +642,40 @@ mod tests {
             unresolved,
             Err(RequestError::UnknownCapture { .. })
         ));
+    }
+
+    #[test]
+    fn single_tenant_encoding_is_unchanged_and_multi_tenant_round_trips() {
+        let base = req(RuntimeConfig::LegacyCopy);
+        // tenants == 1 is encoded by omission: pre-tenant cache entries and
+        // wire blocks stay byte-identical.
+        assert!(!base.canonical().contains("tenants"));
+        let multi = SweepRequest {
+            tenants: 4,
+            ..base.clone()
+        };
+        assert!(multi.canonical().contains("\ntenants 4\ncapture "));
+        assert_ne!(multi.digest(), base.digest());
+        let ir = Arc::clone(&multi.ir);
+        let back = SweepRequest::from_canonical("w", &multi.canonical(), |_| Some(Arc::clone(&ir)))
+            .unwrap();
+        assert_eq!(back.tenants, 4);
+        assert_eq!(back.canonical(), multi.canonical());
+    }
+
+    #[test]
+    fn tenant_count_is_validated() {
+        for bad in [0, omp_offload::MAX_TENANTS + 1] {
+            let err = SweepRequest::builder("w", small_ir())
+                .tenants(bad)
+                .build()
+                .unwrap_err();
+            assert_eq!(err, RequestError::BadTenantCount { tenants: bad });
+        }
+        assert!(SweepRequest::builder("w", small_ir())
+            .tenants(omp_offload::MAX_TENANTS)
+            .build()
+            .is_ok());
     }
 
     #[test]

@@ -44,6 +44,23 @@ pub struct SweepResult {
     /// Per-kernel attribution (empty when the ring was off), in rank order
     /// (fault-stall-heaviest first, ties by name).
     pub kernel_rows: Vec<KernelProfile>,
+    /// Per-tenant rows for multi-tenant cells, in tenant-id order (empty
+    /// for classic single-tenant cells). The primary fields above are
+    /// tenant 0's result — byte-equal to running tenant 0 alone.
+    pub tenant_rows: Vec<TenantRow>,
+}
+
+/// One tenant's summary within a multi-tenant sweep cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TenantRow {
+    /// Tenant id (VA-window index).
+    pub tenant: u32,
+    /// FNV-1a digest of the tenant's live memory after its program body.
+    pub memory_digest: u64,
+    /// The tenant's virtual makespan.
+    pub makespan: VirtDuration,
+    /// Map operations the tenant's ledger charged.
+    pub maps: u64,
 }
 
 fn esc(s: &str) -> String {
@@ -211,6 +228,16 @@ impl SweepResult {
                 s.mm_saved.as_nanos(),
             );
         }
+        for t in &self.tenant_rows {
+            let _ = writeln!(
+                out,
+                "tenant {} {:016x} {} {}",
+                t.tenant,
+                t.memory_digest,
+                t.makespan.as_nanos(),
+                t.maps,
+            );
+        }
         for k in &self.kernel_rows {
             let name: String = k
                 .name
@@ -295,6 +322,30 @@ impl SweepResult {
                         mm_prefault: VirtDuration::from_nanos(v[10]),
                         mm_map: VirtDuration::from_nanos(v[11]),
                         mm_saved: VirtDuration::from_nanos(v[12]),
+                    });
+                }
+                "tenant" => {
+                    let mut tok = rest.split_whitespace();
+                    let id = tok
+                        .next()
+                        .ok_or_else(|| format!("line {}: tenant needs an id", no + 2))?;
+                    let id: u32 = id
+                        .parse()
+                        .map_err(|_| format!("line {}: bad tenant id {id:?}", no + 2))?;
+                    let digest = tok
+                        .next()
+                        .ok_or_else(|| format!("line {}: tenant needs a digest", no + 2))?;
+                    let memory_digest = u64::from_str_radix(digest, 16)
+                        .map_err(|_| format!("line {}: bad digest {digest:?}", no + 2))?;
+                    let v: Vec<u64> = tok.map(num).collect::<Result<_, _>>()?;
+                    if v.len() != 2 {
+                        return Err(format!("line {}: tenant needs 2 numbers", no + 2));
+                    }
+                    r.tenant_rows.push(TenantRow {
+                        tenant: id,
+                        memory_digest,
+                        makespan: VirtDuration::from_nanos(v[0]),
+                        maps: v[1],
                     });
                 }
                 "kernelrow" => {
@@ -418,6 +469,18 @@ mod tests {
             replayed_pages: 0,
             zero_filled_pages: 0,
         });
+        r.tenant_rows.push(TenantRow {
+            tenant: 0,
+            memory_digest: 0xdead_beef_0042_1234,
+            makespan: VirtDuration::from_micros(42),
+            maps: 7,
+        });
+        r.tenant_rows.push(TenantRow {
+            tenant: 3,
+            memory_digest: 0x0123_4567_89ab_cdef,
+            makespan: VirtDuration::from_micros(40),
+            maps: 7,
+        });
         r
     }
 
@@ -436,6 +499,8 @@ mod tests {
         assert!(SweepResult::parse("sweepresult v1\nfrob 3").is_err());
         assert!(SweepResult::parse("sweepresult v1\nledger bogus 3").is_err());
         assert!(SweepResult::parse("sweepresult v1\nsite 1 2 3").is_err());
+        assert!(SweepResult::parse("sweepresult v1\ntenant 1 beef").is_err());
+        assert!(SweepResult::parse("sweepresult v1\ntenant x beef 1 2").is_err());
     }
 
     #[test]

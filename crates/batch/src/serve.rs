@@ -6,8 +6,12 @@
 //! elision plans derived once per capture, the materialized cost-model
 //! presets, and an open [`ResultCache`]. Requests arrive as `PROTO v1`
 //! frames ([`crate::proto`]) over a Unix-domain socket or TCP; sweep cells
-//! are scheduled on the same work-stealing [`drive`] pool the offline path
-//! uses, answered from the cache on hit, simulated-then-stored on miss.
+//! are scheduled through [`run_sweep_derived`] on the same work-stealing
+//! pool the offline path uses (multi-tenant cells fan out per tenant),
+//! answered from the cache on hit, simulated-then-stored on miss. A sweep
+//! whose corpus is byte-identical to one already in flight *coalesces*:
+//! the second client parks on the first sweep's rendezvous and reads the
+//! same bytes, counted by `coalesced` in `STATS`.
 //!
 //! ## The byte-identity contract
 //!
@@ -17,8 +21,9 @@
 //! concurrent, first request or thousandth. The contract holds because the
 //! server adds no third path: it resolves the same canonical encodings
 //! through the same `execute`/cache code, and residency only pre-computes
-//! inputs ([`execute_prepared`]) that determinism guarantees are
-//! equivalent. `tests/serve_matrix.rs` pins this against offline replay.
+//! inputs (the derive hook of [`run_sweep_derived`]) that determinism
+//! guarantees are equivalent. `tests/serve_matrix.rs` pins this against
+//! offline replay.
 //!
 //! ## Robustness
 //!
@@ -33,11 +38,10 @@
 //! most un-renamed work, never serve a torn entry.
 
 use crate::cache::ResultCache;
-use crate::driver::drive;
 use crate::proto::{sweep_stanza, Frame, ProtoError, Response, Verb, PROTO_VERSION};
 use crate::request::{CostPreset, ElideKind, SweepRequest};
 use crate::result::SweepResult;
-use crate::sweep::{execute_prepared, render_report};
+use crate::sweep::{render_report, run_sweep_derived};
 use crate::CacheMode;
 use omp_offload::{ElideMode, ElisionPlan, MapIr, OmpError};
 use std::collections::HashMap;
@@ -46,8 +50,8 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
-use std::time::Duration;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Tunables of one server instance.
 #[derive(Debug, Clone)]
@@ -103,6 +107,8 @@ pub struct ServerStats {
     pub busy_rejections: u64,
     /// Malformed frames rejected.
     pub malformed: u64,
+    /// Sweep requests coalesced onto an identical in-flight sweep.
+    pub coalesced: u64,
 }
 
 impl ServerStats {
@@ -117,6 +123,7 @@ impl ServerStats {
             ("evicted", self.evicted),
             ("busy_rejections", self.busy_rejections),
             ("malformed", self.malformed),
+            ("coalesced", self.coalesced),
         ]
         .into_iter()
         .map(|(k, v)| (k.to_string(), v.to_string()))
@@ -146,6 +153,10 @@ struct Shared {
     plans: Mutex<HashMap<u64, Arc<ElisionPlan>>>,
     /// Materialized cost-model presets (index = [`CostPreset`] order).
     models: [apu_mem::CostModel; 2],
+    /// Sweeps currently running, keyed by the fold of their cells' content
+    /// digests: an identical concurrent request parks here instead of
+    /// re-running the corpus ([`handle_sweep`]).
+    inflight: Mutex<HashMap<u64, Arc<Inflight>>>,
     shutdown: AtomicBool,
     requests: AtomicU64,
     hits: AtomicU64,
@@ -154,6 +165,22 @@ struct Shared {
     evicted: AtomicU64,
     busy_rejections: AtomicU64,
     malformed: AtomicU64,
+    coalesced: AtomicU64,
+}
+
+/// What a finished sweep leaves for everyone parked on it: the per-cell
+/// results (name-independent, so each waiter renders its own verb's
+/// response from its own corpus) plus the leader's cache counters, or the
+/// rendered error.
+type SweepDone = Result<(Arc<Vec<SweepResult>>, u64, u64), String>;
+
+/// Rendezvous for one in-flight sweep: the leader's worker thread fills
+/// `done` and notifies; the leader and any coalesced waiters block on the
+/// condvar with their own deadlines.
+#[derive(Default)]
+struct Inflight {
+    done: Mutex<Option<SweepDone>>,
+    cv: Condvar,
 }
 
 impl Shared {
@@ -175,6 +202,7 @@ impl Shared {
             evicted: self.evicted.load(Ordering::Relaxed),
             busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
             malformed: self.malformed.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
         }
     }
 
@@ -300,6 +328,7 @@ impl Server {
                 raw_index: Mutex::new(HashMap::new()),
                 plans: Mutex::new(HashMap::new()),
                 models: [CostPreset::Mi300a.model(), CostPreset::Mi300aNoThp.model()],
+                inflight: Mutex::new(HashMap::new()),
                 shutdown: AtomicBool::new(false),
                 requests: AtomicU64::new(0),
                 hits: AtomicU64::new(0),
@@ -308,6 +337,7 @@ impl Server {
                 evicted: AtomicU64::new(0),
                 busy_rejections: AtomicU64::new(0),
                 malformed: AtomicU64::new(0),
+                coalesced: AtomicU64::new(0),
                 cfg,
             }),
         }
@@ -501,7 +531,9 @@ fn handle_capture(body: &str, shared: &Arc<Shared>) -> Response {
 }
 
 /// Split a `SWEEP`/`RESULT` body into cells: each stanza is an optional
-/// `name <label>` line followed by the 7-line canonical request block.
+/// `name <label>` line followed by a canonical request block, which always
+/// ends with its `capture` line (the block grew an optional `tenants` line
+/// in v2, so stanzas are capture-terminated rather than fixed-length).
 fn parse_stanzas(body: &str, shared: &Arc<Shared>) -> Result<Vec<SweepRequest>, String> {
     let captures = shared.captures.lock().unwrap().clone();
     let mut lines = body.lines().peekable();
@@ -515,12 +547,15 @@ fn parse_stanzas(body: &str, shared: &Arc<Shared>) -> Result<Vec<SweepRequest>, 
             None => format!("cell{}", out.len()),
         };
         let mut block = String::new();
-        for _ in 0..7 {
+        loop {
             let line = lines
                 .next()
                 .ok_or_else(|| format!("truncated request stanza for '{name}'"))?;
             block.push_str(line);
             block.push('\n');
+            if line.starts_with("capture ") {
+                break;
+            }
         }
         let req = SweepRequest::from_canonical(name, &block, |d| captures.get(&d).cloned())
             .map_err(|e| e.to_string())?;
@@ -543,6 +578,18 @@ fn handle_sweep(verb: Verb, body: &str, shared: &Arc<Shared>) -> Response {
             corpus.len()
         ));
     }
+    // Coalescing: a corpus identical (by content digests) to one already
+    // running parks on that run instead of re-simulating it. The key folds
+    // the cells' digests only — stanza labels don't affect the work, and
+    // every waiter renders its own response from its own corpus.
+    let key = corpus.iter().fold(0xcbf2_9ce4_8422_2325u64, |acc, req| {
+        (acc ^ req.digest()).wrapping_mul(0x100_0000_01b3)
+    });
+    let existing = shared.inflight.lock().unwrap().get(&key).cloned();
+    if let Some(inflight) = existing {
+        shared.coalesced.fetch_add(1, Ordering::Relaxed);
+        return wait_for_sweep(verb, &corpus, &inflight, shared);
+    }
     let n = corpus.len() as u64;
     if let Err((cur, max)) = shared.try_admit(n) {
         shared.busy_rejections.fetch_add(1, Ordering::Relaxed);
@@ -551,36 +598,69 @@ fn handle_sweep(verb: Verb, body: &str, shared: &Arc<Shared>) -> Response {
             max,
         };
     }
-    // The sweep runs on its own thread so the connection can stop waiting
-    // at the timeout while the work still completes into the cache.
-    let (tx, rx) = mpsc::channel();
+    // Admit-before-register: a key in the in-flight map always stands for
+    // admitted, running work, so waiters can never park on a sweep that
+    // was bounced by admission control.
+    let inflight = Arc::new(Inflight::default());
+    shared
+        .inflight
+        .lock()
+        .unwrap()
+        .insert(key, Arc::clone(&inflight));
+    // The sweep runs on its own thread so the connection (and any
+    // coalesced waiters) can stop waiting at their timeouts while the work
+    // still completes into the cache.
     let worker_shared = Arc::clone(shared);
+    let worker_inflight = Arc::clone(&inflight);
+    let worker_corpus = corpus.clone();
     std::thread::spawn(move || {
         let slots = SlotGuard {
             shared: Arc::clone(&worker_shared),
             n,
         };
-        let outcome = run_resident_sweep(&corpus, &worker_shared);
-        // Release before sending: a client holding its response (or a
-        // STATS reader it wakes) must observe these cells as no longer
-        // in flight.
+        let done: SweepDone = match run_resident_sweep(&worker_corpus, &worker_shared) {
+            Ok((results, hits, simulated)) => Ok((Arc::new(results), hits, simulated)),
+            Err(e) => Err(format!("sweep failed: {e}")),
+        };
+        // Deregister and release slots before publishing: a client holding
+        // its response (or a STATS reader it wakes) must observe these
+        // cells as no longer in flight, and a late identical request must
+        // start fresh (it will hit the cache) rather than park on a
+        // completed rendezvous.
+        worker_shared.inflight.lock().unwrap().remove(&key);
         drop(slots);
-        let _ = tx.send((corpus, outcome));
+        *worker_inflight.done.lock().unwrap() = Some(done);
+        worker_inflight.cv.notify_all();
     });
-    let (corpus, outcome) = match rx.recv_timeout(shared.cfg.timeout) {
-        Ok(pair) => pair,
-        Err(mpsc::RecvTimeoutError::Timeout) => {
+    wait_for_sweep(verb, &corpus, &inflight, shared)
+}
+
+/// Park on an in-flight sweep until its worker publishes, then render this
+/// connection's response — leader and coalesced waiters share this path.
+fn wait_for_sweep(
+    verb: Verb,
+    corpus: &[SweepRequest],
+    inflight: &Inflight,
+    shared: &Arc<Shared>,
+) -> Response {
+    let deadline = Instant::now() + shared.cfg.timeout;
+    let mut done = inflight.done.lock().unwrap();
+    while done.is_none() {
+        let Some(remaining) = deadline
+            .checked_duration_since(Instant::now())
+            .filter(|d| !d.is_zero())
+        else {
             return Response::err(format!(
                 "timeout after {}ms (the sweep continues server-side and will \
                  be cached; retry to collect it)",
                 shared.cfg.timeout.as_millis()
-            ))
-        }
-        Err(mpsc::RecvTimeoutError::Disconnected) => return Response::err("sweep worker died"),
-    };
-    let (results, hits, simulated) = match outcome {
-        Ok(triple) => triple,
-        Err(e) => return Response::err(format!("sweep failed: {e}")),
+            ));
+        };
+        done = inflight.cv.wait_timeout(done, remaining).unwrap().0;
+    }
+    let (results, hits, simulated) = match done.as_ref().expect("loop exits on Some") {
+        Ok((results, hits, simulated)) => (Arc::clone(results), *hits, *simulated),
+        Err(e) => return Response::err(e.clone()),
     };
     let info = vec![
         ("cells".into(), corpus.len().to_string()),
@@ -593,7 +673,7 @@ fn handle_sweep(verb: Verb, body: &str, shared: &Arc<Shared>) -> Response {
             info.push(("digest".into(), format!("{:016x}", corpus[0].digest())));
             Response::ok_with(Verb::Result, info, results[0].to_text())
         }
-        _ => Response::ok_with(Verb::Sweep, info, render_report(&corpus, &results)),
+        _ => Response::ok_with(Verb::Sweep, info, render_report(corpus, &results)),
     }
 }
 
@@ -604,16 +684,10 @@ fn run_resident_sweep(
     corpus: &[SweepRequest],
     shared: &Arc<Shared>,
 ) -> Result<(Vec<SweepResult>, u64, u64), OmpError> {
-    let hits = AtomicU64::new(0);
-    let simulated = AtomicU64::new(0);
-    let cells = drive(corpus.len(), shared.cfg.jobs, |i| {
-        let req = &corpus[i];
-        if let Some(found) = shared.cache.lookup(req) {
-            hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(found);
-        }
+    let outcome = run_sweep_derived(corpus, shared.cfg.jobs, &shared.cache, |req| {
         let elide = match req.elide {
-            // Opt rewrites the IR inside execute_prepared; no runtime mode.
+            // Opt rewrites the IR inside the prepared execution; no
+            // runtime mode.
             ElideKind::Off | ElideKind::Opt => ElideMode::Off,
             ElideKind::Online => ElideMode::Online,
             ElideKind::Plan => {
@@ -621,18 +695,10 @@ fn run_resident_sweep(
                 ElideMode::Plan((*shared.plan_for(digest, &req.ir)).clone())
             }
         };
-        let fresh = execute_prepared(req, shared.model_for(req.preset), elide)?;
-        simulated.fetch_add(1, Ordering::Relaxed);
-        if let Err(e) = shared.cache.store(req, &fresh) {
-            eprintln!("apusim serve: cache store failed for {}: {e}", req.name);
-        }
-        Ok(fresh)
-    });
-    let results = cells.into_iter().collect::<Result<Vec<_>, OmpError>>()?;
-    let (h, s) = (
-        hits.load(Ordering::Relaxed),
-        simulated.load(Ordering::Relaxed),
-    );
+        (shared.model_for(req.preset), elide)
+    })?;
+    let results = outcome.results;
+    let (h, s) = (outcome.stats.hits, outcome.stats.simulated);
     shared.hits.fetch_add(h, Ordering::Relaxed);
     shared.simulated.fetch_add(s, Ordering::Relaxed);
     // Keep the store inside its byte budget once new entries landed.

@@ -14,13 +14,12 @@
 use crate::cache::{CacheMode, ResultCache};
 use crate::driver::drive;
 use crate::request::{config_token, SweepRequest};
-use crate::result::{merge_attribution, SweepResult};
+use crate::result::{merge_attribution, SweepResult, TenantRow};
 use hsa_rocr::Topology;
 use omp_offload::telemetry::attribution;
-use omp_offload::{replay, replay_threads, OmpError, OmpRuntime};
+use omp_offload::{replay, replay_threads, MapIr, OmpError, OmpRuntime, RunReport, TenantPool};
 use sim_des::FaultPlan;
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Cache effectiveness counters for one sweep. Reported on stderr by the
@@ -79,6 +78,16 @@ pub fn execute_prepared(
     model: apu_mem::CostModel,
     elide: omp_offload::ElideMode,
 ) -> Result<SweepResult, OmpError> {
+    // Multi-tenant cells go through the pool path (tenants replayed in id
+    // order on this thread); sweeps flatten the same tenant tasks across
+    // the work-stealing pool instead, with identical result bytes.
+    if req.tenants > 1 {
+        let cell = PreparedCell::prepare(req, model, elide);
+        let per = (0..req.tenants)
+            .map(|t| cell.run_tenant(t))
+            .collect::<Result<Vec<_>, _>>()?;
+        return Ok(PreparedCell::assemble(per));
+    }
     // Opt mode rewrites the program itself before replay. The rewrite is a
     // pure function of the capture, so the cache contract holds; an
     // ill-formed capture (optimizer refusal) replays unrewritten and lets
@@ -106,8 +115,11 @@ pub fn execute_prepared(
     let mut rt = b.build()?;
     let out = replay(&mut rt, ir)?;
     let memory_digest = rt.memory_digest();
-    let report = rt.finish();
+    Ok(distill(out, memory_digest, rt.finish()))
+}
 
+/// Distill one finished runtime into the serializable per-cell result.
+fn distill(out: omp_offload::ReplayOutcome, memory_digest: u64, report: RunReport) -> SweepResult {
     let mut result = SweepResult {
         ops: out.ops as u64,
         kernels: out.kernels as u64,
@@ -126,7 +138,84 @@ pub fn execute_prepared(
         result.sites = attr.sites;
         result.kernel_rows = attr.kernels;
     }
-    Ok(result)
+    result
+}
+
+/// One multi-tenant cell, prepared once and shared by its tenant tasks:
+/// the resolved (possibly statically rewritten) program plus the
+/// [`TenantPool`] whose sharded table every tenant inserts into. Tenant
+/// tasks borrow the cell concurrently from the work-stealing pool; the
+/// pool's VA-window isolation makes the schedule unobservable in the
+/// per-tenant bytes.
+pub struct PreparedCell {
+    ir: Arc<MapIr>,
+    pool: TenantPool,
+    tenants: u32,
+}
+
+impl PreparedCell {
+    /// Resolve the request's derivable inputs once per cell: Opt-mode IR
+    /// rewriting, the runtime recipe, and the shared tenant pool.
+    pub fn prepare(
+        req: &SweepRequest,
+        model: apu_mem::CostModel,
+        elide: omp_offload::ElideMode,
+    ) -> PreparedCell {
+        let ir = match req.elide {
+            crate::request::ElideKind::Opt => match omp_mapcheck::optimize(&req.ir) {
+                Ok(o) => Arc::new(o.ir),
+                Err(_) => Arc::clone(&req.ir),
+            },
+            _ => Arc::clone(&req.ir),
+        };
+        let mut b = OmpRuntime::builder(model, Topology::default())
+            .config(req.config)
+            .threads(replay_threads(&ir))
+            .sanitize(true)
+            .elide(elide)
+            .telemetry(req.telemetry.mode());
+        if let Some(seed) = req.fault_seed {
+            b = b.fault_plan(FaultPlan::from_seed(seed));
+        }
+        PreparedCell {
+            ir,
+            pool: TenantPool::new(b),
+            tenants: req.tenants,
+        }
+    }
+
+    /// Tenant count of the underlying request.
+    pub fn tenants(&self) -> u32 {
+        self.tenants
+    }
+
+    /// Replay the program as tenant `t` of the shared pool and distill its
+    /// private result.
+    pub fn run_tenant(&self, t: u32) -> Result<SweepResult, OmpError> {
+        let mut tenant = self.pool.tenant(t)?;
+        let out = replay(&mut tenant, &self.ir)?;
+        let memory_digest = tenant.memory_digest();
+        Ok(distill(out, memory_digest, tenant.into_runtime().finish()))
+    }
+
+    /// Fold per-tenant results (in tenant-id order) into the cell's
+    /// result: the primary fields are tenant 0's — byte-equal to running
+    /// tenant 0 alone — and every tenant contributes a summary row.
+    pub fn assemble(per_tenant: Vec<SweepResult>) -> SweepResult {
+        let rows: Vec<TenantRow> = per_tenant
+            .iter()
+            .enumerate()
+            .map(|(t, r)| TenantRow {
+                tenant: t as u32,
+                memory_digest: r.memory_digest,
+                makespan: r.makespan,
+                maps: r.ledger.maps,
+            })
+            .collect();
+        let mut primary = per_tenant.into_iter().next().expect("at least tenant 0");
+        primary.tenant_rows = rows;
+        primary
+    }
 }
 
 /// Run a whole corpus: each cell is answered from the cache when possible
@@ -139,29 +228,101 @@ pub fn run_sweep(
     cache_mode: &CacheMode,
 ) -> Result<SweepOutcome, OmpError> {
     let cache = ResultCache::open(cache_mode);
-    let hits = AtomicU64::new(0);
-    let simulated = AtomicU64::new(0);
-    let cells = drive(corpus.len(), jobs, |i| {
-        let req = &corpus[i];
-        if let Some(found) = cache.lookup(req) {
-            hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(found);
+    run_sweep_derived(corpus, jobs, &cache, |req| {
+        (
+            req.preset.model(),
+            req.elide.mode_with(|| omp_mapcheck::elision_plan(&req.ir)),
+        )
+    })
+}
+
+/// [`run_sweep`] with the per-request derivable inputs — the cost model
+/// and the resolved elide mode — supplied by a caller-owned function and
+/// an already-open cache. This is the shared engine of the offline path
+/// and the resident server (`apusim serve`, which derives from its warm
+/// tables). Single-tenant cells run the classic one-task-per-cell path;
+/// multi-tenant cells are flattened into one task *per tenant*, so
+/// intra-cell tenant work and cross-cell sweep work share the same
+/// work-stealing pool.
+pub fn run_sweep_derived<F>(
+    corpus: &[SweepRequest],
+    jobs: usize,
+    cache: &ResultCache,
+    derive: F,
+) -> Result<SweepOutcome, OmpError>
+where
+    F: Fn(&SweepRequest) -> (apu_mem::CostModel, omp_offload::ElideMode) + Sync,
+{
+    // Cache pass first: hits never reach the pool, and the flattened task
+    // list needs the set of misses up front.
+    let mut slots: Vec<Option<SweepResult>> = corpus.iter().map(|req| cache.lookup(req)).collect();
+    let hits = slots.iter().filter(|s| s.is_some()).count() as u64;
+
+    #[derive(Clone, Copy)]
+    enum Sub {
+        Solo,
+        Tenant(usize, u32),
+    }
+    let mut prepared: Vec<PreparedCell> = Vec::new();
+    let mut tasks: Vec<(usize, Sub)> = Vec::new();
+    for (i, req) in corpus.iter().enumerate() {
+        if slots[i].is_some() {
+            continue;
         }
-        let fresh = execute(req)?;
-        simulated.fetch_add(1, Ordering::Relaxed);
-        if let Err(e) = cache.store(req, &fresh) {
+        if req.tenants == 1 {
+            tasks.push((i, Sub::Solo));
+        } else {
+            let (model, elide) = derive(req);
+            let pi = prepared.len();
+            prepared.push(PreparedCell::prepare(req, model, elide));
+            for t in 0..req.tenants {
+                tasks.push((i, Sub::Tenant(pi, t)));
+            }
+        }
+    }
+    let outs = drive(tasks.len(), jobs, |k| {
+        let (i, sub) = tasks[k];
+        match sub {
+            Sub::Solo => {
+                let req = &corpus[i];
+                let (model, elide) = derive(req);
+                execute_prepared(req, model, elide)
+            }
+            Sub::Tenant(pi, t) => prepared[pi].run_tenant(t),
+        }
+    });
+    let outs = outs.into_iter().collect::<Result<Vec<_>, OmpError>>()?;
+
+    // Reassemble per-cell results in injection order and store the misses.
+    let mut it = outs.into_iter();
+    for (i, req) in corpus.iter().enumerate() {
+        if slots[i].is_some() {
+            continue;
+        }
+        let result = if req.tenants == 1 {
+            it.next().expect("one task per solo cell")
+        } else {
+            let per: Vec<SweepResult> = (0..req.tenants)
+                .map(|_| it.next().expect("one task per tenant"))
+                .collect();
+            PreparedCell::assemble(per)
+        };
+        if let Err(e) = cache.store(req, &result) {
             // Memoization is an optimization; a full disk or read-only
             // cache directory must not fail the sweep itself.
             eprintln!("apusim: cache store failed for {}: {e}", req.name);
         }
-        Ok(fresh)
-    });
-    let results = cells.into_iter().collect::<Result<Vec<_>, OmpError>>()?;
+        slots[i] = Some(result);
+    }
+    let results: Vec<SweepResult> = slots
+        .into_iter()
+        .map(|s| s.expect("every cell resolved"))
+        .collect();
     Ok(SweepOutcome {
         results,
         stats: SweepStats {
-            hits: hits.load(Ordering::Relaxed),
-            simulated: simulated.load(Ordering::Relaxed),
+            hits,
+            simulated: corpus.len() as u64 - hits,
         },
     })
 }
@@ -402,6 +563,29 @@ mod tests {
         let warm =
             execute_prepared(&req, req.preset.model(), omp_offload::ElideMode::Plan(plan)).unwrap();
         assert_eq!(cold, warm);
+    }
+
+    #[test]
+    fn multi_tenant_cells_report_per_tenant_rows_and_keep_tenant0_bytes() {
+        let base = tiny_corpus().remove(0);
+        let mut multi = base.clone();
+        multi.tenants = 4;
+        let solo = execute(&base).unwrap();
+        let fan = execute(&multi).unwrap();
+        assert_eq!(fan.tenant_rows.len(), 4);
+        assert_eq!(fan.tenant_rows[0].memory_digest, solo.memory_digest);
+        let mut stripped = fan.clone();
+        stripped.tenant_rows.clear();
+        assert_eq!(stripped, solo, "primary fields are tenant 0's solo bytes");
+        // The tenant schedule is unobservable: the flattened tenant tasks
+        // produce the same cell bytes on 1 and 4 workers.
+        let corpus = vec![multi];
+        let serial = run_sweep(&corpus, 1, &CacheMode::Off).unwrap();
+        let parallel = run_sweep(&corpus, 4, &CacheMode::Off).unwrap();
+        assert_eq!(serial.results, parallel.results);
+        assert_eq!(serial.results[0], fan);
+        // And the serialized form round-trips the tenant rows exactly.
+        assert_eq!(SweepResult::parse(&fan.to_text()).unwrap(), fan);
     }
 
     #[test]

@@ -220,10 +220,21 @@ fn concurrent_clients_get_identical_bytes_with_exact_accounting() {
         n,
         "cold sweep simulated each cell once"
     );
+    // Concurrent identical sweeps may coalesce onto one run: every client
+    // either led a sweep (hitting all n cells from the cache) or parked on
+    // a leader's rendezvous. Each read the same bytes regardless.
+    let hits = info_u64(&stats, "hits");
+    let coalesced = info_u64(&stats, "coalesced");
+    assert_eq!(hits % n, 0, "warm hits come in whole corpora");
+    let leaders = hits / n;
+    assert!(
+        (1..=CLIENTS as u64).contains(&leaders),
+        "between one and {CLIENTS} warm sweeps actually ran, got {leaders}"
+    );
     assert_eq!(
-        info_u64(&stats, "hits"),
-        n * CLIENTS as u64,
-        "each warm client hit every cell"
+        leaders + coalesced,
+        CLIENTS as u64,
+        "every warm client either led a sweep or coalesced onto one"
     );
     assert_eq!(info_u64(&stats, "in_flight"), 0);
     assert_eq!(info_u64(&stats, "malformed"), MALFORMED as u64);
@@ -239,6 +250,84 @@ fn concurrent_clients_get_identical_bytes_with_exact_accounting() {
     );
 
     auditor.shutdown().expect("shutdown");
+    handle.join().expect("server exits cleanly");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn identical_inflight_sweeps_coalesce_onto_one_run() {
+    let corpus = corpus();
+    let n = corpus.len() as u64;
+    let expected = offline_report(&corpus);
+    let cells = cells_of(&corpus);
+
+    // No cache and one worker: if the second client did NOT coalesce, the
+    // corpus would simulate twice and the global counter would say so.
+    let dir = scratch_dir("coalesce");
+    let sock = dir.join("serve.sock");
+    let server = Server::bind_unix(
+        &sock,
+        ServerConfig {
+            cache: CacheMode::Off,
+            jobs: 1,
+            timeout: Duration::from_secs(120),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let handle = server.spawn();
+
+    let mut client = Client::connect_unix(&sock).expect("connect");
+    upload_captures(&mut client, &corpus);
+
+    // Fire the leader's cold sweep on a thread...
+    let leader = {
+        let sock = sock.clone();
+        let cells = cells.clone();
+        std::thread::spawn(move || {
+            let mut c = Client::connect_unix(&sock).expect("connect");
+            c.sweep(&cells).expect("leader sweep")
+        })
+    };
+    // ...wait until it is visibly in flight (the sweep itself takes far
+    // longer than this poll loop, so the rendezvous window is wide open)...
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let stats = client.stats().expect("stats");
+        if info_u64(&stats, "in_flight") > 0 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "leader sweep never admitted");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    // ...then send the byte-identical request: it must park on the
+    // leader's rendezvous instead of simulating the corpus again.
+    let waiter = client.sweep(&cells).expect("waiter sweep");
+    let leader = leader.join().expect("leader thread");
+
+    assert_eq!(
+        info_u64(&waiter, "simulated"),
+        n,
+        "the waiter reports the leader's accounting"
+    );
+    assert_eq!(leader.into_ok_body().unwrap(), expected);
+    assert_eq!(
+        waiter.into_ok_body().unwrap(),
+        expected,
+        "leader and waiter read the same bytes"
+    );
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(info_u64(&stats, "coalesced"), 1, "second client coalesced");
+    assert_eq!(
+        info_u64(&stats, "simulated"),
+        n,
+        "two clients, each cell simulated exactly once with the cache off"
+    );
+    assert_eq!(info_u64(&stats, "hits"), 0);
+    assert_eq!(info_u64(&stats, "in_flight"), 0);
+
+    client.shutdown().expect("shutdown");
     handle.join().expect("server exits cleanly");
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -14,10 +14,12 @@ use crate::config::{RunEnv, RuntimeConfig};
 use crate::elide::ElideMode;
 use crate::error::OmpError;
 use crate::runtime::OmpRuntime;
+use crate::shard::ShardedMappingTable;
 use crate::telemetry::TelemetryMode;
 use apu_mem::{CostModel, MemOptions, SystemKind, XnackMode};
 use hsa_rocr::{HsaRuntime, Topology};
 use sim_des::{Backoff, FaultPlan};
+use std::sync::Arc;
 
 /// Instrumentation switches forwarded from the builder to the runtime
 /// constructor (grouped so the constructor signature stays readable).
@@ -28,6 +30,10 @@ pub(crate) struct Instrumentation {
     pub sanitize_every: u64,
     pub elide: ElideMode,
     pub telemetry: TelemetryMode,
+    /// Shared mapping table (tenant pools); `None` builds a private one.
+    pub table: Option<Arc<ShardedMappingTable>>,
+    /// Host-VA window `[lo, hi)` this runtime owns within a shared table.
+    pub window: Option<(u64, u64)>,
 }
 
 /// Bounded retry-with-backoff parameters applied by [`OmpRuntime`] to
@@ -82,6 +88,8 @@ pub struct RuntimeBuilder {
     sanitize_every: u64,
     elide: ElideMode,
     telemetry: TelemetryMode,
+    shared_table: Option<Arc<ShardedMappingTable>>,
+    tenant: Option<u32>,
 }
 
 impl RuntimeBuilder {
@@ -101,6 +109,8 @@ impl RuntimeBuilder {
             sanitize_every: 1,
             elide: ElideMode::Off,
             telemetry: TelemetryMode::Off,
+            shared_table: None,
+            tenant: None,
         }
     }
 
@@ -216,6 +226,21 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Attach this runtime to a shared mapping table as tenant `id` (used
+    /// by [`TenantPool`](crate::TenantPool)): the memory image shifts into
+    /// the tenant's disjoint VA window and the end-of-program leak scan is
+    /// bounded to that window's slice of the shared table.
+    pub(crate) fn attach_tenant(mut self, table: Arc<ShardedMappingTable>, id: u32) -> Self {
+        self.shared_table = Some(table);
+        self.tenant = Some(id);
+        self
+    }
+
+    /// The attached fault plan, if any (tenant derivation).
+    pub(crate) fn fault_plan_ref(&self) -> Option<&FaultPlan> {
+        self.fault_plan.as_ref()
+    }
+
     /// Construct the runtime: pick the engaging configuration (with startup
     /// degradation), build the memory system, run device/per-thread
     /// initialization, and arm the fault plan.
@@ -269,7 +294,15 @@ impl RuntimeBuilder {
             _ => SystemKind::Apu,
         };
 
-        let mut hsa = HsaRuntime::with_options(self.cost, self.topo, kind, self.mem_options);
+        let mut mem_options = self.mem_options;
+        let window = self.tenant.map(|id| {
+            let shift = u64::from(id) * crate::tenant::TENANT_VA_STRIDE;
+            mem_options.va_shift = shift;
+            let lo = apu_mem::HOST_VA_BASE + shift;
+            (lo, lo + crate::tenant::TENANT_VA_STRIDE)
+        });
+
+        let mut hsa = HsaRuntime::with_options(self.cost, self.topo, kind, mem_options);
         hsa.device_init(0)?;
         for t in 1..self.threads {
             hsa.thread_init(t)?;
@@ -290,6 +323,8 @@ impl RuntimeBuilder {
                 sanitize_every: self.sanitize_every,
                 elide: self.elide,
                 telemetry: self.telemetry,
+                table: self.shared_table,
+                window,
             },
         ))
     }

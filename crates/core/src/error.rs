@@ -45,6 +45,13 @@ pub enum OmpError {
         /// Attempts made before giving up.
         attempts: u32,
     },
+    /// A tenant id beyond the pool's VA-window capacity was requested.
+    TenantOutOfRange {
+        /// The requested tenant id.
+        id: u32,
+        /// Exclusive upper bound on tenant ids.
+        max: u32,
+    },
 }
 
 impl fmt::Display for OmpError {
@@ -76,6 +83,9 @@ impl fmt::Display for OmpError {
                     "recovery exhausted after {attempts} attempts at fault site {}",
                     kind.label()
                 )
+            }
+            OmpError::TenantOutOfRange { id, max } => {
+                write!(f, "tenant id {id} out of range (pool holds {max} windows)")
             }
         }
     }

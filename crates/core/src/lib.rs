@@ -59,7 +59,9 @@ pub mod modes;
 mod replay;
 mod runtime;
 mod sanitize;
+mod shard;
 pub mod telemetry;
+mod tenant;
 mod trace;
 
 pub use builder::{RecoveryPolicy, RuntimeBuilder};
@@ -76,5 +78,7 @@ pub use modes::{CacheMode, ElideKind, ModeParseError, TelemetryKind};
 pub use replay::{replay, replay_threads, ReplayOutcome, REPLAY_KERNEL_COMPUTE_US};
 pub use runtime::{OmpRuntime, RunReport};
 pub use sanitize::SanitizerReport;
+pub use shard::{MapLookupCache, ShardedMappingTable, SHARD_COUNT};
 pub use telemetry::{TelemetryMode, TelemetryReport};
+pub use tenant::{Tenant, TenantPool, MAX_TENANTS, TENANT_VA_STRIDE};
 pub use trace::{KernelTraceEntry, OverheadLedger, RecoveryAction, RecoveryEvent};

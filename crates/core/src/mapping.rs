@@ -9,6 +9,7 @@
 //! semantics — but the "device" address equals the host address.
 
 use crate::error::OmpError;
+use crate::shard::MapLookupCache;
 use apu_mem::{AddrRange, VirtAddr};
 use std::collections::BTreeMap;
 
@@ -125,23 +126,22 @@ pub enum Presence {
     Partial,
 }
 
-/// Ways in the extent-keyed presence lookup cache. Sized for the repeated-map
-/// workloads that drive elision (a kernel's handful of operands re-probed
-/// every iteration), not for capacity.
-const LOOKUP_CACHE_WAYS: usize = 8;
-
 /// The mapping table: live entries keyed by host start address.
+///
+/// This is the single-owner table; the concurrent multi-tenant variant
+/// is [`crate::shard::ShardedMappingTable`], which the runtime itself
+/// uses. It stays as the reference oracle for the sharded table's
+/// equivalence tests and for direct sanitizer/static-analysis use.
 #[derive(Debug, Default)]
 pub struct MappingTable {
     entries: BTreeMap<u64, Mapping>,
     /// Lifetime number of map operations processed (statistics).
     total_maps: u64,
-    /// Extent-keyed presence cache, most-recently-used first (so index 0 is
-    /// the last-hit slot and the tail ages out LRU). Invalidated whenever an
-    /// entry is inserted or removed — refcount changes don't affect presence.
-    cache: Vec<(AddrRange, Presence)>,
-    lookup_hits: u64,
-    lookup_misses: u64,
+    /// Extent-keyed presence cache (see [`MapLookupCache`]). Invalidated
+    /// whenever an entry is inserted or removed — refcount changes don't
+    /// affect presence. Interior-mutable, so shared readers can probe
+    /// through `&self`.
+    cache: MapLookupCache,
 }
 
 impl MappingTable {
@@ -192,23 +192,18 @@ impl MappingTable {
     /// probe hit the cache. This is the elision hot path: the repeated-map
     /// workloads probe the same few extents once per kernel per iteration,
     /// so after the first round every probe is an O(1) cache hit.
-    pub fn presence_cached(&mut self, range: &AddrRange) -> (Presence, bool) {
-        if let Some(i) = self.cache.iter().position(|(r, _)| r == range) {
-            let slot = self.cache.remove(i);
-            self.cache.insert(0, slot);
-            self.lookup_hits += 1;
-            return (self.cache[0].1, true);
+    pub fn presence_cached(&self, range: &AddrRange) -> (Presence, bool) {
+        if let Some(p) = self.cache.probe(range) {
+            return (p, true);
         }
         let p = self.presence(range);
-        self.cache.insert(0, (*range, p));
-        self.cache.truncate(LOOKUP_CACHE_WAYS);
-        self.lookup_misses += 1;
+        self.cache.fill(*range, p);
         (p, false)
     }
 
     /// `(hits, misses)` observed by [`presence_cached`](Self::presence_cached).
     pub fn lookup_cache_stats(&self) -> (u64, u64) {
-        (self.lookup_hits, self.lookup_misses)
+        self.cache.stats()
     }
 
     /// The live entry containing `addr`, if any.
@@ -229,7 +224,7 @@ impl MappingTable {
     /// the range is `Absent`.
     pub fn insert(&mut self, host: AddrRange, device_base: VirtAddr) {
         debug_assert_eq!(self.presence(&host), Presence::Absent);
-        self.cache.clear();
+        self.cache.invalidate();
         self.total_maps += 1;
         self.entries.insert(
             host.start.as_u64(),
@@ -273,7 +268,7 @@ impl MappingTable {
             m.refcount.saturating_sub(1)
         };
         if m.refcount == 0 {
-            self.cache.clear();
+            self.cache.invalidate();
             Ok(self.entries.remove(&key))
         } else {
             Ok(None)
@@ -371,6 +366,8 @@ mod tests {
         assert_eq!(e.dir, MapDir::ToFrom);
         assert!(!MapEntry::alloc(r(0, 8)).always);
     }
+
+    use crate::shard::LOOKUP_CACHE_WAYS;
 
     #[test]
     fn cached_presence_hits_on_repeat_and_invalidates_on_change() {

@@ -14,8 +14,9 @@ use crate::error::OmpError;
 use crate::globals::{GlobalId, GlobalRegistry};
 use crate::kernel::{KernelCtx, TargetRegion};
 use crate::mapir::{KernelOp, MapIr, MapOp};
-use crate::mapping::{MapDir, MapEntry, MappingTable, Presence};
+use crate::mapping::{MapDir, MapEntry, Presence};
 use crate::sanitize::{MapSanitizer, SanitizerReport};
+use crate::shard::{MapLookupCache, ShardedMappingTable};
 use crate::telemetry::{ElideProbe, EventKind, EventRing, TelemetryMode, TelemetryReport};
 use crate::trace::{KernelTraceEntry, OverheadLedger, RecoveryAction, RecoveryEvent};
 use apu_mem::{AddrRange, ApuMemory, CostModel, MemError, MemStats, VirtAddr, XnackMode};
@@ -65,7 +66,19 @@ pub struct OmpRuntime {
     hsa: HsaRuntime,
     config: RuntimeConfig,
     xnack: XnackMode,
-    mapping: MappingTable,
+    /// The mapping table — possibly shared with other tenants of a
+    /// [`crate::tenant::TenantPool`]; a solo runtime owns its `Arc` alone.
+    mapping: Arc<ShardedMappingTable>,
+    /// This runtime's private presence lookup cache (the zero-contention
+    /// fast path). Invalidated at this runtime's own insert/remove sites;
+    /// sound across tenants because their VA windows are disjoint.
+    lookup: MapLookupCache,
+    /// Live entries *this* runtime inserted (the shared table's `len()`
+    /// counts every tenant's).
+    live_maps: usize,
+    /// Host-VA window `[lo, hi)` owned by this tenant, when the table is
+    /// shared; bounds the end-of-program leak scan to our own entries.
+    window: Option<(u64, u64)>,
     globals: GlobalRegistry,
     ledger: OverheadLedger,
     threads: usize,
@@ -121,7 +134,12 @@ impl OmpRuntime {
             hsa,
             config,
             xnack: config.xnack(),
-            mapping: MappingTable::new(),
+            mapping: instr
+                .table
+                .unwrap_or_else(|| Arc::new(ShardedMappingTable::new())),
+            lookup: MapLookupCache::new(),
+            live_maps: 0,
+            window: instr.window,
             globals: GlobalRegistry::new(),
             ledger: OverheadLedger::default(),
             threads,
@@ -183,15 +201,15 @@ impl OmpRuntime {
         self.threads
     }
 
-    /// Live mapping-table entries (diagnostics).
+    /// Live mapping-table entries this runtime inserted (diagnostics).
     pub fn live_mappings(&self) -> usize {
-        self.mapping.len()
+        self.live_maps
     }
 
-    /// `(hits, misses)` observed by the mapping table's extent-keyed
-    /// presence lookup cache (the online-elision hot path).
+    /// `(hits, misses)` observed by this runtime's extent-keyed presence
+    /// lookup cache (the online-elision hot path).
     pub fn mapping_cache_stats(&self) -> (u64, u64) {
-        self.mapping.lookup_cache_stats()
+        self.lookup.stats()
     }
 
     /// Fold of the telemetry stream recorded so far (`None` when telemetry
@@ -841,18 +859,33 @@ impl OmpRuntime {
     /// against the live table and return everything found. Idempotent; for
     /// use when a run aborts early and `finish` is never reached.
     pub fn sanitizer_finalize(&mut self) -> &[Diagnostic] {
-        if let Some(s) = &mut self.sanitizer {
-            s.end_of_program(&self.mapping);
+        if self.sanitizer.is_some() {
+            let live = self.live_snapshot();
+            if let Some(s) = &mut self.sanitizer {
+                s.end_of_program(&live);
+            }
         }
         self.sync_sanitizer_events(0);
         self.sanitizer.as_ref().map_or(&[], |s| s.diagnostics())
     }
 
     fn finalize_sanitizer(&mut self) -> Option<SanitizerReport> {
-        self.sanitizer.as_mut()?.end_of_program(&self.mapping);
+        self.sanitizer.as_ref()?;
+        let live = self.live_snapshot();
+        self.sanitizer.as_mut()?.end_of_program(&live);
         self.sync_sanitizer_events(0);
         let s = self.sanitizer.take()?;
         Some(s.into_report())
+    }
+
+    /// The live table entries this runtime is responsible for, sorted by
+    /// host start — the whole table for a solo runtime, our VA window's
+    /// slice when the table is shared.
+    fn live_snapshot(&self) -> Vec<crate::mapping::Mapping> {
+        match self.window {
+            Some((lo, hi)) => self.mapping.snapshot_window(lo, hi),
+            None => self.mapping.snapshot(),
+        }
     }
 
     /// Advance the operation counter: one tick per data-environment
@@ -981,7 +1014,7 @@ impl OmpRuntime {
                 continue;
             }
             let (probe, lookup, saved) = if online {
-                let (presence, hit) = self.mapping.presence_cached(&e.range);
+                let (presence, hit) = self.mapping.presence_cached(&self.lookup, &e.range);
                 if presence != Presence::Present {
                     continue;
                 }
@@ -1046,7 +1079,7 @@ impl OmpRuntime {
     ) -> (RunReport, Vec<VirtDuration>) {
         let sanitizer = self.finalize_sanitizer();
         let telemetry = self.telemetry.take().map(EventRing::into_report);
-        let mapping_cache = self.mapping.lookup_cache_stats();
+        let mapping_cache = self.lookup.stats();
         let config = self.config;
         let threads = self.threads;
         let ledger = self.ledger;
@@ -1083,7 +1116,7 @@ impl OmpRuntime {
     pub fn finish_with(mut self, opts: &RunOptions) -> RunReport {
         let sanitizer = self.finalize_sanitizer();
         let telemetry = self.telemetry.take().map(EventRing::into_report);
-        let mapping_cache = self.mapping.lookup_cache_stats();
+        let mapping_cache = self.lookup.stats();
         let config = self.config;
         let threads = self.threads;
         let ledger = self.ledger;
@@ -1337,6 +1370,8 @@ impl OmpRuntime {
                 if self.config.is_zero_copy() {
                     // Zero-copy: presence bookkeeping only; device == host.
                     self.mapping.insert(e.range, e.range.start);
+                    self.lookup.invalidate();
+                    self.live_maps += 1;
                 } else {
                     let a0 = self.anchor(thread);
                     let dev = self.pool_allocate_recovered(thread, e.range.len)?;
@@ -1352,6 +1387,8 @@ impl OmpRuntime {
                         },
                     );
                     self.mapping.insert(e.range, dev);
+                    self.lookup.invalidate();
+                    self.live_maps += 1;
                     if e.dir.copies_to() {
                         self.issue_copy(thread, e.range.start, dev, e.range.len, false)?;
                     }
@@ -1400,7 +1437,10 @@ impl OmpRuntime {
         }
         self.sync_sanitizer_events(thread);
         if self.config.is_zero_copy() {
-            self.mapping.release(&e.range, delete)?;
+            if self.mapping.release(&e.range, delete)?.is_some() {
+                self.lookup.invalidate();
+                self.live_maps -= 1;
+            }
             return Ok(());
         }
         // Copy configuration: from-transfers happen when the entry is about
@@ -1417,6 +1457,8 @@ impl OmpRuntime {
             self.issue_copy(thread, dev, e.range.start, e.range.len, true)?;
         }
         if let Some(removed) = self.mapping.release(&e.range, delete)? {
+            self.lookup.invalidate();
+            self.live_maps -= 1;
             let pages = self
                 .mem()
                 .page_size()

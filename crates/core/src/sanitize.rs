@@ -17,7 +17,7 @@
 
 use crate::config::RuntimeConfig;
 use crate::diag::{msg, DiagCode, Diagnostic};
-use crate::mapping::{MapEntry, MappingTable, Presence};
+use crate::mapping::{MapEntry, Mapping, Presence};
 use apu_mem::{AddrRange, VirtAddr};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -64,7 +64,7 @@ struct ExtentClock {
 /// Dynamic invariant checker driven by runtime hooks.
 ///
 /// Presence and disappearing verdicts come from the caller (the runtime's
-/// real [`MappingTable`]); the sanitizer owns only what the runtime does not
+/// real mapping table); the sanitizer owns only what the runtime does not
 /// track: version clocks, pool-allocation extents, and diagnostics.
 #[derive(Debug)]
 pub(crate) struct MapSanitizer {
@@ -354,8 +354,10 @@ impl MapSanitizer {
 
     /// End of program: whatever the real table still holds is a leak
     /// (MC001) — including extents kept live by `nowait` exit maps that no
-    /// `taskwait` ever reclaimed. Idempotent.
-    pub(crate) fn end_of_program(&mut self, table: &MappingTable) {
+    /// `taskwait` ever reclaimed. Takes the caller's snapshot of its live
+    /// entries (a shared-table tenant passes only its own VA window's
+    /// slice), sorted by host start. Idempotent.
+    pub(crate) fn end_of_program(&mut self, live: &[Mapping]) {
         if self.finalized {
             return;
         }
@@ -363,7 +365,7 @@ impl MapSanitizer {
         // Leak checks are not sampled: they run once and are the cheapest
         // place to catch what sampling may have deferred past program end.
         self.observing = true;
-        let leaked: Vec<(AddrRange, u32)> = table.iter().map(|m| (m.host, m.refcount)).collect();
+        let leaked: Vec<(AddrRange, u32)> = live.iter().map(|m| (m.host, m.refcount)).collect();
         for (extent, refcount) in leaked {
             self.report(DiagCode::Mc001, 0, extent, msg::leaked(refcount));
         }
@@ -491,9 +493,12 @@ mod tests {
         s.on_pool_alloc(r(1 << 20, 4096)); // consume the always-observed first hook
         s.on_map_exit(0, &MapEntry::from(buf), Presence::Absent, true);
         assert!(s.diagnostics().is_empty(), "mid-run hazard sampled out");
-        let mut table = MappingTable::new();
-        table.insert(buf, buf.start);
-        s.end_of_program(&table);
+        let live = [Mapping {
+            host: buf,
+            device_base: buf.start,
+            refcount: 1,
+        }];
+        s.end_of_program(&live);
         assert_eq!(s.diagnostics().len(), 1);
         assert_eq!(s.diagnostics()[0].code, DiagCode::Mc001);
     }

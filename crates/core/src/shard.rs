@@ -1,0 +1,506 @@
+//! Sharded mapping state for the multi-tenant runtime.
+//!
+//! [`ShardedMappingTable`] splits the live-entry map into
+//! [`SHARD_COUNT`] independently locked address-range shards so many
+//! tenants (or many worker threads of one sweep) can mutate disjoint
+//! regions of the table without serializing on a single lock.
+//! [`MapLookupCache`] is the per-tenant generalization of the 8-way MRU
+//! presence cache that used to live inside `MappingTable`: probes are a
+//! zero-contention fast path over plain `Cell`/`RefCell` state owned by
+//! one thread, and only a miss takes shard locks to recompute presence
+//! (the pop-fast / refill-bulk pattern from the ROADMAP).
+//!
+//! ## Sharding scheme
+//!
+//! Addresses are bucketed by 4 MiB *granule*: shard index =
+//! `(addr >> 22) & (SHARD_COUNT - 1)`. An entry whose host range is
+//! confined to a single granule lives in that granule's shard; the rare
+//! entry that crosses a granule boundary lives in a dedicated `spanning`
+//! map. Because live entries never overlap (the runtime checks
+//! `Absent` before every insert), a point lookup needs exactly two
+//! predecessor probes — the address's own shard plus `spanning` — and
+//! at most one can produce a containing entry.
+//!
+//! ## Cache coherence rule
+//!
+//! The table deliberately carries **no** epoch or generation counter:
+//! each runtime/tenant invalidates *its own* [`MapLookupCache`] at
+//! exactly the points where it inserts or removes an entry, mirroring
+//! the old single-owner clear-on-mutation behaviour. This is sound
+//! because tenants operate on disjoint VA windows (see
+//! `tenant::TENANT_VA_STRIDE`), so no tenant's mutation can change the
+//! presence answer for an extent another tenant probes — and it is what
+//! keeps a tenant's hit/miss sequence (and therefore its elision lookup
+//! charges and ledger bytes) independent of its neighbours.
+
+use crate::error::OmpError;
+use crate::mapping::{Mapping, Presence};
+use apu_mem::{AddrRange, VirtAddr};
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of address-range shards. A power of two so the granule index
+/// folds with a mask.
+pub const SHARD_COUNT: usize = 16;
+
+/// log2 of the sharding granule: 4 MiB. Small enough that distinct
+/// buffers of one program usually land in distinct shards, large enough
+/// that typical map extents (KBs to a few MBs) stay confined.
+const SHARD_GRANULE_BITS: u32 = 22;
+
+/// Ways in the extent-keyed presence lookup cache. Sized for the
+/// repeated-map workloads that drive elision (a kernel's handful of
+/// operands re-probed every iteration), not for capacity.
+pub(crate) const LOOKUP_CACHE_WAYS: usize = 8;
+
+/// A private 8-way MRU presence cache, owned by one runtime/tenant.
+///
+/// Interior mutability is `Cell`/`RefCell`, not a lock: probes from the
+/// owning thread never contend with anything. The type is deliberately
+/// `Send` but **not** `Sync` — sharing one cache between threads would
+/// reintroduce the contention (and the cross-tenant hit/miss coupling)
+/// the sharded design removes, so the compiler forbids it.
+#[derive(Debug, Default)]
+pub struct MapLookupCache {
+    /// Most-recently-used first, so index 0 is the last-hit slot and the
+    /// tail ages out LRU.
+    slots: RefCell<Vec<(AddrRange, Presence)>>,
+    hits: Cell<u64>,
+    misses: Cell<u64>,
+}
+
+impl MapLookupCache {
+    /// Create an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fast path: return the cached presence for `range` if present,
+    /// promoting the slot to most-recently-used and counting a hit.
+    pub fn probe(&self, range: &AddrRange) -> Option<Presence> {
+        let mut slots = self.slots.borrow_mut();
+        let i = slots.iter().position(|(r, _)| r == range)?;
+        let slot = slots.remove(i);
+        slots.insert(0, slot);
+        self.hits.set(self.hits.get() + 1);
+        Some(slots[0].1)
+    }
+
+    /// Slow-path refill after a miss: record `presence` for `range` as
+    /// most-recently-used, aging out the LRU tail, and count a miss.
+    pub fn fill(&self, range: AddrRange, presence: Presence) {
+        let mut slots = self.slots.borrow_mut();
+        slots.insert(0, (range, presence));
+        slots.truncate(LOOKUP_CACHE_WAYS);
+        self.misses.set(self.misses.get() + 1);
+    }
+
+    /// Drop every cached extent. Called by the owning runtime whenever
+    /// *it* inserts or removes a table entry (see the module-level
+    /// coherence rule) — refcount changes don't affect presence.
+    pub fn invalidate(&self) {
+        self.slots.borrow_mut().clear();
+    }
+
+    /// `(hits, misses)` observed by [`probe`](Self::probe) /
+    /// [`fill`](Self::fill).
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits.get(), self.misses.get())
+    }
+}
+
+/// The concurrent mapping table: live entries partitioned into
+/// independently locked address-range shards, shared by every tenant of
+/// a pool behind an `Arc`.
+///
+/// All methods take `&self`; the statistics are atomics and the entry
+/// maps are per-shard mutexes. Single-owner use (one runtime, one
+/// table) behaves bit-identically to the historical `MappingTable`.
+#[derive(Debug)]
+pub struct ShardedMappingTable {
+    /// Entries confined to a single 4 MiB granule, keyed by host start,
+    /// in the shard of that granule.
+    shards: [Mutex<BTreeMap<u64, Mapping>>; SHARD_COUNT],
+    /// Entries whose host range crosses a granule boundary.
+    spanning: Mutex<BTreeMap<u64, Mapping>>,
+    /// Lifetime number of map operations processed (statistics).
+    total_maps: AtomicU64,
+    /// Current number of live entries.
+    live: AtomicUsize,
+}
+
+impl Default for ShardedMappingTable {
+    fn default() -> Self {
+        ShardedMappingTable {
+            shards: std::array::from_fn(|_| Mutex::new(BTreeMap::new())),
+            spanning: Mutex::new(BTreeMap::new()),
+            total_maps: AtomicU64::new(0),
+            live: AtomicUsize::new(0),
+        }
+    }
+}
+
+/// Predecessor probe shared by the shard and spanning maps: the entry
+/// containing `addr`, if the map holds one.
+fn containing(map: &BTreeMap<u64, Mapping>, addr: VirtAddr) -> Option<&Mapping> {
+    map.range(..=addr.as_u64())
+        .next_back()
+        .map(|(_, m)| m)
+        .filter(|m| m.host.contains(addr))
+}
+
+impl ShardedMappingTable {
+    /// Create a new instance.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn shard_of(addr: u64) -> usize {
+        ((addr >> SHARD_GRANULE_BITS) as usize) & (SHARD_COUNT - 1)
+    }
+
+    /// Is `host` confined to one sharding granule?
+    fn confined(host: &AddrRange) -> bool {
+        host.start.as_u64() >> SHARD_GRANULE_BITS == (host.end() - 1) >> SHARD_GRANULE_BITS
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.live.load(Ordering::Acquire)
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lifetime number of map operations processed.
+    pub fn total_maps(&self) -> u64 {
+        self.total_maps.load(Ordering::Acquire)
+    }
+
+    /// The live entry containing `addr`, if any (an owned copy — the
+    /// shard lock is released before returning).
+    pub fn find(&self, addr: VirtAddr) -> Option<Mapping> {
+        {
+            let shard = self.shards[Self::shard_of(addr.as_u64())].lock().unwrap();
+            if let Some(m) = containing(&shard, addr) {
+                return Some(m.clone());
+            }
+        }
+        let spanning = self.spanning.lock().unwrap();
+        containing(&spanning, addr).cloned()
+    }
+
+    /// Translate a host address through the table.
+    pub fn translate(&self, addr: VirtAddr) -> Option<VirtAddr> {
+        self.find(addr).map(|m| m.translate(addr))
+    }
+
+    /// Classify `range` against the live entries.
+    pub fn presence(&self, range: &AddrRange) -> Presence {
+        if let Some(m) = self.find(range.start) {
+            return if m.host.contains_range(range) {
+                Presence::Present
+            } else {
+                Presence::Partial
+            };
+        }
+        // An entry starting inside the range would be a partial overlap.
+        // Such an entry is either spanning or confined to one of the
+        // granules the probe range touches — at most SHARD_COUNT
+        // distinct shards before the mask wraps.
+        let (lo, hi) = (range.start.as_u64(), range.end());
+        if lo >= hi {
+            return Presence::Absent;
+        }
+        if self.spanning.lock().unwrap().range(lo..hi).next().is_some() {
+            return Presence::Partial;
+        }
+        let first = lo >> SHARD_GRANULE_BITS;
+        let last = ((hi - 1) >> SHARD_GRANULE_BITS).min(first + SHARD_COUNT as u64 - 1);
+        for granule in first..=last {
+            let shard = self.shards[(granule as usize) & (SHARD_COUNT - 1)]
+                .lock()
+                .unwrap();
+            if shard.range(lo..hi).next().is_some() {
+                return Presence::Partial;
+            }
+        }
+        Presence::Absent
+    }
+
+    /// Classify `range` through a caller-owned [`MapLookupCache`]:
+    /// zero-contention probe, locked recompute-and-fill on miss.
+    /// Returns the presence and whether the probe hit the cache.
+    pub fn presence_cached(&self, cache: &MapLookupCache, range: &AddrRange) -> (Presence, bool) {
+        if let Some(p) = cache.probe(range) {
+            return (p, true);
+        }
+        let p = self.presence(range);
+        cache.fill(*range, p);
+        (p, false)
+    }
+
+    /// Record a new entry with refcount 1. The caller must have verified
+    /// the range is `Absent` (within its own VA window — the check is
+    /// racy only across tenants, whose windows are disjoint).
+    pub fn insert(&self, host: AddrRange, device_base: VirtAddr) {
+        debug_assert_eq!(self.presence(&host), Presence::Absent);
+        self.total_maps.fetch_add(1, Ordering::AcqRel);
+        let mapping = Mapping {
+            host,
+            device_base,
+            refcount: 1,
+        };
+        if Self::confined(&host) {
+            self.shards[Self::shard_of(host.start.as_u64())]
+                .lock()
+                .unwrap()
+                .insert(host.start.as_u64(), mapping);
+        } else {
+            self.spanning
+                .lock()
+                .unwrap()
+                .insert(host.start.as_u64(), mapping);
+        }
+        self.live.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Increment the refcount of the entry containing `range`.
+    /// Returns the new count.
+    pub fn retain(&self, range: &AddrRange) -> Result<u32, OmpError> {
+        self.total_maps.fetch_add(1, Ordering::AcqRel);
+        {
+            let mut shard = self.shards[Self::shard_of(range.start.as_u64())]
+                .lock()
+                .unwrap();
+            if let Some(m) = containing_mut(&mut shard, range.start) {
+                m.refcount += 1;
+                return Ok(m.refcount);
+            }
+        }
+        let mut spanning = self.spanning.lock().unwrap();
+        if let Some(m) = containing_mut(&mut spanning, range.start) {
+            m.refcount += 1;
+            return Ok(m.refcount);
+        }
+        Err(OmpError::NotMapped { range: *range })
+    }
+
+    /// Decrement the refcount of the entry containing `range`. When it
+    /// reaches zero (or `force_delete`), the entry is removed and
+    /// returned so the runtime can release device storage and issue
+    /// final transfers.
+    pub fn release(
+        &self,
+        range: &AddrRange,
+        force_delete: bool,
+    ) -> Result<Option<Mapping>, OmpError> {
+        {
+            let mut shard = self.shards[Self::shard_of(range.start.as_u64())]
+                .lock()
+                .unwrap();
+            if let Some(removed) = release_in(&mut shard, range.start, force_delete) {
+                if removed.is_some() {
+                    self.live.fetch_sub(1, Ordering::AcqRel);
+                }
+                return Ok(removed);
+            }
+        }
+        let mut spanning = self.spanning.lock().unwrap();
+        if let Some(removed) = release_in(&mut spanning, range.start, force_delete) {
+            if removed.is_some() {
+                self.live.fetch_sub(1, Ordering::AcqRel);
+            }
+            return Ok(removed);
+        }
+        Err(OmpError::NotMapped { range: *range })
+    }
+
+    /// Every live entry, sorted by host start address (the iteration
+    /// order the unsharded table had).
+    pub fn snapshot(&self) -> Vec<Mapping> {
+        let mut out: Vec<Mapping> = Vec::new();
+        for shard in &self.shards {
+            out.extend(shard.lock().unwrap().values().cloned());
+        }
+        out.extend(self.spanning.lock().unwrap().values().cloned());
+        out.sort_by_key(|m| m.host.start.as_u64());
+        out
+    }
+
+    /// Live entries whose host start falls in `[lo, hi)`, sorted by host
+    /// start — a tenant's slice of the shared table.
+    pub fn snapshot_window(&self, lo: u64, hi: u64) -> Vec<Mapping> {
+        let mut out = self.snapshot();
+        out.retain(|m| (lo..hi).contains(&m.host.start.as_u64()));
+        out
+    }
+}
+
+fn containing_mut(map: &mut BTreeMap<u64, Mapping>, addr: VirtAddr) -> Option<&mut Mapping> {
+    map.range_mut(..=addr.as_u64())
+        .next_back()
+        .map(|(_, m)| m)
+        .filter(|m| m.host.contains(addr))
+}
+
+/// Release helper over one entry map: `None` when no entry contains
+/// `addr`; `Some(removed)` when the containing entry was found, with the
+/// removed mapping if the refcount reached zero.
+fn release_in(
+    map: &mut BTreeMap<u64, Mapping>,
+    addr: VirtAddr,
+    force_delete: bool,
+) -> Option<Option<Mapping>> {
+    let key = containing(map, addr)?.host.start.as_u64();
+    let m = map.get_mut(&key).expect("entry just found");
+    m.refcount = if force_delete {
+        0
+    } else {
+        m.refcount.saturating_sub(1)
+    };
+    if m.refcount == 0 {
+        Some(map.remove(&key))
+    } else {
+        Some(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(start: u64, len: u64) -> AddrRange {
+        AddrRange::new(VirtAddr(start), len)
+    }
+
+    const MIB4: u64 = 1 << SHARD_GRANULE_BITS;
+
+    #[test]
+    fn presence_classification_matches_unsharded() {
+        let t = ShardedMappingTable::new();
+        t.insert(r(1000, 100), VirtAddr(9000));
+        assert_eq!(t.presence(&r(1000, 100)), Presence::Present);
+        assert_eq!(t.presence(&r(1010, 50)), Presence::Present);
+        assert_eq!(t.presence(&r(1050, 100)), Presence::Partial);
+        assert_eq!(t.presence(&r(900, 150)), Presence::Partial);
+        assert_eq!(t.presence(&r(5000, 10)), Presence::Absent);
+    }
+
+    #[test]
+    fn spanning_entries_are_found_and_classified() {
+        let t = ShardedMappingTable::new();
+        // Crosses the granule boundary at 4 MiB.
+        t.insert(r(MIB4 - 4096, 8192), VirtAddr(MIB4 - 4096));
+        assert_eq!(t.presence(&r(MIB4 - 4096, 8192)), Presence::Present);
+        assert_eq!(t.presence(&r(MIB4, 1024)), Presence::Present);
+        assert_eq!(t.presence(&r(MIB4 - 8192, 8192)), Presence::Partial);
+        assert!(t.find(VirtAddr(MIB4)).is_some());
+        assert_eq!(t.translate(VirtAddr(MIB4)).unwrap().as_u64(), MIB4);
+        assert!(t.release(&r(MIB4, 16), false).unwrap().is_some());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn probe_spanning_many_granules_sees_far_entries() {
+        let t = ShardedMappingTable::new();
+        // Entry 40 granules above the probe start: the probe range covers
+        // its shard only modulo SHARD_COUNT, which the scan bound handles.
+        t.insert(r(40 * MIB4 + 64, 64), VirtAddr(0));
+        assert_eq!(t.presence(&r(0, 64 * MIB4)), Presence::Partial);
+        assert_eq!(t.presence(&r(0, 64)), Presence::Absent);
+    }
+
+    #[test]
+    fn refcount_lifecycle() {
+        let t = ShardedMappingTable::new();
+        t.insert(r(1000, 100), VirtAddr(1000));
+        assert_eq!(t.retain(&r(1000, 100)).unwrap(), 2);
+        assert!(t.release(&r(1000, 100), false).unwrap().is_none());
+        assert_eq!(t.len(), 1);
+        let removed = t.release(&r(1010, 10), false).unwrap().unwrap();
+        assert_eq!(removed.host, r(1000, 100));
+        assert!(t.is_empty());
+        assert_eq!(t.total_maps(), 2);
+    }
+
+    #[test]
+    fn force_delete_and_unmapped_errors() {
+        let t = ShardedMappingTable::new();
+        t.insert(r(1000, 100), VirtAddr(1000));
+        t.retain(&r(1000, 100)).unwrap();
+        assert!(t.release(&r(1000, 100), true).unwrap().is_some());
+        assert!(t.is_empty());
+        assert!(matches!(
+            t.release(&r(5, 5), false),
+            Err(OmpError::NotMapped { .. })
+        ));
+        assert!(matches!(
+            t.retain(&r(5, 5)),
+            Err(OmpError::NotMapped { .. })
+        ));
+    }
+
+    #[test]
+    fn lookup_cache_hits_and_ages_lru() {
+        let t = ShardedMappingTable::new();
+        let c = MapLookupCache::new();
+        t.insert(r(0, 8), VirtAddr(0));
+        assert_eq!(t.presence_cached(&c, &r(0, 8)), (Presence::Present, false));
+        assert_eq!(t.presence_cached(&c, &r(0, 8)), (Presence::Present, true));
+        assert_eq!(c.stats(), (1, 1));
+        for i in 0..(LOOKUP_CACHE_WAYS as u64 + 2) {
+            t.presence_cached(&c, &r(i * 8, 4));
+        }
+        assert!(!t.presence_cached(&c, &r(0, 4)).1);
+        let newest = (LOOKUP_CACHE_WAYS as u64 + 1) * 8;
+        assert!(t.presence_cached(&c, &r(newest, 4)).1);
+        c.invalidate();
+        assert!(!t.presence_cached(&c, &r(newest, 4)).1);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_window_filters() {
+        let t = ShardedMappingTable::new();
+        t.insert(r(9 * MIB4, 64), VirtAddr(0));
+        t.insert(r(1000, 100), VirtAddr(1000));
+        t.insert(r(MIB4 - 64, 128), VirtAddr(0));
+        let snap = t.snapshot();
+        let starts: Vec<u64> = snap.iter().map(|m| m.host.start.as_u64()).collect();
+        assert_eq!(starts, vec![1000, MIB4 - 64, 9 * MIB4]);
+        let windowed = t.snapshot_window(0, MIB4);
+        assert_eq!(windowed.len(), 2);
+    }
+
+    #[test]
+    fn concurrent_disjoint_windows_do_not_interfere() {
+        use std::sync::Arc;
+        let t = Arc::new(ShardedMappingTable::new());
+        let stride: u64 = 1 << 40;
+        std::thread::scope(|s| {
+            for w in 0..4u64 {
+                let t = Arc::clone(&t);
+                s.spawn(move || {
+                    let c = MapLookupCache::new();
+                    let base = w * stride;
+                    for i in 0..256u64 {
+                        let range = r(base + i * 8192, 4096);
+                        t.insert(range, range.start);
+                        assert_eq!(t.presence_cached(&c, &range), (Presence::Present, false));
+                        assert_eq!(t.presence_cached(&c, &range).0, Presence::Present);
+                        t.retain(&range).unwrap();
+                        assert!(t.release(&range, false).unwrap().is_none());
+                        assert!(t.release(&range, false).unwrap().is_some());
+                    }
+                    assert!(t.snapshot_window(base, base + stride).is_empty());
+                });
+            }
+        });
+        assert!(t.is_empty());
+        assert_eq!(t.total_maps(), 4 * 256 * 2);
+    }
+}

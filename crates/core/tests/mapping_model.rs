@@ -1,10 +1,18 @@
-//! Model-based property test: the refcounted mapping table against a naive
-//! reference implementation (a plain `Vec` of entries with linear search).
-//! Random sequences of insert / retain / release / translate operations must
-//! behave identically on both.
+//! Model-based property tests for the mapping structures:
+//!
+//! 1. the refcounted [`MappingTable`] against a naive reference (a plain
+//!    `Vec` of entries with linear search), and
+//! 2. the concurrent [`ShardedMappingTable`] against `MappingTable` as the
+//!    oracle, over an address universe that scatters entries across shard
+//!    granules and deliberately straddles granule boundaries (the
+//!    `spanning` path), with the per-thread [`MapLookupCache`] checked for
+//!    coherence under the observer-side invalidation rule.
+//!
+//! Random sequences of insert / retain / release / translate / presence
+//! operations must behave identically on all of them.
 
 use apu_mem::{AddrRange, VirtAddr};
-use omp_offload::{MappingTable, Presence};
+use omp_offload::{MapLookupCache, MappingTable, Presence, ShardedMappingTable};
 use proptest::prelude::*;
 
 /// The trivially-correct reference.
@@ -129,5 +137,120 @@ proptest! {
             }
             prop_assert_eq!(real.len(), model.entries.len());
         }
+    }
+}
+
+/// 16 disjoint 128-byte slots scattered across shard granules (4 MiB):
+/// even slots sit comfortably inside granule `s`, odd slots straddle the
+/// boundary into granule `s + 1`, so every run exercises both the
+/// per-shard maps and the spanning overflow map.
+fn slot_range(slot: u8) -> AddrRange {
+    let s = u64::from(slot % 16);
+    const GRANULE: u64 = 1 << 22;
+    let base = if slot.is_multiple_of(2) {
+        s * GRANULE + 512
+    } else {
+        (s + 1) * GRANULE - 64
+    };
+    AddrRange::new(VirtAddr(base), 128)
+}
+
+fn probe_addr(slot: u8, jit: u8) -> VirtAddr {
+    // Probe around the slot: jitter spans [-64, +191] relative to its
+    // start, covering misses before, hits inside, and misses after.
+    let base = slot_range(slot).start.as_u64();
+    VirtAddr(base.saturating_add(u64::from(jit)).saturating_sub(64))
+}
+
+#[derive(Debug, Clone)]
+enum ShardOp {
+    Insert { slot: u8 },
+    Retain { slot: u8, jit: u8 },
+    Release { slot: u8, jit: u8, delete: bool },
+    Translate { slot: u8, jit: u8 },
+    Presence { slot: u8, jit: u8, len: u32 },
+}
+
+fn arb_shard_op() -> impl Strategy<Value = ShardOp> {
+    prop_oneof![
+        (0u8..16).prop_map(|slot| ShardOp::Insert { slot }),
+        ((0u8..16), any::<u8>()).prop_map(|(slot, jit)| ShardOp::Retain { slot, jit }),
+        ((0u8..16), any::<u8>(), any::<bool>()).prop_map(|(slot, jit, delete)| ShardOp::Release {
+            slot,
+            jit,
+            delete
+        }),
+        ((0u8..16), any::<u8>()).prop_map(|(slot, jit)| ShardOp::Translate { slot, jit }),
+        // Lengths up to 8 MiB span several granules, stressing the bounded
+        // presence scan and the spanning probe together.
+        ((0u8..16), any::<u8>(), (1u32..0x80_0000))
+            .prop_map(|(slot, jit, len)| ShardOp::Presence { slot, jit, len }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sharded_table_matches_unsharded_oracle(
+        ops in proptest::collection::vec(arb_shard_op(), 0..120),
+    ) {
+        let oracle = &mut MappingTable::new();
+        let sharded = ShardedMappingTable::new();
+        let cache = MapLookupCache::new();
+        for op in ops {
+            match op {
+                ShardOp::Insert { slot } => {
+                    let host = slot_range(slot);
+                    if oracle.presence(&host) == Presence::Absent {
+                        let device = VirtAddr(0x9000_0000 + u64::from(slot) * 0x1000);
+                        oracle.insert(host, device);
+                        sharded.insert(host, device);
+                        // The coherence rule: the owner invalidates its
+                        // cache at every mutation of its table.
+                        cache.invalidate();
+                    }
+                }
+                ShardOp::Retain { slot, jit } => {
+                    let r = AddrRange::new(probe_addr(slot, jit), 1);
+                    prop_assert_eq!(sharded.retain(&r).ok(), oracle.retain(&r).ok());
+                }
+                ShardOp::Release { slot, jit, delete } => {
+                    let r = AddrRange::new(probe_addr(slot, jit), 1);
+                    let key = |m: &omp_offload::Mapping| (m.host, m.device_base, m.refcount);
+                    let got = sharded.release(&r, delete).ok();
+                    let want = oracle.release(&r, delete).ok();
+                    if matches!(got, Some(Some(_))) {
+                        cache.invalidate();
+                    }
+                    prop_assert_eq!(
+                        got.map(|o| o.map(|m| key(&m))),
+                        want.map(|o| o.map(|m| key(&m)))
+                    );
+                }
+                ShardOp::Translate { slot, jit } => {
+                    let a = probe_addr(slot, jit);
+                    prop_assert_eq!(sharded.translate(a), oracle.translate(a));
+                }
+                ShardOp::Presence { slot, jit, len } => {
+                    let r = AddrRange::new(probe_addr(slot, jit), u64::from(len));
+                    let p = sharded.presence(&r);
+                    prop_assert_eq!(p, oracle.presence(&r));
+                    // The cached read must agree with the uncached one —
+                    // on the fill and on every subsequent hit.
+                    let (cached, _) = sharded.presence_cached(&cache, &r);
+                    prop_assert_eq!(cached, p);
+                    let (hit, _) = sharded.presence_cached(&cache, &r);
+                    prop_assert_eq!(hit, p);
+                }
+            }
+            prop_assert_eq!(sharded.len(), oracle.len());
+        }
+        let snap = sharded.snapshot();
+        prop_assert!(
+            snap.windows(2).all(|w| w[0].host.start < w[1].host.start),
+            "snapshot must be sorted by host start"
+        );
+        prop_assert_eq!(snap.len(), oracle.len());
     }
 }

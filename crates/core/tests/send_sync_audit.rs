@@ -11,11 +11,30 @@
 
 use apu_mem::ApuMemory;
 use omp_offload::telemetry::TelemetryReport;
-use omp_offload::{ElisionPlan, MapIr, OmpRuntime, OverheadLedger, RunReport, SanitizerReport};
+use omp_offload::{
+    ElisionPlan, MapIr, MapLookupCache, OmpRuntime, OverheadLedger, RunReport, SanitizerReport,
+    ShardedMappingTable, Tenant, TenantPool,
+};
 use sim_des::FaultPlan;
+use std::marker::PhantomData;
 
 fn assert_send<T: Send>() {}
 fn assert_sync<T: Sync>() {}
+
+/// Compile-time `Sync` probe usable for *negative* assertions: the
+/// inherent `SYNC` const shadows the trait default exactly when `T: Sync`,
+/// so `SyncProbe::<T>::SYNC` is `false` only for `!Sync` types.
+struct SyncProbe<T>(PhantomData<T>);
+
+trait DefaultNotSync {
+    const SYNC: bool = false;
+}
+
+impl<T> DefaultNotSync for SyncProbe<T> {}
+
+impl<T: Sync> SyncProbe<T> {
+    const SYNC: bool = true;
+}
 
 #[test]
 fn runtime_and_memory_move_across_workers() {
@@ -48,4 +67,35 @@ fn shared_sweep_inputs_are_sync() {
     assert_sync::<ElisionPlan>();
     assert_send::<FaultPlan>();
     assert_sync::<FaultPlan>();
+}
+
+#[test]
+fn sharded_table_and_tenant_pool_are_shared_across_workers() {
+    // The sharded table is the one mapping structure many tenants mutate
+    // concurrently through `&self`; the pool hands it out from any worker.
+    assert_send::<ShardedMappingTable>();
+    assert_sync::<ShardedMappingTable>();
+    assert_send::<TenantPool>();
+    assert_sync::<TenantPool>();
+}
+
+#[test]
+fn tenants_migrate_but_lookup_caches_never_cross_threads() {
+    // A tenant (like the runtime it wraps) migrates whole to the worker
+    // that drives it...
+    assert_send::<Tenant>();
+    assert_send::<MapLookupCache>();
+    // ...but its map-lookup cache is deliberately `!Sync`: the zero-
+    // contention fast path is interior mutability (`Cell`/`RefCell`), only
+    // sound because a cache is owned by exactly one thread at a time. If a
+    // refactor ever made this `Sync` (say, by swapping in atomics), this
+    // assertion flags the contract change.
+    const {
+        assert!(
+            !SyncProbe::<MapLookupCache>::SYNC,
+            "MapLookupCache must stay single-owner (!Sync)"
+        );
+        // The probe itself must not be trivially false.
+        assert!(SyncProbe::<ShardedMappingTable>::SYNC);
+    }
 }

@@ -165,8 +165,14 @@ impl MemStats {
     }
 }
 
-const HOST_VA_BASE: u64 = 0x5000_0000_0000;
-const POOL_VA_BASE: u64 = 0x7000_0000_0000;
+/// Base of the host bump allocator's VA region. Public so the tenant layer
+/// can carve disjoint per-tenant windows above it (see
+/// [`MemOptions::va_shift`]).
+pub const HOST_VA_BASE: u64 = 0x5000_0000_0000;
+/// Base of the device-pool bump allocator's VA region. `HOST_VA_BASE +
+/// va_shift` windows must stay below this, which is what bounds the tenant
+/// count.
+pub const POOL_VA_BASE: u64 = 0x7000_0000_0000;
 
 /// Typed construction options for [`ApuMemory`], passed down from the
 /// runtime builder. Binaries that want environment-variable control
@@ -180,6 +186,12 @@ pub struct MemOptions {
     /// Override the HBM capacity in bytes (tests); `None` keeps the full
     /// MI300A 128 GiB socket.
     pub capacity: Option<u64>,
+    /// Offset added to both bump-allocator bases ([`HOST_VA_BASE`],
+    /// [`POOL_VA_BASE`]). A multi-tenant runtime gives every tenant a
+    /// disjoint VA window over one shared mapping table by shifting each
+    /// tenant's memory image; `0` (the default) reproduces the historical
+    /// layout exactly.
+    pub va_shift: u64,
 }
 
 impl MemOptions {
@@ -189,6 +201,7 @@ impl MemOptions {
         MemOptions {
             pagewise: std::env::var("ZC_MEM_PAGEWISE").is_ok_and(|v| v == "1"),
             capacity: None,
+            va_shift: 0,
         }
     }
 
@@ -201,6 +214,12 @@ impl MemOptions {
     /// Override the HBM capacity in bytes.
     pub fn capacity(mut self, bytes: u64) -> Self {
         self.capacity = Some(bytes);
+        self
+    }
+
+    /// Shift both VA bump-allocator bases (per-tenant address windows).
+    pub fn va_shift(mut self, shift: u64) -> Self {
+        self.va_shift = shift;
         self
     }
 }
@@ -248,8 +267,8 @@ impl ApuMemory {
             cpu_pt: PageTable::with_page_size(ps),
             gpu_pt: PageTable::with_page_size(ps),
             gpu_tlb: tlb,
-            host_brk: HOST_VA_BASE,
-            pool_brk: POOL_VA_BASE,
+            host_brk: HOST_VA_BASE + opts.va_shift,
+            pool_brk: POOL_VA_BASE + opts.va_shift,
             stats: MemStats::default(),
             pagewise: opts.pagewise,
         }

@@ -46,7 +46,7 @@ mod vma;
 pub use addr::{AddrRange, PageSize, PhysAddr, VirtAddr};
 pub use apu::{
     AllocOutcome, ApuMemory, FreeOutcome, GpuAccessOutcome, MemOptions, MemStats, PrefaultOutcome,
-    XnackMode,
+    XnackMode, HOST_VA_BASE, POOL_VA_BASE,
 };
 pub use cost::CostModel;
 pub use error::MemError;

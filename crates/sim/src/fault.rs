@@ -79,7 +79,7 @@ impl FaultKind {
 }
 
 /// Per-site probabilities and burst bound for a [`FaultPlan`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FaultSpec {
     /// Probability that a pool allocation fails transiently.
     pub pool_alloc_fail: f64,
@@ -259,6 +259,11 @@ impl FaultPlan {
     /// True when the deployment lacks XNACK from the start.
     pub fn xnack_unavailable(&self) -> bool {
         self.xnack_unavailable
+    }
+
+    /// The scheduled mid-run XNACK flip, if any (kernel-dispatch count).
+    pub fn xnack_flip_after(&self) -> Option<u64> {
+        self.xnack_flip_after
     }
 
     /// Consult the plan at a transient fault site: should *this* call fail?
