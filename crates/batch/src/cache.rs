@@ -153,6 +153,24 @@ impl ResultCache {
         Ok(())
     }
 
+    /// Total bytes the store's `.sweep` entries occupy right now (0 for a
+    /// disabled or never-written store). Same scan the GC pass uses, so
+    /// the `METRICS` cache-size gauge and `GC`'s `bytes_kept` agree.
+    pub fn size_bytes(&self) -> u64 {
+        let Some(dir) = self.dir.as_ref() else {
+            return 0;
+        };
+        let Ok(entries) = fs::read_dir(dir) else {
+            return 0;
+        };
+        entries
+            .flatten()
+            .filter(|e| e.path().extension().is_some_and(|x| x == "sweep"))
+            .filter_map(|e| e.metadata().ok())
+            .map(|m| m.len())
+            .sum()
+    }
+
     /// Evict least-recently-used entries until the directory's `.sweep`
     /// files total at most `max_bytes`. Ordering is mtime ascending (oldest
     /// evicted first), path as the deterministic tiebreak; `dry_run` only
@@ -399,6 +417,18 @@ mod tests {
         // Already under budget: nothing to do.
         let idle = c.gc(u64::MAX, false).unwrap();
         assert_eq!((idle.scanned, idle.evicted, idle.bytes_freed), (2, 0, 0));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn size_bytes_tracks_the_store() {
+        let dir = scratch_dir("size");
+        let c = ResultCache::open(&CacheMode::Dir(dir.clone()));
+        assert_eq!(c.size_bytes(), 0, "never-written store is empty");
+        c.store(&req(), &result()).unwrap();
+        let path = dir.join(format!("{:016x}.sweep", req().digest()));
+        assert_eq!(c.size_bytes(), fs::metadata(&path).unwrap().len());
+        assert_eq!(ResultCache::open(&CacheMode::Off).size_bytes(), 0);
         let _ = fs::remove_dir_all(&dir);
     }
 

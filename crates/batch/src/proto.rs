@@ -90,6 +90,10 @@ pub enum Verb {
     Result,
     /// Counter snapshot (`key=value` pairs in the response header).
     Stats,
+    /// Prometheus-style metrics exposition (text body; see
+    /// `omp_offload::metrics` for the format and the
+    /// derivable-vs-schedule class contract).
+    Metrics,
     /// Run cache garbage collection against the server's byte budget.
     Gc,
     /// Stop accepting, drain in-flight work, exit the accept loop.
@@ -98,12 +102,13 @@ pub enum Verb {
 
 impl Verb {
     /// Every verb, in canonical order.
-    pub const ALL: [Verb; 7] = [
+    pub const ALL: [Verb; 8] = [
         Verb::Ping,
         Verb::Capture,
         Verb::Sweep,
         Verb::Result,
         Verb::Stats,
+        Verb::Metrics,
         Verb::Gc,
         Verb::Shutdown,
     ];
@@ -117,6 +122,7 @@ impl Verb {
             Verb::Sweep => "SWEEP",
             Verb::Result => "RESULT",
             Verb::Stats => "STATS",
+            Verb::Metrics => "METRICS",
             Verb::Gc => "GC",
             Verb::Shutdown => "SHUTDOWN",
         }
@@ -130,6 +136,7 @@ impl Verb {
             Verb::Sweep => "sweep",
             Verb::Result => "result",
             Verb::Stats => "stats",
+            Verb::Metrics => "metrics",
             Verb::Gc => "gc",
             Verb::Shutdown => "shutdown",
         }
@@ -277,7 +284,15 @@ impl Response {
         }
     }
 
-    /// Look up an info pair by key (first match) when this is `Ok`.
+    /// Every info pair when this is `Ok`, wire order (empty otherwise).
+    pub fn info(&self) -> &[(String, String)] {
+        match self {
+            Response::Ok { info, .. } => info,
+            _ => &[],
+        }
+    }
+
+    /// The value of info pair `key` when this is `Ok` and carries it.
     pub fn info_get(&self, key: &str) -> Option<&str> {
         match self {
             Response::Ok { info, .. } => {

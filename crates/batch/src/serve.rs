@@ -38,11 +38,16 @@
 //! most un-renamed work, never serve a torn entry.
 
 use crate::cache::ResultCache;
+use crate::driver::DriveStats;
 use crate::proto::{sweep_stanza, Frame, ProtoError, Response, Verb, PROTO_VERSION};
 use crate::request::{CostPreset, ElideKind, SweepRequest};
 use crate::result::SweepResult;
 use crate::sweep::{render_report, run_sweep_derived};
 use crate::CacheMode;
+use omp_offload::metrics::{
+    Counter, FamilySnapshot, Gauge, Histogram, MetricClass, MetricKind, MetricsRegistry,
+    MetricsSnapshot, Sample,
+};
 use omp_offload::{ElideMode, ElisionPlan, MapIr, OmpError};
 use std::collections::HashMap;
 use std::io::{BufReader, Read, Write};
@@ -109,10 +114,16 @@ pub struct ServerStats {
     pub malformed: u64,
     /// Sweep requests coalesced onto an identical in-flight sweep.
     pub coalesced: u64,
+    /// Milliseconds since the server was constructed.
+    pub uptime_ms: u64,
 }
 
 impl ServerStats {
-    fn info(&self) -> Vec<(String, String)> {
+    /// The `k=v` info pairs a `STATS` response carries, in wire order.
+    /// [`from_info`](Self::from_info) inverts this exactly.
+    pub fn info(&self) -> Vec<(String, String)> {
+        // Existing keys stay in place (scripts grep them positionally);
+        // new fields append at the end.
         [
             ("requests", self.requests),
             ("hits", self.hits),
@@ -124,10 +135,38 @@ impl ServerStats {
             ("busy_rejections", self.busy_rejections),
             ("malformed", self.malformed),
             ("coalesced", self.coalesced),
+            ("uptime_ms", self.uptime_ms),
         ]
         .into_iter()
         .map(|(k, v)| (k.to_string(), v.to_string()))
         .collect()
+    }
+
+    /// Parse a `STATS` response's info pairs back into a snapshot.
+    /// Unknown keys are ignored (forward compatibility); missing keys
+    /// stay at their default.
+    pub fn from_info(info: &[(String, String)]) -> Result<ServerStats, String> {
+        let mut s = ServerStats::default();
+        for (k, v) in info {
+            let v: u64 = v
+                .parse()
+                .map_err(|e| format!("stats key {k}: bad value {v:?}: {e}"))?;
+            match k.as_str() {
+                "requests" => s.requests = v,
+                "hits" => s.hits = v,
+                "simulated" => s.simulated = v,
+                "in_flight" => s.in_flight = v,
+                "captures" => s.captures = v,
+                "plans" => s.plans = v,
+                "evicted" => s.evicted = v,
+                "busy_rejections" => s.busy_rejections = v,
+                "malformed" => s.malformed = v,
+                "coalesced" => s.coalesced = v,
+                "uptime_ms" => s.uptime_ms = v,
+                _ => {}
+            }
+        }
+        Ok(s)
     }
 }
 
@@ -136,6 +175,110 @@ impl ServerStats {
 enum SelfAddr {
     Unix(PathBuf),
     Tcp(SocketAddr),
+}
+
+/// Inclusive upper edges of the request-latency histograms, microseconds:
+/// 100µs, 1ms, 10ms, 100ms, 1s, 10s (+Inf implicit).
+const LATENCY_BOUNDS_US: &[u64] = &[100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000];
+
+/// Live instruments of one pool worker slot.
+struct PoolWorker {
+    own_pops: Arc<Counter>,
+    steals: Arc<Counter>,
+    steal_failures: Arc<Counter>,
+    depth_hwm: Arc<Gauge>,
+}
+
+/// The server's schedule-class instruments: per-verb request latency
+/// (cold = at least one cell simulated, warm = everything answered from
+/// residency or the cache) and the work-stealing pool counters absorbed
+/// from every sweep's [`DriveStats`]. All of it is [`MetricClass::Schedule`]
+/// — it rides the `METRICS` verb only and never enters response bodies,
+/// so the byte-identity contract is untouched.
+struct ServeMetrics {
+    registry: MetricsRegistry,
+    latency: Vec<(Verb, bool, Arc<Histogram>)>,
+    pool: Vec<PoolWorker>,
+}
+
+impl ServeMetrics {
+    fn new(jobs: usize) -> ServeMetrics {
+        let registry = MetricsRegistry::new();
+        let mut latency = Vec::new();
+        for verb in Verb::ALL {
+            // Only the simulating verbs have a cold path.
+            let colds: &[bool] = if matches!(verb, Verb::Sweep | Verb::Result) {
+                &[false, true]
+            } else {
+                &[false]
+            };
+            for &cold in colds {
+                let h = registry.histogram(
+                    "omp_serve_latency_us",
+                    "Wall-clock request handling latency, integer microseconds.",
+                    MetricClass::Schedule,
+                    &[
+                        ("verb", verb.lower()),
+                        ("temp", if cold { "cold" } else { "warm" }),
+                    ],
+                    LATENCY_BOUNDS_US,
+                );
+                latency.push((verb, cold, h));
+            }
+        }
+        let pool = (0..jobs.max(1))
+            .map(|w| {
+                let wl = w.to_string();
+                let ops = |event: &str| {
+                    registry.counter(
+                        "omp_pool_ops_total",
+                        "Work-stealing pool scheduling events, accumulated across sweeps.",
+                        MetricClass::Schedule,
+                        &[("worker", &wl), ("event", event)],
+                    )
+                };
+                PoolWorker {
+                    own_pops: ops("own_pop"),
+                    steals: ops("steal"),
+                    steal_failures: ops("steal_failure"),
+                    depth_hwm: registry.gauge(
+                        "omp_pool_queue_depth_hwm",
+                        "High-water mark of each worker's seeded queue depth.",
+                        MetricClass::Schedule,
+                        &[("worker", &wl)],
+                    ),
+                }
+            })
+            .collect();
+        ServeMetrics {
+            registry,
+            latency,
+            pool,
+        }
+    }
+
+    /// Record one handled request's latency.
+    fn observe_latency(&self, verb: Verb, cold: bool, micros: u64) {
+        if let Some((_, _, h)) = self
+            .latency
+            .iter()
+            .find(|(v, c, _)| *v == verb && *c == cold)
+        {
+            h.observe(micros);
+        }
+    }
+
+    /// Fold one sweep's scheduling counters into the pool instruments.
+    fn absorb_pool(&self, stats: &DriveStats) {
+        for (w, ws) in stats.workers.iter().enumerate() {
+            if let Some(p) = self.pool.get(w) {
+                p.own_pops.add(ws.own_pops);
+                p.steals.add(ws.steals);
+                p.steal_failures.add(ws.steal_failures);
+                p.depth_hwm.raise_to(ws.queue_depth_hwm);
+            }
+        }
+    }
 }
 
 /// State shared by every connection thread.
@@ -157,6 +300,10 @@ struct Shared {
     /// digests: an identical concurrent request parks here instead of
     /// re-running the corpus ([`handle_sweep`]).
     inflight: Mutex<HashMap<u64, Arc<Inflight>>>,
+    /// Construction instant, the zero of `uptime_ms`.
+    start: Instant,
+    /// Schedule-class instruments (latency, pool); see [`ServeMetrics`].
+    metrics: ServeMetrics,
     shutdown: AtomicBool,
     requests: AtomicU64,
     hits: AtomicU64,
@@ -203,6 +350,7 @@ impl Shared {
             busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
             malformed: self.malformed.load(Ordering::Relaxed),
             coalesced: self.coalesced.load(Ordering::Relaxed),
+            uptime_ms: u64::try_from(self.start.elapsed().as_millis()).unwrap_or(u64::MAX),
         }
     }
 
@@ -319,11 +467,14 @@ pub struct Server {
 impl Server {
     fn new(listener: Listener, addr: SelfAddr, cfg: ServerConfig) -> Server {
         let cache = ResultCache::open(&cfg.cache);
+        let metrics = ServeMetrics::new(cfg.jobs);
         Server {
             listener,
             shared: Arc::new(Shared {
                 cache,
                 addr,
+                start: Instant::now(),
+                metrics,
                 captures: Mutex::new(HashMap::new()),
                 raw_index: Mutex::new(HashMap::new()),
                 plans: Mutex::new(HashMap::new()),
@@ -437,8 +588,16 @@ fn handle_connection(conn: Conn, shared: Arc<Shared>) {
             Ok(None) => break,
             Ok(Some(frame)) => {
                 shared.requests.fetch_add(1, Ordering::Relaxed);
-                let is_shutdown = frame.verb == Verb::Shutdown;
+                let verb = frame.verb;
+                let is_shutdown = verb == Verb::Shutdown;
+                let handled_at = Instant::now();
                 let resp = handle_frame(frame, &shared);
+                // Latency is observed after the response is built, so a
+                // METRICS body reflects every request before this one.
+                let micros = u64::try_from(handled_at.elapsed().as_micros()).unwrap_or(u64::MAX);
+                shared
+                    .metrics
+                    .observe_latency(verb, response_is_cold(&resp), micros);
                 if writer.write_all(resp.to_wire().as_bytes()).is_err() {
                     break;
                 }
@@ -469,6 +628,18 @@ fn handle_connection(conn: Conn, shared: Arc<Shared>) {
     }
 }
 
+/// Whether a response carries cold work: any `simulated=N` info pair with
+/// `N > 0` (sweep/result verbs only ever emit one). Cache hits, coalesced
+/// waits, and the non-simulating verbs are all warm.
+fn response_is_cold(resp: &Response) -> bool {
+    match resp {
+        Response::Ok { info, .. } => info
+            .iter()
+            .any(|(k, v)| k == "simulated" && v.parse::<u64>().is_ok_and(|n| n > 0)),
+        _ => false,
+    }
+}
+
 fn handle_frame(frame: Frame, shared: &Arc<Shared>) -> Response {
     match frame.verb {
         Verb::Ping => Response::ok_with(
@@ -480,6 +651,7 @@ fn handle_frame(frame: Frame, shared: &Arc<Shared>) -> Response {
         Verb::Sweep => handle_sweep(Verb::Sweep, &frame.body, shared),
         Verb::Result => handle_sweep(Verb::Result, &frame.body, shared),
         Verb::Stats => Response::ok_with(Verb::Stats, shared.stats().info(), ""),
+        Verb::Metrics => handle_metrics(shared),
         Verb::Gc => handle_gc(shared),
         Verb::Shutdown => {
             shared.shutdown.store(true, Ordering::SeqCst);
@@ -698,6 +870,9 @@ fn run_resident_sweep(
         (shared.model_for(req.preset), elide)
     })?;
     let results = outcome.results;
+    // Fold this sweep's scheduling counters into the pool instruments
+    // (stats channel only; the results travel untouched).
+    shared.metrics.absorb_pool(&outcome.pool);
     let (h, s) = (outcome.stats.hits, outcome.stats.simulated);
     shared.hits.fetch_add(h, Ordering::Relaxed);
     shared.simulated.fetch_add(s, Ordering::Relaxed);
@@ -736,6 +911,79 @@ fn handle_gc(shared: &Arc<Shared>) -> Response {
         }
         Err(e) => Response::err(format!("gc failed: {e}")),
     }
+}
+
+/// Build the `METRICS` exposition: the derivable families are read from
+/// the same atomics `STATS` serves (so the two verbs agree counter-for-
+/// counter by construction), then the schedule-class families — momentary
+/// gauges plus the live latency/pool instruments — follow in a fixed
+/// order. The body is [`MetricsSnapshot::render`] text and re-parses
+/// exactly (`tests/serve_matrix.rs` pins both properties).
+fn handle_metrics(shared: &Arc<Shared>) -> Response {
+    let stats = shared.stats();
+    let mut snap = MetricsSnapshot::default();
+    snap.push(FamilySnapshot {
+        name: "omp_serve_events_total".into(),
+        help: "Request-derived serve counters, identical to STATS.".into(),
+        kind: MetricKind::Counter,
+        class: MetricClass::Derivable,
+        samples: vec![
+            Sample::labelled("event", "requests", stats.requests),
+            Sample::labelled("event", "hits", stats.hits),
+            Sample::labelled("event", "simulated", stats.simulated),
+            Sample::labelled("event", "malformed", stats.malformed),
+        ],
+    });
+    snap.push(FamilySnapshot {
+        name: "omp_serve_resident".into(),
+        help: "Objects resident in server memory.".into(),
+        kind: MetricKind::Gauge,
+        class: MetricClass::Derivable,
+        samples: vec![
+            Sample::labelled("kind", "captures", stats.captures),
+            Sample::labelled("kind", "plans", stats.plans),
+        ],
+    });
+    snap.push(FamilySnapshot {
+        name: "omp_serve_schedule_events_total".into(),
+        help: "Schedule-dependent serve counters (timing and admission).".into(),
+        kind: MetricKind::Counter,
+        class: MetricClass::Schedule,
+        samples: vec![
+            Sample::labelled("event", "coalesced", stats.coalesced),
+            Sample::labelled("event", "busy_rejections", stats.busy_rejections),
+            Sample::labelled("event", "evicted", stats.evicted),
+        ],
+    });
+    let plain_gauge = |name: &str, help: &str, value: u64| FamilySnapshot {
+        name: name.into(),
+        help: help.into(),
+        kind: MetricKind::Gauge,
+        class: MetricClass::Schedule,
+        samples: vec![Sample::plain(value)],
+    };
+    snap.push(plain_gauge(
+        "omp_serve_inflight",
+        "Sweep cells currently running or queued.",
+        stats.in_flight,
+    ));
+    snap.push(plain_gauge(
+        "omp_serve_uptime_ms",
+        "Milliseconds since the server was constructed.",
+        stats.uptime_ms,
+    ));
+    snap.push(plain_gauge(
+        "omp_cache_size_bytes",
+        "Bytes the result cache's entries occupy on disk.",
+        shared.cache.size_bytes(),
+    ));
+    snap.extend(shared.metrics.registry.snapshot());
+    let body = snap.render();
+    Response::ok_with(
+        Verb::Metrics,
+        vec![("families".into(), snap.families.len().to_string())],
+        body,
+    )
 }
 
 /// A blocking `PROTO v1` client over a Unix or TCP connection. One
@@ -805,6 +1053,12 @@ impl Client {
     /// Counter snapshot.
     pub fn stats(&mut self) -> Result<Response, ProtoError> {
         self.roundtrip(&Frame::bare(Verb::Stats))
+    }
+
+    /// Prometheus-style metrics exposition; the `OK` body is the text
+    /// (parseable with [`MetricsSnapshot::parse`]).
+    pub fn metrics(&mut self) -> Result<Response, ProtoError> {
+        self.roundtrip(&Frame::bare(Verb::Metrics))
     }
 
     /// Trigger cache GC against the server's configured byte budget.

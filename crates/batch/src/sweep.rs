@@ -4,7 +4,7 @@
 //! cell owns its [`OmpRuntime`], its memory image, and its telemetry ring,
 //! so cells are independent and any execution schedule yields the same
 //! per-cell bytes. [`run_sweep`] fans a corpus across the work-stealing
-//! [`drive`] loop with the result cache consulted
+//! [`drive_stats`] loop with the result cache consulted
 //! around each cell, and [`render_report`] folds the ordered results into
 //! the sweep's canonical stdout report. Cache and scheduling statistics are
 //! surfaced separately ([`SweepStats`]) precisely so the report itself
@@ -12,7 +12,7 @@
 //! byte-identical reports.
 
 use crate::cache::{CacheMode, ResultCache};
-use crate::driver::drive;
+use crate::driver::{drive_stats, DriveStats};
 use crate::request::{config_token, SweepRequest};
 use crate::result::{merge_attribution, SweepResult, TenantRow};
 use hsa_rocr::Topology;
@@ -51,6 +51,11 @@ pub struct SweepOutcome {
     pub results: Vec<SweepResult>,
     /// Cache effectiveness over the whole sweep.
     pub stats: SweepStats,
+    /// Work-stealing pool counters of this sweep's drive. Schedule-
+    /// dependent ([`omp_offload::metrics::MetricClass::Schedule`]):
+    /// reported on the stats channel only, never rendered into
+    /// [`render_report`] bytes.
+    pub pool: DriveStats,
 }
 
 /// Execute one request in a fresh, private runtime and distill the outcome.
@@ -280,7 +285,7 @@ where
             }
         }
     }
-    let outs = drive(tasks.len(), jobs, |k| {
+    let (outs, pool) = drive_stats(tasks.len(), jobs, |k| {
         let (i, sub) = tasks[k];
         match sub {
             Sub::Solo => {
@@ -324,6 +329,7 @@ where
             hits,
             simulated: corpus.len() as u64 - hits,
         },
+        pool,
     })
 }
 
@@ -600,5 +606,11 @@ mod tests {
         );
         assert_eq!(serial.stats.simulated, corpus.len() as u64);
         assert_eq!(serial.stats.hits, 0);
+        // Pool counters ride beside the results, never inside them: every
+        // task is accounted for, the worker split differs, the bytes don't.
+        assert_eq!(serial.pool.tasks(), corpus.len() as u64);
+        assert_eq!(parallel.pool.tasks(), corpus.len() as u64);
+        assert_eq!(serial.pool.workers.len(), 1);
+        assert_eq!(parallel.pool.workers.len(), 3);
     }
 }

@@ -80,6 +80,32 @@ fn sweep_is_byte_identical_across_jobs_and_cache_states() {
 }
 
 #[test]
+fn schedule_metrics_never_touch_sweep_bytes() {
+    // The pool's scheduling counters (own-pops, steals, queue depths) are
+    // schedule-class: their *shape* changes with `-j N`, yet every byte of
+    // every result and report stays pinned to the serial baseline. This is
+    // the metrics half of the determinism contract: observability rides
+    // the stats channel, never the results.
+    let corpus = smoke_corpus();
+    let n = corpus.len() as u64;
+    let baseline = run_sweep(&corpus, 1, &CacheMode::Off).expect("serial baseline");
+    let expected = sweep_bytes(&corpus, &baseline.results);
+    for jobs in [1usize, 4, 8] {
+        let out = run_sweep(&corpus, jobs, &CacheMode::Off).expect("sweep");
+        // The stats channel reflects the actual schedule shape...
+        let workers = if jobs <= 1 { 1 } else { jobs.min(corpus.len()) };
+        assert_eq!(out.pool.workers.len(), workers, "-j {jobs} worker count");
+        assert_eq!(out.pool.tasks(), n, "-j {jobs} accounts every cell");
+        // ...while the result bytes never move.
+        assert_eq!(
+            sweep_bytes(&corpus, &out.results),
+            expected,
+            "-j {jobs} schedule leaked into result bytes"
+        );
+    }
+}
+
+#[test]
 fn caches_are_shareable_across_job_counts() {
     // A cache warmed at one job count answers a sweep at another: the
     // content address depends on the request alone, never on the schedule.

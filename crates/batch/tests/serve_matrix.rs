@@ -12,8 +12,9 @@
 
 use omp_batch::{
     execute, render_report, run_sweep, smoke_corpus, CacheMode, Client, ElideKind, Server,
-    ServerConfig, SweepRequest,
+    ServerConfig, ServerStats, SweepRequest,
 };
+use omp_offload::metrics::{MetricClass, MetricKind, MetricsSnapshot};
 use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Write};
 use std::os::unix::net::UnixStream;
@@ -326,6 +327,237 @@ fn identical_inflight_sweeps_coalesce_onto_one_run() {
     );
     assert_eq!(info_u64(&stats, "hits"), 0);
     assert_eq!(info_u64(&stats, "in_flight"), 0);
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("server exits cleanly");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn stats_info_round_trips_and_appends_uptime_last() {
+    // Satellite contract: `STATS` keeps its existing keys in place (CI
+    // greps them), appends `uptime_ms` at the end, and the info pairs
+    // invert exactly through ServerStats::from_info.
+    let s = ServerStats {
+        requests: 11,
+        hits: 2,
+        simulated: 3,
+        in_flight: 1,
+        captures: 4,
+        plans: 2,
+        evicted: 5,
+        busy_rejections: 6,
+        malformed: 7,
+        coalesced: 8,
+        uptime_ms: 90_001,
+    };
+    let info = s.info();
+    let keys: Vec<&str> = info.iter().map(|(k, _)| k.as_str()).collect();
+    assert_eq!(
+        keys,
+        [
+            "requests",
+            "hits",
+            "simulated",
+            "in_flight",
+            "captures",
+            "plans",
+            "evicted",
+            "busy_rejections",
+            "malformed",
+            "coalesced",
+            "uptime_ms",
+        ],
+        "STATS key order is pinned; new keys append at the end"
+    );
+    assert_eq!(ServerStats::from_info(&info).unwrap(), s);
+    // Unknown keys are tolerated (forward compatibility); junk is not.
+    let mut extended = info.clone();
+    extended.push(("future_key".into(), "1".into()));
+    assert_eq!(ServerStats::from_info(&extended).unwrap(), s);
+    assert!(ServerStats::from_info(&[("hits".into(), "x".into())]).is_err());
+}
+
+#[test]
+fn metrics_verb_round_trips_and_agrees_with_stats() {
+    let corpus = corpus();
+    let n = corpus.len() as u64;
+    let expected = offline_report(&corpus);
+    let cells = cells_of(&corpus);
+
+    let dir = scratch_dir("metrics");
+    let sock = dir.join("serve.sock");
+    let server = Server::bind_unix(
+        &sock,
+        ServerConfig {
+            cache: CacheMode::Dir(dir.join("cache")),
+            jobs: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let handle = server.spawn();
+
+    let mut client = Client::connect_unix(&sock).expect("connect");
+    upload_captures(&mut client, &corpus);
+    // One cold and one warm sweep, so both latency temperatures and the
+    // pool counters have data.
+    let cold = client.sweep(&cells).expect("cold sweep");
+    assert_eq!(cold.into_ok_body().unwrap(), expected);
+    let warm = client.sweep(&cells).expect("warm sweep");
+    assert_eq!(warm.into_ok_body().unwrap(), expected);
+
+    // STATS first, METRICS second: the two requests' counters differ only
+    // by the METRICS request itself.
+    let stats_resp = client.stats().expect("stats");
+    let stats = ServerStats::from_info(
+        &stats_resp
+            .info()
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect::<Vec<_>>(),
+    )
+    .expect("stats info parses");
+    let metrics = client.metrics().expect("metrics");
+    let families = info_u64(&metrics, "families");
+    let body = metrics.into_ok_body().expect("metrics OK").to_string();
+
+    // Exact round-trip on live data: parse then re-render is byte-identical.
+    let snap = MetricsSnapshot::parse(&body).expect("metrics body parses");
+    assert_eq!(
+        snap.render(),
+        body,
+        "metrics exposition round-trips exactly"
+    );
+    assert_eq!(snap.families.len() as u64, families);
+
+    // Golden family schema: names, kinds, and classes are pinned.
+    let schema: Vec<(&str, MetricKind, MetricClass)> = snap
+        .families
+        .iter()
+        .map(|f| (f.name.as_str(), f.kind, f.class))
+        .collect();
+    assert_eq!(
+        schema,
+        [
+            (
+                "omp_serve_events_total",
+                MetricKind::Counter,
+                MetricClass::Derivable
+            ),
+            (
+                "omp_serve_resident",
+                MetricKind::Gauge,
+                MetricClass::Derivable
+            ),
+            (
+                "omp_serve_schedule_events_total",
+                MetricKind::Counter,
+                MetricClass::Schedule
+            ),
+            (
+                "omp_serve_inflight",
+                MetricKind::Gauge,
+                MetricClass::Schedule
+            ),
+            (
+                "omp_serve_uptime_ms",
+                MetricKind::Gauge,
+                MetricClass::Schedule
+            ),
+            (
+                "omp_cache_size_bytes",
+                MetricKind::Gauge,
+                MetricClass::Schedule
+            ),
+            (
+                "omp_serve_latency_us",
+                MetricKind::Histogram,
+                MetricClass::Schedule
+            ),
+            (
+                "omp_pool_ops_total",
+                MetricKind::Counter,
+                MetricClass::Schedule
+            ),
+            (
+                "omp_pool_queue_depth_hwm",
+                MetricKind::Gauge,
+                MetricClass::Schedule
+            ),
+        ],
+        "METRICS family schema is pinned"
+    );
+
+    // Derivable identity with STATS: the METRICS request was the only one
+    // handled since the STATS snapshot.
+    let v = |name: &str, key: &str, label: &str| {
+        snap.value(name, "", &[(key, label)])
+            .unwrap_or_else(|| panic!("missing {name}{{{key}={label}}}"))
+    };
+    assert_eq!(
+        v("omp_serve_events_total", "event", "requests"),
+        stats.requests + 1
+    );
+    assert_eq!(v("omp_serve_events_total", "event", "hits"), stats.hits);
+    assert_eq!(v("omp_serve_events_total", "event", "hits"), n);
+    assert_eq!(
+        v("omp_serve_events_total", "event", "simulated"),
+        stats.simulated
+    );
+    assert_eq!(v("omp_serve_events_total", "event", "simulated"), n);
+    assert_eq!(v("omp_serve_events_total", "event", "malformed"), 0);
+    assert_eq!(v("omp_serve_resident", "kind", "captures"), stats.captures);
+    assert_eq!(v("omp_serve_resident", "kind", "plans"), stats.plans);
+    assert_eq!(
+        snap.value("omp_serve_inflight", "", &[]),
+        Some(0),
+        "nothing in flight after both sweeps completed"
+    );
+    assert!(
+        snap.value("omp_cache_size_bytes", "", &[]).unwrap() > 0,
+        "the cold sweep stored entries"
+    );
+
+    // The pool instruments absorbed both sweeps. Cache hits never reach
+    // the pool, so only the cold sweep scheduled work: every cell exactly
+    // once (own pop or steal), nothing more.
+    let pool_family = snap
+        .families
+        .iter()
+        .find(|f| f.name == "omp_pool_ops_total")
+        .unwrap();
+    let scheduled: u64 = pool_family
+        .samples
+        .iter()
+        .filter(|s| {
+            s.labels
+                .iter()
+                .any(|(k, val)| k == "event" && (val == "own_pop" || val == "steal"))
+        })
+        .map(|s| s.value)
+        .sum();
+    assert_eq!(
+        scheduled, n,
+        "the cold sweep scheduled each cell once; warm hits bypass the pool"
+    );
+
+    // Latency has both temperatures for the sweep verb.
+    let lat = |temp: &str| {
+        snap.value(
+            "omp_serve_latency_us",
+            "_count",
+            &[("verb", "sweep"), ("temp", temp)],
+        )
+        .unwrap()
+    };
+    assert_eq!(lat("cold"), 1, "one cold sweep observed");
+    assert_eq!(lat("warm"), 1, "one warm sweep observed");
+
+    // And none of this changed the response bytes: a third sweep still
+    // reads the offline report.
+    let again = client.sweep(&cells).expect("sweep after metrics");
+    assert_eq!(again.into_ok_body().unwrap(), expected);
 
     client.shutdown().expect("shutdown");
     handle.join().expect("server exits cleanly");

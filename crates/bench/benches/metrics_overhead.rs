@@ -1,0 +1,88 @@
+//! Ablation: cost of the metrics layer on the simulator itself.
+//!
+//! The metrics instruments sit on the hottest paths of the stack — every
+//! sharded-table lock acquisition and every lookup-cache probe — so the Off
+//! mode must be a measured no-op: one relaxed atomic-bool branch per site,
+//! no allocation, no fences. This bench runs the streaming workload with
+//! metrics off and on, reports best-of-N wall-clock of the *simulator* (the
+//! virtual makespan is identical in both by construction), and re-asserts
+//! the derivability contract on the instrumented runs: the derivable-class
+//! families of the live registry must reproduce the snapshot derived from
+//! the telemetry fold and lookup-cache counters, field for field. Writes
+//! `BENCH_metrics.json` for CI to archive.
+
+use apu_mem::CostModel;
+use hsa_rocr::Topology;
+use omp_offload::metrics::derivable_snapshot;
+use omp_offload::telemetry::fold;
+use omp_offload::{MetricClass, MetricsMode, OmpRuntime, RuntimeConfig, TelemetryMode};
+use std::hint::black_box;
+use std::time::Instant;
+use workloads::{Stream, Workload};
+
+fn runtime(mode: MetricsMode) -> OmpRuntime {
+    OmpRuntime::builder(CostModel::mi300a_no_thp(), Topology::default())
+        .config(RuntimeConfig::LegacyCopy)
+        .telemetry(TelemetryMode::ring())
+        .metrics(mode)
+        .build()
+        .unwrap()
+}
+
+/// One Copy-config streaming run with no post-processing: exactly the work
+/// whose cost the Off/On ratio measures.
+fn run(w: &dyn Workload, mode: MetricsMode) {
+    let mut rt = runtime(mode);
+    w.run(&mut rt).unwrap();
+    black_box(rt.finish());
+}
+
+/// Non-timed contract run: the derivable-class families of the live
+/// registry must reproduce the snapshot derived from the telemetry fold and
+/// lookup-cache counters, field for field. Returns the exposition size.
+fn verify(w: &dyn Workload) -> usize {
+    let mut rt = runtime(MetricsMode::On);
+    w.run(&mut rt).unwrap();
+    let (hits, misses) = rt.mapping_cache_stats();
+    let invalidations = rt.mapping_cache_invalidations();
+    let live = rt.metrics_snapshot().class_only(MetricClass::Derivable);
+    let report = rt.finish();
+    let telemetry = report.telemetry.expect("ring was on");
+    let ledger = fold(&telemetry.events);
+    let derived = derivable_snapshot(&ledger, hits, misses, invalidations);
+    assert_eq!(live, derived, "derivable families != fold-derived snapshot");
+    live.render().len()
+}
+
+fn best_of(w: &dyn Workload, mode: MetricsMode, repeats: usize) -> f64 {
+    (0..repeats)
+        .map(|_| {
+            let t0 = Instant::now();
+            run(w, mode);
+            t0.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn main() {
+    // `cargo bench` forwards harness flags like --bench; a plain main only
+    // needs to tolerate them.
+    let w = Stream::scaled(8.0);
+    let off = best_of(&w, MetricsMode::Off, 7);
+    let on = best_of(&w, MetricsMode::On, 7);
+    let bytes = verify(&w);
+    let ratio = on / off.max(1e-9);
+
+    let json = format!(
+        "{{\n  \"workload\": \"stream\",\n  \
+         \"off\": {{\"seconds\": {off:.6}}},\n  \
+         \"on\": {{\"seconds\": {on:.6}, \"exposition_bytes\": {bytes}}},\n  \
+         \"ratio_on_vs_off\": {ratio:.3},\n  \
+         \"derivable_contract\": \"asserted\"\n}}\n"
+    );
+    std::fs::write("BENCH_metrics.json", &json).expect("write BENCH_metrics.json");
+    println!(
+        "metrics_overhead: {bytes} exposition bytes | off {off:.4}s | on {on:.4}s ({ratio:.2}x)"
+    );
+    println!("wrote BENCH_metrics.json");
+}

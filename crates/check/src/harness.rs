@@ -8,9 +8,10 @@
 use crate::{capture_workload, check, optimize, verify_equivalence};
 use apu_mem::CostModel;
 use hsa_rocr::Topology;
+use omp_offload::metrics::derivable_snapshot;
 use omp_offload::{
-    DiagCode, Diagnostic, ElideMode, OmpError, OmpRuntime, OverheadLedger, RuntimeConfig, Severity,
-    TelemetryMode,
+    DiagCode, Diagnostic, ElideMode, MetricClass, MetricsMode, OmpError, OmpRuntime,
+    OverheadLedger, RuntimeConfig, Severity, TelemetryMode,
 };
 use sim_des::VirtDuration;
 use workloads::{spec, MiniCg, NioSize, OpenFoamMini, QmcPack, Stream, Workload};
@@ -42,6 +43,12 @@ pub struct CheckCell {
     /// unelided and the elided run, the fold of the event stream equals the
     /// ledger field for field and the ring dropped nothing.
     pub telemetry_exact: bool,
+    /// The metrics derivability contract held for this cell: in both runs,
+    /// the derivable-class families of the runtime's metrics snapshot equal
+    /// [`derivable_snapshot`] applied to the telemetry *fold* — i.e. every
+    /// derivable metric is a pure function of the simulated run, family for
+    /// family and sample for sample.
+    pub metrics_exact: bool,
     /// The static-optimizer equivalence contract held for this cell: the
     /// [`optimize`]d capture replays with a bit-identical memory digest, an
     /// error-free sanitizer, the same kernel count, and never more
@@ -104,22 +111,33 @@ fn sorted_codes(diags: &[Diagnostic]) -> Vec<DiagCode> {
     v
 }
 
-/// One instrumented run: sanitized, telemetry ring on, under `config`, with
-/// the given elision mode. Returns the sanitizer's findings, the memory
-/// digest (taken after the program body, before teardown), the ledger, and
-/// whether the telemetry fold reproduced the ledger exactly.
+/// What one instrumented run yields for contract checking.
+struct RunProbe {
+    diags: Vec<Diagnostic>,
+    digest: u64,
+    ledger: OverheadLedger,
+    telemetry_exact: bool,
+    metrics_exact: bool,
+}
+
+/// One instrumented run: sanitized, telemetry ring on, metrics armed,
+/// under `config`, with the given elision mode. Returns the sanitizer's
+/// findings, the memory digest (taken after the program body, before
+/// teardown), the ledger, and whether the telemetry-fold and
+/// metrics-derivability contracts held.
 fn instrumented_run(
     w: &dyn Workload,
     threads: usize,
     config: RuntimeConfig,
     elide: ElideMode,
-) -> Result<(Vec<Diagnostic>, u64, OverheadLedger, bool), OmpError> {
+) -> Result<RunProbe, OmpError> {
     let mut rt = OmpRuntime::builder(CostModel::mi300a_no_thp(), Topology::default())
         .config(config)
         .threads(threads)
         .sanitize(true)
         .elide(elide)
         .telemetry(TelemetryMode::ring())
+        .metrics(MetricsMode::On)
         .build()?;
     // A run may abort on a fatal hazard; the sanitizer's findings up to
     // the abort are exactly what the static pass predicted.
@@ -127,21 +145,33 @@ fn instrumented_run(
     let digest = rt.memory_digest();
     let diags = rt.sanitizer_finalize().to_vec();
     let ledger = *rt.ledger();
-    let telemetry_exact = rt.telemetry_fold() == Some(ledger) && rt.telemetry_dropped() == 0;
-    Ok((diags, digest, ledger, telemetry_exact))
+    let fold = rt.telemetry_fold();
+    let telemetry_exact = fold == Some(ledger) && rt.telemetry_dropped() == 0;
+    // Every derivable metric family must be reconstructible from the
+    // telemetry fold alone; the schedule-class families (armed above) may
+    // say anything and must be confined to their own class.
+    let (hits, misses) = rt.mapping_cache_stats();
+    let metrics_exact = fold.as_ref().is_some_and(|f| {
+        rt.metrics_snapshot().class_only(MetricClass::Derivable)
+            == derivable_snapshot(f, hits, misses, rt.mapping_cache_invalidations())
+    });
+    Ok(RunProbe {
+        diags,
+        digest,
+        ledger,
+        telemetry_exact,
+        metrics_exact,
+    })
 }
 
 /// The elision contract for one cell: the elided run found no hazards, its
 /// memory is bit-identical to the unelided run's, its operation counters
 /// match, and the accounting identity `mm_total(off) − mm_total(elided) ==
 /// mm_saved` holds exactly.
-fn elision_holds(
-    off: &(Vec<Diagnostic>, u64, OverheadLedger, bool),
-    on: &(Vec<Diagnostic>, u64, OverheadLedger, bool),
-) -> bool {
-    let (l0, l1) = (&off.2, &on.2);
-    on.0.is_empty()
-        && off.1 == on.1
+fn elision_holds(off: &RunProbe, on: &RunProbe) -> bool {
+    let (l0, l1) = (&off.ledger, &on.ledger);
+    on.diags.is_empty()
+        && off.digest == on.digest
         && (l0.copies, l0.bytes_copied, l0.kernels, l0.maps)
             == (l1.copies, l1.bytes_copied, l1.kernels, l1.maps)
         && l0.prefault_calls == l1.prefault_calls
@@ -167,9 +197,10 @@ pub fn check_workload(w: &dyn Workload) -> Result<Vec<CheckCell>, OmpError> {
         let diagnostics = check(&ir, config);
         let off = instrumented_run(w, threads, config, ElideMode::Off)?;
         let on = instrumented_run(w, threads, config, ElideMode::Online)?;
-        let cross_validated = sorted_codes(&diagnostics) == sorted_codes(&off.0);
+        let cross_validated = sorted_codes(&diagnostics) == sorted_codes(&off.diags);
         let elision_verified = elision_holds(&off, &on);
-        let telemetry_exact = off.3 && on.3;
+        let telemetry_exact = off.telemetry_exact && on.telemetry_exact;
+        let metrics_exact = off.metrics_exact && on.metrics_exact;
         let (opt_verified, opt_mm_saved) = match &optimized {
             Some(o) => {
                 let eq = verify_equivalence(&ir, &o.ir, config)?;
@@ -181,12 +212,13 @@ pub fn check_workload(w: &dyn Workload) -> Result<Vec<CheckCell>, OmpError> {
             workload: w.name(),
             config,
             diagnostics,
-            sanitizer_diagnostics: off.0,
+            sanitizer_diagnostics: off.diags,
             cross_validated,
-            maps_elided: on.2.maps_elided,
-            mm_saved: on.2.mm_saved,
+            maps_elided: on.ledger.maps_elided,
+            mm_saved: on.ledger.mm_saved,
             elision_verified,
             telemetry_exact,
+            metrics_exact,
             opt_verified,
             opt_mm_saved,
         });
@@ -219,6 +251,7 @@ pub fn has_errors(cells: &[CheckCell]) -> bool {
             || !c.cross_validated
             || !c.elision_verified
             || !c.telemetry_exact
+            || !c.metrics_exact
             || !c.opt_verified
     })
 }
@@ -243,6 +276,8 @@ pub fn render_text(cells: &[CheckCell]) -> String {
             "OPTIMIZER CONTRACT BROKEN"
         } else if !c.telemetry_exact {
             "TELEMETRY FOLD DIVERGED"
+        } else if !c.metrics_exact {
+            "METRICS CONTRACT BROKEN"
         } else if c.has_static_errors() {
             "FAIL"
         } else if c.diagnostics.is_empty() {
@@ -334,7 +369,8 @@ pub fn render_json(cells: &[CheckCell]) -> String {
         }
         out.push_str(&format!(
             "{{\"workload\":\"{}\",\"config\":\"{}\",\"cross_validated\":{},\
-             \"elision_verified\":{},\"telemetry_exact\":{},\"maps_elided\":{},\
+             \"elision_verified\":{},\"telemetry_exact\":{},\"metrics_exact\":{},\
+             \"maps_elided\":{},\
              \"mm_saved_us\":{:.3},\"opt_verified\":{},\"opt_mm_saved_us\":{:.3},\
              \"static\":[",
             json_escape(&c.workload),
@@ -342,6 +378,7 @@ pub fn render_json(cells: &[CheckCell]) -> String {
             c.cross_validated,
             c.elision_verified,
             c.telemetry_exact,
+            c.metrics_exact,
             c.maps_elided,
             c.mm_saved.as_micros_f64(),
             c.opt_verified,
@@ -387,6 +424,7 @@ mod tests {
             assert!(c.diagnostics.is_empty(), "{:?}", c.diagnostics);
             assert!(c.elision_verified, "{:?}", c);
             assert!(c.telemetry_exact, "{:?}", c);
+            assert!(c.metrics_exact, "{:?}", c);
             assert!(c.opt_verified, "{:?}", c);
         }
         assert!(!has_errors(&cells));

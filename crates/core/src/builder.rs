@@ -13,6 +13,7 @@
 use crate::config::{RunEnv, RuntimeConfig};
 use crate::elide::ElideMode;
 use crate::error::OmpError;
+use crate::metrics::MetricsMode;
 use crate::runtime::OmpRuntime;
 use crate::shard::ShardedMappingTable;
 use crate::telemetry::TelemetryMode;
@@ -30,6 +31,7 @@ pub(crate) struct Instrumentation {
     pub sanitize_every: u64,
     pub elide: ElideMode,
     pub telemetry: TelemetryMode,
+    pub metrics: MetricsMode,
     /// Shared mapping table (tenant pools); `None` builds a private one.
     pub table: Option<Arc<ShardedMappingTable>>,
     /// Host-VA window `[lo, hi)` this runtime owns within a shared table.
@@ -88,6 +90,7 @@ pub struct RuntimeBuilder {
     sanitize_every: u64,
     elide: ElideMode,
     telemetry: TelemetryMode,
+    metrics: MetricsMode,
     shared_table: Option<Arc<ShardedMappingTable>>,
     tenant: Option<u32>,
 }
@@ -109,6 +112,7 @@ impl RuntimeBuilder {
             sanitize_every: 1,
             elide: ElideMode::Off,
             telemetry: TelemetryMode::Off,
+            metrics: MetricsMode::Off,
             shared_table: None,
             tenant: None,
         }
@@ -226,6 +230,17 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Concurrency-metrics mode (default [`MetricsMode::Off`]). `On` arms
+    /// the mapping table's shard-contention and granule-heat instruments
+    /// (see [`ShardedMappingTable::contention`]); the derivable metric
+    /// families of [`OmpRuntime::metrics_snapshot`] are always available
+    /// because they are views of the ledger, not extra instrumentation.
+    /// Off costs one branch per instrumented lock site.
+    pub fn metrics(mut self, mode: MetricsMode) -> Self {
+        self.metrics = mode;
+        self
+    }
+
     /// Attach this runtime to a shared mapping table as tenant `id` (used
     /// by [`TenantPool`](crate::TenantPool)): the memory image shifts into
     /// the tenant's disjoint VA window and the end-of-program leak scan is
@@ -323,6 +338,7 @@ impl RuntimeBuilder {
                 sanitize_every: self.sanitize_every,
                 elide: self.elide,
                 telemetry: self.telemetry,
+                metrics: self.metrics,
                 table: self.shared_table,
                 window,
             },

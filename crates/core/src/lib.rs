@@ -55,6 +55,7 @@ mod globals;
 mod kernel;
 mod mapir;
 mod mapping;
+pub mod metrics;
 pub mod modes;
 mod replay;
 mod runtime;
@@ -74,11 +75,12 @@ pub use globals::{GlobalEntry, GlobalId, GlobalRegistry};
 pub use kernel::{GpuPerf, KernelBody, KernelCtx, TargetRegion};
 pub use mapir::{KernelOp, MapIr, MapOp, MapRecord};
 pub use mapping::{MapDir, MapEntry, Mapping, MappingTable, Presence};
+pub use metrics::{MetricClass, MetricKind, MetricsMode, MetricsRegistry, MetricsSnapshot};
 pub use modes::{CacheMode, ElideKind, ModeParseError, TelemetryKind};
 pub use replay::{replay, replay_threads, ReplayOutcome, REPLAY_KERNEL_COMPUTE_US};
 pub use runtime::{OmpRuntime, RunReport};
 pub use sanitize::SanitizerReport;
-pub use shard::{MapLookupCache, ShardedMappingTable, SHARD_COUNT};
+pub use shard::{MapLookupCache, ShardContention, ShardedMappingTable, SHARD_COUNT};
 pub use telemetry::{TelemetryMode, TelemetryReport};
 pub use tenant::{Tenant, TenantPool, MAX_TENANTS, TENANT_VA_STRIDE};
 pub use trace::{KernelTraceEntry, OverheadLedger, RecoveryAction, RecoveryEvent};

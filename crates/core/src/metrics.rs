@@ -1,0 +1,1005 @@
+//! Unified metrics layer: cheap atomic instruments and a Prometheus-style
+//! text exposition with an exact parse/render round-trip.
+//!
+//! The runtime already has two observability channels: the
+//! [`OverheadLedger`] (per-run virtual-time
+//! accounting) and the telemetry event ring (PR 5), bound by the
+//! `fold(events) == ledger` contract. What neither can see is the
+//! *concurrent machinery* — shard lock contention, work-stealing pool
+//! behaviour, serve-side request latency — because those are properties of
+//! the wall-clock schedule, not of any single simulated run.
+//!
+//! This module adds the third channel: a registry of atomic instruments
+//! ([`Counter`], [`Gauge`], fixed-bucket [`Histogram`] — no dependencies,
+//! no allocation on the hot path) snapshotted into a [`MetricsSnapshot`]
+//! and rendered as Prometheus text exposition.
+//!
+//! ## The two metric classes
+//!
+//! Every family declares a [`MetricClass`], carried through the exposition
+//! as a `# CLASS` comment line:
+//!
+//! * [`MetricClass::Derivable`] — the value is a pure function of the
+//!   simulated run (ledger fields, lookup-cache hit/miss/invalidation
+//!   sequences, serve request accounting). Derivable metrics must equal
+//!   the telemetry fold / ledger field-for-field; the check harness
+//!   enforces this on all 42 shipped cells.
+//! * [`MetricClass::Schedule`] — the value depends on the wall-clock
+//!   schedule (lock contention, steals, latency). Schedule metrics travel
+//!   on the stats channel only (stderr, `STATS`, `METRICS`) and must never
+//!   appear in sweep/serve *response* bytes, so the `-j N` byte-identity
+//!   contract from PR 6/9 is untouched.
+//!
+//! ## Exposition format
+//!
+//! Standard Prometheus text format, restricted to exactly-representable
+//! values: every sample is a `u64` (durations are integer nanoseconds,
+//! latencies integer microseconds), so
+//! `render(parse(text)) == text` holds byte-for-byte. Each family is a
+//! three-comment header followed by its samples:
+//!
+//! ```text
+//! # HELP omp_ledger_ns_total Cumulative virtual-time ledger fields.
+//! # TYPE omp_ledger_ns_total counter
+//! # CLASS omp_ledger_ns_total derivable
+//! omp_ledger_ns_total{field="mm_alloc"} 12345
+//! ```
+
+use crate::trace::OverheadLedger;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Whether the concurrency instruments are armed.
+///
+/// `Off` must cost a single predictable branch on every instrumented
+/// path (the `metrics_overhead` bench pins this); `On` arms the shard
+/// contention counters, granule heat map, and pool/serve instruments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MetricsMode {
+    /// No concurrency metrics: one branch per instrumented site.
+    #[default]
+    Off,
+    /// Arm every instrument.
+    On,
+}
+
+impl MetricsMode {
+    /// True when instruments are armed.
+    pub fn is_on(self) -> bool {
+        matches!(self, MetricsMode::On)
+    }
+}
+
+/// The declared class of a metric family (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricClass {
+    /// A pure function of the simulated run; must equal the telemetry
+    /// fold / ledger field-for-field.
+    Derivable,
+    /// Depends on the wall-clock schedule; stats-channel only.
+    Schedule,
+}
+
+impl MetricClass {
+    /// The exposition token (`derivable` / `schedule`).
+    pub fn token(self) -> &'static str {
+        match self {
+            MetricClass::Derivable => "derivable",
+            MetricClass::Schedule => "schedule",
+        }
+    }
+
+    /// Inverse of [`token`](Self::token).
+    pub fn from_token(s: &str) -> Option<Self> {
+        match s {
+            "derivable" => Some(MetricClass::Derivable),
+            "schedule" => Some(MetricClass::Schedule),
+            _ => None,
+        }
+    }
+}
+
+/// The Prometheus instrument kind of a family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonically increasing count.
+    Counter,
+    /// Point-in-time level.
+    Gauge,
+    /// Fixed-bucket cumulative histogram.
+    Histogram,
+}
+
+impl MetricKind {
+    /// The exposition token (`counter` / `gauge` / `histogram`).
+    pub fn token(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+
+    /// Inverse of [`token`](Self::token).
+    pub fn from_token(s: &str) -> Option<Self> {
+        match s {
+            "counter" => Some(MetricKind::Counter),
+            "gauge" => Some(MetricKind::Gauge),
+            "histogram" => Some(MetricKind::Histogram),
+            _ => None,
+        }
+    }
+}
+
+/// A monotonically increasing atomic counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    v: AtomicU64,
+}
+
+impl Counter {
+    /// New counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.v.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.v.load(Ordering::Relaxed)
+    }
+}
+
+/// A point-in-time atomic gauge.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    v: AtomicU64,
+}
+
+impl Gauge {
+    /// New gauge at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the level.
+    pub fn set(&self, n: u64) {
+        self.v.store(n, Ordering::Relaxed);
+    }
+
+    /// Raise the level to at least `n` (a high-water mark).
+    pub fn raise_to(&self, n: u64) {
+        self.v.fetch_max(n, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> u64 {
+        self.v.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket cumulative histogram over `u64` observations.
+///
+/// Bounds are inclusive upper edges in ascending order; an implicit
+/// `+Inf` bucket catches the tail. Observation is lock-free: one
+/// linear scan over the (small, fixed) bound slice plus three
+/// relaxed atomic adds.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    buckets: Vec<AtomicU64>,
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    /// New histogram with the given ascending inclusive upper bounds.
+    pub fn new(bounds: &[u64]) -> Self {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds ascend");
+        Histogram {
+            bounds: bounds.to_vec(),
+            buckets: bounds.iter().map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation.
+    pub fn observe(&self, value: u64) {
+        for (bound, bucket) in self.bounds.iter().zip(&self.buckets) {
+            if value <= *bound {
+                bucket.fetch_add(1, Ordering::Relaxed);
+                break;
+            }
+        }
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// The exposition samples of this histogram (cumulative `_bucket`
+    /// series, `_sum`, `_count`), with `labels` on every series.
+    fn samples(&self, labels: &[(String, String)]) -> Vec<Sample> {
+        let mut out = Vec::with_capacity(self.bounds.len() + 3);
+        let mut cumulative = 0u64;
+        for (bound, bucket) in self.bounds.iter().zip(&self.buckets) {
+            cumulative += bucket.load(Ordering::Relaxed);
+            let mut l = labels.to_vec();
+            l.push(("le".into(), bound.to_string()));
+            out.push(Sample {
+                suffix: "_bucket".into(),
+                labels: l,
+                value: cumulative,
+            });
+        }
+        let mut l = labels.to_vec();
+        l.push(("le".into(), "+Inf".into()));
+        out.push(Sample {
+            suffix: "_bucket".into(),
+            labels: l,
+            value: self.count(),
+        });
+        out.push(Sample {
+            suffix: "_sum".into(),
+            labels: labels.to_vec(),
+            value: self.sum(),
+        });
+        out.push(Sample {
+            suffix: "_count".into(),
+            labels: labels.to_vec(),
+            value: self.count(),
+        });
+        out
+    }
+}
+
+/// One exposition series: `<family><suffix>{labels} <value>`.
+///
+/// `suffix` is empty for counters and gauges; histogram series use
+/// `_bucket` / `_sum` / `_count`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sample {
+    /// Series-name suffix appended to the family name.
+    pub suffix: String,
+    /// Label pairs in render order.
+    pub labels: Vec<(String, String)>,
+    /// The sample value (all values are exact `u64`s).
+    pub value: u64,
+}
+
+impl Sample {
+    /// A plain unlabelled sample (counter/gauge).
+    pub fn plain(value: u64) -> Self {
+        Sample {
+            suffix: String::new(),
+            labels: Vec::new(),
+            value,
+        }
+    }
+
+    /// A single-label sample (counter/gauge).
+    pub fn labelled(key: &str, label: &str, value: u64) -> Self {
+        Sample {
+            suffix: String::new(),
+            labels: vec![(key.into(), label.into())],
+            value,
+        }
+    }
+}
+
+/// One metric family: header metadata plus its samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FamilySnapshot {
+    /// Family name (`[a-zA-Z_:][a-zA-Z0-9_:]*`).
+    pub name: String,
+    /// One-line help text.
+    pub help: String,
+    /// Instrument kind.
+    pub kind: MetricKind,
+    /// Declared class.
+    pub class: MetricClass,
+    /// Samples in render order.
+    pub samples: Vec<Sample>,
+}
+
+/// A point-in-time capture of a set of metric families, renderable as
+/// Prometheus text exposition and parseable back exactly.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    /// Families in render order.
+    pub families: Vec<FamilySnapshot>,
+}
+
+fn valid_name(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+fn escape_help(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+fn unescape_help(s: &str) -> String {
+    unescape(s, false)
+}
+
+fn escape_label(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn unescape(s: &str, quote: bool) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('\\') => out.push('\\'),
+                Some('"') if quote => out.push('"'),
+                Some(other) => {
+                    out.push('\\');
+                    out.push(other);
+                }
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+impl MetricsSnapshot {
+    /// Append one family, panicking on invalid names (instrument
+    /// registration is program text, not input).
+    pub fn push(&mut self, family: FamilySnapshot) {
+        assert!(
+            valid_name(&family.name),
+            "invalid metric name {:?}",
+            family.name
+        );
+        for s in &family.samples {
+            for (k, _) in &s.labels {
+                assert!(valid_label_name(k), "invalid label name {k:?}");
+            }
+        }
+        self.families.push(family);
+    }
+
+    /// Append every family of `other`.
+    pub fn extend(&mut self, other: MetricsSnapshot) {
+        for f in other.families {
+            self.push(f);
+        }
+    }
+
+    /// The snapshot restricted to one class, preserving order.
+    pub fn class_only(&self, class: MetricClass) -> MetricsSnapshot {
+        MetricsSnapshot {
+            families: self
+                .families
+                .iter()
+                .filter(|f| f.class == class)
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// The value of series `name+suffix` whose labels are exactly
+    /// `labels` (order-sensitive, matching render order).
+    pub fn value(&self, name: &str, suffix: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        let family = self.families.iter().find(|f| f.name == name)?;
+        family
+            .samples
+            .iter()
+            .find(|s| {
+                s.suffix == suffix
+                    && s.labels.len() == labels.len()
+                    && s.labels
+                        .iter()
+                        .zip(labels)
+                        .all(|((k, v), (wk, wv))| k == wk && v == wv)
+            })
+            .map(|s| s.value)
+    }
+
+    /// Render as Prometheus text exposition. The output is canonical:
+    /// [`parse`](Self::parse) followed by `render` reproduces it
+    /// byte-for-byte, and `render` followed by `parse` reproduces the
+    /// snapshot value-for-value.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for f in &self.families {
+            let _ = writeln!(out, "# HELP {} {}", f.name, escape_help(&f.help));
+            let _ = writeln!(out, "# TYPE {} {}", f.name, f.kind.token());
+            let _ = writeln!(out, "# CLASS {} {}", f.name, f.class.token());
+            for s in &f.samples {
+                let _ = write!(out, "{}{}", f.name, s.suffix);
+                if !s.labels.is_empty() {
+                    out.push('{');
+                    for (i, (k, v)) in s.labels.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        let _ = write!(out, "{}=\"{}\"", k, escape_label(v));
+                    }
+                    out.push('}');
+                }
+                let _ = writeln!(out, " {}", s.value);
+            }
+        }
+        out
+    }
+
+    /// Parse a text exposition produced by [`render`](Self::render).
+    /// Strict: families must carry `# HELP` / `# TYPE` / `# CLASS`
+    /// headers in that order and every value must be a decimal `u64`.
+    pub fn parse(text: &str) -> Result<MetricsSnapshot, String> {
+        let mut snap = MetricsSnapshot::default();
+        let mut current: Option<FamilySnapshot> = None;
+        for (no, line) in text.lines().enumerate() {
+            let err = |msg: &str| format!("metrics line {}: {msg}: {line:?}", no + 1);
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                if let Some(f) = current.take() {
+                    snap.families.push(f);
+                }
+                let (name, help) = rest.split_once(' ').ok_or_else(|| err("malformed HELP"))?;
+                if !valid_name(name) {
+                    return Err(err("invalid family name"));
+                }
+                current = Some(FamilySnapshot {
+                    name: name.to_string(),
+                    help: unescape_help(help),
+                    kind: MetricKind::Counter,
+                    class: MetricClass::Derivable,
+                    samples: Vec::new(),
+                });
+            } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let f = current.as_mut().ok_or_else(|| err("TYPE before HELP"))?;
+                let (name, kind) = rest.split_once(' ').ok_or_else(|| err("malformed TYPE"))?;
+                if name != f.name {
+                    return Err(err("TYPE family mismatch"));
+                }
+                f.kind = MetricKind::from_token(kind).ok_or_else(|| err("unknown kind"))?;
+            } else if let Some(rest) = line.strip_prefix("# CLASS ") {
+                let f = current.as_mut().ok_or_else(|| err("CLASS before HELP"))?;
+                let (name, class) = rest.split_once(' ').ok_or_else(|| err("malformed CLASS"))?;
+                if name != f.name {
+                    return Err(err("CLASS family mismatch"));
+                }
+                f.class = MetricClass::from_token(class).ok_or_else(|| err("unknown class"))?;
+            } else if line.is_empty() {
+                continue;
+            } else {
+                let f = current.as_mut().ok_or_else(|| err("sample before HELP"))?;
+                let sample = parse_sample(line, &f.name).map_err(|m| err(&m))?;
+                f.samples.push(sample);
+            }
+        }
+        if let Some(f) = current.take() {
+            snap.families.push(f);
+        }
+        Ok(snap)
+    }
+}
+
+/// Parse one sample line of family `family`.
+fn parse_sample(line: &str, family: &str) -> Result<Sample, String> {
+    let rest = line
+        .strip_prefix(family)
+        .ok_or_else(|| format!("sample outside family {family}"))?;
+    // Split off the series-name suffix (up to '{' or ' ').
+    let suffix_end = rest.find(['{', ' ']).ok_or("missing value")?;
+    let suffix = &rest[..suffix_end];
+    if !matches!(suffix, "" | "_bucket" | "_sum" | "_count") {
+        return Err(format!("unknown series suffix {suffix:?}"));
+    }
+    let rest = &rest[suffix_end..];
+    let (labels, rest) = if let Some(body) = rest.strip_prefix('{') {
+        let close = find_label_close(body).ok_or("unterminated labels")?;
+        (parse_labels(&body[..close])?, &body[close + 1..])
+    } else {
+        (Vec::new(), rest)
+    };
+    let value = rest
+        .strip_prefix(' ')
+        .ok_or("missing value separator")?
+        .parse::<u64>()
+        .map_err(|e| format!("bad value: {e}"))?;
+    Ok(Sample {
+        suffix: suffix.to_string(),
+        labels,
+        value,
+    })
+}
+
+/// Index of the unescaped closing `}` of a label body.
+fn find_label_close(body: &str) -> Option<usize> {
+    let mut in_quotes = false;
+    let mut escaped = false;
+    for (i, c) in body.char_indices() {
+        if escaped {
+            escaped = false;
+        } else if in_quotes && c == '\\' {
+            escaped = true;
+        } else if c == '"' {
+            in_quotes = !in_quotes;
+        } else if !in_quotes && c == '}' {
+            return Some(i);
+        }
+    }
+    None
+}
+
+/// Parse `k1="v1",k2="v2"` with escape handling.
+fn parse_labels(body: &str) -> Result<Vec<(String, String)>, String> {
+    let mut out = Vec::new();
+    let mut rest = body;
+    while !rest.is_empty() {
+        let eq = rest.find("=\"").ok_or("malformed label")?;
+        let key = &rest[..eq];
+        if !valid_label_name(key) {
+            return Err(format!("invalid label name {key:?}"));
+        }
+        let vstart = eq + 2;
+        // Find the unescaped closing quote.
+        let mut escaped = false;
+        let mut vend = None;
+        for (i, c) in rest[vstart..].char_indices() {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                vend = Some(vstart + i);
+                break;
+            }
+        }
+        let vend = vend.ok_or("unterminated label value")?;
+        out.push((key.to_string(), unescape(&rest[vstart..vend], true)));
+        rest = &rest[vend + 1..];
+        if let Some(r) = rest.strip_prefix(',') {
+            rest = r;
+        } else if !rest.is_empty() {
+            return Err("junk after label value".into());
+        }
+    }
+    Ok(out)
+}
+
+/// One registered series: its labels plus the live instrument.
+enum Series {
+    Counter(Vec<(String, String)>, Arc<Counter>),
+    Gauge(Vec<(String, String)>, Arc<Gauge>),
+    Histogram(Vec<(String, String)>, Arc<Histogram>),
+}
+
+struct Family {
+    name: String,
+    help: String,
+    kind: MetricKind,
+    class: MetricClass,
+    series: Vec<Series>,
+}
+
+/// A registry of live instruments. Registration happens at setup time
+/// (under a mutex); the returned `Arc`ed instruments are then updated
+/// lock-free from any thread. [`snapshot`](Self::snapshot) captures
+/// every registered series in registration order.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    families: Mutex<Vec<Family>>,
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let families = self.families.lock().unwrap();
+        f.debug_struct("MetricsRegistry")
+            .field("families", &families.len())
+            .finish()
+    }
+}
+
+impl MetricsRegistry {
+    /// New empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn family<'a>(
+        families: &'a mut Vec<Family>,
+        name: &str,
+        help: &str,
+        kind: MetricKind,
+        class: MetricClass,
+    ) -> &'a mut Family {
+        assert!(valid_name(name), "invalid metric name {name:?}");
+        if let Some(i) = families.iter().position(|f| f.name == name) {
+            assert_eq!(families[i].kind, kind, "kind mismatch for {name}");
+            assert_eq!(families[i].class, class, "class mismatch for {name}");
+            return &mut families[i];
+        }
+        families.push(Family {
+            name: name.to_string(),
+            help: help.to_string(),
+            kind,
+            class,
+            series: Vec::new(),
+        });
+        families.last_mut().expect("just pushed")
+    }
+
+    fn own_labels(labels: &[(&str, &str)]) -> Vec<(String, String)> {
+        labels
+            .iter()
+            .inspect(|(k, _)| assert!(valid_label_name(k), "invalid label name {k:?}"))
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect()
+    }
+
+    /// Register (or fetch into) family `name` a counter series with
+    /// `labels`.
+    pub fn counter(
+        &self,
+        name: &str,
+        help: &str,
+        class: MetricClass,
+        labels: &[(&str, &str)],
+    ) -> Arc<Counter> {
+        let mut families = self.families.lock().unwrap();
+        let f = Self::family(&mut families, name, help, MetricKind::Counter, class);
+        let c = Arc::new(Counter::new());
+        f.series
+            .push(Series::Counter(Self::own_labels(labels), Arc::clone(&c)));
+        c
+    }
+
+    /// Register a gauge series.
+    pub fn gauge(
+        &self,
+        name: &str,
+        help: &str,
+        class: MetricClass,
+        labels: &[(&str, &str)],
+    ) -> Arc<Gauge> {
+        let mut families = self.families.lock().unwrap();
+        let f = Self::family(&mut families, name, help, MetricKind::Gauge, class);
+        let g = Arc::new(Gauge::new());
+        f.series
+            .push(Series::Gauge(Self::own_labels(labels), Arc::clone(&g)));
+        g
+    }
+
+    /// Register a fixed-bucket histogram series.
+    pub fn histogram(
+        &self,
+        name: &str,
+        help: &str,
+        class: MetricClass,
+        labels: &[(&str, &str)],
+        bounds: &[u64],
+    ) -> Arc<Histogram> {
+        let mut families = self.families.lock().unwrap();
+        let f = Self::family(&mut families, name, help, MetricKind::Histogram, class);
+        let h = Arc::new(Histogram::new(bounds));
+        f.series
+            .push(Series::Histogram(Self::own_labels(labels), Arc::clone(&h)));
+        h
+    }
+
+    /// Capture every registered series, in registration order.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let families = self.families.lock().unwrap();
+        let mut snap = MetricsSnapshot::default();
+        for f in families.iter() {
+            let mut samples = Vec::new();
+            for s in &f.series {
+                match s {
+                    Series::Counter(labels, c) => samples.push(Sample {
+                        suffix: String::new(),
+                        labels: labels.clone(),
+                        value: c.get(),
+                    }),
+                    Series::Gauge(labels, g) => samples.push(Sample {
+                        suffix: String::new(),
+                        labels: labels.clone(),
+                        value: g.get(),
+                    }),
+                    Series::Histogram(labels, h) => samples.extend(h.samples(labels)),
+                }
+            }
+            snap.push(FamilySnapshot {
+                name: f.name.clone(),
+                help: f.help.clone(),
+                kind: f.kind,
+                class: f.class,
+                samples,
+            });
+        }
+        snap
+    }
+}
+
+/// The ledger's virtual-time fields as one labelled counter family
+/// (integer nanoseconds, so the exposition is exact).
+const LEDGER_NS_FIELDS: &[&str] = &[
+    "mm_alloc",
+    "mm_copy",
+    "mm_free",
+    "mm_prefault",
+    "mm_map",
+    "mm_saved",
+    "mi_fault_stall",
+    "tlb_stall",
+    "kernel_compute",
+    "recovery_backoff",
+    "recovery_prefault",
+];
+
+/// The ledger's event-count fields as one labelled counter family.
+const LEDGER_OPS_FIELDS: &[&str] = &[
+    "maps",
+    "maps_elided",
+    "kernels",
+    "copies",
+    "bytes_copied",
+    "replayed_pages",
+    "zero_filled_pages",
+    "prefault_calls",
+    "retries",
+    "recoveries",
+    "degradations",
+    "evicted_for_retry",
+    "recovery_prefaults",
+];
+
+fn ledger_ns(ledger: &OverheadLedger, field: &str) -> u64 {
+    match field {
+        "mm_alloc" => ledger.mm_alloc.as_nanos(),
+        "mm_copy" => ledger.mm_copy.as_nanos(),
+        "mm_free" => ledger.mm_free.as_nanos(),
+        "mm_prefault" => ledger.mm_prefault.as_nanos(),
+        "mm_map" => ledger.mm_map.as_nanos(),
+        "mm_saved" => ledger.mm_saved.as_nanos(),
+        "mi_fault_stall" => ledger.mi_fault_stall.as_nanos(),
+        "tlb_stall" => ledger.tlb_stall.as_nanos(),
+        "kernel_compute" => ledger.kernel_compute.as_nanos(),
+        "recovery_backoff" => ledger.recovery_backoff.as_nanos(),
+        "recovery_prefault" => ledger.recovery_prefault.as_nanos(),
+        _ => unreachable!("unknown ns field {field}"),
+    }
+}
+
+fn ledger_ops(ledger: &OverheadLedger, field: &str) -> u64 {
+    match field {
+        "maps" => ledger.maps,
+        "maps_elided" => ledger.maps_elided,
+        "kernels" => ledger.kernels,
+        "copies" => ledger.copies,
+        "bytes_copied" => ledger.bytes_copied,
+        "replayed_pages" => ledger.replayed_pages,
+        "zero_filled_pages" => ledger.zero_filled_pages,
+        "prefault_calls" => ledger.prefault_calls,
+        "retries" => ledger.retries,
+        "recoveries" => ledger.recoveries,
+        "degradations" => ledger.degradations,
+        "evicted_for_retry" => ledger.evicted_for_retry,
+        "recovery_prefaults" => ledger.recovery_prefaults,
+        _ => unreachable!("unknown ops field {field}"),
+    }
+}
+
+/// Build the derivable-class families of one run: the full overhead
+/// ledger (virtual nanoseconds and event counts) plus the lookup-cache
+/// hit/miss/invalidation counters.
+///
+/// This is the contract surface: feeding the telemetry *fold* here must
+/// produce exactly what [`crate::OmpRuntime::metrics_snapshot`] built
+/// from the live ledger — the check harness pins that on all 42
+/// shipped cells.
+pub fn derivable_snapshot(
+    ledger: &OverheadLedger,
+    cache_hits: u64,
+    cache_misses: u64,
+    cache_invalidations: u64,
+) -> MetricsSnapshot {
+    let mut snap = MetricsSnapshot::default();
+    snap.push(FamilySnapshot {
+        name: "omp_ledger_ns_total".into(),
+        help: "Overhead-ledger virtual-time fields, integer nanoseconds.".into(),
+        kind: MetricKind::Counter,
+        class: MetricClass::Derivable,
+        samples: LEDGER_NS_FIELDS
+            .iter()
+            .map(|f| Sample::labelled("field", f, ledger_ns(ledger, f)))
+            .collect(),
+    });
+    snap.push(FamilySnapshot {
+        name: "omp_ledger_ops_total".into(),
+        help: "Overhead-ledger event counts.".into(),
+        kind: MetricKind::Counter,
+        class: MetricClass::Derivable,
+        samples: LEDGER_OPS_FIELDS
+            .iter()
+            .map(|f| Sample::labelled("field", f, ledger_ops(ledger, f)))
+            .collect(),
+    });
+    snap.push(FamilySnapshot {
+        name: "omp_lookup_cache_events_total".into(),
+        help: "Per-runtime map-lookup-cache probe outcomes.".into(),
+        kind: MetricKind::Counter,
+        class: MetricClass::Derivable,
+        samples: vec![
+            Sample::labelled("event", "hit", cache_hits),
+            Sample::labelled("event", "miss", cache_misses),
+            Sample::labelled("event", "invalidation", cache_invalidations),
+        ],
+    });
+    snap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_parse_round_trip_is_exact() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("a_total", "A counter.", MetricClass::Derivable, &[]);
+        c.add(7);
+        let g = reg.gauge(
+            "b_level",
+            "A gauge with labels.",
+            MetricClass::Schedule,
+            &[("verb", "sweep"), ("temp", "warm")],
+        );
+        g.set(42);
+        let h = reg.histogram(
+            "lat_us",
+            "A histogram.",
+            MetricClass::Schedule,
+            &[("verb", "ping")],
+            &[10, 100, 1000],
+        );
+        h.observe(5);
+        h.observe(250);
+        h.observe(9999);
+        let snap = reg.snapshot();
+        let text = snap.render();
+        let parsed = MetricsSnapshot::parse(&text).unwrap();
+        assert_eq!(parsed, snap);
+        assert_eq!(parsed.render(), text);
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let h = Histogram::new(&[10, 100]);
+        h.observe(1);
+        h.observe(50);
+        h.observe(5000);
+        let samples = h.samples(&[]);
+        let get = |le: &str| {
+            samples
+                .iter()
+                .find(|s| s.suffix == "_bucket" && s.labels[0].1 == le)
+                .unwrap()
+                .value
+        };
+        assert_eq!(get("10"), 1);
+        assert_eq!(get("100"), 2);
+        assert_eq!(get("+Inf"), 3);
+        assert_eq!(h.sum(), 5051);
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn label_escaping_survives_round_trip() {
+        let mut snap = MetricsSnapshot::default();
+        snap.push(FamilySnapshot {
+            name: "weird".into(),
+            help: "help with \\ backslash\nand newline".into(),
+            kind: MetricKind::Gauge,
+            class: MetricClass::Schedule,
+            samples: vec![Sample {
+                suffix: String::new(),
+                labels: vec![("k".into(), "a\"b\\c\nd".into())],
+                value: 3,
+            }],
+        });
+        let text = snap.render();
+        let parsed = MetricsSnapshot::parse(&text).unwrap();
+        assert_eq!(parsed, snap);
+        assert_eq!(parsed.render(), text);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        assert!(MetricsSnapshot::parse("a_total 1").is_err()); // sample before HELP
+        assert!(MetricsSnapshot::parse("# HELP a x\n# TYPE a widget\n").is_err());
+        assert!(MetricsSnapshot::parse("# HELP a x\n# TYPE a counter\n# CLASS a nope\n").is_err());
+        assert!(MetricsSnapshot::parse(
+            "# HELP a x\n# TYPE a counter\n# CLASS a derivable\na -1\n"
+        )
+        .is_err());
+        assert!(MetricsSnapshot::parse(
+            "# HELP a x\n# TYPE a counter\n# CLASS a derivable\nb_z 1\n"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn derivable_snapshot_reflects_the_ledger() {
+        let ledger = OverheadLedger {
+            maps: 12,
+            kernels: 3,
+            mm_alloc: sim_des::VirtDuration::from_micros(5),
+            ..Default::default()
+        };
+        let snap = derivable_snapshot(&ledger, 9, 4, 2);
+        assert_eq!(
+            snap.value("omp_ledger_ops_total", "", &[("field", "maps")]),
+            Some(12)
+        );
+        assert_eq!(
+            snap.value("omp_ledger_ns_total", "", &[("field", "mm_alloc")]),
+            Some(5000)
+        );
+        assert_eq!(
+            snap.value(
+                "omp_lookup_cache_events_total",
+                "",
+                &[("event", "invalidation")]
+            ),
+            Some(2)
+        );
+        assert!(snap.class_only(MetricClass::Schedule).families.is_empty());
+    }
+
+    #[test]
+    fn value_lookup_distinguishes_labels_and_suffixes() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("h", "h.", MetricClass::Schedule, &[("v", "a")], &[10]);
+        h.observe(3);
+        let snap = reg.snapshot();
+        assert_eq!(snap.value("h", "_count", &[("v", "a")]), Some(1));
+        assert_eq!(snap.value("h", "_sum", &[("v", "a")]), Some(3));
+        assert_eq!(
+            snap.value("h", "_bucket", &[("v", "a"), ("le", "10")]),
+            Some(1)
+        );
+        assert_eq!(snap.value("h", "", &[("v", "b")]), None);
+    }
+}

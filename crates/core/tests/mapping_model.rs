@@ -198,6 +198,10 @@ proptest! {
         let oracle = &mut MappingTable::new();
         let sharded = ShardedMappingTable::new();
         let cache = MapLookupCache::new();
+        // Every cache.invalidate() call below is mirrored here, so the
+        // cache's own invalidation counter is pinned to the coherence
+        // rule: exactly one invalidation per table mutation we observe.
+        let mut expected_invalidations = 0u64;
         for op in ops {
             match op {
                 ShardOp::Insert { slot } => {
@@ -209,6 +213,7 @@ proptest! {
                         // The coherence rule: the owner invalidates its
                         // cache at every mutation of its table.
                         cache.invalidate();
+                        expected_invalidations += 1;
                     }
                 }
                 ShardOp::Retain { slot, jit } => {
@@ -222,6 +227,7 @@ proptest! {
                     let want = oracle.release(&r, delete).ok();
                     if matches!(got, Some(Some(_))) {
                         cache.invalidate();
+                        expected_invalidations += 1;
                     }
                     prop_assert_eq!(
                         got.map(|o| o.map(|m| key(&m))),
@@ -245,6 +251,7 @@ proptest! {
                 }
             }
             prop_assert_eq!(sharded.len(), oracle.len());
+            prop_assert_eq!(cache.invalidations(), expected_invalidations);
         }
         let snap = sharded.snapshot();
         prop_assert!(

@@ -1,0 +1,138 @@
+//! Property tests for the metrics exposition: every snapshot a
+//! [`MetricsRegistry`] can produce — any mix of counters, gauges, and
+//! histograms, any labels (including ones that need escaping), any
+//! recorded values — renders to text that re-parses to the identical
+//! snapshot and re-renders to the identical bytes. This is the property
+//! half of the `METRICS` round-trip pin; the golden half lives in
+//! `omp-batch/tests/serve_matrix.rs`.
+
+use omp_offload::metrics::{MetricClass, MetricsRegistry, MetricsSnapshot};
+use proptest::prelude::*;
+
+/// Family-name stems (all valid exposition names).
+const STEMS: &[&str] = &[
+    "omp_a_total",
+    "omp_b_level",
+    "lat_us",
+    "ns:scoped",
+    "_hidden",
+];
+
+/// Label keys (all valid label names).
+const KEYS: &[&str] = &["verb", "field", "worker_0", "_k"];
+
+/// Ascending histogram bound sets to pick from.
+const BOUNDS: &[&[u64]] = &[&[10], &[1, 100, 10_000], &[5, 6, 7, 1 << 40]];
+
+/// Label values over an alphabet that stresses the escaper: quotes,
+/// backslashes, newlines, spaces.
+fn arb_text() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0u8..8, 0..6).prop_map(|ix| {
+        ix.into_iter()
+            .map(|i| ['a', 'Z', '9', '_', '"', '\\', '\n', ' '][i as usize])
+            .collect()
+    })
+}
+
+/// One instrument to register: which stem, which kind, which class, its
+/// labels, and the values fed to it.
+#[derive(Debug, Clone)]
+struct Inst {
+    stem: u8,
+    kind: u8,
+    schedule: bool,
+    bounds: u8,
+    labels: Vec<(u8, String)>,
+    ops: Vec<u64>,
+}
+
+fn arb_inst() -> impl Strategy<Value = Inst> {
+    (
+        (
+            0u8..STEMS.len() as u8,
+            0u8..3,
+            any::<bool>(),
+            0u8..BOUNDS.len() as u8,
+        ),
+        proptest::collection::vec(((0u8..KEYS.len() as u8), arb_text()), 0..3),
+        proptest::collection::vec(any::<u64>(), 0..5),
+    )
+        .prop_map(|((stem, kind, schedule, bounds), labels, ops)| Inst {
+            stem,
+            kind,
+            schedule,
+            bounds,
+            labels,
+            ops,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn every_registered_instrument_renders_and_reparses_exactly(
+        insts in proptest::collection::vec(arb_inst(), 0..12),
+    ) {
+        let reg = MetricsRegistry::new();
+        for inst in &insts {
+            let class = if inst.schedule {
+                MetricClass::Schedule
+            } else {
+                MetricClass::Derivable
+            };
+            // Fold kind and class into the family name so a re-used name
+            // always re-registers with a consistent (kind, class) pair —
+            // the registry asserts on mismatches by design.
+            let name = format!(
+                "{}_{}_{}",
+                STEMS[inst.stem as usize],
+                ["c", "g", "h"][inst.kind as usize],
+                class.token(),
+            );
+            let labels: Vec<(&str, &str)> = inst
+                .labels
+                .iter()
+                .map(|(k, v)| (KEYS[*k as usize], v.as_str()))
+                .collect();
+            match inst.kind {
+                0 => {
+                    let c = reg.counter(&name, "counted\nthings \\ etc.", class, &labels);
+                    for &v in &inst.ops {
+                        c.add(v);
+                    }
+                }
+                1 => {
+                    let g = reg.gauge(&name, "", class, &labels);
+                    for &v in &inst.ops {
+                        g.set(v);
+                    }
+                }
+                _ => {
+                    let h = reg.histogram(
+                        &name,
+                        "observed things.",
+                        class,
+                        &labels,
+                        BOUNDS[inst.bounds as usize],
+                    );
+                    for &v in &inst.ops {
+                        h.observe(v);
+                    }
+                }
+            }
+        }
+        let snap = reg.snapshot();
+        let text = snap.render();
+        let parsed = MetricsSnapshot::parse(&text);
+        prop_assert!(parsed.is_ok(), "render output must parse: {:?}", parsed);
+        let parsed = parsed.unwrap();
+        prop_assert_eq!(&parsed, &snap);
+        prop_assert_eq!(parsed.render(), text);
+        // Class partitioning is total: every family is in exactly one
+        // class view, and the two views concatenated cover the snapshot.
+        let d = snap.class_only(MetricClass::Derivable).families.len();
+        let s = snap.class_only(MetricClass::Schedule).families.len();
+        prop_assert_eq!(d + s, snap.families.len());
+    }
+}

@@ -16,7 +16,8 @@
 //!              [--cache-max-bytes SIZE] [--max-inflight N] [--timeout-ms N]
 //! apusim request [--socket PATH | --tcp ADDR] [FILE.mapir...]
 //!                [--config C] [--elide K] [--telemetry K] [--fault SEED]
-//!                [--preset P] [--ping] [--stats] [--gc] [--shutdown]
+//!                [--preset P] [--ping] [--stats] [--metrics] [--gc]
+//!                [--shutdown]
 //! apusim cache gc [--cache DIR] [--max-bytes SIZE] [--dry-run]
 //! ```
 //!
@@ -53,9 +54,11 @@
 //! is byte-identical to the offline `apusim replay` stdout for the same
 //! corpus. `request` is the matching client: it uploads captures, sends one
 //! `SWEEP` for the given files (report to stdout, cache counters to
-//! stderr), and can probe (`--ping`), inspect (`--stats`), garbage-collect
-//! (`--gc`), or stop (`--shutdown`) a running server. `cache gc` bounds an
-//! offline cache directory by evicting least-recently-used entries.
+//! stderr), and can probe (`--ping`), inspect (`--stats`), scrape the
+//! Prometheus-style exposition (`--metrics`, body to stdout),
+//! garbage-collect (`--gc`), or stop (`--shutdown`) a running server.
+//! `cache gc` bounds an offline cache directory by evicting
+//! least-recently-used entries.
 
 use mi300a_zerocopy::analysis::paper::{qmc_sweep, PaperConfig};
 use mi300a_zerocopy::analysis::timeline::merged_chrome_trace;
@@ -74,7 +77,7 @@ use mi300a_zerocopy::workloads::{
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  apusim list\n  apusim costs\n  apusim sweep [--sizes 2,8,32] [--threads 1,4,8] [--steps N] [--jobs N]\n  apusim env [--no-apu] [--no-xnack] [--apu-maps] [--eager] [--usm]\n  apusim run <workload> [--config copy|usm|izc|eager] [--threads N] [--scale F] [--steps N] [--discrete] [--mem-report] [--trace FILE [--trace-format chrome|jsonl]] [--capture FILE.mapir]\n  apusim replay FILE.mapir... [--config copy|usm|izc|eager] [--elide off|online|plan|opt] [--jobs N] [--cache DIR|off] [--trace FILE [--trace-format chrome|jsonl]]\n  apusim optimize IN.mapir [-o OUT.mapir] [--report]\n  apusim check [--json] [NAME]\n  apusim serve [--socket PATH | --tcp ADDR] [--jobs N] [--cache DIR|off] [--cache-max-bytes SIZE] [--max-inflight N] [--timeout-ms N]\n  apusim request [--socket PATH | --tcp ADDR] [FILE.mapir...] [--config C] [--elide K] [--telemetry K] [--fault SEED] [--preset P] [--ping] [--stats] [--gc] [--shutdown]\n  apusim cache gc [--cache DIR] [--max-bytes SIZE] [--dry-run]"
+        "usage:\n  apusim list\n  apusim costs\n  apusim sweep [--sizes 2,8,32] [--threads 1,4,8] [--steps N] [--jobs N]\n  apusim env [--no-apu] [--no-xnack] [--apu-maps] [--eager] [--usm]\n  apusim run <workload> [--config copy|usm|izc|eager] [--threads N] [--scale F] [--steps N] [--discrete] [--mem-report] [--trace FILE [--trace-format chrome|jsonl]] [--capture FILE.mapir]\n  apusim replay FILE.mapir... [--config copy|usm|izc|eager] [--elide off|online|plan|opt] [--jobs N] [--cache DIR|off] [--trace FILE [--trace-format chrome|jsonl]]\n  apusim optimize IN.mapir [-o OUT.mapir] [--report]\n  apusim check [--json] [NAME]\n  apusim serve [--socket PATH | --tcp ADDR] [--jobs N] [--cache DIR|off] [--cache-max-bytes SIZE] [--max-inflight N] [--timeout-ms N]\n  apusim request [--socket PATH | --tcp ADDR] [FILE.mapir...] [--config C] [--elide K] [--telemetry K] [--fault SEED] [--preset P] [--ping] [--stats] [--metrics] [--gc] [--shutdown]\n  apusim cache gc [--cache DIR] [--max-bytes SIZE] [--dry-run]"
     );
     std::process::exit(2);
 }
@@ -706,6 +709,7 @@ fn cmd_request(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let mut preset = batch::CostPreset::Mi300a;
     let mut fault: Option<u64> = None;
     let (mut ping, mut stats, mut gc, mut shutdown) = (false, false, false, false);
+    let mut metrics = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -718,13 +722,14 @@ fn cmd_request(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             "--fault" => fault = Some(it.next().unwrap_or_else(|| usage()).parse()?),
             "--ping" => ping = true,
             "--stats" => stats = true,
+            "--metrics" => metrics = true,
             "--gc" => gc = true,
             "--shutdown" => shutdown = true,
             other if !other.starts_with("--") => paths.push(other.to_string()),
             _ => usage(),
         }
     }
-    if paths.is_empty() && !(ping || stats || gc || shutdown) {
+    if paths.is_empty() && !(ping || stats || metrics || gc || shutdown) {
         usage();
     }
     let mut client = match &tcp {
@@ -763,6 +768,15 @@ fn cmd_request(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     if stats {
         let resp = expect_ok(client.stats()?);
         println!("{}", info_line(&resp));
+    }
+    if metrics {
+        // The exposition body is the payload; the family count goes to
+        // stderr with the rest of the response headers.
+        let resp = expect_ok(client.metrics()?);
+        eprintln!("{}", info_line(&resp));
+        if let batch::Response::Ok { body, .. } = resp {
+            print!("{body}");
+        }
     }
     if gc {
         let resp = expect_ok(client.gc()?);
